@@ -1,0 +1,138 @@
+//! Automaton analysis: the structural statistics that explain the cache
+//! behaviour the paper's evaluation turns on.
+//!
+//! The throughput trends of Figs. 16–18 are driven by how the DFA's
+//! *visited* state distribution interacts with the texture cache. This
+//! module computes both static structure (state counts by depth, fanout)
+//! and dynamic profiles (state-visit histograms over a text), which
+//! EXPERIMENTS.md uses to justify the cache-model parameters.
+
+use crate::stt::Stt;
+use crate::trie::Trie;
+use serde::{Deserialize, Serialize};
+
+/// Static structure of an automaton.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructureReport {
+    /// Number of states at each trie depth (`[0]` is the root).
+    pub states_by_depth: Vec<u32>,
+    /// Mean number of real (non-restart) transitions per state.
+    pub mean_fanout: f64,
+    /// Total states.
+    pub states: usize,
+}
+
+/// Compute static structure from the trie.
+pub fn analyze_structure(trie: &Trie) -> StructureReport {
+    let n = trie.state_count();
+    let max_depth = (0..n as u32).map(|s| trie.depth(s)).max().unwrap_or(0) as usize;
+    let mut states_by_depth = vec![0u32; max_depth + 1];
+    let mut edges = 0usize;
+    for s in 0..n as u32 {
+        states_by_depth[trie.depth(s) as usize] += 1;
+        edges += trie.children_of(s).count();
+    }
+    StructureReport { states_by_depth, mean_fanout: edges as f64 / n as f64, states: n }
+}
+
+/// Dynamic profile: how a text exercises the automaton.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisitProfile {
+    /// Number of *distinct* states visited.
+    pub distinct_states: usize,
+    /// Fraction of transitions that landed in the `k` most-visited
+    /// states, for `k` in {16, 64, 256, 1024} (clipped to the state
+    /// count) — the "hot set concentration" that decides cache residency.
+    pub concentration: Vec<(usize, f64)>,
+    /// Mean depth of the visited states, transition-weighted.
+    pub mean_depth: f64,
+    /// Total transitions (= text length).
+    pub transitions: u64,
+}
+
+/// Profile the DFA walk of `text`.
+pub fn profile_visits(stt: &Stt, trie: &Trie, text: &[u8]) -> VisitProfile {
+    let mut counts = vec![0u64; stt.state_count()];
+    let mut state = 0u32;
+    let mut depth_sum = 0u64;
+    for &b in text {
+        state = stt.next(state, b);
+        counts[state as usize] += 1;
+        depth_sum += trie.depth(state) as u64;
+    }
+    let transitions = text.len() as u64;
+    let distinct_states = counts.iter().filter(|&&c| c > 0).count();
+    let mut sorted: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let concentration = [16usize, 64, 256, 1024]
+        .iter()
+        .map(|&k| {
+            let top: u64 = sorted.iter().take(k).sum();
+            (k, if transitions == 0 { 0.0 } else { top as f64 / transitions as f64 })
+        })
+        .collect();
+    VisitProfile {
+        distinct_states,
+        concentration,
+        mean_depth: if transitions == 0 { 0.0 } else { depth_sum as f64 / transitions as f64 },
+        transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AcAutomaton, PatternSet, Trie};
+
+    fn machine(pats: &[&str]) -> (Trie, AcAutomaton) {
+        let ps = PatternSet::from_strs(pats).unwrap();
+        (Trie::build(&ps), AcAutomaton::build(&ps))
+    }
+
+    #[test]
+    fn structure_of_paper_machine() {
+        let (trie, _) = machine(&["he", "she", "his", "hers"]);
+        let r = analyze_structure(&trie);
+        assert_eq!(r.states, 10);
+        // Depths: root; h,s; he,hi,sh; his,her,she; hers.
+        assert_eq!(r.states_by_depth, vec![1, 2, 3, 3, 1]);
+        // 9 edges (every non-root state has exactly one parent edge).
+        assert!((r.mean_fanout - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn visits_concentrate_on_shallow_states() {
+        let (trie, ac) = machine(&["he", "she", "his", "hers"]);
+        let text: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+            .iter()
+            .cycle()
+            .take(10_000)
+            .copied()
+            .collect();
+        let p = profile_visits(ac.stt(), &trie, &text);
+        assert_eq!(p.transitions, 10_000);
+        assert!(p.distinct_states <= 10);
+        // All transitions land in the top-16 states of a 10-state machine.
+        assert_eq!(p.concentration[0], (16, 1.0));
+        // English text keeps the machine shallow.
+        assert!(p.mean_depth < 1.0, "mean depth {}", p.mean_depth);
+    }
+
+    #[test]
+    fn empty_text_profile() {
+        let (trie, ac) = machine(&["x"]);
+        let p = profile_visits(ac.stt(), &trie, b"");
+        assert_eq!(p.transitions, 0);
+        assert_eq!(p.distinct_states, 0);
+        assert_eq!(p.mean_depth, 0.0);
+    }
+
+    #[test]
+    fn adversarial_text_runs_deep() {
+        let (trie, ac) = machine(&["aaaaaaaa"]);
+        let text = vec![b'a'; 1000];
+        let p = profile_visits(ac.stt(), &trie, &text);
+        // The machine saturates at depth 8.
+        assert!(p.mean_depth > 7.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Chunk partitioning with the paper's *X*-byte overlap (§IV.B.3).
+//!
+//! Every parallel implementation — the multithreaded CPU matcher and both
+//! GPU kernels — divides the input into fixed-size chunks, one per thread.
+//! A pattern may straddle a chunk boundary, so each thread scans `X` extra
+//! bytes past its chunk ("we span each thread by adding X characters after
+//! the chunk that it is assigned, where X is the maximum pattern length").
+//!
+//! **Ownership rule.** Scanning from the root at the chunk start finds every
+//! match that *starts* inside the chunk (the DFA needs no left context for
+//! a match it fully contains). A thread therefore reports a match iff
+//! `match.start` lies inside its own chunk; matches found in the overlap
+//! that start beyond the chunk belong to the next thread. This yields
+//! exactly-once reporting with no cross-thread communication — the property
+//! the GPU kernels need.
+
+use crate::error::AcError;
+use crate::matcher::Match;
+use crate::AcAutomaton;
+use serde::{Deserialize, Serialize};
+
+/// One thread's assignment: the owned byte range and the extended scan
+/// window including the overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// First owned byte offset.
+    pub start: usize,
+    /// One past the last owned byte.
+    pub end: usize,
+    /// One past the last byte scanned (`min(end + overlap, text_len)`).
+    pub scan_end: usize,
+}
+
+impl Chunk {
+    /// Number of owned bytes.
+    pub fn owned_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Number of scanned bytes (owned + overlap tail).
+    pub fn scan_len(&self) -> usize {
+        self.scan_end - self.start
+    }
+}
+
+/// A validated partition of `text_len` bytes into chunks of `chunk_size`
+/// with `overlap` extra scan bytes per chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkPlan {
+    text_len: usize,
+    chunk_size: usize,
+    overlap: usize,
+}
+
+impl ChunkPlan {
+    /// Create a plan. Errors if `chunk_size` is zero or `overlap` is
+    /// insufficient for `required_overlap` (the longest pattern minus one);
+    /// an undersized overlap would *silently drop matches*, the worst kind
+    /// of parallel bug, so it is rejected here rather than detected later.
+    pub fn new(
+        text_len: usize,
+        chunk_size: usize,
+        overlap: usize,
+        required_overlap: usize,
+    ) -> Result<Self, AcError> {
+        if chunk_size == 0 {
+            return Err(AcError::ZeroChunkSize);
+        }
+        if overlap < required_overlap {
+            return Err(AcError::OverlapTooSmall { requested: overlap, required: required_overlap });
+        }
+        Ok(ChunkPlan { text_len, chunk_size, overlap })
+    }
+
+    /// Plan with the minimal safe overlap for `ac`'s patterns.
+    pub fn for_automaton(
+        text_len: usize,
+        chunk_size: usize,
+        ac: &AcAutomaton,
+    ) -> Result<Self, AcError> {
+        let req = ac.required_overlap();
+        Self::new(text_len, chunk_size, req, req)
+    }
+
+    /// Number of chunks (zero for empty text).
+    pub fn chunk_count(&self) -> usize {
+        self.text_len.div_ceil(self.chunk_size)
+    }
+
+    /// The `i`-th chunk.
+    ///
+    /// # Panics
+    /// Panics if `i >= chunk_count()`.
+    pub fn chunk(&self, i: usize) -> Chunk {
+        assert!(i < self.chunk_count(), "chunk index out of range");
+        let start = i * self.chunk_size;
+        let end = (start + self.chunk_size).min(self.text_len);
+        let scan_end = (end + self.overlap).min(self.text_len);
+        Chunk { start, end, scan_end }
+    }
+
+    /// Iterate all chunks in order.
+    pub fn iter(&self) -> impl Iterator<Item = Chunk> + '_ {
+        (0..self.chunk_count()).map(move |i| self.chunk(i))
+    }
+
+    /// Overlap bytes per chunk.
+    pub fn overlap(&self) -> usize {
+        self.overlap
+    }
+
+    /// Owned chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Total text length covered.
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+}
+
+/// Match one chunk: scan `[chunk.start, chunk.scan_end)` from the root and
+/// report matches whose start lies in the owned range. This function is the
+/// reference semantics each GPU kernel thread re-implements.
+pub fn match_chunk(ac: &AcAutomaton, text: &[u8], chunk: Chunk, sink: &mut Vec<Match>) {
+    let stt = ac.stt();
+    let mut state = 0u32;
+    let before = sink.len();
+    for (i, &b) in text.iter().enumerate().take(chunk.scan_end).skip(chunk.start) {
+        state = stt.next(state, b);
+        if stt.is_match(state) {
+            ac.expand_outputs(state, i + 1, sink);
+        }
+    }
+    // Keep only matches owned by this chunk.
+    sink.truncate_owned(before, chunk);
+}
+
+trait TruncateOwned {
+    fn truncate_owned(&mut self, from: usize, chunk: Chunk);
+}
+
+impl TruncateOwned for Vec<Match> {
+    fn truncate_owned(&mut self, from: usize, chunk: Chunk) {
+        let mut keep = from;
+        for i in from..self.len() {
+            let m = self[i];
+            if m.start >= chunk.start && m.start < chunk.end {
+                self[keep] = m;
+                keep += 1;
+            }
+        }
+        self.truncate(keep);
+    }
+    // (index-based on purpose: compaction writes behind the read cursor)
+}
+
+/// Run the whole plan serially (chunk by chunk) — used to validate the
+/// ownership rule independent of any thread scheduling.
+pub fn match_all_chunks(ac: &AcAutomaton, text: &[u8], plan: &ChunkPlan) -> Vec<Match> {
+    let mut out = Vec::new();
+    for chunk in plan.iter() {
+        match_chunk(ac, text, chunk, &mut out);
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSet;
+    use proptest::prelude::*;
+
+    fn ac(pats: &[&str]) -> AcAutomaton {
+        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap())
+    }
+
+    #[test]
+    fn plan_geometry() {
+        let plan = ChunkPlan::new(100, 32, 5, 3).unwrap();
+        assert_eq!(plan.chunk_count(), 4);
+        assert_eq!(plan.chunk(0), Chunk { start: 0, end: 32, scan_end: 37 });
+        assert_eq!(plan.chunk(3), Chunk { start: 96, end: 100, scan_end: 100 });
+        assert_eq!(plan.chunk(1).owned_len(), 32);
+        assert_eq!(plan.chunk(1).scan_len(), 37);
+        // chunk 2's scan window clamps at the text end: 96 + 5 → 100.
+        assert_eq!(plan.chunk(2), Chunk { start: 64, end: 96, scan_end: 100 });
+    }
+
+    #[test]
+    fn rejects_zero_chunk() {
+        assert_eq!(ChunkPlan::new(10, 0, 5, 1).unwrap_err(), AcError::ZeroChunkSize);
+    }
+
+    #[test]
+    fn rejects_undersized_overlap() {
+        let e = ChunkPlan::new(10, 4, 2, 3).unwrap_err();
+        assert_eq!(e, AcError::OverlapTooSmall { requested: 2, required: 3 });
+    }
+
+    #[test]
+    fn empty_text_has_no_chunks() {
+        let plan = ChunkPlan::new(0, 16, 3, 3).unwrap();
+        assert_eq!(plan.chunk_count(), 0);
+        assert_eq!(plan.iter().count(), 0);
+    }
+
+    #[test]
+    fn boundary_straddling_match_found_exactly_once() {
+        let ac = ac(&["hers"]);
+        // "hers" straddles the byte-4 boundary of 4-byte chunks.
+        let text = b"xxhersxx";
+        let plan = ChunkPlan::for_automaton(text.len(), 4, &ac).unwrap();
+        let got = match_all_chunks(&ac, text, &plan);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].start, 2);
+    }
+
+    #[test]
+    fn match_in_overlap_belongs_to_next_chunk() {
+        let ac = ac(&["ab"]);
+        let text = b"xxxxab";
+        // chunk 0 owns [0,4) and scans to 5 ("...a"); the "ab" match starts
+        // at 4, owned by chunk 1.
+        let plan = ChunkPlan::for_automaton(text.len(), 4, &ac).unwrap();
+        let mut c0 = Vec::new();
+        match_chunk(&ac, text, plan.chunk(0), &mut c0);
+        assert!(c0.is_empty());
+        let mut c1 = Vec::new();
+        match_chunk(&ac, text, plan.chunk(1), &mut c1);
+        assert_eq!(c1.len(), 1);
+    }
+
+    proptest! {
+        /// Chunked matching over any chunk size equals serial matching —
+        /// the exactly-once ownership rule in action.
+        #[test]
+        fn chunked_equals_serial(
+            pats in proptest::collection::vec("[abc]{1,5}", 1..6),
+            text in "[abc]{0,250}",
+            chunk_size in 1usize..64,
+        ) {
+            let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+            let ac = AcAutomaton::build(&PatternSet::from_strs(&refs).unwrap());
+            let plan = ChunkPlan::for_automaton(text.len(), chunk_size, &ac).unwrap();
+            let got = match_all_chunks(&ac, text.as_bytes(), &plan);
+            let mut want = ac.find_all(text.as_bytes());
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Chunks tile the text exactly: owned ranges are disjoint and
+        /// cover [0, len).
+        #[test]
+        fn chunks_tile_text(len in 0usize..5000, chunk in 1usize..512, ov in 0usize..64) {
+            let plan = ChunkPlan::new(len, chunk, ov, 0).unwrap();
+            let mut covered = 0usize;
+            for c in plan.iter() {
+                prop_assert_eq!(c.start, covered);
+                prop_assert!(c.end > c.start);
+                prop_assert!(c.scan_end >= c.end);
+                prop_assert!(c.scan_end <= len);
+                covered = c.end;
+            }
+            prop_assert_eq!(covered, len);
+        }
+    }
+}

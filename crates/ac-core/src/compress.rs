@@ -1,0 +1,179 @@
+//! Bitmap-compressed state transition table.
+//!
+//! The dense STT costs `states × 257 × 4` bytes — at 20 000 patterns that is
+//! hundreds of megabytes and is exactly why the paper's texture-cache hit
+//! rate collapses as the dictionary grows. Related work (Zha, Scarpazza &
+//! Sahni, ISCC 2011) compresses the automaton; we implement the natural
+//! bitmap variant as an extension and benchmark it in
+//! `repro ablation-texcache`:
+//!
+//! For most `(state, symbol)` pairs, `δ(state, symbol)` equals the *root
+//! row* entry `δ(0, symbol)` (a "restart" transition: the suffix context
+//! dies and matching restarts as from scratch). A compressed row stores a
+//! 256-bit bitmap marking the symbols whose target *differs* from the root
+//! row, plus the list of those targets; lookups use popcount rank into the
+//! list. Correctness is structural — every entry either comes from the list
+//! or from the root row, both copied from the dense table.
+
+use crate::stt::Stt;
+use serde::{Deserialize, Serialize};
+
+/// Per-state bitmap words: 256 symbols / 64 bits.
+const BITMAP_WORDS: usize = 4;
+
+/// A compressed STT, equivalent to the dense [`Stt`] it was built from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedStt {
+    /// Root-row targets for all 256 symbols (the shared fallback row).
+    root_row: Vec<u32>,
+    /// `BITMAP_WORDS` words per state: bit set ⇒ entry differs from root.
+    bitmaps: Vec<u64>,
+    /// CSR offsets into `targets`, one per state (+1).
+    offsets: Vec<u32>,
+    /// Non-restart targets, ordered by symbol within each state.
+    targets: Vec<u32>,
+    /// Match flags, bit-packed (bit s of word s/64).
+    match_bits: Vec<u64>,
+    state_count: usize,
+}
+
+impl CompressedStt {
+    /// Compress a dense table.
+    pub fn from_stt(stt: &Stt) -> Self {
+        let n = stt.state_count();
+        let root_row: Vec<u32> = (0..=255u8).map(|a| stt.next(0, a)).collect();
+        let mut bitmaps = vec![0u64; n * BITMAP_WORDS];
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut match_bits = vec![0u64; n.div_ceil(64)];
+        offsets.push(0u32);
+        for s in 0..n as u32 {
+            for a in 0..=255u8 {
+                let t = stt.next(s, a);
+                if t != root_row[a as usize] {
+                    bitmaps[s as usize * BITMAP_WORDS + (a as usize >> 6)] |=
+                        1u64 << (a as usize & 63);
+                    targets.push(t);
+                }
+            }
+            offsets.push(targets.len() as u32);
+            if stt.is_match(s) {
+                match_bits[s as usize >> 6] |= 1u64 << (s as usize & 63);
+            }
+        }
+        CompressedStt { root_row, bitmaps, offsets, targets, match_bits, state_count: n }
+    }
+
+    /// `δ(state, symbol)` via bitmap rank.
+    #[inline]
+    pub fn next(&self, state: u32, symbol: u8) -> u32 {
+        let base = state as usize * BITMAP_WORDS;
+        let word_idx = symbol as usize >> 6;
+        let bit = symbol as usize & 63;
+        let word = self.bitmaps[base + word_idx];
+        if word & (1u64 << bit) == 0 {
+            return self.root_row[symbol as usize];
+        }
+        // rank: differing entries at smaller symbols
+        let mut rank = (word & ((1u64 << bit) - 1)).count_ones() as usize;
+        for w in 0..word_idx {
+            rank += self.bitmaps[base + w].count_ones() as usize;
+        }
+        self.targets[self.offsets[state as usize] as usize + rank]
+    }
+
+    /// Match flag of `state`.
+    #[inline]
+    pub fn is_match(&self, state: u32) -> bool {
+        self.match_bits[state as usize >> 6] & (1u64 << (state as usize & 63)) != 0
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Compressed size in bytes (all arrays).
+    pub fn size_bytes(&self) -> usize {
+        self.root_row.len() * 4
+            + self.bitmaps.len() * 8
+            + self.offsets.len() * 4
+            + self.targets.len() * 4
+            + self.match_bits.len() * 8
+    }
+
+    /// Compression ratio vs. the dense table (dense / compressed; > 1 means
+    /// smaller).
+    pub fn ratio_vs(&self, dense: &Stt) -> f64 {
+        dense.size_bytes() as f64 / self.size_bytes() as f64
+    }
+
+    /// Number of stored (non-restart) transitions.
+    pub fn stored_transitions(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSet;
+    use crate::AcAutomaton;
+    use proptest::prelude::*;
+
+    fn stt_for(pats: &[&str]) -> Stt {
+        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap()).stt().clone()
+    }
+
+    #[test]
+    fn equivalent_to_dense_paper_example() {
+        let stt = stt_for(&["he", "she", "his", "hers"]);
+        let c = CompressedStt::from_stt(&stt);
+        assert_eq!(c.state_count(), stt.state_count());
+        for s in 0..stt.state_count() as u32 {
+            assert_eq!(c.is_match(s), stt.is_match(s));
+            for a in 0..=255u8 {
+                assert_eq!(c.next(s, a), stt.next(s, a), "state {s} symbol {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_realistic_dictionaries() {
+        // English-ish patterns leave most transitions as restarts, so the
+        // compressed table must be much smaller than dense.
+        let pats: Vec<String> = (0..64).map(|i| format!("pattern{i:02}word")).collect();
+        let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+        let stt = stt_for(&refs);
+        let c = CompressedStt::from_stt(&stt);
+        assert!(c.ratio_vs(&stt) > 4.0, "ratio was {}", c.ratio_vs(&stt));
+    }
+
+    #[test]
+    fn root_row_lookups_hit_fallback() {
+        let stt = stt_for(&["zz"]);
+        let c = CompressedStt::from_stt(&stt);
+        // From any state, symbol 'q' restarts; target must equal δ(0,'q')=0.
+        for s in 0..stt.state_count() as u32 {
+            assert_eq!(c.next(s, b'q'), 0);
+        }
+    }
+
+    proptest! {
+        /// Compressed ≡ dense on random machines and random probes.
+        #[test]
+        fn compressed_equals_dense(
+            pats in proptest::collection::vec("[abcd]{1,6}", 1..10),
+            probes in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..200),
+        ) {
+            let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+            let stt = stt_for(&refs);
+            let c = CompressedStt::from_stt(&stt);
+            for (s_raw, a) in probes {
+                let s = (s_raw as usize % stt.state_count()) as u32;
+                prop_assert_eq!(c.next(s, a), stt.next(s, a));
+                prop_assert_eq!(c.is_match(s), stt.is_match(s));
+            }
+        }
+    }
+}

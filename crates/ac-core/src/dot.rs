@@ -1,0 +1,97 @@
+//! Graphviz (DOT) export of the machine — renders the goto/failure graphs
+//! of paper Fig. 1 and the DFA of Fig. 3 for small automata.
+
+use crate::nfa::NfaTables;
+use crate::pattern::PatternSet;
+use crate::trie::Trie;
+use std::fmt::Write as _;
+
+/// Render the NFA form: solid goto edges, dashed failure edges (to
+/// non-root targets only, as in the paper's Fig. 1b), doubled circles on
+/// accepting states, labelled with their output patterns.
+pub fn nfa_to_dot(trie: &Trie, nfa: &NfaTables, patterns: &PatternSet) -> String {
+    let mut s = String::from("digraph ac {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for st in 0..trie.state_count() as u32 {
+        let outs = nfa.outputs_of(st);
+        if outs.is_empty() {
+            let _ = writeln!(s, "  {st};");
+        } else {
+            let labels: Vec<String> = outs
+                .iter()
+                .map(|&p| String::from_utf8_lossy(patterns.get(p)).into_owned())
+                .collect();
+            let _ = writeln!(
+                s,
+                "  {st} [shape=doublecircle, xlabel=\"{{{}}}\"];",
+                labels.join(", ")
+            );
+        }
+    }
+    for st in 0..trie.state_count() as u32 {
+        for (sym, child) in trie.children_of(st) {
+            let _ = writeln!(s, "  {st} -> {child} [label=\"{}\"];", printable(sym));
+        }
+        let f = nfa.failure_of(st);
+        if st != 0 && f != 0 {
+            let _ = writeln!(s, "  {st} -> {f} [style=dashed, color=gray];");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn printable(b: u8) -> String {
+    match b {
+        b'"' => "\\\"".to_string(),
+        b'\\' => "\\\\".to_string(),
+        0x20..=0x7E => (b as char).to_string(),
+        _ => format!("0x{b:02x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> (Trie, NfaTables, PatternSet) {
+        let ps = PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap();
+        let trie = Trie::build(&ps);
+        let nfa = NfaTables::build(&trie);
+        (trie, nfa, ps)
+    }
+
+    #[test]
+    fn renders_paper_fig1() {
+        let (trie, nfa, ps) = machine();
+        let dot = nfa_to_dot(&trie, &nfa, &ps);
+        assert!(dot.starts_with("digraph ac {"));
+        assert!(dot.ends_with("}\n"));
+        // Goto edges for 'h' and 's' from the root.
+        assert!(dot.contains("label=\"h\""));
+        assert!(dot.contains("label=\"s\""));
+        // Accepting states are double circles and mention their outputs.
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("hers"));
+        // Failure edges are dashed.
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn escapes_non_printable_symbols() {
+        let ps = PatternSet::new([&[0u8, b'"'][..]]).unwrap();
+        let trie = Trie::build(&ps);
+        let nfa = NfaTables::build(&trie);
+        let dot = nfa_to_dot(&trie, &nfa, &ps);
+        assert!(dot.contains("0x00"));
+        assert!(dot.contains("\\\""));
+    }
+
+    #[test]
+    fn every_state_appears() {
+        let (trie, nfa, ps) = machine();
+        let dot = nfa_to_dot(&trie, &nfa, &ps);
+        for s in 0..trie.state_count() {
+            assert!(dot.contains(&format!("  {s}")), "state {s} missing");
+        }
+    }
+}

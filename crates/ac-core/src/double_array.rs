@@ -1,0 +1,232 @@
+//! Double-array encoding of the AC DFA.
+//!
+//! The classic production encoding (Aoe 1989, used by most deployed AC
+//! implementations): states index a `base` array, and the transition for
+//! symbol `a` lives at slot `base[s] + a` of a shared `next`/`check` pair
+//! — one probe per byte like the dense STT, but rows *overlap* wherever
+//! their occupied symbols don't collide, so sparse automata shrink
+//! dramatically while keeping O(1) lookups. This is the third point in
+//! the workspace's space/time design space:
+//!
+//! | encoding | lookup cost | size at 20 000 patterns |
+//! |---|---|---|
+//! | dense [`crate::Stt`] | 1 probe | ~1 KB/state |
+//! | [`crate::CompressedStt`] | popcount + 1–2 probes | ~64 B/state + targets |
+//! | double array (here) | 2 probes (next+check) | packing-dependent, usually smallest |
+//!
+//! Restart transitions (those equal to the root row's) are left out of
+//! the packing and resolved through the root fallback, mirroring how the
+//! compressed table treats them.
+
+use crate::dfa::Dfa;
+use crate::stt::Stt;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel owner meaning "slot free".
+const FREE: u32 = u32::MAX;
+
+/// The packed automaton.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoubleArray {
+    /// Per-state offset into the shared slot arrays.
+    base: Vec<u32>,
+    /// Slot → next state (valid only when `check` matches).
+    next: Vec<u32>,
+    /// Slot → owning state, [`FREE`] when unused.
+    check: Vec<u32>,
+    /// The root row fallback for restart transitions.
+    root_row: Vec<u32>,
+    /// Match flags, bit-packed by state.
+    match_bits: Vec<u64>,
+    state_count: usize,
+}
+
+impl DoubleArray {
+    /// Pack a built DFA. Uses first-fit base selection — O(states ×
+    /// alphabet) with a free-slot cursor, fine for construction-phase
+    /// work (the paper excludes construction from all timings).
+    pub fn from_dfa(dfa: &Dfa) -> Self {
+        let n = dfa.state_count();
+        let root_row: Vec<u32> = (0..=255u8).map(|a| dfa.next(0, a)).collect();
+        let mut match_bits = vec![0u64; n.div_ceil(64)];
+        for s in 0..n {
+            if dfa.is_accepting(s as u32) {
+                match_bits[s >> 6] |= 1u64 << (s & 63);
+            }
+        }
+
+        // Occupied symbols per state = transitions differing from the
+        // root row (the root itself keeps its full row: base 0).
+        let mut base = vec![0u32; n];
+        let mut next: Vec<u32> = Vec::new();
+        let mut check: Vec<u32> = Vec::new();
+        let grow = |next: &mut Vec<u32>, check: &mut Vec<u32>, upto: usize| {
+            if check.len() < upto {
+                next.resize(upto, 0);
+                check.resize(upto, FREE);
+            }
+        };
+        // Root occupies slots 0..256 unconditionally.
+        grow(&mut next, &mut check, 256);
+        for (a, &t) in root_row.iter().enumerate() {
+            next[a] = t;
+            check[a] = 0;
+        }
+
+        let mut first_free = 256usize;
+        for s in 1..n as u32 {
+            let symbols: Vec<u8> = (0..=255u8)
+                .filter(|&a| dfa.next(s, a) != root_row[a as usize])
+                .collect();
+            if symbols.is_empty() {
+                // Pure-restart state: point base at a region that can
+                // never be probed successfully for it (check won't
+                // match anywhere), so lookups always fall back.
+                base[s as usize] = 0;
+                continue;
+            }
+            // First-fit: find the smallest b where all `b + a` are free.
+            let mut b = first_free.saturating_sub(symbols[0] as usize);
+            loop {
+                grow(&mut next, &mut check, b + 256);
+                if symbols.iter().all(|&a| check[b + a as usize] == FREE) {
+                    break;
+                }
+                b += 1;
+            }
+            base[s as usize] = b as u32;
+            for &a in &symbols {
+                next[b + a as usize] = dfa.next(s, a);
+                check[b + a as usize] = s;
+            }
+            while first_free < check.len() && check[first_free] != FREE {
+                first_free += 1;
+            }
+        }
+        DoubleArray { base, next, check, root_row, match_bits, state_count: n }
+    }
+
+    /// `δ(state, symbol)` — the double-array probe with root fallback.
+    #[inline]
+    pub fn next(&self, state: u32, symbol: u8) -> u32 {
+        let slot = self.base[state as usize] as usize + symbol as usize;
+        if self.check[slot] == state {
+            self.next[slot]
+        } else {
+            self.root_row[symbol as usize]
+        }
+    }
+
+    /// Match flag of `state`.
+    #[inline]
+    pub fn is_match(&self, state: u32) -> bool {
+        self.match_bits[state as usize >> 6] & (1u64 << (state as usize & 63)) != 0
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Packed size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.base.len() * 4
+            + self.next.len() * 4
+            + self.check.len() * 4
+            + self.root_row.len() * 4
+            + self.match_bits.len() * 8
+    }
+
+    /// Slot-array load factor (occupied / allocated) — the packing
+    /// quality metric.
+    pub fn load_factor(&self) -> f64 {
+        if self.check.is_empty() {
+            return 1.0;
+        }
+        let used = self.check.iter().filter(|&&c| c != FREE).count();
+        used as f64 / self.check.len() as f64
+    }
+
+    /// Compression ratio vs a dense table (dense / packed; > 1 = smaller).
+    pub fn ratio_vs(&self, dense: &Stt) -> f64 {
+        dense.size_bytes() as f64 / self.size_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::NfaTables;
+    use crate::pattern::PatternSet;
+    use crate::trie::Trie;
+    use proptest::prelude::*;
+
+    fn build(pats: &[&str]) -> (Dfa, Stt, DoubleArray) {
+        let ps = PatternSet::from_strs(pats).unwrap();
+        let trie = Trie::build(&ps);
+        let nfa = NfaTables::build(&trie);
+        let dfa = Dfa::build(&trie, &nfa);
+        let stt = Stt::from_dfa(&dfa);
+        let da = DoubleArray::from_dfa(&dfa);
+        (dfa, stt, da)
+    }
+
+    #[test]
+    fn equivalent_on_paper_example() {
+        let (_, stt, da) = build(&["he", "she", "his", "hers"]);
+        assert_eq!(da.state_count(), stt.state_count());
+        for s in 0..stt.state_count() as u32 {
+            assert_eq!(da.is_match(s), stt.is_match(s), "flag {s}");
+            for a in 0..=255u8 {
+                assert_eq!(da.next(s, a), stt.next(s, a), "({s},{a})");
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_sparse_automata() {
+        let many: Vec<String> = (0..300).map(|i| format!("needle{i:03}xyz")).collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        let (_, stt, da) = build(&refs);
+        assert!(da.ratio_vs(&stt) > 5.0, "ratio {}", da.ratio_vs(&stt));
+        assert!(da.load_factor() > 0.01);
+    }
+
+    #[test]
+    fn walk_matches_dense_walk() {
+        let (_, stt, da) = build(&["abc", "bcd", "cde", "deab"]);
+        let text = b"abcdeabcdeabcde";
+        let mut s1 = 0u32;
+        let mut s2 = 0u32;
+        for &b in text {
+            s1 = stt.next(s1, b);
+            s2 = da.next(s2, b);
+            assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (_, _, da) = build(&["he", "she"]);
+        let j = serde_json::to_string(&da).unwrap();
+        let back: DoubleArray = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, da);
+    }
+
+    proptest! {
+        /// Double array ≡ dense STT on random machines and probes.
+        #[test]
+        fn double_array_equals_dense(
+            pats in proptest::collection::vec("[abcd]{1,6}", 1..10),
+            probes in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..200),
+        ) {
+            let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+            let (_, stt, da) = build(&refs);
+            for (s_raw, a) in probes {
+                let s = (s_raw as usize % stt.state_count()) as u32;
+                prop_assert_eq!(da.next(s, a), stt.next(s, a));
+                prop_assert_eq!(da.is_match(s), stt.is_match(s));
+            }
+        }
+    }
+}

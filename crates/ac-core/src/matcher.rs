@@ -1,0 +1,180 @@
+//! Serial matching over the STT — the paper's single-CPU-core baseline, and
+//! the semantic oracle for every parallel implementation in the workspace.
+
+use crate::pattern::PatternId;
+use crate::{AcAutomaton, Stt};
+use serde::{Deserialize, Serialize};
+
+/// A single pattern occurrence. `end` is exclusive (`start + pattern length`),
+/// so `&text[start..end]` equals the pattern bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Match {
+    /// Byte offset where the occurrence begins.
+    pub start: usize,
+    /// Byte offset one past the occurrence's last byte.
+    pub end: usize,
+    /// Which pattern matched.
+    pub pattern: PatternId,
+}
+
+/// Find every occurrence of every pattern in `text`, walking the DFA once —
+/// O(n) transitions plus output expansion (paper Fig. 2's loop).
+pub fn find_all(ac: &AcAutomaton, text: &[u8]) -> Vec<Match> {
+    let mut out = Vec::new();
+    let stt = ac.stt();
+    let mut state = 0u32;
+    for (i, &b) in text.iter().enumerate() {
+        state = stt.next(state, b);
+        if stt.is_match(state) {
+            ac.expand_outputs(state, i + 1, &mut out);
+        }
+    }
+    out
+}
+
+/// Count occurrences without materializing them — the measurement loop used
+/// by throughput benchmarks so allocation never contaminates timing.
+pub fn count_all(ac: &AcAutomaton, text: &[u8]) -> u64 {
+    let stt = ac.stt();
+    let mut state = 0u32;
+    let mut count = 0u64;
+    for &b in text {
+        state = stt.next(state, b);
+        if stt.is_match(state) {
+            count += ac.outputs().patterns_at(state).len() as u64;
+        }
+    }
+    count
+}
+
+/// Walk the DFA only, returning the final state. This is the pure
+/// "transition kernel" shared with the GPU implementations: one texture
+/// fetch per byte, no output work. Used for calibrating the timing models.
+pub fn run_dfa(stt: &Stt, mut state: u32, text: &[u8]) -> u32 {
+    for &b in text {
+        state = stt.next(state, b);
+    }
+    state
+}
+
+/// Incremental matcher for streaming input: feed bytes in arbitrary slices,
+/// matches are reported with offsets relative to the whole stream.
+///
+/// The DFA carries all context in its state, so streaming needs no
+/// buffering — the property that also makes the chunked GPU kernels correct
+/// once the overlap rule is applied.
+#[derive(Debug, Clone)]
+pub struct StreamMatcher<'a> {
+    ac: &'a AcAutomaton,
+    state: u32,
+    consumed: usize,
+}
+
+impl<'a> StreamMatcher<'a> {
+    /// Start a stream at offset 0 in the root state.
+    pub fn new(ac: &'a AcAutomaton) -> Self {
+        StreamMatcher { ac, state: 0, consumed: 0 }
+    }
+
+    /// Feed the next slice of the stream, appending matches to `sink`.
+    pub fn feed(&mut self, chunk: &[u8], sink: &mut Vec<Match>) {
+        let stt = self.ac.stt();
+        for (i, &b) in chunk.iter().enumerate() {
+            self.state = stt.next(self.state, b);
+            if stt.is_match(self.state) {
+                self.ac.expand_outputs(self.state, self.consumed + i + 1, sink);
+            }
+        }
+        self.consumed += chunk.len();
+    }
+
+    /// Total bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Current DFA state (diagnostic; also used by chunk hand-off tests).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSet;
+
+    fn ac(pats: &[&str]) -> AcAutomaton {
+        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap())
+    }
+
+    #[test]
+    fn match_slices_equal_patterns() {
+        let ac = ac(&["he", "she", "his", "hers"]);
+        let text = b"ushers and his hers";
+        for m in ac.find_all(text) {
+            assert_eq!(&text[m.start..m.end], ac.patterns().get(m.pattern));
+        }
+    }
+
+    #[test]
+    fn count_matches_find_len() {
+        let ac = ac(&["ab", "abab", "b"]);
+        let text = b"abababab";
+        assert_eq!(count_all(&ac, text) as usize, ac.find_all(text).len());
+    }
+
+    #[test]
+    fn overlapping_occurrences_all_reported() {
+        let ac = ac(&["aa"]);
+        let ms = ac.find_all(b"aaaa");
+        // "aa" occurs at 0..2, 1..3, 2..4.
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn streaming_equals_batch_for_any_split() {
+        let ac = ac(&["he", "she", "his", "hers"]);
+        let text = b"she sells seashells by the seashore; ushers rush";
+        let batch = {
+            let mut v = ac.find_all(text);
+            v.sort();
+            v
+        };
+        for split in 0..text.len() {
+            let mut sm = StreamMatcher::new(&ac);
+            let mut got = Vec::new();
+            sm.feed(&text[..split], &mut got);
+            sm.feed(&text[split..], &mut got);
+            got.sort();
+            assert_eq!(got, batch, "split at {split}");
+            assert_eq!(sm.consumed(), text.len());
+        }
+    }
+
+    #[test]
+    fn run_dfa_matches_stepwise() {
+        let ac = ac(&["abc"]);
+        let stt = ac.stt();
+        let text = b"xxabcx";
+        let mut s = 0;
+        for &b in text {
+            s = stt.next(s, b);
+        }
+        assert_eq!(run_dfa(stt, 0, text), s);
+    }
+
+    #[test]
+    fn no_spurious_matches() {
+        let ac = ac(&["needle"]);
+        assert!(ac.find_all(b"haystack without the word").is_empty());
+    }
+
+    #[test]
+    fn match_at_very_end() {
+        let ac = ac(&["end"]);
+        let ms = ac.find_all(b"the end");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].end, 7);
+    }
+}

@@ -1,0 +1,87 @@
+//! Brute-force O(n·m) multi-pattern matcher.
+//!
+//! Deliberately artless: compare every pattern at every position. Its only
+//! job is to be *obviously correct* so the property-based tests can use it
+//! as the oracle against the DFA, the chunked matchers, PFAC, and the GPU
+//! kernels.
+
+use crate::matcher::Match;
+use crate::pattern::PatternSet;
+
+/// All occurrences of all patterns, by direct comparison.
+pub fn find_all(patterns: &PatternSet, text: &[u8]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for (id, pat) in patterns.iter() {
+        if pat.len() > text.len() {
+            continue;
+        }
+        for start in 0..=(text.len() - pat.len()) {
+            if &text[start..start + pat.len()] == pat {
+                out.push(Match { pattern: id, start, end: start + pat.len() });
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Occurrence count only.
+pub fn count_all(patterns: &PatternSet, text: &[u8]) -> u64 {
+    find_all(patterns, text).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AcAutomaton;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_overlaps_and_duplicates() {
+        let ps = PatternSet::from_strs(&["aa", "aa"]).unwrap();
+        let ms = find_all(&ps, b"aaa");
+        // two positions × two duplicate patterns
+        assert_eq!(ms.len(), 4);
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        let ps = PatternSet::from_strs(&["longpattern"]).unwrap();
+        assert!(find_all(&ps, b"shrt").is_empty());
+    }
+
+    proptest! {
+        /// The central equivalence: the AC DFA reports exactly the matches
+        /// the brute-force oracle reports, on arbitrary binary inputs over a
+        /// small alphabet (small alphabets maximize overlap stress).
+        #[test]
+        fn dfa_equals_naive(
+            pats in proptest::collection::vec("[ab]{1,6}", 1..8),
+            text in "[ab]{0,200}",
+        ) {
+            let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+            let ps = PatternSet::from_strs(&refs).unwrap();
+            let ac = AcAutomaton::build(&ps);
+            let mut got = ac.find_all(text.as_bytes());
+            got.sort();
+            let want = find_all(&ps, text.as_bytes());
+            prop_assert_eq!(got, want);
+        }
+
+        /// Same equivalence over the full byte alphabet with longer, less
+        /// overlapping patterns.
+        #[test]
+        fn dfa_equals_naive_full_alphabet(
+            pats in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..10), 1..6),
+            text in proptest::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let ps = PatternSet::new(pats.iter().map(Vec::as_slice)).unwrap();
+            let ac = AcAutomaton::build(&ps);
+            let mut got = ac.find_all(&text);
+            got.sort();
+            let want = find_all(&ps, &text);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Matching directly on the NFA form (goto + failure at match time).
+//!
+//! The paper's §II presents both machine forms; it implements the DFA
+//! because the GPU wants one fetch per byte. The NFA form trades time
+//! (amortized O(1) but worst-case O(depth) transitions per byte) for a
+//! table that is ~256× smaller — at 20 000 patterns the dense STT is
+//! hundreds of megabytes while the goto trie plus failure links fit in a
+//! few megabytes. This module provides that matcher as the memory-lean
+//! alternative; `bench`'s `automaton` group and the `ablation-texcache`
+//! discussion use it to quantify the trade.
+
+use crate::matcher::Match;
+use crate::nfa::NfaTables;
+use crate::pattern::PatternSet;
+use crate::trie::{Trie, NO_TRANSITION};
+use serde::{Deserialize, Serialize};
+
+/// A compact matcher: trie + failure links + failure-closed outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NfaMatcher {
+    trie: Trie,
+    nfa: NfaTables,
+    patterns: PatternSet,
+}
+
+impl NfaMatcher {
+    /// Build from a pattern set (phase 1 without the DFA conversion).
+    pub fn build(patterns: &PatternSet) -> Self {
+        let trie = Trie::build(patterns);
+        let nfa = NfaTables::build(&trie);
+        NfaMatcher { trie, nfa, patterns: patterns.clone() }
+    }
+
+    /// One transition of the machine: follow goto, falling back through
+    /// failure links until a goto exists or the root loops.
+    #[inline]
+    pub fn step(&self, mut state: u32, byte: u8) -> u32 {
+        loop {
+            let t = self.trie.goto(state, byte);
+            if t != NO_TRANSITION {
+                return t;
+            }
+            if state == 0 {
+                return 0;
+            }
+            state = self.nfa.failure_of(state);
+        }
+    }
+
+    /// Find all matches (identical output contract to
+    /// [`crate::AcAutomaton::find_all`]).
+    pub fn find_all(&self, text: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut state = 0u32;
+        for (i, &b) in text.iter().enumerate() {
+            state = self.step(state, b);
+            for &pid in self.nfa.outputs_of(state) {
+                let len = self.patterns.len_of(pid);
+                out.push(Match { pattern: pid, start: i + 1 - len, end: i + 1 });
+            }
+        }
+        out
+    }
+
+    /// Count matches without materializing.
+    pub fn count_all(&self, text: &[u8]) -> u64 {
+        let mut state = 0u32;
+        let mut n = 0u64;
+        for &b in text {
+            state = self.step(state, b);
+            n += self.nfa.outputs_of(state).len() as u64;
+        }
+        n
+    }
+
+    /// Total failure-link traversals needed to scan `text` — the quantity
+    /// the DFA conversion eliminates (diagnostic for the time/space
+    /// trade).
+    pub fn failure_traversals(&self, text: &[u8]) -> u64 {
+        let mut state = 0u32;
+        let mut fails = 0u64;
+        for &b in text {
+            loop {
+                let t = self.trie.goto(state, b);
+                if t != NO_TRANSITION {
+                    state = t;
+                    break;
+                }
+                if state == 0 {
+                    break;
+                }
+                state = self.nfa.failure_of(state);
+                fails += 1;
+            }
+        }
+        fails
+    }
+
+    /// Memory footprint of the *sparse* encoding this machine needs:
+    /// one `(symbol, target)` edge per real goto transition plus per-state
+    /// failure link and edge-list offset. (The in-memory [`Trie`] keeps
+    /// dense children for O(1) lookups during construction; a deployment
+    /// of the NFA form stores only the edges counted here, which is what
+    /// makes it viable at dictionary sizes whose dense STT is hundreds of
+    /// megabytes.)
+    pub fn size_bytes(&self) -> usize {
+        let edges: usize =
+            (0..self.trie.state_count() as u32).map(|s| self.trie.children_of(s).count()).sum();
+        edges * 5 // 1-byte symbol + 4-byte target
+            + self.trie.state_count() * (4 + 4) // failure link + edge offset
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.trie.state_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive, AcAutomaton};
+    use proptest::prelude::*;
+
+    fn pats(strs: &[&str]) -> PatternSet {
+        PatternSet::from_strs(strs).unwrap()
+    }
+
+    #[test]
+    fn equals_dfa_on_paper_example() {
+        let ps = pats(&["he", "she", "his", "hers"]);
+        let nfa = NfaMatcher::build(&ps);
+        let dfa = AcAutomaton::build(&ps);
+        let text = b"ushers rush to see his hers";
+        let mut a = nfa.find_all(text);
+        a.sort();
+        let mut b = dfa.find_all(text);
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(nfa.count_all(text) as usize, a.len());
+    }
+
+    #[test]
+    fn failure_traversals_counted() {
+        let ps = pats(&["ab", "bc"]);
+        let m = NfaMatcher::build(&ps);
+        // "abc": at 'c' the machine fails from state "ab" to "b" then
+        // continues to "bc" — one failure traversal.
+        assert_eq!(m.failure_traversals(b"abc"), 1);
+        // Pure root loops don't count as failure traversals.
+        assert_eq!(m.failure_traversals(b"zzz"), 0);
+    }
+
+    #[test]
+    fn smaller_than_dense_stt() {
+        let many: Vec<String> = (0..500).map(|i| format!("pattern{i}")).collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        let ps = pats(&refs);
+        let nfa = NfaMatcher::build(&ps);
+        let dfa = AcAutomaton::build(&ps);
+        // Same state count; the sparse NFA tables are orders of magnitude
+        // smaller than the dense 257-column STT.
+        assert_eq!(nfa.state_count(), dfa.state_count());
+        assert!(nfa.size_bytes() * 20 < dfa.stt().size_bytes());
+    }
+
+    proptest! {
+        /// NFA-form matching ≡ brute force on random inputs.
+        #[test]
+        fn nfa_matcher_equals_naive(
+            strs in proptest::collection::vec("[abc]{1,5}", 1..8),
+            text in "[abc]{0,200}",
+        ) {
+            let refs: Vec<&str> = strs.iter().map(String::as_str).collect();
+            let ps = PatternSet::from_strs(&refs).unwrap();
+            let m = NfaMatcher::build(&ps);
+            let mut got = m.find_all(text.as_bytes());
+            got.sort();
+            prop_assert_eq!(got, naive::find_all(&ps, text.as_bytes()));
+        }
+    }
+}

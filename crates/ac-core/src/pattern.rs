@@ -1,0 +1,184 @@
+//! Pattern sets: the "finite set of strings (or dictionary)" of the paper.
+
+use crate::error::AcError;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a pattern inside a [`PatternSet`] (its insertion index).
+pub type PatternId = u32;
+
+/// An immutable, validated collection of byte patterns.
+///
+/// The paper's dictionaries range from 100 to 20 000 patterns extracted from
+/// magazine text; this type holds anything from one pattern up to `u32::MAX`
+/// patterns over the full 256-symbol byte alphabet.
+///
+/// Patterns are stored back-to-back in a single arena with a CSR offsets
+/// array, so a 20 000-pattern dictionary is two allocations, not 20 000.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSet {
+    /// Concatenated pattern bytes.
+    arena: Vec<u8>,
+    /// `offsets[i]..offsets[i+1]` is pattern `i` inside `arena`.
+    offsets: Vec<u32>,
+    /// Length of the longest pattern; drives the chunk overlap *X*.
+    max_len: usize,
+    /// Length of the shortest pattern.
+    min_len: usize,
+}
+
+impl PatternSet {
+    /// Build a pattern set from byte slices. Rejects empty sets and empty
+    /// patterns; duplicates are allowed (they get distinct ids, matching the
+    /// behaviour of running the paper's machine on a dictionary with
+    /// repeated entries).
+    pub fn new<I, P>(patterns: I) -> Result<Self, AcError>
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        let mut arena = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut max_len = 0usize;
+        let mut min_len = usize::MAX;
+        for (index, p) in patterns.into_iter().enumerate() {
+            let bytes = p.as_ref();
+            if bytes.is_empty() {
+                return Err(AcError::EmptyPattern { index });
+            }
+            arena.extend_from_slice(bytes);
+            if arena.len() > u32::MAX as usize {
+                return Err(AcError::CapacityExceeded { what: "total pattern bytes" });
+            }
+            offsets.push(arena.len() as u32);
+            max_len = max_len.max(bytes.len());
+            min_len = min_len.min(bytes.len());
+        }
+        if offsets.len() == 1 {
+            return Err(AcError::EmptyPatternSet);
+        }
+        if offsets.len() - 1 > u32::MAX as usize {
+            return Err(AcError::CapacityExceeded { what: "pattern count" });
+        }
+        Ok(PatternSet { arena, offsets, max_len, min_len })
+    }
+
+    /// Convenience constructor from `&str` slices.
+    pub fn from_strs(patterns: &[&str]) -> Result<Self, AcError> {
+        Self::new(patterns.iter().map(|s| s.as_bytes()))
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the set holds no patterns. Kept for API completeness; a
+    /// successfully constructed set is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes of pattern `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: PatternId) -> &[u8] {
+        let i = id as usize;
+        &self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Pattern bytes as UTF-8, lossy only in tests/debug display contexts.
+    ///
+    /// # Panics
+    /// Panics if the pattern is not valid UTF-8 (use [`Self::get`] for raw
+    /// bytes) or `id` is out of range.
+    pub fn as_str(&self, id: PatternId) -> &str {
+        std::str::from_utf8(self.get(id)).expect("pattern is not UTF-8; use get()")
+    }
+
+    /// Length in bytes of pattern `id`.
+    pub fn len_of(&self, id: PatternId) -> usize {
+        let i = id as usize;
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Longest pattern length (the paper's *X* is derived from this).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Shortest pattern length.
+    pub fn min_len(&self) -> usize {
+        self.min_len
+    }
+
+    /// Total bytes across all patterns — an upper bound on trie node count.
+    pub fn total_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Iterate over `(id, bytes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PatternId, &[u8])> {
+        (0..self.len()).map(move |i| (i as PatternId, self.get(i as PatternId)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let ps = PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap();
+        assert_eq!(ps.len(), 4);
+        assert!(!ps.is_empty());
+        assert_eq!(ps.get(0), b"he");
+        assert_eq!(ps.get(3), b"hers");
+        assert_eq!(ps.as_str(1), "she");
+        assert_eq!(ps.len_of(2), 3);
+        assert_eq!(ps.max_len(), 4);
+        assert_eq!(ps.min_len(), 2);
+        assert_eq!(ps.total_bytes(), 2 + 3 + 3 + 4);
+    }
+
+    #[test]
+    fn rejects_empty_set() {
+        let e = PatternSet::new(std::iter::empty::<&[u8]>()).unwrap_err();
+        assert_eq!(e, AcError::EmptyPatternSet);
+    }
+
+    #[test]
+    fn rejects_empty_pattern() {
+        let e = PatternSet::from_strs(&["ok", "", "also"]).unwrap_err();
+        assert_eq!(e, AcError::EmptyPattern { index: 1 });
+    }
+
+    #[test]
+    fn duplicates_get_distinct_ids() {
+        let ps = PatternSet::from_strs(&["abc", "abc"]).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.get(0), ps.get(1));
+    }
+
+    #[test]
+    fn binary_patterns_allowed() {
+        let ps = PatternSet::new([&[0u8, 255, 7][..], &[128u8][..]]).unwrap();
+        assert_eq!(ps.get(0), &[0, 255, 7]);
+        assert_eq!(ps.min_len(), 1);
+    }
+
+    #[test]
+    fn iter_visits_all_in_order() {
+        let ps = PatternSet::from_strs(&["a", "bb", "ccc"]).unwrap();
+        let collected: Vec<_> = ps.iter().map(|(id, b)| (id, b.len())).collect();
+        assert_eq!(collected, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ps = PatternSet::from_strs(&["he", "she"]).unwrap();
+        let j = serde_json::to_string(&ps).unwrap();
+        let back: PatternSet = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, ps);
+    }
+}

@@ -1,0 +1,157 @@
+//! The dense **State Transition Table** (paper Fig. 5).
+//!
+//! A 2-D matrix with one row per DFA state and 257 columns: column 0 is the
+//! match flag "M" (1 if entering this state recognizes at least one
+//! pattern), columns 1..=256 hold `δ(state, symbol)` for the 256 byte
+//! symbols. This is exactly the structure the paper copies into GPU texture
+//! memory, and its 2-D layout is what the texture cache's 2-D spatial
+//! optimization exploits.
+
+use crate::dfa::Dfa;
+use crate::trie::ALPHABET;
+use serde::{Deserialize, Serialize};
+
+/// Column index of the match flag (the "M" column of paper Fig. 5).
+pub const MATCH_COLUMN: usize = 0;
+
+/// Total columns: the match flag plus the 256 symbol columns.
+pub const STT_COLUMNS: usize = ALPHABET + 1;
+
+/// Row-major dense state transition table.
+///
+/// Entries are `u32`: for symbol columns the next state id, for the match
+/// column 0 or 1. Rows are `STT_COLUMNS` entries wide, so the byte stride
+/// between consecutive states is `257 * 4 = 1028` bytes — the number the
+/// texture-cache model in `gpu-sim` sees.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stt {
+    entries: Vec<u32>,
+    state_count: usize,
+}
+
+impl Stt {
+    /// Materialize the table from a built DFA.
+    pub fn from_dfa(dfa: &Dfa) -> Self {
+        let n = dfa.state_count();
+        let mut entries = Vec::with_capacity(n * STT_COLUMNS);
+        for s in 0..n as u32 {
+            entries.push(dfa.is_accepting(s) as u32);
+            entries.extend_from_slice(dfa.row(s));
+        }
+        Stt { entries, state_count: n }
+    }
+
+    /// `δ(state, symbol)`.
+    #[inline]
+    pub fn next(&self, state: u32, symbol: u8) -> u32 {
+        self.entries[state as usize * STT_COLUMNS + 1 + symbol as usize]
+    }
+
+    /// Match flag of `state` (column "M").
+    #[inline]
+    pub fn is_match(&self, state: u32) -> bool {
+        self.entries[state as usize * STT_COLUMNS + MATCH_COLUMN] != 0
+    }
+
+    /// Number of states (rows).
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Number of columns (always [`STT_COLUMNS`]; provided for symmetry with
+    /// the texture-layout code).
+    pub fn column_count(&self) -> usize {
+        STT_COLUMNS
+    }
+
+    /// Size of the table in bytes — what gets copied to the device and what
+    /// determines texture-cache pressure as the pattern count grows (§V.B).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Raw row-major entries; the GPU host code uploads this slice into
+    /// simulated texture memory without copying per element.
+    pub fn raw(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// Read an arbitrary (row, col) element; used by the texture-memory
+    /// shim and by tests. Panics on out-of-range indices.
+    #[inline]
+    pub fn element(&self, row: u32, col: u32) -> u32 {
+        assert!((col as usize) < STT_COLUMNS, "STT column out of range");
+        self.entries[row as usize * STT_COLUMNS + col as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::NfaTables;
+    use crate::pattern::PatternSet;
+    use crate::trie::Trie;
+
+    fn stt_for(pats: &[&str]) -> (Dfa, Stt) {
+        let ps = PatternSet::from_strs(pats).unwrap();
+        let trie = Trie::build(&ps);
+        let nfa = NfaTables::build(&trie);
+        let dfa = Dfa::build(&trie, &nfa);
+        let stt = Stt::from_dfa(&dfa);
+        (dfa, stt)
+    }
+
+    #[test]
+    fn agrees_with_dfa_everywhere() {
+        let (dfa, stt) = stt_for(&["he", "she", "his", "hers"]);
+        assert_eq!(stt.state_count(), dfa.state_count());
+        for s in 0..dfa.state_count() as u32 {
+            assert_eq!(stt.is_match(s), dfa.is_accepting(s));
+            for a in 0..=255u8 {
+                assert_eq!(stt.next(s, a), dfa.next(s, a));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_dimensions() {
+        let (_, stt) = stt_for(&["he", "she", "his", "hers"]);
+        assert_eq!(stt.column_count(), 257);
+        assert_eq!(stt.state_count(), 10);
+        assert_eq!(stt.size_bytes(), 10 * 257 * 4);
+    }
+
+    #[test]
+    fn match_column_is_column_zero() {
+        let (_, stt) = stt_for(&["a"]);
+        // state 1 (after 'a') is accepting.
+        assert_eq!(stt.element(1, MATCH_COLUMN as u32), 1);
+        assert_eq!(stt.element(0, MATCH_COLUMN as u32), 0);
+        // symbol columns are shifted by one.
+        assert_eq!(stt.element(0, 1 + b'a' as u32), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn element_rejects_bad_column() {
+        let (_, stt) = stt_for(&["a"]);
+        stt.element(0, 257);
+    }
+
+    #[test]
+    fn size_grows_with_pattern_count() {
+        // The mechanism behind the paper's throughput-vs-pattern-count
+        // trends: more patterns → more states → bigger table.
+        let (_, small) = stt_for(&["ab"]);
+        let (_, large) = stt_for(&["ab", "cd", "ef", "gh", "ijkl", "mnop"]);
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (_, stt) = stt_for(&["he", "she"]);
+        let j = serde_json::to_string(&stt).unwrap();
+        let back: Stt = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, stt);
+    }
+}

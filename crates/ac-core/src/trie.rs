@@ -1,0 +1,186 @@
+//! The keyword trie — the paper's *goto* function `g` (Fig. 1a).
+//!
+//! States are numbered in insertion order with the root as state 0, exactly
+//! like the running example of the paper (patterns {he, she, his, hers}
+//! produce states 0..=9).
+
+use crate::pattern::{PatternId, PatternSet};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel meaning "no goto transition" (the *fail* message of the paper's
+/// goto function). Never a valid state id: construction rejects automata
+/// with `u32::MAX` states long before this could collide.
+pub const NO_TRANSITION: u32 = u32::MAX;
+
+/// Number of input symbols — the paper maps inputs to the 256 ASCII codes.
+pub const ALPHABET: usize = 256;
+
+/// The goto trie for a pattern set.
+///
+/// `children` is a flattened `state_count × 256` table: entry
+/// `children[s * 256 + a]` is `g(s, a)` or [`NO_TRANSITION`]. The root is
+/// special-cased at match time (the AC machine has `g(0, σ) ≠ fail` for all
+/// σ — missing root transitions loop back to the root), which keeps this
+/// table a pure trie and leaves the loop-back to the DFA construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trie {
+    children: Vec<u32>,
+    /// Patterns terminating exactly at each state (before failure-closure).
+    terminal: Vec<Vec<PatternId>>,
+    /// Depth of each state in the trie = length of the string spelling it.
+    depth: Vec<u32>,
+}
+
+impl Trie {
+    /// Insert every pattern of `patterns`, sharing prefixes.
+    pub fn build(patterns: &PatternSet) -> Self {
+        // Reserve for the worst case (no shared prefixes) to avoid
+        // re-allocating the large flattened table repeatedly.
+        let upper = patterns.total_bytes() + 1;
+        let mut trie = Trie {
+            children: Vec::with_capacity(upper.min(1 << 20) * ALPHABET),
+            terminal: Vec::with_capacity(upper.min(1 << 20)),
+            depth: Vec::with_capacity(upper.min(1 << 20)),
+        };
+        trie.push_state(0);
+        for (id, bytes) in patterns.iter() {
+            let mut s = 0u32;
+            for (i, &b) in bytes.iter().enumerate() {
+                let slot = s as usize * ALPHABET + b as usize;
+                let next = trie.children[slot];
+                s = if next == NO_TRANSITION {
+                    let fresh = trie.push_state(i as u32 + 1);
+                    trie.children[slot] = fresh;
+                    fresh
+                } else {
+                    next
+                };
+            }
+            trie.terminal[s as usize].push(id);
+        }
+        trie
+    }
+
+    fn push_state(&mut self, depth: u32) -> u32 {
+        let id = self.terminal.len() as u32;
+        self.children.extend(std::iter::repeat_n(NO_TRANSITION, ALPHABET));
+        self.terminal.push(Vec::new());
+        self.depth.push(depth);
+        id
+    }
+
+    /// `g(state, symbol)`: the child reached on `symbol`, or
+    /// [`NO_TRANSITION`].
+    #[inline]
+    pub fn goto(&self, state: u32, symbol: u8) -> u32 {
+        self.children[state as usize * ALPHABET + symbol as usize]
+    }
+
+    /// Number of trie states (including the root).
+    pub fn state_count(&self) -> usize {
+        self.terminal.len()
+    }
+
+    /// Patterns whose last byte is consumed entering `state` (no
+    /// failure-closure applied — see [`crate::NfaTables`] for the closed
+    /// output sets).
+    pub fn terminal_patterns(&self, state: u32) -> &[PatternId] {
+        &self.terminal[state as usize]
+    }
+
+    /// Depth of `state` = number of bytes on the root path.
+    pub fn depth(&self, state: u32) -> u32 {
+        self.depth[state as usize]
+    }
+
+    /// Iterate the children of `state` as `(symbol, child)` pairs.
+    pub fn children_of(&self, state: u32) -> impl Iterator<Item = (u8, u32)> + '_ {
+        let base = state as usize * ALPHABET;
+        self.children[base..base + ALPHABET]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != NO_TRANSITION)
+            .map(|(a, &c)| (a as u8, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_trie() -> Trie {
+        let ps = PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap();
+        Trie::build(&ps)
+    }
+
+    #[test]
+    fn paper_example_has_ten_states() {
+        // {he, she, his, hers}: root + h,e + s,h,e + i,s + r,s = 10 states,
+        // matching Fig. 1(a) of the paper.
+        assert_eq!(paper_trie().state_count(), 10);
+    }
+
+    #[test]
+    fn shared_prefixes_reuse_states() {
+        // "he" and "hers" share the "he" prefix; "his" shares only "h".
+        let t = paper_trie();
+        let h = t.goto(0, b'h');
+        assert_ne!(h, NO_TRANSITION);
+        let he = t.goto(h, b'e');
+        let hi = t.goto(h, b'i');
+        assert_ne!(he, NO_TRANSITION);
+        assert_ne!(hi, NO_TRANSITION);
+        assert_ne!(he, hi);
+        // "hers" continues from the "he" state.
+        assert_ne!(t.goto(he, b'r'), NO_TRANSITION);
+    }
+
+    #[test]
+    fn missing_transitions_fail() {
+        let t = paper_trie();
+        assert_eq!(t.goto(0, b'z'), NO_TRANSITION);
+        let h = t.goto(0, b'h');
+        assert_eq!(t.goto(h, b'h'), NO_TRANSITION);
+    }
+
+    #[test]
+    fn terminal_patterns_at_leaves() {
+        let t = paper_trie();
+        let mut s = 0;
+        for &b in b"she" {
+            s = t.goto(s, b);
+        }
+        // Only "she" (id 1) terminates here; "he" is added by failure
+        // closure later, not by the trie.
+        assert_eq!(t.terminal_patterns(s), &[1]);
+    }
+
+    #[test]
+    fn depth_tracks_path_length() {
+        let t = paper_trie();
+        assert_eq!(t.depth(0), 0);
+        let mut s = 0;
+        for (i, &b) in b"hers".iter().enumerate() {
+            s = t.goto(s, b);
+            assert_eq!(t.depth(s), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn children_of_enumerates_sorted_symbols() {
+        let t = paper_trie();
+        let kids: Vec<_> = t.children_of(0).collect();
+        // Root has exactly 'h' and 's' children.
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].0, b'h');
+        assert_eq!(kids[1].0, b's');
+    }
+
+    #[test]
+    fn duplicate_patterns_share_terminal_state() {
+        let ps = PatternSet::from_strs(&["ab", "ab"]).unwrap();
+        let t = Trie::build(&ps);
+        let s = t.goto(t.goto(0, b'a'), b'b');
+        assert_eq!(t.terminal_patterns(s), &[0, 1]);
+    }
+}

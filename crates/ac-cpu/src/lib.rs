@@ -1,0 +1,25 @@
+//! # ac-cpu — real host-side Aho-Corasick matchers
+//!
+//! Where `cpu-sim` *models* the paper's serial baseline, this crate *runs*
+//! real matchers on the host and measures wall-clock time:
+//!
+//! * [`serial`] — the single-core matcher (a thin measured wrapper over
+//!   `ac-core`'s DFA walk),
+//! * [`parallel`] — a chunked multithreaded matcher built on crossbeam
+//!   scoped threads, using the same X-byte-overlap chunking contract as the
+//!   GPU kernels (this is the "best multithreaded implementation on a
+//!   multicore processor" baseline that related work like Zha & Sahni
+//!   compares against),
+//! * [`interleaved`] — single-core multi-stream matching (the ILP latency-
+//!   hiding trick of the Cell-processor related work).
+//!
+//! Both produce identical match sets to `AcAutomaton::find_all`, which the
+//! property tests pin down.
+
+pub mod interleaved;
+pub mod parallel;
+pub mod serial;
+
+pub use interleaved::{interleaved_count, interleaved_find_all};
+pub use parallel::{par_find_all, ParallelConfig};
+pub use serial::{find_all_timed, TimedRun};

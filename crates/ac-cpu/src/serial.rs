@@ -1,0 +1,66 @@
+//! Measured serial matching.
+
+use ac_core::{AcAutomaton, Match};
+use std::time::{Duration, Instant};
+
+/// A measured serial run.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// The matches found.
+    pub matches: Vec<Match>,
+    /// Wall-clock duration of the matching loop only (automaton
+    /// construction and input generation excluded, as the paper excludes
+    /// STT construction and copies from its measurements).
+    pub elapsed: Duration,
+    /// Bytes scanned.
+    pub bytes: usize,
+}
+
+impl TimedRun {
+    /// Throughput in Gbit/s.
+    pub fn gbps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / self.elapsed.as_secs_f64() / 1.0e9
+    }
+}
+
+/// Run the serial matcher under a wall clock.
+pub fn find_all_timed(ac: &AcAutomaton, text: &[u8]) -> TimedRun {
+    let start = Instant::now();
+    let matches = ac.find_all(text);
+    let elapsed = start.elapsed();
+    TimedRun { matches, elapsed, bytes: text.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::PatternSet;
+
+    #[test]
+    fn timed_run_matches_untimed() {
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["he", "she"]).unwrap());
+        let text = b"ushers she he";
+        let r = find_all_timed(&ac, text);
+        assert_eq!(r.matches, ac.find_all(text));
+        assert_eq!(r.bytes, text.len());
+    }
+
+    #[test]
+    fn gbps_zero_for_empty() {
+        let r = TimedRun { matches: vec![], elapsed: Duration::ZERO, bytes: 0 };
+        assert_eq!(r.gbps(), 0.0);
+    }
+
+    #[test]
+    fn gbps_computes_units() {
+        let r = TimedRun {
+            matches: vec![],
+            elapsed: Duration::from_secs(1),
+            bytes: 125_000_000, // 1 Gbit
+        };
+        assert!((r.gbps() - 1.0).abs() < 1e-9);
+    }
+}

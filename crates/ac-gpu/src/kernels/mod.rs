@@ -1,0 +1,267 @@
+//! The warp-program kernels: the paper's two approaches (§IV.B.3), the two
+//! degraded staging variants that Fig. 23 compares against, and the PFAC
+//! related-work baseline.
+
+pub mod compressed;
+pub mod global_only;
+pub mod pfac;
+pub mod shared;
+
+pub use compressed::{CompressedKernel, DeviceCompressedStt};
+pub use global_only::GlobalOnlyKernel;
+pub use pfac::PfacKernel;
+pub use shared::{SharedKernel, SharedVariant};
+
+use crate::layout::Plan;
+use crate::upload::{MATCH_BIT, STATE_MASK};
+use gpu_sim::WarpGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic cycles charged per byte-load iteration of the matching loop
+/// beyond the memory instruction itself: address computation and the loop
+/// branch. Calibrated so the simulated shared-memory kernel's peak
+/// throughput lands near the paper's measured range (see EXPERIMENTS.md).
+pub(crate) const BYTE_LOAD_OVERHEAD: u32 = 2;
+
+/// Arithmetic cycles charged per transition iteration: byte extraction,
+/// texture-coordinate setup, state update, match predicate.
+pub(crate) const TRANSITION_OVERHEAD: u32 = 6;
+
+/// A raw match event reported by a kernel: the DFA entered a matching
+/// state. The host expands the state's output set into concrete pattern
+/// occurrences and applies the chunk-ownership filter (see
+/// `runner::expand_events`). This mirrors the CUDA implementations, which
+/// write (position, state) pairs to an output buffer and post-process on
+/// the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchEvent {
+    /// Global thread id that observed the match (identifies the owned
+    /// chunk, or the anchor position for PFAC).
+    pub thread: u64,
+    /// Matching state (mask already applied).
+    pub state: u32,
+    /// Exclusive end offset of the match in the input.
+    pub end: u64,
+}
+
+/// Per-lane DFA-walk state shared by the chunked kernels (global-only and
+/// shared-memory): cursors, scan bounds, automaton states, and the event
+/// sink.
+#[derive(Debug)]
+pub(crate) struct MatchLanes {
+    /// Next absolute byte offset each lane will consume.
+    pub pos: Vec<u64>,
+    /// Exclusive end of each lane's scan window (owned end + overlap).
+    pub scan_end: Vec<u64>,
+    /// Current DFA state per lane.
+    pub state: Vec<u32>,
+    /// Byte fetched for the pending transition, per lane.
+    pub byte: Vec<u8>,
+    /// Which lanes matched on the last applied transition (drives the
+    /// divergent result-write instruction).
+    pub matched: Vec<bool>,
+    /// Recorded events (when `record` is set).
+    pub events: Vec<MatchEvent>,
+    /// Total matching positions observed (always counted).
+    pub event_count: u64,
+    /// Whether to materialize `events` (benches turn this off to bound
+    /// memory at paper-scale inputs; timing is unaffected because the
+    /// result-write instructions are issued either way).
+    pub record: bool,
+}
+
+impl MatchLanes {
+    /// Initialize lanes from the plan's per-thread ranges.
+    pub fn new(geom: &WarpGeometry, plan: &Plan, record: bool) -> Self {
+        let n = geom.warp_size as usize;
+        let mut pos = Vec::with_capacity(n);
+        let mut scan_end = Vec::with_capacity(n);
+        for lane in 0..n {
+            let t = geom.global_thread(lane as u32);
+            let (start, _) = plan.owned_range(t);
+            pos.push(start);
+            scan_end.push(plan.scan_end(t));
+        }
+        MatchLanes {
+            pos,
+            scan_end,
+            state: vec![0; n],
+            byte: vec![0; n],
+            matched: vec![false; n],
+            events: Vec::new(),
+            event_count: 0,
+            record,
+        }
+    }
+
+    /// Whether a lane still has bytes to scan.
+    #[inline]
+    pub fn active(&self, lane: usize) -> bool {
+        self.pos[lane] < self.scan_end[lane]
+    }
+
+    /// Whether every lane has finished its window.
+    pub fn all_done(&self) -> bool {
+        (0..self.pos.len()).all(|l| !self.active(l))
+    }
+
+    /// Fill `coords` with the `(state_row, 1 + byte)` texel of each active
+    /// lane — the STT lookup of paper Fig. 5 (symbol columns are shifted
+    /// by the match-flag column).
+    pub fn fill_tex_coords(&self, coords: &mut [Option<(u32, u32)>]) {
+        for (lane, coord) in coords.iter_mut().enumerate().take(self.pos.len()) {
+            *coord = if self.active(lane) {
+                Some((self.state[lane], 1 + self.byte[lane] as u32))
+            } else {
+                None
+            };
+        }
+    }
+
+    /// Apply fetched transition entries: update states, record matches,
+    /// advance cursors. Returns true if any lane entered a matching state
+    /// (the kernels then issue the result-write instruction).
+    pub fn apply_transitions(&mut self, geom: &WarpGeometry, fetched: &[u32]) -> bool {
+        let mut any = false;
+        for (lane, &e) in fetched.iter().enumerate().take(self.pos.len()) {
+            self.matched[lane] = false;
+            if !self.active(lane) {
+                continue;
+            }
+            self.state[lane] = e & STATE_MASK;
+            let end = self.pos[lane] + 1;
+            if e & MATCH_BIT != 0 {
+                any = true;
+                self.matched[lane] = true;
+                self.event_count += 1;
+                if self.record {
+                    self.events.push(MatchEvent {
+                        thread: geom.global_thread(lane as u32),
+                        state: e & STATE_MASK,
+                        end,
+                    });
+                }
+            }
+            self.pos[lane] = end;
+        }
+        any
+    }
+
+    /// Release scratch capacity once the warp finishes (retired programs
+    /// are kept alive until host readback; only the events matter then).
+    pub fn shrink(&mut self) {
+        self.pos = Vec::new();
+        self.scan_end = Vec::new();
+        self.state = Vec::new();
+        self.byte = Vec::new();
+        self.matched = Vec::new();
+        self.events.shrink_to_fit();
+    }
+}
+
+/// Reusable per-warp scratch buffers (avoid per-step allocation in the
+/// simulator's hottest loop).
+#[derive(Debug)]
+pub(crate) struct Scratch {
+    pub addrs: Vec<Option<u64>>,
+    pub coords: Vec<Option<(u32, u32)>>,
+    pub words: Vec<u32>,
+    pub writes: Vec<Option<(u64, u32)>>,
+}
+
+impl Scratch {
+    pub fn new(warp_size: u32) -> Self {
+        let n = warp_size as usize;
+        Scratch {
+            addrs: vec![None; n],
+            coords: vec![None; n],
+            words: vec![0; n],
+            writes: vec![None; n],
+        }
+    }
+
+    pub fn shrink(&mut self) {
+        *self = Scratch {
+            addrs: Vec::new(),
+            coords: Vec::new(),
+            words: Vec::new(),
+            writes: Vec::new(),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{KernelParams, Plan};
+    use ac_core::{AcAutomaton, PatternSet};
+    use gpu_sim::GpuConfig;
+
+    fn rig() -> (WarpGeometry, Plan) {
+        let cfg = GpuConfig::gtx285();
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["he", "hers"]).unwrap());
+        let params = KernelParams { threads_per_block: 32, global_chunk_bytes: 8, shared_chunk_bytes: 64 };
+        let plan = Plan::global_only(&params, &cfg, &ac, 100).unwrap();
+        let geom = WarpGeometry {
+            block_id: 0,
+            warp_in_block: 0,
+            warp_size: 32,
+            threads_per_block: 32,
+            grid_blocks: plan.launch.grid_blocks,
+        };
+        (geom, plan)
+    }
+
+    #[test]
+    fn lanes_initialized_from_plan() {
+        let (geom, plan) = rig();
+        let lanes = MatchLanes::new(&geom, &plan, true);
+        assert_eq!(lanes.pos[0], 0);
+        assert_eq!(lanes.pos[1], 8);
+        // overlap = 3 ("hers" − 1)
+        assert_eq!(lanes.scan_end[0], 11);
+        // Lane 13 starts beyond the 100-byte text → inactive immediately.
+        assert_eq!(lanes.pos[13], 100);
+        assert!(!lanes.active(13));
+        assert!(lanes.active(0));
+        assert!(!lanes.all_done());
+    }
+
+    #[test]
+    fn apply_transitions_records_and_advances() {
+        let (geom, plan) = rig();
+        let mut lanes = MatchLanes::new(&geom, &plan, true);
+        let mut fetched = vec![0u32; 32];
+        fetched[0] = 5 | MATCH_BIT;
+        fetched[1] = 2;
+        let any = lanes.apply_transitions(&geom, &fetched);
+        assert!(any);
+        assert_eq!(lanes.event_count, 1);
+        assert_eq!(lanes.events.len(), 1);
+        assert_eq!(lanes.events[0], MatchEvent { thread: 0, state: 5, end: 1 });
+        assert_eq!(lanes.state[0], 5);
+        assert_eq!(lanes.pos[0], 1);
+        assert_eq!(lanes.pos[1], 9);
+    }
+
+    #[test]
+    fn count_only_mode_skips_event_storage() {
+        let (geom, plan) = rig();
+        let mut lanes = MatchLanes::new(&geom, &plan, false);
+        let fetched = vec![MATCH_BIT | 1; 32];
+        lanes.apply_transitions(&geom, &fetched);
+        assert!(lanes.events.is_empty());
+        assert!(lanes.event_count > 0);
+    }
+
+    #[test]
+    fn tex_coords_skip_inactive() {
+        let (geom, plan) = rig();
+        let mut lanes = MatchLanes::new(&geom, &plan, true);
+        lanes.byte[0] = b'h';
+        let mut coords = vec![None; 32];
+        lanes.fill_tex_coords(&mut coords);
+        assert_eq!(coords[0], Some((0, 1 + b'h' as u32)));
+        assert_eq!(coords[13], None);
+    }
+}

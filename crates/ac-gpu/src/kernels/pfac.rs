@@ -1,0 +1,206 @@
+//! The Parallel Failureless AC kernel (Lin et al.), the related-work
+//! baseline of paper §IV.A: one logical thread per input byte, each
+//! walking the pure goto trie until its first missing transition.
+//!
+//! Compared to the paper's chunked kernels, PFAC launches vastly more
+//! threads (one per byte) but each dies quickly; warps suffer divergence
+//! as their lanes' walks end at different depths, and every byte of input
+//! is read `walk_length` times from global memory. The `repro
+//! ablation-pfac` experiment quantifies that trade.
+
+use crate::kernels::{MatchEvent, Scratch};
+use crate::upload::{MATCH_BIT, PFAC_STOP, STATE_MASK};
+use gpu_sim::{StepOutcome, TexId, WarpCtx, WarpGeometry, WarpProgram};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    LoadByte,
+    Transition,
+    ReportMatches,
+    Done,
+}
+
+/// Warp program for PFAC: lane `l` anchors at input offset
+/// `global_thread(l)`.
+#[derive(Debug)]
+pub struct PfacKernel {
+    geom: WarpGeometry,
+    text_len: u64,
+    text_base: u64,
+    out_base: u64,
+    tex: TexId,
+    phase: Phase,
+    /// Per-lane walk offset (bytes consumed from the anchor); `u64::MAX`
+    /// marks a dead lane.
+    off: Vec<u64>,
+    state: Vec<u32>,
+    byte: Vec<u8>,
+    matched: Vec<bool>,
+    scratch: Scratch,
+    events: Vec<MatchEvent>,
+    event_count: u64,
+    record: bool,
+}
+
+impl PfacKernel {
+    /// Build the warp's program.
+    pub fn new(
+        geom: WarpGeometry,
+        text_len: u64,
+        text_base: u64,
+        out_base: u64,
+        tex: TexId,
+        record_events: bool,
+    ) -> Self {
+        let n = geom.warp_size as usize;
+        let mut off = vec![0u64; n];
+        for (lane, o) in off.iter_mut().enumerate() {
+            if geom.global_thread(lane as u32) >= text_len {
+                *o = u64::MAX; // anchor beyond the text: never active
+            }
+        }
+        PfacKernel {
+            geom,
+            text_len,
+            text_base,
+            out_base,
+            tex,
+            phase: Phase::LoadByte,
+            off,
+            state: vec![0; n],
+            byte: vec![0; n],
+            matched: vec![false; n],
+            scratch: Scratch::new(geom.warp_size),
+            events: Vec::new(),
+            event_count: 0,
+            record: record_events,
+        }
+    }
+
+    /// The accumulated match events.
+    pub fn take_results(&mut self) -> (Vec<MatchEvent>, u64) {
+        (std::mem::take(&mut self.events), self.event_count)
+    }
+
+    #[inline]
+    fn active(&self, lane: usize) -> bool {
+        let o = self.off[lane];
+        o != u64::MAX && self.geom.global_thread(lane as u32) + o < self.text_len
+    }
+
+    fn finish(&mut self) -> StepOutcome {
+        self.phase = Phase::Done;
+        self.off = Vec::new();
+        self.state = Vec::new();
+        self.byte = Vec::new();
+        self.matched = Vec::new();
+        self.scratch.shrink();
+        self.events.shrink_to_fit();
+        StepOutcome::Finished
+    }
+}
+
+impl WarpProgram for PfacKernel {
+    fn step(&mut self, ctx: &mut WarpCtx<'_>) -> StepOutcome {
+        let n = self.geom.warp_size as usize;
+        match self.phase {
+            Phase::LoadByte => {
+                if (0..n).all(|l| !self.active(l)) {
+                    return self.finish();
+                }
+                for lane in 0..n {
+                    self.scratch.addrs[lane] = if self.active(lane) {
+                        let t = self.geom.global_thread(lane as u32);
+                        Some(self.text_base + t + self.off[lane])
+                    } else {
+                        None
+                    };
+                }
+                ctx.global_read_u8(&self.scratch.addrs, &mut self.byte);
+                ctx.compute(super::BYTE_LOAD_OVERHEAD);
+                self.phase = Phase::Transition;
+                StepOutcome::Continue
+            }
+            Phase::Transition => {
+                for lane in 0..n {
+                    self.scratch.coords[lane] = if self.active(lane) {
+                        Some((self.state[lane], 1 + self.byte[lane] as u32))
+                    } else {
+                        None
+                    };
+                }
+                ctx.tex_fetch(self.tex, &self.scratch.coords, &mut self.scratch.words);
+                ctx.compute(super::TRANSITION_OVERHEAD);
+                let mut any = false;
+                for lane in 0..n {
+                    self.matched[lane] = false;
+                    if !self.active(lane) {
+                        continue;
+                    }
+                    let e = self.scratch.words[lane];
+                    if e == PFAC_STOP {
+                        self.off[lane] = u64::MAX; // walk dies
+                        continue;
+                    }
+                    self.state[lane] = e & STATE_MASK;
+                    let anchor = self.geom.global_thread(lane as u32);
+                    self.off[lane] += 1;
+                    if e & MATCH_BIT != 0 {
+                        any = true;
+                        self.matched[lane] = true;
+                        self.event_count += 1;
+                        if self.record {
+                            self.events.push(MatchEvent {
+                                thread: anchor,
+                                state: e & STATE_MASK,
+                                end: anchor + self.off[lane],
+                            });
+                        }
+                    }
+                }
+                self.phase = if any { Phase::ReportMatches } else { Phase::LoadByte };
+                StepOutcome::Continue
+            }
+            Phase::ReportMatches => {
+                for lane in 0..n {
+                    self.scratch.writes[lane] = if self.matched[lane] {
+                        let t = self.geom.global_thread(lane as u32);
+                        Some((self.out_base + t * 4, self.off[lane] as u32))
+                    } else {
+                        None
+                    };
+                }
+                ctx.global_write_u32(&self.scratch.writes);
+                self.phase = Phase::LoadByte;
+                StepOutcome::Continue
+            }
+            Phase::Done => unreachable!("stepped a finished warp"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::layout::KernelParams;
+    use crate::runner::tests_support::build_rig;
+    use crate::runner::Approach;
+    use gpu_sim::GpuConfig;
+
+    #[test]
+    fn pfac_finds_paper_matches() {
+        let cfg = GpuConfig::gtx285();
+        let params =
+            KernelParams { threads_per_block: 32, global_chunk_bytes: 8, shared_chunk_bytes: 64 };
+        let (matches, stats) = build_rig(
+            &cfg,
+            &params,
+            &["he", "she", "his", "hers"],
+            b"ushers and his hers she",
+            Approach::Pfac,
+        );
+        assert!(!matches.is_empty());
+        assert!(stats.cycles > 0);
+        // No barriers in PFAC: there is no staging phase.
+        assert_eq!(stats.totals.barriers, 0);
+    }
+}

@@ -1,0 +1,397 @@
+//! Host-side launch planning: chunk sizes, grid geometry, and the shared
+//! staging layout (including the paper's diagonal bank mapping).
+
+use ac_core::AcAutomaton;
+use gpu_sim::{GpuConfig, LaunchConfig};
+use serde::{Deserialize, Serialize};
+
+/// Tunable kernel parameters; defaults follow the paper's description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelParams {
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Bytes owned by each thread in the global-only kernel ("divide the
+    /// input text into many chunks and assign one chunk to each thread").
+    pub global_chunk_bytes: u32,
+    /// Bytes owned by each thread in the shared-memory kernels; the block
+    /// tile is `threads_per_block × shared_chunk_bytes + overlap`, sized to
+    /// the paper's "8~12KB for the input text data out of 16KB".
+    pub shared_chunk_bytes: u32,
+}
+
+impl KernelParams {
+    /// Paper-flavoured defaults for a device: 128-thread blocks; shared
+    /// tile ≈ 8 KB (128 threads × 64-byte chunks); 4 KB global chunks.
+    pub fn defaults_for(cfg: &GpuConfig) -> Self {
+        let threads_per_block = (4 * cfg.warp_size).max(cfg.warp_size);
+        KernelParams { threads_per_block, global_chunk_bytes: 4096, shared_chunk_bytes: 64 }
+    }
+
+    /// Validate against a device and an automaton.
+    pub fn validate(&self, cfg: &GpuConfig, ac: &AcAutomaton) -> Result<(), String> {
+        if self.threads_per_block == 0 || !self.threads_per_block.is_multiple_of(cfg.warp_size) {
+            return Err(format!(
+                "threads_per_block {} must be a positive multiple of warp size {}",
+                self.threads_per_block, cfg.warp_size
+            ));
+        }
+        if self.global_chunk_bytes == 0 {
+            return Err("global_chunk_bytes must be positive".into());
+        }
+        if self.shared_chunk_bytes == 0 || !self.shared_chunk_bytes.is_multiple_of(4) {
+            return Err(format!(
+                "shared_chunk_bytes {} must be a positive multiple of 4 (32-bit staging words)",
+                self.shared_chunk_bytes
+            ));
+        }
+        // The diagonal scheme's conflict-freeness (and the coalescing
+        // contrast the paper measures) requires each chunk to span at
+        // least one half-warp of 32-bit words — the paper's 64-byte
+        // chunks on 16-lane half-warps.
+        let min_chunk = 4 * cfg.half_warp();
+        if self.shared_chunk_bytes < min_chunk {
+            return Err(format!(
+                "shared_chunk_bytes {} must be at least {min_chunk} \
+                 (one half-warp of staging words)",
+                self.shared_chunk_bytes
+            ));
+        }
+        let tile = self.tile_bytes(ac);
+        if tile > cfg.shared_mem_bytes {
+            return Err(format!(
+                "staging tile of {tile} bytes exceeds the {}-byte shared memory; \
+                 reduce shared_chunk_bytes or threads_per_block",
+                cfg.shared_mem_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Shared-memory tile size: the block's owned bytes plus the overlap
+    /// tail (staged so the block's last threads can scan past their chunks
+    /// without touching global memory), rounded up to whole words.
+    pub fn tile_bytes(&self, ac: &AcAutomaton) -> u32 {
+        let owned = self.threads_per_block * self.shared_chunk_bytes;
+        let overlap = ac.required_overlap() as u32;
+        (owned + overlap).next_multiple_of(4)
+    }
+}
+
+/// A fully planned launch for a given input length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Plan {
+    /// The simulator launch geometry.
+    pub launch: LaunchConfig,
+    /// Bytes owned per thread.
+    pub chunk_bytes: u32,
+    /// Scan overlap (the paper's X).
+    pub overlap: u32,
+    /// Input length in bytes.
+    pub text_len: u64,
+}
+
+impl Plan {
+    /// Plan the global-only kernel: one chunk per thread, grid sized to
+    /// cover the text.
+    ///
+    /// `params.global_chunk_bytes` is the *maximum* chunk size; when the
+    /// input is small the chunk shrinks so the grid still fills the
+    /// device (any real CUDA port sizes its grid to the data — a 50 KB
+    /// input split into 4 KB chunks would occupy 13 of 30 720 thread
+    /// slots).
+    pub fn global_only(
+        params: &KernelParams,
+        cfg: &GpuConfig,
+        ac: &AcAutomaton,
+        text_len: u64,
+    ) -> Result<Plan, String> {
+        params.validate(cfg, ac)?;
+        // The paper assigns "one chunk to each thread processor (N-chunks
+        // to a thread block, where N is the number of thread processors
+        // in each thread block)" — blocks sized to the SM's cores (8 on
+        // GT200), not the deep grids of the shared kernel. We realize
+        // that as one-warp blocks with residency capped so each SM holds
+        // about `2 × cores` chunk streams, matching the paper's ~64
+        // threads per SM; this low occupancy is what makes the
+        // global-only approach latency-bound in the paper's data.
+        let tpb = cfg.warp_size;
+        let resident_cap = (2 * cfg.cores_per_sm).div_ceil(tpb).max(2);
+        let target_threads =
+            cfg.num_sms as u64 * resident_cap as u64 * tpb as u64 * 4;
+        // Floor of 256 bytes: two coalescing segments per chunk, so
+        // neighbouring threads' cursors always fall in different segments
+        // — the scattered per-thread walk of Fig. 7. (Shrinking further
+        // would turn the global-only kernel into an accidental coalesced
+        // scheme that no real per-thread-chunk port exhibits.)
+        let fitted = text_len.div_ceil(target_threads).next_multiple_of(16);
+        let floor = 256u64.min(params.global_chunk_bytes as u64);
+        let chunk = fitted.clamp(floor, params.global_chunk_bytes as u64) as u32;
+        let threads_needed = text_len.div_ceil(chunk as u64).max(1);
+        let grid_blocks = threads_needed.div_ceil(tpb as u64).max(1) as u32;
+        let launch = LaunchConfig {
+            grid_blocks,
+            threads_per_block: tpb,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: Some(resident_cap),
+        };
+        launch.validate(cfg)?;
+        Ok(Plan { launch, chunk_bytes: chunk, overlap: ac.required_overlap() as u32, text_len })
+    }
+
+    /// Plan a shared-memory kernel: one tile per block.
+    pub fn shared(
+        params: &KernelParams,
+        cfg: &GpuConfig,
+        ac: &AcAutomaton,
+        text_len: u64,
+    ) -> Result<Plan, String> {
+        params.validate(cfg, ac)?;
+        let tile_owned = params.threads_per_block as u64 * params.shared_chunk_bytes as u64;
+        let grid_blocks = text_len.div_ceil(tile_owned).max(1) as u32;
+        let launch = LaunchConfig {
+            grid_blocks,
+            threads_per_block: params.threads_per_block,
+            shared_bytes_per_block: params.tile_bytes(ac), resident_blocks_cap: None,
+        };
+        launch.validate(cfg)?;
+        Ok(Plan {
+            launch,
+            chunk_bytes: params.shared_chunk_bytes,
+            overlap: ac.required_overlap() as u32,
+            text_len,
+        })
+    }
+
+    /// Owned byte range of a global thread id, clamped to the text.
+    pub fn owned_range(&self, thread: u64) -> (u64, u64) {
+        let start = (thread * self.chunk_bytes as u64).min(self.text_len);
+        let end = (start + self.chunk_bytes as u64).min(self.text_len);
+        (start, end)
+    }
+
+    /// Scan-end (owned end + overlap, clamped) of a global thread id.
+    pub fn scan_end(&self, thread: u64) -> u64 {
+        let (_, end) = self.owned_range(thread);
+        (end + self.overlap as u64).min(self.text_len)
+    }
+}
+
+/// The diagonal store scheme of paper Fig. 11, generalized from the
+/// 16-thread illustration to T threads per block.
+///
+/// The tile's word `w` belongs to chunk `c = w / wpc` at within-chunk word
+/// `j = w % wpc` (`wpc` = words per chunk) and is stored at word index
+/// `j·T + (c + j) mod T`. For any fixed `j`, a half-warp of consecutive
+/// `c` values lands on 16 consecutive word indices modulo `T` — 16
+/// distinct banks — so both the cooperative staging stores and the
+/// per-thread matching loads are conflict-free (paper Fig. 12). Words in
+/// the overlap tail (`w ≥ T·wpc`) keep their linear position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagonalMap {
+    threads: u32,
+    words_per_chunk: u32,
+}
+
+impl DiagonalMap {
+    /// Create the mapping for `threads` chunks of `chunk_bytes` each.
+    ///
+    /// # Panics
+    /// Panics unless `chunk_bytes` is a positive multiple of 4.
+    pub fn new(threads: u32, chunk_bytes: u32) -> Self {
+        assert!(chunk_bytes > 0 && chunk_bytes.is_multiple_of(4), "chunk must be whole words");
+        DiagonalMap { threads, words_per_chunk: chunk_bytes / 4 }
+    }
+
+    /// Map a linear tile word index to its stored word index.
+    #[inline]
+    pub fn map_word(&self, w: u64) -> u64 {
+        let t = self.threads as u64;
+        let wpc = self.words_per_chunk as u64;
+        if w >= t * wpc {
+            return w; // overlap tail stays linear
+        }
+        let c = w / wpc;
+        let j = w % wpc;
+        j * t + (c + j) % t
+    }
+
+    /// Map a linear tile *byte* offset to its stored byte address.
+    #[inline]
+    pub fn map_byte(&self, b: u64) -> u64 {
+        self.map_word(b / 4) * 4 + b % 4
+    }
+}
+
+/// The identity (linear) layout used by the naive and coalescing-only
+/// variants: chunk bytes are stored contiguously per thread, which spreads
+/// each chunk across banks and makes simultaneous per-thread reads collide
+/// (the behaviour paper Fig. 23 quantifies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinearMap;
+
+impl LinearMap {
+    /// Identity mapping.
+    #[inline]
+    pub fn map_byte(&self, b: u64) -> u64 {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::PatternSet;
+
+    fn ac() -> AcAutomaton {
+        AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap())
+    }
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::gtx285()
+    }
+
+    #[test]
+    fn defaults_validate() {
+        let p = KernelParams::defaults_for(&cfg());
+        p.validate(&cfg(), &ac()).unwrap();
+        assert_eq!(p.threads_per_block, 128);
+        // Tile ≈ 8 KB, within the paper's 8–12 KB guidance.
+        let tile = p.tile_bytes(&ac());
+        assert!((8 * 1024..=12 * 1024).contains(&tile), "tile {tile}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut p = KernelParams::defaults_for(&cfg());
+        p.threads_per_block = 33;
+        assert!(p.validate(&cfg(), &ac()).is_err());
+        let mut p = KernelParams::defaults_for(&cfg());
+        p.shared_chunk_bytes = 6;
+        assert!(p.validate(&cfg(), &ac()).is_err());
+        let mut p = KernelParams::defaults_for(&cfg());
+        p.shared_chunk_bytes = 1024; // 128 KB tile
+        assert!(p.validate(&cfg(), &ac()).is_err());
+        let mut p = KernelParams::defaults_for(&cfg());
+        p.global_chunk_bytes = 0;
+        assert!(p.validate(&cfg(), &ac()).is_err());
+    }
+
+    #[test]
+    fn global_plan_covers_text() {
+        let p = KernelParams::defaults_for(&cfg());
+        let plan = Plan::global_only(&p, &cfg(), &ac(), 1_000_000).unwrap();
+        let threads =
+            plan.launch.grid_blocks as u64 * plan.launch.threads_per_block as u64;
+        assert!(threads * plan.chunk_bytes as u64 >= 1_000_000);
+        // Last thread's range clamps to the text.
+        assert_eq!(plan.scan_end(threads - 1), 1_000_000);
+        // Chunks shrink so the device stays occupied, but never below
+        // the 256-byte scatter floor.
+        assert_eq!(plan.chunk_bytes, 256);
+        let (s, e) = plan.owned_range(0);
+        assert_eq!((s, e), (0, 256));
+    }
+
+    #[test]
+    fn global_plan_caps_chunk_at_param_for_huge_inputs() {
+        let p = KernelParams::defaults_for(&cfg());
+        let plan = Plan::global_only(&p, &cfg(), &ac(), 200 * 1024 * 1024).unwrap();
+        // 200 MB / 30 720 threads ≈ 6.8 KB > the 4 KB cap.
+        assert_eq!(plan.chunk_bytes, p.global_chunk_bytes);
+    }
+
+    #[test]
+    fn shared_plan_one_tile_per_block() {
+        let p = KernelParams::defaults_for(&cfg());
+        let plan = Plan::shared(&p, &cfg(), &ac(), 100_000).unwrap();
+        let tile_owned = p.threads_per_block as u64 * p.shared_chunk_bytes as u64;
+        assert_eq!(plan.launch.grid_blocks as u64, 100_000u64.div_ceil(tile_owned));
+        assert_eq!(plan.launch.shared_bytes_per_block, p.tile_bytes(&ac()));
+    }
+
+    #[test]
+    fn empty_text_still_plans_one_block() {
+        let p = KernelParams::defaults_for(&cfg());
+        let plan = Plan::shared(&p, &cfg(), &ac(), 0).unwrap();
+        assert_eq!(plan.launch.grid_blocks, 1);
+        assert_eq!(plan.owned_range(0), (0, 0));
+    }
+
+    #[test]
+    fn diagonal_map_is_a_bijection() {
+        let m = DiagonalMap::new(16, 64); // the paper's illustration size
+        let total = 16u64 * 16; // words
+        let mut seen = vec![false; total as usize];
+        for w in 0..total {
+            let y = m.map_word(w);
+            assert!(y < total);
+            assert!(!seen[y as usize], "collision at {w}");
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn diagonal_map_conflict_free_columns() {
+        // For each within-chunk word j, the 16 chunks' words must land in
+        // 16 distinct banks (paper Fig. 12).
+        let m = DiagonalMap::new(128, 64);
+        for j in 0..16u64 {
+            for hw_start in (0..128).step_by(16) {
+                let mut banks: Vec<u64> =
+                    (hw_start..hw_start + 16).map(|c| m.map_word(c * 16 + j) % 16).collect();
+                banks.sort_unstable();
+                banks.dedup();
+                assert_eq!(banks.len(), 16, "j={j} hw={hw_start}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_overlap_tail_is_linear() {
+        let m = DiagonalMap::new(16, 64);
+        assert_eq!(m.map_word(16 * 16 + 3), 16 * 16 + 3);
+    }
+
+    proptest::proptest! {
+        /// The diagonal mapping is a bijection on the owned tile for any
+        /// legal (threads, chunk) geometry, and per-column half-warps are
+        /// always conflict-free on 16 banks.
+        #[test]
+        fn diagonal_map_properties(
+            t_pow in 0u32..4,          // threads = 16 << t_pow
+            wpc_mul in 1u64..5,        // words per chunk = 16 * wpc_mul
+        ) {
+            let threads = 16u32 << t_pow;
+            let chunk_bytes = 64 * wpc_mul as u32;
+            let m = DiagonalMap::new(threads, chunk_bytes);
+            let total = threads as u64 * (chunk_bytes as u64 / 4);
+            let mut seen = vec![false; total as usize];
+            for w in 0..total {
+                let y = m.map_word(w);
+                proptest::prop_assert!(y < total, "mapped out of range");
+                proptest::prop_assert!(!seen[y as usize], "collision at {}", w);
+                seen[y as usize] = true;
+            }
+            // Conflict-freedom per within-chunk word column.
+            for j in 0..(chunk_bytes as u64 / 4) {
+                for hw in (0..threads as u64).step_by(16) {
+                    let mut banks: Vec<u64> = (hw..hw + 16)
+                        .map(|c| m.map_word(c * (chunk_bytes as u64 / 4) + j) % 16)
+                        .collect();
+                    banks.sort_unstable();
+                    banks.dedup();
+                    proptest::prop_assert_eq!(banks.len(), 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_byte_preserves_within_word_offset() {
+        let m = DiagonalMap::new(16, 64);
+        for b in [0u64, 1, 2, 3, 64, 65, 1000] {
+            assert_eq!(m.map_byte(b) % 4, b % 4);
+        }
+        assert_eq!(LinearMap.map_byte(77), 77);
+    }
+}

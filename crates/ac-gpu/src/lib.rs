@@ -1,0 +1,46 @@
+//! # ac-gpu — Aho-Corasick on the simulated GPU
+//!
+//! The reproduction of the paper's contribution (Tran, Lee, Hong & Choi,
+//! IPPS 2013): high-throughput multi-pattern matching on a GT200-class
+//! GPU, built on the `gpu-sim` substrate:
+//!
+//! * [`upload`] — the STT as a 2-D texture with match flags folded into
+//!   transition entries (paper Fig. 5 layout);
+//! * [`layout`] — launch planning, the X-byte overlap chunking, and the
+//!   diagonal bank-conflict-free store scheme (paper Figs. 10–12);
+//! * [`kernels`] — the warp programs: global-memory-only (Fig. 7), three
+//!   shared-memory staging variants (Figs. 8–12, 23), and the PFAC
+//!   related-work baseline;
+//! * [`runner`] — host orchestration: device setup, launch, match
+//!   expansion with the exactly-once chunk-ownership rule, timing and
+//!   throughput reporting.
+//!
+//! ```
+//! use ac_core::{AcAutomaton, PatternSet};
+//! use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
+//! use gpu_sim::GpuConfig;
+//!
+//! let patterns = PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap();
+//! let ac = AcAutomaton::build(&patterns);
+//! let cfg = GpuConfig::gtx285();
+//! let matcher = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
+//!
+//! let run = matcher.run(b"ushers", Approach::SharedDiagonal).unwrap();
+//! assert_eq!(run.matches.len(), 3); // he, she, hers — as in the paper's §II
+//! println!("simulated {:.2} Gbps", run.gbps());
+//! ```
+
+pub mod kernels;
+pub mod layout;
+pub mod runner;
+pub mod stream;
+pub mod upload;
+
+pub use kernels::{
+    CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel,
+    SharedKernel, SharedVariant,
+};
+pub use layout::{DiagonalMap, KernelParams, LinearMap, Plan};
+pub use runner::{Approach, GpuAcMatcher, GpuRun};
+pub use stream::{run_streamed, PcieConfig, StreamedRun};
+pub use upload::{DevicePfac, DeviceStt, MATCH_BIT, PFAC_STOP, STATE_MASK};

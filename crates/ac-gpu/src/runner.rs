@@ -1,0 +1,467 @@
+//! Host orchestration: upload, launch, readback, match expansion.
+//!
+//! [`GpuAcMatcher`] is the crate's main entry point. It owns the automaton
+//! and its device image; [`GpuAcMatcher::run`] executes one of the five
+//! kernels over an input and returns both the matches (checked against the
+//! CPU oracle in the test suites) and the full timing/statistics record
+//! that the benchmark harness turns into the paper's figures.
+
+use crate::kernels::{
+    CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel,
+    SharedKernel, SharedVariant,
+};
+use crate::layout::{KernelParams, Plan};
+use crate::upload::{DevicePfac, DeviceStt};
+use ac_core::{AcAutomaton, Match, PfacAutomaton};
+use gpu_sim::{GpuConfig, GpuDevice, LaunchConfig, LaunchStats};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Which kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Approach {
+    /// Paper §IV.B.3 first approach: input read directly from global
+    /// memory (Fig. 7).
+    GlobalOnly,
+    /// Shared-memory staging with naive per-thread copies (Fig. 23
+    /// baseline).
+    SharedNaive,
+    /// Shared-memory staging with coalesced loads but linear stores
+    /// (Fig. 23's "memory access coalescing only").
+    SharedCoalescedOnly,
+    /// The paper's proposed kernel: coalesced staging + diagonal
+    /// bank-conflict-free stores (Figs. 8–12).
+    SharedDiagonal,
+    /// The failureless related-work baseline (Lin et al.).
+    Pfac,
+    /// Extension: the shared-memory kernel over a bitmap-compressed STT
+    /// (Zha/Scarpazza/Sahni-style) — ~4× the texture fetches for ~16×
+    /// less texture footprint.
+    SharedCompressed,
+}
+
+impl Approach {
+    /// Stable label used in reports and CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Approach::GlobalOnly => "global-only",
+            Approach::SharedNaive => SharedVariant::Naive.label(),
+            Approach::SharedCoalescedOnly => SharedVariant::CoalescedOnly.label(),
+            Approach::SharedDiagonal => SharedVariant::Diagonal.label(),
+            Approach::Pfac => "pfac",
+            Approach::SharedCompressed => "shared-compressed",
+        }
+    }
+
+    /// All approaches, in report order.
+    pub fn all() -> [Approach; 6] {
+        [
+            Approach::GlobalOnly,
+            Approach::SharedNaive,
+            Approach::SharedCoalescedOnly,
+            Approach::SharedDiagonal,
+            Approach::Pfac,
+            Approach::SharedCompressed,
+        ]
+    }
+}
+
+/// Result of one kernel execution.
+#[derive(Debug, Clone)]
+pub struct GpuRun {
+    /// Which kernel ran.
+    pub approach: Approach,
+    /// Expanded, ownership-filtered, sorted matches. Empty when the run
+    /// was launched in counting mode.
+    pub matches: Vec<Match>,
+    /// Number of (state, position) match events the kernels observed
+    /// (counted even in counting mode; ≥ `matches.len()` is not implied
+    /// because one event can expand to several patterns).
+    pub match_events: u64,
+    /// Launch statistics (cycles, coalescing, conflicts, texture hit
+    /// rate, …).
+    pub stats: LaunchStats,
+    /// Input bytes scanned.
+    pub bytes: usize,
+    /// Device clock used for unit conversion.
+    pub clock_hz: f64,
+}
+
+impl GpuRun {
+    /// Simulated wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.stats.cycles as f64 / self.clock_hz
+    }
+
+    /// Simulated throughput in Gbit/s — the unit of paper Figs. 16–18.
+    pub fn gbps(&self) -> f64 {
+        if self.stats.cycles == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / self.seconds() / 1.0e9
+    }
+}
+
+/// The host-side matcher: an automaton prepared for a device.
+#[derive(Debug)]
+pub struct GpuAcMatcher {
+    cfg: GpuConfig,
+    params: KernelParams,
+    ac: AcAutomaton,
+    dev_stt: DeviceStt,
+    pfac: OnceLock<(PfacAutomaton, DevicePfac)>,
+    compressed: OnceLock<DeviceCompressedStt>,
+}
+
+impl GpuAcMatcher {
+    /// Prepare `ac` for execution on a device described by `cfg`.
+    pub fn new(cfg: GpuConfig, params: KernelParams, ac: AcAutomaton) -> Result<Self, String> {
+        cfg.validate()?;
+        params.validate(&cfg, &ac)?;
+        let dev_stt = DeviceStt::from_automaton(&ac);
+        Ok(GpuAcMatcher {
+            cfg,
+            params,
+            ac,
+            dev_stt,
+            pfac: OnceLock::new(),
+            compressed: OnceLock::new(),
+        })
+    }
+
+    /// The underlying automaton.
+    pub fn automaton(&self) -> &AcAutomaton {
+        &self.ac
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The kernel parameters.
+    pub fn params(&self) -> &KernelParams {
+        &self.params
+    }
+
+    /// Run `approach` over `text`, materializing matches.
+    pub fn run(&self, text: &[u8], approach: Approach) -> Result<GpuRun, String> {
+        self.run_with(text, approach, true)
+    }
+
+    /// Run `approach` over `text` in counting mode: full timing, match
+    /// events counted but not materialized. Use for paper-scale inputs
+    /// where hundreds of millions of matches would not fit in host memory.
+    pub fn run_counting(&self, text: &[u8], approach: Approach) -> Result<GpuRun, String> {
+        self.run_with(text, approach, false)
+    }
+
+    fn pfac_tables(&self) -> &(PfacAutomaton, DevicePfac) {
+        self.pfac.get_or_init(|| {
+            let pfac = PfacAutomaton::build(self.ac.patterns());
+            let dev = DevicePfac::from_pfac(&pfac);
+            (pfac, dev)
+        })
+    }
+
+    fn compressed_tables(&self) -> &DeviceCompressedStt {
+        self.compressed.get_or_init(|| DeviceCompressedStt::from_automaton(&self.ac))
+    }
+
+    fn run_with(&self, text: &[u8], approach: Approach, record: bool) -> Result<GpuRun, String> {
+        let mut dev = GpuDevice::new(self.cfg)?;
+        // +4 guard bytes: the staging loop reads whole 32-bit words and
+        // may touch up to 3 bytes past an unaligned tile end.
+        let text_base = dev.alloc_global(text.len() as u64 + 4)?;
+        dev.write_global(text_base, text);
+
+        let (plan, launch) = self.plan_for(approach, text.len() as u64)?;
+        let threads = launch.grid_blocks as u64 * launch.threads_per_block as u64;
+        let out_base = dev.alloc_global(threads * 4)?;
+
+        let (events, event_count, stats) = match approach {
+            Approach::GlobalOnly => {
+                let tex = dev.bind_texture_2d(
+                    self.dev_stt.entries.clone(),
+                    self.dev_stt.rows,
+                    self.dev_stt.cols,
+                )?;
+                let launched = dev.launch(launch, |geom| {
+                    GlobalOnlyKernel::new(geom, plan, text_base, out_base, tex, record)
+                })?;
+                collect(launched.programs, launched.stats, |p| p.take_results())
+            }
+            Approach::SharedNaive | Approach::SharedCoalescedOnly | Approach::SharedDiagonal => {
+                let variant = match approach {
+                    Approach::SharedNaive => SharedVariant::Naive,
+                    Approach::SharedCoalescedOnly => SharedVariant::CoalescedOnly,
+                    _ => SharedVariant::Diagonal,
+                };
+                let tex = dev.bind_texture_2d(
+                    self.dev_stt.entries.clone(),
+                    self.dev_stt.rows,
+                    self.dev_stt.cols,
+                )?;
+                let launched = dev.launch(launch, |geom| {
+                    SharedKernel::new(variant, geom, plan, text_base, out_base, tex, record)
+                })?;
+                collect(launched.programs, launched.stats, |p| p.take_results())
+            }
+            Approach::Pfac => {
+                let (_, dev_pfac) = self.pfac_tables();
+                let tex = dev.bind_texture_2d(
+                    dev_pfac.entries.clone(),
+                    dev_pfac.rows,
+                    dev_pfac.cols,
+                )?;
+                let launched = dev.launch(launch, |geom| {
+                    PfacKernel::new(geom, text.len() as u64, text_base, out_base, tex, record)
+                })?;
+                collect(launched.programs, launched.stats, |p| p.take_results())
+            }
+            Approach::SharedCompressed => {
+                let tables = self.compressed_tables();
+                let tex_meta = dev.bind_texture_2d(
+                    tables.meta.clone(),
+                    tables.meta_rows,
+                    crate::kernels::compressed::META_COLS,
+                )?;
+                let tex_targets = dev.bind_texture_2d(
+                    tables.targets.clone(),
+                    tables.target_rows,
+                    crate::kernels::compressed::TARGET_ROW,
+                )?;
+                let tex_root = dev.bind_texture_2d(tables.root.clone(), 1, 256)?;
+                let launched = dev.launch(launch, |geom| {
+                    CompressedKernel::new(
+                        geom, plan, text_base, out_base, tex_meta, tex_targets, tex_root,
+                        record,
+                    )
+                })?;
+                collect(launched.programs, launched.stats, |p| p.take_results())
+            }
+        };
+
+        let matches = if record {
+            match approach {
+                Approach::Pfac => self.expand_pfac_events(&events),
+                _ => self.expand_chunk_events(&events, &plan),
+            }
+        } else {
+            Vec::new()
+        };
+
+        Ok(GpuRun {
+            approach,
+            matches,
+            match_events: event_count,
+            stats,
+            bytes: text.len(),
+            clock_hz: self.cfg.clock_hz,
+        })
+    }
+
+    fn plan_for(&self, approach: Approach, len: u64) -> Result<(Plan, LaunchConfig), String> {
+        match approach {
+            Approach::GlobalOnly => {
+                let plan = Plan::global_only(&self.params, &self.cfg, &self.ac, len)?;
+                Ok((plan, plan.launch))
+            }
+            Approach::Pfac => {
+                // One thread per byte; the Plan is only used for geometry.
+                // (SharedCompressed uses the shared plan below.)
+                let tpb = self.params.threads_per_block;
+                let grid_blocks = len.div_ceil(tpb as u64).max(1) as u32;
+                let launch =
+                    LaunchConfig { grid_blocks, threads_per_block: tpb, shared_bytes_per_block: 0, resident_blocks_cap: None };
+                launch.validate(&self.cfg)?;
+                let plan = Plan {
+                    launch,
+                    chunk_bytes: 1,
+                    overlap: 0,
+                    text_len: len,
+                };
+                Ok((plan, launch))
+            }
+            _ => {
+                let plan = Plan::shared(&self.params, &self.cfg, &self.ac, len)?;
+                Ok((plan, plan.launch))
+            }
+        }
+    }
+
+    /// Expand chunked-kernel events: each matching state contributes its
+    /// output patterns; the chunk-ownership rule (`match.start` inside the
+    /// observing thread's owned range) makes reporting exactly-once.
+    fn expand_chunk_events(&self, events: &[MatchEvent], plan: &Plan) -> Vec<Match> {
+        let mut out = Vec::new();
+        for ev in events {
+            let (owned_start, owned_end) = plan.owned_range(ev.thread);
+            for &pid in self.ac.outputs().patterns_at(ev.state) {
+                let len = self.ac.patterns().len_of(pid) as u64;
+                let start = ev.end - len;
+                if start >= owned_start && start < owned_end {
+                    out.push(Match {
+                        pattern: pid,
+                        start: start as usize,
+                        end: ev.end as usize,
+                    });
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Expand PFAC events: the anchor thread *is* the match start, and a
+    /// trie state's terminal patterns all spell the anchored substring.
+    fn expand_pfac_events(&self, events: &[MatchEvent]) -> Vec<Match> {
+        let (pfac, _) = self.pfac_tables();
+        let mut out = Vec::new();
+        for ev in events {
+            for &pid in pfac.terminal(ev.state) {
+                out.push(Match {
+                    pattern: pid,
+                    start: ev.thread as usize,
+                    end: ev.end as usize,
+                });
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Drain results from retired programs.
+fn collect<P>(
+    programs: Vec<(gpu_sim::WarpGeometry, P)>,
+    stats: LaunchStats,
+    mut take: impl FnMut(&mut P) -> (Vec<MatchEvent>, u64),
+) -> (Vec<MatchEvent>, u64, LaunchStats) {
+    let mut events = Vec::new();
+    let mut count = 0u64;
+    for (_, mut p) in programs {
+        let (ev, c) = take(&mut p);
+        events.extend(ev);
+        count += c;
+    }
+    (events, count, stats)
+}
+
+/// Test-only helper shared by the kernel unit tests.
+#[doc(hidden)]
+pub mod tests_support {
+    use super::*;
+    use ac_core::PatternSet;
+
+    /// Build an automaton over `pats`, run `approach` on `text`, assert
+    /// equality with the serial oracle, and return the (matches, stats).
+    pub fn build_rig(
+        cfg: &GpuConfig,
+        params: &KernelParams,
+        pats: &[&str],
+        text: &[u8],
+        approach: Approach,
+    ) -> (Vec<Match>, LaunchStats) {
+        let ac = AcAutomaton::build(&PatternSet::from_strs(pats).unwrap());
+        let matcher = GpuAcMatcher::new(*cfg, *params, ac).unwrap();
+        let run = matcher.run(text, approach).unwrap();
+        let mut want = matcher.automaton().find_all(text);
+        want.sort();
+        assert_eq!(run.matches, want, "{approach:?} diverged from the serial oracle");
+        (run.matches, run.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::PatternSet;
+
+    fn matcher(pats: &[&str]) -> GpuAcMatcher {
+        let cfg = GpuConfig::gtx285();
+        let params =
+            KernelParams { threads_per_block: 32, global_chunk_bytes: 16, shared_chunk_bytes: 64 };
+        let ac = AcAutomaton::build(&PatternSet::from_strs(pats).unwrap());
+        GpuAcMatcher::new(cfg, params, ac).unwrap()
+    }
+
+    #[test]
+    fn all_approaches_agree_with_serial() {
+        let m = matcher(&["he", "she", "his", "hers", "use", "user"]);
+        let text = b"those users share his shelf; she ushers her heirs there";
+        let mut want = m.automaton().find_all(text.as_slice());
+        want.sort();
+        for a in Approach::all() {
+            let run = m.run(text, a).unwrap();
+            assert_eq!(run.matches, want, "{a:?}");
+            assert!(run.stats.cycles > 0, "{a:?}");
+            assert!(run.gbps() > 0.0, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn counting_mode_counts_without_materializing() {
+        let m = matcher(&["ab"]);
+        let text = b"abababababab";
+        let full = m.run(text, Approach::SharedDiagonal).unwrap();
+        let counted = m.run_counting(text, Approach::SharedDiagonal).unwrap();
+        assert!(counted.matches.is_empty());
+        assert_eq!(counted.match_events, full.match_events);
+        assert_eq!(counted.stats.cycles, full.stats.cycles, "timing must not depend on recording");
+    }
+
+    #[test]
+    fn empty_text_runs_cleanly() {
+        let m = matcher(&["x"]);
+        for a in Approach::all() {
+            let run = m.run(b"", a).unwrap();
+            assert!(run.matches.is_empty(), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let m = matcher(&["he", "she"]);
+        let text = b"she sells seashells on the seashore";
+        let a = m.run(text, Approach::SharedDiagonal).unwrap();
+        let b = m.run(text, Approach::SharedDiagonal).unwrap();
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.matches, b.matches);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Approach::GlobalOnly.label(), "global-only");
+        assert_eq!(Approach::SharedDiagonal.label(), "shared-diagonal");
+        assert_eq!(Approach::Pfac.label(), "pfac");
+        assert_eq!(Approach::all().len(), 6);
+        assert_eq!(Approach::SharedCompressed.label(), "shared-compressed");
+    }
+
+    #[test]
+    fn oversized_params_rejected_at_construction() {
+        let cfg = GpuConfig::gtx285();
+        let params = KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 16,
+            shared_chunk_bytes: 4096, // 128 KB tile
+        };
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["x"]).unwrap());
+        assert!(GpuAcMatcher::new(cfg, params, ac).is_err());
+    }
+
+    #[test]
+    fn seconds_and_gbps_units() {
+        let run = GpuRun {
+            approach: Approach::GlobalOnly,
+            matches: vec![],
+            match_events: 0,
+            stats: LaunchStats { cycles: 1_476_000_000, ..Default::default() },
+            bytes: 125_000_000, // 1 Gbit
+            clock_hz: 1.476e9,
+        };
+        assert!((run.seconds() - 1.0).abs() < 1e-9);
+        assert!((run.gbps() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Device-side automaton layout: the STT as a 2-D texture.
+//!
+//! The paper's Fig. 5 table is uploaded verbatim — one row per state,
+//! column 0 the match flag, columns 1..=256 the next states — with one
+//! standard device-side refinement: **the match flag of each transition's
+//! *target* state is pre-folded into bit 31 of the transition entry**
+//! (possible because state ids are < 2³¹). The kernels therefore learn
+//! "did I just enter a matching state?" from the same texel that gave them
+//! the next state, one texture fetch per input byte, exactly like the
+//! PFAC-family CUDA implementations. Column 0 is retained so the device
+//! table remains the paper's 257-column structure (and so kernels that
+//! *do* consult the flag column — none of ours by default — could).
+
+use ac_core::stt::STT_COLUMNS;
+use ac_core::{AcAutomaton, PfacAutomaton};
+use ac_core::trie::ALPHABET;
+use std::sync::Arc;
+
+/// Bit carrying the folded match flag in a transition entry.
+pub const MATCH_BIT: u32 = 1 << 31;
+
+/// Mask extracting the state id from a transition entry.
+pub const STATE_MASK: u32 = MATCH_BIT - 1;
+
+/// Sentinel for "no transition" in the PFAC goto texture (fits under
+/// [`MATCH_BIT`] and can never be a real state id; construction enforces
+/// state counts < 2³¹ − 1).
+pub const PFAC_STOP: u32 = STATE_MASK;
+
+/// The host-side image of the device STT texture.
+#[derive(Debug, Clone)]
+pub struct DeviceStt {
+    /// Row-major `state_count × 257` entries with folded match bits.
+    pub entries: Arc<Vec<u32>>,
+    /// Rows (= DFA states).
+    pub rows: u32,
+    /// Columns (always 257).
+    pub cols: u32,
+}
+
+impl DeviceStt {
+    /// Build the device table from a host automaton.
+    ///
+    /// # Panics
+    /// Panics if the automaton has ≥ 2³¹ states (cannot fold the flag).
+    pub fn from_automaton(ac: &AcAutomaton) -> Self {
+        let stt = ac.stt();
+        let n = stt.state_count();
+        assert!((n as u64) < MATCH_BIT as u64, "too many states to fold match flags");
+        let mut entries = Vec::with_capacity(n * STT_COLUMNS);
+        for s in 0..n as u32 {
+            entries.push(stt.is_match(s) as u32);
+            for a in 0..=255u8 {
+                let t = stt.next(s, a);
+                let flag = if stt.is_match(t) { MATCH_BIT } else { 0 };
+                entries.push(t | flag);
+            }
+        }
+        DeviceStt { entries: Arc::new(entries), rows: n as u32, cols: STT_COLUMNS as u32 }
+    }
+
+    /// Size in bytes (what the texture binding charges against device
+    /// memory).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * 4
+    }
+}
+
+/// The host-side image of the PFAC goto texture (same 257-column shape;
+/// missing transitions hold [`PFAC_STOP`]).
+#[derive(Debug, Clone)]
+pub struct DevicePfac {
+    /// Row-major `state_count × 257` entries.
+    pub entries: Arc<Vec<u32>>,
+    /// Rows (= trie states).
+    pub rows: u32,
+    /// Columns (always 257).
+    pub cols: u32,
+}
+
+impl DevicePfac {
+    /// Build the device goto table from a failureless automaton.
+    ///
+    /// # Panics
+    /// Panics if the trie has too many states to distinguish from
+    /// [`PFAC_STOP`].
+    pub fn from_pfac(pfac: &PfacAutomaton) -> Self {
+        let n = pfac.state_count();
+        assert!((n as u64) < PFAC_STOP as u64, "too many states for the PFAC texture");
+        let mut entries = Vec::with_capacity(n * STT_COLUMNS);
+        for s in 0..n as u32 {
+            entries.push(!pfac.terminal(s).is_empty() as u32);
+            for a in 0..ALPHABET {
+                let t = pfac.goto(s, a as u8);
+                entries.push(if t == ac_core::trie::NO_TRANSITION {
+                    PFAC_STOP
+                } else {
+                    let flag =
+                        if pfac.terminal(t).is_empty() { 0 } else { MATCH_BIT };
+                    t | flag
+                });
+            }
+        }
+        DevicePfac { entries: Arc::new(entries), rows: n as u32, cols: STT_COLUMNS as u32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::PatternSet;
+
+    fn ac() -> AcAutomaton {
+        AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap())
+    }
+
+    #[test]
+    fn entries_preserve_transitions_and_fold_flags() {
+        let a = ac();
+        let dev = DeviceStt::from_automaton(&a);
+        let stt = a.stt();
+        assert_eq!(dev.rows as usize, stt.state_count());
+        assert_eq!(dev.cols, 257);
+        for s in 0..stt.state_count() as u32 {
+            let row = s as usize * 257;
+            assert_eq!(dev.entries[row], stt.is_match(s) as u32);
+            for sym in 0..=255u8 {
+                let e = dev.entries[row + 1 + sym as usize];
+                let t = stt.next(s, sym);
+                assert_eq!(e & STATE_MASK, t);
+                assert_eq!(e & MATCH_BIT != 0, stt.is_match(t));
+            }
+        }
+    }
+
+    #[test]
+    fn walking_device_entries_matches_host() {
+        let a = ac();
+        let dev = DeviceStt::from_automaton(&a);
+        let text = b"ushers";
+        let mut s = 0u32;
+        let mut flags = Vec::new();
+        for &b in text {
+            let e = dev.entries[s as usize * 257 + 1 + b as usize];
+            s = e & STATE_MASK;
+            flags.push(e & MATCH_BIT != 0);
+        }
+        // "ushers": matches end at positions 4 ("she"/"he") and 6
+        // ("hers") → flags at indices 3 and 5.
+        assert_eq!(flags, vec![false, false, false, true, false, true]);
+    }
+
+    #[test]
+    fn pfac_table_stops_and_flags() {
+        let ps = PatternSet::from_strs(&["ab", "abc"]).unwrap();
+        let pfac = PfacAutomaton::build(&ps);
+        let dev = DevicePfac::from_pfac(&pfac);
+        // Root on 'z' stops.
+        assert_eq!(dev.entries[1 + b'z' as usize], PFAC_STOP);
+        // Walk "abc": flags fire at 'b' (ab) and 'c' (abc).
+        let mut s = 0u32;
+        let mut flags = Vec::new();
+        for &b in b"abc" {
+            let e = dev.entries[s as usize * 257 + 1 + b as usize];
+            assert_ne!(e, PFAC_STOP);
+            s = e & STATE_MASK;
+            flags.push(e & MATCH_BIT != 0);
+        }
+        assert_eq!(flags, vec![false, true, true]);
+    }
+
+    #[test]
+    fn size_accounts_full_table() {
+        let dev = DeviceStt::from_automaton(&ac());
+        assert_eq!(dev.size_bytes(), 10 * 257 * 4);
+    }
+}

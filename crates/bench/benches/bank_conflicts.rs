@@ -1,0 +1,48 @@
+//! Fig. 23 as a micro-bench: simulated cycles of the three shared-memory
+//! staging variants on a fixed workload. (The repro binary produces the
+//! full figure; this pins the mechanism under criterion so regressions in
+//! the bank-conflict model are caught.)
+
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::GpuConfig;
+
+fn bench_store_schemes(c: &mut Criterion) {
+    let w = Workload::prepare(256 * 1024, 41);
+    let text = w.input(256 * 1024);
+    let cfg = GpuConfig::gtx285();
+    let matcher =
+        GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), w.automaton(200))
+            .expect("matcher construction succeeds");
+    // Report simulated cycles once, so bench logs carry the figure-level
+    // signal alongside criterion's wall-time measurements of the
+    // simulator itself.
+    for approach in
+        [Approach::SharedNaive, Approach::SharedCoalescedOnly, Approach::SharedDiagonal]
+    {
+        let run = matcher.run_counting(text, approach).expect("kernel run succeeds");
+        eprintln!(
+            "[bank_conflicts] {:>22}: {:>10} simulated cycles, {:>8} conflicted accesses",
+            approach.label(),
+            run.stats.cycles,
+            run.stats.totals.shared_conflicts
+        );
+    }
+    let mut g = c.benchmark_group("store_scheme_simulation_256KB");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    for approach in
+        [Approach::SharedNaive, Approach::SharedCoalescedOnly, Approach::SharedDiagonal]
+    {
+        g.bench_with_input(
+            BenchmarkId::new("variant", approach.label()),
+            &approach,
+            |b, &a| b.iter(|| matcher.run_counting(std::hint::black_box(text), a).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_store_schemes);
+criterion_main!(benches);

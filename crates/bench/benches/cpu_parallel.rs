@@ -1,0 +1,67 @@
+//! Real multithreaded CPU matching (crossbeam chunked matcher) — the
+//! "multicore baseline" of the related work, measured on this host.
+
+use ac_cpu::{interleaved_count, par_find_all, ParallelConfig};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_parallel_matching(c: &mut Criterion) {
+    let w = Workload::prepare(1024 * 1024, 31);
+    let text = w.input(1024 * 1024);
+    let ac = w.automaton(1_000);
+    let mut g = c.benchmark_group("cpu_parallel_1MB_1000pat");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    for threads in [1usize, 2, 4] {
+        let cfg = ParallelConfig { threads, chunk_size: 64 * 1024 };
+        g.bench_with_input(BenchmarkId::new("threads", threads), &cfg, |b, cfg| {
+            b.iter(|| {
+                par_find_all(std::hint::black_box(&ac), std::hint::black_box(text), cfg)
+                    .expect("parallel matching succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunk_size_sweep(c: &mut Criterion) {
+    let w = Workload::prepare(1024 * 1024, 32);
+    let text = w.input(1024 * 1024);
+    let ac = w.automaton(500);
+    let mut g = c.benchmark_group("cpu_parallel_chunk_sweep");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    for chunk_kb in [4usize, 64, 256] {
+        let cfg = ParallelConfig { threads: 2, chunk_size: chunk_kb * 1024 };
+        g.bench_with_input(BenchmarkId::new("chunk_kb", chunk_kb), &cfg, |b, cfg| {
+            b.iter(|| {
+                par_find_all(std::hint::black_box(&ac), std::hint::black_box(text), cfg)
+                    .expect("parallel matching succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_interleaved_ways(c: &mut Criterion) {
+    // The Cell-style ILP trick: how many interleaved streams does one
+    // core profit from?
+    let w = Workload::prepare(1024 * 1024, 33);
+    let text = w.input(1024 * 1024);
+    let ac = w.automaton(1_000);
+    let mut g = c.benchmark_group("interleaved_streams_1MB_1000pat");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    for ways in [1usize, 2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("ways", ways), &ways, |b, &ways| {
+            b.iter(|| {
+                interleaved_count(std::hint::black_box(&ac), std::hint::black_box(text), ways)
+                    .expect("interleaved matching succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_matching, bench_chunk_size_sweep, bench_interleaved_ways);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Simulated-kernel micro-benches behind Figs. 14/15/17/18: one small
+//! grid point per approach, reporting simulated cycles to the log while
+//! criterion pins the simulator's own wall-time.
+
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
+use bench::workload::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::GpuConfig;
+
+fn bench_approaches(c: &mut Criterion) {
+    let w = Workload::prepare(256 * 1024, 51);
+    let text = w.input(256 * 1024);
+    let cfg = GpuConfig::gtx285();
+    let params = KernelParams::defaults_for(&cfg);
+    for patterns in [100usize, 1_000] {
+        let matcher = GpuAcMatcher::new(cfg, params, w.automaton(patterns))
+            .expect("matcher construction succeeds");
+        for approach in [Approach::GlobalOnly, Approach::SharedDiagonal, Approach::Pfac] {
+            let run = matcher.run_counting(text, approach).expect("kernel run succeeds");
+            eprintln!(
+                "[gpu_kernels] {:>15} @ {patterns:>5} patterns: {:8.2} simulated Gbps \
+                 ({} cycles, tex hit {:.3})",
+                approach.label(),
+                run.gbps(),
+                run.stats.cycles,
+                run.stats.totals.tex_hit_rate()
+            );
+        }
+        let mut g = c.benchmark_group(format!("gpu_sim_256KB_{patterns}pat"));
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        for approach in [Approach::GlobalOnly, Approach::SharedDiagonal] {
+            g.bench_with_input(
+                BenchmarkId::new("approach", approach.label()),
+                &approach,
+                |b, &a| b.iter(|| matcher.run_counting(std::hint::black_box(text), a).unwrap()),
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_approaches);
+criterion_main!(benches);

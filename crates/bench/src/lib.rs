@@ -1,0 +1,30 @@
+//! # bench — the experiment harness
+//!
+//! Regenerates every figure of the paper's evaluation (§V, Figs. 13–23)
+//! from the reproduction stack: workload generation ([`workload`]), the
+//! measurement engine that runs each approach over the size × pattern-count
+//! grid ([`measure`]), figure assembly/printing/CSV output ([`figures`]),
+//! and machine-checked paper-vs-measured verdicts ([`verdict`]).
+//!
+//! The `repro` binary is the entry point:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- all          # every figure, scaled grid
+//! cargo run --release -p bench --bin repro -- fig18        # one figure
+//! cargo run --release -p bench --bin repro -- all --full   # paper-scale grid (slow)
+//! cargo run --release -p bench --bin repro -- ablations    # beyond-paper experiments
+//! ```
+//!
+//! Criterion micro-benches (`cargo bench -p bench`) cover the real
+//! host-side implementations (automaton construction, serial and
+//! multithreaded matching) and small simulated-kernel runs.
+
+pub mod figures;
+pub mod measure;
+pub mod verdict;
+pub mod workload;
+
+pub use figures::{Figure, FigureSet};
+pub use measure::{Engine, EngineConfig, Measurement, Measurements};
+pub use verdict::{evaluate, render, Outcome, Verdict};
+pub use workload::Workload;

@@ -1,0 +1,330 @@
+//! Automated paper-vs-measured verdicts.
+//!
+//! Encodes the paper's quantitative claims (Figs. 16–23 ranges, the
+//! 127 Gbps headline, the speedup extremes and their locations) as
+//! machine-checkable expectations, evaluates them against a
+//! [`FigureSet`], and renders the verdict table that heads
+//! EXPERIMENTS.md. `repro summary --in results/full` re-derives that
+//! table from the committed JSON, so the documentation can never drift
+//! from the data.
+
+use crate::figures::FigureSet;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Outcome of checking one claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Measured value/shape agrees with the paper's claim.
+    Pass,
+    /// Measured band overlaps the paper's but doesn't contain/match it.
+    Partial,
+    /// Measured contradicts the claim.
+    Fail,
+    /// The needed figure is missing from the input set.
+    Missing,
+}
+
+impl Outcome {
+    fn symbol(&self) -> &'static str {
+        match self {
+            Outcome::Pass => "PASS",
+            Outcome::Partial => "PARTIAL",
+            Outcome::Fail => "FAIL",
+            Outcome::Missing => "MISSING",
+        }
+    }
+}
+
+/// One evaluated claim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Short claim id.
+    pub claim: String,
+    /// What the paper says.
+    pub paper: String,
+    /// What we measured.
+    pub measured: String,
+    /// The outcome.
+    pub outcome: Outcome,
+}
+
+/// Evaluate every encoded claim against `set`.
+pub fn evaluate(set: &FigureSet) -> Vec<Verdict> {
+    let mut out = Vec::new();
+
+    // Claim 1: peak shared throughput ~127 Gbps at the largest-input /
+    // fewest-patterns corner.
+    out.push(match set.get("fig18") {
+        None => missing("peak-throughput", "127 Gbps at 200MB/100 patterns"),
+        Some(f) => {
+            let (_, hi) = f.range();
+            let at_corner = f.values.last().and_then(|row| row.first()).copied();
+            let corner_is_max = at_corner.map(|v| (v - hi).abs() < 1e-9).unwrap_or(false);
+            let ratio = hi / 127.0;
+            Verdict {
+                claim: "peak-throughput".into(),
+                paper: "127 Gbps at 200MB/100 patterns".into(),
+                measured: format!(
+                    "{hi:.1} Gbps at largest-input/100-patterns corner ({})",
+                    if corner_is_max { "same argmax" } else { "different argmax" }
+                ),
+                outcome: if corner_is_max && (0.5..=2.0).contains(&ratio) {
+                    Outcome::Pass
+                } else if corner_is_max || (0.33..=3.0).contains(&ratio) {
+                    Outcome::Partial
+                } else {
+                    Outcome::Fail
+                },
+            }
+        }
+    });
+
+    // Claim 2: shared-vs-serial speedup band 36.1–222.0, max at the
+    // most-patterns column.
+    out.push(band_claim(set, "fig21", "speedup-shared-vs-serial", 36.1, 222.0, true));
+
+    // Claim 3: global-vs-serial 3.3–13.2.
+    out.push(band_claim(set, "fig20", "speedup-global-vs-serial", 3.3, 13.2, false));
+
+    // Claim 4: shared-vs-global 7.3–19.3.
+    out.push(band_claim(set, "fig22", "speedup-shared-vs-global", 7.3, 19.3, false));
+
+    // Claim 5: bank-conflict scheme 1.5–5.3.
+    out.push(band_claim(set, "fig23", "bank-conflict-scheme", 1.5, 5.3, false));
+
+    // Claim 6: ordering — at every grid point shared is faster than
+    // global-only (fig22 cells all > 1).
+    out.push(match set.get("fig22") {
+        None => missing("ordering-shared-beats-global", "shared faster everywhere"),
+        Some(f) => {
+            let all_above_one = f.values.iter().flatten().all(|&v| v > 1.0);
+            Verdict {
+                claim: "ordering-shared-beats-global".into(),
+                paper: "shared memory approach is faster at every point".into(),
+                measured: if all_above_one {
+                    "all grid cells > 1.0x".into()
+                } else {
+                    "some cells ≤ 1.0x".into()
+                },
+                outcome: if all_above_one { Outcome::Pass } else { Outcome::Fail },
+            }
+        }
+    });
+
+    // Claim 7: throughput decreases with pattern count for the shared
+    // kernel (every fig18 row non-increasing).
+    out.push(match set.get("fig18") {
+        None => missing("trend-patterns", "throughput decreases with pattern count"),
+        Some(f) => {
+            let monotone =
+                f.values.iter().all(|row| row.windows(2).all(|w| w[1] <= w[0] * 1.02));
+            Verdict {
+                claim: "trend-patterns".into(),
+                paper: "throughput decreases with the number of patterns".into(),
+                measured: if monotone { "non-increasing along every row".into() } else { "violated".into() },
+                outcome: if monotone { Outcome::Pass } else { Outcome::Fail },
+            }
+        }
+    });
+
+    out
+}
+
+fn missing(claim: &str, paper: &str) -> Verdict {
+    Verdict {
+        claim: claim.into(),
+        paper: paper.into(),
+        measured: "figure not in input set".into(),
+        outcome: Outcome::Missing,
+    }
+}
+
+/// Check a speedup-band claim: Pass when the measured band is inside (or
+/// equal to) a generous containment of the paper band; Partial when the
+/// bands overlap; Fail when disjoint. Optionally also require the maximum
+/// to sit in the last (most-patterns) column.
+fn band_claim(
+    set: &FigureSet,
+    id: &str,
+    claim: &str,
+    lo: f64,
+    hi: f64,
+    require_argmax_last_col: bool,
+) -> Verdict {
+    let Some(f) = set.get(id) else {
+        return missing(claim, &format!("{lo}-{hi}x"));
+    };
+    let (mlo, mhi) = f.range();
+    let overlap = mhi >= lo && mlo <= hi;
+    let contained = mlo >= lo * 0.5 && mhi <= hi * 2.0;
+    let argmax_ok = if require_argmax_last_col {
+        // Find the max cell's column.
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for row in &f.values {
+            for (j, &v) in row.iter().enumerate() {
+                if v > best.1 {
+                    best = (j, v);
+                }
+            }
+        }
+        best.0 == f.pattern_counts.len() - 1
+    } else {
+        true
+    };
+    Verdict {
+        claim: claim.into(),
+        paper: format!("{lo}-{hi}x"),
+        measured: format!(
+            "{mlo:.1}-{mhi:.1}x{}",
+            if require_argmax_last_col {
+                if argmax_ok { ", max at most patterns (as paper)" } else { ", max elsewhere" }
+            } else {
+                ""
+            }
+        ),
+        outcome: if overlap && contained && argmax_ok {
+            Outcome::Pass
+        } else if overlap {
+            Outcome::Partial
+        } else {
+            Outcome::Fail
+        },
+    }
+}
+
+/// Render verdicts as an aligned table.
+pub fn render(verdicts: &[Verdict]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<28} | {:<38} | {:<52} | verdict",
+        "claim", "paper", "measured"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(140));
+    for v in verdicts {
+        let _ = writeln!(
+            s,
+            "{:<28} | {:<38} | {:<52} | {}",
+            v.claim,
+            v.paper,
+            v.measured,
+            v.outcome.symbol()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{Figure, Metric};
+
+    fn fig(id: &str, metric: Metric, values: Vec<Vec<f64>>) -> Figure {
+        Figure {
+            id: id.into(),
+            title: id.into(),
+            paper_reference: String::new(),
+            metric,
+            sizes: (0..values.len()).map(|i| (i + 1) * 1024).collect(),
+            pattern_counts: vec![100, 1000],
+            values,
+        }
+    }
+
+    fn good_set() -> FigureSet {
+        FigureSet {
+            figures: vec![
+                fig("fig18", Metric::Gbps, vec![vec![50.0, 30.0], vec![119.0, 44.0]]),
+                fig("fig21", Metric::Speedup, vec![vec![40.0, 60.0], vec![60.0, 134.0]]),
+                fig("fig20", Metric::Speedup, vec![vec![4.0, 8.0], vec![6.0, 12.0]]),
+                fig("fig22", Metric::Speedup, vec![vec![12.0, 9.0], vec![10.0, 8.0]]),
+                fig("fig23", Metric::Speedup, vec![vec![1.6, 1.5], vec![2.0, 1.8]]),
+            ],
+        }
+    }
+
+    #[test]
+    fn good_results_pass() {
+        let v = evaluate(&good_set());
+        assert_eq!(v.len(), 7);
+        for verdict in &v {
+            assert_eq!(
+                verdict.outcome,
+                Outcome::Pass,
+                "{}: {} vs {}",
+                verdict.claim,
+                verdict.paper,
+                verdict.measured
+            );
+        }
+    }
+
+    #[test]
+    fn missing_figures_reported() {
+        let v = evaluate(&FigureSet::default());
+        assert!(v.iter().all(|x| x.outcome == Outcome::Missing));
+    }
+
+    #[test]
+    fn disjoint_band_fails() {
+        let mut set = good_set();
+        // fig20 values far above the paper band and outside containment.
+        set.figures[2] = fig("fig20", Metric::Speedup, vec![vec![100.0, 200.0]]);
+        let v = evaluate(&set);
+        let fig20 = v.iter().find(|x| x.claim == "speedup-global-vs-serial").unwrap();
+        assert_eq!(fig20.outcome, Outcome::Fail);
+    }
+
+    #[test]
+    fn overlapping_band_is_partial() {
+        let mut set = good_set();
+        set.figures[2] = fig("fig20", Metric::Speedup, vec![vec![10.0, 40.0]]);
+        let v = evaluate(&set);
+        let fig20 = v.iter().find(|x| x.claim == "speedup-global-vs-serial").unwrap();
+        assert_eq!(fig20.outcome, Outcome::Partial);
+    }
+
+    #[test]
+    fn ordering_violation_fails() {
+        let mut set = good_set();
+        set.figures[3] = fig("fig22", Metric::Speedup, vec![vec![0.9, 2.0]]);
+        let v = evaluate(&set);
+        let ord = v.iter().find(|x| x.claim == "ordering-shared-beats-global").unwrap();
+        assert_eq!(ord.outcome, Outcome::Fail);
+    }
+
+    #[test]
+    fn render_contains_all_claims() {
+        let v = evaluate(&good_set());
+        let table = render(&v);
+        for verdict in &v {
+            assert!(table.contains(&verdict.claim));
+        }
+        assert!(table.contains("PASS"));
+    }
+
+    #[test]
+    fn full_scale_committed_results_pass_or_partial() {
+        // Gate the committed paper-scale results: nothing may FAIL.
+        let Ok(json) = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/full/figures.json"
+        )) else {
+            // Results not generated in this checkout — nothing to gate.
+            return;
+        };
+        let set: FigureSet = serde_json::from_str(&json).expect("valid committed figures.json");
+        let verdicts = evaluate(&set);
+        for v in &verdicts {
+            assert_ne!(
+                v.outcome,
+                Outcome::Fail,
+                "committed results fail claim {}: paper {}, measured {}",
+                v.claim,
+                v.paper,
+                v.measured
+            );
+        }
+    }
+}

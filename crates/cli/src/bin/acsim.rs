@@ -1,0 +1,19 @@
+//! `acsim` binary: thin shell over `acsim_cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match acsim_cli::opts::parse(args.iter().map(String::as_str)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match acsim_cli::run(&opts) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

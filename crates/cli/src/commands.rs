@@ -1,0 +1,283 @@
+//! Command execution: load inputs, dispatch, format output.
+
+use crate::engines::{device, run_engine, EngineReport};
+use crate::opts::{Command, Engine, Options};
+use ac_core::{analysis, dot, AcAutomaton, NfaTables, PatternSet, Trie};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Run a parsed invocation, returning the text to print.
+pub fn run(opts: &Options) -> Result<String, String> {
+    let patterns = load_patterns(&opts.patterns)?;
+    match opts.command {
+        Command::Dot => {
+            let trie = Trie::build(&patterns);
+            let nfa = NfaTables::build(&trie);
+            Ok(dot::nfa_to_dot(&trie, &nfa, &patterns))
+        }
+        Command::Stats => {
+            let ac = AcAutomaton::build(&patterns);
+            let mut out = stats_text(&patterns, &ac);
+            if let Some(input) = &opts.input {
+                let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
+                let trie = Trie::build(&patterns);
+                let profile = analysis::profile_visits(ac.stt(), &trie, &text);
+                let _ = writeln!(out, "\nvisit profile over {} input bytes:", text.len());
+                let _ = writeln!(out, "  distinct states visited: {}", profile.distinct_states);
+                let _ = writeln!(out, "  mean visited depth:      {:.2}", profile.mean_depth);
+                for (k, frac) in &profile.concentration {
+                    let _ = writeln!(out, "  top-{k:<5} states cover:  {:.1}%", frac * 100.0);
+                }
+            }
+            Ok(out)
+        }
+        Command::Match => {
+            let input = opts.input.as_ref().expect("validated by the parser");
+            let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
+            let ac = AcAutomaton::build(&patterns);
+            let cfg = device(opts.fermi);
+            let name = Engine::all()
+                .iter()
+                .find(|(e, _)| *e == opts.engine)
+                .map(|(_, n)| *n)
+                .expect("engine table is total");
+            let report = run_engine(opts.engine, name, &ac, &text, &cfg, opts.count_only)?;
+            Ok(match_text(&report, &ac, opts))
+        }
+        Command::Compare => {
+            let input = opts.input.as_ref().expect("validated by the parser");
+            let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
+            let ac = AcAutomaton::build(&patterns);
+            let cfg = device(opts.fermi);
+            let mut out = format!(
+                "{:>15} | {:>9} | {:>12} | {:>13} | {:>10}\n{}\n",
+                "engine",
+                "matches",
+                "host time",
+                "device time",
+                "sim Gb/s",
+                "-".repeat(72)
+            );
+            for (e, name) in Engine::all() {
+                let r = run_engine(e, name, &ac, &text, &cfg, false)?;
+                let dev = r
+                    .device_seconds
+                    .map(|s| format!("{:.3} ms", s * 1e3))
+                    .unwrap_or_else(|| "-".into());
+                let gbps =
+                    r.device_gbps.map(|g| format!("{g:.2}")).unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "{:>15} | {:>9} | {:>9.1} ms | {:>13} | {:>10}",
+                    r.engine,
+                    r.count,
+                    r.host_seconds * 1e3,
+                    dev,
+                    gbps
+                );
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Load a dictionary file: one pattern per line, `\xNN` escapes decoded,
+/// blank lines and `#` comments skipped.
+pub fn load_patterns(path: &Path) -> Result<PatternSet, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading patterns: {e}"))?;
+    let mut pats: Vec<Vec<u8>> = Vec::new();
+    for (lineno, line) in raw.lines().enumerate() {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        pats.push(decode_escapes(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    PatternSet::new(pats).map_err(|e| format!("invalid dictionary: {e}"))
+}
+
+/// Decode `\xNN`, `\\`, `\t`, `\n` escapes into raw bytes.
+pub fn decode_escapes(s: &str) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push(b'\\'),
+            Some('t') => out.push(b'\t'),
+            Some('n') => out.push(b'\n'),
+            Some('x') => {
+                let hi = chars.next().ok_or("truncated \\x escape")?;
+                let lo = chars.next().ok_or("truncated \\x escape")?;
+                let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16)
+                    .map_err(|_| format!("bad hex escape \\x{hi}{lo}"))?;
+                out.push(byte);
+            }
+            Some(other) => return Err(format!("unknown escape \\{other}")),
+            None => return Err("trailing backslash".into()),
+        }
+    }
+    Ok(out)
+}
+
+fn stats_text(patterns: &PatternSet, ac: &AcAutomaton) -> String {
+    let trie = Trie::build(patterns);
+    let s = analysis::analyze_structure(&trie);
+    let mut out = String::new();
+    let _ = writeln!(out, "patterns:        {}", patterns.len());
+    let _ = writeln!(out, "pattern lengths: {}-{} bytes", patterns.min_len(), patterns.max_len());
+    let _ = writeln!(out, "states:          {}", s.states);
+    let _ = writeln!(out, "mean fanout:     {:.2}", s.mean_fanout);
+    let _ = writeln!(out, "dense STT:       {} bytes", ac.stt().size_bytes());
+    let _ = writeln!(out, "states by depth: {:?}", s.states_by_depth);
+    out
+}
+
+fn match_text(report: &EngineReport, ac: &AcAutomaton, opts: &Options) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} matches ({} engine)", report.count, report.engine);
+    if let (Some(d), Some(g)) = (report.device_seconds, report.device_gbps) {
+        let _ = writeln!(out, "simulated device time: {:.3} ms ({g:.2} Gb/s)", d * 1e3);
+    }
+    if !opts.count_only {
+        for m in report.matches.iter().take(opts.limit) {
+            let _ = writeln!(
+                out,
+                "{:>10}..{:<10} {}",
+                m.start,
+                m.end,
+                String::from_utf8_lossy(ac.patterns().get(m.pattern))
+            );
+        }
+        if report.matches.len() > opts.limit {
+            let _ = writeln!(out, "... {} more (raise --limit)", report.matches.len() - opts.limit);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::parse;
+
+    fn write_tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("acsim-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn end_to_end_match_command() {
+        let pats = write_tmp("p1.txt", b"he\nshe\nhers\n# comment\n\n");
+        let input = write_tmp("i1.txt", b"ushers everywhere");
+        let opts = parse([
+            "match",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--engine",
+            "serial",
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("4 matches"), "{out}"); // she, he, hers in "ushers"; he in "everywhere"
+        assert!(out.contains("hers"));
+    }
+
+    #[test]
+    fn compare_runs_every_engine() {
+        let pats = write_tmp("p2.txt", b"the\nand\n");
+        let input = write_tmp("i2.txt", b"the cat and the dog and the bird");
+        let opts = parse([
+            "compare",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        for name in ["serial", "parallel", "gpu:shared", "gpu:global", "gpu:compressed", "gpu:pfac"]
+        {
+            assert!(out.contains(name), "missing {name} in\n{out}");
+        }
+    }
+
+    #[test]
+    fn stats_and_dot_commands() {
+        let pats = write_tmp("p3.txt", b"he\nshe\n");
+        let opts = parse(["stats", "--patterns", pats.to_str().unwrap()]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("patterns:        2"));
+        assert!(out.contains("states by depth"));
+        let opts = parse(["dot", "--patterns", pats.to_str().unwrap()]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn stats_with_input_profiles_visits() {
+        let pats = write_tmp("p4.txt", b"he\n");
+        let input = write_tmp("i4.txt", b"hehehe there");
+        let opts = parse([
+            "stats",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("visit profile"), "{out}");
+    }
+
+    #[test]
+    fn escape_decoding() {
+        assert_eq!(decode_escapes("ab").unwrap(), b"ab");
+        assert_eq!(decode_escapes(r"a\x00b").unwrap(), vec![b'a', 0, b'b']);
+        assert_eq!(decode_escapes(r"\\\t\n").unwrap(), vec![b'\\', b'\t', b'\n']);
+        assert!(decode_escapes(r"\q").is_err());
+        assert!(decode_escapes(r"\x9").is_err());
+        assert!(decode_escapes("trailing\\").is_err());
+    }
+
+    #[test]
+    fn binary_patterns_via_escapes() {
+        let pats = write_tmp("p5.txt", b"\\x90\\x90\\x90\n");
+        let input = write_tmp("i5.bin", &[0u8, 0x90, 0x90, 0x90, 1]);
+        let opts = parse([
+            "match",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--engine",
+            "gpu:shared",
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("1 matches"), "{out}");
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let opts = parse([
+            "match",
+            "--patterns",
+            "/nonexistent/p.txt",
+            "--input",
+            "/nonexistent/i.txt",
+        ])
+        .unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("reading patterns"));
+    }
+}

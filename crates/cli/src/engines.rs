@@ -1,0 +1,166 @@
+//! Engine dispatch: run any engine over (automaton, input) and return a
+//! uniform report.
+
+use crate::opts::Engine;
+use ac_core::{AcAutomaton, Match};
+use ac_cpu::ParallelConfig;
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
+use gpu_sim::GpuConfig;
+use std::time::Instant;
+
+/// Uniform result of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// CLI engine name.
+    pub engine: &'static str,
+    /// Matches (sorted). Empty when counting.
+    pub matches: Vec<Match>,
+    /// Total match count (also filled when counting).
+    pub count: u64,
+    /// Host wall seconds spent (for CPU engines this is the measurement;
+    /// for GPU engines it is simulation cost, *not* device time).
+    pub host_seconds: f64,
+    /// Simulated device seconds (GPU engines only).
+    pub device_seconds: Option<f64>,
+    /// Simulated device throughput in Gbit/s (GPU engines only).
+    pub device_gbps: Option<f64>,
+}
+
+/// The device preset to simulate.
+pub fn device(fermi: bool) -> GpuConfig {
+    if fermi {
+        GpuConfig::fermi_c2050()
+    } else {
+        GpuConfig::gtx285()
+    }
+}
+
+fn gpu_approach(e: Engine) -> Option<Approach> {
+    match e {
+        Engine::GpuShared => Some(Approach::SharedDiagonal),
+        Engine::GpuGlobal => Some(Approach::GlobalOnly),
+        Engine::GpuCompressed => Some(Approach::SharedCompressed),
+        Engine::GpuPfac => Some(Approach::Pfac),
+        Engine::Serial | Engine::Parallel => None,
+    }
+}
+
+/// Execute `engine` over `text`.
+pub fn run_engine(
+    engine: Engine,
+    name: &'static str,
+    ac: &AcAutomaton,
+    text: &[u8],
+    cfg: &GpuConfig,
+    count_only: bool,
+) -> Result<EngineReport, String> {
+    let started = Instant::now();
+    match engine {
+        Engine::Serial => {
+            let (matches, count) = if count_only {
+                (Vec::new(), ac_core::matcher::count_all(ac, text))
+            } else {
+                let mut m = ac.find_all(text);
+                m.sort();
+                let c = m.len() as u64;
+                (m, c)
+            };
+            Ok(EngineReport {
+                engine: name,
+                matches,
+                count,
+                host_seconds: started.elapsed().as_secs_f64(),
+                device_seconds: None,
+                device_gbps: None,
+            })
+        }
+        Engine::Parallel => {
+            let matches =
+                ac_cpu::par_find_all(ac, text, &ParallelConfig::default_for_host())
+                    .map_err(|e| e.to_string())?;
+            let count = matches.len() as u64;
+            Ok(EngineReport {
+                engine: name,
+                matches: if count_only { Vec::new() } else { matches },
+                count,
+                host_seconds: started.elapsed().as_secs_f64(),
+                device_seconds: None,
+                device_gbps: None,
+            })
+        }
+        _ => {
+            let approach = gpu_approach(engine).expect("non-CPU engine maps to an approach");
+            let matcher = GpuAcMatcher::new(*cfg, KernelParams::defaults_for(cfg), ac.clone())?;
+            let run = if count_only {
+                matcher.run_counting(text, approach)?
+            } else {
+                matcher.run(text, approach)?
+            };
+            let count =
+                if count_only { run.match_events } else { run.matches.len() as u64 };
+            let device_seconds = Some(run.seconds());
+            let device_gbps = Some(run.gbps());
+            Ok(EngineReport {
+                engine: name,
+                matches: run.matches,
+                count,
+                host_seconds: started.elapsed().as_secs_f64(),
+                device_seconds,
+                device_gbps,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::PatternSet;
+
+    fn ac() -> AcAutomaton {
+        AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "hers"]).unwrap())
+    }
+
+    #[test]
+    fn all_engines_agree_on_counts() {
+        let ac = ac();
+        let text = b"ushers she hers and he";
+        let cfg = device(false);
+        let mut counts = Vec::new();
+        for (e, name) in Engine::all() {
+            let r = run_engine(e, name, &ac, text, &cfg, false).unwrap();
+            counts.push((name, r.count));
+            // Matches of every engine equal the serial baseline's.
+            let mut want = ac.find_all(text);
+            want.sort();
+            assert_eq!(r.matches, want, "{name}");
+        }
+        let first = counts[0].1;
+        assert!(counts.iter().all(|&(_, c)| c == first), "{counts:?}");
+    }
+
+    #[test]
+    fn gpu_engines_report_device_time() {
+        let ac = ac();
+        let cfg = device(false);
+        let r = run_engine(Engine::GpuShared, "gpu:shared", &ac, b"ushers", &cfg, false).unwrap();
+        assert!(r.device_seconds.unwrap() > 0.0);
+        assert!(r.device_gbps.unwrap() > 0.0);
+        let r = run_engine(Engine::Serial, "serial", &ac, b"ushers", &cfg, false).unwrap();
+        assert!(r.device_seconds.is_none());
+    }
+
+    #[test]
+    fn fermi_device_differs() {
+        assert_ne!(device(true).num_sms, device(false).num_sms);
+    }
+
+    #[test]
+    fn count_only_skips_matches() {
+        let ac = ac();
+        let cfg = device(false);
+        let r = run_engine(Engine::Serial, "serial", &ac, b"he he", &cfg, true).unwrap();
+        assert!(r.matches.is_empty());
+        assert_eq!(r.count, 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! # acsim — command-line front end
+//!
+//! A small, scriptable tool over the reproduction stack: match a
+//! dictionary against a file with any of the engines (serial DFA,
+//! multithreaded CPU, the simulated-GPU kernels, PFAC), inspect automaton
+//! structure, or export the machine as Graphviz.
+//!
+//! ```text
+//! acsim match --patterns dict.txt --input corpus.bin [--engine gpu:shared] [--count]
+//! acsim stats --patterns dict.txt [--input corpus.bin]
+//! acsim dot   --patterns dict.txt
+//! acsim compare --patterns dict.txt --input corpus.bin
+//! ```
+//!
+//! The argument parsing and command execution live in this library so the
+//! test suite can drive them without spawning processes; the `acsim`
+//! binary is a thin `main`.
+
+pub mod commands;
+pub mod engines;
+pub mod opts;
+
+pub use commands::run;
+pub use opts::{Command, Engine, Options, ParseError};

@@ -1,0 +1,220 @@
+//! Argument parsing (dependency-free, fully unit-tested).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Which matching engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Single-threaded DFA walk on the host.
+    Serial,
+    /// crossbeam multithreaded chunked matcher.
+    Parallel,
+    /// Simulated-GPU kernel: the paper's shared-memory kernel.
+    GpuShared,
+    /// Simulated-GPU kernel: global-memory-only.
+    GpuGlobal,
+    /// Simulated-GPU kernel: compressed-STT.
+    GpuCompressed,
+    /// Simulated-GPU kernel: failureless PFAC.
+    GpuPfac,
+}
+
+impl Engine {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "serial" => Ok(Engine::Serial),
+            "parallel" => Ok(Engine::Parallel),
+            "gpu:shared" => Ok(Engine::GpuShared),
+            "gpu:global" => Ok(Engine::GpuGlobal),
+            "gpu:compressed" => Ok(Engine::GpuCompressed),
+            "gpu:pfac" => Ok(Engine::GpuPfac),
+            other => Err(ParseError(format!(
+                "unknown engine '{other}' (serial, parallel, gpu:shared, gpu:global, \
+                 gpu:compressed, gpu:pfac)"
+            ))),
+        }
+    }
+
+    /// All engines with their CLI names (for `compare`).
+    pub fn all() -> [(Engine, &'static str); 6] {
+        [
+            (Engine::Serial, "serial"),
+            (Engine::Parallel, "parallel"),
+            (Engine::GpuShared, "gpu:shared"),
+            (Engine::GpuGlobal, "gpu:global"),
+            (Engine::GpuCompressed, "gpu:compressed"),
+            (Engine::GpuPfac, "gpu:pfac"),
+        ]
+    }
+}
+
+/// Parsed subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Match and print occurrences (or just the count).
+    Match,
+    /// Print automaton structure statistics.
+    Stats,
+    /// Emit the machine as Graphviz DOT.
+    Dot,
+    /// Run every engine and print a comparison table.
+    Compare,
+}
+
+/// Full parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// The subcommand.
+    pub command: Command,
+    /// Dictionary file (one pattern per line; `\xNN` escapes allowed).
+    pub patterns: PathBuf,
+    /// Input file to scan (required by `match`/`compare`, optional for
+    /// `stats`).
+    pub input: Option<PathBuf>,
+    /// Engine for `match`.
+    pub engine: Engine,
+    /// Count only (skip printing individual matches).
+    pub count_only: bool,
+    /// Simulated device: `gtx285` (default) or `fermi`.
+    pub fermi: bool,
+    /// Limit on printed matches.
+    pub limit: usize,
+}
+
+/// A human-readable argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "usage:
+  acsim match   --patterns FILE --input FILE [--engine E] [--count] [--fermi] [--limit N]
+  acsim compare --patterns FILE --input FILE [--fermi]
+  acsim stats   --patterns FILE [--input FILE]
+  acsim dot     --patterns FILE
+engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed | gpu:pfac";
+
+/// Parse an argument vector (without the program name).
+pub fn parse<I, S>(args: I) -> Result<Options, ParseError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut it = args.into_iter();
+    let command = match it.next().as_ref().map(|s| s.as_ref()) {
+        Some("match") => Command::Match,
+        Some("stats") => Command::Stats,
+        Some("dot") => Command::Dot,
+        Some("compare") => Command::Compare,
+        Some(other) => return Err(ParseError(format!("unknown command '{other}'\n{USAGE}"))),
+        None => return Err(ParseError(USAGE.into())),
+    };
+    let mut patterns: Option<PathBuf> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut engine = Engine::GpuShared;
+    let mut count_only = false;
+    let mut fermi = false;
+    let mut limit = 20usize;
+    while let Some(a) = it.next() {
+        match a.as_ref() {
+            "--patterns" => {
+                patterns = Some(PathBuf::from(
+                    it.next().ok_or_else(|| ParseError("--patterns needs a file".into()))?.as_ref(),
+                ))
+            }
+            "--input" => {
+                input = Some(PathBuf::from(
+                    it.next().ok_or_else(|| ParseError("--input needs a file".into()))?.as_ref(),
+                ))
+            }
+            "--engine" => {
+                engine = Engine::parse(
+                    it.next().ok_or_else(|| ParseError("--engine needs a value".into()))?.as_ref(),
+                )?
+            }
+            "--count" => count_only = true,
+            "--fermi" => fermi = true,
+            "--limit" => {
+                limit = it
+                    .next()
+                    .ok_or_else(|| ParseError("--limit needs a number".into()))?
+                    .as_ref()
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --limit: {e}")))?
+            }
+            other => return Err(ParseError(format!("unknown flag '{other}'\n{USAGE}"))),
+        }
+    }
+    let patterns = patterns.ok_or_else(|| ParseError("--patterns is required".into()))?;
+    if matches!(command, Command::Match | Command::Compare) && input.is_none() {
+        return Err(ParseError(format!("{command:?} requires --input")));
+    }
+    Ok(Options { command, patterns, input, engine, count_only, fermi, limit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Options, ParseError> {
+        parse(args.iter().copied())
+    }
+
+    #[test]
+    fn parses_full_match_invocation() {
+        let o = p(&[
+            "match", "--patterns", "d.txt", "--input", "c.bin", "--engine", "gpu:global",
+            "--count", "--fermi", "--limit", "5",
+        ])
+        .unwrap();
+        assert_eq!(o.command, Command::Match);
+        assert_eq!(o.engine, Engine::GpuGlobal);
+        assert!(o.count_only);
+        assert!(o.fermi);
+        assert_eq!(o.limit, 5);
+    }
+
+    #[test]
+    fn defaults() {
+        let o = p(&["match", "--patterns", "d", "--input", "i"]).unwrap();
+        assert_eq!(o.engine, Engine::GpuShared);
+        assert!(!o.count_only);
+        assert_eq!(o.limit, 20);
+    }
+
+    #[test]
+    fn stats_without_input_is_fine() {
+        let o = p(&["stats", "--patterns", "d"]).unwrap();
+        assert_eq!(o.command, Command::Stats);
+        assert!(o.input.is_none());
+    }
+
+    #[test]
+    fn match_requires_input() {
+        assert!(p(&["match", "--patterns", "d"]).is_err());
+        assert!(p(&["compare", "--patterns", "d"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(p(&["frobnicate"]).is_err());
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--engine", "tpu"]).is_err());
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--wat"]).is_err());
+        assert!(p(&[]).is_err());
+    }
+
+    #[test]
+    fn every_engine_name_parses() {
+        for (e, name) in Engine::all() {
+            assert_eq!(Engine::parse(name).unwrap(), e);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Nucleotide-sequence generation for the bioinformatics workloads the
+//! paper's introduction motivates (genome/protein matching, Tumeo & Villa
+//! style DNA analysis).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded DNA generator over the {A, C, G, T} alphabet with configurable
+/// GC content and occasional homopolymer runs (real genomes are not
+/// uniform, and the runs matter for automaton overlap behaviour).
+#[derive(Debug, Clone)]
+pub struct DnaGenerator {
+    rng: StdRng,
+    /// Probability of G or C at each position, in [0, 1]. Human ≈ 0.41.
+    gc_content: f64,
+}
+
+impl DnaGenerator {
+    /// Generator with human-like GC content.
+    pub fn new(seed: u64) -> Self {
+        Self::with_gc_content(seed, 0.41)
+    }
+
+    /// Generator with explicit GC content.
+    ///
+    /// # Panics
+    /// Panics if `gc_content` is outside [0, 1].
+    pub fn with_gc_content(seed: u64, gc_content: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gc_content), "gc_content must be in [0,1]");
+        DnaGenerator { rng: StdRng::seed_from_u64(seed), gc_content }
+    }
+
+    /// Generate `len` bases.
+    pub fn generate(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let base = self.sample_base();
+            // 2% of positions start a short homopolymer run.
+            if self.rng.random_range(0..50) == 0 {
+                let run = self.rng.random_range(3..9usize).min(len - out.len());
+                out.extend(std::iter::repeat_n(base, run));
+            } else {
+                out.push(base);
+            }
+        }
+        out.truncate(len);
+        out
+    }
+
+    fn sample_base(&mut self) -> u8 {
+        let gc: f64 = self.rng.random_range(0.0..1.0);
+        if gc < self.gc_content {
+            if self.rng.random_bool(0.5) {
+                b'G'
+            } else {
+                b'C'
+            }
+        } else if self.rng.random_bool(0.5) {
+            b'A'
+        } else {
+            b'T'
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_length_and_alphabet() {
+        let mut g = DnaGenerator::new(5);
+        let s = g.generate(10_000);
+        assert_eq!(s.len(), 10_000);
+        assert!(s.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(DnaGenerator::new(1).generate(5000), DnaGenerator::new(1).generate(5000));
+    }
+
+    #[test]
+    fn gc_content_respected() {
+        let mut g = DnaGenerator::with_gc_content(2, 0.8);
+        let s = g.generate(100_000);
+        let gc = s.iter().filter(|&&b| b == b'G' || b == b'C').count() as f64 / s.len() as f64;
+        assert!((0.7..0.9).contains(&gc), "gc {gc}");
+    }
+
+    #[test]
+    fn homopolymer_runs_exist() {
+        let mut g = DnaGenerator::new(3);
+        let s = g.generate(50_000);
+        let has_run = s.windows(4).any(|w| w.iter().all(|&b| b == w[0]));
+        assert!(has_run);
+    }
+
+    #[test]
+    #[should_panic(expected = "gc_content")]
+    fn bad_gc_rejected() {
+        DnaGenerator::with_gc_content(0, 1.5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Experiment grids: the data-size × pattern-count matrix of the paper's
+//! evaluation (§V: "input data sizes in the range of 50KB - 200MB and the
+//! numbers of patterns in the range of 100 - 20,000").
+
+use serde::{Deserialize, Serialize};
+
+/// One axis-product grid of experiment points.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentGrid {
+    /// Input sizes in bytes.
+    pub sizes: Vec<usize>,
+    /// Dictionary sizes (number of patterns).
+    pub pattern_counts: Vec<usize>,
+}
+
+impl ExperimentGrid {
+    /// Iterate all `(size, patterns)` points, sizes-major (the paper's
+    /// figures group series by pattern count along a size x-axis).
+    pub fn points(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.sizes
+            .iter()
+            .flat_map(move |&s| self.pattern_counts.iter().map(move |&p| (s, p)))
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.sizes.len() * self.pattern_counts.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The paper-scale grid: representative points of the 50 KB–200 MB ×
+/// 100–20 000 ranges used by Figs. 13–23.
+pub fn paper_grid() -> ExperimentGrid {
+    ExperimentGrid {
+        sizes: vec![
+            50 * 1024,
+            1024 * 1024,
+            10 * 1024 * 1024,
+            100 * 1024 * 1024,
+            200 * 1024 * 1024,
+        ],
+        pattern_counts: vec![100, 1_000, 10_000, 20_000],
+    }
+}
+
+/// A scaled-down grid for single-core hosts / CI: same pattern counts (they
+/// drive the interesting cache effects), smaller inputs (input size mostly
+/// just scales run time linearly once past a few hundred kilobytes).
+pub fn scaled_grid() -> ExperimentGrid {
+    ExperimentGrid {
+        sizes: vec![50 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024],
+        pattern_counts: vec![100, 1_000, 10_000, 20_000],
+    }
+}
+
+/// A minimal smoke-test grid for integration tests.
+pub fn smoke_grid() -> ExperimentGrid {
+    ExperimentGrid { sizes: vec![32 * 1024, 128 * 1024], pattern_counts: vec![50, 500] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_matches_paper_ranges() {
+        let g = paper_grid();
+        assert_eq!(*g.sizes.first().unwrap(), 50 * 1024);
+        assert_eq!(*g.sizes.last().unwrap(), 200 * 1024 * 1024);
+        assert_eq!(*g.pattern_counts.first().unwrap(), 100);
+        assert_eq!(*g.pattern_counts.last().unwrap(), 20_000);
+        assert_eq!(g.len(), 20);
+    }
+
+    #[test]
+    fn points_enumerates_product() {
+        let g = ExperimentGrid { sizes: vec![1, 2], pattern_counts: vec![10, 20, 30] };
+        let pts: Vec<_> = g.points().collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], (1, 10));
+        assert_eq!(pts[5], (2, 30));
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn scaled_grid_keeps_pattern_axis() {
+        assert_eq!(scaled_grid().pattern_counts, paper_grid().pattern_counts);
+        assert!(scaled_grid().sizes.iter().max() < paper_grid().sizes.iter().max());
+    }
+}

@@ -1,0 +1,37 @@
+//! # corpus — deterministic workload generation
+//!
+//! The paper's inputs come from "50GB of data ... from a variety of
+//! magazines such as TIME, BBC"; both the scanned text and the reference
+//! patterns are extracted from that collection (§V). We do not have the
+//! collection, so this crate generates seeded synthetic equivalents that
+//! preserve the two properties the experiments depend on:
+//!
+//! 1. realistic symbol skew (English letter/word distribution), so the DFA
+//!    spends its time in a realistic state distribution and the texture /
+//!    CPU caches see realistic locality;
+//! 2. patterns drawn *from the text's own distribution* (extraction, the
+//!    paper's own methodology), so matches actually occur at realistic
+//!    rates.
+//!
+//! Three generators cover the motivating domains of the paper's
+//! introduction:
+//!
+//! * [`text`] — English-like magazine text (word-frequency sampling),
+//! * [`dna`] — nucleotide sequences for the bioinformatics workloads,
+//! * [`signatures`] — Snort-like byte signatures for intrusion detection.
+//!
+//! Everything is seeded and deterministic: the same `(seed, params)` pair
+//! always produces the same bytes, so every figure in EXPERIMENTS.md is
+//! exactly reproducible.
+
+pub mod dna;
+pub mod grid;
+pub mod patterns;
+pub mod signatures;
+pub mod text;
+
+pub use dna::DnaGenerator;
+pub use grid::{paper_grid, scaled_grid, smoke_grid, ExperimentGrid};
+pub use patterns::{extract_patterns, ExtractConfig};
+pub use signatures::SignatureGenerator;
+pub use text::TextGenerator;

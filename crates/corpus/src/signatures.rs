@@ -1,0 +1,157 @@
+//! Snort-like intrusion-detection signatures.
+//!
+//! Network IDS is the paper's lead application (deep packet inspection).
+//! Real Snort content strings mix ASCII tokens ("GET /", "cmd.exe") with
+//! raw byte sequences (shellcode stubs, protocol magic). This generator
+//! produces dictionaries with that mix so the IDS example and benches
+//! exercise the full byte alphabet, not just prose.
+
+use ac_core::PatternSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Protocol/attack tokens that anchor the ASCII part of signatures.
+const TOKENS: &[&str] = &[
+    "GET /", "POST /", "HEAD /", "HTTP/1.1", "User-Agent:", "Content-Length:", "cmd.exe",
+    "/bin/sh", "/etc/passwd", "SELECT ", "UNION ", "INSERT ", "DROP TABLE", "<script>",
+    "javascript:", "onerror=", "../..", "%00", "%n%n", "\\x90\\x90", "admin'--", "passwd=",
+    "login=", ".htaccess", "wp-admin", "phpMyAdmin", "xp_cmdshell", "powershell", "wget http",
+    "curl http", "chmod 777", "nc -e", "bash -i", "eval(", "base64_decode", "CONNECT ",
+];
+
+/// Seeded signature generator.
+#[derive(Debug, Clone)]
+pub struct SignatureGenerator {
+    rng: StdRng,
+}
+
+impl SignatureGenerator {
+    /// Create a generator.
+    pub fn new(seed: u64) -> Self {
+        SignatureGenerator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generate one signature of 4–24 bytes: a token, optionally followed
+    /// by a short random payload (alphanumeric or raw bytes).
+    pub fn signature(&mut self) -> Vec<u8> {
+        let token = TOKENS[self.rng.random_range(0..TOKENS.len())];
+        let mut sig = token.as_bytes().to_vec();
+        match self.rng.random_range(0..3) {
+            0 => {} // bare token
+            1 => {
+                // Alphanumeric payload suffix.
+                let n = self.rng.random_range(2..10usize);
+                for _ in 0..n {
+                    let c = b"abcdefghijklmnopqrstuvwxyz0123456789"
+                        [self.rng.random_range(0..36usize)];
+                    sig.push(c);
+                }
+            }
+            _ => {
+                // Raw byte payload (shellcode-ish).
+                let n = self.rng.random_range(2..8usize);
+                for _ in 0..n {
+                    sig.push(self.rng.random_range(0..=255u8));
+                }
+            }
+        }
+        sig.truncate(24);
+        sig
+    }
+
+    /// Generate a dictionary of `count` distinct signatures.
+    pub fn dictionary(&mut self, count: usize) -> PatternSet {
+        let mut seen = std::collections::HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let mut s = self.signature();
+            if seen.len() > 8 * count {
+                // Pathologically small space requested; disambiguate.
+                s.extend_from_slice(format!("#{}", out.len()).as_bytes());
+            }
+            if seen.insert(s.clone()) {
+                out.push(s);
+            }
+        }
+        PatternSet::new(out).expect("signatures are non-empty")
+    }
+
+    /// Generate `len` bytes of packet-like traffic: mostly ASCII
+    /// HTTP-flavoured filler with occasional embedded signatures (so IDS
+    /// scans actually fire) and random binary stretches.
+    pub fn traffic(&mut self, len: usize, dictionary: &PatternSet) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len + 32);
+        while out.len() < len {
+            match self.rng.random_range(0..10) {
+                // 10%: embed a real signature (an "attack").
+                0 => {
+                    let id = self.rng.random_range(0..dictionary.len()) as u32;
+                    out.extend_from_slice(dictionary.get(id));
+                }
+                // 20%: binary stretch.
+                1 | 2 => {
+                    let n = self.rng.random_range(8..64usize);
+                    for _ in 0..n {
+                        out.push(self.rng.random_range(0..=255u8));
+                    }
+                }
+                // 70%: benign ASCII header-ish filler.
+                _ => {
+                    let n = self.rng.random_range(16..80usize);
+                    for _ in 0..n {
+                        let c = b"abcdefghijklmnopqrstuvwxyz0123456789 .:/-=&?"
+                            [self.rng.random_range(0..44usize)];
+                        out.push(c);
+                    }
+                    out.extend_from_slice(b"\r\n");
+                }
+            }
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::AcAutomaton;
+
+    #[test]
+    fn dictionary_is_distinct_and_sized() {
+        let mut g = SignatureGenerator::new(1);
+        let d = g.dictionary(400);
+        assert_eq!(d.len(), 400);
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in d.iter() {
+            assert!(seen.insert(p.to_vec()));
+            assert!(!p.is_empty() && p.len() <= 24 + 8);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SignatureGenerator::new(9).dictionary(100);
+        let b = SignatureGenerator::new(9).dictionary(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traffic_contains_attacks() {
+        let mut g = SignatureGenerator::new(4);
+        let d = g.dictionary(50);
+        let t = g.traffic(100_000, &d);
+        assert_eq!(t.len(), 100_000);
+        let ac = AcAutomaton::build(&d);
+        let hits = ac.find_all(&t);
+        assert!(!hits.is_empty(), "traffic should contain embedded signatures");
+    }
+
+    #[test]
+    fn traffic_has_binary_content() {
+        let mut g = SignatureGenerator::new(4);
+        let d = g.dictionary(10);
+        let t = g.traffic(50_000, &d);
+        assert!(t.iter().any(|&b| b >= 0x80), "expected non-ASCII bytes");
+    }
+}

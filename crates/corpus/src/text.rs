@@ -1,0 +1,148 @@
+//! English-like text generation.
+//!
+//! Samples words from a frequency-weighted vocabulary (common English
+//! function words heavily weighted, a long tail of content words) with
+//! sentence punctuation and capitalization. The output is not literature,
+//! but its byte-level statistics — letter skew, word lengths, whitespace
+//! density — are close enough to magazine prose for cache and automaton
+//! behaviour, which is all the experiments consume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// High-frequency English words, roughly ordered by frequency. The
+/// generator samples index `i` with weight `1/(i+1)` (Zipf-like).
+const COMMON: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as", "his",
+    "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they",
+    "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
+    "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
+    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
+    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
+    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
+    "must", "through", "back", "years", "where", "much", "your", "way", "well", "down", "should",
+    "because", "each", "just", "those", "people", "how", "too", "little", "state", "good",
+    "very", "make", "world", "still", "own", "see", "men", "work", "long", "get", "here",
+    "between", "both", "life", "being", "under", "never", "day", "same", "another", "know",
+    "while", "last", "might", "us", "great", "old", "year", "off", "come", "since", "against",
+    "go", "came", "right", "used", "take", "three", "himself", "few", "house", "use", "during",
+    "without", "again", "place", "american", "around", "however", "home", "small", "found",
+    "thought", "went", "say", "part", "once", "general", "high", "upon", "school", "every",
+    "report", "percent", "press", "market", "company", "government", "country", "system",
+    "program", "question", "number", "night", "point", "interest", "business", "service",
+    "economy", "policy", "health", "research", "history", "science", "nature", "culture",
+    "music", "travel", "sports", "weather", "money", "power", "water", "family", "mother",
+    "father", "children", "morning", "evening", "member", "million", "billion", "president",
+    "minister", "election", "israel", "europe", "africa", "china", "russia", "america",
+    "london", "magazine", "article", "editor", "reader", "writer", "story", "picture",
+];
+
+/// Seeded English-like text generator.
+#[derive(Debug, Clone)]
+pub struct TextGenerator {
+    rng: StdRng,
+    /// Precomputed cumulative Zipf weights over [`COMMON`].
+    cumulative: Vec<f64>,
+}
+
+impl TextGenerator {
+    /// Create a generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        let mut cumulative = Vec::with_capacity(COMMON.len());
+        let mut acc = 0.0;
+        for i in 0..COMMON.len() {
+            acc += 1.0 / (i as f64 + 1.0);
+            cumulative.push(acc);
+        }
+        TextGenerator { rng: StdRng::seed_from_u64(seed), cumulative }
+    }
+
+    fn next_word(&mut self) -> &'static str {
+        let total = *self.cumulative.last().expect("vocabulary is not empty");
+        let x: f64 = self.rng.random_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        COMMON[idx.min(COMMON.len() - 1)]
+    }
+
+    /// Generate exactly `len` bytes of prose.
+    pub fn generate(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len + 16);
+        let mut sentence_words = 0usize;
+        let mut capitalize = true;
+        while out.len() < len {
+            let w = self.next_word();
+            if capitalize {
+                let mut it = w.bytes();
+                if let Some(first) = it.next() {
+                    out.push(first.to_ascii_uppercase());
+                }
+                out.extend(it);
+                capitalize = false;
+            } else {
+                out.extend_from_slice(w.as_bytes());
+            }
+            sentence_words += 1;
+            // End the sentence every 8–18 words.
+            if sentence_words >= 8 && (sentence_words >= 18 || self.rng.random_range(0..10) == 0) {
+                out.push(b'.');
+                out.push(b' ');
+                sentence_words = 0;
+                capitalize = true;
+            } else {
+                out.push(if self.rng.random_range(0..60) == 0 { b',' } else { b' ' });
+            }
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_length() {
+        let mut g = TextGenerator::new(1);
+        for len in [0usize, 1, 7, 1000, 65_537] {
+            assert_eq!(g.generate(len).len(), len);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TextGenerator::new(42).generate(10_000);
+        let b = TextGenerator::new(42).generate(10_000);
+        assert_eq!(a, b);
+        let c = TextGenerator::new(43).generate(10_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn output_is_printable_prose() {
+        let t = TextGenerator::new(7).generate(50_000);
+        assert!(t.iter().all(|&b| b.is_ascii_graphic() || b == b' '));
+        // Reasonable whitespace density for prose: one space per 3–10
+        // bytes.
+        let spaces = t.iter().filter(|&&b| b == b' ').count();
+        let ratio = t.len() as f64 / spaces as f64;
+        assert!((3.0..10.0).contains(&ratio), "bytes per space {ratio}");
+    }
+
+    #[test]
+    fn letter_distribution_is_skewed() {
+        // 'e' must be much more common than 'z' — the skew that creates
+        // hot DFA states.
+        let t = TextGenerator::new(3).generate(100_000);
+        let e = t.iter().filter(|&&b| b == b'e').count();
+        let z = t.iter().filter(|&&b| b == b'z').count();
+        assert!(e > 20 * (z + 1), "e={e} z={z}");
+    }
+
+    #[test]
+    fn common_words_present() {
+        let t = TextGenerator::new(9).generate(20_000);
+        let s = String::from_utf8(t).unwrap();
+        assert!(s.contains("the ") || s.contains("The "));
+    }
+}

@@ -1,0 +1,28 @@
+//! # cpu-sim — serial CPU timing model for the paper's baseline
+//!
+//! The paper's serial baseline runs the AC DFA on one core of a 2.2 GHz
+//! Intel Core2-class processor (§V). Its run time grows with the pattern
+//! count because the STT stops fitting in cache: at 100 patterns the hot
+//! rows live in L1/L2, at 20 000 patterns the table is hundreds of
+//! megabytes and most row accesses go to memory. That cache mechanism is
+//! what produces the *shape* of paper Figs. 13/16 and the denominators of
+//! the speedup figures (Figs. 20–21), so this crate models exactly that:
+//!
+//! * an in-order core with a fixed per-byte instruction cost,
+//! * an L1D + L2 cache hierarchy (from `mem-sim`) walked with the *real*
+//!   addresses the serial matcher touches — the sequential input bytes and
+//!   the `(state, symbol)` STT entries of the actual DFA walk over the
+//!   actual text.
+//!
+//! The model is calibrated (see [`CpuConfig::core2duo_2_2ghz`]) so that
+//! absolute serial throughput lands in the plausible range for the paper's
+//! machine (a few Gbit/s at small pattern counts, a few hundred Mbit/s at
+//! 20 000 patterns).
+
+pub mod config;
+pub mod model;
+pub mod multicore;
+
+pub use config::CpuConfig;
+pub use model::{simulate_serial, CpuRunReport};
+pub use multicore::{simulate_multicore, MulticoreReport};

@@ -1,0 +1,184 @@
+//! The serial-matcher timing walk.
+
+use crate::config::CpuConfig;
+use ac_core::stt::STT_COLUMNS;
+use ac_core::Stt;
+use mem_sim::{Cache, CacheStats};
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating the serial matcher over one input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuRunReport {
+    /// Total modelled cycles.
+    pub cycles: u64,
+    /// Input length in bytes.
+    pub bytes: usize,
+    /// Matching states entered (output-expansion work indicator).
+    pub match_states: u64,
+    /// L1D statistics.
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+}
+
+impl CpuRunReport {
+    /// Modelled wall time in seconds.
+    pub fn seconds(&self, cfg: &CpuConfig) -> f64 {
+        cfg.cycles_to_seconds(self.cycles)
+    }
+
+    /// Modelled throughput in Gbit/s.
+    pub fn gbps(&self, cfg: &CpuConfig) -> f64 {
+        cfg.gbps(self.bytes, self.cycles)
+    }
+}
+
+/// Address-space layout of the modelled process: the input buffer starts at
+/// a large offset so it never aliases STT lines in the set-indexed caches.
+const STT_BASE: u64 = 0;
+const INPUT_BASE: u64 = 1 << 40;
+
+/// Simulate the paper's serial matcher (single core) over `text`.
+///
+/// Walks the *real* DFA over the *real* input, feeding every memory
+/// reference through the modelled L1/L2:
+///
+/// * one sequential input-byte read per position,
+/// * one STT entry read per position at `(state_row, 1 + symbol)` —
+///   the next-state lookup of paper Fig. 2,
+/// * one STT match-flag read per position at `(next_row, 0)`.
+///
+/// Cost per byte = `base_cycles_per_byte` + miss penalties.
+pub fn simulate_serial(cfg: &CpuConfig, stt: &Stt, text: &[u8]) -> CpuRunReport {
+    let mut l1 = Cache::new(cfg.l1);
+    let mut l2 = Cache::new(cfg.l2);
+    let mut cycles: u64 = 0;
+    let mut match_states: u64 = 0;
+    let mut state = 0u32;
+
+    let touch = |addr: u64, l1: &mut Cache, l2: &mut Cache| -> u64 {
+        if l1.access(addr).is_hit() {
+            0
+        } else if l2.access(addr).is_hit() {
+            cfg.l1_miss_cycles as u64
+        } else {
+            (cfg.l1_miss_cycles + cfg.l2_miss_cycles) as u64
+        }
+    };
+
+    for (i, &b) in text.iter().enumerate() {
+        cycles += cfg.base_cycles_per_byte as u64;
+        // Input byte (sequential; one miss per line).
+        cycles += touch(INPUT_BASE + i as u64, &mut l1, &mut l2);
+        // Next-state entry.
+        let entry = STT_BASE + (state as u64 * STT_COLUMNS as u64 + 1 + b as u64) * 4;
+        cycles += touch(entry, &mut l1, &mut l2);
+        state = stt.next(state, b);
+        // Match flag of the state just entered (column 0).
+        let flag = STT_BASE + state as u64 * STT_COLUMNS as u64 * 4;
+        cycles += touch(flag, &mut l1, &mut l2);
+        if stt.is_match(state) {
+            match_states += 1;
+            // Output expansion: short, mostly-cached work.
+            cycles += 8;
+        }
+    }
+
+    CpuRunReport { cycles, bytes: text.len(), match_states, l1: l1.stats(), l2: l2.stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::{AcAutomaton, PatternSet};
+
+    fn stt_for(pats: &[&str]) -> Stt {
+        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap()).stt().clone()
+    }
+
+    fn text(n: usize) -> Vec<u8> {
+        // Deterministic English-ish junk.
+        let sample = b"the quick brown fox hers he she his ";
+        (0..n).map(|i| sample[i % sample.len()]).collect()
+    }
+
+    #[test]
+    fn empty_text_costs_nothing() {
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let r = simulate_serial(&cfg, &stt_for(&["he"]), b"");
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.bytes, 0);
+        assert_eq!(r.gbps(&cfg), 0.0);
+    }
+
+    #[test]
+    fn cycles_scale_roughly_linearly_with_input() {
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let stt = stt_for(&["he", "she", "his", "hers"]);
+        let r1 = simulate_serial(&cfg, &stt, &text(10_000));
+        let r2 = simulate_serial(&cfg, &stt, &text(20_000));
+        let ratio = r2.cycles as f64 / r1.cycles as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_automaton_is_cache_resident() {
+        // 10 states × ~1 KB of rows fits easily in L1: after warmup the
+        // hit rate must be very high and per-byte cost near base.
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let stt = stt_for(&["he", "she", "his", "hers"]);
+        let t = text(200_000);
+        let r = simulate_serial(&cfg, &stt, &t);
+        assert!(r.l1.hit_rate() > 0.98, "hit rate {}", r.l1.hit_rate());
+        // Per-byte cost ≈ base + match-expansion work (this sample text is
+        // match-dense) + a small miss term; nowhere near the miss-dominated
+        // regime of a large automaton.
+        let per_byte = r.cycles as f64 / t.len() as f64;
+        assert!(per_byte < cfg.base_cycles_per_byte as f64 + 6.0, "per byte {per_byte}");
+    }
+
+    #[test]
+    fn large_automaton_degrades_throughput() {
+        // The paper's mechanism: more patterns → bigger STT → more cache
+        // misses → lower serial throughput (Figs. 13/16).
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let small = stt_for(&["qq", "zz"]);
+        let many: Vec<String> = (0..3000)
+            .map(|i| format!("{:04x}{:03}", i * 2654435761u64 % 65536, i % 971))
+            .collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        let big = stt_for(&refs);
+        assert!(big.size_bytes() > 4 * 1024 * 1024, "table only {} bytes", big.size_bytes());
+        let t = text(300_000);
+        let fast = simulate_serial(&cfg, &small, &t);
+        let slow = simulate_serial(&cfg, &big, &t);
+        assert!(
+            slow.cycles > fast.cycles,
+            "big-table walk not slower: {} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn match_states_counted() {
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let stt = stt_for(&["he"]);
+        let r = simulate_serial(&cfg, &stt, b"he he he");
+        assert_eq!(r.match_states, 3);
+    }
+
+    #[test]
+    fn report_units() {
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let r = CpuRunReport {
+            cycles: 2_200_000_000,
+            bytes: 440_000_000,
+            match_states: 0,
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+        };
+        assert!((r.seconds(&cfg) - 1.0).abs() < 1e-9);
+        assert!((r.gbps(&cfg) - 3.52).abs() < 0.01);
+    }
+}

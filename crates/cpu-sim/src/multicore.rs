@@ -1,0 +1,147 @@
+//! Multicore CPU timing model — the "best multithreaded implementation on
+//! a multicore processor" baseline of the paper's related work (Zha &
+//! Sahni report their GPU at 2.4–3.2× over it).
+//!
+//! Models the paper's 4-core 2.2 GHz processor running the chunked
+//! matcher: each core walks its own chunk (with the X overlap) through a
+//! private L1, while all cores share the L2 — modelled, under the
+//! independent-core simulation used here, as each core seeing a
+//! `1/cores` capacity slice for its (mostly disjoint) input stream plus
+//! the shared STT hot set. Wall time is the slowest core; scaling is
+//! sublinear exactly when the shared L2 is the constraint, which is what
+//! real Core 2 machines showed on this workload.
+
+use crate::config::CpuConfig;
+use crate::model::{simulate_serial, CpuRunReport};
+use ac_core::Stt;
+use serde::{Deserialize, Serialize};
+
+/// Result of the multicore model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticoreReport {
+    /// Per-core reports (chunked; the overlap bytes are double-scanned
+    /// exactly as a real chunked run double-scans them).
+    pub cores: Vec<CpuRunReport>,
+    /// Wall cycles = slowest core.
+    pub cycles: u64,
+    /// Input bytes (owned, not counting overlap rescans).
+    pub bytes: usize,
+}
+
+impl MulticoreReport {
+    /// Modelled wall seconds.
+    pub fn seconds(&self, cfg: &CpuConfig) -> f64 {
+        cfg.cycles_to_seconds(self.cycles)
+    }
+
+    /// Modelled throughput in Gbit/s.
+    pub fn gbps(&self, cfg: &CpuConfig) -> f64 {
+        cfg.gbps(self.bytes, self.cycles)
+    }
+
+    /// Speedup over a given serial run.
+    pub fn speedup_over(&self, serial: &CpuRunReport) -> f64 {
+        if self.cycles == 0 {
+            return 1.0;
+        }
+        serial.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Simulate `cores` cores scanning `text` in equal chunks with `overlap`
+/// extra bytes per chunk.
+pub fn simulate_multicore(
+    cfg: &CpuConfig,
+    stt: &Stt,
+    text: &[u8],
+    cores: usize,
+    overlap: usize,
+) -> MulticoreReport {
+    assert!(cores >= 1, "at least one core");
+    // Shared L2: each core effectively sees a capacity slice. Keep the
+    // geometry valid (power-of-two sets) by halving until it fits.
+    let mut per_core = *cfg;
+    let mut share = cfg.l2.size_bytes / cores.next_power_of_two() as u32;
+    share = share.max(cfg.l2.line_bytes * cfg.l2.associativity);
+    per_core.l2.size_bytes = share;
+
+    let chunk = text.len().div_ceil(cores).max(1);
+    let mut reports = Vec::with_capacity(cores);
+    for c in 0..cores {
+        let start = (c * chunk).min(text.len());
+        let end = ((c + 1) * chunk).min(text.len());
+        let scan_end = (end + overlap).min(text.len());
+        reports.push(simulate_serial(&per_core, stt, &text[start..scan_end]));
+    }
+    let cycles = reports.iter().map(|r| r.cycles).max().unwrap_or(0);
+    MulticoreReport { cores: reports, cycles, bytes: text.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::{AcAutomaton, PatternSet};
+
+    fn stt_for(pats: &[&str]) -> Stt {
+        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap()).stt().clone()
+    }
+
+    fn text(n: usize) -> Vec<u8> {
+        let sample = b"the quick brown fox hers he she his ";
+        (0..n).map(|i| sample[i % sample.len()]).collect()
+    }
+
+    #[test]
+    fn four_cores_beat_one_sublinearly() {
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let stt = stt_for(&["he", "she", "his", "hers"]);
+        let t = text(400_000);
+        let serial = simulate_serial(&cfg, &stt, &t);
+        let quad = simulate_multicore(&cfg, &stt, &t, 4, 3);
+        let s = quad.speedup_over(&serial);
+        assert!(s > 2.0, "speedup {s}");
+        assert!(s <= 4.05, "superlinear speedup {s} is implausible");
+        assert!((quad.gbps(&cfg) / serial.gbps(&cfg) - s).abs() < 0.05);
+    }
+
+    #[test]
+    fn one_core_equals_serial() {
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let stt = stt_for(&["he"]);
+        let t = text(50_000);
+        let serial = simulate_serial(&cfg, &stt, &t);
+        let single = simulate_multicore(&cfg, &stt, &t, 1, 1);
+        assert_eq!(single.cycles, serial.cycles);
+        assert_eq!(single.cores.len(), 1);
+    }
+
+    #[test]
+    fn large_automaton_scales_worse() {
+        // With the STT thrashing the shared L2, per-core slices hurt:
+        // 4-core speedup at 3 000 patterns must be below the speedup at 4
+        // patterns.
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let t = text(300_000);
+        let small = stt_for(&["he", "she", "his", "hers"]);
+        let many: Vec<String> = (0..3000).map(|i| format!("{:06x}p{i}", i * 2654435761u64 % 16777216)).collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        let big = stt_for(&refs);
+        let s_small = simulate_multicore(&cfg, &small, &t, 4, 3)
+            .speedup_over(&simulate_serial(&cfg, &small, &t));
+        let s_big = simulate_multicore(&cfg, &big, &t, 4, 8)
+            .speedup_over(&simulate_serial(&cfg, &big, &t));
+        assert!(
+            s_big < s_small + 0.2,
+            "cache-bound workload should not scale better: {s_big} vs {s_small}"
+        );
+    }
+
+    #[test]
+    fn empty_text() {
+        let cfg = CpuConfig::core2duo_2_2ghz();
+        let stt = stt_for(&["x"]);
+        let r = simulate_multicore(&cfg, &stt, b"", 4, 0);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.gbps(&cfg), 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Device configuration: geometry, latencies and clocks of the simulated
+//! GPU, with a preset matching the paper's Nvidia GeForce GTX 285.
+
+use mem_sim::{CacheConfig, DramConfig};
+use serde::{Deserialize, Serialize};
+
+/// Full description of a simulated device.
+///
+/// The defaults follow the GT200 generation (the GTX 285 of the paper):
+/// warp-wide SIMT issue over 8 scalar cores per SM, 16 KB of shared memory
+/// split into 16 banks evaluated per half-warp, per-half-warp global-memory
+/// coalescing into 32/64/128-byte transactions, and a small per-SM
+/// read-only texture cache in front of device DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors. GTX 285: 30.
+    pub num_sms: u32,
+    /// Scalar cores ("thread processors") per SM. GTX 285: 8, giving the
+    /// device's 240 cores.
+    pub cores_per_sm: u32,
+    /// Threads per warp. GT200: 32.
+    pub warp_size: u32,
+    /// Shared memory per SM in bytes. GTX 285: 16 KB.
+    pub shared_mem_bytes: u32,
+    /// Shared-memory banks. GT200: 16, one 32-bit word wide each,
+    /// evaluated per half-warp.
+    pub shared_banks: u32,
+    /// Max resident warps per SM (occupancy ceiling). GT200: 32.
+    pub max_warps_per_sm: u32,
+    /// Max resident blocks per SM. GT200: 8.
+    pub max_blocks_per_sm: u32,
+    /// Cycles to issue one warp instruction: `warp_size / cores_per_sm`
+    /// on real GT200 (4); kept explicit so ablations can vary it.
+    pub issue_cycles: u32,
+    /// Latency of a shared-memory access (register-speed on GT200).
+    pub shared_latency: u32,
+    /// Texture-cache hit latency in cycles.
+    pub tex_hit_latency: u32,
+    /// Texture-pipeline throughput in fetches per cycle per SM. GT200
+    /// TPCs have 8 texture address units shared by 3 SMs ≈ 2.7/SM/cycle;
+    /// a full 32-lane fetch therefore occupies the pipeline ~12 cycles,
+    /// which (not raw issue) bounds texture-heavy kernels like AC.
+    pub tex_lanes_per_cycle: f64,
+    /// Texture cache geometry (per SM).
+    pub tex_cache: CacheConfig,
+    /// Second-level texture cache. On real GT200 boards this lives at the
+    /// memory partitions (~256 KB total) and is shared by all SMs; since
+    /// the SMs of a data-parallel kernel share one hot set, we model it as
+    /// a per-SM cache of the full shared capacity.
+    pub tex_l2: CacheConfig,
+    /// Latency of an L1-miss/L2-hit texture fetch in cycles (on-chip, no
+    /// DRAM channel time).
+    pub tex_l2_latency: u32,
+    /// Per-SM constant cache (broadcast-optimized; see `constant`).
+    pub const_cache: CacheConfig,
+    /// Device DRAM (global + texture backing store) seen by one SM; the
+    /// per-SM channel gets `1/num_sms` of the board bandwidth so that
+    /// simulating SMs independently still respects the aggregate limit.
+    pub dram: DramConfig,
+    /// Coalescing segment size in bytes (GT200: 128; requests within one
+    /// segment merge into a single transaction).
+    pub coalesce_segment: u32,
+    /// Core clock in Hz, used to convert cycles to seconds. GTX 285:
+    /// 1.476 GHz shader clock.
+    pub clock_hz: f64,
+    /// Device (G-DRAM) capacity in bytes; allocations beyond it fail the
+    /// way a real `cudaMalloc` does. GTX 285: 1 GB.
+    pub device_mem_bytes: u64,
+}
+
+impl GpuConfig {
+    /// The paper's device: GeForce GTX 285 (GT200b), 240 cores, 16 KB
+    /// shared memory per SM, 159 GB/s board bandwidth, 1 GB device memory.
+    ///
+    /// Board bandwidth 159 GB/s ÷ 1.476 GHz ≈ 107.7 B/cycle, split across
+    /// 30 SMs ≈ 3.59 B/cycle per SM channel.
+    pub fn gtx285() -> Self {
+        let num_sms = 30u32;
+        let board_bytes_per_cycle = 159.0e9 / 1.476e9;
+        GpuConfig {
+            num_sms,
+            cores_per_sm: 8,
+            warp_size: 32,
+            shared_mem_bytes: 16 * 1024,
+            shared_banks: 16,
+            max_warps_per_sm: 32,
+            max_blocks_per_sm: 8,
+            issue_cycles: 4,
+            shared_latency: 2,
+            tex_hit_latency: 10,
+            tex_lanes_per_cycle: 2.7,
+            tex_cache: CacheConfig {
+                // ~8 KB of texture cache per SM (GT200 has 12–24 KB per
+                // 3-SM TPC; 8 KB/SM is the standard modelling figure).
+                size_bytes: 8 * 1024,
+                line_bytes: 32,
+                associativity: 8,
+            },
+            // The board's ~256 KB texture L2 is shared by all 30 SMs. In
+            // a data-parallel AC kernel every SM walks the *same* hot STT
+            // rows, so a line fetched by one SM is a hit for the others;
+            // a per-SM cache of the full shared capacity models that
+            // shared hot set (per-SM *private* 256 KB would be wrong for
+            // disjoint working sets, but SM working sets here coincide).
+            tex_l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                line_bytes: 32,
+                associativity: 16,
+            },
+            tex_l2_latency: 180,
+            const_cache: CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, associativity: 4 },
+            dram: DramConfig {
+                latency_cycles: 500,
+                bytes_per_cycle: board_bytes_per_cycle / num_sms as f64,
+            },
+            coalesce_segment: 128,
+            clock_hz: 1.476e9,
+            device_mem_bytes: 1 << 30,
+        }
+    }
+
+    /// A Fermi-generation device (Tesla C2050-class), the newer
+    /// architecture the paper's §III describes ("in the high-end Nvidia
+    /// GPU such as the Tesla based on Fermi architecture, there is a
+    /// level-1 data cache per thread block of which the size is 48KB"):
+    /// 14 SMs × 32 cores, 48 KB shared memory in 32 banks, single-cycle
+    /// warp issue over two schedulers, 144 GB/s of GDDR5.
+    ///
+    /// Used by the `ablation-fermi` experiment to ask how the paper's
+    /// kernels would have fared one hardware generation later.
+    pub fn fermi_c2050() -> Self {
+        let num_sms = 14u32;
+        let board_bytes_per_cycle = 144.0e9 / 1.15e9;
+        GpuConfig {
+            num_sms,
+            cores_per_sm: 32,
+            warp_size: 32,
+            shared_mem_bytes: 48 * 1024,
+            shared_banks: 32,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
+            issue_cycles: 1,
+            shared_latency: 2,
+            tex_hit_latency: 12,
+            tex_lanes_per_cycle: 4.0,
+            tex_cache: CacheConfig { size_bytes: 12 * 1024, line_bytes: 32, associativity: 12 },
+            tex_l2: CacheConfig {
+                // Fermi's 768 KB unified L2, shared-hot-set modelled as in
+                // [`GpuConfig::gtx285`]. 24 ways keeps the set count a
+                // power of two at this capacity.
+                size_bytes: 768 * 1024,
+                line_bytes: 32,
+                associativity: 24,
+            },
+            tex_l2_latency: 120,
+            const_cache: CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, associativity: 4 },
+            dram: DramConfig {
+                latency_cycles: 400,
+                bytes_per_cycle: board_bytes_per_cycle / num_sms as f64,
+            },
+            coalesce_segment: 128,
+            clock_hz: 1.15e9,
+            device_mem_bytes: 3 << 30,
+        }
+    }
+
+    /// A deliberately tiny device for unit tests: 1 SM, 2 cores, 4-lane
+    /// warps, 4 banks — small enough to hand-compute expected cycles.
+    pub fn tiny_test() -> Self {
+        GpuConfig {
+            num_sms: 1,
+            cores_per_sm: 2,
+            warp_size: 4,
+            shared_mem_bytes: 1024,
+            shared_banks: 4,
+            max_warps_per_sm: 8,
+            max_blocks_per_sm: 2,
+            issue_cycles: 2,
+            shared_latency: 2,
+            tex_hit_latency: 4,
+            tex_lanes_per_cycle: 2.0,
+            tex_cache: CacheConfig { size_bytes: 512, line_bytes: 32, associativity: 2 },
+            tex_l2: CacheConfig { size_bytes: 2048, line_bytes: 32, associativity: 4 },
+            tex_l2_latency: 20,
+            const_cache: CacheConfig { size_bytes: 256, line_bytes: 32, associativity: 2 },
+            dram: DramConfig { latency_cycles: 50, bytes_per_cycle: 4.0 },
+            coalesce_segment: 64,
+            clock_hz: 1.0e9,
+            device_mem_bytes: 1 << 20,
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 || self.cores_per_sm == 0 {
+            return Err("num_sms and cores_per_sm must be positive".into());
+        }
+        if self.warp_size == 0 || !self.warp_size.is_multiple_of(2) {
+            return Err(format!("warp_size {} must be a positive even number", self.warp_size));
+        }
+        if self.shared_banks == 0 {
+            return Err("shared_banks must be positive".into());
+        }
+        if self.max_warps_per_sm == 0 || self.max_blocks_per_sm == 0 {
+            return Err("resident warp/block limits must be positive".into());
+        }
+        if self.coalesce_segment == 0 || !self.coalesce_segment.is_power_of_two() {
+            return Err(format!(
+                "coalesce_segment {} must be a power of two",
+                self.coalesce_segment
+            ));
+        }
+        if self.clock_hz <= 0.0 {
+            return Err("clock_hz must be positive".into());
+        }
+        if self.warp_size > 32 || self.shared_banks > 32 {
+            return Err("warp_size and shared_banks are limited to 32 in this model".into());
+        }
+        if self.device_mem_bytes == 0 {
+            return Err("device_mem_bytes must be positive".into());
+        }
+        if self.tex_lanes_per_cycle <= 0.0 {
+            return Err("tex_lanes_per_cycle must be positive".into());
+        }
+        self.tex_cache.validate().map_err(|e| format!("tex_cache: {e}"))?;
+        self.const_cache.validate().map_err(|e| format!("const_cache: {e}"))?;
+        self.tex_l2.validate().map_err(|e| format!("tex_l2: {e}"))?;
+        if self.tex_l2.line_bytes != self.tex_cache.line_bytes {
+            return Err("tex_l2 line size must match the L1 texture cache line size".into());
+        }
+        self.dram.validate().map_err(|e| format!("dram: {e}"))?;
+        Ok(())
+    }
+
+    /// Half-warp width used for coalescing and bank-conflict evaluation.
+    pub fn half_warp(&self) -> u32 {
+        self.warp_size / 2
+    }
+
+    /// Convert a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+
+    /// Throughput in Gbit/s for `bytes` processed in `cycles`.
+    pub fn gbps(&self, bytes: usize, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        (bytes as f64 * 8.0) / self.cycles_to_seconds(cycles) / 1.0e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx285_matches_paper_hardware() {
+        let c = GpuConfig::gtx285();
+        c.validate().unwrap();
+        assert_eq!(c.num_sms * c.cores_per_sm, 240); // "240 thread processors"
+        assert_eq!(c.shared_mem_bytes, 16 * 1024); // "16KB shared memory"
+        assert_eq!(c.shared_banks, 16);
+        assert_eq!(c.half_warp(), 16);
+        assert!((c.clock_hz - 1.476e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn tiny_config_is_valid() {
+        GpuConfig::tiny_test().validate().unwrap();
+    }
+
+    #[test]
+    fn fermi_matches_c2050_hardware() {
+        let c = GpuConfig::fermi_c2050();
+        c.validate().unwrap();
+        assert_eq!(c.num_sms * c.cores_per_sm, 448);
+        assert_eq!(c.shared_mem_bytes, 48 * 1024); // the paper's "48KB"
+        assert_eq!(c.shared_banks, 32);
+        assert_eq!(c.issue_cycles, 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = GpuConfig::tiny_test();
+        c.warp_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.shared_banks = 0;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.coalesce_segment = 48;
+        assert!(c.validate().is_err());
+        let mut c = GpuConfig::tiny_test();
+        c.clock_hz = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let c = GpuConfig::tiny_test(); // 1 GHz
+        assert_eq!(c.cycles_to_seconds(1_000_000_000), 1.0);
+        // 1 GB in 1 second = 8 Gbps.
+        let gbps = c.gbps(1_000_000_000, 1_000_000_000);
+        assert!((gbps - 8.0).abs() < 1e-9);
+        assert_eq!(c.gbps(100, 0), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Constant memory: the third cached read-only space of the paper's §III
+//! ("data in constant memory and texture memory can be cached as
+//! read-only data on chip in the constant cache and the texture cache
+//! respectively").
+//!
+//! The constant cache differs from the texture cache in one crucial way:
+//! it is **broadcast-optimized**. A warp reading one address costs a
+//! single access; a warp reading `d` *distinct* addresses serializes into
+//! `d` accesses (G80/GT200 behaviour). That asymmetry is exactly why the
+//! paper stores the randomly-indexed STT in texture memory and not in
+//! constant memory — the `ablation-constant` experiment in `repro`
+//! measures what the wrong choice would have cost.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Identifier of a constant-memory buffer bound to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConstId(pub usize);
+
+/// A read-only buffer of 32-bit words in constant memory.
+///
+/// GT200 exposes 64 KB of constant memory; the device enforces that
+/// limit at bind time.
+#[derive(Debug, Clone)]
+pub struct ConstantBuffer {
+    data: Arc<Vec<u32>>,
+}
+
+/// Constant-memory capacity of CUDA devices of this era.
+pub const CONSTANT_MEMORY_BYTES: usize = 64 * 1024;
+
+impl ConstantBuffer {
+    /// Wrap host data (≤ 64 KB) as a constant buffer.
+    pub fn new(data: Arc<Vec<u32>>) -> Result<Self, String> {
+        if data.len() * 4 > CONSTANT_MEMORY_BYTES {
+            return Err(format!(
+                "constant buffer of {} bytes exceeds the {}-byte constant memory",
+                data.len() * 4,
+                CONSTANT_MEMORY_BYTES
+            ));
+        }
+        Ok(ConstantBuffer { data })
+    }
+
+    /// Functional read of word `index`.
+    #[inline]
+    pub fn read(&self, index: u32) -> u32 {
+        self.data[index as usize]
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Serialization degree of one warp constant access: the number of
+/// *distinct* word indices among the active lanes (1 = broadcast).
+pub fn broadcast_degree(indices: &[Option<u32>]) -> u32 {
+    let mut seen: Vec<u32> = Vec::with_capacity(8);
+    for idx in indices.iter().flatten() {
+        if !seen.contains(idx) {
+            seen.push(*idx);
+        }
+    }
+    seen.len().max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_read() {
+        let b = ConstantBuffer::new(Arc::new(vec![10, 20, 30])).unwrap();
+        assert_eq!(b.read(1), 20);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let too_big = Arc::new(vec![0u32; CONSTANT_MEMORY_BYTES / 4 + 1]);
+        assert!(ConstantBuffer::new(too_big).is_err());
+        let exactly = Arc::new(vec![0u32; CONSTANT_MEMORY_BYTES / 4]);
+        assert!(ConstantBuffer::new(exactly).is_ok());
+    }
+
+    #[test]
+    fn broadcast_is_degree_one() {
+        let idx = vec![Some(7u32); 32];
+        assert_eq!(broadcast_degree(&idx), 1);
+    }
+
+    #[test]
+    fn divergent_reads_serialize() {
+        let idx: Vec<Option<u32>> = (0..32).map(|l| Some(l as u32)).collect();
+        assert_eq!(broadcast_degree(&idx), 32);
+        let idx: Vec<Option<u32>> = (0..32).map(|l| Some((l % 4) as u32)).collect();
+        assert_eq!(broadcast_degree(&idx), 4);
+    }
+
+    #[test]
+    fn inactive_lanes_ignored_and_empty_is_one() {
+        let mut idx = vec![None; 32];
+        assert_eq!(broadcast_degree(&idx), 1);
+        idx[3] = Some(9);
+        idx[17] = Some(9);
+        assert_eq!(broadcast_degree(&idx), 1);
+    }
+}

@@ -1,0 +1,446 @@
+//! The host-visible device: global-memory allocation, texture binding, and
+//! kernel launches.
+
+use crate::config::GpuConfig;
+use crate::constant::{ConstId, ConstantBuffer};
+use crate::global::GlobalMemory;
+use crate::kernel::{WarpGeometry, WarpProgram};
+use crate::scheduler::run_sm;
+use crate::stats::{LaunchStats, SmStats};
+use crate::texture::{TexId, Texture2d};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Grid/block geometry of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Blocks in the grid.
+    pub grid_blocks: u32,
+    /// Threads per block; must be a multiple of the warp size.
+    pub threads_per_block: u32,
+    /// Shared memory per block in bytes. The paper uses 8–12 KB of the
+    /// 16 KB for staged input, "the remaining 4~8KB reserved for other
+    /// works".
+    pub shared_bytes_per_block: u32,
+    /// Optional cap on blocks resident per SM, below the hardware limits.
+    /// Used to express launches whose effective occupancy is lower than
+    /// the occupancy calculator would grant — e.g. a kernel written with
+    /// tiny logical blocks (the paper's global-only kernel assigns chunks
+    /// per *thread processor*, ~64 threads per SM).
+    #[serde(default)]
+    pub resident_blocks_cap: Option<u32>,
+}
+
+impl LaunchConfig {
+    /// Validate against a device.
+    pub fn validate(&self, cfg: &GpuConfig) -> Result<(), String> {
+        if self.grid_blocks == 0 {
+            return Err("grid must contain at least one block".into());
+        }
+        if self.threads_per_block == 0 || !self.threads_per_block.is_multiple_of(cfg.warp_size) {
+            return Err(format!(
+                "threads_per_block {} must be a positive multiple of the warp size {}",
+                self.threads_per_block, cfg.warp_size
+            ));
+        }
+        let warps = self.threads_per_block / cfg.warp_size;
+        if warps > cfg.max_warps_per_sm {
+            return Err(format!(
+                "block has {warps} warps, exceeding the SM limit of {}",
+                cfg.max_warps_per_sm
+            ));
+        }
+        if self.shared_bytes_per_block > cfg.shared_mem_bytes {
+            return Err(format!(
+                "block requests {} bytes of shared memory but the SM has {}",
+                self.shared_bytes_per_block, cfg.shared_mem_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Blocks that can be resident on one SM simultaneously: limited by the
+    /// hardware block slots, the warp budget, and shared-memory capacity —
+    /// the standard CUDA occupancy computation.
+    pub fn resident_blocks_per_sm(&self, cfg: &GpuConfig) -> u32 {
+        let warps = self.threads_per_block / cfg.warp_size;
+        let by_warps = cfg.max_warps_per_sm / warps.max(1);
+        let by_shared = cfg
+            .shared_mem_bytes
+            .checked_div(self.shared_bytes_per_block)
+            .unwrap_or(u32::MAX);
+        let cap = self.resident_blocks_cap.unwrap_or(u32::MAX).max(1);
+        cfg.max_blocks_per_sm.min(by_warps).min(by_shared).min(cap).max(1)
+    }
+}
+
+/// Outcome of a launch: timing/statistics plus the finished warp programs
+/// (which carry whatever per-lane results the kernel accumulated), sorted
+/// by `(block, warp)`.
+#[derive(Debug)]
+pub struct Launched<P> {
+    /// Aggregate statistics and cycle time.
+    pub stats: LaunchStats,
+    /// Finished programs in `(block_id, warp_in_block)` order.
+    pub programs: Vec<(WarpGeometry, P)>,
+}
+
+/// The simulated board.
+#[derive(Debug)]
+pub struct GpuDevice {
+    cfg: GpuConfig,
+    global: GlobalMemory,
+    cursor: u64,
+    textures: Vec<Texture2d>,
+    constants: Vec<ConstantBuffer>,
+    constant_bytes: usize,
+}
+
+impl GpuDevice {
+    /// Bring up a device.
+    pub fn new(cfg: GpuConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(GpuDevice {
+            cfg,
+            global: GlobalMemory::new(0),
+            cursor: 0,
+            textures: Vec::new(),
+            constants: Vec::new(),
+            constant_bytes: 0,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Allocate `bytes` of global memory (256-byte aligned, like CUDA),
+    /// returning the device address. Fails when the G-DRAM capacity is
+    /// exhausted.
+    pub fn alloc_global(&mut self, bytes: u64) -> Result<u64, String> {
+        let base = self.cursor.next_multiple_of(256);
+        let end = base
+            .checked_add(bytes)
+            .ok_or_else(|| "allocation size overflows the address space".to_string())?;
+        if end > self.cfg.device_mem_bytes {
+            return Err(format!(
+                "out of device memory: need {end} bytes, device has {}",
+                self.cfg.device_mem_bytes
+            ));
+        }
+        self.cursor = end;
+        if end as usize > self.global.len() {
+            let mut data = std::mem::take(&mut self.global).into_bytes();
+            data.resize(end as usize, 0);
+            self.global = GlobalMemory::from_bytes(data);
+        }
+        Ok(base)
+    }
+
+    /// Copy host bytes into global memory at `addr` (the `cudaMemcpy`
+    /// host→device of the paper; excluded from kernel timing, as in §V).
+    pub fn write_global(&mut self, addr: u64, data: &[u8]) {
+        let mut bytes = std::mem::take(&mut self.global).into_bytes();
+        bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        self.global = GlobalMemory::from_bytes(bytes);
+    }
+
+    /// Read back a global-memory range (device→host result copy).
+    pub fn read_global(&self, addr: u64, len: usize) -> &[u8] {
+        &self.global.bytes()[addr as usize..addr as usize + len]
+    }
+
+    /// Bind a read-only 2-D texture of `u32` texels. The data is shared,
+    /// not copied, but its size still counts against device memory.
+    pub fn bind_texture_2d(
+        &mut self,
+        data: Arc<Vec<u32>>,
+        rows: u32,
+        cols: u32,
+    ) -> Result<TexId, String> {
+        // Account for capacity without materializing a copy.
+        self.alloc_global(data.len() as u64 * 4)?;
+        self.textures.push(Texture2d::new(data, rows, cols));
+        Ok(TexId(self.textures.len() - 1))
+    }
+
+    /// Bind a constant-memory buffer (≤ 64 KB total across buffers, the
+    /// CUDA constant segment of this device generation).
+    pub fn bind_constant(&mut self, data: Arc<Vec<u32>>) -> Result<ConstId, String> {
+        let bytes = data.len() * 4;
+        if self.constant_bytes + bytes > crate::constant::CONSTANT_MEMORY_BYTES {
+            return Err(format!(
+                "constant segment exhausted: {} + {bytes} bytes exceeds {}",
+                self.constant_bytes,
+                crate::constant::CONSTANT_MEMORY_BYTES
+            ));
+        }
+        self.constants.push(ConstantBuffer::new(data)?);
+        self.constant_bytes += bytes;
+        Ok(ConstId(self.constants.len() - 1))
+    }
+
+    /// Launch a kernel: `factory` builds the [`WarpProgram`] for each warp
+    /// of the grid. Blocks are distributed round-robin over the SMs, each
+    /// SM is simulated independently with its own texture cache and DRAM
+    /// bandwidth slice, and the launch time is the slowest SM.
+    pub fn launch<P, F>(&mut self, lc: LaunchConfig, mut factory: F) -> Result<Launched<P>, String>
+    where
+        P: WarpProgram,
+        F: FnMut(WarpGeometry) -> P,
+    {
+        lc.validate(&self.cfg)?;
+        let mut retired: Vec<(WarpGeometry, P)> = Vec::new();
+        let mut totals = SmStats::default();
+        let mut per_sm_cycles = Vec::with_capacity(self.cfg.num_sms as usize);
+        for sm in 0..self.cfg.num_sms {
+            let block_ids: Vec<u32> =
+                (sm..lc.grid_blocks).step_by(self.cfg.num_sms as usize).collect();
+            let sm_stats = run_sm(
+                &self.cfg,
+                &mut self.global,
+                &self.textures,
+                &self.constants,
+                &lc,
+                &block_ids,
+                &mut factory,
+                &mut retired,
+            );
+            per_sm_cycles.push(sm_stats.cycles);
+            totals.merge(&sm_stats);
+        }
+        retired.sort_by_key(|(g, _)| (g.block_id, g.warp_in_block));
+        let cycles = per_sm_cycles.iter().copied().max().unwrap_or(0);
+        Ok(Launched {
+            stats: LaunchStats {
+                cycles,
+                per_sm_cycles,
+                totals,
+                blocks: lc.grid_blocks,
+                warps: lc.grid_blocks * (lc.threads_per_block / self.cfg.warp_size),
+            },
+            programs: retired,
+        })
+    }
+}
+
+impl GlobalMemory {
+    /// Consume into the raw byte vector (device resize helper).
+    fn into_bytes(self) -> Vec<u8> {
+        self.bytes().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{StepOutcome, WarpCtx};
+
+    /// A warp program that stages its lanes' global bytes into shared
+    /// memory, synchronizes, reads them back, and writes lane+byte sums to
+    /// an output region — touching every context facility once.
+    struct RoundTrip {
+        geom: WarpGeometry,
+        in_base: u64,
+        out_base: u64,
+        phase: u32,
+        bytes: Vec<u8>,
+    }
+
+    impl WarpProgram for RoundTrip {
+        fn step(&mut self, ctx: &mut WarpCtx<'_>) -> StepOutcome {
+            let n = self.geom.warp_size as usize;
+            match self.phase {
+                0 => {
+                    let addrs: Vec<Option<u64>> =
+                        (0..n).map(|l| Some(self.in_base + self.geom.global_thread(l as u32))).collect();
+                    self.bytes = vec![0; n];
+                    ctx.global_read_u8(&addrs, &mut self.bytes);
+                    self.phase = 1;
+                    StepOutcome::Continue
+                }
+                1 => {
+                    let writes: Vec<Option<(u64, u32)>> = (0..n)
+                        .map(|l| {
+                            Some((
+                                self.geom.block_thread(l as u32) as u64 * 4,
+                                self.bytes[l] as u32,
+                            ))
+                        })
+                        .collect();
+                    ctx.shared_write_u32(&writes);
+                    self.phase = 2;
+                    StepOutcome::Continue
+                }
+                2 => {
+                    self.phase = 3;
+                    StepOutcome::Barrier
+                }
+                3 => {
+                    let addrs: Vec<Option<u64>> =
+                        (0..n).map(|l| Some(self.geom.block_thread(l as u32) as u64 * 4)).collect();
+                    let mut back = vec![0u8; n];
+                    ctx.shared_read_u8(&addrs, &mut back);
+                    self.bytes = back;
+                    self.phase = 4;
+                    StepOutcome::Continue
+                }
+                4 => {
+                    let writes: Vec<Option<(u64, u32)>> = (0..n)
+                        .map(|l| {
+                            Some((
+                                self.out_base + self.geom.global_thread(l as u32) * 4,
+                                self.bytes[l] as u32 + 1,
+                            ))
+                        })
+                        .collect();
+                    ctx.global_write_u32(&writes);
+                    self.phase = 5;
+                    StepOutcome::Finished
+                }
+                _ => unreachable!("stepped after Finished"),
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_roundtrip_kernel() {
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        let total_threads = 4 * 8; // 4 blocks × 8 threads (2 warps of 4)
+        let in_base = dev.alloc_global(total_threads as u64).unwrap();
+        let out_base = dev.alloc_global(total_threads as u64 * 4).unwrap();
+        let input: Vec<u8> = (0..total_threads as u8).collect();
+        dev.write_global(in_base, &input);
+
+        let lc = LaunchConfig { grid_blocks: 4, threads_per_block: 8, shared_bytes_per_block: 64, resident_blocks_cap: None };
+        let launched = dev
+            .launch(lc, |geom| RoundTrip {
+                geom,
+                in_base,
+                out_base,
+                phase: 0,
+                bytes: Vec::new(),
+            })
+            .unwrap();
+
+        assert!(launched.stats.cycles > 0);
+        assert_eq!(launched.stats.blocks, 4);
+        assert_eq!(launched.stats.warps, 8);
+        assert_eq!(launched.programs.len(), 8);
+        // Programs sorted by (block, warp).
+        let order: Vec<(u32, u32)> =
+            launched.programs.iter().map(|(g, _)| (g.block_id, g.warp_in_block)).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        // Output = input + 1, element-wise.
+        for t in 0..total_threads as u64 {
+            let got = u32::from_le_bytes(
+                dev.read_global(out_base + t * 4, 4).try_into().unwrap(),
+            );
+            assert_eq!(got, t as u32 + 1, "thread {t}");
+        }
+        // Barriers: one per block.
+        assert_eq!(launched.stats.totals.barriers, 4);
+    }
+
+    #[test]
+    fn launch_validation() {
+        let cfg = GpuConfig::tiny_test();
+        let mut dev = GpuDevice::new(cfg).unwrap();
+        let bad = LaunchConfig { grid_blocks: 0, threads_per_block: 8, shared_bytes_per_block: 0, resident_blocks_cap: None };
+        assert!(dev.launch(bad, |_| Noop).is_err());
+        let bad = LaunchConfig { grid_blocks: 1, threads_per_block: 3, shared_bytes_per_block: 0, resident_blocks_cap: None };
+        assert!(bad.validate(&cfg).is_err());
+        let bad = LaunchConfig {
+            grid_blocks: 1,
+            threads_per_block: 8,
+            shared_bytes_per_block: 4096, resident_blocks_cap: None,
+        };
+        assert!(bad.validate(&cfg).is_err());
+        let bad = LaunchConfig {
+            grid_blocks: 1,
+            threads_per_block: 4 * 8 * 100,
+            shared_bytes_per_block: 0, resident_blocks_cap: None,
+        };
+        assert!(bad.validate(&cfg).is_err());
+    }
+
+    struct Noop;
+    impl WarpProgram for Noop {
+        fn step(&mut self, _ctx: &mut WarpCtx<'_>) -> StepOutcome {
+            StepOutcome::Finished
+        }
+    }
+
+    #[test]
+    fn occupancy_computation() {
+        let cfg = GpuConfig::gtx285(); // 32 warps, 8 blocks, 16 KB shared
+        let lc = LaunchConfig {
+            grid_blocks: 100,
+            threads_per_block: 128, // 4 warps
+            shared_bytes_per_block: 8 * 1024, resident_blocks_cap: None,
+        };
+        // shared limits to 2 resident blocks.
+        assert_eq!(lc.resident_blocks_per_sm(&cfg), 2);
+        let lc0 =
+            LaunchConfig { grid_blocks: 100, threads_per_block: 128, shared_bytes_per_block: 0, resident_blocks_cap: None };
+        // warps limit: 32/4 = 8, block slots 8 → 8.
+        assert_eq!(lc0.resident_blocks_per_sm(&cfg), 8);
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap(); // 1 MB
+        let a = dev.alloc_global(512 * 1024).unwrap();
+        assert_eq!(a, 0);
+        let b = dev.alloc_global(256 * 1024).unwrap();
+        assert!(b >= 512 * 1024);
+        assert!(dev.alloc_global(512 * 1024).is_err());
+    }
+
+    #[test]
+    fn global_write_read_roundtrip() {
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        let a = dev.alloc_global(16).unwrap();
+        dev.write_global(a, &[1, 2, 3, 4]);
+        assert_eq!(dev.read_global(a, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn texture_binding_counts_against_memory() {
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap(); // 1 MB
+        let data = Arc::new(vec![0u32; 200_000]); // 800 KB
+        dev.bind_texture_2d(data.clone(), 1000, 200).unwrap();
+        assert!(dev.bind_texture_2d(data, 1000, 200).is_err());
+    }
+
+    #[test]
+    fn more_blocks_than_slots_executes_all() {
+        // 16 blocks on a 1-SM device with 2 block slots: blocks must cycle
+        // through residency.
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        let out = dev.alloc_global(16 * 4).unwrap();
+        struct WriteOne {
+            geom: WarpGeometry,
+            out: u64,
+        }
+        impl WarpProgram for WriteOne {
+            fn step(&mut self, ctx: &mut WarpCtx<'_>) -> StepOutcome {
+                let mut writes = vec![None; self.geom.warp_size as usize];
+                writes[0] = Some((self.out + self.geom.block_id as u64 * 4, self.geom.block_id));
+                ctx.global_write_u32(&writes);
+                StepOutcome::Finished
+            }
+        }
+        let lc = LaunchConfig { grid_blocks: 16, threads_per_block: 4, shared_bytes_per_block: 0, resident_blocks_cap: None };
+        let launched = dev.launch(lc, |geom| WriteOne { geom, out }).unwrap();
+        assert_eq!(launched.programs.len(), 16);
+        for b in 0..16u64 {
+            let got =
+                u32::from_le_bytes(dev.read_global(out + b * 4, 4).try_into().unwrap());
+            assert_eq!(got, b as u32);
+        }
+    }
+}

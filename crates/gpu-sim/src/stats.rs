@@ -1,0 +1,160 @@
+//! Launch statistics: everything the experiment harness needs to explain
+//! *why* a kernel was fast or slow, aggregated from per-SM counters.
+
+use crate::global::Transaction;
+use mem_sim::{Counter, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one SM during a launch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SmStats {
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// Individual global-memory lane requests.
+    pub global_requests: u64,
+    /// Coalesced transactions actually sent to DRAM.
+    pub global_transactions: u64,
+    /// Bytes moved over the DRAM channel for global traffic.
+    pub global_bytes: u64,
+    /// Texture texel fetches.
+    pub tex_fetches: u64,
+    /// Texture L1 cache line misses.
+    pub tex_misses: u64,
+    /// Texture fetches that also missed the L2 and went to DRAM.
+    pub tex_l2_misses: u64,
+    /// Constant-memory lane reads.
+    pub const_reads: u64,
+    /// Extra serialization passes caused by divergent constant reads
+    /// (degree − 1 summed over warp accesses).
+    pub const_replays: u64,
+    /// Constant-cache line misses.
+    pub const_misses: u64,
+    /// Per-half-warp shared access serialization passes (1 = conflict
+    /// free).
+    pub shared_conflict_passes: Counter,
+    /// Half-warp shared accesses that had ≥2 passes.
+    pub shared_conflicts: u64,
+    /// Barrier waits completed.
+    pub barriers: u64,
+    /// Cycles this SM spent with no warp ready to issue (stalled on
+    /// memory) — the "saturation" signal of paper Fig. 19(b).
+    pub idle_cycles: u64,
+    /// Total cycles this SM ran.
+    pub cycles: Cycle,
+}
+
+impl SmStats {
+    pub(crate) fn record_global(&mut self, requests: u64, txns: &[Transaction]) {
+        self.global_requests += requests;
+        self.global_transactions += txns.len() as u64;
+        self.global_bytes += txns.iter().map(|&(_, b)| b as u64).sum::<u64>();
+    }
+
+    pub(crate) fn record_shared(&mut self, passes: u32) {
+        self.shared_conflict_passes.record(passes as u64);
+        if passes > 1 {
+            self.shared_conflicts += 1;
+        }
+    }
+
+    pub(crate) fn record_tex(&mut self, fetches: u64, misses: u64) {
+        self.tex_fetches += fetches;
+        self.tex_misses += misses;
+    }
+
+    /// Merge another SM's counters (for device-level aggregation).
+    pub fn merge(&mut self, other: &SmStats) {
+        self.instructions += other.instructions;
+        self.global_requests += other.global_requests;
+        self.global_transactions += other.global_transactions;
+        self.global_bytes += other.global_bytes;
+        self.tex_fetches += other.tex_fetches;
+        self.tex_misses += other.tex_misses;
+        self.tex_l2_misses += other.tex_l2_misses;
+        self.const_reads += other.const_reads;
+        self.const_replays += other.const_replays;
+        self.const_misses += other.const_misses;
+        self.shared_conflict_passes.merge(&other.shared_conflict_passes);
+        self.shared_conflicts += other.shared_conflicts;
+        self.barriers += other.barriers;
+        self.idle_cycles += other.idle_cycles;
+        self.cycles = self.cycles.max(other.cycles);
+    }
+
+    /// Texture cache hit rate in [0, 1].
+    pub fn tex_hit_rate(&self) -> f64 {
+        if self.tex_fetches == 0 {
+            1.0
+        } else {
+            1.0 - self.tex_misses as f64 / self.tex_fetches as f64
+        }
+    }
+
+    /// Mean coalescing efficiency: lane requests served per transaction
+    /// (16 = perfectly coalesced half-warps, 1 = fully scattered).
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.global_transactions == 0 {
+            1.0
+        } else {
+            self.global_requests as f64 / self.global_transactions as f64
+        }
+    }
+}
+
+/// Result of a whole launch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Wall cycles of the launch: the slowest SM.
+    pub cycles: Cycle,
+    /// Per-SM completion cycles (load-balance diagnostics).
+    pub per_sm_cycles: Vec<Cycle>,
+    /// Aggregated counters across SMs.
+    pub totals: SmStats,
+    /// Blocks executed.
+    pub blocks: u32,
+    /// Warps executed.
+    pub warps: u32,
+}
+
+impl LaunchStats {
+    /// Seconds at `clock_hz`.
+    pub fn seconds(&self, clock_hz: f64) -> f64 {
+        self.cycles as f64 / clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_max_cycles_and_sums_counts() {
+        let mut a = SmStats { instructions: 5, cycles: 100, ..Default::default() };
+        let b = SmStats { instructions: 7, cycles: 50, tex_fetches: 10, tex_misses: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 12);
+        assert_eq!(a.cycles, 100);
+        assert_eq!(a.tex_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn ratios_on_empty_stats() {
+        let s = SmStats::default();
+        assert_eq!(s.tex_hit_rate(), 1.0);
+        assert_eq!(s.coalescing_ratio(), 1.0);
+    }
+
+    #[test]
+    fn coalescing_ratio_reflects_requests_per_txn() {
+        let mut s = SmStats::default();
+        s.record_global(16, &[(0, 64)]);
+        assert_eq!(s.coalescing_ratio(), 16.0);
+        assert_eq!(s.global_bytes, 64);
+    }
+
+    #[test]
+    fn launch_seconds() {
+        let ls = LaunchStats { cycles: 2_000_000, ..Default::default() };
+        assert!((ls.seconds(2.0e6) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Texture memory: read-only 2-D images of 32-bit texels with tiled
+//! addressing, cached per SM.
+//!
+//! The paper stores the STT in texture memory because "the texture cache is
+//! optimized for 2-dimensional spatial local data" (§IV.B.2). Real GPUs
+//! achieve that 2-D locality by storing textures in a *tiled* (block
+//! linear) layout so that a cache line covers a small 2-D neighbourhood
+//! rather than a 1-D run. We model a `tile_w × tile_h` texel tiling: the
+//! address of texel `(row, col)` interleaves tile coordinates, and the
+//! per-SM cache (from `mem-sim`) caches those tiled addresses.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Texels per tile row. 8 texels × 4 bytes = 32 bytes = one cache line —
+/// the small sector size of the GT200 texture hierarchy (fine lines keep
+/// fill traffic proportional to what the kernel actually touches, which
+/// is what lets the real hardware tolerate very large STTs).
+pub const TILE_W: u64 = 8;
+/// Rows per tile. 4 rows × 32 bytes = 128-byte tiles: a line fill pulls in
+/// one row-segment; neighbouring rows of the same tile land in nearby sets.
+pub const TILE_H: u64 = 4;
+
+/// Identifier of a texture bound to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TexId(pub usize);
+
+/// A read-only 2-D texture of `u32` texels.
+///
+/// Data is shared via `Arc` so binding a 250 MB STT to the device does not
+/// copy it — mirroring how the paper binds the host-built STT once.
+#[derive(Debug, Clone)]
+pub struct Texture2d {
+    data: Arc<Vec<u32>>,
+    rows: u32,
+    cols: u32,
+    /// Row stride in texels of the tiled layout (cols rounded to tiles).
+    tiled_cols: u64,
+}
+
+impl Texture2d {
+    /// Wrap row-major `data` (`rows × cols` texels) as a texture.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` — a size mismatch is a host
+    /// programming error equivalent to a bad `cudaBindTexture2D` call.
+    pub fn new(data: Arc<Vec<u32>>, rows: u32, cols: u32) -> Self {
+        assert_eq!(
+            data.len(),
+            rows as usize * cols as usize,
+            "texture data length must equal rows*cols"
+        );
+        let tiled_cols = (cols as u64).div_ceil(TILE_W) * TILE_W;
+        Texture2d { data, rows, cols, tiled_cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Functional fetch of texel `(row, col)` (the data itself is row-major;
+    /// tiling only affects *addresses*, i.e. timing).
+    #[inline]
+    pub fn fetch(&self, row: u32, col: u32) -> u32 {
+        debug_assert!(row < self.rows && col < self.cols, "texture fetch out of bounds");
+        self.data[row as usize * self.cols as usize + col as usize]
+    }
+
+    /// Tiled byte address of texel `(row, col)`, fed to the texture cache.
+    ///
+    /// Layout: tiles are stored row-of-tiles major; inside a tile, texels
+    /// are row-major. A 64-byte cache line therefore holds one `TILE_W`
+    /// texel row-segment, and the `TILE_H` segments of a tile occupy
+    /// consecutive lines — 2-D spatial locality in both directions.
+    #[inline]
+    pub fn tiled_addr(&self, row: u32, col: u32) -> u64 {
+        let (r, c) = (row as u64, col as u64);
+        let tiles_per_row = self.tiled_cols / TILE_W;
+        let tile_index = (r / TILE_H) * tiles_per_row + c / TILE_W;
+        let within = (r % TILE_H) * TILE_W + (c % TILE_W);
+        (tile_index * (TILE_W * TILE_H) + within) * 4
+    }
+
+    /// Total size in bytes (texels only; padding tiles are address space,
+    /// not storage).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_sim::{Cache, CacheConfig};
+
+    fn tex(rows: u32, cols: u32) -> Texture2d {
+        let data: Vec<u32> = (0..rows * cols).collect();
+        Texture2d::new(Arc::new(data), rows, cols)
+    }
+
+    #[test]
+    fn fetch_is_row_major() {
+        let t = tex(4, 8);
+        assert_eq!(t.fetch(0, 0), 0);
+        assert_eq!(t.fetch(1, 0), 8);
+        assert_eq!(t.fetch(3, 7), 31);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 8);
+        assert_eq!(t.size_bytes(), 4 * 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn size_mismatch_rejected() {
+        Texture2d::new(Arc::new(vec![0; 5]), 2, 4);
+    }
+
+    #[test]
+    fn tiled_addresses_are_unique() {
+        let t = tex(32, 40);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..32 {
+            for c in 0..40 {
+                assert!(seen.insert(t.tiled_addr(r, c)), "duplicate address at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn row_segment_shares_a_line() {
+        // Texels (r, 0..16) must share one 64-byte line.
+        let t = tex(8, 64);
+        let base = t.tiled_addr(2, 0);
+        for c in 1..TILE_W as u32 {
+            assert_eq!(t.tiled_addr(2, c) / 32, base / 32);
+        }
+        // The next row-segment is in the next tile → different line.
+        assert_ne!(t.tiled_addr(2, TILE_W as u32) / 32, base / 32);
+    }
+
+    #[test]
+    fn vertical_neighbours_share_a_tile() {
+        // Rows 0..TILE_H of column 0 stay within one 256-byte tile.
+        let t = tex(16, 64);
+        let tile_bytes = TILE_W * TILE_H * 4;
+        let tile = t.tiled_addr(0, 0) / tile_bytes;
+        for r in 1..TILE_H as u32 {
+            assert_eq!(t.tiled_addr(r, 0) / tile_bytes, tile);
+        }
+        assert_ne!(t.tiled_addr(TILE_H as u32, 0) / tile_bytes, tile);
+    }
+
+    #[test]
+    fn tiling_beats_linear_for_2d_walks() {
+        // A 2-D random-ish walk over a tall table: tiled addressing should
+        // produce a hit rate at least as good as what linear row-major
+        // addressing would get from a small cache, because vertical
+        // neighbours share tiles. This is the texture cache's raison
+        // d'être in the paper.
+        let t = tex(256, 257);
+        let mk_cache =
+            || Cache::new(CacheConfig { size_bytes: 2048, line_bytes: 32, associativity: 4 });
+        let mut tiled = mk_cache();
+        let mut linear = mk_cache();
+        // Walk: small vertical meander in a few hot columns (like AC
+        // revisiting shallow states).
+        let mut hits_t = 0;
+        let mut hits_l = 0;
+        let mut accesses = 0;
+        for step in 0..20_000u64 {
+            let row = ((step * 7) % 16) as u32; // hot shallow rows
+            let col = ((step * 13) % 32) as u32;
+            accesses += 1;
+            if tiled.access(t.tiled_addr(row, col)).is_hit() {
+                hits_t += 1;
+            }
+            let lin_addr = (row as u64 * 257 + col as u64) * 4;
+            if linear.access(lin_addr).is_hit() {
+                hits_l += 1;
+            }
+        }
+        assert!(accesses > 0);
+        assert!(hits_t >= hits_l, "tiled {hits_t} < linear {hits_l}");
+    }
+}

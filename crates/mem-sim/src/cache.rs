@@ -1,0 +1,328 @@
+//! Set-associative LRU cache model.
+//!
+//! Tracks *which lines are resident*, not their contents — the simulators
+//! keep real data in backing stores and consult the cache model purely for
+//! timing. This is the standard functional/timing split and keeps the hot
+//! path to a handful of integer operations per access.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line (block) size in bytes; must be a power of two.
+    pub line_bytes: u32,
+    /// Ways per set; `size_bytes / line_bytes` must be divisible by it.
+    pub associativity: u32,
+}
+
+impl CacheConfig {
+    /// Validate the geometry, returning a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!("line_bytes {} must be a nonzero power of two", self.line_bytes));
+        }
+        if self.associativity == 0 {
+            return Err("associativity must be at least 1".into());
+        }
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_bytes) {
+            return Err(format!(
+                "size_bytes {} must be a nonzero multiple of line_bytes {}",
+                self.size_bytes, self.line_bytes
+            ));
+        }
+        let lines = self.size_bytes / self.line_bytes;
+        if !lines.is_multiple_of(self.associativity) {
+            return Err(format!(
+                "line count {lines} not divisible by associativity {}",
+                self.associativity
+            ));
+        }
+        if !(lines / self.associativity).is_power_of_two() {
+            return Err(format!(
+                "set count {} must be a power of two for address hashing",
+                lines / self.associativity
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / self.line_bytes / self.associativity
+    }
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line was resident.
+    Hit,
+    /// Line was not resident; it is now, possibly after evicting another.
+    Miss {
+        /// Base address of the evicted line, if a valid line was displaced.
+        evicted: Option<u64>,
+    },
+}
+
+impl CacheOutcome {
+    /// True for [`CacheOutcome::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (and allocated).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 1.0 for an untouched cache so ratios stay sane.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The cache proper. One `u64` tag and one LRU stamp per line.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// Per-line tag (full line base address), `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// Per-line last-use stamp for LRU.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Create an empty cache.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid — cache geometry is a programming
+    /// error, not a runtime condition (use [`CacheConfig::validate`] first
+    /// if the geometry comes from user input).
+    pub fn new(cfg: CacheConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cache config: {e}");
+        }
+        let lines = (cfg.size_bytes / cfg.line_bytes) as usize;
+        Cache {
+            cfg,
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            clock: 0,
+            stats: CacheStats::default(),
+            set_mask: (cfg.sets() - 1) as u64,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// Access the byte at `addr`; the whole containing line is allocated on
+    /// miss (read-allocate; the simulators model read-only caches — texture
+    /// cache, instruction-like STT walks — so no dirty/writeback state).
+    pub fn access(&mut self, addr: u64) -> CacheOutcome {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let ways = self.cfg.associativity as usize;
+        let base = set * ways;
+        let slice = &mut self.tags[base..base + ways];
+        // Hit?
+        for (w, tag) in slice.iter().enumerate() {
+            if *tag == line_addr {
+                self.stamps[base + w] = self.clock;
+                self.stats.hits += 1;
+                return CacheOutcome::Hit;
+            }
+        }
+        // Miss: fill invalid way or evict LRU.
+        self.stats.misses += 1;
+        let mut victim = 0usize;
+        let mut oldest = u64::MAX;
+        for w in 0..ways {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        let evicted = if self.tags[base + victim] == u64::MAX {
+            None
+        } else {
+            Some(self.tags[base + victim] << self.line_shift)
+        };
+        self.tags[base + victim] = line_addr;
+        self.stamps[base + victim] = self.clock;
+        CacheOutcome::Miss { evicted }
+    }
+
+    /// Probe residency without touching LRU state or counters.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let ways = self.cfg.associativity as usize;
+        self.tags[set * ways..set * ways + ways].contains(&line_addr)
+    }
+
+    /// Invalidate everything (e.g. between kernel launches).
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics, keeping residency.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways × 16-byte lines = 128 bytes.
+        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, associativity: 2 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(matches!(c.access(0x40), CacheOutcome::Miss { evicted: None }));
+        assert!(c.access(0x40).is_hit());
+        assert!(c.access(0x4F).is_hit()); // same 16-byte line
+        assert!(!c.access(0x50).is_hit()); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Set index = (addr/16) & 3. Addresses 0x00, 0x40, 0x80 all map to
+        // set 0 (line addrs 0, 4, 8).
+        c.access(0x00);
+        c.access(0x40);
+        c.access(0x00); // refresh line 0 → line 4 is LRU
+        match c.access(0x80) {
+            CacheOutcome::Miss { evicted: Some(a) } => assert_eq!(a, 0x40),
+            other => panic!("expected eviction of 0x40, got {other:?}"),
+        }
+        assert!(c.contains(0x00));
+        assert!(!c.contains(0x40));
+    }
+
+    #[test]
+    fn flush_clears_residency_not_stats() {
+        let mut c = small();
+        c.access(0x0);
+        c.flush();
+        assert!(!c.contains(0x0));
+        assert_eq!(c.stats().accesses, 1);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        assert!(CacheConfig { size_bytes: 0, line_bytes: 16, associativity: 1 }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { size_bytes: 128, line_bytes: 10, associativity: 1 }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { size_bytes: 128, line_bytes: 16, associativity: 0 }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { size_bytes: 96, line_bytes: 16, associativity: 2 }
+            .validate()
+            .is_err()); // 3 sets, not a power of two
+        assert!(CacheConfig { size_bytes: 128, line_bytes: 16, associativity: 2 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache config")]
+    fn new_panics_on_bad_geometry() {
+        Cache::new(CacheConfig { size_bytes: 100, line_bytes: 16, associativity: 1 });
+    }
+
+    #[test]
+    fn hit_rate_of_fresh_cache_is_one() {
+        assert_eq!(CacheStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 8192,
+            line_bytes: 64,
+            associativity: 4,
+        });
+        let addrs: Vec<u64> = (0..128).map(|i| i * 64).collect(); // exactly capacity
+        for &a in &addrs {
+            c.access(a);
+        }
+        c.reset_stats();
+        for _ in 0..10 {
+            for &a in &addrs {
+                assert!(c.access(a).is_hit());
+            }
+        }
+        assert_eq!(c.stats().hit_rate(), 1.0);
+    }
+
+    proptest! {
+        /// Accesses never under- or over-count: hits + misses = accesses.
+        #[test]
+        fn counters_are_consistent(addrs in proptest::collection::vec(any::<u32>(), 1..500)) {
+            let mut c = small();
+            for a in addrs {
+                c.access(a as u64);
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.hits + s.misses, s.accesses);
+        }
+
+        /// Immediately repeating an access always hits (temporal locality
+        /// sanity).
+        #[test]
+        fn repeat_access_hits(addr in any::<u32>()) {
+            let mut c = small();
+            c.access(addr as u64);
+            prop_assert!(c.access(addr as u64).is_hit());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Bandwidth-limited memory channel with fixed access latency.
+//!
+//! Models the G-DRAM of the paper's GTX 285 (and, reused with different
+//! constants, a CPU's memory bus): every transaction pays a fixed latency,
+//! and the channel can only transfer `bytes_per_cycle` bytes per cycle, so
+//! concurrent transactions queue behind each other. The queueing term is
+//! what turns "many texture-cache misses" into the saturation regime of
+//! paper Fig. 19(b).
+
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Channel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Fixed service latency per transaction, in cycles (row access +
+    /// transfer start). GT200-class global memory is 400–600 cycles.
+    pub latency_cycles: u32,
+    /// Sustained bandwidth in bytes per core clock cycle.
+    ///
+    /// GTX 285: 159 GB/s at 1.476 GHz core clock ≈ 107 bytes/cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl DramConfig {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bytes_per_cycle <= 0.0 {
+            return Err(format!("bytes_per_cycle {} must be positive", self.bytes_per_cycle));
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative channel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Number of transactions issued.
+    pub transactions: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Cycles a transaction spent waiting behind earlier traffic.
+    pub queue_cycles: u64,
+}
+
+/// The channel. Occupancy is tracked as the cycle at which the pipe frees
+/// up; a transaction issued while the pipe is busy starts when it frees.
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    cfg: DramConfig,
+    /// Fractional cycle at which the channel becomes free.
+    free_at: f64,
+    stats: DramStats,
+}
+
+impl DramChannel {
+    /// Create an idle channel.
+    ///
+    /// # Panics
+    /// Panics on an invalid config (zero bandwidth).
+    pub fn new(cfg: DramConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DRAM config: {e}");
+        }
+        DramChannel { cfg, free_at: 0.0, stats: DramStats::default() }
+    }
+
+    /// Issue a `bytes`-sized transaction at cycle `now`; returns the cycle
+    /// at which its data is available to the requester (queueing + fixed
+    /// latency + transfer time).
+    pub fn issue(&mut self, now: Cycle, bytes: u32) -> Cycle {
+        let start = if self.free_at > now as f64 { self.free_at } else { now as f64 };
+        let queue = start - now as f64;
+        let transfer = bytes as f64 / self.cfg.bytes_per_cycle;
+        self.free_at = start + transfer;
+        self.stats.transactions += 1;
+        self.stats.bytes += bytes as u64;
+        self.stats.queue_cycles += queue as u64;
+        (start + transfer) as Cycle + self.cfg.latency_cycles as Cycle
+    }
+
+    /// Cycle at which the channel next becomes free.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at.ceil() as Cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Reset occupancy and statistics (between kernel launches).
+    pub fn reset(&mut self) {
+        self.free_at = 0.0;
+        self.stats = DramStats::default();
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> DramConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chan() -> DramChannel {
+        DramChannel::new(DramConfig { latency_cycles: 100, bytes_per_cycle: 64.0 })
+    }
+
+    #[test]
+    fn idle_transaction_pays_latency_plus_transfer() {
+        let mut c = chan();
+        // 128 bytes at 64 B/cycle = 2 cycles transfer + 100 latency.
+        assert_eq!(c.issue(0, 128), 102);
+    }
+
+    #[test]
+    fn back_to_back_transactions_queue() {
+        let mut c = chan();
+        let t1 = c.issue(0, 128); // occupies [0, 2)
+        let t2 = c.issue(0, 128); // starts at 2, done at 4, +100
+        assert_eq!(t1, 102);
+        assert_eq!(t2, 104);
+        assert_eq!(c.stats().queue_cycles, 2);
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut c = chan();
+        c.issue(0, 128);
+        // Issue long after the channel freed: no queueing.
+        let t = c.issue(1000, 64);
+        assert_eq!(t, 1101);
+        assert_eq!(c.stats().queue_cycles, 2 - 2); // only first pair queued; none here
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = chan();
+        c.issue(0, 32);
+        c.issue(0, 64);
+        let s = c.stats();
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.bytes, 96);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = chan();
+        c.issue(0, 4096);
+        c.reset();
+        assert_eq!(c.stats(), DramStats::default());
+        assert_eq!(c.issue(0, 64), 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DRAM config")]
+    fn zero_bandwidth_rejected() {
+        DramChannel::new(DramConfig { latency_cycles: 1, bytes_per_cycle: 0.0 });
+    }
+
+    proptest! {
+        /// Completion times are monotone for same-cycle issues: a later
+        /// transaction never completes before an earlier one.
+        #[test]
+        fn completions_monotone(sizes in proptest::collection::vec(1u32..4096, 1..50)) {
+            let mut c = chan();
+            let mut last = 0;
+            for b in sizes {
+                let t = c.issue(0, b);
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        /// Aggregate bandwidth is respected: n transactions of b bytes take
+        /// at least n*b/bw cycles of channel time.
+        #[test]
+        fn bandwidth_bound(n in 1u64..100, b in 1u32..1024) {
+            let mut c = chan();
+            let mut done = 0;
+            for _ in 0..n {
+                done = c.issue(0, b);
+            }
+            let min_cycles = (n * b as u64) as f64 / 64.0;
+            prop_assert!(done as f64 >= min_cycles);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # mem-sim — reusable memory-hierarchy simulation primitives
+//!
+//! Small, dependency-light building blocks shared by the GPU simulator
+//! (`gpu-sim`: texture cache, device DRAM) and the serial-CPU timing model
+//! (`cpu-sim`: L1/L2):
+//!
+//! * [`cache`] — a set-associative, LRU cache model with hit/miss counters,
+//! * [`dram`] — a bandwidth-limited memory channel that models queueing
+//!   delay: transactions occupy the channel for `bytes / bytes_per_cycle`
+//!   cycles, so bursts of misses saturate (the effect behind paper
+//!   Fig. 19(b)),
+//! * [`stats`] — counter types serialized into the experiment records.
+//!
+//! Everything is deterministic and cycle-based: callers pass the current
+//! cycle and receive completion cycles back; nothing here owns a clock.
+
+pub mod cache;
+pub mod dram;
+pub mod stats;
+
+pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
+pub use dram::{DramChannel, DramConfig, DramStats};
+pub use stats::Counter;
+
+/// Simulation time is measured in device clock cycles.
+pub type Cycle = u64;

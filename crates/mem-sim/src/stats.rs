@@ -1,0 +1,81 @@
+//! Counter helpers shared by the simulators' statistics blocks.
+
+use serde::{Deserialize, Serialize};
+
+/// A saturating event counter with a running maximum — used for quantities
+/// like "bank conflict degree" where both the total and the worst case are
+/// interesting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    /// Number of recorded events.
+    pub events: u64,
+    /// Sum of recorded values.
+    pub total: u64,
+    /// Largest single recorded value.
+    pub max: u64,
+}
+
+impl Counter {
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.events += 1;
+        self.total = self.total.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.events as f64
+        }
+    }
+
+    /// Merge another counter into this one (for aggregating per-SM stats).
+    pub fn merge(&mut self, other: &Counter) {
+        self.events += other.events;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_mean() {
+        let mut c = Counter::default();
+        c.record(2);
+        c.record(4);
+        assert_eq!(c.events, 2);
+        assert_eq!(c.total, 6);
+        assert_eq!(c.max, 4);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(Counter::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Counter::default();
+        a.record(1);
+        let mut b = Counter::default();
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.events, 2);
+        assert_eq!(a.total, 10);
+        assert_eq!(a.max, 9);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut c = Counter { events: 0, total: u64::MAX - 1, max: 0 };
+        c.record(100);
+        assert_eq!(c.total, u64::MAX);
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end pipeline: corpus → dictionary → automaton → simulated-GPU
+//! kernels → matches, validated against the serial oracle at every stage.
+
+use ac_core::{naive, AcAutomaton};
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
+use corpus::{extract_patterns, ExtractConfig, SignatureGenerator, TextGenerator};
+use gpu_sim::GpuConfig;
+
+fn matcher_for(patterns: &ac_core::PatternSet) -> GpuAcMatcher {
+    let cfg = GpuConfig::gtx285();
+    GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), AcAutomaton::build(patterns))
+        .expect("matcher construction succeeds")
+}
+
+#[test]
+fn prose_pipeline_all_kernels_equal_serial() {
+    let text = TextGenerator::new(100).generate(96 * 1024);
+    let source = TextGenerator::new(101).generate(128 * 1024);
+    let patterns = extract_patterns(&source, &ExtractConfig::paper_default(300, 102));
+    let m = matcher_for(&patterns);
+    let mut want = m.automaton().find_all(&text);
+    want.sort();
+    assert!(!want.is_empty(), "workload should produce matches");
+    for approach in Approach::all() {
+        let run = m.run(&text, approach).expect("kernel run succeeds");
+        assert_eq!(run.matches, want, "{approach:?} diverged from serial");
+        // The raw flagged-position count can exceed the match count only
+        // through the overlap regions; it can never be less than the
+        // number of distinct (end, state) events that produced matches.
+        assert!(run.match_events as usize >= want.iter().map(|m| m.end).collect::<std::collections::HashSet<_>>().len());
+    }
+}
+
+#[test]
+fn ids_pipeline_binary_signatures() {
+    // Binary-heavy signatures exercise the full byte alphabet.
+    let mut gen = SignatureGenerator::new(7);
+    let rules = gen.dictionary(400);
+    let traffic = gen.traffic(64 * 1024, &rules);
+    let m = matcher_for(&rules);
+    let mut want = m.automaton().find_all(&traffic);
+    want.sort();
+    assert!(!want.is_empty(), "traffic should contain embedded signatures");
+    for approach in [Approach::SharedDiagonal, Approach::GlobalOnly, Approach::Pfac] {
+        let run = m.run(&traffic, approach).expect("kernel run succeeds");
+        assert_eq!(run.matches, want, "{approach:?} diverged");
+    }
+}
+
+#[test]
+fn gpu_matches_equal_brute_force_on_adversarial_overlaps() {
+    // Self-overlapping patterns at chunk boundaries are the classic
+    // parallel-AC bug; the brute-force oracle is the ground truth here.
+    let patterns =
+        ac_core::PatternSet::from_strs(&["aa", "aaa", "aaaa", "ab", "ba", "bab"]).unwrap();
+    let mut text = Vec::new();
+    for i in 0..4096 {
+        text.push(if i % 7 < 4 { b'a' } else { b'b' });
+    }
+    let m = matcher_for(&patterns);
+    let want = naive::find_all(&patterns, &text);
+    for approach in Approach::all() {
+        let run = m.run(&text, approach).expect("kernel run succeeds");
+        assert_eq!(run.matches, want, "{approach:?} diverged from brute force");
+    }
+}
+
+#[test]
+fn tiny_and_empty_inputs() {
+    let patterns = ac_core::PatternSet::from_strs(&["xyz"]).unwrap();
+    let m = matcher_for(&patterns);
+    for text in [&b""[..], b"x", b"xy", b"xyz", b"xyzxyz"] {
+        let mut want = m.automaton().find_all(text);
+        want.sort();
+        for approach in Approach::all() {
+            let run = m.run(text, approach).expect("kernel run succeeds");
+            assert_eq!(run.matches, want, "{approach:?} on {:?}", text);
+        }
+    }
+}
+
+#[test]
+fn throughput_reporting_is_consistent() {
+    let text = TextGenerator::new(5).generate(64 * 1024);
+    let patterns = ac_core::PatternSet::from_strs(&["the", "and", "here"]).unwrap();
+    let m = matcher_for(&patterns);
+    let run = m.run(&text, Approach::SharedDiagonal).unwrap();
+    // gbps = bytes*8 / seconds / 1e9, seconds = cycles / clock.
+    let expect = text.len() as f64 * 8.0 / (run.stats.cycles as f64 / 1.476e9) / 1e9;
+    assert!((run.gbps() - expect).abs() < 1e-9);
+    assert!(run.seconds() > 0.0);
+}

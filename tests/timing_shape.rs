@@ -1,0 +1,131 @@
+//! Timing-shape invariants: the qualitative results of the paper's
+//! evaluation must hold in the simulation. These are the properties
+//! EXPERIMENTS.md reports quantitatively; here they gate CI.
+
+use ac_core::AcAutomaton;
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
+use corpus::{extract_patterns, ExtractConfig, TextGenerator};
+use cpu_sim::{simulate_serial, CpuConfig};
+use gpu_sim::GpuConfig;
+
+struct Rig {
+    text: Vec<u8>,
+    matcher: GpuAcMatcher,
+}
+
+fn rig(patterns: usize, bytes: usize) -> Rig {
+    let text = TextGenerator::new(900).generate(bytes);
+    let source = TextGenerator::new(901).generate(512 * 1024);
+    let ps = extract_patterns(&source, &ExtractConfig::paper_default(patterns, 902));
+    let cfg = GpuConfig::gtx285();
+    let matcher = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), AcAutomaton::build(&ps))
+        .expect("matcher construction succeeds");
+    Rig { text, matcher }
+}
+
+fn cycles(r: &Rig, a: Approach) -> u64 {
+    r.matcher.run_counting(&r.text, a).expect("run succeeds").stats.cycles
+}
+
+/// Paper Figs. 15/18 vs 14/17: the shared-memory approach beats the
+/// global-memory-only approach.
+#[test]
+fn shared_beats_global_only() {
+    let r = rig(200, 256 * 1024);
+    assert!(cycles(&r, Approach::SharedDiagonal) < cycles(&r, Approach::GlobalOnly));
+}
+
+/// Paper Fig. 23: the diagonal store scheme beats coalescing-only, which
+/// (with the uncoalesced staging as well) beats fully naive staging.
+#[test]
+fn store_scheme_ordering() {
+    let r = rig(200, 256 * 1024);
+    let diag = cycles(&r, Approach::SharedDiagonal);
+    let coal = cycles(&r, Approach::SharedCoalescedOnly);
+    let naive = cycles(&r, Approach::SharedNaive);
+    assert!(diag < coal, "diagonal {diag} !< coalesced-only {coal}");
+    assert!(coal < naive, "coalesced-only {coal} !< naive {naive}");
+}
+
+/// Paper Figs. 20–21: both GPU kernels beat the modelled serial CPU on a
+/// non-trivial input.
+#[test]
+fn gpu_beats_modelled_serial() {
+    let r = rig(200, 256 * 1024);
+    let cpu = CpuConfig::core2duo_2_2ghz();
+    let serial = simulate_serial(&cpu, r.matcher.automaton().stt(), &r.text);
+    let serial_secs = serial.seconds(&cpu);
+    for a in [Approach::GlobalOnly, Approach::SharedDiagonal] {
+        let run = r.matcher.run_counting(&r.text, a).unwrap();
+        assert!(
+            run.seconds() < serial_secs,
+            "{a:?} ({}s) not faster than serial ({serial_secs}s)",
+            run.seconds()
+        );
+    }
+}
+
+/// Paper Figs. 16–18: for a fixed dictionary, throughput grows with the
+/// input size (more parallelism to fill the device).
+#[test]
+fn throughput_grows_with_input_size() {
+    let small = rig(200, 64 * 1024);
+    let large = rig(200, 512 * 1024);
+    let g_small = small.matcher.run_counting(&small.text, Approach::SharedDiagonal).unwrap();
+    let g_large = large.matcher.run_counting(&large.text, Approach::SharedDiagonal).unwrap();
+    assert!(g_large.gbps() > g_small.gbps());
+}
+
+/// Paper Figs. 16–18: for a fixed input, throughput decreases as the
+/// dictionary grows (texture-cache pressure), for every approach.
+#[test]
+fn throughput_decreases_with_pattern_count() {
+    let few = rig(100, 256 * 1024);
+    let many = rig(5_000, 256 * 1024);
+    for a in [Approach::GlobalOnly, Approach::SharedDiagonal] {
+        let g_few = few.matcher.run_counting(&few.text, a).unwrap().gbps();
+        let g_many = many.matcher.run_counting(&many.text, a).unwrap().gbps();
+        assert!(g_many < g_few, "{a:?}: {g_many} !< {g_few}");
+    }
+}
+
+/// Paper §V.B: the shared approach tolerates dictionary growth better
+/// than the serial CPU does (its relative slowdown is smaller).
+#[test]
+fn shared_degrades_less_than_serial() {
+    let few = rig(100, 256 * 1024);
+    let many = rig(5_000, 256 * 1024);
+    let cpu = CpuConfig::core2duo_2_2ghz();
+    let serial_few = simulate_serial(&cpu, few.matcher.automaton().stt(), &few.text).cycles;
+    let serial_many = simulate_serial(&cpu, many.matcher.automaton().stt(), &many.text).cycles;
+    let serial_slowdown = serial_many as f64 / serial_few as f64;
+    let shared_slowdown = cycles(&many, Approach::SharedDiagonal) as f64
+        / cycles(&few, Approach::SharedDiagonal) as f64;
+    assert!(
+        shared_slowdown < serial_slowdown,
+        "shared slowed {shared_slowdown}x vs serial {serial_slowdown}x"
+    );
+}
+
+/// The texture-cache mechanism: a larger dictionary lowers the texture
+/// hit rate (paper §V.B's explanation of every throughput trend).
+#[test]
+fn tex_hit_rate_falls_with_patterns() {
+    let few = rig(100, 128 * 1024);
+    let many = rig(5_000, 128 * 1024);
+    let h_few =
+        few.matcher.run_counting(&few.text, Approach::SharedDiagonal).unwrap().stats.totals.tex_hit_rate();
+    let h_many =
+        many.matcher.run_counting(&many.text, Approach::SharedDiagonal).unwrap().stats.totals.tex_hit_rate();
+    assert!(h_many < h_few, "{h_many} !< {h_few}");
+}
+
+/// Determinism: identical runs give identical cycle counts.
+#[test]
+fn simulation_is_deterministic() {
+    let r1 = rig(150, 64 * 1024);
+    let r2 = rig(150, 64 * 1024);
+    for a in Approach::all() {
+        assert_eq!(cycles(&r1, a), cycles(&r2, a), "{a:?}");
+    }
+}
