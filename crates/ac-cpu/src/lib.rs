@@ -5,7 +5,7 @@
 //!
 //! * [`serial`] — the single-core matcher (a thin measured wrapper over
 //!   `ac-core`'s DFA walk),
-//! * [`parallel`] — a chunked multithreaded matcher built on crossbeam
+//! * [`parallel`] — a chunked multithreaded matcher built on scoped threads
 //!   scoped threads, using the same X-byte-overlap chunking contract as the
 //!   GPU kernels (this is the "best multithreaded implementation on a
 //!   multicore processor" baseline that related work like Zha & Sahni

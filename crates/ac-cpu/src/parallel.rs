@@ -1,4 +1,4 @@
-//! Chunked multithreaded matching with crossbeam scoped threads.
+//! Chunked multithreaded matching with scoped threads.
 //!
 //! The classic multicore port of AC: partition the input with the X-byte
 //! overlap (`ac_core::chunked`), give each worker a stripe of chunks, merge
@@ -47,11 +47,11 @@ pub fn par_find_all(
     let workers = cfg.threads.min(n_chunks);
     let mut results: Vec<Vec<Match>> = Vec::with_capacity(workers);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let plan = &plan;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 // Strided chunk assignment balances tail effects.
                 let mut i = w;
@@ -65,8 +65,7 @@ pub fn par_find_all(
         for h in handles {
             results.push(h.join().expect("matcher worker never panics"));
         }
-    })
-    .expect("crossbeam scope propagates no panics");
+    });
 
     let mut merged: Vec<Match> = results.into_iter().flatten().collect();
     merged.sort();

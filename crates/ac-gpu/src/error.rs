@@ -1,0 +1,218 @@
+//! The host-side error taxonomy for GPU matching.
+//!
+//! Supervision needs to know not just *that* a run failed but *how*:
+//! transient failures are worth retrying, fatal ones are not, and a
+//! corrupted result must never be mistaken for either. [`GpuError`]
+//! classifies every failure into one of those three buckets via
+//! [`GpuError::class`].
+
+use crate::readback::ReadbackCorruption;
+use gpu_sim::{DeviceError, GpuConfigError, LaunchError};
+use std::fmt;
+
+/// How a supervisor should treat a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Worth retrying: the same operation later is expected to succeed
+    /// (injected transient faults, watchdog kills).
+    Transient,
+    /// Retrying cannot help: bad configuration, exhausted capacity,
+    /// automata too large for the device layout.
+    Fatal,
+    /// The device produced an answer, but integrity verification rejected
+    /// it. Retrying is allowed — and the corrupt result must be discarded.
+    Corrupted,
+}
+
+/// The automaton does not fit the device upload format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadError {
+    /// States in the automaton.
+    pub states: usize,
+    /// Maximum representable states for this table.
+    pub limit: u64,
+    /// Which table overflowed (`"STT"` or `"PFAC"`).
+    pub table: &'static str,
+}
+
+impl fmt::Display for UploadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} table cannot represent {} states (limit {})",
+            self.table, self.states, self.limit
+        )
+    }
+}
+
+impl std::error::Error for UploadError {}
+
+/// An invalid host↔device link model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcieError {
+    /// Bandwidth must be positive and latency non-negative.
+    BadLink,
+    /// Streaming segment size must be positive.
+    ZeroSegment,
+}
+
+impl fmt::Display for PcieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcieError::BadLink => {
+                write!(f, "PCIe bandwidth must be positive and latency non-negative")
+            }
+            PcieError::ZeroSegment => write!(f, "segment_bytes must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for PcieError {}
+
+/// Any failure of a GPU matching run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// The simulated device failed (allocation, launch, injected fault,
+    /// watchdog, invalid configuration).
+    Device(DeviceError),
+    /// Kernel parameters or launch planning are invalid for this
+    /// device/automaton combination.
+    InvalidParams(String),
+    /// The automaton cannot be uploaded.
+    Upload(UploadError),
+    /// The streaming link model is invalid.
+    Pcie(PcieError),
+    /// Readback integrity verification rejected the result buffer.
+    Corrupted(ReadbackCorruption),
+}
+
+impl GpuError {
+    /// Classify for supervision: retry, give up, or discard-and-retry.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            GpuError::Device(DeviceError::Fault(_)) => ErrorClass::Transient,
+            GpuError::Device(DeviceError::Watchdog { .. }) => ErrorClass::Transient,
+            GpuError::Device(_) => ErrorClass::Fatal,
+            GpuError::InvalidParams(_) => ErrorClass::Fatal,
+            GpuError::Upload(_) => ErrorClass::Fatal,
+            GpuError::Pcie(_) => ErrorClass::Fatal,
+            GpuError::Corrupted(_) => ErrorClass::Corrupted,
+        }
+    }
+
+    /// Whether a supervisor may retry this failure.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self.class(), ErrorClass::Transient | ErrorClass::Corrupted)
+    }
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::Device(e) => write!(f, "{e}"),
+            GpuError::InvalidParams(m) => write!(f, "{m}"),
+            GpuError::Upload(e) => write!(f, "{e}"),
+            GpuError::Pcie(e) => write!(f, "{e}"),
+            GpuError::Corrupted(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuError::Device(e) => Some(e),
+            GpuError::Upload(e) => Some(e),
+            GpuError::Pcie(e) => Some(e),
+            GpuError::Corrupted(e) => Some(e),
+            GpuError::InvalidParams(_) => None,
+        }
+    }
+}
+
+impl From<DeviceError> for GpuError {
+    fn from(e: DeviceError) -> Self {
+        GpuError::Device(e)
+    }
+}
+
+impl From<GpuConfigError> for GpuError {
+    fn from(e: GpuConfigError) -> Self {
+        GpuError::Device(DeviceError::Config(e))
+    }
+}
+
+impl From<LaunchError> for GpuError {
+    fn from(e: LaunchError) -> Self {
+        GpuError::Device(DeviceError::Launch(e))
+    }
+}
+
+impl From<UploadError> for GpuError {
+    fn from(e: UploadError) -> Self {
+        GpuError::Upload(e)
+    }
+}
+
+impl From<PcieError> for GpuError {
+    fn from(e: PcieError) -> Self {
+        GpuError::Pcie(e)
+    }
+}
+
+impl From<ReadbackCorruption> for GpuError {
+    fn from(e: ReadbackCorruption) -> Self {
+        GpuError::Corrupted(e)
+    }
+}
+
+// Compatibility with callers aggregating errors as strings (benches,
+// example binaries).
+impl From<GpuError> for String {
+    fn from(e: GpuError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{FaultKind, InjectedFault};
+
+    #[test]
+    fn classification() {
+        let transient = GpuError::Device(DeviceError::Fault(InjectedFault {
+            kind: FaultKind::LaunchTransient,
+            op_index: 0,
+        }));
+        assert_eq!(transient.class(), ErrorClass::Transient);
+        assert!(transient.is_retryable());
+
+        let watchdog = GpuError::Device(DeviceError::Watchdog { cycles: 10, budget: 5 });
+        assert_eq!(watchdog.class(), ErrorClass::Transient);
+
+        let fatal = GpuError::Device(DeviceError::OutOfDeviceMemory {
+            requested: 10,
+            available: 1,
+            capacity: 2,
+        });
+        assert_eq!(fatal.class(), ErrorClass::Fatal);
+        assert!(!fatal.is_retryable());
+
+        let corrupt = GpuError::Corrupted(ReadbackCorruption::BadChecksum);
+        assert_eq!(corrupt.class(), ErrorClass::Corrupted);
+        assert!(corrupt.is_retryable());
+    }
+
+    #[test]
+    fn display_keeps_legacy_substrings() {
+        let oom = GpuError::Device(DeviceError::OutOfDeviceMemory {
+            requested: 100,
+            available: 4,
+            capacity: 8,
+        });
+        assert!(oom.to_string().contains("out of device memory"));
+        let pcie = GpuError::Pcie(PcieError::BadLink);
+        assert!(pcie.to_string().contains("PCIe bandwidth must be positive"));
+    }
+}

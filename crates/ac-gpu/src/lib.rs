@@ -30,17 +30,23 @@
 //! println!("simulated {:.2} Gbps", run.gbps());
 //! ```
 
+pub mod error;
 pub mod kernels;
 pub mod layout;
+pub mod readback;
 pub mod runner;
 pub mod stream;
+pub mod supervise;
 pub mod upload;
 
+pub use error::{ErrorClass, GpuError, PcieError, UploadError};
 pub use kernels::{
     CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel,
     SharedKernel, SharedVariant,
 };
 pub use layout::{DiagonalMap, KernelParams, LinearMap, Plan};
-pub use runner::{Approach, GpuAcMatcher, GpuRun};
-pub use stream::{run_streamed, PcieConfig, StreamedRun};
+pub use readback::ReadbackCorruption;
+pub use runner::{Approach, GpuAcMatcher, GpuRun, RunOptions};
+pub use stream::{run_streamed, run_streamed_supervised, PcieConfig, StreamedRun};
+pub use supervise::{run_supervised, Supervised, SuperviseConfig, SuperviseReport};
 pub use upload::{DevicePfac, DeviceStt, MATCH_BIT, PFAC_STOP, STATE_MASK};

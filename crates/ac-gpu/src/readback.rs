@@ -1,0 +1,175 @@
+//! Readback integrity: sentinel + checksum framing of the match-event
+//! buffer.
+//!
+//! The device's answer to a scan is the list of match events. When fault
+//! injection is armed, that list travels to the host through
+//! [`gpu_sim::GpuDevice::dma_to_host`], where the plan may flip one bit in
+//! flight. This module frames the event list so any single-bit corruption
+//! is *detected* rather than silently expanded into wrong matches:
+//!
+//! ```text
+//! magic (4) | event_count (8) | events (20 each) | crc32 (4) | sentinel (4)
+//! ```
+//!
+//! CRC-32 (IEEE 802.3) detects **every** single-bit error by construction
+//! (any `x^k` is not divisible by the generator polynomial), which is
+//! exactly the injected fault class; the magic word and tail sentinel
+//! additionally catch truncation and framing slips. Verification runs only
+//! when faults are armed, keeping the fault-free path untouched.
+
+use crate::kernels::MatchEvent;
+use std::fmt;
+
+const MAGIC: u32 = 0x4143_4742; // "ACGB"
+const SENTINEL: u32 = 0x5EA1_ED0C;
+const EVENT_BYTES: usize = 20; // thread u64 + state u32 + end u64
+const HEADER_BYTES: usize = 12; // magic + event_count
+const TRAILER_BYTES: usize = 8; // crc + sentinel
+
+/// Why a readback buffer was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadbackCorruption {
+    /// Too short to hold even the frame.
+    Truncated,
+    /// The magic word at the head is wrong.
+    BadMagic,
+    /// The event count does not match the buffer length.
+    BadLength,
+    /// The CRC-32 over header + events does not match.
+    BadChecksum,
+    /// The tail sentinel is wrong.
+    BadSentinel,
+}
+
+impl fmt::Display for ReadbackCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            ReadbackCorruption::Truncated => "buffer truncated",
+            ReadbackCorruption::BadMagic => "bad magic word",
+            ReadbackCorruption::BadLength => "length mismatch",
+            ReadbackCorruption::BadChecksum => "checksum mismatch",
+            ReadbackCorruption::BadSentinel => "bad tail sentinel",
+        };
+        write!(f, "corrupted readback: {what}")
+    }
+}
+
+impl std::error::Error for ReadbackCorruption {}
+
+/// Serialize events (plus the total observed-event count, which counting
+/// mode reports without materializing) into a framed buffer.
+pub fn encode(events: &[MatchEvent], event_count: u64) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(HEADER_BYTES + events.len() * EVENT_BYTES + TRAILER_BYTES + 8);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    for ev in events {
+        buf.extend_from_slice(&ev.thread.to_le_bytes());
+        buf.extend_from_slice(&ev.state.to_le_bytes());
+        buf.extend_from_slice(&ev.end.to_le_bytes());
+    }
+    buf.extend_from_slice(&event_count.to_le_bytes());
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(&SENTINEL.to_le_bytes());
+    buf
+}
+
+/// Verify and deserialize a framed buffer back into `(events,
+/// event_count)`.
+pub fn decode(buf: &[u8]) -> Result<(Vec<MatchEvent>, u64), ReadbackCorruption> {
+    if buf.len() < HEADER_BYTES + 8 + TRAILER_BYTES {
+        return Err(ReadbackCorruption::Truncated);
+    }
+    let (body, trailer) = buf.split_at(buf.len() - TRAILER_BYTES);
+    if u32::from_le_bytes(trailer[4..8].try_into().unwrap()) != SENTINEL {
+        return Err(ReadbackCorruption::BadSentinel);
+    }
+    if u32::from_le_bytes(trailer[0..4].try_into().unwrap()) != crc32(body) {
+        return Err(ReadbackCorruption::BadChecksum);
+    }
+    if u32::from_le_bytes(body[0..4].try_into().unwrap()) != MAGIC {
+        return Err(ReadbackCorruption::BadMagic);
+    }
+    let n = u64::from_le_bytes(body[4..12].try_into().unwrap()) as usize;
+    if body.len() != HEADER_BYTES + n * EVENT_BYTES + 8 {
+        return Err(ReadbackCorruption::BadLength);
+    }
+    let mut events = Vec::with_capacity(n);
+    let mut at = HEADER_BYTES;
+    for _ in 0..n {
+        events.push(MatchEvent {
+            thread: u64::from_le_bytes(body[at..at + 8].try_into().unwrap()),
+            state: u32::from_le_bytes(body[at + 8..at + 12].try_into().unwrap()),
+            end: u64::from_le_bytes(body[at + 12..at + 20].try_into().unwrap()),
+        });
+        at += EVENT_BYTES;
+    }
+    let event_count = u64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+    Ok((events, event_count))
+}
+
+/// CRC-32 (IEEE), bitwise — the buffer is small (one event list), so a
+/// table-free implementation keeps this dependency-light.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<MatchEvent> {
+        vec![
+            MatchEvent { thread: 0, state: 3, end: 17 },
+            MatchEvent { thread: 42, state: 9, end: 1 << 33 },
+            MatchEvent { thread: u64::MAX, state: u32::MAX, end: 0 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let events = sample();
+        let buf = encode(&events, 123);
+        let (back, count) = decode(&buf).unwrap();
+        assert_eq!(back, events);
+        assert_eq!(count, 123);
+        // Empty list round-trips too.
+        let buf = encode(&[], 0);
+        let (back, count) = decode(&buf).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let buf = encode(&sample(), 7);
+        for bit in 0..buf.len() * 8 {
+            let mut bad = buf.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(decode(&bad).is_err(), "flip at bit {bit} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let buf = encode(&sample(), 7);
+        for cut in 0..buf.len() {
+            assert!(decode(&buf[..cut]).is_err(), "truncation to {cut} went undetected");
+        }
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

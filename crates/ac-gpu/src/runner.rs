@@ -6,16 +6,18 @@
 //! CPU oracle in the test suites) and the full timing/statistics record
 //! that the benchmark harness turns into the paper's figures.
 
+use crate::error::GpuError;
 use crate::kernels::{
     CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel,
     SharedKernel, SharedVariant,
 };
 use crate::layout::{KernelParams, Plan};
+use crate::readback;
 use crate::upload::{DevicePfac, DeviceStt};
 use ac_core::{AcAutomaton, Match, PfacAutomaton};
-use gpu_sim::{GpuConfig, GpuDevice, LaunchConfig, LaunchStats};
+use gpu_sim::{FaultPlan, FaultState, GpuConfig, GpuDevice, InjectedFault, LaunchConfig, LaunchStats};
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Which kernel to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -102,6 +104,15 @@ impl GpuRun {
     }
 }
 
+/// Per-run knobs beyond the approach itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Materialize matches (`false` = counting mode).
+    pub record: bool,
+    /// Cycle budget for the launch watchdog; `None` disarms it.
+    pub watchdog_cycles: Option<u64>,
+}
+
 /// The host-side matcher: an automaton prepared for a device.
 #[derive(Debug)]
 pub struct GpuAcMatcher {
@@ -111,14 +122,18 @@ pub struct GpuAcMatcher {
     dev_stt: DeviceStt,
     pfac: OnceLock<(PfacAutomaton, DevicePfac)>,
     compressed: OnceLock<DeviceCompressedStt>,
+    /// Armed fault-injection state. Lives on the matcher (not the
+    /// per-run device) so operation counters persist across retries: a
+    /// retried launch has a fresh index and is not re-scheduled to fail.
+    fault: Mutex<Option<FaultState>>,
 }
 
 impl GpuAcMatcher {
     /// Prepare `ac` for execution on a device described by `cfg`.
-    pub fn new(cfg: GpuConfig, params: KernelParams, ac: AcAutomaton) -> Result<Self, String> {
+    pub fn new(cfg: GpuConfig, params: KernelParams, ac: AcAutomaton) -> Result<Self, GpuError> {
         cfg.validate()?;
-        params.validate(&cfg, &ac)?;
-        let dev_stt = DeviceStt::from_automaton(&ac);
+        params.validate(&cfg, &ac).map_err(GpuError::InvalidParams)?;
+        let dev_stt = DeviceStt::from_automaton(&ac)?;
         Ok(GpuAcMatcher {
             cfg,
             params,
@@ -126,7 +141,26 @@ impl GpuAcMatcher {
             dev_stt,
             pfac: OnceLock::new(),
             compressed: OnceLock::new(),
+            fault: Mutex::new(None),
         })
+    }
+
+    /// Arm a deterministic fault plan for subsequent runs. Counters start
+    /// at zero; they advance across runs and retries until
+    /// [`GpuAcMatcher::clear_fault_plan`].
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock().unwrap() = Some(FaultState::new(plan));
+    }
+
+    /// Disarm fault injection, returning the final state (with its
+    /// injection log), if any was armed.
+    pub fn clear_fault_plan(&self) -> Option<FaultState> {
+        self.fault.lock().unwrap().take()
+    }
+
+    /// Faults that have fired so far under the armed plan.
+    pub fn fault_log(&self) -> Vec<InjectedFault> {
+        self.fault.lock().unwrap().as_ref().map(|s| s.log().to_vec()).unwrap_or_default()
     }
 
     /// The underlying automaton.
@@ -145,21 +179,24 @@ impl GpuAcMatcher {
     }
 
     /// Run `approach` over `text`, materializing matches.
-    pub fn run(&self, text: &[u8], approach: Approach) -> Result<GpuRun, String> {
-        self.run_with(text, approach, true)
+    pub fn run(&self, text: &[u8], approach: Approach) -> Result<GpuRun, GpuError> {
+        self.run_opts(text, approach, RunOptions { record: true, watchdog_cycles: None })
     }
 
     /// Run `approach` over `text` in counting mode: full timing, match
     /// events counted but not materialized. Use for paper-scale inputs
     /// where hundreds of millions of matches would not fit in host memory.
-    pub fn run_counting(&self, text: &[u8], approach: Approach) -> Result<GpuRun, String> {
-        self.run_with(text, approach, false)
+    pub fn run_counting(&self, text: &[u8], approach: Approach) -> Result<GpuRun, GpuError> {
+        self.run_opts(text, approach, RunOptions { record: false, watchdog_cycles: None })
     }
 
     fn pfac_tables(&self) -> &(PfacAutomaton, DevicePfac) {
         self.pfac.get_or_init(|| {
             let pfac = PfacAutomaton::build(self.ac.patterns());
-            let dev = DevicePfac::from_pfac(&pfac);
+            // A failureless trie never has more states than the AC DFA,
+            // whose size `new` already validated.
+            let dev = DevicePfac::from_pfac(&pfac)
+                .expect("PFAC trie is no larger than the validated AC DFA");
             (pfac, dev)
         })
     }
@@ -168,8 +205,35 @@ impl GpuAcMatcher {
         self.compressed.get_or_init(|| DeviceCompressedStt::from_automaton(&self.ac))
     }
 
-    fn run_with(&self, text: &[u8], approach: Approach, record: bool) -> Result<GpuRun, String> {
+    /// Run with explicit [`RunOptions`] (recording mode, watchdog).
+    pub fn run_opts(
+        &self,
+        text: &[u8],
+        approach: Approach,
+        opts: RunOptions,
+    ) -> Result<GpuRun, GpuError> {
         let mut dev = GpuDevice::new(self.cfg)?;
+        dev.set_watchdog(opts.watchdog_cycles);
+        // Move the armed fault state (if any) into the fresh device for the
+        // duration of the run, and put it back — counters advanced, log
+        // appended — on every exit path.
+        if let Some(state) = self.fault.lock().unwrap().take() {
+            dev.arm_faults(state);
+        }
+        let result = self.run_on_device(&mut dev, text, approach, opts.record);
+        if let Some(state) = dev.disarm_faults() {
+            *self.fault.lock().unwrap() = Some(state);
+        }
+        result
+    }
+
+    fn run_on_device(
+        &self,
+        dev: &mut GpuDevice,
+        text: &[u8],
+        approach: Approach,
+        record: bool,
+    ) -> Result<GpuRun, GpuError> {
         // +4 guard bytes: the staging loop reads whole 32-bit words and
         // may touch up to 3 bytes past an unaligned tile end.
         let text_base = dev.alloc_global(text.len() as u64 + 4)?;
@@ -242,6 +306,19 @@ impl GpuAcMatcher {
             }
         };
 
+        // Model the device→host result copy when faults are armed: frame
+        // the event buffer, ship it across the (corruptible) bus, and
+        // verify integrity on arrival. A scheduled bit-flip surfaces here
+        // as a typed corruption error — never as silently wrong matches.
+        // Unarmed runs skip this entirely (zero-cost hook).
+        let (events, event_count) = if dev.faults_armed() {
+            let mut buf = readback::encode(&events, event_count);
+            dev.dma_to_host(&mut buf);
+            readback::decode(&buf)?
+        } else {
+            (events, event_count)
+        };
+
         let matches = if record {
             match approach {
                 Approach::Pfac => self.expand_pfac_events(&events),
@@ -261,10 +338,11 @@ impl GpuAcMatcher {
         })
     }
 
-    fn plan_for(&self, approach: Approach, len: u64) -> Result<(Plan, LaunchConfig), String> {
+    fn plan_for(&self, approach: Approach, len: u64) -> Result<(Plan, LaunchConfig), GpuError> {
         match approach {
             Approach::GlobalOnly => {
-                let plan = Plan::global_only(&self.params, &self.cfg, &self.ac, len)?;
+                let plan = Plan::global_only(&self.params, &self.cfg, &self.ac, len)
+                    .map_err(GpuError::InvalidParams)?;
                 Ok((plan, plan.launch))
             }
             Approach::Pfac => {
@@ -284,7 +362,8 @@ impl GpuAcMatcher {
                 Ok((plan, launch))
             }
             _ => {
-                let plan = Plan::shared(&self.params, &self.cfg, &self.ac, len)?;
+                let plan = Plan::shared(&self.params, &self.cfg, &self.ac, len)
+                    .map_err(GpuError::InvalidParams)?;
                 Ok((plan, plan.launch))
             }
         }

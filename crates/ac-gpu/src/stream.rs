@@ -12,7 +12,9 @@
 //! a PCIe-generation copy model so `repro ablation-pcie` can quantify the
 //! gap between kernel-only and end-to-end throughput.
 
+use crate::error::{GpuError, PcieError};
 use crate::runner::{Approach, GpuAcMatcher};
+use crate::supervise::{run_supervised, SuperviseConfig, SuperviseReport};
 use ac_core::Match;
 use serde::{Deserialize, Serialize};
 
@@ -38,9 +40,9 @@ impl PcieConfig {
     }
 
     /// Validate.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), PcieError> {
         if self.bandwidth_bytes_per_sec <= 0.0 || self.latency_sec < 0.0 {
-            return Err("PCIe bandwidth must be positive and latency non-negative".into());
+            return Err(PcieError::BadLink);
         }
         Ok(())
     }
@@ -98,16 +100,43 @@ pub fn run_streamed(
     approach: Approach,
     segment_bytes: usize,
     pcie: &PcieConfig,
-) -> Result<StreamedRun, String> {
+) -> Result<StreamedRun, GpuError> {
+    run_streamed_inner(matcher, text, approach, segment_bytes, pcie, None).map(|(r, _)| r)
+}
+
+/// [`run_streamed`] with per-segment supervision: each segment's kernel is
+/// retried under `supervise` so one faulted segment doesn't lose the scan.
+/// Returns the streamed result plus the supervision trace of every
+/// segment.
+pub fn run_streamed_supervised(
+    matcher: &GpuAcMatcher,
+    text: &[u8],
+    approach: Approach,
+    segment_bytes: usize,
+    pcie: &PcieConfig,
+    supervise: &SuperviseConfig,
+) -> Result<(StreamedRun, Vec<SuperviseReport>), GpuError> {
+    run_streamed_inner(matcher, text, approach, segment_bytes, pcie, Some(supervise))
+}
+
+fn run_streamed_inner(
+    matcher: &GpuAcMatcher,
+    text: &[u8],
+    approach: Approach,
+    segment_bytes: usize,
+    pcie: &PcieConfig,
+    supervise: Option<&SuperviseConfig>,
+) -> Result<(StreamedRun, Vec<SuperviseReport>), GpuError> {
     pcie.validate()?;
     if segment_bytes == 0 {
-        return Err("segment_bytes must be positive".into());
+        return Err(PcieError::ZeroSegment.into());
     }
     let overlap = matcher.automaton().required_overlap();
     let n_segments = text.len().div_ceil(segment_bytes).max(1);
 
     let mut kernel_times = Vec::with_capacity(n_segments);
     let mut copy_times = Vec::with_capacity(n_segments);
+    let mut reports = Vec::new();
     let mut matches = Vec::new();
     for i in 0..n_segments {
         let start = i * segment_bytes;
@@ -116,7 +145,18 @@ pub fn run_streamed(
         let window = &text[start..scan_end];
         // The copy ships the whole scanned window (owned + overlap).
         copy_times.push(pcie.copy_seconds(window.len()));
-        let run = matcher.run(window, approach)?;
+        let run = match supervise {
+            Some(cfg) => {
+                let s = run_supervised(matcher, window, approach, cfg)
+                    .map_err(|(err, report)| {
+                        reports.push(report);
+                        err
+                    })?;
+                reports.push(s.report);
+                s.run
+            }
+            None => matcher.run(window, approach)?,
+        };
         kernel_times.push(run.seconds());
         for m in run.matches {
             if start + m.start < owned_end {
@@ -142,15 +182,18 @@ pub fn run_streamed(
 
     let stt_copy_seconds = pcie.copy_seconds(matcher.automaton().stt().size_bytes());
 
-    Ok(StreamedRun {
-        segments: n_segments,
-        kernel_seconds: kernel_times.iter().sum(),
-        copy_seconds: copy_times.iter().sum(),
-        stt_copy_seconds,
-        pipelined_seconds: pipelined,
-        matches,
-        bytes: text.len(),
-    })
+    Ok((
+        StreamedRun {
+            segments: n_segments,
+            kernel_seconds: kernel_times.iter().sum(),
+            copy_seconds: copy_times.iter().sum(),
+            stt_copy_seconds,
+            pipelined_seconds: pipelined,
+            matches,
+            bytes: text.len(),
+        },
+        reports,
+    ))
 }
 
 #[cfg(test)]
@@ -218,6 +261,33 @@ mod tests {
         let t = p.copy_seconds(6_000_000_000);
         assert!((t - 1.0).abs() < 1e-3);
         assert!(PcieConfig { bandwidth_bytes_per_sec: 0.0, latency_sec: 0.0 }.validate().is_err());
+    }
+
+    #[test]
+    fn supervised_streaming_survives_per_segment_faults() {
+        use gpu_sim::FaultPlan;
+        let m = matcher();
+        let text: Vec<u8> =
+            b"ushers rush home; his shelf, her shoes ".iter().cycle().take(20_000).copied().collect();
+        let mut whole = m.automaton().find_all(&text);
+        whole.sort();
+        // Fault the first launch of segments 0 and 2 (launch indices
+        // advance per attempt: 0 fails, 1 retries seg 0, 2 runs seg 1,
+        // 3 fails, 4 retries seg 2, ...).
+        m.set_fault_plan(FaultPlan::none().with_launch_transient(0).with_launch_transient(3));
+        let (r, reports) = run_streamed_supervised(
+            &m,
+            &text,
+            Approach::SharedDiagonal,
+            4096,
+            &PcieConfig::gen2_x16(),
+            &SuperviseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.matches, whole);
+        assert_eq!(reports.len(), r.segments);
+        let total_retries: u32 = reports.iter().map(|rep| rep.retries).sum();
+        assert_eq!(total_retries, 2);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Supervised execution: bounded retry, watchdog, and integrity-checked
+//! readback around a [`GpuAcMatcher`] run.
+//!
+//! Real scanning services wrap each kernel launch in a supervisor that
+//! retries transient failures, kills hung kernels, and rejects corrupt
+//! results. [`run_supervised`] is that wrapper: each attempt runs with the
+//! configured watchdog armed; failures classified
+//! [`ErrorClass::Transient`] or [`ErrorClass::Corrupted`] are retried up
+//! to the budget with a deterministic exponential backoff (recorded in
+//! *simulated* time — the simulator has no wall clock to sleep on), and
+//! [`ErrorClass::Fatal`] failures surface immediately. Because fault
+//! injection is deterministic, the whole supervision trace — attempts,
+//! fired faults, backoff — replays identically from the same plan.
+
+use crate::error::{ErrorClass, GpuError};
+use crate::runner::{Approach, GpuAcMatcher, GpuRun, RunOptions};
+use gpu_sim::InjectedFault;
+
+/// Retry/watchdog policy.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperviseConfig {
+    /// Retries after the first attempt (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Watchdog cycle budget per attempt; `None` disarms the watchdog
+    /// (an injected hang then "completes" with an absurd cycle count).
+    pub watchdog_cycles: Option<u64>,
+    /// Base of the deterministic exponential backoff: retry `k` (1-based)
+    /// waits `backoff_base_cycles << (k - 1)` simulated cycles.
+    pub backoff_base_cycles: u64,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            max_retries: 3,
+            // ~0.7 ms at the GTX 285 shader clock — generous for every
+            // kernel in the test corpus, far below a hang's 2⁴⁰ cycles.
+            watchdog_cycles: Some(1 << 30),
+            backoff_base_cycles: 10_000,
+        }
+    }
+}
+
+/// What happened across the attempts of one supervised run.
+#[derive(Debug, Clone, Default)]
+pub struct SuperviseReport {
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Retries consumed (`attempts - 1`).
+    pub retries: u32,
+    /// Total simulated backoff cycles spent between attempts.
+    pub backoff_cycles: u64,
+    /// Faults that fired during these attempts (delta of the matcher's
+    /// injection log).
+    pub faults: Vec<InjectedFault>,
+    /// Display text of each failed attempt's error, in order.
+    pub attempt_errors: Vec<String>,
+}
+
+/// A successful supervised run: the result plus its supervision trace.
+#[derive(Debug, Clone)]
+pub struct Supervised {
+    /// The run that finally succeeded.
+    pub run: GpuRun,
+    /// The supervision trace.
+    pub report: SuperviseReport,
+}
+
+/// Run `approach` over `text` under supervision. On success the report
+/// shows how many attempts it took; on failure the returned error is the
+/// last attempt's (fatal, or retry budget exhausted) and the report is
+/// recoverable from [`GpuAcMatcher::fault_log`].
+pub fn run_supervised(
+    matcher: &GpuAcMatcher,
+    text: &[u8],
+    approach: Approach,
+    cfg: &SuperviseConfig,
+) -> Result<Supervised, (GpuError, SuperviseReport)> {
+    let mut report = SuperviseReport::default();
+    let log_before = matcher.fault_log().len();
+    let opts = RunOptions { record: true, watchdog_cycles: cfg.watchdog_cycles };
+    loop {
+        report.attempts += 1;
+        match matcher.run_opts(text, approach, opts) {
+            Ok(run) => {
+                report.faults = matcher.fault_log().split_off(log_before);
+                return Ok(Supervised { run, report });
+            }
+            Err(err) => {
+                report.attempt_errors.push(err.to_string());
+                let retryable = matches!(
+                    err.class(),
+                    ErrorClass::Transient | ErrorClass::Corrupted
+                );
+                if !retryable || report.retries >= cfg.max_retries {
+                    report.faults = matcher.fault_log().split_off(log_before);
+                    return Err((err, report));
+                }
+                report.retries += 1;
+                report.backoff_cycles +=
+                    cfg.backoff_base_cycles << (report.retries - 1).min(32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::KernelParams;
+    use ac_core::{AcAutomaton, PatternSet};
+    use gpu_sim::{FaultPlan, GpuConfig};
+
+    fn matcher() -> GpuAcMatcher {
+        let cfg = GpuConfig::gtx285();
+        let ac =
+            AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
+        GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap()
+    }
+
+    #[test]
+    fn clean_run_takes_one_attempt() {
+        let m = matcher();
+        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default())
+            .unwrap();
+        assert_eq!(s.report.attempts, 1);
+        assert_eq!(s.report.retries, 0);
+        assert!(s.report.faults.is_empty());
+        assert_eq!(s.run.matches.len(), 3);
+    }
+
+    #[test]
+    fn transient_launch_fault_is_retried() {
+        let m = matcher();
+        m.set_fault_plan(FaultPlan::none().with_launch_transient(0));
+        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default())
+            .unwrap();
+        assert_eq!(s.report.attempts, 2);
+        assert_eq!(s.report.retries, 1);
+        assert_eq!(s.report.faults.len(), 1);
+        assert!(s.report.backoff_cycles > 0);
+        assert_eq!(s.run.matches.len(), 3);
+    }
+
+    #[test]
+    fn hang_is_killed_by_watchdog_and_retried() {
+        let m = matcher();
+        m.set_fault_plan(FaultPlan::none().with_kernel_hang(0));
+        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default())
+            .unwrap();
+        assert_eq!(s.report.attempts, 2);
+        assert!(s.report.attempt_errors[0].contains("watchdog"));
+        assert_eq!(s.run.matches.len(), 3);
+    }
+
+    #[test]
+    fn corrupted_readback_is_discarded_and_retried() {
+        let m = matcher();
+        m.set_fault_plan(FaultPlan::none().with_readback_flip(0, 77));
+        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default())
+            .unwrap();
+        assert_eq!(s.report.attempts, 2);
+        assert!(s.report.attempt_errors[0].contains("corrupted readback"));
+        assert_eq!(s.run.matches.len(), 3);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_error() {
+        let m = matcher();
+        // Every launch fails transiently: budget of 2 retries → 3 attempts.
+        let plan = (0..16).fold(FaultPlan::none(), |p, i| p.with_launch_transient(i));
+        m.set_fault_plan(plan);
+        let cfg = SuperviseConfig { max_retries: 2, ..Default::default() };
+        let (err, report) =
+            run_supervised(&m, b"ushers", Approach::SharedDiagonal, &cfg).unwrap_err();
+        assert!(err.is_retryable()); // still transient, just out of budget
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.attempt_errors.len(), 3);
+    }
+
+    #[test]
+    fn fatal_errors_fail_fast() {
+        // A device too small for even the text allocation: fatal OOM, no
+        // retries.
+        let mut cfg = GpuConfig::gtx285();
+        cfg.device_mem_bytes = 1024; // STT texture cannot fit
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["he"]).unwrap());
+        let m = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
+        let (err, report) =
+            run_supervised(&m, b"hehe", Approach::SharedDiagonal, &Default::default())
+                .unwrap_err();
+        assert!(!err.is_retryable());
+        assert_eq!(report.attempts, 1);
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn supervision_trace_is_deterministic() {
+        let trace = |seed| {
+            let m = matcher();
+            m.set_fault_plan(FaultPlan::generate(seed));
+            match run_supervised(&m, b"ushers rush home", Approach::SharedDiagonal, &Default::default()) {
+                Ok(s) => (true, s.report.attempts, s.report.faults, s.run.matches),
+                Err((_, r)) => (false, r.attempts, r.faults, Vec::new()),
+            }
+        };
+        for seed in 0..8 {
+            assert_eq!(trace(seed), trace(seed), "seed {seed}");
+        }
+    }
+}

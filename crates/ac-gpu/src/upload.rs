@@ -11,6 +11,7 @@
 //! table remains the paper's 257-column structure (and so kernels that
 //! *do* consult the flag column — none of ours by default — could).
 
+use crate::error::UploadError;
 use ac_core::stt::STT_COLUMNS;
 use ac_core::{AcAutomaton, PfacAutomaton};
 use ac_core::trie::ALPHABET;
@@ -39,14 +40,14 @@ pub struct DeviceStt {
 }
 
 impl DeviceStt {
-    /// Build the device table from a host automaton.
-    ///
-    /// # Panics
-    /// Panics if the automaton has ≥ 2³¹ states (cannot fold the flag).
-    pub fn from_automaton(ac: &AcAutomaton) -> Self {
+    /// Build the device table from a host automaton. Fails if the
+    /// automaton has ≥ 2³¹ states (the match flag cannot be folded).
+    pub fn from_automaton(ac: &AcAutomaton) -> Result<Self, UploadError> {
         let stt = ac.stt();
         let n = stt.state_count();
-        assert!((n as u64) < MATCH_BIT as u64, "too many states to fold match flags");
+        if n as u64 >= MATCH_BIT as u64 {
+            return Err(UploadError { states: n, limit: MATCH_BIT as u64 - 1, table: "STT" });
+        }
         let mut entries = Vec::with_capacity(n * STT_COLUMNS);
         for s in 0..n as u32 {
             entries.push(stt.is_match(s) as u32);
@@ -56,7 +57,7 @@ impl DeviceStt {
                 entries.push(t | flag);
             }
         }
-        DeviceStt { entries: Arc::new(entries), rows: n as u32, cols: STT_COLUMNS as u32 }
+        Ok(DeviceStt { entries: Arc::new(entries), rows: n as u32, cols: STT_COLUMNS as u32 })
     }
 
     /// Size in bytes (what the texture binding charges against device
@@ -79,14 +80,13 @@ pub struct DevicePfac {
 }
 
 impl DevicePfac {
-    /// Build the device goto table from a failureless automaton.
-    ///
-    /// # Panics
-    /// Panics if the trie has too many states to distinguish from
-    /// [`PFAC_STOP`].
-    pub fn from_pfac(pfac: &PfacAutomaton) -> Self {
+    /// Build the device goto table from a failureless automaton. Fails if
+    /// the trie has too many states to distinguish from [`PFAC_STOP`].
+    pub fn from_pfac(pfac: &PfacAutomaton) -> Result<Self, UploadError> {
         let n = pfac.state_count();
-        assert!((n as u64) < PFAC_STOP as u64, "too many states for the PFAC texture");
+        if n as u64 >= PFAC_STOP as u64 {
+            return Err(UploadError { states: n, limit: PFAC_STOP as u64 - 1, table: "PFAC" });
+        }
         let mut entries = Vec::with_capacity(n * STT_COLUMNS);
         for s in 0..n as u32 {
             entries.push(!pfac.terminal(s).is_empty() as u32);
@@ -101,7 +101,7 @@ impl DevicePfac {
                 });
             }
         }
-        DevicePfac { entries: Arc::new(entries), rows: n as u32, cols: STT_COLUMNS as u32 }
+        Ok(DevicePfac { entries: Arc::new(entries), rows: n as u32, cols: STT_COLUMNS as u32 })
     }
 }
 
@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn entries_preserve_transitions_and_fold_flags() {
         let a = ac();
-        let dev = DeviceStt::from_automaton(&a);
+        let dev = DeviceStt::from_automaton(&a).unwrap();
         let stt = a.stt();
         assert_eq!(dev.rows as usize, stt.state_count());
         assert_eq!(dev.cols, 257);
@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn walking_device_entries_matches_host() {
         let a = ac();
-        let dev = DeviceStt::from_automaton(&a);
+        let dev = DeviceStt::from_automaton(&a).unwrap();
         let text = b"ushers";
         let mut s = 0u32;
         let mut flags = Vec::new();
@@ -154,7 +154,7 @@ mod tests {
     fn pfac_table_stops_and_flags() {
         let ps = PatternSet::from_strs(&["ab", "abc"]).unwrap();
         let pfac = PfacAutomaton::build(&ps);
-        let dev = DevicePfac::from_pfac(&pfac);
+        let dev = DevicePfac::from_pfac(&pfac).unwrap();
         // Root on 'z' stops.
         assert_eq!(dev.entries[1 + b'z' as usize], PFAC_STOP);
         // Walk "abc": flags fire at 'b' (ab) and 'c' (abc).
@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn size_accounts_full_table() {
-        let dev = DeviceStt::from_automaton(&ac());
+        let dev = DeviceStt::from_automaton(&ac()).unwrap();
         assert_eq!(dev.size_bytes(), 10 * 257 * 4);
     }
 }

@@ -1,4 +1,4 @@
-//! Real multithreaded CPU matching (crossbeam chunked matcher) — the
+//! Real multithreaded CPU matching (scoped-thread chunked matcher) — the
 //! "multicore baseline" of the related work, measured on this host.
 
 use ac_cpu::{interleaved_count, par_find_all, ParallelConfig};

@@ -1,6 +1,6 @@
 //! Command execution: load inputs, dispatch, format output.
 
-use crate::engines::{device, run_engine, EngineReport};
+use crate::engines::{device, run_engine, run_resilient, EngineReport, ResilientReport};
 use crate::opts::{Command, Engine, Options};
 use ac_core::{analysis, dot, AcAutomaton, NfaTables, PatternSet, Trie};
 use std::fmt::Write as _;
@@ -36,6 +36,10 @@ pub fn run(opts: &Options) -> Result<String, String> {
             let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
             let ac = AcAutomaton::build(&patterns);
             let cfg = device(opts.fermi);
+            if opts.resilient {
+                let report = run_resilient(&ac, &text, &cfg, opts.fault_seed);
+                return Ok(resilient_text(&report, &ac, opts));
+            }
             let name = Engine::all()
                 .iter()
                 .find(|(e, _)| *e == opts.engine)
@@ -134,6 +138,45 @@ fn stats_text(patterns: &PatternSet, ac: &AcAutomaton) -> String {
     let _ = writeln!(out, "mean fanout:     {:.2}", s.mean_fanout);
     let _ = writeln!(out, "dense STT:       {} bytes", ac.stt().size_bytes());
     let _ = writeln!(out, "states by depth: {:?}", s.states_by_depth);
+    out
+}
+
+fn resilient_text(report: &ResilientReport, ac: &AcAutomaton, opts: &Options) -> String {
+    let run = &report.run;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} matches (resilient, answered by {})", run.matches.len(), run.tier.label());
+    if let Some(gpu) = &run.report.gpu {
+        let _ = writeln!(
+            out,
+            "gpu supervision: {} attempt(s), {} retried, {} fault(s) injected",
+            gpu.attempts,
+            gpu.retries,
+            gpu.faults.len()
+        );
+        for f in &gpu.faults {
+            let _ = writeln!(out, "  fired: {f}");
+        }
+    }
+    if let Some(e) = &run.report.gpu_error {
+        let _ = writeln!(out, "gpu rung abandoned: {e}");
+    }
+    if let Some(e) = &run.report.cpu_parallel_error {
+        let _ = writeln!(out, "cpu-parallel rung abandoned: {e}");
+    }
+    if !opts.count_only {
+        for m in run.matches.iter().take(opts.limit) {
+            let _ = writeln!(
+                out,
+                "{:>10}..{:<10} {}",
+                m.start,
+                m.end,
+                String::from_utf8_lossy(ac.patterns().get(m.pattern))
+            );
+        }
+        if run.matches.len() > opts.limit {
+            let _ = writeln!(out, "... {} more (raise --limit)", run.matches.len() - opts.limit);
+        }
+    }
     out
 }
 
@@ -237,6 +280,39 @@ mod tests {
         .unwrap();
         let out = run(&opts).unwrap();
         assert!(out.contains("visit profile"), "{out}");
+    }
+
+    #[test]
+    fn resilient_match_reports_tier_and_faults() {
+        let pats = write_tmp("p6.txt", b"he\nshe\nhers\n");
+        let input = write_tmp("i6.txt", b"ushers everywhere");
+        // Clean resilient run: GPU answers, same count as the serial engine.
+        let opts = parse([
+            "match",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--resilient",
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("4 matches (resilient, answered by gpu)"), "{out}");
+        // Seeded faults: still 4 matches, and the trace shows what fired.
+        let opts = parse([
+            "match",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--resilient",
+            "--fault-seed",
+            "3",
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("4 matches"), "{out}");
+        assert!(out.contains("gpu supervision:"), "{out}");
     }
 
     #[test]

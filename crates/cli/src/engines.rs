@@ -5,7 +5,8 @@ use crate::opts::Engine;
 use ac_core::{AcAutomaton, Match};
 use ac_cpu::ParallelConfig;
 use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
-use gpu_sim::GpuConfig;
+use gpu_sim::{FaultPlan, GpuConfig};
+use integration::{ResilientConfig, ResilientMatcher, ResilientRun};
 use std::time::Instant;
 
 /// Uniform result of one engine run.
@@ -112,6 +113,37 @@ pub fn run_engine(
     }
 }
 
+/// Result of a resilient (degrading) run.
+#[derive(Debug, Clone)]
+pub struct ResilientReport {
+    /// The scan outcome: matches, answering tier, degradation trace.
+    pub run: ResilientRun,
+    /// Host wall seconds spent.
+    pub host_seconds: f64,
+}
+
+/// Execute the supervised GPU → parallel CPU → serial ladder over `text`.
+/// `fault_seed` arms a deterministic fault plan on the GPU rung first.
+pub fn run_resilient(
+    ac: &AcAutomaton,
+    text: &[u8],
+    cfg: &GpuConfig,
+    fault_seed: Option<u64>,
+) -> ResilientReport {
+    let started = Instant::now();
+    let matcher = ResilientMatcher::new(
+        *cfg,
+        KernelParams::defaults_for(cfg),
+        ac.clone(),
+        ResilientConfig::default(),
+    );
+    if let Some(seed) = fault_seed {
+        matcher.set_fault_plan(FaultPlan::generate(seed));
+    }
+    let run = matcher.scan(text);
+    ResilientReport { run, host_seconds: started.elapsed().as_secs_f64() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +185,20 @@ mod tests {
     #[test]
     fn fermi_device_differs() {
         assert_ne!(device(true).num_sms, device(false).num_sms);
+    }
+
+    #[test]
+    fn resilient_run_agrees_with_serial_even_under_faults() {
+        let ac = ac();
+        let text = b"ushers she hers and he";
+        let cfg = device(false);
+        let mut want = ac.find_all(text);
+        want.sort();
+        let clean = run_resilient(&ac, text, &cfg, None);
+        assert_eq!(clean.run.matches, want);
+        assert_eq!(clean.run.tier.label(), "gpu");
+        let faulted = run_resilient(&ac, text, &cfg, Some(3));
+        assert_eq!(faulted.run.matches, want);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::path::PathBuf;
 pub enum Engine {
     /// Single-threaded DFA walk on the host.
     Serial,
-    /// crossbeam multithreaded chunked matcher.
+    /// Multithreaded chunked matcher (scoped threads).
     Parallel,
     /// Simulated-GPU kernel: the paper's shared-memory kernel.
     GpuShared,
@@ -80,6 +80,11 @@ pub struct Options {
     pub fermi: bool,
     /// Limit on printed matches.
     pub limit: usize,
+    /// Use the resilient front-end (supervised GPU with CPU degradation)
+    /// instead of a single engine (`match` only).
+    pub resilient: bool,
+    /// Seed for a deterministic fault plan armed on the resilient GPU rung.
+    pub fault_seed: Option<u64>,
 }
 
 /// A human-readable argument error.
@@ -97,10 +102,13 @@ impl std::error::Error for ParseError {}
 /// Usage text.
 pub const USAGE: &str = "usage:
   acsim match   --patterns FILE --input FILE [--engine E] [--count] [--fermi] [--limit N]
+                [--resilient [--fault-seed N]]
   acsim compare --patterns FILE --input FILE [--fermi]
   acsim stats   --patterns FILE [--input FILE]
   acsim dot     --patterns FILE
-engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed | gpu:pfac";
+engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed | gpu:pfac
+--resilient runs supervised GPU matching that degrades to the CPU engines on
+failure; --fault-seed arms a deterministic fault-injection plan (testing aid).";
 
 /// Parse an argument vector (without the program name).
 pub fn parse<I, S>(args: I) -> Result<Options, ParseError>
@@ -123,6 +131,8 @@ where
     let mut count_only = false;
     let mut fermi = false;
     let mut limit = 20usize;
+    let mut resilient = false;
+    let mut fault_seed: Option<u64> = None;
     while let Some(a) = it.next() {
         match a.as_ref() {
             "--patterns" => {
@@ -142,6 +152,16 @@ where
             }
             "--count" => count_only = true,
             "--fermi" => fermi = true,
+            "--resilient" => resilient = true,
+            "--fault-seed" => {
+                fault_seed = Some(
+                    it.next()
+                        .ok_or_else(|| ParseError("--fault-seed needs a number".into()))?
+                        .as_ref()
+                        .parse()
+                        .map_err(|e| ParseError(format!("bad --fault-seed: {e}")))?,
+                )
+            }
             "--limit" => {
                 limit = it
                     .next()
@@ -157,7 +177,13 @@ where
     if matches!(command, Command::Match | Command::Compare) && input.is_none() {
         return Err(ParseError(format!("{command:?} requires --input")));
     }
-    Ok(Options { command, patterns, input, engine, count_only, fermi, limit })
+    if resilient && command != Command::Match {
+        return Err(ParseError("--resilient only applies to `match`".into()));
+    }
+    if fault_seed.is_some() && !resilient {
+        return Err(ParseError("--fault-seed requires --resilient".into()));
+    }
+    Ok(Options { command, patterns, input, engine, count_only, fermi, limit, resilient, fault_seed })
 }
 
 #[cfg(test)]
@@ -209,6 +235,35 @@ mod tests {
         assert!(p(&["match", "--patterns", "d", "--input", "i", "--engine", "tpu"]).is_err());
         assert!(p(&["match", "--patterns", "d", "--input", "i", "--wat"]).is_err());
         assert!(p(&[]).is_err());
+    }
+
+    #[test]
+    fn resilient_flags_parse_and_are_validated() {
+        let o = p(&[
+            "match", "--patterns", "d", "--input", "i", "--resilient", "--fault-seed", "42",
+        ])
+        .unwrap();
+        assert!(o.resilient);
+        assert_eq!(o.fault_seed, Some(42));
+
+        let o = p(&["match", "--patterns", "d", "--input", "i", "--resilient"]).unwrap();
+        assert!(o.resilient);
+        assert_eq!(o.fault_seed, None);
+
+        let o = p(&["match", "--patterns", "d", "--input", "i"]).unwrap();
+        assert!(!o.resilient);
+
+        // --fault-seed without --resilient is meaningless.
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--fault-seed", "1"]).is_err());
+        // --resilient outside `match` is rejected.
+        assert!(p(&["compare", "--patterns", "d", "--input", "i", "--resilient"]).is_err());
+        // Bad seed values are rejected.
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--resilient", "--fault-seed"])
+            .is_err());
+        assert!(p(&[
+            "match", "--patterns", "d", "--input", "i", "--resilient", "--fault-seed", "soon",
+        ])
+        .is_err());
     }
 
     #[test]

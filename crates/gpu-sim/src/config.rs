@@ -1,6 +1,7 @@
 //! Device configuration: geometry, latencies and clocks of the simulated
 //! GPU, with a preset matching the paper's Nvidia GeForce GTX 285.
 
+use crate::error::GpuConfigError;
 use mem_sim::{CacheConfig, DramConfig};
 use serde::{Deserialize, Serialize};
 
@@ -191,44 +192,47 @@ impl GpuConfig {
     }
 
     /// Validate internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), GpuConfigError> {
         if self.num_sms == 0 || self.cores_per_sm == 0 {
-            return Err("num_sms and cores_per_sm must be positive".into());
+            return Err(GpuConfigError::ZeroSmsOrCores);
         }
         if self.warp_size == 0 || !self.warp_size.is_multiple_of(2) {
-            return Err(format!("warp_size {} must be a positive even number", self.warp_size));
+            return Err(GpuConfigError::BadWarpSize(self.warp_size));
         }
         if self.shared_banks == 0 {
-            return Err("shared_banks must be positive".into());
+            return Err(GpuConfigError::ZeroBanks);
         }
         if self.max_warps_per_sm == 0 || self.max_blocks_per_sm == 0 {
-            return Err("resident warp/block limits must be positive".into());
+            return Err(GpuConfigError::ZeroResidencyLimits);
         }
         if self.coalesce_segment == 0 || !self.coalesce_segment.is_power_of_two() {
-            return Err(format!(
-                "coalesce_segment {} must be a power of two",
-                self.coalesce_segment
-            ));
+            return Err(GpuConfigError::BadCoalesceSegment(self.coalesce_segment));
         }
         if self.clock_hz <= 0.0 {
-            return Err("clock_hz must be positive".into());
+            return Err(GpuConfigError::NonPositiveClock);
         }
         if self.warp_size > 32 || self.shared_banks > 32 {
-            return Err("warp_size and shared_banks are limited to 32 in this model".into());
+            return Err(GpuConfigError::ModelLimits);
         }
         if self.device_mem_bytes == 0 {
-            return Err("device_mem_bytes must be positive".into());
+            return Err(GpuConfigError::ZeroDeviceMem);
         }
         if self.tex_lanes_per_cycle <= 0.0 {
-            return Err("tex_lanes_per_cycle must be positive".into());
+            return Err(GpuConfigError::NonPositiveTexRate);
         }
-        self.tex_cache.validate().map_err(|e| format!("tex_cache: {e}"))?;
-        self.const_cache.validate().map_err(|e| format!("const_cache: {e}"))?;
-        self.tex_l2.validate().map_err(|e| format!("tex_l2: {e}"))?;
+        self.tex_cache
+            .validate()
+            .map_err(|e| GpuConfigError::Cache { which: "tex_cache", message: e })?;
+        self.const_cache
+            .validate()
+            .map_err(|e| GpuConfigError::Cache { which: "const_cache", message: e })?;
+        self.tex_l2
+            .validate()
+            .map_err(|e| GpuConfigError::Cache { which: "tex_l2", message: e })?;
         if self.tex_l2.line_bytes != self.tex_cache.line_bytes {
-            return Err("tex_l2 line size must match the L1 texture cache line size".into());
+            return Err(GpuConfigError::MismatchedTexLines);
         }
-        self.dram.validate().map_err(|e| format!("dram: {e}"))?;
+        self.dram.validate().map_err(GpuConfigError::Dram)?;
         Ok(())
     }
 

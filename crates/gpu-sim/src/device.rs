@@ -3,6 +3,8 @@
 
 use crate::config::GpuConfig;
 use crate::constant::{ConstId, ConstantBuffer};
+use crate::error::{DeviceError, LaunchError};
+use crate::fault::{FaultState, InjectedFault, LaunchFault, HANG_CYCLES};
 use crate::global::GlobalMemory;
 use crate::kernel::{WarpGeometry, WarpProgram};
 use crate::scheduler::run_sm;
@@ -33,28 +35,25 @@ pub struct LaunchConfig {
 
 impl LaunchConfig {
     /// Validate against a device.
-    pub fn validate(&self, cfg: &GpuConfig) -> Result<(), String> {
+    pub fn validate(&self, cfg: &GpuConfig) -> Result<(), LaunchError> {
         if self.grid_blocks == 0 {
-            return Err("grid must contain at least one block".into());
+            return Err(LaunchError::EmptyGrid);
         }
         if self.threads_per_block == 0 || !self.threads_per_block.is_multiple_of(cfg.warp_size) {
-            return Err(format!(
-                "threads_per_block {} must be a positive multiple of the warp size {}",
-                self.threads_per_block, cfg.warp_size
-            ));
+            return Err(LaunchError::BadThreadsPerBlock {
+                threads: self.threads_per_block,
+                warp_size: cfg.warp_size,
+            });
         }
         let warps = self.threads_per_block / cfg.warp_size;
         if warps > cfg.max_warps_per_sm {
-            return Err(format!(
-                "block has {warps} warps, exceeding the SM limit of {}",
-                cfg.max_warps_per_sm
-            ));
+            return Err(LaunchError::TooManyWarps { warps, limit: cfg.max_warps_per_sm });
         }
         if self.shared_bytes_per_block > cfg.shared_mem_bytes {
-            return Err(format!(
-                "block requests {} bytes of shared memory but the SM has {}",
-                self.shared_bytes_per_block, cfg.shared_mem_bytes
-            ));
+            return Err(LaunchError::SharedMemExceeded {
+                requested: self.shared_bytes_per_block,
+                available: cfg.shared_mem_bytes,
+            });
         }
         Ok(())
     }
@@ -94,11 +93,19 @@ pub struct GpuDevice {
     textures: Vec<Texture2d>,
     constants: Vec<ConstantBuffer>,
     constant_bytes: usize,
+    /// Armed fault-injection state, if any. `None` (the default) keeps
+    /// every hook a single branch on the host side; simulated timing is
+    /// computed from kernel memory traffic alone either way.
+    fault: Option<Box<FaultState>>,
+    /// Cycle budget enforced after each launch; a kernel exceeding it
+    /// (injected hang or genuine runaway) fails with
+    /// [`DeviceError::Watchdog`].
+    watchdog: Option<u64>,
 }
 
 impl GpuDevice {
     /// Bring up a device.
-    pub fn new(cfg: GpuConfig) -> Result<Self, String> {
+    pub fn new(cfg: GpuConfig) -> Result<Self, DeviceError> {
         cfg.validate()?;
         Ok(GpuDevice {
             cfg,
@@ -107,6 +114,8 @@ impl GpuDevice {
             textures: Vec::new(),
             constants: Vec::new(),
             constant_bytes: 0,
+            fault: None,
+            watchdog: None,
         })
     }
 
@@ -115,19 +124,54 @@ impl GpuDevice {
         &self.cfg
     }
 
+    /// Arm fault injection. Counters continue from wherever `state` left
+    /// off, so a supervisor can move one [`FaultState`] across device
+    /// instances and retried operations see fresh operation indices.
+    pub fn arm_faults(&mut self, state: FaultState) {
+        self.fault = Some(Box::new(state));
+    }
+
+    /// Disarm fault injection, returning the state (with its advanced
+    /// counters and injection log) to the caller.
+    pub fn disarm_faults(&mut self) -> Option<FaultState> {
+        self.fault.take().map(|b| *b)
+    }
+
+    /// Whether fault injection is currently armed.
+    pub fn faults_armed(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Arm (or clear, with `None`) the launch watchdog: any launch whose
+    /// simulated cycle count exceeds `budget` fails with
+    /// [`DeviceError::Watchdog`] instead of returning results.
+    pub fn set_watchdog(&mut self, budget: Option<u64>) {
+        self.watchdog = budget;
+    }
+
+    /// Copy a device→host readback buffer "across the bus": counts one
+    /// readback operation and applies any scheduled bit-flip to `buf` in
+    /// place. Returns the fault that fired, if any. With no fault state
+    /// armed this is a no-op.
+    pub fn dma_to_host(&mut self, buf: &mut [u8]) -> Option<InjectedFault> {
+        self.fault.as_mut()?.on_readback(buf)
+    }
+
     /// Allocate `bytes` of global memory (256-byte aligned, like CUDA),
     /// returning the device address. Fails when the G-DRAM capacity is
     /// exhausted.
-    pub fn alloc_global(&mut self, bytes: u64) -> Result<u64, String> {
+    pub fn alloc_global(&mut self, bytes: u64) -> Result<u64, DeviceError> {
+        if let Some(fault) = self.fault.as_mut().and_then(|f| f.on_alloc()) {
+            return Err(DeviceError::Fault(fault));
+        }
         let base = self.cursor.next_multiple_of(256);
-        let end = base
-            .checked_add(bytes)
-            .ok_or_else(|| "allocation size overflows the address space".to_string())?;
+        let end = base.checked_add(bytes).ok_or(DeviceError::AddressOverflow)?;
         if end > self.cfg.device_mem_bytes {
-            return Err(format!(
-                "out of device memory: need {end} bytes, device has {}",
-                self.cfg.device_mem_bytes
-            ));
+            return Err(DeviceError::OutOfDeviceMemory {
+                requested: bytes,
+                available: self.cfg.device_mem_bytes.saturating_sub(base),
+                capacity: self.cfg.device_mem_bytes,
+            });
         }
         self.cursor = end;
         if end as usize > self.global.len() {
@@ -158,7 +202,7 @@ impl GpuDevice {
         data: Arc<Vec<u32>>,
         rows: u32,
         cols: u32,
-    ) -> Result<TexId, String> {
+    ) -> Result<TexId, DeviceError> {
         // Account for capacity without materializing a copy.
         self.alloc_global(data.len() as u64 * 4)?;
         self.textures.push(Texture2d::new(data, rows, cols));
@@ -167,16 +211,16 @@ impl GpuDevice {
 
     /// Bind a constant-memory buffer (≤ 64 KB total across buffers, the
     /// CUDA constant segment of this device generation).
-    pub fn bind_constant(&mut self, data: Arc<Vec<u32>>) -> Result<ConstId, String> {
+    pub fn bind_constant(&mut self, data: Arc<Vec<u32>>) -> Result<ConstId, DeviceError> {
         let bytes = data.len() * 4;
         if self.constant_bytes + bytes > crate::constant::CONSTANT_MEMORY_BYTES {
-            return Err(format!(
-                "constant segment exhausted: {} + {bytes} bytes exceeds {}",
-                self.constant_bytes,
-                crate::constant::CONSTANT_MEMORY_BYTES
-            ));
+            return Err(DeviceError::ConstantExhausted {
+                used: self.constant_bytes,
+                requested: bytes,
+                capacity: crate::constant::CONSTANT_MEMORY_BYTES,
+            });
         }
-        self.constants.push(ConstantBuffer::new(data)?);
+        self.constants.push(ConstantBuffer::new(data).map_err(DeviceError::ConstantInvalid)?);
         self.constant_bytes += bytes;
         Ok(ConstId(self.constants.len() - 1))
     }
@@ -185,12 +229,23 @@ impl GpuDevice {
     /// of the grid. Blocks are distributed round-robin over the SMs, each
     /// SM is simulated independently with its own texture cache and DRAM
     /// bandwidth slice, and the launch time is the slowest SM.
-    pub fn launch<P, F>(&mut self, lc: LaunchConfig, mut factory: F) -> Result<Launched<P>, String>
+    pub fn launch<P, F>(
+        &mut self,
+        lc: LaunchConfig,
+        mut factory: F,
+    ) -> Result<Launched<P>, DeviceError>
     where
         P: WarpProgram,
         F: FnMut(WarpGeometry) -> P,
     {
         lc.validate(&self.cfg)?;
+        // An injected launch fault fires before the kernel executes — a
+        // transient failure aborts here; a hang runs the kernel but
+        // inflates its reported time past any sane watchdog budget.
+        let launch_fault = self.fault.as_mut().and_then(|f| f.on_launch());
+        if let Some(LaunchFault::Transient(fault)) = launch_fault {
+            return Err(DeviceError::Fault(fault));
+        }
         let mut retired: Vec<(WarpGeometry, P)> = Vec::new();
         let mut totals = SmStats::default();
         let mut per_sm_cycles = Vec::with_capacity(self.cfg.num_sms as usize);
@@ -211,7 +266,18 @@ impl GpuDevice {
             totals.merge(&sm_stats);
         }
         retired.sort_by_key(|(g, _)| (g.block_id, g.warp_in_block));
-        let cycles = per_sm_cycles.iter().copied().max().unwrap_or(0);
+        let mut cycles = per_sm_cycles.iter().copied().max().unwrap_or(0);
+        if matches!(launch_fault, Some(LaunchFault::Hang(_))) {
+            // The kernel "never returns": model it as an absurd completion
+            // time. Without a watchdog the launch still completes (with
+            // that time on the clock); with one it fails below.
+            cycles += HANG_CYCLES;
+        }
+        if let Some(budget) = self.watchdog {
+            if cycles > budget {
+                return Err(DeviceError::Watchdog { cycles, budget });
+            }
+        }
         Ok(Launched {
             stats: LaunchStats {
                 cycles,
@@ -367,6 +433,7 @@ mod tests {
         assert!(bad.validate(&cfg).is_err());
     }
 
+    #[derive(Debug)]
     struct Noop;
     impl WarpProgram for Noop {
         fn step(&mut self, _ctx: &mut WarpCtx<'_>) -> StepOutcome {
@@ -414,6 +481,86 @@ mod tests {
         let data = Arc::new(vec![0u32; 200_000]); // 800 KB
         dev.bind_texture_2d(data.clone(), 1000, 200).unwrap();
         assert!(dev.bind_texture_2d(data, 1000, 200).is_err());
+    }
+
+    #[test]
+    fn injected_alloc_failure_is_transient() {
+        use crate::fault::FaultPlan;
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        dev.arm_faults(FaultState::new(FaultPlan::none().with_alloc_fail(0)));
+        let err = dev.alloc_global(64).unwrap_err();
+        assert!(matches!(err, DeviceError::Fault(f) if f.kind == crate::fault::FaultKind::AllocFail));
+        // The retry is a new operation index and succeeds.
+        assert!(dev.alloc_global(64).is_ok());
+        let state = dev.disarm_faults().unwrap();
+        assert_eq!(state.log().len(), 1);
+        assert!(!dev.faults_armed());
+    }
+
+    #[test]
+    fn injected_launch_transient_then_retry_succeeds() {
+        use crate::fault::FaultPlan;
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        dev.arm_faults(FaultState::new(FaultPlan::none().with_launch_transient(0)));
+        let lc = LaunchConfig {
+            grid_blocks: 1,
+            threads_per_block: 4,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: None,
+        };
+        let err = dev.launch(lc, |_| Noop).unwrap_err();
+        assert!(matches!(err, DeviceError::Fault(_)));
+        assert!(dev.launch(lc, |_| Noop).is_ok());
+    }
+
+    #[test]
+    fn hang_trips_watchdog_when_armed() {
+        use crate::fault::FaultPlan;
+        let lc = LaunchConfig {
+            grid_blocks: 1,
+            threads_per_block: 4,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: None,
+        };
+        // Without a watchdog, the hang "completes" with an absurd time.
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        dev.arm_faults(FaultState::new(FaultPlan::none().with_kernel_hang(0)));
+        let launched = dev.launch(lc, |_| Noop).unwrap();
+        assert!(launched.stats.cycles >= HANG_CYCLES);
+        // With one, the same hang is a typed watchdog error.
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        dev.arm_faults(FaultState::new(FaultPlan::none().with_kernel_hang(0)));
+        dev.set_watchdog(Some(1_000_000));
+        let err = dev.launch(lc, |_| Noop).unwrap_err();
+        assert!(matches!(err, DeviceError::Watchdog { budget: 1_000_000, .. }));
+    }
+
+    #[test]
+    fn dma_to_host_flips_only_when_scheduled() {
+        use crate::fault::FaultPlan;
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        let mut buf = vec![0u8; 8];
+        // Unarmed: no-op.
+        assert!(dev.dma_to_host(&mut buf).is_none());
+        assert_eq!(buf, vec![0u8; 8]);
+        dev.arm_faults(FaultState::new(FaultPlan::none().with_readback_flip(0, 3)));
+        assert!(dev.dma_to_host(&mut buf).is_some());
+        assert_eq!(buf[0], 1 << 3);
+    }
+
+    #[test]
+    fn oom_error_reports_requested_and_available() {
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap(); // 1 MB
+        dev.alloc_global(1 << 19).unwrap();
+        let err = dev.alloc_global(1 << 20).unwrap_err();
+        match err {
+            DeviceError::OutOfDeviceMemory { requested, available, capacity } => {
+                assert_eq!(requested, 1 << 20);
+                assert_eq!(capacity, 1 << 20);
+                assert_eq!(available, (1 << 20) - (1 << 19));
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Typed errors for the device model.
+//!
+//! Every fallible operation on the simulated device used to report
+//! `Result<_, String>`; supervision (retry, degradation) needs to *classify*
+//! failures, which strings cannot support. The taxonomy below keeps the
+//! original `Display` text stable (existing `err.to_string().contains(...)`
+//! assertions keep passing) while making the failure kind inspectable.
+
+use crate::fault::InjectedFault;
+use std::fmt;
+
+/// An invalid [`crate::GpuConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuConfigError {
+    /// `num_sms` or `cores_per_sm` is zero.
+    ZeroSmsOrCores,
+    /// `warp_size` is zero or odd.
+    BadWarpSize(u32),
+    /// `shared_banks` is zero.
+    ZeroBanks,
+    /// `max_warps_per_sm` or `max_blocks_per_sm` is zero.
+    ZeroResidencyLimits,
+    /// `coalesce_segment` is zero or not a power of two.
+    BadCoalesceSegment(u32),
+    /// `clock_hz` is not positive.
+    NonPositiveClock,
+    /// `warp_size` or `shared_banks` exceeds the model's 32-lane limit.
+    ModelLimits,
+    /// `device_mem_bytes` is zero.
+    ZeroDeviceMem,
+    /// `tex_lanes_per_cycle` is not positive.
+    NonPositiveTexRate,
+    /// A cache configuration failed validation.
+    Cache {
+        /// Which cache (`tex_cache`, `tex_l2`, `const_cache`).
+        which: &'static str,
+        /// The underlying message.
+        message: String,
+    },
+    /// The L2 texture line size does not match the L1 line size.
+    MismatchedTexLines,
+    /// The DRAM configuration failed validation.
+    Dram(String),
+}
+
+impl fmt::Display for GpuConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuConfigError::ZeroSmsOrCores => {
+                write!(f, "num_sms and cores_per_sm must be positive")
+            }
+            GpuConfigError::BadWarpSize(w) => {
+                write!(f, "warp_size {w} must be a positive even number")
+            }
+            GpuConfigError::ZeroBanks => write!(f, "shared_banks must be positive"),
+            GpuConfigError::ZeroResidencyLimits => {
+                write!(f, "resident warp/block limits must be positive")
+            }
+            GpuConfigError::BadCoalesceSegment(s) => {
+                write!(f, "coalesce_segment {s} must be a power of two")
+            }
+            GpuConfigError::NonPositiveClock => write!(f, "clock_hz must be positive"),
+            GpuConfigError::ModelLimits => {
+                write!(f, "warp_size and shared_banks are limited to 32 in this model")
+            }
+            GpuConfigError::ZeroDeviceMem => write!(f, "device_mem_bytes must be positive"),
+            GpuConfigError::NonPositiveTexRate => {
+                write!(f, "tex_lanes_per_cycle must be positive")
+            }
+            GpuConfigError::Cache { which, message } => write!(f, "{which}: {message}"),
+            GpuConfigError::MismatchedTexLines => {
+                write!(f, "tex_l2 line size must match the L1 texture cache line size")
+            }
+            GpuConfigError::Dram(message) => write!(f, "dram: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuConfigError {}
+
+/// An invalid [`crate::LaunchConfig`] for a given device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The grid has zero blocks.
+    EmptyGrid,
+    /// `threads_per_block` is zero or not a multiple of the warp size.
+    BadThreadsPerBlock {
+        /// The offending thread count.
+        threads: u32,
+        /// The device warp size.
+        warp_size: u32,
+    },
+    /// The block's warp count exceeds the SM limit.
+    TooManyWarps {
+        /// Warps in the block.
+        warps: u32,
+        /// The SM's resident-warp limit.
+        limit: u32,
+    },
+    /// The block requests more shared memory than the SM has.
+    SharedMemExceeded {
+        /// Requested bytes per block.
+        requested: u32,
+        /// SM shared-memory capacity.
+        available: u32,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::EmptyGrid => write!(f, "grid must contain at least one block"),
+            LaunchError::BadThreadsPerBlock { threads, warp_size } => write!(
+                f,
+                "threads_per_block {threads} must be a positive multiple of the warp size \
+                 {warp_size}"
+            ),
+            LaunchError::TooManyWarps { warps, limit } => {
+                write!(f, "block has {warps} warps, exceeding the SM limit of {limit}")
+            }
+            LaunchError::SharedMemExceeded { requested, available } => write!(
+                f,
+                "block requests {requested} bytes of shared memory but the SM has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Any failure of a device operation (bring-up, allocation, launch).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The device configuration is invalid.
+    Config(GpuConfigError),
+    /// The launch geometry is invalid.
+    Launch(LaunchError),
+    /// A global-memory allocation exceeded G-DRAM capacity.
+    OutOfDeviceMemory {
+        /// Bytes this allocation asked for.
+        requested: u64,
+        /// Bytes still unallocated (after alignment).
+        available: u64,
+        /// Total device capacity.
+        capacity: u64,
+    },
+    /// An allocation size overflowed the 64-bit address space.
+    AddressOverflow,
+    /// The constant segment is exhausted.
+    ConstantExhausted {
+        /// Bytes already bound.
+        used: usize,
+        /// Bytes this binding asked for.
+        requested: usize,
+        /// Segment capacity.
+        capacity: usize,
+    },
+    /// A constant buffer was invalid (see `constant`).
+    ConstantInvalid(String),
+    /// A scheduled fault fired (see [`crate::fault`]). Always transient:
+    /// the same operation retried later is not scheduled to fail again.
+    Fault(InjectedFault),
+    /// The kernel exceeded the armed watchdog's cycle budget (either a
+    /// genuine runaway kernel or an injected hang).
+    Watchdog {
+        /// Simulated cycles the launch ran for.
+        cycles: u64,
+        /// The armed budget it exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Config(e) => write!(f, "{e}"),
+            DeviceError::Launch(e) => write!(f, "{e}"),
+            DeviceError::OutOfDeviceMemory { requested, available, capacity } => write!(
+                f,
+                "out of device memory: requested {requested} bytes but only {available} of \
+                 {capacity} are available"
+            ),
+            DeviceError::AddressOverflow => {
+                write!(f, "allocation size overflows the address space")
+            }
+            DeviceError::ConstantExhausted { used, requested, capacity } => write!(
+                f,
+                "constant segment exhausted: {used} + {requested} bytes exceeds {capacity}"
+            ),
+            DeviceError::ConstantInvalid(m) => write!(f, "{m}"),
+            DeviceError::Fault(fault) => write!(f, "{fault}"),
+            DeviceError::Watchdog { cycles, budget } => write!(
+                f,
+                "watchdog: kernel ran {cycles} cycles, exceeding the {budget}-cycle budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Config(e) => Some(e),
+            DeviceError::Launch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuConfigError> for DeviceError {
+    fn from(e: GpuConfigError) -> Self {
+        DeviceError::Config(e)
+    }
+}
+
+impl From<LaunchError> for DeviceError {
+    fn from(e: LaunchError) -> Self {
+        DeviceError::Launch(e)
+    }
+}
+
+// Compatibility with callers that still aggregate errors as strings (the
+// bench harness, example binaries).
+impl From<GpuConfigError> for String {
+    fn from(e: GpuConfigError) -> Self {
+        e.to_string()
+    }
+}
+
+impl From<LaunchError> for String {
+    fn from(e: LaunchError) -> Self {
+        e.to_string()
+    }
+}
+
+impl From<DeviceError> for String {
+    fn from(e: DeviceError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_text_is_stable() {
+        // Pinned wording: external assertions grep these substrings.
+        assert_eq!(
+            GpuConfigError::BadWarpSize(7).to_string(),
+            "warp_size 7 must be a positive even number"
+        );
+        assert_eq!(LaunchError::EmptyGrid.to_string(), "grid must contain at least one block");
+        let oom =
+            DeviceError::OutOfDeviceMemory { requested: 100, available: 10, capacity: 50 };
+        assert!(oom.to_string().contains("out of device memory"));
+        assert!(oom.to_string().contains("requested 100 bytes"));
+        assert!(oom.to_string().contains("10 of 50"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = DeviceError::Config(GpuConfigError::ZeroBanks);
+        assert!(e.source().is_some());
+        let e = DeviceError::AddressOverflow;
+        assert!(e.source().is_none());
+    }
+}

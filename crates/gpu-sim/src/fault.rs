@@ -1,0 +1,395 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Real GPU deployments lose kernels to transient launch failures, failed
+//! allocations, driver watchdog kills, and (rarely) corrupted DMA
+//! transfers. Real hardware makes those faults impossible to reproduce; the
+//! simulator makes them *schedulable*. A [`FaultPlan`] is a pure function
+//! of its seed: it names the exact operation indices (the N-th allocation,
+//! the N-th launch, the N-th device→host readback) at which a fault fires,
+//! so a faulted run can be replayed byte-for-byte and the recovery path
+//! proven correct against the CPU oracle.
+//!
+//! The hook is **zero-cost when disabled**: an unarmed device carries
+//! `None` and every probe is a single `Option` check on the host side.
+//! Simulated timing and statistics are computed from the kernel's memory
+//! traffic alone, so arming an *empty* plan changes nothing either — a
+//! property pinned by the `fault_free_runs_are_bit_identical` regression
+//! test in the integration suite.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Simulated-cycle penalty added to a launch when a scheduled hang fires.
+/// Large enough that any sane watchdog budget trips (at 1.476 GHz this is
+/// ~12 simulated minutes), small enough that cycle arithmetic cannot
+/// overflow.
+pub const HANG_CYCLES: u64 = 1 << 40;
+
+/// The four fault kinds the plan can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A kernel launch fails before executing (driver-level transient,
+    /// like a spurious `CUDA_ERROR_LAUNCH_FAILED`).
+    LaunchTransient,
+    /// A global-memory allocation fails even though capacity remains
+    /// (fragmentation / transient allocator failure).
+    AllocFail,
+    /// The kernel never completes: its reported cycle count is inflated by
+    /// [`HANG_CYCLES`], which an armed watchdog converts into an error.
+    KernelHang,
+    /// One bit of a device→host readback buffer is flipped in flight.
+    ReadbackBitFlip,
+}
+
+impl FaultKind {
+    /// All kinds, in a stable order.
+    pub fn all() -> [FaultKind; 4] {
+        [
+            FaultKind::LaunchTransient,
+            FaultKind::AllocFail,
+            FaultKind::KernelHang,
+            FaultKind::ReadbackBitFlip,
+        ]
+    }
+
+    /// Stable label used in logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LaunchTransient => "launch-transient",
+            FaultKind::AllocFail => "alloc-fail",
+            FaultKind::KernelHang => "kernel-hang",
+            FaultKind::ReadbackBitFlip => "readback-bit-flip",
+        }
+    }
+}
+
+/// A fault that actually fired, recorded in the injection log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// What fired.
+    pub kind: FaultKind,
+    /// The per-kind operation index it fired at (the N-th alloc, the N-th
+    /// launch, the N-th readback since the state was created).
+    pub op_index: u64,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault: {} at op #{}", self.kind.label(), self.op_index)
+    }
+}
+
+/// A deterministic fault schedule, keyed by per-kind operation indices.
+///
+/// Construct directly, via the `with_*` builders, or seeded via
+/// [`FaultPlan::generate`]. The plan itself is immutable; the mutable
+/// counters live in [`FaultState`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Launch indices that fail transiently (before executing).
+    pub launch_transient: BTreeSet<u64>,
+    /// Allocation indices that fail.
+    pub alloc_fail: BTreeSet<u64>,
+    /// Launch indices that hang (cycle inflation → watchdog).
+    pub kernel_hang: BTreeSet<u64>,
+    /// Readback index → (bit offset into the buffer, modulo its length in
+    /// bits) for single-bit corruption.
+    pub readback_flip: BTreeMap<u64, u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: armed but schedules nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.launch_transient.is_empty()
+            && self.alloc_fail.is_empty()
+            && self.kernel_hang.is_empty()
+            && self.readback_flip.is_empty()
+    }
+
+    /// Total scheduled faults.
+    pub fn len(&self) -> usize {
+        self.launch_transient.len()
+            + self.alloc_fail.len()
+            + self.kernel_hang.len()
+            + self.readback_flip.len()
+    }
+
+    /// Schedule a transient failure of the `index`-th launch.
+    pub fn with_launch_transient(mut self, index: u64) -> Self {
+        self.launch_transient.insert(index);
+        self
+    }
+
+    /// Schedule a failure of the `index`-th allocation.
+    pub fn with_alloc_fail(mut self, index: u64) -> Self {
+        self.alloc_fail.insert(index);
+        self
+    }
+
+    /// Schedule a hang of the `index`-th launch.
+    pub fn with_kernel_hang(mut self, index: u64) -> Self {
+        self.kernel_hang.insert(index);
+        self
+    }
+
+    /// Schedule a single-bit flip in the `index`-th readback, at
+    /// `bit_offset % (8 × buffer length)`.
+    pub fn with_readback_flip(mut self, index: u64, bit_offset: u64) -> Self {
+        self.readback_flip.insert(index, bit_offset);
+        self
+    }
+
+    /// The fault kinds this plan schedules.
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        let mut kinds = Vec::new();
+        if !self.launch_transient.is_empty() {
+            kinds.push(FaultKind::LaunchTransient);
+        }
+        if !self.alloc_fail.is_empty() {
+            kinds.push(FaultKind::AllocFail);
+        }
+        if !self.kernel_hang.is_empty() {
+            kinds.push(FaultKind::KernelHang);
+        }
+        if !self.readback_flip.is_empty() {
+            kinds.push(FaultKind::ReadbackBitFlip);
+        }
+        kinds
+    }
+
+    /// Generate a plan from a seed: one guaranteed fault of kind
+    /// `seed % 4` scheduled within the first few operations, plus up to two
+    /// extra faults of seed-chosen kinds. Fully deterministic — the same
+    /// seed always yields the same plan.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::default();
+        let forced = FaultKind::all()[(seed % 4) as usize];
+        plan = plan.schedule(forced, &mut rng);
+        for _ in 0..rng.below(3) {
+            let kind = FaultKind::all()[rng.below(4) as usize];
+            plan = plan.schedule(kind, &mut rng);
+        }
+        plan
+    }
+
+    fn schedule(self, kind: FaultKind, rng: &mut SplitMix64) -> Self {
+        match kind {
+            // Launch/readback ops happen once per attempt; keep indices
+            // small so the fault fires within a bounded-retry window.
+            FaultKind::LaunchTransient => self.with_launch_transient(rng.below(2)),
+            FaultKind::AllocFail => self.with_alloc_fail(rng.below(6)),
+            FaultKind::KernelHang => self.with_kernel_hang(rng.below(2)),
+            FaultKind::ReadbackBitFlip => {
+                let index = rng.below(2);
+                let bit = rng.below(1 << 16);
+                self.with_readback_flip(index, bit)
+            }
+        }
+    }
+}
+
+/// What the fault hook tells the device to do with a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaunchFault {
+    /// Fail the launch before executing.
+    Transient(InjectedFault),
+    /// Run it, then inflate the reported cycles by [`HANG_CYCLES`].
+    Hang(InjectedFault),
+}
+
+/// Mutable injection state: the plan plus per-kind operation counters and
+/// the log of faults that actually fired. Counters persist across device
+/// instances (the host supervisor moves the state between retries), which
+/// is what makes "transient" faults transient: the retried operation has a
+/// new index and is not scheduled to fail again unless the plan says so.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    plan: FaultPlan,
+    allocs: u64,
+    launches: u64,
+    readbacks: u64,
+    log: Vec<InjectedFault>,
+}
+
+impl FaultState {
+    /// Begin injecting `plan` with fresh counters.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState { plan, ..FaultState::default() }
+    }
+
+    /// The schedule being injected.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Every fault that has fired so far, in firing order.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// Operation counters `(allocs, launches, readbacks)` consumed so far.
+    pub fn ops_seen(&self) -> (u64, u64, u64) {
+        (self.allocs, self.launches, self.readbacks)
+    }
+
+    /// Account one allocation; returns the fault to raise, if scheduled.
+    pub(crate) fn on_alloc(&mut self) -> Option<InjectedFault> {
+        let index = self.allocs;
+        self.allocs += 1;
+        if self.plan.alloc_fail.contains(&index) {
+            let fault = InjectedFault { kind: FaultKind::AllocFail, op_index: index };
+            self.log.push(fault);
+            Some(fault)
+        } else {
+            None
+        }
+    }
+
+    /// Account one launch; returns the scheduled behaviour, if any.
+    pub(crate) fn on_launch(&mut self) -> Option<LaunchFault> {
+        let index = self.launches;
+        self.launches += 1;
+        if self.plan.launch_transient.contains(&index) {
+            let fault = InjectedFault { kind: FaultKind::LaunchTransient, op_index: index };
+            self.log.push(fault);
+            Some(LaunchFault::Transient(fault))
+        } else if self.plan.kernel_hang.contains(&index) {
+            let fault = InjectedFault { kind: FaultKind::KernelHang, op_index: index };
+            self.log.push(fault);
+            Some(LaunchFault::Hang(fault))
+        } else {
+            None
+        }
+    }
+
+    /// Account one device→host readback, corrupting `buf` in place if a
+    /// flip is scheduled. Returns the fault that fired, if any.
+    pub(crate) fn on_readback(&mut self, buf: &mut [u8]) -> Option<InjectedFault> {
+        let index = self.readbacks;
+        self.readbacks += 1;
+        let &bit_offset = self.plan.readback_flip.get(&index)?;
+        if buf.is_empty() {
+            return None;
+        }
+        let bit = bit_offset % (buf.len() as u64 * 8);
+        buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+        let fault = InjectedFault { kind: FaultKind::ReadbackBitFlip, op_index: index };
+        self.log.push(fault);
+        Some(fault)
+    }
+}
+
+/// The standard SplitMix64 generator — tiny, seedable, and good enough for
+/// scattering fault indices. Kept private to this module so `gpu-sim` needs
+/// no RNG dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::generate(seed), FaultPlan::generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_guarantees_seeded_kind() {
+        for seed in 0..64u64 {
+            let plan = FaultPlan::generate(seed);
+            let forced = FaultKind::all()[(seed % 4) as usize];
+            assert!(plan.kinds().contains(&forced), "seed {seed} missing {forced:?}");
+            assert!(!plan.is_empty());
+        }
+    }
+
+    #[test]
+    fn counters_fire_at_scheduled_indices() {
+        let plan = FaultPlan::none().with_alloc_fail(1).with_launch_transient(0);
+        let mut st = FaultState::new(plan);
+        assert!(st.on_alloc().is_none()); // alloc #0
+        let f = st.on_alloc().expect("alloc #1 scheduled"); // alloc #1
+        assert_eq!(f.kind, FaultKind::AllocFail);
+        assert!(st.on_alloc().is_none()); // alloc #2
+        assert!(matches!(st.on_launch(), Some(LaunchFault::Transient(_))));
+        assert!(st.on_launch().is_none()); // launch #1: retry succeeds
+        assert_eq!(st.log().len(), 2);
+        assert_eq!(st.ops_seen(), (3, 2, 0));
+    }
+
+    #[test]
+    fn hang_reported_separately_from_transient() {
+        let mut st = FaultState::new(FaultPlan::none().with_kernel_hang(0));
+        assert!(matches!(st.on_launch(), Some(LaunchFault::Hang(_))));
+        assert!(st.on_launch().is_none());
+    }
+
+    #[test]
+    fn readback_flip_flips_exactly_one_bit() {
+        let mut st = FaultState::new(FaultPlan::none().with_readback_flip(0, 13));
+        let mut buf = vec![0u8; 4];
+        st.on_readback(&mut buf).expect("flip scheduled");
+        let set: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(set, 1);
+        assert_eq!(buf[1], 1 << 5); // bit 13 = byte 1, bit 5
+        // Unscheduled readback leaves the buffer alone.
+        let mut buf2 = vec![0xFFu8; 4];
+        assert!(st.on_readback(&mut buf2).is_none());
+        assert_eq!(buf2, vec![0xFF; 4]);
+    }
+
+    #[test]
+    fn flip_offset_wraps_into_buffer() {
+        let mut st = FaultState::new(FaultPlan::none().with_readback_flip(0, 1_000_003));
+        let mut buf = vec![0u8; 8]; // 64 bits; 1_000_003 % 64 = 3
+        st.on_readback(&mut buf).unwrap();
+        assert_eq!(buf[0], 1 << 3);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut st = FaultState::new(FaultPlan::none());
+        for _ in 0..16 {
+            assert!(st.on_alloc().is_none());
+            assert!(st.on_launch().is_none());
+            let mut buf = [7u8; 3];
+            assert!(st.on_readback(&mut buf).is_none());
+            assert_eq!(buf, [7; 3]);
+        }
+        assert!(st.log().is_empty());
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(FaultKind::KernelHang.label(), "kernel-hang");
+        let f = InjectedFault { kind: FaultKind::AllocFail, op_index: 3 };
+        assert_eq!(f.to_string(), "injected fault: alloc-fail at op #3");
+    }
+}

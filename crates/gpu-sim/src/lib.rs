@@ -54,6 +54,8 @@
 pub mod config;
 pub mod constant;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod global;
 pub mod kernel;
 pub mod scheduler;
@@ -64,6 +66,8 @@ pub mod texture;
 pub use config::GpuConfig;
 pub use constant::{ConstId, ConstantBuffer};
 pub use device::{GpuDevice, LaunchConfig, Launched};
+pub use error::{DeviceError, GpuConfigError, LaunchError};
+pub use fault::{FaultKind, FaultPlan, FaultState, InjectedFault, HANG_CYCLES};
 pub use global::GlobalMemory;
 pub use kernel::{StepOutcome, WarpCtx, WarpGeometry, WarpProgram};
 pub use shared::SharedMemory;

@@ -1,1 +1,242 @@
-//! integration test crate (tests live in repo-root tests/)
+//! Cross-crate integration layer.
+//!
+//! The repository-root `tests/` files are registered as this crate's
+//! integration tests (see `Cargo.toml`); the library itself hosts the one
+//! piece of behaviour that genuinely spans every layer: the
+//! [`ResilientMatcher`], a scan front-end that degrades
+//! GPU → parallel CPU → serial CPU and always produces an answer.
+
+use ac_core::{AcAutomaton, Match};
+use ac_cpu::{par_find_all, ParallelConfig};
+use ac_gpu::{run_supervised, Approach, GpuAcMatcher, KernelParams, SuperviseConfig, SuperviseReport};
+use gpu_sim::{FaultPlan, GpuConfig};
+
+/// The rung of the degradation ladder that produced the final answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Supervised simulated-GPU run succeeded.
+    Gpu,
+    /// GPU exhausted its retries (or failed fatally); the multithreaded
+    /// CPU matcher answered.
+    CpuParallel,
+    /// Both GPU and parallel CPU failed; the serial oracle answered.
+    CpuSerial,
+}
+
+impl Tier {
+    /// Stable label for reports and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::Gpu => "gpu",
+            Tier::CpuParallel => "cpu-parallel",
+            Tier::CpuSerial => "cpu-serial",
+        }
+    }
+}
+
+/// Why each abandoned rung was abandoned, plus the GPU supervision trace.
+#[derive(Debug, Clone, Default)]
+pub struct DegradationReport {
+    /// The GPU supervision trace (attempts, retries, fired faults), when
+    /// a GPU attempt was made at all.
+    pub gpu: Option<SuperviseReport>,
+    /// Display text of the error that ended the GPU rung, if it failed.
+    pub gpu_error: Option<String>,
+    /// Display text of the error that ended the parallel-CPU rung, if it
+    /// was reached and failed.
+    pub cpu_parallel_error: Option<String>,
+}
+
+/// Result of a resilient scan: the matches, which rung produced them, and
+/// the full degradation trace.
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    /// Sorted matches — byte-identical to the serial oracle's output
+    /// regardless of which rung answered.
+    pub matches: Vec<Match>,
+    /// The rung that answered.
+    pub tier: Tier,
+    /// What happened on the way down.
+    pub report: DegradationReport,
+}
+
+/// Policy for the ladder.
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Kernel to attempt on the GPU rung.
+    pub approach: Approach,
+    /// GPU retry/watchdog policy.
+    pub supervise: SuperviseConfig,
+    /// Parallel-CPU rung geometry.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            approach: Approach::SharedDiagonal,
+            supervise: SuperviseConfig::default(),
+            parallel: ParallelConfig::default_for_host(),
+        }
+    }
+}
+
+/// A matcher that always answers: supervised GPU first, then parallel
+/// CPU, then the serial oracle.
+#[derive(Debug)]
+pub struct ResilientMatcher {
+    gpu: Option<GpuAcMatcher>,
+    gpu_init_error: Option<String>,
+    ac: AcAutomaton,
+    cfg: ResilientConfig,
+}
+
+impl ResilientMatcher {
+    /// Build the ladder for `ac` on a device described by `gpu_cfg`. A
+    /// GPU-side construction failure (automaton too large, bad config) is
+    /// not fatal — the matcher simply starts life degraded.
+    pub fn new(gpu_cfg: GpuConfig, params: KernelParams, ac: AcAutomaton, cfg: ResilientConfig) -> Self {
+        let (gpu, gpu_init_error) = match GpuAcMatcher::new(gpu_cfg, params, ac.clone()) {
+            Ok(m) => (Some(m), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        ResilientMatcher { gpu, gpu_init_error, ac, cfg }
+    }
+
+    /// The underlying automaton.
+    pub fn automaton(&self) -> &AcAutomaton {
+        &self.ac
+    }
+
+    /// Arm a deterministic fault plan on the GPU rung (no-op when GPU
+    /// construction already failed).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        if let Some(gpu) = &self.gpu {
+            gpu.set_fault_plan(plan);
+        }
+    }
+
+    /// Disarm the GPU rung's fault plan.
+    pub fn clear_fault_plan(&self) {
+        if let Some(gpu) = &self.gpu {
+            gpu.clear_fault_plan();
+        }
+    }
+
+    /// Scan `text`, degrading as needed. Infallible: the final rung is
+    /// the serial matcher, which cannot fail.
+    pub fn scan(&self, text: &[u8]) -> ResilientRun {
+        let mut report = DegradationReport::default();
+
+        match &self.gpu {
+            Some(gpu) => {
+                match run_supervised(gpu, text, self.cfg.approach, &self.cfg.supervise) {
+                    Ok(s) => {
+                        report.gpu = Some(s.report);
+                        return ResilientRun { matches: s.run.matches, tier: Tier::Gpu, report };
+                    }
+                    Err((err, trace)) => {
+                        report.gpu = Some(trace);
+                        report.gpu_error = Some(err.to_string());
+                    }
+                }
+            }
+            None => report.gpu_error = self.gpu_init_error.clone(),
+        }
+
+        match par_find_all(&self.ac, text, &self.cfg.parallel) {
+            Ok(matches) => {
+                return ResilientRun { matches, tier: Tier::CpuParallel, report };
+            }
+            Err(e) => report.cpu_parallel_error = Some(e.to_string()),
+        }
+
+        let mut matches = self.ac.find_all(text);
+        matches.sort();
+        ResilientRun { matches, tier: Tier::CpuSerial, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::PatternSet;
+
+    fn resilient(cfg: ResilientConfig) -> ResilientMatcher {
+        let gpu_cfg = GpuConfig::gtx285();
+        let ac =
+            AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
+        ResilientMatcher::new(gpu_cfg, KernelParams::defaults_for(&gpu_cfg), ac, cfg)
+    }
+
+    fn oracle(m: &ResilientMatcher, text: &[u8]) -> Vec<Match> {
+        let mut want = m.automaton().find_all(text);
+        want.sort();
+        want
+    }
+
+    #[test]
+    fn clean_scan_stays_on_gpu() {
+        let m = resilient(ResilientConfig::default());
+        let text = b"ushers rush home";
+        let run = m.scan(text);
+        assert_eq!(run.tier, Tier::Gpu);
+        assert_eq!(run.matches, oracle(&m, text));
+        assert!(run.report.gpu_error.is_none());
+    }
+
+    #[test]
+    fn exhausted_gpu_falls_back_to_parallel_cpu() {
+        let m = resilient(ResilientConfig::default());
+        // Fault every launch the retry budget could reach.
+        let plan = (0..64).fold(FaultPlan::none(), |p, i| p.with_launch_transient(i));
+        m.set_fault_plan(plan);
+        let text = b"ushers rush home";
+        let run = m.scan(text);
+        assert_eq!(run.tier, Tier::CpuParallel);
+        assert_eq!(run.matches, oracle(&m, text));
+        assert!(run.report.gpu_error.is_some());
+        assert!(run.report.gpu.as_ref().unwrap().retries > 0);
+    }
+
+    #[test]
+    fn broken_parallel_rung_falls_through_to_serial() {
+        let cfg = ResilientConfig {
+            parallel: ParallelConfig { threads: 0, chunk_size: 4096 },
+            ..ResilientConfig::default()
+        };
+        let m = resilient(cfg);
+        let plan = (0..64).fold(FaultPlan::none(), |p, i| p.with_launch_transient(i));
+        m.set_fault_plan(plan);
+        let text = b"ushers rush home";
+        let run = m.scan(text);
+        assert_eq!(run.tier, Tier::CpuSerial);
+        assert_eq!(run.matches, oracle(&m, text));
+        assert!(run.report.cpu_parallel_error.is_some());
+    }
+
+    #[test]
+    fn failed_gpu_construction_starts_degraded() {
+        let mut gpu_cfg = GpuConfig::gtx285();
+        gpu_cfg.num_sms = 0; // invalid device
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["he"]).unwrap());
+        let m = ResilientMatcher::new(
+            gpu_cfg,
+            KernelParams { threads_per_block: 128, global_chunk_bytes: 4096, shared_chunk_bytes: 64 },
+            ac,
+            ResilientConfig::default(),
+        );
+        let run = m.scan(b"hehe");
+        assert_eq!(run.tier, Tier::CpuParallel);
+        assert_eq!(run.matches, oracle(&m, b"hehe"));
+        assert!(run.report.gpu_error.is_some());
+        assert!(run.report.gpu.is_none());
+    }
+
+    #[test]
+    fn tier_labels_are_stable() {
+        assert_eq!(Tier::Gpu.label(), "gpu");
+        assert_eq!(Tier::CpuParallel.label(), "cpu-parallel");
+        assert_eq!(Tier::CpuSerial.label(), "cpu-serial");
+    }
+}

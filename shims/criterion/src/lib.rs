@@ -1,0 +1,191 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Keeps the bench targets compiling and runnable without crates.io
+//! access. Each benchmark closure is timed over a handful of iterations
+//! and a one-line wall-time summary is printed — enough to eyeball
+//! regressions, with none of criterion's statistics. Pass `--quick-check`
+//! (or run under `cargo test`, which passes `--test`) to only execute
+//! each closure once as a smoke check.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        let smoke_only = std::env::args().any(|a| a == "--test" || a == "--quick-check");
+        Criterion { smoke_only }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.name, None, self.smoke_only, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, self.throughput, self.parent.smoke_only, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, self.throughput, self.parent.smoke_only, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, smoke_only: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let iters = if smoke_only { 1 } else { 3 };
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    if smoke_only {
+        eprintln!("bench {label}: ok (smoke)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gbps = n as f64 / per_iter / 1e9;
+            eprintln!("bench {label}: {:.3} ms/iter, {gbps:.3} GB/s", per_iter * 1e3);
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / per_iter;
+            eprintln!("bench {label}: {:.3} ms/iter, {eps:.0} elem/s", per_iter * 1e3);
+        }
+        None => eprintln!("bench {label}: {:.3} ms/iter", per_iter * 1e3),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::__new_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Used by `criterion_main!`; not part of the real criterion API.
+    #[doc(hidden)]
+    pub fn __new_from_args() -> Self {
+        Criterion::from_args()
+    }
+}

@@ -1,0 +1,499 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this repository uses: the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!` macros, integer-range and
+//! tuple strategies, `collection::vec`, `sample::select`, `any::<T>()`,
+//! and regex-like string strategies of the shape `"[chars]{m,n}"`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test PRNG (seeded from the test path), there is no shrinking, and
+//! failures report the case index plus the formatted inputs instead of a
+//! persisted seed file. Default case count is 64.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-test RNG (SplitMix64 over an FNV-1a seed).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test's module path + name and the case index, so every
+    /// test gets an independent, reproducible stream.
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + ((self.next_u64() as u128) % span) as u64
+    }
+}
+
+/// Per-block configuration; only `cases` is modelled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error carried out of a failing `prop_assert!`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A generator of values (no shrinking in the shim).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// --- integer / float range strategies --------------------------------------
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- any::<T>() ------------------------------------------------------------
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- tuples of strategies ---------------------------------------------------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+// --- string strategies ------------------------------------------------------
+
+/// `&str` strategies interpret a small regex subset: a sequence of atoms,
+/// each a literal char or `[class]`, with optional `{m}`, `{m,n}`, `?`,
+/// `*`, or `+` quantifiers (the unbounded ones cap at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+                let inner = &chars[i + 1..i + close];
+                i += close + 1;
+                expand_class(inner, pat)
+            }
+            '\\' => {
+                i += 2;
+                vec![*chars.get(i - 1).unwrap_or_else(|| panic!("trailing \\ in {pat:?}"))]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<u64>().expect("bad {m,n}"),
+                        n.trim().parse::<u64>().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let m = body.trim().parse::<u64>().expect("bad {m}");
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let n = rng.below(lo, hi);
+        for _ in 0..n {
+            out.push(class[rng.below(0, class.len() as u64 - 1) as usize]);
+        }
+    }
+    out
+}
+
+fn expand_class(inner: &[char], pat: &str) -> Vec<char> {
+    let mut class = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        if j + 2 < inner.len() && inner[j + 1] == '-' {
+            let (a, b) = (inner[j], inner[j + 2]);
+            assert!(a <= b, "bad class range in {pat:?}");
+            for c in a..=b {
+                class.push(c);
+            }
+            j += 3;
+        } else {
+            class.push(inner[j]);
+            j += 1;
+        }
+    }
+    assert!(!class.is_empty(), "empty class in {pat:?}");
+    class
+}
+
+// --- collections ------------------------------------------------------------
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: u64,
+        hi: u64,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below(self.lo, self.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Size argument for `collection::vec` — `m..n`, `m..=n`, or a fixed count.
+pub trait SizeRange {
+    /// Inclusive (lo, hi) element-count bounds.
+    fn bounds(&self) -> (u64, u64);
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (u64, u64) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start as u64, self.end as u64 - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (u64, u64) {
+        (*self.start() as u64, *self.end() as u64)
+    }
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (u64, u64) {
+        (*self as u64, *self as u64)
+    }
+}
+
+// --- sample -----------------------------------------------------------------
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select() needs at least one choice");
+        Select { choices }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.below(0, self.choices.len() as u64 - 1) as usize].clone()
+        }
+    }
+}
+
+// --- prelude ----------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+// --- macros -----------------------------------------------------------------
+
+/// The test-block macro. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions of the
+/// form `fn name(arg in strategy, ...) { body }` (attributes such as
+/// `#[test]` and doc comments pass through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(__path, __case as u64);
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                // Render inputs before the body can move them.
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}  ",)+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        __e,
+                        __inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::TestRng::for_case("shape", 0);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[abc]{1,5}", &mut rng);
+            assert!((1..=5).contains(&s.len()));
+            assert!(s.bytes().all(|b| matches!(b, b'a' | b'b' | b'c')));
+            let t = crate::Strategy::generate(&"[a-d]{0,3}x", &mut rng);
+            assert!(t.ends_with('x') && t.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = |case| {
+            let mut rng = crate::TestRng::for_case("det", case);
+            crate::Strategy::generate(
+                &crate::collection::vec(any::<u8>(), 1..10),
+                &mut rng,
+            )
+        };
+        assert_eq!(gen(3), gen(3));
+        assert_ne!(gen(3), gen(4)); // overwhelmingly likely distinct
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wires_everything(
+            xs in crate::collection::vec((0u64..100, crate::sample::select(vec![1u32, 4])), 1..8),
+            s in "[ab]{0,10}",
+        ) {
+            prop_assert!(!xs.is_empty());
+            for (a, b) in &xs {
+                prop_assert!(*a < 100, "a = {}", a);
+                prop_assert!(matches!(b, 1 | 4));
+            }
+            prop_assert_eq!(s.len(), s.len());
+            prop_assert_ne!(s.len(), 11);
+        }
+    }
+}

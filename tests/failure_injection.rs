@@ -3,8 +3,10 @@
 
 use ac_core::{AcError, ChunkPlan, PatternSet};
 use ac_cpu::{par_find_all, ParallelConfig};
-use ac_gpu::{GpuAcMatcher, KernelParams};
-use gpu_sim::{GpuConfig, GpuDevice, LaunchConfig};
+use ac_gpu::{
+    run_supervised, Approach, ErrorClass, GpuAcMatcher, GpuError, KernelParams, SuperviseConfig,
+};
+use gpu_sim::{DeviceError, FaultPlan, GpuConfig, GpuDevice, LaunchConfig};
 
 #[test]
 fn pattern_set_rejects_degenerate_input() {
@@ -123,8 +125,108 @@ fn device_memory_exhaustion_is_an_error_not_a_panic() {
     let m = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
     // 4 MB of input cannot fit on a 1 MB device.
     let big = vec![0u8; 4 * 1024 * 1024];
-    let err = m.run(&big, ac_gpu::Approach::SharedDiagonal).unwrap_err();
-    assert!(err.contains("out of device memory"), "unexpected error: {err}");
+    let err = m.run(&big, Approach::SharedDiagonal).unwrap_err();
+    assert!(err.to_string().contains("out of device memory"), "unexpected error: {err}");
+    // The typed error carries the arithmetic, not just prose.
+    match err {
+        GpuError::Device(DeviceError::OutOfDeviceMemory { requested, available, capacity }) => {
+            assert_eq!(requested, 4 * 1024 * 1024 + 4); // input + guard bytes
+            assert_eq!(capacity, 1024 * 1024);
+            assert!(available <= capacity);
+        }
+        other => panic!("expected a typed OOM, got {other:?}"),
+    }
+    assert_eq!(err.class(), ErrorClass::Fatal, "OOM must not be retried");
+}
+
+#[test]
+fn transient_faults_are_retried_with_observable_count() {
+    let cfg = GpuConfig::gtx285();
+    let ac = ac_core::AcAutomaton::build(&PatternSet::from_strs(&["he", "hers"]).unwrap());
+    let m = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
+    // First two launches fail transiently; the third succeeds.
+    m.set_fault_plan(FaultPlan::none().with_launch_transient(0).with_launch_transient(1));
+    let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &SuperviseConfig::default())
+        .unwrap();
+    assert_eq!(s.report.attempts, 3);
+    assert_eq!(s.report.retries, 2);
+    assert_eq!(s.report.faults.len(), 2);
+    assert_eq!(s.run.matches.len(), 2); // he, hers
+    // Unsupervised runs surface the same fault as a typed, retryable error.
+    m.set_fault_plan(FaultPlan::none().with_launch_transient(0));
+    let err = m.run(b"ushers", Approach::SharedDiagonal).unwrap_err();
+    assert_eq!(err.class(), ErrorClass::Transient);
+    assert!(err.is_retryable());
+}
+
+#[test]
+fn fatal_faults_surface_as_typed_errors_without_retry() {
+    let cfg = GpuConfig::gtx285();
+    let ac = ac_core::AcAutomaton::build(&PatternSet::from_strs(&["he"]).unwrap());
+    let m = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
+    // Exhaust every allocation slot the plan could use: alloc faults are
+    // modeled transient, so supervision retries then gives up — but the
+    // error stays typed the whole way.
+    let plan = (0..64).fold(FaultPlan::none(), |p, i| p.with_alloc_fail(i));
+    m.set_fault_plan(plan);
+    let scfg = SuperviseConfig { max_retries: 2, ..SuperviseConfig::default() };
+    let (err, report) =
+        run_supervised(&m, b"hehe", Approach::SharedDiagonal, &scfg).unwrap_err();
+    assert!(matches!(err, GpuError::Device(DeviceError::Fault(_))));
+    assert_eq!(report.attempts, 3, "budget of 2 retries = 3 attempts");
+}
+
+#[test]
+fn corrupted_readback_is_detected_never_silently_wrong() {
+    let cfg = GpuConfig::gtx285();
+    let ac = ac_core::AcAutomaton::build(&PatternSet::from_strs(&["he", "she"]).unwrap());
+    let m = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
+    let text = b"she sells seashells";
+    let clean = m.run(text, Approach::SharedDiagonal).unwrap().matches;
+    // Sweep bit offsets: every scheduled flip must either be detected as
+    // corruption or (never) alter the matches.
+    for bit in [0u64, 13, 101, 997, 65_535] {
+        m.set_fault_plan(FaultPlan::none().with_readback_flip(0, bit));
+        match m.run(text, Approach::SharedDiagonal) {
+            Err(GpuError::Corrupted(_)) => {} // detected, as required
+            Err(other) => panic!("bit {bit}: wrong error kind {other:?}"),
+            Ok(run) => panic!(
+                "bit {bit}: corruption went undetected (got {} matches vs {} clean)",
+                run.matches.len(),
+                clean.len()
+            ),
+        }
+        // Supervision discards the corrupt attempt and recovers.
+        m.set_fault_plan(FaultPlan::none().with_readback_flip(0, bit));
+        let s =
+            run_supervised(&m, text, Approach::SharedDiagonal, &SuperviseConfig::default())
+                .unwrap();
+        assert_eq!(s.run.matches, clean, "bit {bit}");
+        assert_eq!(s.report.attempts, 2, "bit {bit}");
+        m.clear_fault_plan();
+    }
+}
+
+#[test]
+fn watchdog_kills_hung_kernels() {
+    let cfg = GpuConfig::gtx285();
+    let ac = ac_core::AcAutomaton::build(&PatternSet::from_strs(&["he"]).unwrap());
+    let m = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
+    m.set_fault_plan(FaultPlan::none().with_kernel_hang(0));
+    let err = m
+        .run_opts(
+            b"hehe",
+            Approach::SharedDiagonal,
+            ac_gpu::RunOptions { record: true, watchdog_cycles: Some(1 << 30) },
+        )
+        .unwrap_err();
+    match err {
+        GpuError::Device(DeviceError::Watchdog { cycles, budget }) => {
+            assert!(cycles > budget);
+            assert_eq!(budget, 1 << 30);
+        }
+        other => panic!("expected watchdog, got {other:?}"),
+    }
 }
 
 #[test]

@@ -1,0 +1,85 @@
+//! The fault hook costs nothing when disabled: every benchmark-visible
+//! timing/statistics output is bit-identical whether injection is (a)
+//! never armed, (b) armed with an empty plan, or (c) wrapped in a
+//! supervisor. The paper's throughput figures therefore cannot drift from
+//! merely *having* the robustness layer.
+
+use ac_core::{AcAutomaton, PatternSet};
+use ac_gpu::{
+    run_supervised, Approach, GpuAcMatcher, KernelParams, RunOptions, SuperviseConfig,
+};
+use gpu_sim::{FaultPlan, GpuConfig};
+
+fn matcher() -> GpuAcMatcher {
+    let cfg = GpuConfig::gtx285();
+    let ac = AcAutomaton::build(
+        &PatternSet::from_strs(&["he", "she", "his", "hers", "use", "user"]).unwrap(),
+    );
+    GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap()
+}
+
+fn text() -> Vec<u8> {
+    b"those users share his shelf; she ushers her heirs there "
+        .iter()
+        .cycle()
+        .take(10_000)
+        .copied()
+        .collect()
+}
+
+#[test]
+fn disabled_and_empty_plan_runs_are_bit_identical() {
+    let text = text();
+    for approach in Approach::all() {
+        let plain = matcher().run(&text, approach).unwrap();
+
+        // Armed with an *empty* plan: the readback verification path runs
+        // but nothing fires; simulated timing/stats must not move.
+        let armed = matcher();
+        armed.set_fault_plan(FaultPlan::none());
+        let run = armed.run(&text, approach).unwrap();
+        assert_eq!(run.stats, plain.stats, "{approach:?}: stats drifted with empty plan armed");
+        assert_eq!(run.matches, plain.matches, "{approach:?}");
+        assert_eq!(run.match_events, plain.match_events, "{approach:?}");
+
+        // Same matcher after disarming: still identical.
+        armed.clear_fault_plan();
+        let run = armed.run(&text, approach).unwrap();
+        assert_eq!(run.stats, plain.stats, "{approach:?}: stats drifted after disarm");
+    }
+}
+
+#[test]
+fn supervision_does_not_perturb_fault_free_timing() {
+    let text = text();
+    let m = matcher();
+    let plain = m.run(&text, Approach::SharedDiagonal).unwrap();
+
+    let s = run_supervised(&m, &text, Approach::SharedDiagonal, &SuperviseConfig::default())
+        .unwrap();
+    assert_eq!(s.report.attempts, 1);
+    assert_eq!(s.run.stats, plain.stats, "supervised stats drifted");
+    assert_eq!(s.run.matches, plain.matches);
+
+    // The watchdog alone (armed, not tripped) must not move timing either.
+    let watched = m
+        .run_opts(
+            &text,
+            Approach::SharedDiagonal,
+            RunOptions { record: true, watchdog_cycles: Some(u64::MAX) },
+        )
+        .unwrap();
+    assert_eq!(watched.stats, plain.stats, "watchdog arming drifted stats");
+}
+
+#[test]
+fn counting_mode_timing_unaffected_by_armed_empty_plan() {
+    let text = text();
+    let m = matcher();
+    let plain = m.run_counting(&text, Approach::SharedDiagonal).unwrap();
+    let armed = matcher();
+    armed.set_fault_plan(FaultPlan::none());
+    let counted = armed.run_counting(&text, Approach::SharedDiagonal).unwrap();
+    assert_eq!(counted.stats, plain.stats);
+    assert_eq!(counted.match_events, plain.match_events);
+}
