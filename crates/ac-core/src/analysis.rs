@@ -32,7 +32,11 @@ pub fn analyze_structure(trie: &Trie) -> StructureReport {
         states_by_depth[trie.depth(s) as usize] += 1;
         edges += trie.children_of(s).count();
     }
-    StructureReport { states_by_depth, mean_fanout: edges as f64 / n as f64, states: n }
+    StructureReport {
+        states_by_depth,
+        mean_fanout: edges as f64 / n as f64,
+        states: n,
+    }
 }
 
 /// Dynamic profile: how a text exercises the automaton.
@@ -68,13 +72,24 @@ pub fn profile_visits(stt: &Stt, trie: &Trie, text: &[u8]) -> VisitProfile {
         .iter()
         .map(|&k| {
             let top: u64 = sorted.iter().take(k).sum();
-            (k, if transitions == 0 { 0.0 } else { top as f64 / transitions as f64 })
+            (
+                k,
+                if transitions == 0 {
+                    0.0
+                } else {
+                    top as f64 / transitions as f64
+                },
+            )
         })
         .collect();
     VisitProfile {
         distinct_states,
         concentration,
-        mean_depth: if transitions == 0 { 0.0 } else { depth_sum as f64 / transitions as f64 },
+        mean_depth: if transitions == 0 {
+            0.0
+        } else {
+            depth_sum as f64 / transitions as f64
+        },
         transitions,
     }
 }

@@ -67,9 +67,16 @@ impl ChunkPlan {
             return Err(AcError::ZeroChunkSize);
         }
         if overlap < required_overlap {
-            return Err(AcError::OverlapTooSmall { requested: overlap, required: required_overlap });
+            return Err(AcError::OverlapTooSmall {
+                requested: overlap,
+                required: required_overlap,
+            });
         }
-        Ok(ChunkPlan { text_len, chunk_size, overlap })
+        Ok(ChunkPlan {
+            text_len,
+            chunk_size,
+            overlap,
+        })
     }
 
     /// Plan with the minimal safe overlap for `ac`'s patterns.
@@ -96,7 +103,11 @@ impl ChunkPlan {
         let start = i * self.chunk_size;
         let end = (start + self.chunk_size).min(self.text_len);
         let scan_end = (end + self.overlap).min(self.text_len);
-        Chunk { start, end, scan_end }
+        Chunk {
+            start,
+            end,
+            scan_end,
+        }
     }
 
     /// Iterate all chunks in order.
@@ -127,7 +138,12 @@ pub fn match_chunk(ac: &AcAutomaton, text: &[u8], chunk: Chunk, sink: &mut Vec<M
     let stt = ac.stt();
     let mut state = 0u32;
     let before = sink.len();
-    for (i, &b) in text.iter().enumerate().take(chunk.scan_end).skip(chunk.start) {
+    for (i, &b) in text
+        .iter()
+        .enumerate()
+        .take(chunk.scan_end)
+        .skip(chunk.start)
+    {
         state = stt.next(state, b);
         if stt.is_match(state) {
             ac.expand_outputs(state, i + 1, sink);
@@ -181,23 +197,53 @@ mod tests {
     fn plan_geometry() {
         let plan = ChunkPlan::new(100, 32, 5, 3).unwrap();
         assert_eq!(plan.chunk_count(), 4);
-        assert_eq!(plan.chunk(0), Chunk { start: 0, end: 32, scan_end: 37 });
-        assert_eq!(plan.chunk(3), Chunk { start: 96, end: 100, scan_end: 100 });
+        assert_eq!(
+            plan.chunk(0),
+            Chunk {
+                start: 0,
+                end: 32,
+                scan_end: 37
+            }
+        );
+        assert_eq!(
+            plan.chunk(3),
+            Chunk {
+                start: 96,
+                end: 100,
+                scan_end: 100
+            }
+        );
         assert_eq!(plan.chunk(1).owned_len(), 32);
         assert_eq!(plan.chunk(1).scan_len(), 37);
         // chunk 2's scan window clamps at the text end: 96 + 5 → 100.
-        assert_eq!(plan.chunk(2), Chunk { start: 64, end: 96, scan_end: 100 });
+        assert_eq!(
+            plan.chunk(2),
+            Chunk {
+                start: 64,
+                end: 96,
+                scan_end: 100
+            }
+        );
     }
 
     #[test]
     fn rejects_zero_chunk() {
-        assert_eq!(ChunkPlan::new(10, 0, 5, 1).unwrap_err(), AcError::ZeroChunkSize);
+        assert_eq!(
+            ChunkPlan::new(10, 0, 5, 1).unwrap_err(),
+            AcError::ZeroChunkSize
+        );
     }
 
     #[test]
     fn rejects_undersized_overlap() {
         let e = ChunkPlan::new(10, 4, 2, 3).unwrap_err();
-        assert_eq!(e, AcError::OverlapTooSmall { requested: 2, required: 3 });
+        assert_eq!(
+            e,
+            AcError::OverlapTooSmall {
+                requested: 2,
+                required: 3
+            }
+        );
     }
 
     #[test]

@@ -61,7 +61,14 @@ impl CompressedStt {
                 match_bits[s as usize >> 6] |= 1u64 << (s as usize & 63);
             }
         }
-        CompressedStt { root_row, bitmaps, offsets, targets, match_bits, state_count: n }
+        CompressedStt {
+            root_row,
+            bitmaps,
+            offsets,
+            targets,
+            match_bits,
+            state_count: n,
+        }
     }
 
     /// `δ(state, symbol)` via bitmap rank.
@@ -122,7 +129,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn stt_for(pats: &[&str]) -> Stt {
-        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap()).stt().clone()
+        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap())
+            .stt()
+            .clone()
     }
 
     #[test]

@@ -27,7 +27,9 @@ impl Dfa {
     pub fn build(trie: &Trie, nfa: &NfaTables) -> Self {
         let n = trie.state_count();
         let mut delta = vec![0u32; n * ALPHABET];
-        let accepting: Vec<bool> = (0..n).map(|s| !nfa.outputs_of(s as u32).is_empty()).collect();
+        let accepting: Vec<bool> = (0..n)
+            .map(|s| !nfa.outputs_of(s as u32).is_empty())
+            .collect();
 
         // Root row: children where present, loop-back to root elsewhere
         // (g(0, σ) ≠ fail for all σ).
@@ -50,7 +52,11 @@ impl Dfa {
                 };
             }
         }
-        Dfa { delta, accepting, state_count: n }
+        Dfa {
+            delta,
+            accepting,
+            state_count: n,
+        }
     }
 
     /// `δ(state, symbol)` — always defined.

@@ -103,7 +103,14 @@ impl DoubleArray {
                 first_free += 1;
             }
         }
-        DoubleArray { base, next, check, root_row, match_bits, state_count: n }
+        DoubleArray {
+            base,
+            next,
+            check,
+            root_row,
+            match_bits,
+            state_count: n,
+        }
     }
 
     /// `δ(state, symbol)` — the double-array probe with root fallback.

@@ -42,10 +42,16 @@ impl fmt::Display for AcError {
         match self {
             AcError::EmptyPatternSet => write!(f, "pattern set must contain at least one pattern"),
             AcError::EmptyPattern { index } => {
-                write!(f, "pattern at index {index} is empty; empty patterns are not allowed")
+                write!(
+                    f,
+                    "pattern at index {index} is empty; empty patterns are not allowed"
+                )
             }
             AcError::ZeroChunkSize => write!(f, "chunk size must be at least 1 byte"),
-            AcError::OverlapTooSmall { requested, required } => write!(
+            AcError::OverlapTooSmall {
+                requested,
+                required,
+            } => write!(
                 f,
                 "chunk overlap {requested} is smaller than the {required} bytes required by the \
                  longest pattern; boundary-straddling matches would be missed"
@@ -69,8 +75,15 @@ mod tests {
             AcError::EmptyPatternSet.to_string(),
             AcError::EmptyPattern { index: 3 }.to_string(),
             AcError::ZeroChunkSize.to_string(),
-            AcError::OverlapTooSmall { requested: 2, required: 7 }.to_string(),
-            AcError::CapacityExceeded { what: "state count" }.to_string(),
+            AcError::OverlapTooSmall {
+                requested: 2,
+                required: 7,
+            }
+            .to_string(),
+            AcError::CapacityExceeded {
+                what: "state count",
+            }
+            .to_string(),
         ];
         for m in &msgs {
             assert!(!m.is_empty());

@@ -73,7 +73,11 @@ pub struct StreamMatcher<'a> {
 impl<'a> StreamMatcher<'a> {
     /// Start a stream at offset 0 in the root state.
     pub fn new(ac: &'a AcAutomaton) -> Self {
-        StreamMatcher { ac, state: 0, consumed: 0 }
+        StreamMatcher {
+            ac,
+            state: 0,
+            consumed: 0,
+        }
     }
 
     /// Feed the next slice of the stream, appending matches to `sink`.
@@ -82,7 +86,8 @@ impl<'a> StreamMatcher<'a> {
         for (i, &b) in chunk.iter().enumerate() {
             self.state = stt.next(self.state, b);
             if stt.is_match(self.state) {
-                self.ac.expand_outputs(self.state, self.consumed + i + 1, sink);
+                self.ac
+                    .expand_outputs(self.state, self.consumed + i + 1, sink);
             }
         }
         self.consumed += chunk.len();

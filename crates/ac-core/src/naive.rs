@@ -17,7 +17,11 @@ pub fn find_all(patterns: &PatternSet, text: &[u8]) -> Vec<Match> {
         }
         for start in 0..=(text.len() - pat.len()) {
             if &text[start..start + pat.len()] == pat {
-                out.push(Match { pattern: id, start, end: start + pat.len() });
+                out.push(Match {
+                    pattern: id,
+                    start,
+                    end: start + pat.len(),
+                });
             }
         }
     }

@@ -28,8 +28,9 @@ impl NfaTables {
     pub fn build(trie: &Trie) -> Self {
         let n = trie.state_count();
         let mut failure = vec![0u32; n];
-        let mut outputs: Vec<Vec<PatternId>> =
-            (0..n).map(|s| trie.terminal_patterns(s as u32).to_vec()).collect();
+        let mut outputs: Vec<Vec<PatternId>> = (0..n)
+            .map(|s| trie.terminal_patterns(s as u32).to_vec())
+            .collect();
 
         let mut queue = VecDeque::new();
         for (_, child) in trie.children_of(0) {
@@ -171,11 +172,23 @@ mod tests {
         // f("she") must be the state spelling "he", f("sh") spells "h",
         // f("hers") spells "s".
         let (trie, nfa) = paper_machine();
-        assert_eq!(nfa.failure_of(state_of(&trie, b"she")), state_of(&trie, b"he"));
-        assert_eq!(nfa.failure_of(state_of(&trie, b"sh")), state_of(&trie, b"h"));
-        assert_eq!(nfa.failure_of(state_of(&trie, b"hers")), state_of(&trie, b"s"));
+        assert_eq!(
+            nfa.failure_of(state_of(&trie, b"she")),
+            state_of(&trie, b"he")
+        );
+        assert_eq!(
+            nfa.failure_of(state_of(&trie, b"sh")),
+            state_of(&trie, b"h")
+        );
+        assert_eq!(
+            nfa.failure_of(state_of(&trie, b"hers")),
+            state_of(&trie, b"s")
+        );
         assert_eq!(nfa.failure_of(state_of(&trie, b"h")), 0);
-        assert_eq!(nfa.failure_of(state_of(&trie, b"his")), state_of(&trie, b"s"));
+        assert_eq!(
+            nfa.failure_of(state_of(&trie, b"his")),
+            state_of(&trie, b"s")
+        );
     }
 
     #[test]

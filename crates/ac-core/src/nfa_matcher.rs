@@ -28,7 +28,11 @@ impl NfaMatcher {
     pub fn build(patterns: &PatternSet) -> Self {
         let trie = Trie::build(patterns);
         let nfa = NfaTables::build(&trie);
-        NfaMatcher { trie, nfa, patterns: patterns.clone() }
+        NfaMatcher {
+            trie,
+            nfa,
+            patterns: patterns.clone(),
+        }
     }
 
     /// One transition of the machine: follow goto, falling back through
@@ -56,7 +60,11 @@ impl NfaMatcher {
             state = self.step(state, b);
             for &pid in self.nfa.outputs_of(state) {
                 let len = self.patterns.len_of(pid);
-                out.push(Match { pattern: pid, start: i + 1 - len, end: i + 1 });
+                out.push(Match {
+                    pattern: pid,
+                    start: i + 1 - len,
+                    end: i + 1,
+                });
             }
         }
         out
@@ -104,8 +112,9 @@ impl NfaMatcher {
     /// makes it viable at dictionary sizes whose dense STT is hundreds of
     /// megabytes.)
     pub fn size_bytes(&self) -> usize {
-        let edges: usize =
-            (0..self.trie.state_count() as u32).map(|s| self.trie.children_of(s).count()).sum();
+        let edges: usize = (0..self.trie.state_count() as u32)
+            .map(|s| self.trie.children_of(s).count())
+            .sum();
         edges * 5 // 1-byte symbol + 4-byte target
             + self.trie.state_count() * (4 + 4) // failure link + edge offset
     }

@@ -47,7 +47,9 @@ impl PatternSet {
             }
             arena.extend_from_slice(bytes);
             if arena.len() > u32::MAX as usize {
-                return Err(AcError::CapacityExceeded { what: "total pattern bytes" });
+                return Err(AcError::CapacityExceeded {
+                    what: "total pattern bytes",
+                });
             }
             offsets.push(arena.len() as u32);
             max_len = max_len.max(bytes.len());
@@ -57,9 +59,16 @@ impl PatternSet {
             return Err(AcError::EmptyPatternSet);
         }
         if offsets.len() - 1 > u32::MAX as usize {
-            return Err(AcError::CapacityExceeded { what: "pattern count" });
+            return Err(AcError::CapacityExceeded {
+                what: "pattern count",
+            });
         }
-        Ok(PatternSet { arena, offsets, max_len, min_len })
+        Ok(PatternSet {
+            arena,
+            offsets,
+            max_len,
+            min_len,
+        })
     }
 
     /// Convenience constructor from `&str` slices.

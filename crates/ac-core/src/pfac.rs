@@ -50,7 +50,12 @@ impl PfacAutomaton {
             term_data.extend_from_slice(trie.terminal_patterns(s));
             term_offsets.push(term_data.len() as u32);
         }
-        PfacAutomaton { goto, term_offsets, term_data, state_count: n }
+        PfacAutomaton {
+            goto,
+            term_offsets,
+            term_data,
+            state_count: n,
+        }
     }
 
     /// Goto transition (no failures): next state or [`NO_TRANSITION`].
@@ -81,7 +86,11 @@ impl PfacAutomaton {
                 return;
             }
             for &pid in self.terminal(state) {
-                sink.push(Match { pattern: pid, start, end: start + i + 1 });
+                sink.push(Match {
+                    pattern: pid,
+                    start,
+                    end: start + i + 1,
+                });
             }
         }
     }

@@ -38,7 +38,10 @@ impl Stt {
             entries.push(dfa.is_accepting(s) as u32);
             entries.extend_from_slice(dfa.row(s));
         }
-        Stt { entries, state_count: n }
+        Stt {
+            entries,
+            state_count: n,
+        }
     }
 
     /// `δ(state, symbol)`.

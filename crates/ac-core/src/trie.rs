@@ -63,7 +63,8 @@ impl Trie {
 
     fn push_state(&mut self, depth: u32) -> u32 {
         let id = self.terminal.len() as u32;
-        self.children.extend(std::iter::repeat_n(NO_TRANSITION, ALPHABET));
+        self.children
+            .extend(std::iter::repeat_n(NO_TRANSITION, ALPHABET));
         self.terminal.push(Vec::new());
         self.depth.push(depth);
         id

@@ -38,8 +38,9 @@ pub fn interleaved_find_all(
     let mut state = vec![0u32; k];
     let mut pos: Vec<usize> = (0..k).map(|i| plan.chunk(i).start).collect();
     let ends: Vec<usize> = (0..k).map(|i| plan.chunk(i).scan_end).collect();
-    let owned: Vec<(usize, usize)> =
-        (0..k).map(|i| (plan.chunk(i).start, plan.chunk(i).end)).collect();
+    let owned: Vec<(usize, usize)> = (0..k)
+        .map(|i| (plan.chunk(i).start, plan.chunk(i).end))
+        .collect();
 
     let mut out = Vec::new();
     let mut live = k;
@@ -106,7 +107,11 @@ mod tests {
         let mut want = ac.find_all(text);
         want.sort();
         for ways in [1, 2, 3, 4, 8, 64] {
-            assert_eq!(interleaved_find_all(&ac, text, ways).unwrap(), want, "ways={ways}");
+            assert_eq!(
+                interleaved_find_all(&ac, text, ways).unwrap(),
+                want,
+                "ways={ways}"
+            );
         }
     }
 

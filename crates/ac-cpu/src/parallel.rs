@@ -22,7 +22,9 @@ impl ParallelConfig {
     /// A sensible default: one thread per available core, 64 KB chunks.
     pub fn default_for_host() -> Self {
         ParallelConfig {
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             chunk_size: 64 * 1024,
         }
     }
@@ -89,8 +91,15 @@ mod tests {
         let mut want = ac.find_all(text);
         want.sort();
         for threads in [1, 2, 4, 7] {
-            let got =
-                par_find_all(&ac, text, &ParallelConfig { threads, chunk_size: 5 }).unwrap();
+            let got = par_find_all(
+                &ac,
+                text,
+                &ParallelConfig {
+                    threads,
+                    chunk_size: 5,
+                },
+            )
+            .unwrap();
             assert_eq!(got, want, "threads={threads}");
         }
     }
@@ -98,21 +107,44 @@ mod tests {
     #[test]
     fn zero_threads_rejected() {
         let ac = ac(&["x"]);
-        assert!(par_find_all(&ac, b"xx", &ParallelConfig { threads: 0, chunk_size: 8 }).is_err());
+        assert!(par_find_all(
+            &ac,
+            b"xx",
+            &ParallelConfig {
+                threads: 0,
+                chunk_size: 8
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn empty_text_ok() {
         let ac = ac(&["x"]);
-        let got = par_find_all(&ac, b"", &ParallelConfig { threads: 4, chunk_size: 8 }).unwrap();
+        let got = par_find_all(
+            &ac,
+            b"",
+            &ParallelConfig {
+                threads: 4,
+                chunk_size: 8,
+            },
+        )
+        .unwrap();
         assert!(got.is_empty());
     }
 
     #[test]
     fn more_threads_than_chunks() {
         let ac = ac(&["ab"]);
-        let got =
-            par_find_all(&ac, b"abab", &ParallelConfig { threads: 64, chunk_size: 2 }).unwrap();
+        let got = par_find_all(
+            &ac,
+            b"abab",
+            &ParallelConfig {
+                threads: 64,
+                chunk_size: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(got.len(), 2);
     }
 

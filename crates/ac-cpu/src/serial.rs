@@ -31,7 +31,11 @@ pub fn find_all_timed(ac: &AcAutomaton, text: &[u8]) -> TimedRun {
     let start = Instant::now();
     let matches = ac.find_all(text);
     let elapsed = start.elapsed();
-    TimedRun { matches, elapsed, bytes: text.len() }
+    TimedRun {
+        matches,
+        elapsed,
+        bytes: text.len(),
+    }
 }
 
 #[cfg(test)]
@@ -50,7 +54,11 @@ mod tests {
 
     #[test]
     fn gbps_zero_for_empty() {
-        let r = TimedRun { matches: vec![], elapsed: Duration::ZERO, bytes: 0 };
+        let r = TimedRun {
+            matches: vec![],
+            elapsed: Duration::ZERO,
+            bytes: 0,
+        };
         assert_eq!(r.gbps(), 0.0);
     }
 

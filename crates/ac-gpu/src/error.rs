@@ -60,7 +60,10 @@ impl fmt::Display for PcieError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PcieError::BadLink => {
-                write!(f, "PCIe bandwidth must be positive and latency non-negative")
+                write!(
+                    f,
+                    "PCIe bandwidth must be positive and latency non-negative"
+                )
             }
             PcieError::ZeroSegment => write!(f, "segment_bytes must be positive"),
         }
@@ -188,7 +191,10 @@ mod tests {
         assert_eq!(transient.class(), ErrorClass::Transient);
         assert!(transient.is_retryable());
 
-        let watchdog = GpuError::Device(DeviceError::Watchdog { cycles: 10, budget: 5 });
+        let watchdog = GpuError::Device(DeviceError::Watchdog {
+            cycles: 10,
+            budget: 5,
+        });
         assert_eq!(watchdog.class(), ErrorClass::Transient);
 
         let fatal = GpuError::Device(DeviceError::OutOfDeviceMemory {

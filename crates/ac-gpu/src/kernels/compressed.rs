@@ -23,9 +23,9 @@
 
 use crate::kernels::{MatchLanes, Scratch};
 use crate::layout::{DiagonalMap, Plan};
-use ac_core::CompressedStt;
 use ac_core::stt::STT_COLUMNS;
 use ac_core::AcAutomaton;
+use ac_core::CompressedStt;
 use gpu_sim::{StepOutcome, TexId, WarpCtx, WarpGeometry, WarpProgram};
 use std::sync::Arc;
 
@@ -65,10 +65,12 @@ impl DeviceCompressedStt {
 
         // Rebuild the raw pieces by probing the compressed table (keeps
         // this layout independent of CompressedStt's internals).
-        let root: Vec<u32> = (0..=255u8).map(|a| {
-            let t = comp.next(0, a);
-            t | flag(t)
-        }).collect();
+        let root: Vec<u32> = (0..=255u8)
+            .map(|a| {
+                let t = comp.next(0, a);
+                t | flag(t)
+            })
+            .collect();
 
         let mut meta = Vec::with_capacity(n * META_COLS as usize);
         let mut targets: Vec<u32> = Vec::new();
@@ -207,7 +209,10 @@ impl CompressedKernel {
 
     /// The accumulated match events.
     pub fn take_results(&mut self) -> (Vec<crate::kernels::MatchEvent>, u64) {
-        (std::mem::take(&mut self.lanes.events), self.lanes.event_count)
+        (
+            std::mem::take(&mut self.lanes.events),
+            self.lanes.event_count,
+        )
     }
 
     fn finish(&mut self) -> StepOutcome {
@@ -222,7 +227,6 @@ impl CompressedKernel {
         self.hit_mask = Vec::new();
         StepOutcome::Finished
     }
-
 }
 
 /// Meta texel column for each lane's symbol group: `group*4 + part`.
@@ -259,8 +263,8 @@ impl WarpProgram for CompressedKernel {
             }
             Phase::StageStore => {
                 for lane in 0..n {
-                    self.scratch.writes[lane] =
-                        self.staged_addr[lane].map(|w| (self.map.map_word(w) * 4, self.staged[lane]));
+                    self.scratch.writes[lane] = self.staged_addr[lane]
+                        .map(|w| (self.map.map_word(w) * 4, self.staged[lane]));
                 }
                 ctx.shared_write_u32(&self.scratch.writes);
                 self.k += 1;
@@ -305,8 +309,8 @@ impl WarpProgram for CompressedKernel {
                 meta_coords(&self.lanes, 2, &mut self.scratch.coords);
                 ctx.tex_fetch(self.tex_meta, &self.scratch.coords, &mut self.rank_base);
                 ctx.compute(4); // popcount + bit test per lane
-                // Decide per lane whether the transition is stored or a
-                // restart.
+                                // Decide per lane whether the transition is stored or a
+                                // restart.
                 for lane in 0..n {
                     self.hit_mask[lane] = false;
                     if !self.lanes.active(lane) {
@@ -332,7 +336,11 @@ impl WarpProgram for CompressedKernel {
                         None
                     };
                 }
-                ctx.tex_fetch(self.tex_targets, &self.scratch.coords, &mut self.scratch.words);
+                ctx.tex_fetch(
+                    self.tex_targets,
+                    &self.scratch.coords,
+                    &mut self.scratch.words,
+                );
                 self.phase = Phase::FetchRoot;
                 StepOutcome::Continue
             }
@@ -340,8 +348,7 @@ impl WarpProgram for CompressedKernel {
                 // Restart lanes fetch the root row; results merge into the
                 // same per-lane transition-entry buffer.
                 for lane in 0..n {
-                    self.scratch.coords[lane] = if self.lanes.active(lane) && !self.hit_mask[lane]
-                    {
+                    self.scratch.coords[lane] = if self.lanes.active(lane) && !self.hit_mask[lane] {
                         Some((0, self.lanes.byte[lane] as u32))
                     } else {
                         None
@@ -350,8 +357,14 @@ impl WarpProgram for CompressedKernel {
                 let words = &mut self.scratch.words;
                 ctx.tex_fetch(self.tex_root, &self.scratch.coords, words);
                 ctx.compute(super::TRANSITION_OVERHEAD);
-                let any = self.lanes.apply_transitions(&self.geom, &self.scratch.words);
-                self.phase = if any { Phase::ReportMatches } else { Phase::LoadByte };
+                let any = self
+                    .lanes
+                    .apply_transitions(&self.geom, &self.scratch.words);
+                self.phase = if any {
+                    Phase::ReportMatches
+                } else {
+                    Phase::LoadByte
+                };
                 StepOutcome::Continue
             }
             Phase::ReportMatches => {
@@ -389,8 +402,8 @@ mod tests {
             for a in 0..=255u8 {
                 let group = (a >> 6) as usize;
                 let row = s as usize * META_COLS as usize;
-                let bm = (dev.meta[row + group * 4 + 1] as u64) << 32
-                    | dev.meta[row + group * 4] as u64;
+                let bm =
+                    (dev.meta[row + group * 4 + 1] as u64) << 32 | dev.meta[row + group * 4] as u64;
                 let entry = if bm & (1u64 << (a & 63)) != 0 {
                     let rank = (bm & ((1u64 << (a & 63)) - 1)).count_ones();
                     let idx = dev.meta[row + group * 4 + 2] + rank;
@@ -398,7 +411,11 @@ mod tests {
                 } else {
                     dev.root[a as usize]
                 };
-                assert_eq!(entry & crate::upload::STATE_MASK, stt.next(s, a), "({s},{a})");
+                assert_eq!(
+                    entry & crate::upload::STATE_MASK,
+                    stt.next(s, a),
+                    "({s},{a})"
+                );
                 assert_eq!(
                     entry & crate::upload::MATCH_BIT != 0,
                     stt.is_match(stt.next(s, a)),

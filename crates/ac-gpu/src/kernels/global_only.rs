@@ -64,7 +64,10 @@ impl GlobalOnlyKernel {
 
     /// The lanes' accumulated match events (host readback after launch).
     pub fn take_results(&mut self) -> (Vec<crate::kernels::MatchEvent>, u64) {
-        (std::mem::take(&mut self.lanes.events), self.lanes.event_count)
+        (
+            std::mem::take(&mut self.lanes.events),
+            self.lanes.event_count,
+        )
     }
 
     fn finish(&mut self) -> StepOutcome {
@@ -102,8 +105,14 @@ impl WarpProgram for GlobalOnlyKernel {
                 self.lanes.fill_tex_coords(&mut self.scratch.coords);
                 ctx.tex_fetch(self.tex, &self.scratch.coords, &mut self.scratch.words);
                 ctx.compute(super::TRANSITION_OVERHEAD);
-                let any_match = self.lanes.apply_transitions(&self.geom, &self.scratch.words);
-                self.phase = if any_match { Phase::ReportMatches } else { Phase::LoadByte };
+                let any_match = self
+                    .lanes
+                    .apply_transitions(&self.geom, &self.scratch.words);
+                self.phase = if any_match {
+                    Phase::ReportMatches
+                } else {
+                    Phase::LoadByte
+                };
                 StepOutcome::Continue
             }
             Phase::ReportMatches => {
@@ -141,8 +150,11 @@ mod tests {
     #[test]
     fn finds_paper_matches() {
         let cfg = GpuConfig::gtx285();
-        let params =
-            KernelParams { threads_per_block: 32, global_chunk_bytes: 4, shared_chunk_bytes: 64 };
+        let params = KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 4,
+            shared_chunk_bytes: 64,
+        };
         let (matches, stats) = build_rig(
             &cfg,
             &params,

@@ -200,7 +200,11 @@ mod tests {
     fn rig() -> (WarpGeometry, Plan) {
         let cfg = GpuConfig::gtx285();
         let ac = AcAutomaton::build(&PatternSet::from_strs(&["he", "hers"]).unwrap());
-        let params = KernelParams { threads_per_block: 32, global_chunk_bytes: 8, shared_chunk_bytes: 64 };
+        let params = KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 8,
+            shared_chunk_bytes: 64,
+        };
         let plan = Plan::global_only(&params, &cfg, &ac, 100).unwrap();
         let geom = WarpGeometry {
             block_id: 0,
@@ -238,7 +242,14 @@ mod tests {
         assert!(any);
         assert_eq!(lanes.event_count, 1);
         assert_eq!(lanes.events.len(), 1);
-        assert_eq!(lanes.events[0], MatchEvent { thread: 0, state: 5, end: 1 });
+        assert_eq!(
+            lanes.events[0],
+            MatchEvent {
+                thread: 0,
+                state: 5,
+                end: 1
+            }
+        );
         assert_eq!(lanes.state[0], 5);
         assert_eq!(lanes.pos[0], 1);
         assert_eq!(lanes.pos[1], 9);

@@ -158,7 +158,11 @@ impl WarpProgram for PfacKernel {
                         }
                     }
                 }
-                self.phase = if any { Phase::ReportMatches } else { Phase::LoadByte };
+                self.phase = if any {
+                    Phase::ReportMatches
+                } else {
+                    Phase::LoadByte
+                };
                 StepOutcome::Continue
             }
             Phase::ReportMatches => {
@@ -189,8 +193,11 @@ mod tests {
     #[test]
     fn pfac_finds_paper_matches() {
         let cfg = GpuConfig::gtx285();
-        let params =
-            KernelParams { threads_per_block: 32, global_chunk_bytes: 8, shared_chunk_bytes: 64 };
+        let params = KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 8,
+            shared_chunk_bytes: 64,
+        };
         let (matches, stats) = build_rig(
             &cfg,
             &params,

@@ -151,7 +151,10 @@ impl SharedKernel {
 
     /// The lanes' accumulated match events (host readback after launch).
     pub fn take_results(&mut self) -> (Vec<crate::kernels::MatchEvent>, u64) {
-        (std::mem::take(&mut self.lanes.events), self.lanes.event_count)
+        (
+            std::mem::take(&mut self.lanes.events),
+            self.lanes.event_count,
+        )
     }
 
     /// Map a tile-relative byte offset to its shared-memory address under
@@ -210,9 +213,8 @@ impl WarpProgram for SharedKernel {
                 }
                 for lane in 0..n {
                     self.staged_addr[lane] = self.staging_word(self.k, lane as u32);
-                    self.scratch.addrs[lane] = self
-                        .staged_addr[lane]
-                        .map(|w| self.text_base + self.tile_start + w * 4);
+                    self.scratch.addrs[lane] =
+                        self.staged_addr[lane].map(|w| self.text_base + self.tile_start + w * 4);
                 }
                 // NOTE: word loads may read up to 3 bytes past the tile
                 // when tile_len is not word-aligned; the device allocation
@@ -266,8 +268,14 @@ impl WarpProgram for SharedKernel {
                 self.lanes.fill_tex_coords(&mut self.scratch.coords);
                 ctx.tex_fetch(self.tex, &self.scratch.coords, &mut self.scratch.words);
                 ctx.compute(super::TRANSITION_OVERHEAD);
-                let any_match = self.lanes.apply_transitions(&self.geom, &self.scratch.words);
-                self.phase = if any_match { Phase::ReportMatches } else { Phase::LoadByte };
+                let any_match = self
+                    .lanes
+                    .apply_transitions(&self.geom, &self.scratch.words);
+                self.phase = if any_match {
+                    Phase::ReportMatches
+                } else {
+                    Phase::LoadByte
+                };
                 StepOutcome::Continue
             }
             Phase::ReportMatches => {
@@ -296,15 +304,21 @@ mod tests {
     use gpu_sim::GpuConfig;
 
     fn params() -> KernelParams {
-        KernelParams { threads_per_block: 32, global_chunk_bytes: 8, shared_chunk_bytes: 64 }
+        KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 8,
+            shared_chunk_bytes: 64,
+        }
     }
 
     #[test]
     fn all_variants_find_paper_matches() {
         let cfg = GpuConfig::gtx285();
-        for approach in
-            [Approach::SharedNaive, Approach::SharedCoalescedOnly, Approach::SharedDiagonal]
-        {
+        for approach in [
+            Approach::SharedNaive,
+            Approach::SharedCoalescedOnly,
+            Approach::SharedDiagonal,
+        ] {
             let (matches, stats) = build_rig(
                 &cfg,
                 &params(),
@@ -356,8 +370,13 @@ mod tests {
         let cfg = GpuConfig::gtx285();
         let text = vec![b'q'; 16384];
         let (_, naive) = build_rig(&cfg, &params(), &["he"], &text, Approach::SharedNaive);
-        let (_, coal) =
-            build_rig(&cfg, &params(), &["he"], &text, Approach::SharedCoalescedOnly);
+        let (_, coal) = build_rig(
+            &cfg,
+            &params(),
+            &["he"],
+            &text,
+            Approach::SharedCoalescedOnly,
+        );
         assert!(
             coal.totals.global_transactions * 2 < naive.totals.global_transactions,
             "coalesced {} vs naive {}",

@@ -24,7 +24,11 @@ impl KernelParams {
     /// tile ≈ 8 KB (128 threads × 64-byte chunks); 4 KB global chunks.
     pub fn defaults_for(cfg: &GpuConfig) -> Self {
         let threads_per_block = (4 * cfg.warp_size).max(cfg.warp_size);
-        KernelParams { threads_per_block, global_chunk_bytes: 4096, shared_chunk_bytes: 64 }
+        KernelParams {
+            threads_per_block,
+            global_chunk_bytes: 4096,
+            shared_chunk_bytes: 64,
+        }
     }
 
     /// Validate against a device and an automaton.
@@ -116,8 +120,7 @@ impl Plan {
         // global-only approach latency-bound in the paper's data.
         let tpb = cfg.warp_size;
         let resident_cap = (2 * cfg.cores_per_sm).div_ceil(tpb).max(2);
-        let target_threads =
-            cfg.num_sms as u64 * resident_cap as u64 * tpb as u64 * 4;
+        let target_threads = cfg.num_sms as u64 * resident_cap as u64 * tpb as u64 * 4;
         // Floor of 256 bytes: two coalescing segments per chunk, so
         // neighbouring threads' cursors always fall in different segments
         // — the scattered per-thread walk of Fig. 7. (Shrinking further
@@ -135,7 +138,12 @@ impl Plan {
             resident_blocks_cap: Some(resident_cap),
         };
         launch.validate(cfg)?;
-        Ok(Plan { launch, chunk_bytes: chunk, overlap: ac.required_overlap() as u32, text_len })
+        Ok(Plan {
+            launch,
+            chunk_bytes: chunk,
+            overlap: ac.required_overlap() as u32,
+            text_len,
+        })
     }
 
     /// Plan a shared-memory kernel: one tile per block.
@@ -151,7 +159,8 @@ impl Plan {
         let launch = LaunchConfig {
             grid_blocks,
             threads_per_block: params.threads_per_block,
-            shared_bytes_per_block: params.tile_bytes(ac), resident_blocks_cap: None,
+            shared_bytes_per_block: params.tile_bytes(ac),
+            resident_blocks_cap: None,
         };
         launch.validate(cfg)?;
         Ok(Plan {
@@ -198,8 +207,14 @@ impl DiagonalMap {
     /// # Panics
     /// Panics unless `chunk_bytes` is a positive multiple of 4.
     pub fn new(threads: u32, chunk_bytes: u32) -> Self {
-        assert!(chunk_bytes > 0 && chunk_bytes.is_multiple_of(4), "chunk must be whole words");
-        DiagonalMap { threads, words_per_chunk: chunk_bytes / 4 }
+        assert!(
+            chunk_bytes > 0 && chunk_bytes.is_multiple_of(4),
+            "chunk must be whole words"
+        );
+        DiagonalMap {
+            threads,
+            words_per_chunk: chunk_bytes / 4,
+        }
     }
 
     /// Map a linear tile word index to its stored word index.
@@ -280,8 +295,7 @@ mod tests {
     fn global_plan_covers_text() {
         let p = KernelParams::defaults_for(&cfg());
         let plan = Plan::global_only(&p, &cfg(), &ac(), 1_000_000).unwrap();
-        let threads =
-            plan.launch.grid_blocks as u64 * plan.launch.threads_per_block as u64;
+        let threads = plan.launch.grid_blocks as u64 * plan.launch.threads_per_block as u64;
         assert!(threads * plan.chunk_bytes as u64 >= 1_000_000);
         // Last thread's range clamps to the text.
         assert_eq!(plan.scan_end(threads - 1), 1_000_000);
@@ -305,7 +319,10 @@ mod tests {
         let p = KernelParams::defaults_for(&cfg());
         let plan = Plan::shared(&p, &cfg(), &ac(), 100_000).unwrap();
         let tile_owned = p.threads_per_block as u64 * p.shared_chunk_bytes as u64;
-        assert_eq!(plan.launch.grid_blocks as u64, 100_000u64.div_ceil(tile_owned));
+        assert_eq!(
+            plan.launch.grid_blocks as u64,
+            100_000u64.div_ceil(tile_owned)
+        );
         assert_eq!(plan.launch.shared_bytes_per_block, p.tile_bytes(&ac()));
     }
 
@@ -337,8 +354,9 @@ mod tests {
         let m = DiagonalMap::new(128, 64);
         for j in 0..16u64 {
             for hw_start in (0..128).step_by(16) {
-                let mut banks: Vec<u64> =
-                    (hw_start..hw_start + 16).map(|c| m.map_word(c * 16 + j) % 16).collect();
+                let mut banks: Vec<u64> = (hw_start..hw_start + 16)
+                    .map(|c| m.map_word(c * 16 + j) % 16)
+                    .collect();
                 banks.sort_unstable();
                 banks.dedup();
                 assert_eq!(banks.len(), 16, "j={j} hw={hw_start}");

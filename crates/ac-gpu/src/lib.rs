@@ -41,12 +41,13 @@ pub mod upload;
 
 pub use error::{ErrorClass, GpuError, PcieError, UploadError};
 pub use kernels::{
-    CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel,
-    SharedKernel, SharedVariant,
+    CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel, SharedKernel,
+    SharedVariant,
 };
 pub use layout::{DiagonalMap, KernelParams, LinearMap, Plan};
 pub use readback::ReadbackCorruption;
 pub use runner::{Approach, GpuAcMatcher, GpuRun, RunOptions};
 pub use stream::{run_streamed, run_streamed_supervised, PcieConfig, StreamedRun};
-pub use supervise::{run_supervised, Supervised, SuperviseConfig, SuperviseReport};
+pub use supervise::{run_supervised, SuperviseConfig, SuperviseReport, Supervised};
+pub use trace::{TraceBuffer, TraceConfig};
 pub use upload::{DevicePfac, DeviceStt, MATCH_BIT, PFAC_STOP, STATE_MASK};

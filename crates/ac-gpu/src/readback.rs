@@ -59,8 +59,7 @@ impl std::error::Error for ReadbackCorruption {}
 /// Serialize events (plus the total observed-event count, which counting
 /// mode reports without materializing) into a framed buffer.
 pub fn encode(events: &[MatchEvent], event_count: u64) -> Vec<u8> {
-    let mut buf =
-        Vec::with_capacity(HEADER_BYTES + events.len() * EVENT_BYTES + TRAILER_BYTES + 8);
+    let mut buf = Vec::with_capacity(HEADER_BYTES + events.len() * EVENT_BYTES + TRAILER_BYTES + 8);
     buf.extend_from_slice(&MAGIC.to_le_bytes());
     buf.extend_from_slice(&(events.len() as u64).to_le_bytes());
     for ev in events {
@@ -129,9 +128,21 @@ mod tests {
 
     fn sample() -> Vec<MatchEvent> {
         vec![
-            MatchEvent { thread: 0, state: 3, end: 17 },
-            MatchEvent { thread: 42, state: 9, end: 1 << 33 },
-            MatchEvent { thread: u64::MAX, state: u32::MAX, end: 0 },
+            MatchEvent {
+                thread: 0,
+                state: 3,
+                end: 17,
+            },
+            MatchEvent {
+                thread: 42,
+                state: 9,
+                end: 1 << 33,
+            },
+            MatchEvent {
+                thread: u64::MAX,
+                state: u32::MAX,
+                end: 0,
+            },
         ]
     }
 
@@ -163,7 +174,10 @@ mod tests {
     fn truncation_is_detected() {
         let buf = encode(&sample(), 7);
         for cut in 0..buf.len() {
-            assert!(decode(&buf[..cut]).is_err(), "truncation to {cut} went undetected");
+            assert!(
+                decode(&buf[..cut]).is_err(),
+                "truncation to {cut} went undetected"
+            );
         }
     }
 

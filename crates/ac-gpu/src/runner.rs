@@ -8,16 +8,19 @@
 
 use crate::error::GpuError;
 use crate::kernels::{
-    CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel,
-    SharedKernel, SharedVariant,
+    CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel, SharedKernel,
+    SharedVariant,
 };
 use crate::layout::{KernelParams, Plan};
 use crate::readback;
 use crate::upload::{DevicePfac, DeviceStt};
 use ac_core::{AcAutomaton, Match, PfacAutomaton};
-use gpu_sim::{FaultPlan, FaultState, GpuConfig, GpuDevice, InjectedFault, LaunchConfig, LaunchStats};
+use gpu_sim::{
+    FaultPlan, FaultState, GpuConfig, GpuDevice, InjectedFault, LaunchConfig, LaunchStats,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::{Mutex, OnceLock};
+use trace::{ArgValue, TraceBuffer, TraceConfig, PID_HOST};
 
 /// Which kernel to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -87,6 +90,10 @@ pub struct GpuRun {
     pub bytes: usize,
     /// Device clock used for unit conversion.
     pub clock_hz: f64,
+    /// Cycle-stamped trace of the run (device scheduler/DRAM events plus
+    /// host upload/kernel/readback phases). `None` unless the run was
+    /// launched with [`RunOptions::trace`].
+    pub trace: Option<TraceBuffer>,
 }
 
 impl GpuRun {
@@ -111,6 +118,9 @@ pub struct RunOptions {
     pub record: bool,
     /// Cycle budget for the launch watchdog; `None` disarms it.
     pub watchdog_cycles: Option<u64>,
+    /// Arm trace recording for this run; the buffer comes back on
+    /// [`GpuRun::trace`]. Recording never affects timing or matches.
+    pub trace: Option<TraceConfig>,
 }
 
 /// The host-side matcher: an automaton prepared for a device.
@@ -132,7 +142,9 @@ impl GpuAcMatcher {
     /// Prepare `ac` for execution on a device described by `cfg`.
     pub fn new(cfg: GpuConfig, params: KernelParams, ac: AcAutomaton) -> Result<Self, GpuError> {
         cfg.validate()?;
-        params.validate(&cfg, &ac).map_err(GpuError::InvalidParams)?;
+        params
+            .validate(&cfg, &ac)
+            .map_err(GpuError::InvalidParams)?;
         let dev_stt = DeviceStt::from_automaton(&ac)?;
         Ok(GpuAcMatcher {
             cfg,
@@ -160,7 +172,12 @@ impl GpuAcMatcher {
 
     /// Faults that have fired so far under the armed plan.
     pub fn fault_log(&self) -> Vec<InjectedFault> {
-        self.fault.lock().unwrap().as_ref().map(|s| s.log().to_vec()).unwrap_or_default()
+        self.fault
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.log().to_vec())
+            .unwrap_or_default()
     }
 
     /// The underlying automaton.
@@ -180,14 +197,28 @@ impl GpuAcMatcher {
 
     /// Run `approach` over `text`, materializing matches.
     pub fn run(&self, text: &[u8], approach: Approach) -> Result<GpuRun, GpuError> {
-        self.run_opts(text, approach, RunOptions { record: true, watchdog_cycles: None })
+        self.run_opts(
+            text,
+            approach,
+            RunOptions {
+                record: true,
+                ..Default::default()
+            },
+        )
     }
 
     /// Run `approach` over `text` in counting mode: full timing, match
     /// events counted but not materialized. Use for paper-scale inputs
     /// where hundreds of millions of matches would not fit in host memory.
     pub fn run_counting(&self, text: &[u8], approach: Approach) -> Result<GpuRun, GpuError> {
-        self.run_opts(text, approach, RunOptions { record: false, watchdog_cycles: None })
+        self.run_opts(
+            text,
+            approach,
+            RunOptions {
+                record: false,
+                ..Default::default()
+            },
+        )
     }
 
     fn pfac_tables(&self) -> &(PfacAutomaton, DevicePfac) {
@@ -202,7 +233,8 @@ impl GpuAcMatcher {
     }
 
     fn compressed_tables(&self) -> &DeviceCompressedStt {
-        self.compressed.get_or_init(|| DeviceCompressedStt::from_automaton(&self.ac))
+        self.compressed
+            .get_or_init(|| DeviceCompressedStt::from_automaton(&self.ac))
     }
 
     /// Run with explicit [`RunOptions`] (recording mode, watchdog).
@@ -220,11 +252,51 @@ impl GpuAcMatcher {
         if let Some(state) = self.fault.lock().unwrap().take() {
             dev.arm_faults(state);
         }
+        if let Some(tcfg) = opts.trace {
+            dev.arm_trace(tcfg);
+        }
         let result = self.run_on_device(&mut dev, text, approach, opts.record);
         if let Some(state) = dev.disarm_faults() {
             *self.fault.lock().unwrap() = Some(state);
         }
-        result
+        // Attach the device trace plus the host-phase pseudo-timeline
+        // (simulated phases have no wall clock: upload at cycle 0, the
+        // kernel spanning the launch, readback at completion). A failed
+        // run's device trace is dropped with the device.
+        result.map(|mut run| {
+            if let Some(mut tb) = dev.take_trace() {
+                tb.instant(
+                    "upload",
+                    "host",
+                    PID_HOST,
+                    0,
+                    0,
+                    vec![("bytes".to_string(), ArgValue::U64(text.len() as u64))],
+                );
+                tb.span(
+                    "kernel",
+                    "host",
+                    PID_HOST,
+                    0,
+                    0,
+                    run.stats.cycles,
+                    vec![(
+                        "approach".to_string(),
+                        ArgValue::Str(approach.label().to_string()),
+                    )],
+                );
+                tb.instant(
+                    "readback",
+                    "host",
+                    PID_HOST,
+                    0,
+                    run.stats.cycles,
+                    vec![("match_events".to_string(), ArgValue::U64(run.match_events))],
+                );
+                run.trace = Some(tb);
+            }
+            run
+        })
     }
 
     fn run_on_device(
@@ -273,11 +345,8 @@ impl GpuAcMatcher {
             }
             Approach::Pfac => {
                 let (_, dev_pfac) = self.pfac_tables();
-                let tex = dev.bind_texture_2d(
-                    dev_pfac.entries.clone(),
-                    dev_pfac.rows,
-                    dev_pfac.cols,
-                )?;
+                let tex =
+                    dev.bind_texture_2d(dev_pfac.entries.clone(), dev_pfac.rows, dev_pfac.cols)?;
                 let launched = dev.launch(launch, |geom| {
                     PfacKernel::new(geom, text.len() as u64, text_base, out_base, tex, record)
                 })?;
@@ -298,7 +367,13 @@ impl GpuAcMatcher {
                 let tex_root = dev.bind_texture_2d(tables.root.clone(), 1, 256)?;
                 let launched = dev.launch(launch, |geom| {
                     CompressedKernel::new(
-                        geom, plan, text_base, out_base, tex_meta, tex_targets, tex_root,
+                        geom,
+                        plan,
+                        text_base,
+                        out_base,
+                        tex_meta,
+                        tex_targets,
+                        tex_root,
                         record,
                     )
                 })?;
@@ -335,6 +410,7 @@ impl GpuAcMatcher {
             stats,
             bytes: text.len(),
             clock_hz: self.cfg.clock_hz,
+            trace: None,
         })
     }
 
@@ -350,8 +426,12 @@ impl GpuAcMatcher {
                 // (SharedCompressed uses the shared plan below.)
                 let tpb = self.params.threads_per_block;
                 let grid_blocks = len.div_ceil(tpb as u64).max(1) as u32;
-                let launch =
-                    LaunchConfig { grid_blocks, threads_per_block: tpb, shared_bytes_per_block: 0, resident_blocks_cap: None };
+                let launch = LaunchConfig {
+                    grid_blocks,
+                    threads_per_block: tpb,
+                    shared_bytes_per_block: 0,
+                    resident_blocks_cap: None,
+                };
                 launch.validate(&self.cfg)?;
                 let plan = Plan {
                     launch,
@@ -447,7 +527,10 @@ pub mod tests_support {
         let run = matcher.run(text, approach).unwrap();
         let mut want = matcher.automaton().find_all(text);
         want.sort();
-        assert_eq!(run.matches, want, "{approach:?} diverged from the serial oracle");
+        assert_eq!(
+            run.matches, want,
+            "{approach:?} diverged from the serial oracle"
+        );
         (run.matches, run.stats)
     }
 }
@@ -459,8 +542,11 @@ mod tests {
 
     fn matcher(pats: &[&str]) -> GpuAcMatcher {
         let cfg = GpuConfig::gtx285();
-        let params =
-            KernelParams { threads_per_block: 32, global_chunk_bytes: 16, shared_chunk_bytes: 64 };
+        let params = KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 16,
+            shared_chunk_bytes: 64,
+        };
         let ac = AcAutomaton::build(&PatternSet::from_strs(pats).unwrap());
         GpuAcMatcher::new(cfg, params, ac).unwrap()
     }
@@ -487,7 +573,10 @@ mod tests {
         let counted = m.run_counting(text, Approach::SharedDiagonal).unwrap();
         assert!(counted.matches.is_empty());
         assert_eq!(counted.match_events, full.match_events);
-        assert_eq!(counted.stats.cycles, full.stats.cycles, "timing must not depend on recording");
+        assert_eq!(
+            counted.stats.cycles, full.stats.cycles,
+            "timing must not depend on recording"
+        );
     }
 
     #[test]
@@ -507,6 +596,35 @@ mod tests {
         let b = m.run(text, Approach::SharedDiagonal).unwrap();
         assert_eq!(a.stats.cycles, b.stats.cycles);
         assert_eq!(a.matches, b.matches);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_carries_events() {
+        let m = matcher(&["he", "she", "hers"]);
+        let text = b"she ushers her heirs; he hears her";
+        let plain = m.run(text, Approach::SharedDiagonal).unwrap();
+        assert!(plain.trace.is_none());
+        let traced = m
+            .run_opts(
+                text,
+                Approach::SharedDiagonal,
+                RunOptions {
+                    record: true,
+                    trace: Some(TraceConfig::default()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // Tracing is observation-only: stats and matches are bit-identical.
+        assert_eq!(traced.stats, plain.stats);
+        assert_eq!(traced.matches, plain.matches);
+        let tb = traced.trace.expect("trace requested");
+        assert!(!tb.is_empty());
+        let names: Vec<&str> = tb.events().iter().map(|e| e.name.as_str()).collect();
+        for host_phase in ["upload", "kernel", "readback"] {
+            assert!(names.contains(&host_phase), "missing {host_phase} event");
+        }
+        assert!(names.contains(&"sm"), "missing per-SM spans");
     }
 
     #[test]
@@ -536,9 +654,13 @@ mod tests {
             approach: Approach::GlobalOnly,
             matches: vec![],
             match_events: 0,
-            stats: LaunchStats { cycles: 1_476_000_000, ..Default::default() },
+            stats: LaunchStats {
+                cycles: 1_476_000_000,
+                ..Default::default()
+            },
             bytes: 125_000_000, // 1 Gbit
             clock_hz: 1.476e9,
+            trace: None,
         };
         assert!((run.seconds() - 1.0).abs() < 1e-9);
         assert!((run.gbps() - 1.0).abs() < 1e-9);

@@ -31,7 +31,10 @@ impl PcieConfig {
     /// PCIe 2.0 ×16, the GTX 285's link: ~6 GB/s sustained of the 8 GB/s
     /// peak, ~10 µs per transfer setup.
     pub fn gen2_x16() -> Self {
-        PcieConfig { bandwidth_bytes_per_sec: 6.0e9, latency_sec: 10.0e-6 }
+        PcieConfig {
+            bandwidth_bytes_per_sec: 6.0e9,
+            latency_sec: 10.0e-6,
+        }
     }
 
     /// Seconds to move `bytes` over the link.
@@ -116,7 +119,14 @@ pub fn run_streamed_supervised(
     pcie: &PcieConfig,
     supervise: &SuperviseConfig,
 ) -> Result<(StreamedRun, Vec<SuperviseReport>), GpuError> {
-    run_streamed_inner(matcher, text, approach, segment_bytes, pcie, Some(supervise))
+    run_streamed_inner(
+        matcher,
+        text,
+        approach,
+        segment_bytes,
+        pcie,
+        Some(supervise),
+    )
 }
 
 fn run_streamed_inner(
@@ -147,8 +157,8 @@ fn run_streamed_inner(
         copy_times.push(pcie.copy_seconds(window.len()));
         let run = match supervise {
             Some(cfg) => {
-                let s = run_supervised(matcher, window, approach, cfg)
-                    .map_err(|(err, report)| {
+                let s =
+                    run_supervised(matcher, window, approach, cfg).map_err(|(err, report)| {
                         reports.push(report);
                         err
                     })?;
@@ -205,24 +215,33 @@ mod tests {
 
     fn matcher() -> GpuAcMatcher {
         let cfg = GpuConfig::gtx285();
-        let ac =
-            AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
         GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap()
     }
 
     #[test]
     fn streamed_matches_equal_whole_scan() {
         let m = matcher();
-        let text: Vec<u8> =
-            b"ushers rush home; his shelf, her shoes ".iter().cycle().take(20_000).copied().collect();
+        let text: Vec<u8> = b"ushers rush home; his shelf, her shoes "
+            .iter()
+            .cycle()
+            .take(20_000)
+            .copied()
+            .collect();
         let whole = {
             let mut w = m.automaton().find_all(&text);
             w.sort();
             w
         };
         for segment in [1usize << 10, 3000, 7777, 1 << 20] {
-            let r = run_streamed(&m, &text, Approach::SharedDiagonal, segment, &PcieConfig::gen2_x16())
-                .unwrap();
+            let r = run_streamed(
+                &m,
+                &text,
+                Approach::SharedDiagonal,
+                segment,
+                &PcieConfig::gen2_x16(),
+            )
+            .unwrap();
             assert_eq!(r.matches, whole, "segment={segment}");
         }
     }
@@ -233,8 +252,14 @@ mod tests {
         // "hers" straddles the 4 KB boundary.
         let mut text = vec![b'x'; 8192];
         text[4094..4098].copy_from_slice(b"hers");
-        let r =
-            run_streamed(&m, &text, Approach::SharedDiagonal, 4096, &PcieConfig::gen2_x16()).unwrap();
+        let r = run_streamed(
+            &m,
+            &text,
+            Approach::SharedDiagonal,
+            4096,
+            &PcieConfig::gen2_x16(),
+        )
+        .unwrap();
         // hers contains he+hers... "hers" at 4094: matches he(4094..4096), hers(4094..4098).
         assert_eq!(r.matches.len(), 2);
         assert_eq!(r.segments, 2);
@@ -260,21 +285,34 @@ mod tests {
         // 6 GB at 6 GB/s ≈ 1 s (+10 µs).
         let t = p.copy_seconds(6_000_000_000);
         assert!((t - 1.0).abs() < 1e-3);
-        assert!(PcieConfig { bandwidth_bytes_per_sec: 0.0, latency_sec: 0.0 }.validate().is_err());
+        assert!(PcieConfig {
+            bandwidth_bytes_per_sec: 0.0,
+            latency_sec: 0.0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn supervised_streaming_survives_per_segment_faults() {
         use gpu_sim::FaultPlan;
         let m = matcher();
-        let text: Vec<u8> =
-            b"ushers rush home; his shelf, her shoes ".iter().cycle().take(20_000).copied().collect();
+        let text: Vec<u8> = b"ushers rush home; his shelf, her shoes "
+            .iter()
+            .cycle()
+            .take(20_000)
+            .copied()
+            .collect();
         let mut whole = m.automaton().find_all(&text);
         whole.sort();
         // Fault the first launch of segments 0 and 2 (launch indices
         // advance per attempt: 0 fails, 1 retries seg 0, 2 runs seg 1,
         // 3 fails, 4 retries seg 2, ...).
-        m.set_fault_plan(FaultPlan::none().with_launch_transient(0).with_launch_transient(3));
+        m.set_fault_plan(
+            FaultPlan::none()
+                .with_launch_transient(0)
+                .with_launch_transient(3),
+        );
         let (r, reports) = run_streamed_supervised(
             &m,
             &text,
@@ -293,7 +331,13 @@ mod tests {
     #[test]
     fn zero_segment_rejected() {
         let m = matcher();
-        assert!(run_streamed(&m, b"x", Approach::SharedDiagonal, 0, &PcieConfig::gen2_x16())
-            .is_err());
+        assert!(run_streamed(
+            &m,
+            b"x",
+            Approach::SharedDiagonal,
+            0,
+            &PcieConfig::gen2_x16()
+        )
+        .is_err());
     }
 }

@@ -15,6 +15,7 @@
 use crate::error::{ErrorClass, GpuError};
 use crate::runner::{Approach, GpuAcMatcher, GpuRun, RunOptions};
 use gpu_sim::InjectedFault;
+use trace::{ArgValue, TraceBuffer, TraceConfig, PID_HOST};
 
 /// Retry/watchdog policy.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +28,10 @@ pub struct SuperviseConfig {
     /// Base of the deterministic exponential backoff: retry `k` (1-based)
     /// waits `backoff_base_cycles << (k - 1)` simulated cycles.
     pub backoff_base_cycles: u64,
+    /// Arm trace recording: the successful run's [`GpuRun::trace`] becomes
+    /// a retry-aware timeline (failed-attempt markers, backoff spans, then
+    /// the winning attempt's device trace shifted past the backoff).
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for SuperviseConfig {
@@ -37,6 +42,7 @@ impl Default for SuperviseConfig {
             // kernel in the test corpus, far below a hang's 2⁴⁰ cycles.
             watchdog_cycles: Some(1 << 30),
             backoff_base_cycles: 10_000,
+            trace: None,
         }
     }
 }
@@ -78,27 +84,65 @@ pub fn run_supervised(
 ) -> Result<Supervised, (GpuError, SuperviseReport)> {
     let mut report = SuperviseReport::default();
     let log_before = matcher.fault_log().len();
-    let opts = RunOptions { record: true, watchdog_cycles: cfg.watchdog_cycles };
+    let opts = RunOptions {
+        record: true,
+        watchdog_cycles: cfg.watchdog_cycles,
+        trace: cfg.trace,
+    };
+    // Retry-aware timeline: failed-attempt markers and backoff spans at a
+    // cumulative simulated-time cursor; the winning attempt's own trace is
+    // stitched in shifted past everything that preceded it. (A failed
+    // attempt's device events die with its device — only its outcome is
+    // recorded here.)
+    let mut timeline = cfg.trace.map(TraceBuffer::new);
+    let mut cursor: u64 = 0;
     loop {
         report.attempts += 1;
         match matcher.run_opts(text, approach, opts) {
-            Ok(run) => {
+            Ok(mut run) => {
                 report.faults = matcher.fault_log().split_off(log_before);
+                if let Some(mut tl) = timeline {
+                    if let Some(attempt_trace) = run.trace.take() {
+                        tl.merge_shifted(&attempt_trace, cursor);
+                    }
+                    run.trace = Some(tl);
+                }
                 return Ok(Supervised { run, report });
             }
             Err(err) => {
                 report.attempt_errors.push(err.to_string());
-                let retryable = matches!(
-                    err.class(),
-                    ErrorClass::Transient | ErrorClass::Corrupted
-                );
+                let retryable =
+                    matches!(err.class(), ErrorClass::Transient | ErrorClass::Corrupted);
                 if !retryable || report.retries >= cfg.max_retries {
                     report.faults = matcher.fault_log().split_off(log_before);
                     return Err((err, report));
                 }
                 report.retries += 1;
-                report.backoff_cycles +=
-                    cfg.backoff_base_cycles << (report.retries - 1).min(32);
+                let backoff = cfg.backoff_base_cycles << (report.retries - 1).min(32);
+                report.backoff_cycles += backoff;
+                if let Some(tl) = timeline.as_mut() {
+                    tl.instant(
+                        "attempt-failed",
+                        "supervise",
+                        PID_HOST,
+                        0,
+                        cursor,
+                        vec![
+                            ("attempt".to_string(), ArgValue::U64(report.attempts as u64)),
+                            ("error".to_string(), ArgValue::Str(err.to_string())),
+                        ],
+                    );
+                    tl.span(
+                        "backoff",
+                        "supervise",
+                        PID_HOST,
+                        0,
+                        cursor,
+                        backoff,
+                        Vec::new(),
+                    );
+                }
+                cursor += backoff;
             }
         }
     }
@@ -113,16 +157,15 @@ mod tests {
 
     fn matcher() -> GpuAcMatcher {
         let cfg = GpuConfig::gtx285();
-        let ac =
-            AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
         GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap()
     }
 
     #[test]
     fn clean_run_takes_one_attempt() {
         let m = matcher();
-        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default())
-            .unwrap();
+        let s =
+            run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default()).unwrap();
         assert_eq!(s.report.attempts, 1);
         assert_eq!(s.report.retries, 0);
         assert!(s.report.faults.is_empty());
@@ -133,8 +176,8 @@ mod tests {
     fn transient_launch_fault_is_retried() {
         let m = matcher();
         m.set_fault_plan(FaultPlan::none().with_launch_transient(0));
-        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default())
-            .unwrap();
+        let s =
+            run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default()).unwrap();
         assert_eq!(s.report.attempts, 2);
         assert_eq!(s.report.retries, 1);
         assert_eq!(s.report.faults.len(), 1);
@@ -146,8 +189,8 @@ mod tests {
     fn hang_is_killed_by_watchdog_and_retried() {
         let m = matcher();
         m.set_fault_plan(FaultPlan::none().with_kernel_hang(0));
-        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default())
-            .unwrap();
+        let s =
+            run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default()).unwrap();
         assert_eq!(s.report.attempts, 2);
         assert!(s.report.attempt_errors[0].contains("watchdog"));
         assert_eq!(s.run.matches.len(), 3);
@@ -157,10 +200,33 @@ mod tests {
     fn corrupted_readback_is_discarded_and_retried() {
         let m = matcher();
         m.set_fault_plan(FaultPlan::none().with_readback_flip(0, 77));
-        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default())
-            .unwrap();
+        let s =
+            run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default()).unwrap();
         assert_eq!(s.report.attempts, 2);
         assert!(s.report.attempt_errors[0].contains("corrupted readback"));
+        assert_eq!(s.run.matches.len(), 3);
+    }
+
+    #[test]
+    fn traced_supervision_stitches_retry_timeline() {
+        let m = matcher();
+        m.set_fault_plan(FaultPlan::none().with_launch_transient(0));
+        let cfg = SuperviseConfig {
+            trace: Some(TraceConfig::default()),
+            ..Default::default()
+        };
+        let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &cfg).unwrap();
+        assert_eq!(s.report.retries, 1);
+        let tb = s.run.trace.expect("trace requested");
+        let names: Vec<&str> = tb.events().iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"attempt-failed"));
+        assert!(names.contains(&"backoff"));
+        assert!(names.contains(&"kernel"));
+        // The winning attempt's kernel span starts after the backoff.
+        let backoff = tb.events().iter().find(|e| e.name == "backoff").unwrap();
+        let kernel = tb.events().iter().find(|e| e.name == "kernel").unwrap();
+        assert_eq!(kernel.ts, backoff.ts + backoff.dur);
+        // Matches are unaffected by tracing the retries.
         assert_eq!(s.run.matches.len(), 3);
     }
 
@@ -170,7 +236,10 @@ mod tests {
         // Every launch fails transiently: budget of 2 retries → 3 attempts.
         let plan = (0..16).fold(FaultPlan::none(), |p, i| p.with_launch_transient(i));
         m.set_fault_plan(plan);
-        let cfg = SuperviseConfig { max_retries: 2, ..Default::default() };
+        let cfg = SuperviseConfig {
+            max_retries: 2,
+            ..Default::default()
+        };
         let (err, report) =
             run_supervised(&m, b"ushers", Approach::SharedDiagonal, &cfg).unwrap_err();
         assert!(err.is_retryable()); // still transient, just out of budget
@@ -188,8 +257,7 @@ mod tests {
         let ac = AcAutomaton::build(&PatternSet::from_strs(&["he"]).unwrap());
         let m = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
         let (err, report) =
-            run_supervised(&m, b"hehe", Approach::SharedDiagonal, &Default::default())
-                .unwrap_err();
+            run_supervised(&m, b"hehe", Approach::SharedDiagonal, &Default::default()).unwrap_err();
         assert!(!err.is_retryable());
         assert_eq!(report.attempts, 1);
         assert!(err.to_string().contains("out of device memory"));
@@ -200,7 +268,12 @@ mod tests {
         let trace = |seed| {
             let m = matcher();
             m.set_fault_plan(FaultPlan::generate(seed));
-            match run_supervised(&m, b"ushers rush home", Approach::SharedDiagonal, &Default::default()) {
+            match run_supervised(
+                &m,
+                b"ushers rush home",
+                Approach::SharedDiagonal,
+                &Default::default(),
+            ) {
                 Ok(s) => (true, s.report.attempts, s.report.faults, s.run.matches),
                 Err((_, r)) => (false, r.attempts, r.faults, Vec::new()),
             }

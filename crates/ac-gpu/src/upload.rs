@@ -13,8 +13,8 @@
 
 use crate::error::UploadError;
 use ac_core::stt::STT_COLUMNS;
-use ac_core::{AcAutomaton, PfacAutomaton};
 use ac_core::trie::ALPHABET;
+use ac_core::{AcAutomaton, PfacAutomaton};
 use std::sync::Arc;
 
 /// Bit carrying the folded match flag in a transition entry.
@@ -46,7 +46,11 @@ impl DeviceStt {
         let stt = ac.stt();
         let n = stt.state_count();
         if n as u64 >= MATCH_BIT as u64 {
-            return Err(UploadError { states: n, limit: MATCH_BIT as u64 - 1, table: "STT" });
+            return Err(UploadError {
+                states: n,
+                limit: MATCH_BIT as u64 - 1,
+                table: "STT",
+            });
         }
         let mut entries = Vec::with_capacity(n * STT_COLUMNS);
         for s in 0..n as u32 {
@@ -57,7 +61,11 @@ impl DeviceStt {
                 entries.push(t | flag);
             }
         }
-        Ok(DeviceStt { entries: Arc::new(entries), rows: n as u32, cols: STT_COLUMNS as u32 })
+        Ok(DeviceStt {
+            entries: Arc::new(entries),
+            rows: n as u32,
+            cols: STT_COLUMNS as u32,
+        })
     }
 
     /// Size in bytes (what the texture binding charges against device
@@ -85,7 +93,11 @@ impl DevicePfac {
     pub fn from_pfac(pfac: &PfacAutomaton) -> Result<Self, UploadError> {
         let n = pfac.state_count();
         if n as u64 >= PFAC_STOP as u64 {
-            return Err(UploadError { states: n, limit: PFAC_STOP as u64 - 1, table: "PFAC" });
+            return Err(UploadError {
+                states: n,
+                limit: PFAC_STOP as u64 - 1,
+                table: "PFAC",
+            });
         }
         let mut entries = Vec::with_capacity(n * STT_COLUMNS);
         for s in 0..n as u32 {
@@ -95,13 +107,20 @@ impl DevicePfac {
                 entries.push(if t == ac_core::trie::NO_TRANSITION {
                     PFAC_STOP
                 } else {
-                    let flag =
-                        if pfac.terminal(t).is_empty() { 0 } else { MATCH_BIT };
+                    let flag = if pfac.terminal(t).is_empty() {
+                        0
+                    } else {
+                        MATCH_BIT
+                    };
                     t | flag
                 });
             }
         }
-        Ok(DevicePfac { entries: Arc::new(entries), rows: n as u32, cols: STT_COLUMNS as u32 })
+        Ok(DevicePfac {
+            entries: Arc::new(entries),
+            rows: n as u32,
+            cols: STT_COLUMNS as u32,
+        })
     }
 }
 

@@ -11,7 +11,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn dictionaries() -> Vec<(usize, PatternSet)> {
     let w = Workload::prepare(64 * 1024, 7);
-    [100usize, 1_000, 5_000].iter().map(|&n| (n, w.dictionary(n))).collect()
+    [100usize, 1_000, 5_000]
+        .iter()
+        .map(|&n| (n, w.dictionary(n)))
+        .collect()
 }
 
 fn bench_full_build(c: &mut Criterion) {
@@ -27,20 +30,31 @@ fn bench_full_build(c: &mut Criterion) {
 }
 
 fn bench_stages(c: &mut Criterion) {
-    let (_, ps) = dictionaries().into_iter().last().expect("non-empty dictionary list");
+    let (_, ps) = dictionaries()
+        .into_iter()
+        .last()
+        .expect("non-empty dictionary list");
     let trie = Trie::build(&ps);
     let nfa = NfaTables::build(&trie);
     let dfa = Dfa::build(&trie, &nfa);
     let stt = Stt::from_dfa(&dfa);
     let mut g = c.benchmark_group("automaton_stages_5000");
     g.sample_size(10);
-    g.bench_function("trie", |b| b.iter(|| Trie::build(std::hint::black_box(&ps))));
-    g.bench_function("failure_links", |b| b.iter(|| NfaTables::build(std::hint::black_box(&trie))));
+    g.bench_function("trie", |b| {
+        b.iter(|| Trie::build(std::hint::black_box(&ps)))
+    });
+    g.bench_function("failure_links", |b| {
+        b.iter(|| NfaTables::build(std::hint::black_box(&trie)))
+    });
     g.bench_function("dfa", |b| {
         b.iter(|| Dfa::build(std::hint::black_box(&trie), std::hint::black_box(&nfa)))
     });
-    g.bench_function("stt", |b| b.iter(|| Stt::from_dfa(std::hint::black_box(&dfa))));
-    g.bench_function("compress", |b| b.iter(|| CompressedStt::from_stt(std::hint::black_box(&stt))));
+    g.bench_function("stt", |b| {
+        b.iter(|| Stt::from_dfa(std::hint::black_box(&dfa)))
+    });
+    g.bench_function("compress", |b| {
+        b.iter(|| CompressedStt::from_stt(std::hint::black_box(&stt)))
+    });
     g.finish();
 }
 

@@ -12,16 +12,19 @@ fn bench_store_schemes(c: &mut Criterion) {
     let w = Workload::prepare(256 * 1024, 41);
     let text = w.input(256 * 1024);
     let cfg = GpuConfig::gtx285();
-    let matcher =
-        GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), w.automaton(200))
-            .expect("matcher construction succeeds");
+    let matcher = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), w.automaton(200))
+        .expect("matcher construction succeeds");
     // Report simulated cycles once, so bench logs carry the figure-level
     // signal alongside criterion's wall-time measurements of the
     // simulator itself.
-    for approach in
-        [Approach::SharedNaive, Approach::SharedCoalescedOnly, Approach::SharedDiagonal]
-    {
-        let run = matcher.run_counting(text, approach).expect("kernel run succeeds");
+    for approach in [
+        Approach::SharedNaive,
+        Approach::SharedCoalescedOnly,
+        Approach::SharedDiagonal,
+    ] {
+        let run = matcher
+            .run_counting(text, approach)
+            .expect("kernel run succeeds");
         eprintln!(
             "[bank_conflicts] {:>22}: {:>10} simulated cycles, {:>8} conflicted accesses",
             approach.label(),
@@ -32,9 +35,11 @@ fn bench_store_schemes(c: &mut Criterion) {
     let mut g = c.benchmark_group("store_scheme_simulation_256KB");
     g.sample_size(10);
     g.throughput(Throughput::Bytes(text.len() as u64));
-    for approach in
-        [Approach::SharedNaive, Approach::SharedCoalescedOnly, Approach::SharedDiagonal]
-    {
+    for approach in [
+        Approach::SharedNaive,
+        Approach::SharedCoalescedOnly,
+        Approach::SharedDiagonal,
+    ] {
         g.bench_with_input(
             BenchmarkId::new("variant", approach.label()),
             &approach,

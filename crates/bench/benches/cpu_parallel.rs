@@ -13,7 +13,10 @@ fn bench_parallel_matching(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(text.len() as u64));
     for threads in [1usize, 2, 4] {
-        let cfg = ParallelConfig { threads, chunk_size: 64 * 1024 };
+        let cfg = ParallelConfig {
+            threads,
+            chunk_size: 64 * 1024,
+        };
         g.bench_with_input(BenchmarkId::new("threads", threads), &cfg, |b, cfg| {
             b.iter(|| {
                 par_find_all(std::hint::black_box(&ac), std::hint::black_box(text), cfg)
@@ -32,7 +35,10 @@ fn bench_chunk_size_sweep(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(text.len() as u64));
     for chunk_kb in [4usize, 64, 256] {
-        let cfg = ParallelConfig { threads: 2, chunk_size: chunk_kb * 1024 };
+        let cfg = ParallelConfig {
+            threads: 2,
+            chunk_size: chunk_kb * 1024,
+        };
         g.bench_with_input(BenchmarkId::new("chunk_kb", chunk_kb), &cfg, |b, cfg| {
             b.iter(|| {
                 par_find_all(std::hint::black_box(&ac), std::hint::black_box(text), cfg)
@@ -63,5 +69,10 @@ fn bench_interleaved_ways(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parallel_matching, bench_chunk_size_sweep, bench_interleaved_ways);
+criterion_group!(
+    benches,
+    bench_parallel_matching,
+    bench_chunk_size_sweep,
+    bench_interleaved_ways
+);
 criterion_main!(benches);

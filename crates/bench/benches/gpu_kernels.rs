@@ -15,8 +15,14 @@ fn bench_approaches(c: &mut Criterion) {
     for patterns in [100usize, 1_000] {
         let matcher = GpuAcMatcher::new(cfg, params, w.automaton(patterns))
             .expect("matcher construction succeeds");
-        for approach in [Approach::GlobalOnly, Approach::SharedDiagonal, Approach::Pfac] {
-            let run = matcher.run_counting(text, approach).expect("kernel run succeeds");
+        for approach in [
+            Approach::GlobalOnly,
+            Approach::SharedDiagonal,
+            Approach::Pfac,
+        ] {
+            let run = matcher
+                .run_counting(text, approach)
+                .expect("kernel run succeeds");
             eprintln!(
                 "[gpu_kernels] {:>15} @ {patterns:>5} patterns: {:8.2} simulated Gbps \
                  ({} cycles, tex hit {:.3})",

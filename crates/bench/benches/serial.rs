@@ -1,7 +1,7 @@
 //! Real (wall-clock) serial matching throughput — the measured counterpart
 //! of the modelled Fig. 13/16 baseline, on this host's CPU.
 
-use ac_core::{matcher, CompressedStt, DoubleArray, NfaMatcher, Trie, NfaTables, Dfa};
+use ac_core::{matcher, CompressedStt, Dfa, DoubleArray, NfaMatcher, NfaTables, Trie};
 use bench::workload::Workload;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -77,5 +77,9 @@ fn bench_dense_vs_compressed_walk(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_serial_matching, bench_dense_vs_compressed_walk);
+criterion_group!(
+    benches,
+    bench_serial_matching,
+    bench_dense_vs_compressed_walk
+);
 criterion_main!(benches);

@@ -108,6 +108,8 @@ fn approaches_for(ids: &BTreeSet<String>) -> Vec<&'static str> {
 struct Args {
     targets: BTreeSet<String>,
     grid: ExperimentGrid,
+    /// Grid label, naming the `BENCH_<name>.json` perf report.
+    grid_name: &'static str,
     out_dir: PathBuf,
     verbose: bool,
     /// `summary` mode: read figures.json from this directory and print
@@ -118,6 +120,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut targets = BTreeSet::new();
     let mut grid = scaled_grid();
+    let mut grid_name = "scaled";
     let mut out_dir = PathBuf::from("results");
     let mut verbose = false;
     let mut summary_in: Option<PathBuf> = None;
@@ -127,15 +130,23 @@ fn parse_args() -> Result<Args, String> {
             "summary" => summary_in = Some(PathBuf::from("results/full")),
             "--in" => {
                 summary_in = Some(PathBuf::from(
-                    args.next().ok_or_else(|| "--in needs a directory".to_string())?,
+                    args.next()
+                        .ok_or_else(|| "--in needs a directory".to_string())?,
                 ));
             }
-            "--full" => grid = paper_grid(),
-            "--quick" => grid = smoke_grid(),
+            "--full" => {
+                grid = paper_grid();
+                grid_name = "full";
+            }
+            "--quick" => {
+                grid = smoke_grid();
+                grid_name = "smoke";
+            }
             "--verbose" => verbose = true,
             "--out" => {
                 out_dir = PathBuf::from(
-                    args.next().ok_or_else(|| "--out needs a directory".to_string())?,
+                    args.next()
+                        .ok_or_else(|| "--out needs a directory".to_string())?,
                 );
             }
             "all" => {
@@ -172,10 +183,17 @@ fn parse_args() -> Result<Args, String> {
             targets.insert(id.to_string());
         }
     }
-    Ok(Args { targets, grid, out_dir, verbose, summary_in })
+    Ok(Args {
+        targets,
+        grid,
+        grid_name,
+        out_dir,
+        verbose,
+        summary_in,
+    })
 }
 
-fn write_outputs(out_dir: &Path, set: &FigureSet, measurements: &Measurements) {
+fn write_outputs(out_dir: &Path, name: &str, set: &FigureSet, measurements: &Measurements) {
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("warning: cannot create {}: {e}", out_dir.display());
         return;
@@ -198,11 +216,20 @@ fn write_outputs(out_dir: &Path, set: &FigureSet, measurements: &Measurements) {
     if let Ok(json) = serde_json::to_string_pretty(measurements) {
         let _ = std::fs::write(out_dir.join("measurements.json"), json);
     }
+    let report = bench::BenchReport::from_measurements(name, measurements);
+    match report.write_to(out_dir) {
+        Ok(p) => eprintln!("perf report: {}", p.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", report.file_name()),
+    }
 }
 
 fn run_figures(args: &Args) -> Result<(FigureSet, Measurements), String> {
-    let fig_ids: BTreeSet<String> =
-        args.targets.iter().filter(|t| t.starts_with("fig")).cloned().collect();
+    let fig_ids: BTreeSet<String> = args
+        .targets
+        .iter()
+        .filter(|t| t.starts_with("fig"))
+        .cloned()
+        .collect();
     let mut set = FigureSet::default();
     let mut all_measurements = Measurements::default();
     if fig_ids.is_empty() {
@@ -213,7 +240,11 @@ fn run_figures(args: &Args) -> Result<(FigureSet, Measurements), String> {
         "running {} approaches over {} grid points (sizes {:?}, patterns {:?})",
         approaches.len(),
         args.grid.len(),
-        args.grid.sizes.iter().map(|s| bench::figures::human_bytes(*s)).collect::<Vec<_>>(),
+        args.grid
+            .sizes
+            .iter()
+            .map(|s| bench::figures::human_bytes(*s))
+            .collect::<Vec<_>>(),
         args.grid.pattern_counts,
     );
     let mut cfg = EngineConfig::new(args.grid.clone());
@@ -348,7 +379,9 @@ fn run_ablations(args: &Args) -> Result<(FigureSet, Measurements), String> {
                 .pattern_counts
                 .iter()
                 .map(|&p| {
-                    m.get("shared-diagonal", 1024 * 1024, p).map(|r| r.gbps).unwrap_or(f64::NAN)
+                    m.get("shared-diagonal", 1024 * 1024, p)
+                        .map(|r| r.gbps)
+                        .unwrap_or(f64::NAN)
                 })
                 .collect();
             fig.values.push(row);
@@ -384,7 +417,9 @@ fn run_ablations(args: &Args) -> Result<(FigureSet, Measurements), String> {
                 .pattern_counts
                 .iter()
                 .map(|&p| {
-                    m.get("shared-diagonal", 1024 * 1024, p).map(|r| r.gbps).unwrap_or(f64::NAN)
+                    m.get("shared-diagonal", 1024 * 1024, p)
+                        .map(|r| r.gbps)
+                        .unwrap_or(f64::NAN)
                 })
                 .collect();
             fig.values.push(row);
@@ -399,8 +434,7 @@ fn run_ablations(args: &Args) -> Result<(FigureSet, Measurements), String> {
         // best multithreaded baseline).
         let mut fig = Figure {
             id: "ablation-multicore".into(),
-            title: "Speedup of shared-diagonal GPU kernel over a modelled 4-core CPU (1 MB)"
-                .into(),
+            title: "Speedup of shared-diagonal GPU kernel over a modelled 4-core CPU (1 MB)".into(),
             paper_reference: "related work (Zha & Sahni): GPU 2.4-3.2x over best multithreaded"
                 .into(),
             metric: Metric::Speedup,
@@ -425,11 +459,8 @@ fn run_ablations(args: &Args) -> Result<(FigureSet, Measurements), String> {
                 4,
                 ac.required_overlap(),
             );
-            let matcher = ac_gpu::GpuAcMatcher::new(
-                engine.config().gpu,
-                engine.config().params,
-                ac,
-            )?;
+            let matcher =
+                ac_gpu::GpuAcMatcher::new(engine.config().gpu, engine.config().params, ac)?;
             let gpu = matcher.run_counting(text, ac_gpu::Approach::SharedDiagonal)?;
             row.push(quad.seconds(&engine.config().cpu) / gpu.seconds());
         }
@@ -496,7 +527,10 @@ fn run_ablations(args: &Args) -> Result<(FigureSet, Measurements), String> {
             pattern_counts: grid.pattern_counts.clone(),
             values: Vec::new(),
         };
-        for device in [gpu_sim::GpuConfig::gtx285(), gpu_sim::GpuConfig::fermi_c2050()] {
+        for device in [
+            gpu_sim::GpuConfig::gtx285(),
+            gpu_sim::GpuConfig::fermi_c2050(),
+        ] {
             let mut cfg = EngineConfig::new(ExperimentGrid {
                 sizes: vec![1024 * 1024],
                 pattern_counts: grid.pattern_counts.clone(),
@@ -510,7 +544,9 @@ fn run_ablations(args: &Args) -> Result<(FigureSet, Measurements), String> {
                 .pattern_counts
                 .iter()
                 .map(|&p| {
-                    m.get("shared-diagonal", 1024 * 1024, p).map(|r| r.gbps).unwrap_or(f64::NAN)
+                    m.get("shared-diagonal", 1024 * 1024, p)
+                        .map(|r| r.gbps)
+                        .unwrap_or(f64::NAN)
                 })
                 .collect();
             fig.values.push(row);
@@ -548,7 +584,9 @@ fn main() {
         };
         let verdicts = bench::verdict::evaluate(&set);
         print!("{}", bench::verdict::render(&verdicts));
-        let failed = verdicts.iter().any(|v| v.outcome == bench::verdict::Outcome::Fail);
+        let failed = verdicts
+            .iter()
+            .any(|v| v.outcome == bench::verdict::Outcome::Fail);
         std::process::exit(if failed { 1 } else { 0 });
     }
     let started = std::time::Instant::now();
@@ -579,7 +617,7 @@ fn main() {
     for f in &set.figures {
         println!("{}", f.render());
     }
-    write_outputs(&args.out_dir, &set, &measurements);
+    write_outputs(&args.out_dir, args.grid_name, &set, &measurements);
     eprintln!(
         "done: {} figure(s) in {:.1}s; CSV/JSON in {}",
         set.figures.len(),

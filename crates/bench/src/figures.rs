@@ -75,7 +75,12 @@ impl Figure {
         }
         let (lo, hi) = self.range();
         let _ = match self.metric {
-            Metric::Seconds => writeln!(s, "  measured range: {} – {}", format_seconds(lo), format_seconds(hi)),
+            Metric::Seconds => writeln!(
+                s,
+                "  measured range: {} – {}",
+                format_seconds(lo),
+                format_seconds(hi)
+            ),
             Metric::Gbps => writeln!(s, "  measured range: {lo:.2} – {hi:.2} Gb/s"),
             Metric::Speedup => writeln!(s, "  measured range: {lo:.1}x – {hi:.1}x"),
         };
@@ -204,6 +209,8 @@ mod tests {
                 shared_conflicts: 0,
                 coalescing_ratio: 1.0,
                 match_events: 0,
+                idle_cycles: 0,
+                stalls: Default::default(),
             });
         }
         m

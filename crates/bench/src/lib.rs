@@ -21,10 +21,12 @@
 
 pub mod figures;
 pub mod measure;
+pub mod report;
 pub mod verdict;
 pub mod workload;
 
 pub use figures::{Figure, FigureSet};
 pub use measure::{Engine, EngineConfig, Measurement, Measurements};
+pub use report::{BenchReport, BenchRow};
 pub use verdict::{evaluate, render, Outcome, Verdict};
 pub use workload::Workload;

@@ -32,6 +32,12 @@ pub struct Measurement {
     pub coalescing_ratio: f64,
     /// Matching positions observed.
     pub match_events: u64,
+    /// SM-cycles with no warp ready to issue (GPU only).
+    #[serde(default)]
+    pub idle_cycles: u64,
+    /// Attribution of `idle_cycles` by stall reason (GPU only).
+    #[serde(default)]
+    pub stalls: trace::StallBreakdown,
 }
 
 /// The full record set of one engine run.
@@ -139,10 +145,15 @@ impl Engine {
         for &patterns in &self.cfg.grid.pattern_counts {
             self.progress(&format!("building automaton for {patterns} patterns"));
             let ac = self.workload.automaton(patterns);
-            let gpu_needed =
-                approaches.iter().any(|a| *a != "serial" && *a != "multicore");
+            let gpu_needed = approaches
+                .iter()
+                .any(|a| *a != "serial" && *a != "multicore");
             let matcher = if gpu_needed {
-                Some(GpuAcMatcher::new(self.cfg.gpu, self.cfg.params, ac.clone())?)
+                Some(GpuAcMatcher::new(
+                    self.cfg.gpu,
+                    self.cfg.params,
+                    ac.clone(),
+                )?)
             } else {
                 None
             };
@@ -158,7 +169,9 @@ impl Engine {
                         let approach = approach_from_label(label)
                             .ok_or_else(|| format!("unknown approach '{label}'"))?;
                         self.measure_gpu(
-                            matcher.as_ref().expect("matcher built when GPU approaches present"),
+                            matcher
+                                .as_ref()
+                                .expect("matcher built when GPU approaches present"),
                             text,
                             patterns,
                             approach,
@@ -190,6 +203,8 @@ impl Engine {
             shared_conflicts: 0,
             coalescing_ratio: 1.0,
             match_events: report.match_states,
+            idle_cycles: 0,
+            stalls: trace::StallBreakdown::default(),
         }
     }
 
@@ -210,14 +225,12 @@ impl Engine {
             seconds: report.seconds(&self.cfg.cpu),
             gbps: report.gbps(&self.cfg.cpu),
             cycles: report.cycles,
-            cache_hit_rate: report
-                .cores
-                .first()
-                .map(|r| r.l2.hit_rate())
-                .unwrap_or(1.0),
+            cache_hit_rate: report.cores.first().map(|r| r.l2.hit_rate()).unwrap_or(1.0),
             shared_conflicts: 0,
             coalescing_ratio: 1.0,
             match_events: report.cores.iter().map(|r| r.match_states).sum(),
+            idle_cycles: 0,
+            stalls: trace::StallBreakdown::default(),
         }
     }
 
@@ -242,6 +255,8 @@ impl Engine {
             shared_conflicts: run.stats.totals.shared_conflicts,
             coalescing_ratio: run.stats.totals.coalescing_ratio(),
             match_events: run.match_events,
+            idle_cycles: run.stats.totals.idle_cycles,
+            stalls: run.stats.totals.stalls,
         })
     }
 }
@@ -257,7 +272,10 @@ mod tests {
     use corpus::ExperimentGrid;
 
     fn tiny_engine() -> Engine {
-        let grid = ExperimentGrid { sizes: vec![8 * 1024, 32 * 1024], pattern_counts: vec![20] };
+        let grid = ExperimentGrid {
+            sizes: vec![8 * 1024, 32 * 1024],
+            pattern_counts: vec![20],
+        };
         Engine::new(EngineConfig::new(grid))
     }
 
@@ -270,7 +288,11 @@ mod tests {
         assert!(s.seconds > 0.0);
         let g = m.get("shared-diagonal", 32 * 1024, 20).unwrap();
         assert!(g.gbps > 0.0);
-        assert!(m.speedup("serial", "shared-diagonal", 8 * 1024, 20).unwrap() > 0.0);
+        assert!(
+            m.speedup("serial", "shared-diagonal", 8 * 1024, 20)
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]

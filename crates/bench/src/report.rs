@@ -1,0 +1,136 @@
+//! Machine-readable `BENCH_<name>.json` reports.
+//!
+//! Each report flattens one measurement run into a stable, diffable JSON
+//! document — throughput, cycles, and the stall-reason breakdown per grid
+//! point. Every value is derived from the *simulated* clock, so a report
+//! regenerated from the same source tree is byte-identical: committing
+//! one per benchmark makes the perf trajectory reviewable across PRs.
+
+use crate::measure::Measurements;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+use trace::StallBreakdown;
+
+/// One grid point of a bench report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Approach label (`serial`, `shared-diagonal`, …).
+    pub approach: String,
+    /// Input size in bytes.
+    pub size: usize,
+    /// Dictionary size.
+    pub patterns: usize,
+    /// Simulated throughput in Gbit/s.
+    pub gbps: f64,
+    /// Device (or modelled CPU) cycles.
+    pub cycles: u64,
+    /// SM-cycles with no warp ready (GPU approaches).
+    #[serde(default)]
+    pub idle_cycles: u64,
+    /// Stall-reason attribution of `idle_cycles`.
+    #[serde(default)]
+    pub stalls: StallBreakdown,
+}
+
+/// A named, diffable perf report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report name; the file is `BENCH_<name>.json`.
+    pub name: String,
+    /// One row per measured grid point.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Flatten a measurement run into a report.
+    pub fn from_measurements(name: &str, m: &Measurements) -> Self {
+        let rows = m
+            .rows
+            .iter()
+            .map(|r| BenchRow {
+                approach: r.approach.clone(),
+                size: r.size,
+                patterns: r.patterns,
+                gbps: r.gbps,
+                cycles: r.cycles,
+                idle_cycles: r.idle_cycles,
+                stalls: r.stalls,
+            })
+            .collect();
+        BenchReport {
+            name: name.to_string(),
+            rows,
+        }
+    }
+
+    /// The canonical file name, `BENCH_<name>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Pretty JSON for committing alongside the code.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Parse a previously written report.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Write `BENCH_<name>.json` into `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{Engine, EngineConfig};
+    use corpus::ExperimentGrid;
+
+    fn measurements() -> Measurements {
+        let grid = ExperimentGrid {
+            sizes: vec![16 * 1024],
+            pattern_counts: vec![20],
+        };
+        Engine::new(EngineConfig::new(grid))
+            .run(&["serial", "shared-diagonal"])
+            .unwrap()
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport::from_measurements("smoke", &measurements());
+        assert_eq!(report.file_name(), "BENCH_smoke.json");
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn gpu_rows_carry_stall_breakdowns() {
+        let report = BenchReport::from_measurements("smoke", &measurements());
+        let gpu = report
+            .rows
+            .iter()
+            .find(|r| r.approach == "shared-diagonal")
+            .unwrap();
+        assert!(gpu.gbps > 0.0);
+        assert!(gpu.cycles > 0);
+        // Stall attribution accounts for every idle cycle.
+        assert_eq!(gpu.stalls.total(), gpu.idle_cycles);
+        let serial = report.rows.iter().find(|r| r.approach == "serial").unwrap();
+        assert_eq!(serial.idle_cycles, 0);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = BenchReport::from_measurements("smoke", &measurements()).to_json();
+        let b = BenchReport::from_measurements("smoke", &measurements()).to_json();
+        assert_eq!(a, b);
+    }
+}

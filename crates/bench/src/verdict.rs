@@ -67,7 +67,11 @@ pub fn evaluate(set: &FigureSet) -> Vec<Verdict> {
                 paper: "127 Gbps at 200MB/100 patterns".into(),
                 measured: format!(
                     "{hi:.1} Gbps at largest-input/100-patterns corner ({})",
-                    if corner_is_max { "same argmax" } else { "different argmax" }
+                    if corner_is_max {
+                        "same argmax"
+                    } else {
+                        "different argmax"
+                    }
                 ),
                 outcome: if corner_is_max && (0.5..=2.0).contains(&ratio) {
                     Outcome::Pass
@@ -82,16 +86,44 @@ pub fn evaluate(set: &FigureSet) -> Vec<Verdict> {
 
     // Claim 2: shared-vs-serial speedup band 36.1–222.0, max at the
     // most-patterns column.
-    out.push(band_claim(set, "fig21", "speedup-shared-vs-serial", 36.1, 222.0, true));
+    out.push(band_claim(
+        set,
+        "fig21",
+        "speedup-shared-vs-serial",
+        36.1,
+        222.0,
+        true,
+    ));
 
     // Claim 3: global-vs-serial 3.3–13.2.
-    out.push(band_claim(set, "fig20", "speedup-global-vs-serial", 3.3, 13.2, false));
+    out.push(band_claim(
+        set,
+        "fig20",
+        "speedup-global-vs-serial",
+        3.3,
+        13.2,
+        false,
+    ));
 
     // Claim 4: shared-vs-global 7.3–19.3.
-    out.push(band_claim(set, "fig22", "speedup-shared-vs-global", 7.3, 19.3, false));
+    out.push(band_claim(
+        set,
+        "fig22",
+        "speedup-shared-vs-global",
+        7.3,
+        19.3,
+        false,
+    ));
 
     // Claim 5: bank-conflict scheme 1.5–5.3.
-    out.push(band_claim(set, "fig23", "bank-conflict-scheme", 1.5, 5.3, false));
+    out.push(band_claim(
+        set,
+        "fig23",
+        "bank-conflict-scheme",
+        1.5,
+        5.3,
+        false,
+    ));
 
     // Claim 6: ordering — at every grid point shared is faster than
     // global-only (fig22 cells all > 1).
@@ -107,7 +139,11 @@ pub fn evaluate(set: &FigureSet) -> Vec<Verdict> {
                 } else {
                     "some cells ≤ 1.0x".into()
                 },
-                outcome: if all_above_one { Outcome::Pass } else { Outcome::Fail },
+                outcome: if all_above_one {
+                    Outcome::Pass
+                } else {
+                    Outcome::Fail
+                },
             }
         }
     });
@@ -117,13 +153,23 @@ pub fn evaluate(set: &FigureSet) -> Vec<Verdict> {
     out.push(match set.get("fig18") {
         None => missing("trend-patterns", "throughput decreases with pattern count"),
         Some(f) => {
-            let monotone =
-                f.values.iter().all(|row| row.windows(2).all(|w| w[1] <= w[0] * 1.02));
+            let monotone = f
+                .values
+                .iter()
+                .all(|row| row.windows(2).all(|w| w[1] <= w[0] * 1.02));
             Verdict {
                 claim: "trend-patterns".into(),
                 paper: "throughput decreases with the number of patterns".into(),
-                measured: if monotone { "non-increasing along every row".into() } else { "violated".into() },
-                outcome: if monotone { Outcome::Pass } else { Outcome::Fail },
+                measured: if monotone {
+                    "non-increasing along every row".into()
+                } else {
+                    "violated".into()
+                },
+                outcome: if monotone {
+                    Outcome::Pass
+                } else {
+                    Outcome::Fail
+                },
             }
         }
     });
@@ -178,7 +224,11 @@ fn band_claim(
         measured: format!(
             "{mlo:.1}-{mhi:.1}x{}",
             if require_argmax_last_col {
-                if argmax_ok { ", max at most patterns (as paper)" } else { ", max elsewhere" }
+                if argmax_ok {
+                    ", max at most patterns (as paper)"
+                } else {
+                    ", max elsewhere"
+                }
             } else {
                 ""
             }
@@ -235,11 +285,31 @@ mod tests {
     fn good_set() -> FigureSet {
         FigureSet {
             figures: vec![
-                fig("fig18", Metric::Gbps, vec![vec![50.0, 30.0], vec![119.0, 44.0]]),
-                fig("fig21", Metric::Speedup, vec![vec![40.0, 60.0], vec![60.0, 134.0]]),
-                fig("fig20", Metric::Speedup, vec![vec![4.0, 8.0], vec![6.0, 12.0]]),
-                fig("fig22", Metric::Speedup, vec![vec![12.0, 9.0], vec![10.0, 8.0]]),
-                fig("fig23", Metric::Speedup, vec![vec![1.6, 1.5], vec![2.0, 1.8]]),
+                fig(
+                    "fig18",
+                    Metric::Gbps,
+                    vec![vec![50.0, 30.0], vec![119.0, 44.0]],
+                ),
+                fig(
+                    "fig21",
+                    Metric::Speedup,
+                    vec![vec![40.0, 60.0], vec![60.0, 134.0]],
+                ),
+                fig(
+                    "fig20",
+                    Metric::Speedup,
+                    vec![vec![4.0, 8.0], vec![6.0, 12.0]],
+                ),
+                fig(
+                    "fig22",
+                    Metric::Speedup,
+                    vec![vec![12.0, 9.0], vec![10.0, 8.0]],
+                ),
+                fig(
+                    "fig23",
+                    Metric::Speedup,
+                    vec![vec![1.6, 1.5], vec![2.0, 1.8]],
+                ),
             ],
         }
     }
@@ -272,7 +342,10 @@ mod tests {
         // fig20 values far above the paper band and outside containment.
         set.figures[2] = fig("fig20", Metric::Speedup, vec![vec![100.0, 200.0]]);
         let v = evaluate(&set);
-        let fig20 = v.iter().find(|x| x.claim == "speedup-global-vs-serial").unwrap();
+        let fig20 = v
+            .iter()
+            .find(|x| x.claim == "speedup-global-vs-serial")
+            .unwrap();
         assert_eq!(fig20.outcome, Outcome::Fail);
     }
 
@@ -281,7 +354,10 @@ mod tests {
         let mut set = good_set();
         set.figures[2] = fig("fig20", Metric::Speedup, vec![vec![10.0, 40.0]]);
         let v = evaluate(&set);
-        let fig20 = v.iter().find(|x| x.claim == "speedup-global-vs-serial").unwrap();
+        let fig20 = v
+            .iter()
+            .find(|x| x.claim == "speedup-global-vs-serial")
+            .unwrap();
         assert_eq!(fig20.outcome, Outcome::Partial);
     }
 
@@ -290,7 +366,10 @@ mod tests {
         let mut set = good_set();
         set.figures[3] = fig("fig22", Metric::Speedup, vec![vec![0.9, 2.0]]);
         let v = evaluate(&set);
-        let ord = v.iter().find(|x| x.claim == "ordering-shared-beats-global").unwrap();
+        let ord = v
+            .iter()
+            .find(|x| x.claim == "ordering-shared-beats-global")
+            .unwrap();
         assert_eq!(ord.outcome, Outcome::Fail);
     }
 

@@ -26,7 +26,11 @@ impl Workload {
             // Enough prose to extract 20 000 distinct patterns comfortably.
             4 * 1024 * 1024,
         );
-        Workload { text, pattern_source, seed }
+        Workload {
+            text,
+            pattern_source,
+            seed,
+        }
     }
 
     /// The first `bytes` of the corpus.
@@ -34,7 +38,11 @@ impl Workload {
     /// # Panics
     /// Panics if `bytes` exceeds the prepared size.
     pub fn input(&self, bytes: usize) -> &[u8] {
-        assert!(bytes <= self.text.len(), "workload prepared with only {} bytes", self.text.len());
+        assert!(
+            bytes <= self.text.len(),
+            "workload prepared with only {} bytes",
+            self.text.len()
+        );
         &self.text[..bytes]
     }
 

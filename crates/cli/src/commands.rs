@@ -3,6 +3,8 @@
 use crate::engines::{device, run_engine, run_resilient, EngineReport, ResilientReport};
 use crate::opts::{Command, Engine, Options};
 use ac_core::{analysis, dot, AcAutomaton, NfaTables, PatternSet, Trie};
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams, RunOptions};
+use gpu_sim::{GpuConfig, LaunchStats, TraceBuffer, TraceConfig};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -23,11 +25,16 @@ pub fn run(opts: &Options) -> Result<String, String> {
                 let trie = Trie::build(&patterns);
                 let profile = analysis::profile_visits(ac.stt(), &trie, &text);
                 let _ = writeln!(out, "\nvisit profile over {} input bytes:", text.len());
-                let _ = writeln!(out, "  distinct states visited: {}", profile.distinct_states);
+                let _ = writeln!(
+                    out,
+                    "  distinct states visited: {}",
+                    profile.distinct_states
+                );
                 let _ = writeln!(out, "  mean visited depth:      {:.2}", profile.mean_depth);
                 for (k, frac) in &profile.concentration {
                     let _ = writeln!(out, "  top-{k:<5} states cover:  {:.1}%", frac * 100.0);
                 }
+                out.push_str(&launch_stats_text(&ac, &text, &device(opts.fermi)));
             }
             Ok(out)
         }
@@ -36,17 +43,50 @@ pub fn run(opts: &Options) -> Result<String, String> {
             let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
             let ac = AcAutomaton::build(&patterns);
             let cfg = device(opts.fermi);
+            let trace_cfg = opts.trace_out.as_ref().map(|_| TraceConfig::default());
             if opts.resilient {
-                let report = run_resilient(&ac, &text, &cfg, opts.fault_seed);
-                return Ok(resilient_text(&report, &ac, opts));
+                let report = run_resilient(&ac, &text, &cfg, opts.fault_seed, trace_cfg);
+                let mut out = resilient_text(&report, &ac, opts);
+                write_exports(
+                    opts,
+                    report.run.trace.as_ref(),
+                    report.run.stats.as_ref(),
+                    &cfg,
+                    text.len() as u64,
+                    &mut out,
+                )?;
+                return Ok(out);
             }
             let name = Engine::all()
                 .iter()
                 .find(|(e, _)| *e == opts.engine)
                 .map(|(_, n)| *n)
                 .expect("engine table is total");
-            let report = run_engine(opts.engine, name, &ac, &text, &cfg, opts.count_only)?;
-            Ok(match_text(&report, &ac, opts))
+            let report = run_engine(
+                opts.engine,
+                name,
+                &ac,
+                &text,
+                &cfg,
+                opts.count_only,
+                trace_cfg,
+            )?;
+            let mut out = match_text(&report, &ac, opts);
+            write_exports(
+                opts,
+                report.trace.as_ref(),
+                report.stats.as_ref(),
+                &cfg,
+                text.len() as u64,
+                &mut out,
+            )?;
+            Ok(out)
+        }
+        Command::Profile => {
+            let input = opts.input.as_ref().expect("validated by the parser");
+            let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
+            let ac = AcAutomaton::build(&patterns);
+            profile_text(&ac, &text, &device(opts.fermi))
         }
         Command::Compare => {
             let input = opts.input.as_ref().expect("validated by the parser");
@@ -63,13 +103,15 @@ pub fn run(opts: &Options) -> Result<String, String> {
                 "-".repeat(72)
             );
             for (e, name) in Engine::all() {
-                let r = run_engine(e, name, &ac, &text, &cfg, false)?;
+                let r = run_engine(e, name, &ac, &text, &cfg, false, None)?;
                 let dev = r
                     .device_seconds
                     .map(|s| format!("{:.3} ms", s * 1e3))
                     .unwrap_or_else(|| "-".into());
-                let gbps =
-                    r.device_gbps.map(|g| format!("{g:.2}")).unwrap_or_else(|| "-".into());
+                let gbps = r
+                    .device_gbps
+                    .map(|g| format!("{g:.2}"))
+                    .unwrap_or_else(|| "-".into());
                 let _ = writeln!(
                     out,
                     "{:>15} | {:>9} | {:>9.1} ms | {:>13} | {:>10}",
@@ -128,12 +170,221 @@ pub fn decode_escapes(s: &str) -> Result<Vec<u8>, String> {
     Ok(out)
 }
 
+/// Write the requested trace/metrics exports, appending a note per file
+/// to `out`. Returns an error only when a write fails; a missing buffer
+/// (e.g. the resilient ladder answered from a CPU rung with no device
+/// stats) is reported in the output instead.
+fn write_exports(
+    opts: &Options,
+    trace: Option<&TraceBuffer>,
+    stats: Option<&LaunchStats>,
+    cfg: &GpuConfig,
+    input_bytes: u64,
+    out: &mut String,
+) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        match trace {
+            Some(tb) => {
+                let json = trace::to_chrome_json(tb, cfg.clock_hz / 1e6);
+                std::fs::write(path, json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                let _ = writeln!(
+                    out,
+                    "trace written: {} ({} events, {} dropped)",
+                    path.display(),
+                    tb.len(),
+                    tb.dropped()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "trace not written: run produced no trace buffer");
+            }
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        match stats {
+            Some(stats) => {
+                let snap = stats.metrics(cfg.clock_hz, input_bytes);
+                let prom = path.extension().and_then(|e| e.to_str()).is_some_and(|e| {
+                    e.eq_ignore_ascii_case("prom") || e.eq_ignore_ascii_case("txt")
+                });
+                let body = if prom {
+                    snap.to_prometheus()
+                } else {
+                    snap.to_json()
+                };
+                std::fs::write(path, body)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                let _ = writeln!(
+                    out,
+                    "metrics written: {} ({} series, {})",
+                    path.display(),
+                    snap.len(),
+                    if prom { "prometheus" } else { "json" }
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "metrics not written: no device stats (answered by a CPU rung)"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Simulate the paper's default kernel over `text` and render the launch
+/// diagnostics: device time, throughput, and the per-SM load-imbalance
+/// spread collected in `LaunchStats::per_sm_cycles`.
+fn launch_stats_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\nsimulated launch (gpu:shared, {} SMs):", cfg.num_sms);
+    let run = GpuAcMatcher::new(*cfg, KernelParams::defaults_for(cfg), ac.clone()).and_then(|m| {
+        m.run_opts(
+            text,
+            Approach::SharedDiagonal,
+            RunOptions {
+                record: false,
+                watchdog_cycles: None,
+                trace: None,
+            },
+        )
+    });
+    match run {
+        Ok(run) => {
+            let stats = &run.stats;
+            let imb = stats.load_imbalance();
+            let _ = writeln!(
+                out,
+                "  device time:    {:.3} ms ({:.2} Gb/s over {} bytes)",
+                run.seconds() * 1e3,
+                run.gbps(),
+                text.len()
+            );
+            let _ = writeln!(
+                out,
+                "  per-SM cycles:  max {} / min {} / mean {:.0}",
+                imb.max, imb.min, imb.mean
+            );
+            let _ = writeln!(
+                out,
+                "  load imbalance: {:.3} (max/mean; 1.0 = balanced)",
+                imb.ratio()
+            );
+            if let Some((reason, cycles)) = stats.totals.stalls.dominant() {
+                let _ = writeln!(
+                    out,
+                    "  dominant stall: {} ({} of {} idle cycles)",
+                    reason.label(),
+                    cycles,
+                    stats.totals.idle_cycles
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  skipped: {e}");
+        }
+    }
+    out
+}
+
+/// The `profile` sweep: run every GPU kernel configuration over `text`
+/// and tabulate cycles, throughput, SM occupancy, and the stall-reason
+/// breakdown, closing with the Fig. 19 narrative for the paper's default
+/// kernel.
+fn profile_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> Result<String, String> {
+    let matcher = GpuAcMatcher::new(*cfg, KernelParams::defaults_for(cfg), ac.clone())
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "profiling {} input bytes on {} SMs @ {:.3} GHz\n\n",
+        text.len(),
+        cfg.num_sms,
+        cfg.clock_hz / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "{:>15} | {:>12} | {:>10} | {:>8} | {:>6} | stall breakdown (% of idle)",
+        "config", "cycles", "device ms", "Gb/s", "busy%"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(100));
+    let mut shared_stats: Option<LaunchStats> = None;
+    for (engine, name) in Engine::all() {
+        let approach = match engine {
+            Engine::GpuGlobal => Approach::GlobalOnly,
+            Engine::GpuShared => Approach::SharedDiagonal,
+            Engine::GpuCompressed => Approach::SharedCompressed,
+            Engine::GpuPfac => Approach::Pfac,
+            Engine::Serial | Engine::Parallel => continue,
+        };
+        let run = matcher
+            .run_opts(
+                text,
+                approach,
+                RunOptions {
+                    record: false,
+                    watchdog_cycles: None,
+                    trace: None,
+                },
+            )
+            .map_err(|e| format!("{name}: {e}"))?;
+        let stats = &run.stats;
+        let sm_cycles: u64 = stats.per_sm.iter().map(|s| s.cycles).sum();
+        let idle = stats.totals.idle_cycles;
+        let busy = if sm_cycles == 0 {
+            100.0
+        } else {
+            100.0 * (1.0 - idle as f64 / sm_cycles as f64)
+        };
+        let mut breakdown: Vec<String> = stats
+            .totals
+            .stalls
+            .entries()
+            .iter()
+            .filter(|&&(_, c)| c > 0)
+            .map(|&(r, c)| {
+                format!(
+                    "{} {:.0}%",
+                    r.label(),
+                    100.0 * c as f64 / idle.max(1) as f64
+                )
+            })
+            .collect();
+        if breakdown.is_empty() {
+            breakdown.push("none".into());
+        }
+        let _ = writeln!(
+            out,
+            "{:>15} | {:>12} | {:>10.3} | {:>8.2} | {:>6.1} | {}",
+            name,
+            stats.cycles,
+            run.seconds() * 1e3,
+            run.gbps(),
+            busy,
+            breakdown.join(", ")
+        );
+        if approach == Approach::SharedDiagonal {
+            shared_stats = Some(run.stats);
+        }
+    }
+    if let Some(stats) = shared_stats {
+        let _ = writeln!(out, "\ngpu:shared latency-hiding detail (paper Fig. 19):");
+        out.push_str(&stats.stall_summary());
+    }
+    Ok(out)
+}
+
 fn stats_text(patterns: &PatternSet, ac: &AcAutomaton) -> String {
     let trie = Trie::build(patterns);
     let s = analysis::analyze_structure(&trie);
     let mut out = String::new();
     let _ = writeln!(out, "patterns:        {}", patterns.len());
-    let _ = writeln!(out, "pattern lengths: {}-{} bytes", patterns.min_len(), patterns.max_len());
+    let _ = writeln!(
+        out,
+        "pattern lengths: {}-{} bytes",
+        patterns.min_len(),
+        patterns.max_len()
+    );
     let _ = writeln!(out, "states:          {}", s.states);
     let _ = writeln!(out, "mean fanout:     {:.2}", s.mean_fanout);
     let _ = writeln!(out, "dense STT:       {} bytes", ac.stt().size_bytes());
@@ -144,7 +395,12 @@ fn stats_text(patterns: &PatternSet, ac: &AcAutomaton) -> String {
 fn resilient_text(report: &ResilientReport, ac: &AcAutomaton, opts: &Options) -> String {
     let run = &report.run;
     let mut out = String::new();
-    let _ = writeln!(out, "{} matches (resilient, answered by {})", run.matches.len(), run.tier.label());
+    let _ = writeln!(
+        out,
+        "{} matches (resilient, answered by {})",
+        run.matches.len(),
+        run.tier.label()
+    );
     if let Some(gpu) = &run.report.gpu {
         let _ = writeln!(
             out,
@@ -174,7 +430,11 @@ fn resilient_text(report: &ResilientReport, ac: &AcAutomaton, opts: &Options) ->
             );
         }
         if run.matches.len() > opts.limit {
-            let _ = writeln!(out, "... {} more (raise --limit)", run.matches.len() - opts.limit);
+            let _ = writeln!(
+                out,
+                "... {} more (raise --limit)",
+                run.matches.len() - opts.limit
+            );
         }
     }
     out
@@ -184,7 +444,11 @@ fn match_text(report: &EngineReport, ac: &AcAutomaton, opts: &Options) -> String
     let mut out = String::new();
     let _ = writeln!(out, "{} matches ({} engine)", report.count, report.engine);
     if let (Some(d), Some(g)) = (report.device_seconds, report.device_gbps) {
-        let _ = writeln!(out, "simulated device time: {:.3} ms ({g:.2} Gb/s)", d * 1e3);
+        let _ = writeln!(
+            out,
+            "simulated device time: {:.3} ms ({g:.2} Gb/s)",
+            d * 1e3
+        );
     }
     if !opts.count_only {
         for m in report.matches.iter().take(opts.limit) {
@@ -197,7 +461,11 @@ fn match_text(report: &EngineReport, ac: &AcAutomaton, opts: &Options) -> String
             );
         }
         if report.matches.len() > opts.limit {
-            let _ = writeln!(out, "... {} more (raise --limit)", report.matches.len() - opts.limit);
+            let _ = writeln!(
+                out,
+                "... {} more (raise --limit)",
+                report.matches.len() - opts.limit
+            );
         }
     }
     out
@@ -248,8 +516,14 @@ mod tests {
         ])
         .unwrap();
         let out = run(&opts).unwrap();
-        for name in ["serial", "parallel", "gpu:shared", "gpu:global", "gpu:compressed", "gpu:pfac"]
-        {
+        for name in [
+            "serial",
+            "parallel",
+            "gpu:shared",
+            "gpu:global",
+            "gpu:compressed",
+            "gpu:pfac",
+        ] {
             assert!(out.contains(name), "missing {name} in\n{out}");
         }
     }
@@ -297,7 +571,10 @@ mod tests {
         ])
         .unwrap();
         let out = run(&opts).unwrap();
-        assert!(out.contains("4 matches (resilient, answered by gpu)"), "{out}");
+        assert!(
+            out.contains("4 matches (resilient, answered by gpu)"),
+            "{out}"
+        );
         // Seeded faults: still 4 matches, and the trace shows what fired.
         let opts = parse([
             "match",
@@ -316,10 +593,105 @@ mod tests {
     }
 
     #[test]
+    fn stats_with_input_reports_launch_diagnostics() {
+        let pats = write_tmp("p7.txt", b"he\nshe\n");
+        let input = write_tmp("i7.txt", b"ushers share shells here");
+        let opts = parse([
+            "stats",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("simulated launch (gpu:shared"), "{out}");
+        assert!(out.contains("Gb/s"), "{out}");
+        assert!(out.contains("per-SM cycles:"), "{out}");
+        assert!(out.contains("load imbalance:"), "{out}");
+    }
+
+    #[test]
+    fn profile_sweeps_gpu_configs_with_stall_breakdowns() {
+        let pats = write_tmp("p8.txt", b"he\nshe\nhers\n");
+        let input = write_tmp("i8.txt", &b"ushers everywhere ".repeat(200));
+        let opts = parse([
+            "profile",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        for name in ["gpu:shared", "gpu:global", "gpu:compressed", "gpu:pfac"] {
+            assert!(out.contains(name), "missing {name} in\n{out}");
+        }
+        assert!(out.contains("stall breakdown"), "{out}");
+        assert!(out.contains("Fig. 19"), "{out}");
+    }
+
+    #[test]
+    fn match_writes_trace_and_metrics_files() {
+        let pats = write_tmp("p9.txt", b"he\nshe\n");
+        let input = write_tmp("i9.txt", &b"ushers everywhere ".repeat(50));
+        let trace_path = write_tmp("t9.json", b"");
+        let metrics_path = write_tmp("m9.prom", b"");
+        let opts = parse([
+            "match",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("trace written:"), "{out}");
+        assert!(out.contains("metrics written:"), "{out}");
+
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        let summary = trace::validate_chrome_json(&json).expect("valid chrome trace");
+        assert!(summary.events > 0);
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(prom.contains("# TYPE acsim_launch_cycles gauge"), "{prom}");
+        assert!(prom.contains("acsim_throughput_gbps"), "{prom}");
+        assert!(prom.contains("acsim_stall_cycles{"), "{prom}");
+    }
+
+    #[test]
+    fn resilient_match_exports_metrics_as_json() {
+        let pats = write_tmp("p10.txt", b"he\nshe\n");
+        let input = write_tmp("i10.txt", b"ushers everywhere");
+        let metrics_path = write_tmp("m10.json", b"");
+        let opts = parse([
+            "match",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--resilient",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("metrics written:"), "{out}");
+        let json = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(json.contains("acsim_launch_cycles"), "{json}");
+    }
+
+    #[test]
     fn escape_decoding() {
         assert_eq!(decode_escapes("ab").unwrap(), b"ab");
         assert_eq!(decode_escapes(r"a\x00b").unwrap(), vec![b'a', 0, b'b']);
-        assert_eq!(decode_escapes(r"\\\t\n").unwrap(), vec![b'\\', b'\t', b'\n']);
+        assert_eq!(
+            decode_escapes(r"\\\t\n").unwrap(),
+            vec![b'\\', b'\t', b'\n']
+        );
         assert!(decode_escapes(r"\q").is_err());
         assert!(decode_escapes(r"\x9").is_err());
         assert!(decode_escapes("trailing\\").is_err());

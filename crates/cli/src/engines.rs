@@ -4,8 +4,8 @@
 use crate::opts::Engine;
 use ac_core::{AcAutomaton, Match};
 use ac_cpu::ParallelConfig;
-use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
-use gpu_sim::{FaultPlan, GpuConfig};
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams, RunOptions, SuperviseConfig};
+use gpu_sim::{FaultPlan, GpuConfig, LaunchStats, TraceBuffer, TraceConfig};
 use integration::{ResilientConfig, ResilientMatcher, ResilientRun};
 use std::time::Instant;
 
@@ -25,6 +25,10 @@ pub struct EngineReport {
     pub device_seconds: Option<f64>,
     /// Simulated device throughput in Gbit/s (GPU engines only).
     pub device_gbps: Option<f64>,
+    /// Full launch statistics (GPU engines only).
+    pub stats: Option<LaunchStats>,
+    /// Recorded trace when one was requested (GPU engines only).
+    pub trace: Option<TraceBuffer>,
 }
 
 /// The device preset to simulate.
@@ -46,7 +50,8 @@ fn gpu_approach(e: Engine) -> Option<Approach> {
     }
 }
 
-/// Execute `engine` over `text`.
+/// Execute `engine` over `text`. `trace` arms the cycle-stamped recorder
+/// for GPU engines (ignored by CPU engines, which have no device).
 pub fn run_engine(
     engine: Engine,
     name: &'static str,
@@ -54,6 +59,7 @@ pub fn run_engine(
     text: &[u8],
     cfg: &GpuConfig,
     count_only: bool,
+    trace: Option<TraceConfig>,
 ) -> Result<EngineReport, String> {
     let started = Instant::now();
     match engine {
@@ -73,12 +79,13 @@ pub fn run_engine(
                 host_seconds: started.elapsed().as_secs_f64(),
                 device_seconds: None,
                 device_gbps: None,
+                stats: None,
+                trace: None,
             })
         }
         Engine::Parallel => {
-            let matches =
-                ac_cpu::par_find_all(ac, text, &ParallelConfig::default_for_host())
-                    .map_err(|e| e.to_string())?;
+            let matches = ac_cpu::par_find_all(ac, text, &ParallelConfig::default_for_host())
+                .map_err(|e| e.to_string())?;
             let count = matches.len() as u64;
             Ok(EngineReport {
                 engine: name,
@@ -87,27 +94,38 @@ pub fn run_engine(
                 host_seconds: started.elapsed().as_secs_f64(),
                 device_seconds: None,
                 device_gbps: None,
+                stats: None,
+                trace: None,
             })
         }
         _ => {
             let approach = gpu_approach(engine).expect("non-CPU engine maps to an approach");
             let matcher = GpuAcMatcher::new(*cfg, KernelParams::defaults_for(cfg), ac.clone())?;
-            let run = if count_only {
-                matcher.run_counting(text, approach)?
+            let mut run = matcher.run_opts(
+                text,
+                approach,
+                RunOptions {
+                    record: !count_only,
+                    watchdog_cycles: None,
+                    trace,
+                },
+            )?;
+            let count = if count_only {
+                run.match_events
             } else {
-                matcher.run(text, approach)?
+                run.matches.len() as u64
             };
-            let count =
-                if count_only { run.match_events } else { run.matches.len() as u64 };
             let device_seconds = Some(run.seconds());
             let device_gbps = Some(run.gbps());
             Ok(EngineReport {
                 engine: name,
-                matches: run.matches,
+                matches: std::mem::take(&mut run.matches),
                 count,
                 host_seconds: started.elapsed().as_secs_f64(),
                 device_seconds,
                 device_gbps,
+                stats: Some(run.stats),
+                trace: run.trace,
             })
         }
     }
@@ -123,25 +141,36 @@ pub struct ResilientReport {
 }
 
 /// Execute the supervised GPU → parallel CPU → serial ladder over `text`.
-/// `fault_seed` arms a deterministic fault plan on the GPU rung first.
+/// `fault_seed` arms a deterministic fault plan on the GPU rung first;
+/// `trace` arms the recorder on the supervised GPU rung.
 pub fn run_resilient(
     ac: &AcAutomaton,
     text: &[u8],
     cfg: &GpuConfig,
     fault_seed: Option<u64>,
+    trace: Option<TraceConfig>,
 ) -> ResilientReport {
     let started = Instant::now();
     let matcher = ResilientMatcher::new(
         *cfg,
         KernelParams::defaults_for(cfg),
         ac.clone(),
-        ResilientConfig::default(),
+        ResilientConfig {
+            supervise: SuperviseConfig {
+                trace,
+                ..SuperviseConfig::default()
+            },
+            ..ResilientConfig::default()
+        },
     );
     if let Some(seed) = fault_seed {
         matcher.set_fault_plan(FaultPlan::generate(seed));
     }
     let run = matcher.scan(text);
-    ResilientReport { run, host_seconds: started.elapsed().as_secs_f64() }
+    ResilientReport {
+        run,
+        host_seconds: started.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +189,7 @@ mod tests {
         let cfg = device(false);
         let mut counts = Vec::new();
         for (e, name) in Engine::all() {
-            let r = run_engine(e, name, &ac, text, &cfg, false).unwrap();
+            let r = run_engine(e, name, &ac, text, &cfg, false, None).unwrap();
             counts.push((name, r.count));
             // Matches of every engine equal the serial baseline's.
             let mut want = ac.find_all(text);
@@ -175,11 +204,53 @@ mod tests {
     fn gpu_engines_report_device_time() {
         let ac = ac();
         let cfg = device(false);
-        let r = run_engine(Engine::GpuShared, "gpu:shared", &ac, b"ushers", &cfg, false).unwrap();
+        let r = run_engine(
+            Engine::GpuShared,
+            "gpu:shared",
+            &ac,
+            b"ushers",
+            &cfg,
+            false,
+            None,
+        )
+        .unwrap();
         assert!(r.device_seconds.unwrap() > 0.0);
         assert!(r.device_gbps.unwrap() > 0.0);
-        let r = run_engine(Engine::Serial, "serial", &ac, b"ushers", &cfg, false).unwrap();
+        assert!(r.stats.is_some());
+        assert!(r.trace.is_none());
+        let r = run_engine(Engine::Serial, "serial", &ac, b"ushers", &cfg, false, None).unwrap();
         assert!(r.device_seconds.is_none());
+        assert!(r.stats.is_none());
+    }
+
+    #[test]
+    fn gpu_engine_carries_trace_when_armed() {
+        let ac = ac();
+        let cfg = device(false);
+        let r = run_engine(
+            Engine::GpuShared,
+            "gpu:shared",
+            &ac,
+            b"ushers",
+            &cfg,
+            false,
+            Some(TraceConfig::default()),
+        )
+        .unwrap();
+        let tb = r.trace.expect("trace requested");
+        assert!(tb.events().iter().any(|e| e.name == "kernel"));
+        // Arming the recorder must not move the simulated clock.
+        let plain = run_engine(
+            Engine::GpuShared,
+            "gpu:shared",
+            &ac,
+            b"ushers",
+            &cfg,
+            false,
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.stats, plain.stats);
     }
 
     #[test]
@@ -194,18 +265,21 @@ mod tests {
         let cfg = device(false);
         let mut want = ac.find_all(text);
         want.sort();
-        let clean = run_resilient(&ac, text, &cfg, None);
+        let clean = run_resilient(&ac, text, &cfg, None, None);
         assert_eq!(clean.run.matches, want);
         assert_eq!(clean.run.tier.label(), "gpu");
-        let faulted = run_resilient(&ac, text, &cfg, Some(3));
+        let faulted = run_resilient(&ac, text, &cfg, Some(3), None);
         assert_eq!(faulted.run.matches, want);
+        let traced = run_resilient(&ac, text, &cfg, None, Some(TraceConfig::default()));
+        assert_eq!(traced.run.matches, want);
+        assert!(traced.run.trace.is_some());
     }
 
     #[test]
     fn count_only_skips_matches() {
         let ac = ac();
         let cfg = device(false);
-        let r = run_engine(Engine::Serial, "serial", &ac, b"he he", &cfg, true).unwrap();
+        let r = run_engine(Engine::Serial, "serial", &ac, b"he he", &cfg, true, None).unwrap();
         assert!(r.matches.is_empty());
         assert_eq!(r.count, 2);
     }

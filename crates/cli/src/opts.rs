@@ -60,6 +60,8 @@ pub enum Command {
     Dot,
     /// Run every engine and print a comparison table.
     Compare,
+    /// Sweep kernel configurations and print per-config stall breakdowns.
+    Profile,
 }
 
 /// Full parsed invocation.
@@ -85,6 +87,13 @@ pub struct Options {
     pub resilient: bool,
     /// Seed for a deterministic fault plan armed on the resilient GPU rung.
     pub fault_seed: Option<u64>,
+    /// Write a Chrome trace-event JSON of the run here (`match` only;
+    /// needs a device to trace, so requires a GPU engine or --resilient).
+    pub trace_out: Option<PathBuf>,
+    /// Write a flat metrics snapshot here: Prometheus text when the path
+    /// ends in `.prom`/`.txt`, JSON otherwise (`match` only; GPU engine or
+    /// --resilient).
+    pub metrics_out: Option<PathBuf>,
 }
 
 /// A human-readable argument error.
@@ -102,13 +111,18 @@ impl std::error::Error for ParseError {}
 /// Usage text.
 pub const USAGE: &str = "usage:
   acsim match   --patterns FILE --input FILE [--engine E] [--count] [--fermi] [--limit N]
-                [--resilient [--fault-seed N]]
+                [--resilient [--fault-seed N]] [--trace-out FILE] [--metrics-out FILE]
   acsim compare --patterns FILE --input FILE [--fermi]
-  acsim stats   --patterns FILE [--input FILE]
+  acsim stats   --patterns FILE [--input FILE] [--fermi]
+  acsim profile --patterns FILE --input FILE [--fermi]
   acsim dot     --patterns FILE
 engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed | gpu:pfac
 --resilient runs supervised GPU matching that degrades to the CPU engines on
-failure; --fault-seed arms a deterministic fault-injection plan (testing aid).";
+failure; --fault-seed arms a deterministic fault-injection plan (testing aid).
+--trace-out writes a Chrome trace-event JSON (load in Perfetto); --metrics-out
+writes a metrics snapshot (Prometheus text for .prom/.txt paths, else JSON).
+Both need a simulated device, so they require a gpu:* engine or --resilient.
+`profile` sweeps every GPU kernel and prints per-config stall breakdowns.";
 
 /// Parse an argument vector (without the program name).
 pub fn parse<I, S>(args: I) -> Result<Options, ParseError>
@@ -122,6 +136,7 @@ where
         Some("stats") => Command::Stats,
         Some("dot") => Command::Dot,
         Some("compare") => Command::Compare,
+        Some("profile") => Command::Profile,
         Some(other) => return Err(ParseError(format!("unknown command '{other}'\n{USAGE}"))),
         None => return Err(ParseError(USAGE.into())),
     };
@@ -133,21 +148,29 @@ where
     let mut limit = 20usize;
     let mut resilient = false;
     let mut fault_seed: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     while let Some(a) = it.next() {
         match a.as_ref() {
             "--patterns" => {
                 patterns = Some(PathBuf::from(
-                    it.next().ok_or_else(|| ParseError("--patterns needs a file".into()))?.as_ref(),
+                    it.next()
+                        .ok_or_else(|| ParseError("--patterns needs a file".into()))?
+                        .as_ref(),
                 ))
             }
             "--input" => {
                 input = Some(PathBuf::from(
-                    it.next().ok_or_else(|| ParseError("--input needs a file".into()))?.as_ref(),
+                    it.next()
+                        .ok_or_else(|| ParseError("--input needs a file".into()))?
+                        .as_ref(),
                 ))
             }
             "--engine" => {
                 engine = Engine::parse(
-                    it.next().ok_or_else(|| ParseError("--engine needs a value".into()))?.as_ref(),
+                    it.next()
+                        .ok_or_else(|| ParseError("--engine needs a value".into()))?
+                        .as_ref(),
                 )?
             }
             "--count" => count_only = true,
@@ -162,6 +185,20 @@ where
                         .map_err(|e| ParseError(format!("bad --fault-seed: {e}")))?,
                 )
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| ParseError("--trace-out needs a file".into()))?
+                        .as_ref(),
+                ))
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| ParseError("--metrics-out needs a file".into()))?
+                        .as_ref(),
+                ))
+            }
             "--limit" => {
                 limit = it
                     .next()
@@ -174,7 +211,11 @@ where
         }
     }
     let patterns = patterns.ok_or_else(|| ParseError("--patterns is required".into()))?;
-    if matches!(command, Command::Match | Command::Compare) && input.is_none() {
+    if matches!(
+        command,
+        Command::Match | Command::Compare | Command::Profile
+    ) && input.is_none()
+    {
         return Err(ParseError(format!("{command:?} requires --input")));
     }
     if resilient && command != Command::Match {
@@ -183,7 +224,34 @@ where
     if fault_seed.is_some() && !resilient {
         return Err(ParseError("--fault-seed requires --resilient".into()));
     }
-    Ok(Options { command, patterns, input, engine, count_only, fermi, limit, resilient, fault_seed })
+    if trace_out.is_some() || metrics_out.is_some() {
+        if command != Command::Match {
+            return Err(ParseError(
+                "--trace-out/--metrics-out only apply to `match`".into(),
+            ));
+        }
+        let gpu_engine = !matches!(engine, Engine::Serial | Engine::Parallel);
+        if !gpu_engine && !resilient {
+            return Err(ParseError(
+                "--trace-out/--metrics-out need a simulated device: use a gpu:* engine or \
+                 --resilient"
+                    .into(),
+            ));
+        }
+    }
+    Ok(Options {
+        command,
+        patterns,
+        input,
+        engine,
+        count_only,
+        fermi,
+        limit,
+        resilient,
+        fault_seed,
+        trace_out,
+        metrics_out,
+    })
 }
 
 #[cfg(test)]
@@ -197,8 +265,17 @@ mod tests {
     #[test]
     fn parses_full_match_invocation() {
         let o = p(&[
-            "match", "--patterns", "d.txt", "--input", "c.bin", "--engine", "gpu:global",
-            "--count", "--fermi", "--limit", "5",
+            "match",
+            "--patterns",
+            "d.txt",
+            "--input",
+            "c.bin",
+            "--engine",
+            "gpu:global",
+            "--count",
+            "--fermi",
+            "--limit",
+            "5",
         ])
         .unwrap();
         assert_eq!(o.command, Command::Match);
@@ -232,7 +309,16 @@ mod tests {
     #[test]
     fn rejects_unknowns() {
         assert!(p(&["frobnicate"]).is_err());
-        assert!(p(&["match", "--patterns", "d", "--input", "i", "--engine", "tpu"]).is_err());
+        assert!(p(&[
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--engine",
+            "tpu"
+        ])
+        .is_err());
         assert!(p(&["match", "--patterns", "d", "--input", "i", "--wat"]).is_err());
         assert!(p(&[]).is_err());
     }
@@ -240,7 +326,14 @@ mod tests {
     #[test]
     fn resilient_flags_parse_and_are_validated() {
         let o = p(&[
-            "match", "--patterns", "d", "--input", "i", "--resilient", "--fault-seed", "42",
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--resilient",
+            "--fault-seed",
+            "42",
         ])
         .unwrap();
         assert!(o.resilient);
@@ -254,16 +347,110 @@ mod tests {
         assert!(!o.resilient);
 
         // --fault-seed without --resilient is meaningless.
-        assert!(p(&["match", "--patterns", "d", "--input", "i", "--fault-seed", "1"]).is_err());
+        assert!(p(&[
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--fault-seed",
+            "1"
+        ])
+        .is_err());
         // --resilient outside `match` is rejected.
         assert!(p(&["compare", "--patterns", "d", "--input", "i", "--resilient"]).is_err());
         // Bad seed values are rejected.
-        assert!(p(&["match", "--patterns", "d", "--input", "i", "--resilient", "--fault-seed"])
-            .is_err());
         assert!(p(&[
-            "match", "--patterns", "d", "--input", "i", "--resilient", "--fault-seed", "soon",
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--resilient",
+            "--fault-seed"
         ])
         .is_err());
+        assert!(p(&[
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--resilient",
+            "--fault-seed",
+            "soon",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn profile_parses_and_requires_input() {
+        let o = p(&["profile", "--patterns", "d", "--input", "i", "--fermi"]).unwrap();
+        assert_eq!(o.command, Command::Profile);
+        assert!(o.fermi);
+        assert!(p(&["profile", "--patterns", "d"]).is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse_and_are_validated() {
+        let o = p(&[
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.prom",
+        ])
+        .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(
+            o.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.prom"))
+        );
+
+        // A CPU engine has no simulated device to observe…
+        assert!(p(&[
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--engine",
+            "serial",
+            "--trace-out",
+            "t",
+        ])
+        .is_err());
+        // …unless the resilient ladder (whose first rung is the GPU) runs.
+        assert!(p(&[
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--resilient",
+            "--metrics-out",
+            "m",
+        ])
+        .is_ok());
+        // Only `match` exports.
+        assert!(p(&["stats", "--patterns", "d", "--trace-out", "t"]).is_err());
+        assert!(p(&[
+            "compare",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--metrics-out",
+            "m"
+        ])
+        .is_err());
+        // Missing operands are rejected.
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--trace-out"]).is_err());
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--metrics-out"]).is_err());
     }
 
     #[test]

@@ -26,8 +26,14 @@ impl DnaGenerator {
     /// # Panics
     /// Panics if `gc_content` is outside [0, 1].
     pub fn with_gc_content(seed: u64, gc_content: f64) -> Self {
-        assert!((0.0..=1.0).contains(&gc_content), "gc_content must be in [0,1]");
-        DnaGenerator { rng: StdRng::seed_from_u64(seed), gc_content }
+        assert!(
+            (0.0..=1.0).contains(&gc_content),
+            "gc_content must be in [0,1]"
+        );
+        DnaGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            gc_content,
+        }
     }
 
     /// Generate `len` bases.
@@ -77,7 +83,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(DnaGenerator::new(1).generate(5000), DnaGenerator::new(1).generate(5000));
+        assert_eq!(
+            DnaGenerator::new(1).generate(5000),
+            DnaGenerator::new(1).generate(5000)
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub fn scaled_grid() -> ExperimentGrid {
 
 /// A minimal smoke-test grid for integration tests.
 pub fn smoke_grid() -> ExperimentGrid {
-    ExperimentGrid { sizes: vec![32 * 1024, 128 * 1024], pattern_counts: vec![50, 500] }
+    ExperimentGrid {
+        sizes: vec![32 * 1024, 128 * 1024],
+        pattern_counts: vec![50, 500],
+    }
 }
 
 #[cfg(test)]
@@ -79,7 +82,10 @@ mod tests {
 
     #[test]
     fn points_enumerates_product() {
-        let g = ExperimentGrid { sizes: vec![1, 2], pattern_counts: vec![10, 20, 30] };
+        let g = ExperimentGrid {
+            sizes: vec![1, 2],
+            pattern_counts: vec![10, 20, 30],
+        };
         let pts: Vec<_> = g.points().collect();
         assert_eq!(pts.len(), 6);
         assert_eq!(pts[0], (1, 10));

@@ -35,13 +35,22 @@ impl ExtractConfig {
     /// The paper-flavoured default: word-scale patterns, 4–16 bytes,
     /// word-aligned.
     pub fn paper_default(count: usize, seed: u64) -> Self {
-        ExtractConfig { count, min_len: 4, max_len: 16, seed, align_to_words: true }
+        ExtractConfig {
+            count,
+            min_len: 4,
+            max_len: 16,
+            seed,
+            align_to_words: true,
+        }
     }
 
     /// Unaligned variant: patterns may start mid-word (an adversarial
     /// dictionary used by the cache-stress ablations).
     pub fn unaligned(count: usize, seed: u64) -> Self {
-        ExtractConfig { align_to_words: false, ..Self::paper_default(count, seed) }
+        ExtractConfig {
+            align_to_words: false,
+            ..Self::paper_default(count, seed)
+        }
     }
 }
 
@@ -59,7 +68,10 @@ impl ExtractConfig {
 pub fn extract_patterns(corpus: &[u8], cfg: &ExtractConfig) -> PatternSet {
     assert!(cfg.min_len >= 1, "patterns must be at least one byte");
     assert!(cfg.min_len <= cfg.max_len, "empty length range");
-    assert!(corpus.len() >= cfg.max_len, "corpus shorter than max pattern length");
+    assert!(
+        corpus.len() >= cfg.max_len,
+        "corpus shorter than max pattern length"
+    );
     assert!(cfg.count >= 1, "must extract at least one pattern");
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -139,7 +151,13 @@ mod tests {
     #[test]
     fn lengths_respect_range() {
         let c = corpus();
-        let cfg = ExtractConfig { count: 300, min_len: 6, max_len: 9, seed: 3, align_to_words: false };
+        let cfg = ExtractConfig {
+            count: 300,
+            min_len: 6,
+            max_len: 9,
+            seed: 3,
+            align_to_words: false,
+        };
         let ps = extract_patterns(&c, &cfg);
         for (_, p) in ps.iter() {
             assert!((6..=9).contains(&p.len()));
@@ -162,7 +180,13 @@ mod tests {
         // An all-'a' corpus has only max_len distinct substrings; the
         // fallback must still deliver the full count.
         let c = vec![b'a'; 10_000];
-        let cfg = ExtractConfig { count: 64, min_len: 2, max_len: 4, seed: 1, align_to_words: false };
+        let cfg = ExtractConfig {
+            count: 64,
+            min_len: 2,
+            max_len: 4,
+            seed: 1,
+            align_to_words: false,
+        };
         let ps = extract_patterns(&c, &cfg);
         assert_eq!(ps.len(), 64);
     }
@@ -181,10 +205,15 @@ mod tests {
             // Every aligned pattern begins with a letter/digit and occurs
             // in the corpus immediately after a boundary.
             assert!(p[0].is_ascii_alphanumeric());
-            let found = c.windows(p.len()).enumerate().any(|(i, w)| {
-                w == p && (i == 0 || !c[i - 1].is_ascii_alphanumeric())
-            });
-            assert!(found, "pattern {:?} not word-anchored", String::from_utf8_lossy(p));
+            let found = c
+                .windows(p.len())
+                .enumerate()
+                .any(|(i, w)| w == p && (i == 0 || !c[i - 1].is_ascii_alphanumeric()));
+            assert!(
+                found,
+                "pattern {:?} not word-anchored",
+                String::from_utf8_lossy(p)
+            );
         }
     }
 

@@ -12,11 +12,42 @@ use rand::{Rng, SeedableRng};
 
 /// Protocol/attack tokens that anchor the ASCII part of signatures.
 const TOKENS: &[&str] = &[
-    "GET /", "POST /", "HEAD /", "HTTP/1.1", "User-Agent:", "Content-Length:", "cmd.exe",
-    "/bin/sh", "/etc/passwd", "SELECT ", "UNION ", "INSERT ", "DROP TABLE", "<script>",
-    "javascript:", "onerror=", "../..", "%00", "%n%n", "\\x90\\x90", "admin'--", "passwd=",
-    "login=", ".htaccess", "wp-admin", "phpMyAdmin", "xp_cmdshell", "powershell", "wget http",
-    "curl http", "chmod 777", "nc -e", "bash -i", "eval(", "base64_decode", "CONNECT ",
+    "GET /",
+    "POST /",
+    "HEAD /",
+    "HTTP/1.1",
+    "User-Agent:",
+    "Content-Length:",
+    "cmd.exe",
+    "/bin/sh",
+    "/etc/passwd",
+    "SELECT ",
+    "UNION ",
+    "INSERT ",
+    "DROP TABLE",
+    "<script>",
+    "javascript:",
+    "onerror=",
+    "../..",
+    "%00",
+    "%n%n",
+    "\\x90\\x90",
+    "admin'--",
+    "passwd=",
+    "login=",
+    ".htaccess",
+    "wp-admin",
+    "phpMyAdmin",
+    "xp_cmdshell",
+    "powershell",
+    "wget http",
+    "curl http",
+    "chmod 777",
+    "nc -e",
+    "bash -i",
+    "eval(",
+    "base64_decode",
+    "CONNECT ",
 ];
 
 /// Seeded signature generator.
@@ -28,7 +59,9 @@ pub struct SignatureGenerator {
 impl SignatureGenerator {
     /// Create a generator.
     pub fn new(seed: u64) -> Self {
-        SignatureGenerator { rng: StdRng::seed_from_u64(seed) }
+        SignatureGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Generate one signature of 4–24 bytes: a token, optionally followed
@@ -42,8 +75,8 @@ impl SignatureGenerator {
                 // Alphanumeric payload suffix.
                 let n = self.rng.random_range(2..10usize);
                 for _ in 0..n {
-                    let c = b"abcdefghijklmnopqrstuvwxyz0123456789"
-                        [self.rng.random_range(0..36usize)];
+                    let c =
+                        b"abcdefghijklmnopqrstuvwxyz0123456789"[self.rng.random_range(0..36usize)];
                     sig.push(c);
                 }
             }
@@ -144,7 +177,10 @@ mod tests {
         assert_eq!(t.len(), 100_000);
         let ac = AcAutomaton::build(&d);
         let hits = ac.find_all(&t);
-        assert!(!hits.is_empty(), "traffic should contain embedded signatures");
+        assert!(
+            !hits.is_empty(),
+            "traffic should contain embedded signatures"
+        );
     }
 
     #[test]

@@ -13,28 +13,233 @@ use rand::{Rng, SeedableRng};
 /// High-frequency English words, roughly ordered by frequency. The
 /// generator samples index `i` with weight `1/(i+1)` (Zipf-like).
 const COMMON: &[&str] = &[
-    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for", "it", "with", "as", "his",
-    "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they",
-    "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
-    "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
-    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
-    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
-    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
-    "must", "through", "back", "years", "where", "much", "your", "way", "well", "down", "should",
-    "because", "each", "just", "those", "people", "how", "too", "little", "state", "good",
-    "very", "make", "world", "still", "own", "see", "men", "work", "long", "get", "here",
-    "between", "both", "life", "being", "under", "never", "day", "same", "another", "know",
-    "while", "last", "might", "us", "great", "old", "year", "off", "come", "since", "against",
-    "go", "came", "right", "used", "take", "three", "himself", "few", "house", "use", "during",
-    "without", "again", "place", "american", "around", "however", "home", "small", "found",
-    "thought", "went", "say", "part", "once", "general", "high", "upon", "school", "every",
-    "report", "percent", "press", "market", "company", "government", "country", "system",
-    "program", "question", "number", "night", "point", "interest", "business", "service",
-    "economy", "policy", "health", "research", "history", "science", "nature", "culture",
-    "music", "travel", "sports", "weather", "money", "power", "water", "family", "mother",
-    "father", "children", "morning", "evening", "member", "million", "billion", "president",
-    "minister", "election", "israel", "europe", "africa", "china", "russia", "america",
-    "london", "magazine", "article", "editor", "reader", "writer", "story", "picture",
+    "the",
+    "of",
+    "and",
+    "a",
+    "to",
+    "in",
+    "is",
+    "was",
+    "he",
+    "for",
+    "it",
+    "with",
+    "as",
+    "his",
+    "on",
+    "be",
+    "at",
+    "by",
+    "had",
+    "not",
+    "are",
+    "but",
+    "from",
+    "or",
+    "have",
+    "an",
+    "they",
+    "which",
+    "one",
+    "you",
+    "were",
+    "her",
+    "all",
+    "she",
+    "there",
+    "would",
+    "their",
+    "we",
+    "him",
+    "been",
+    "has",
+    "when",
+    "who",
+    "will",
+    "more",
+    "no",
+    "if",
+    "out",
+    "so",
+    "said",
+    "what",
+    "up",
+    "its",
+    "about",
+    "into",
+    "than",
+    "them",
+    "can",
+    "only",
+    "other",
+    "new",
+    "some",
+    "could",
+    "time",
+    "these",
+    "two",
+    "may",
+    "then",
+    "do",
+    "first",
+    "any",
+    "my",
+    "now",
+    "such",
+    "like",
+    "our",
+    "over",
+    "man",
+    "me",
+    "even",
+    "most",
+    "made",
+    "after",
+    "also",
+    "did",
+    "many",
+    "before",
+    "must",
+    "through",
+    "back",
+    "years",
+    "where",
+    "much",
+    "your",
+    "way",
+    "well",
+    "down",
+    "should",
+    "because",
+    "each",
+    "just",
+    "those",
+    "people",
+    "how",
+    "too",
+    "little",
+    "state",
+    "good",
+    "very",
+    "make",
+    "world",
+    "still",
+    "own",
+    "see",
+    "men",
+    "work",
+    "long",
+    "get",
+    "here",
+    "between",
+    "both",
+    "life",
+    "being",
+    "under",
+    "never",
+    "day",
+    "same",
+    "another",
+    "know",
+    "while",
+    "last",
+    "might",
+    "us",
+    "great",
+    "old",
+    "year",
+    "off",
+    "come",
+    "since",
+    "against",
+    "go",
+    "came",
+    "right",
+    "used",
+    "take",
+    "three",
+    "himself",
+    "few",
+    "house",
+    "use",
+    "during",
+    "without",
+    "again",
+    "place",
+    "american",
+    "around",
+    "however",
+    "home",
+    "small",
+    "found",
+    "thought",
+    "went",
+    "say",
+    "part",
+    "once",
+    "general",
+    "high",
+    "upon",
+    "school",
+    "every",
+    "report",
+    "percent",
+    "press",
+    "market",
+    "company",
+    "government",
+    "country",
+    "system",
+    "program",
+    "question",
+    "number",
+    "night",
+    "point",
+    "interest",
+    "business",
+    "service",
+    "economy",
+    "policy",
+    "health",
+    "research",
+    "history",
+    "science",
+    "nature",
+    "culture",
+    "music",
+    "travel",
+    "sports",
+    "weather",
+    "money",
+    "power",
+    "water",
+    "family",
+    "mother",
+    "father",
+    "children",
+    "morning",
+    "evening",
+    "member",
+    "million",
+    "billion",
+    "president",
+    "minister",
+    "election",
+    "israel",
+    "europe",
+    "africa",
+    "china",
+    "russia",
+    "america",
+    "london",
+    "magazine",
+    "article",
+    "editor",
+    "reader",
+    "writer",
+    "story",
+    "picture",
 ];
 
 /// Seeded English-like text generator.
@@ -54,7 +259,10 @@ impl TextGenerator {
             acc += 1.0 / (i as f64 + 1.0);
             cumulative.push(acc);
         }
-        TextGenerator { rng: StdRng::seed_from_u64(seed), cumulative }
+        TextGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            cumulative,
+        }
     }
 
     fn next_word(&mut self) -> &'static str {
@@ -89,7 +297,11 @@ impl TextGenerator {
                 sentence_words = 0;
                 capitalize = true;
             } else {
-                out.push(if self.rng.random_range(0..60) == 0 { b',' } else { b' ' });
+                out.push(if self.rng.random_range(0..60) == 0 {
+                    b','
+                } else {
+                    b' '
+                });
             }
         }
         out.truncate(len);

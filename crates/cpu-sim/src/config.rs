@@ -31,8 +31,16 @@ impl CpuConfig {
         CpuConfig {
             clock_hz: 2.2e9,
             base_cycles_per_byte: 5,
-            l1: CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, associativity: 8 },
-            l2: CacheConfig { size_bytes: 4 * 1024 * 1024, line_bytes: 64, associativity: 16 },
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                associativity: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                line_bytes: 64,
+                associativity: 16,
+            },
             // Effective (not raw) penalties: the Core 2's prefetchers and
             // out-of-order window overlap a large fraction of the raw
             // ~14/~165-cycle latencies on this streaming workload.

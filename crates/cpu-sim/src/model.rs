@@ -84,7 +84,13 @@ pub fn simulate_serial(cfg: &CpuConfig, stt: &Stt, text: &[u8]) -> CpuRunReport 
         }
     }
 
-    CpuRunReport { cycles, bytes: text.len(), match_states, l1: l1.stats(), l2: l2.stats() }
+    CpuRunReport {
+        cycles,
+        bytes: text.len(),
+        match_states,
+        l1: l1.stats(),
+        l2: l2.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +99,9 @@ mod tests {
     use ac_core::{AcAutomaton, PatternSet};
 
     fn stt_for(pats: &[&str]) -> Stt {
-        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap()).stt().clone()
+        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap())
+            .stt()
+            .clone()
     }
 
     fn text(n: usize) -> Vec<u8> {
@@ -134,7 +142,10 @@ mod tests {
         // match-dense) + a small miss term; nowhere near the miss-dominated
         // regime of a large automaton.
         let per_byte = r.cycles as f64 / t.len() as f64;
-        assert!(per_byte < cfg.base_cycles_per_byte as f64 + 6.0, "per byte {per_byte}");
+        assert!(
+            per_byte < cfg.base_cycles_per_byte as f64 + 6.0,
+            "per byte {per_byte}"
+        );
     }
 
     #[test]
@@ -148,7 +159,11 @@ mod tests {
             .collect();
         let refs: Vec<&str> = many.iter().map(String::as_str).collect();
         let big = stt_for(&refs);
-        assert!(big.size_bytes() > 4 * 1024 * 1024, "table only {} bytes", big.size_bytes());
+        assert!(
+            big.size_bytes() > 4 * 1024 * 1024,
+            "table only {} bytes",
+            big.size_bytes()
+        );
         let t = text(300_000);
         let fast = simulate_serial(&cfg, &small, &t);
         let slow = simulate_serial(&cfg, &big, &t);

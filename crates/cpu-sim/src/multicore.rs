@@ -74,7 +74,11 @@ pub fn simulate_multicore(
         reports.push(simulate_serial(&per_core, stt, &text[start..scan_end]));
     }
     let cycles = reports.iter().map(|r| r.cycles).max().unwrap_or(0);
-    MulticoreReport { cores: reports, cycles, bytes: text.len() }
+    MulticoreReport {
+        cores: reports,
+        cycles,
+        bytes: text.len(),
+    }
 }
 
 #[cfg(test)]
@@ -83,7 +87,9 @@ mod tests {
     use ac_core::{AcAutomaton, PatternSet};
 
     fn stt_for(pats: &[&str]) -> Stt {
-        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap()).stt().clone()
+        AcAutomaton::build(&PatternSet::from_strs(pats).unwrap())
+            .stt()
+            .clone()
     }
 
     fn text(n: usize) -> Vec<u8> {
@@ -123,13 +129,15 @@ mod tests {
         let cfg = CpuConfig::core2duo_2_2ghz();
         let t = text(300_000);
         let small = stt_for(&["he", "she", "his", "hers"]);
-        let many: Vec<String> = (0..3000).map(|i| format!("{:06x}p{i}", i * 2654435761u64 % 16777216)).collect();
+        let many: Vec<String> = (0..3000)
+            .map(|i| format!("{:06x}p{i}", i * 2654435761u64 % 16777216))
+            .collect();
         let refs: Vec<&str> = many.iter().map(String::as_str).collect();
         let big = stt_for(&refs);
         let s_small = simulate_multicore(&cfg, &small, &t, 4, 3)
             .speedup_over(&simulate_serial(&cfg, &small, &t));
-        let s_big = simulate_multicore(&cfg, &big, &t, 4, 8)
-            .speedup_over(&simulate_serial(&cfg, &big, &t));
+        let s_big =
+            simulate_multicore(&cfg, &big, &t, 4, 8).speedup_over(&simulate_serial(&cfg, &big, &t));
         assert!(
             s_big < s_small + 0.2,
             "cache-bound workload should not scale better: {s_big} vs {s_small}"

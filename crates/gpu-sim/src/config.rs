@@ -109,7 +109,11 @@ impl GpuConfig {
                 associativity: 16,
             },
             tex_l2_latency: 180,
-            const_cache: CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, associativity: 4 },
+            const_cache: CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 64,
+                associativity: 4,
+            },
             dram: DramConfig {
                 latency_cycles: 500,
                 bytes_per_cycle: board_bytes_per_cycle / num_sms as f64,
@@ -144,7 +148,11 @@ impl GpuConfig {
             shared_latency: 2,
             tex_hit_latency: 12,
             tex_lanes_per_cycle: 4.0,
-            tex_cache: CacheConfig { size_bytes: 12 * 1024, line_bytes: 32, associativity: 12 },
+            tex_cache: CacheConfig {
+                size_bytes: 12 * 1024,
+                line_bytes: 32,
+                associativity: 12,
+            },
             tex_l2: CacheConfig {
                 // Fermi's 768 KB unified L2, shared-hot-set modelled as in
                 // [`GpuConfig::gtx285`]. 24 ways keeps the set count a
@@ -154,7 +162,11 @@ impl GpuConfig {
                 associativity: 24,
             },
             tex_l2_latency: 120,
-            const_cache: CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, associativity: 4 },
+            const_cache: CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 64,
+                associativity: 4,
+            },
             dram: DramConfig {
                 latency_cycles: 400,
                 bytes_per_cycle: board_bytes_per_cycle / num_sms as f64,
@@ -180,11 +192,26 @@ impl GpuConfig {
             shared_latency: 2,
             tex_hit_latency: 4,
             tex_lanes_per_cycle: 2.0,
-            tex_cache: CacheConfig { size_bytes: 512, line_bytes: 32, associativity: 2 },
-            tex_l2: CacheConfig { size_bytes: 2048, line_bytes: 32, associativity: 4 },
+            tex_cache: CacheConfig {
+                size_bytes: 512,
+                line_bytes: 32,
+                associativity: 2,
+            },
+            tex_l2: CacheConfig {
+                size_bytes: 2048,
+                line_bytes: 32,
+                associativity: 4,
+            },
             tex_l2_latency: 20,
-            const_cache: CacheConfig { size_bytes: 256, line_bytes: 32, associativity: 2 },
-            dram: DramConfig { latency_cycles: 50, bytes_per_cycle: 4.0 },
+            const_cache: CacheConfig {
+                size_bytes: 256,
+                line_bytes: 32,
+                associativity: 2,
+            },
+            dram: DramConfig {
+                latency_cycles: 50,
+                bytes_per_cycle: 4.0,
+            },
             coalesce_segment: 64,
             clock_hz: 1.0e9,
             device_mem_bytes: 1 << 20,
@@ -222,13 +249,20 @@ impl GpuConfig {
         }
         self.tex_cache
             .validate()
-            .map_err(|e| GpuConfigError::Cache { which: "tex_cache", message: e })?;
+            .map_err(|e| GpuConfigError::Cache {
+                which: "tex_cache",
+                message: e,
+            })?;
         self.const_cache
             .validate()
-            .map_err(|e| GpuConfigError::Cache { which: "const_cache", message: e })?;
-        self.tex_l2
-            .validate()
-            .map_err(|e| GpuConfigError::Cache { which: "tex_l2", message: e })?;
+            .map_err(|e| GpuConfigError::Cache {
+                which: "const_cache",
+                message: e,
+            })?;
+        self.tex_l2.validate().map_err(|e| GpuConfigError::Cache {
+            which: "tex_l2",
+            message: e,
+        })?;
         if self.tex_l2.line_bytes != self.tex_cache.line_bytes {
             return Err(GpuConfigError::MismatchedTexLines);
         }

@@ -12,6 +12,7 @@ use crate::stats::{LaunchStats, SmStats};
 use crate::texture::{TexId, Texture2d};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use trace::{TraceBuffer, TraceConfig};
 
 /// Grid/block geometry of one kernel launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,7 +48,10 @@ impl LaunchConfig {
         }
         let warps = self.threads_per_block / cfg.warp_size;
         if warps > cfg.max_warps_per_sm {
-            return Err(LaunchError::TooManyWarps { warps, limit: cfg.max_warps_per_sm });
+            return Err(LaunchError::TooManyWarps {
+                warps,
+                limit: cfg.max_warps_per_sm,
+            });
         }
         if self.shared_bytes_per_block > cfg.shared_mem_bytes {
             return Err(LaunchError::SharedMemExceeded {
@@ -69,7 +73,11 @@ impl LaunchConfig {
             .checked_div(self.shared_bytes_per_block)
             .unwrap_or(u32::MAX);
         let cap = self.resident_blocks_cap.unwrap_or(u32::MAX).max(1);
-        cfg.max_blocks_per_sm.min(by_warps).min(by_shared).min(cap).max(1)
+        cfg.max_blocks_per_sm
+            .min(by_warps)
+            .min(by_shared)
+            .min(cap)
+            .max(1)
     }
 }
 
@@ -101,6 +109,11 @@ pub struct GpuDevice {
     /// (injected hang or genuine runaway) fails with
     /// [`DeviceError::Watchdog`].
     watchdog: Option<u64>,
+    /// Armed trace recorder, if any. Same zero-cost-when-disabled pattern
+    /// as `fault`: `None` (the default) keeps every probe a single branch,
+    /// and recording never feeds back into simulated timing, so armed and
+    /// disarmed launches produce bit-identical statistics.
+    trace: Option<Box<TraceBuffer>>,
 }
 
 impl GpuDevice {
@@ -116,6 +129,7 @@ impl GpuDevice {
             constant_bytes: 0,
             fault: None,
             watchdog: None,
+            trace: None,
         })
     }
 
@@ -149,6 +163,26 @@ impl GpuDevice {
         self.watchdog = budget;
     }
 
+    /// Arm trace recording: subsequent launches append scheduler/DRAM
+    /// events to a fresh buffer configured by `cfg`. Recording is
+    /// observation-only — armed and disarmed launches produce bit-identical
+    /// [`LaunchStats`].
+    pub fn arm_trace(&mut self, cfg: TraceConfig) {
+        self.trace = Some(Box::new(TraceBuffer::new(cfg)));
+    }
+
+    /// Disarm tracing, returning whatever was recorded since [`arm_trace`].
+    ///
+    /// [`arm_trace`]: GpuDevice::arm_trace
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take().map(|b| *b)
+    }
+
+    /// Whether trace recording is currently armed.
+    pub fn trace_armed(&self) -> bool {
+        self.trace.is_some()
+    }
+
     /// Copy a device→host readback buffer "across the bus": counts one
     /// readback operation and applies any scheduled bit-flip to `buf` in
     /// place. Returns the fault that fired, if any. With no fault state
@@ -165,7 +199,9 @@ impl GpuDevice {
             return Err(DeviceError::Fault(fault));
         }
         let base = self.cursor.next_multiple_of(256);
-        let end = base.checked_add(bytes).ok_or(DeviceError::AddressOverflow)?;
+        let end = base
+            .checked_add(bytes)
+            .ok_or(DeviceError::AddressOverflow)?;
         if end > self.cfg.device_mem_bytes {
             return Err(DeviceError::OutOfDeviceMemory {
                 requested: bytes,
@@ -220,7 +256,8 @@ impl GpuDevice {
                 capacity: crate::constant::CONSTANT_MEMORY_BYTES,
             });
         }
-        self.constants.push(ConstantBuffer::new(data).map_err(DeviceError::ConstantInvalid)?);
+        self.constants
+            .push(ConstantBuffer::new(data).map_err(DeviceError::ConstantInvalid)?);
         self.constant_bytes += bytes;
         Ok(ConstId(self.constants.len() - 1))
     }
@@ -249,9 +286,11 @@ impl GpuDevice {
         let mut retired: Vec<(WarpGeometry, P)> = Vec::new();
         let mut totals = SmStats::default();
         let mut per_sm_cycles = Vec::with_capacity(self.cfg.num_sms as usize);
+        let mut per_sm = Vec::with_capacity(self.cfg.num_sms as usize);
         for sm in 0..self.cfg.num_sms {
-            let block_ids: Vec<u32> =
-                (sm..lc.grid_blocks).step_by(self.cfg.num_sms as usize).collect();
+            let block_ids: Vec<u32> = (sm..lc.grid_blocks)
+                .step_by(self.cfg.num_sms as usize)
+                .collect();
             let sm_stats = run_sm(
                 &self.cfg,
                 &mut self.global,
@@ -261,9 +300,12 @@ impl GpuDevice {
                 &block_ids,
                 &mut factory,
                 &mut retired,
+                sm,
+                self.trace.as_deref_mut(),
             );
             per_sm_cycles.push(sm_stats.cycles);
             totals.merge(&sm_stats);
+            per_sm.push(sm_stats);
         }
         retired.sort_by_key(|(g, _)| (g.block_id, g.warp_in_block));
         let mut cycles = per_sm_cycles.iter().copied().max().unwrap_or(0);
@@ -282,6 +324,7 @@ impl GpuDevice {
             stats: LaunchStats {
                 cycles,
                 per_sm_cycles,
+                per_sm,
                 totals,
                 blocks: lc.grid_blocks,
                 warps: lc.grid_blocks * (lc.threads_per_block / self.cfg.warp_size),
@@ -319,8 +362,9 @@ mod tests {
             let n = self.geom.warp_size as usize;
             match self.phase {
                 0 => {
-                    let addrs: Vec<Option<u64>> =
-                        (0..n).map(|l| Some(self.in_base + self.geom.global_thread(l as u32))).collect();
+                    let addrs: Vec<Option<u64>> = (0..n)
+                        .map(|l| Some(self.in_base + self.geom.global_thread(l as u32)))
+                        .collect();
                     self.bytes = vec![0; n];
                     ctx.global_read_u8(&addrs, &mut self.bytes);
                     self.phase = 1;
@@ -344,8 +388,9 @@ mod tests {
                     StepOutcome::Barrier
                 }
                 3 => {
-                    let addrs: Vec<Option<u64>> =
-                        (0..n).map(|l| Some(self.geom.block_thread(l as u32) as u64 * 4)).collect();
+                    let addrs: Vec<Option<u64>> = (0..n)
+                        .map(|l| Some(self.geom.block_thread(l as u32) as u64 * 4))
+                        .collect();
                     let mut back = vec![0u8; n];
                     ctx.shared_read_u8(&addrs, &mut back);
                     self.bytes = back;
@@ -379,7 +424,12 @@ mod tests {
         let input: Vec<u8> = (0..total_threads as u8).collect();
         dev.write_global(in_base, &input);
 
-        let lc = LaunchConfig { grid_blocks: 4, threads_per_block: 8, shared_bytes_per_block: 64, resident_blocks_cap: None };
+        let lc = LaunchConfig {
+            grid_blocks: 4,
+            threads_per_block: 8,
+            shared_bytes_per_block: 64,
+            resident_blocks_cap: None,
+        };
         let launched = dev
             .launch(lc, |geom| RoundTrip {
                 geom,
@@ -395,16 +445,17 @@ mod tests {
         assert_eq!(launched.stats.warps, 8);
         assert_eq!(launched.programs.len(), 8);
         // Programs sorted by (block, warp).
-        let order: Vec<(u32, u32)> =
-            launched.programs.iter().map(|(g, _)| (g.block_id, g.warp_in_block)).collect();
+        let order: Vec<(u32, u32)> = launched
+            .programs
+            .iter()
+            .map(|(g, _)| (g.block_id, g.warp_in_block))
+            .collect();
         let mut sorted = order.clone();
         sorted.sort();
         assert_eq!(order, sorted);
         // Output = input + 1, element-wise.
         for t in 0..total_threads as u64 {
-            let got = u32::from_le_bytes(
-                dev.read_global(out_base + t * 4, 4).try_into().unwrap(),
-            );
+            let got = u32::from_le_bytes(dev.read_global(out_base + t * 4, 4).try_into().unwrap());
             assert_eq!(got, t as u32 + 1, "thread {t}");
         }
         // Barriers: one per block.
@@ -415,20 +466,32 @@ mod tests {
     fn launch_validation() {
         let cfg = GpuConfig::tiny_test();
         let mut dev = GpuDevice::new(cfg).unwrap();
-        let bad = LaunchConfig { grid_blocks: 0, threads_per_block: 8, shared_bytes_per_block: 0, resident_blocks_cap: None };
+        let bad = LaunchConfig {
+            grid_blocks: 0,
+            threads_per_block: 8,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: None,
+        };
         assert!(dev.launch(bad, |_| Noop).is_err());
-        let bad = LaunchConfig { grid_blocks: 1, threads_per_block: 3, shared_bytes_per_block: 0, resident_blocks_cap: None };
+        let bad = LaunchConfig {
+            grid_blocks: 1,
+            threads_per_block: 3,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: None,
+        };
         assert!(bad.validate(&cfg).is_err());
         let bad = LaunchConfig {
             grid_blocks: 1,
             threads_per_block: 8,
-            shared_bytes_per_block: 4096, resident_blocks_cap: None,
+            shared_bytes_per_block: 4096,
+            resident_blocks_cap: None,
         };
         assert!(bad.validate(&cfg).is_err());
         let bad = LaunchConfig {
             grid_blocks: 1,
             threads_per_block: 4 * 8 * 100,
-            shared_bytes_per_block: 0, resident_blocks_cap: None,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: None,
         };
         assert!(bad.validate(&cfg).is_err());
     }
@@ -447,12 +510,17 @@ mod tests {
         let lc = LaunchConfig {
             grid_blocks: 100,
             threads_per_block: 128, // 4 warps
-            shared_bytes_per_block: 8 * 1024, resident_blocks_cap: None,
+            shared_bytes_per_block: 8 * 1024,
+            resident_blocks_cap: None,
         };
         // shared limits to 2 resident blocks.
         assert_eq!(lc.resident_blocks_per_sm(&cfg), 2);
-        let lc0 =
-            LaunchConfig { grid_blocks: 100, threads_per_block: 128, shared_bytes_per_block: 0, resident_blocks_cap: None };
+        let lc0 = LaunchConfig {
+            grid_blocks: 100,
+            threads_per_block: 128,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: None,
+        };
         // warps limit: 32/4 = 8, block slots 8 → 8.
         assert_eq!(lc0.resident_blocks_per_sm(&cfg), 8);
     }
@@ -489,7 +557,9 @@ mod tests {
         let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
         dev.arm_faults(FaultState::new(FaultPlan::none().with_alloc_fail(0)));
         let err = dev.alloc_global(64).unwrap_err();
-        assert!(matches!(err, DeviceError::Fault(f) if f.kind == crate::fault::FaultKind::AllocFail));
+        assert!(
+            matches!(err, DeviceError::Fault(f) if f.kind == crate::fault::FaultKind::AllocFail)
+        );
         // The retry is a new operation index and succeeds.
         assert!(dev.alloc_global(64).is_ok());
         let state = dev.disarm_faults().unwrap();
@@ -532,7 +602,13 @@ mod tests {
         dev.arm_faults(FaultState::new(FaultPlan::none().with_kernel_hang(0)));
         dev.set_watchdog(Some(1_000_000));
         let err = dev.launch(lc, |_| Noop).unwrap_err();
-        assert!(matches!(err, DeviceError::Watchdog { budget: 1_000_000, .. }));
+        assert!(matches!(
+            err,
+            DeviceError::Watchdog {
+                budget: 1_000_000,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -554,7 +630,11 @@ mod tests {
         dev.alloc_global(1 << 19).unwrap();
         let err = dev.alloc_global(1 << 20).unwrap_err();
         match err {
-            DeviceError::OutOfDeviceMemory { requested, available, capacity } => {
+            DeviceError::OutOfDeviceMemory {
+                requested,
+                available,
+                capacity,
+            } => {
                 assert_eq!(requested, 1 << 20);
                 assert_eq!(capacity, 1 << 20);
                 assert_eq!(available, (1 << 20) - (1 << 19));
@@ -581,12 +661,16 @@ mod tests {
                 StepOutcome::Finished
             }
         }
-        let lc = LaunchConfig { grid_blocks: 16, threads_per_block: 4, shared_bytes_per_block: 0, resident_blocks_cap: None };
+        let lc = LaunchConfig {
+            grid_blocks: 16,
+            threads_per_block: 4,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: None,
+        };
         let launched = dev.launch(lc, |geom| WriteOne { geom, out }).unwrap();
         assert_eq!(launched.programs.len(), 16);
         for b in 0..16u64 {
-            let got =
-                u32::from_le_bytes(dev.read_global(out + b * 4, 4).try_into().unwrap());
+            let got = u32::from_le_bytes(dev.read_global(out + b * 4, 4).try_into().unwrap());
             assert_eq!(got, b as u32);
         }
     }

@@ -61,7 +61,10 @@ impl fmt::Display for GpuConfigError {
             }
             GpuConfigError::NonPositiveClock => write!(f, "clock_hz must be positive"),
             GpuConfigError::ModelLimits => {
-                write!(f, "warp_size and shared_banks are limited to 32 in this model")
+                write!(
+                    f,
+                    "warp_size and shared_banks are limited to 32 in this model"
+                )
             }
             GpuConfigError::ZeroDeviceMem => write!(f, "device_mem_bytes must be positive"),
             GpuConfigError::NonPositiveTexRate => {
@@ -69,7 +72,10 @@ impl fmt::Display for GpuConfigError {
             }
             GpuConfigError::Cache { which, message } => write!(f, "{which}: {message}"),
             GpuConfigError::MismatchedTexLines => {
-                write!(f, "tex_l2 line size must match the L1 texture cache line size")
+                write!(
+                    f,
+                    "tex_l2 line size must match the L1 texture cache line size"
+                )
             }
             GpuConfigError::Dram(message) => write!(f, "dram: {message}"),
         }
@@ -116,9 +122,15 @@ impl fmt::Display for LaunchError {
                  {warp_size}"
             ),
             LaunchError::TooManyWarps { warps, limit } => {
-                write!(f, "block has {warps} warps, exceeding the SM limit of {limit}")
+                write!(
+                    f,
+                    "block has {warps} warps, exceeding the SM limit of {limit}"
+                )
             }
-            LaunchError::SharedMemExceeded { requested, available } => write!(
+            LaunchError::SharedMemExceeded {
+                requested,
+                available,
+            } => write!(
                 f,
                 "block requests {requested} bytes of shared memory but the SM has {available}"
             ),
@@ -175,7 +187,11 @@ impl fmt::Display for DeviceError {
         match self {
             DeviceError::Config(e) => write!(f, "{e}"),
             DeviceError::Launch(e) => write!(f, "{e}"),
-            DeviceError::OutOfDeviceMemory { requested, available, capacity } => write!(
+            DeviceError::OutOfDeviceMemory {
+                requested,
+                available,
+                capacity,
+            } => write!(
                 f,
                 "out of device memory: requested {requested} bytes but only {available} of \
                  {capacity} are available"
@@ -183,7 +199,11 @@ impl fmt::Display for DeviceError {
             DeviceError::AddressOverflow => {
                 write!(f, "allocation size overflows the address space")
             }
-            DeviceError::ConstantExhausted { used, requested, capacity } => write!(
+            DeviceError::ConstantExhausted {
+                used,
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "constant segment exhausted: {used} + {requested} bytes exceeds {capacity}"
             ),
@@ -250,9 +270,15 @@ mod tests {
             GpuConfigError::BadWarpSize(7).to_string(),
             "warp_size 7 must be a positive even number"
         );
-        assert_eq!(LaunchError::EmptyGrid.to_string(), "grid must contain at least one block");
-        let oom =
-            DeviceError::OutOfDeviceMemory { requested: 100, available: 10, capacity: 50 };
+        assert_eq!(
+            LaunchError::EmptyGrid.to_string(),
+            "grid must contain at least one block"
+        );
+        let oom = DeviceError::OutOfDeviceMemory {
+            requested: 100,
+            available: 10,
+            capacity: 50,
+        };
         assert!(oom.to_string().contains("out of device memory"));
         assert!(oom.to_string().contains("requested 100 bytes"));
         assert!(oom.to_string().contains("10 of 50"));

@@ -76,7 +76,12 @@ pub struct InjectedFault {
 
 impl fmt::Display for InjectedFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "injected fault: {} at op #{}", self.kind.label(), self.op_index)
+        write!(
+            f,
+            "injected fault: {} at op #{}",
+            self.kind.label(),
+            self.op_index
+        )
     }
 }
 
@@ -221,7 +226,10 @@ pub struct FaultState {
 impl FaultState {
     /// Begin injecting `plan` with fresh counters.
     pub fn new(plan: FaultPlan) -> Self {
-        FaultState { plan, ..FaultState::default() }
+        FaultState {
+            plan,
+            ..FaultState::default()
+        }
     }
 
     /// The schedule being injected.
@@ -244,7 +252,10 @@ impl FaultState {
         let index = self.allocs;
         self.allocs += 1;
         if self.plan.alloc_fail.contains(&index) {
-            let fault = InjectedFault { kind: FaultKind::AllocFail, op_index: index };
+            let fault = InjectedFault {
+                kind: FaultKind::AllocFail,
+                op_index: index,
+            };
             self.log.push(fault);
             Some(fault)
         } else {
@@ -257,11 +268,17 @@ impl FaultState {
         let index = self.launches;
         self.launches += 1;
         if self.plan.launch_transient.contains(&index) {
-            let fault = InjectedFault { kind: FaultKind::LaunchTransient, op_index: index };
+            let fault = InjectedFault {
+                kind: FaultKind::LaunchTransient,
+                op_index: index,
+            };
             self.log.push(fault);
             Some(LaunchFault::Transient(fault))
         } else if self.plan.kernel_hang.contains(&index) {
-            let fault = InjectedFault { kind: FaultKind::KernelHang, op_index: index };
+            let fault = InjectedFault {
+                kind: FaultKind::KernelHang,
+                op_index: index,
+            };
             self.log.push(fault);
             Some(LaunchFault::Hang(fault))
         } else {
@@ -280,7 +297,10 @@ impl FaultState {
         }
         let bit = bit_offset % (buf.len() as u64 * 8);
         buf[(bit / 8) as usize] ^= 1 << (bit % 8);
-        let fault = InjectedFault { kind: FaultKind::ReadbackBitFlip, op_index: index };
+        let fault = InjectedFault {
+            kind: FaultKind::ReadbackBitFlip,
+            op_index: index,
+        };
         self.log.push(fault);
         Some(fault)
     }
@@ -316,7 +336,11 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         for seed in 0..64 {
-            assert_eq!(FaultPlan::generate(seed), FaultPlan::generate(seed), "seed {seed}");
+            assert_eq!(
+                FaultPlan::generate(seed),
+                FaultPlan::generate(seed),
+                "seed {seed}"
+            );
         }
     }
 
@@ -325,14 +349,19 @@ mod tests {
         for seed in 0..64u64 {
             let plan = FaultPlan::generate(seed);
             let forced = FaultKind::all()[(seed % 4) as usize];
-            assert!(plan.kinds().contains(&forced), "seed {seed} missing {forced:?}");
+            assert!(
+                plan.kinds().contains(&forced),
+                "seed {seed} missing {forced:?}"
+            );
             assert!(!plan.is_empty());
         }
     }
 
     #[test]
     fn counters_fire_at_scheduled_indices() {
-        let plan = FaultPlan::none().with_alloc_fail(1).with_launch_transient(0);
+        let plan = FaultPlan::none()
+            .with_alloc_fail(1)
+            .with_launch_transient(0);
         let mut st = FaultState::new(plan);
         assert!(st.on_alloc().is_none()); // alloc #0
         let f = st.on_alloc().expect("alloc #1 scheduled"); // alloc #1
@@ -359,7 +388,7 @@ mod tests {
         let set: u32 = buf.iter().map(|b| b.count_ones()).sum();
         assert_eq!(set, 1);
         assert_eq!(buf[1], 1 << 5); // bit 13 = byte 1, bit 5
-        // Unscheduled readback leaves the buffer alone.
+                                    // Unscheduled readback leaves the buffer alone.
         let mut buf2 = vec![0xFFu8; 4];
         assert!(st.on_readback(&mut buf2).is_none());
         assert_eq!(buf2, vec![0xFF; 4]);
@@ -389,7 +418,10 @@ mod tests {
     #[test]
     fn labels_and_display() {
         assert_eq!(FaultKind::KernelHang.label(), "kernel-hang");
-        let f = InjectedFault { kind: FaultKind::AllocFail, op_index: 3 };
+        let f = InjectedFault {
+            kind: FaultKind::AllocFail,
+            op_index: 3,
+        };
         assert_eq!(f.to_string(), "injected fault: alloc-fail at op #3");
     }
 }

@@ -21,7 +21,9 @@ pub struct GlobalMemory {
 impl GlobalMemory {
     /// Allocate `size` zeroed bytes.
     pub fn new(size: usize) -> Self {
-        GlobalMemory { data: vec![0; size] }
+        GlobalMemory {
+            data: vec![0; size],
+        }
     }
 
     /// Allocate and initialize from host data (the `cudaMemcpy` of the

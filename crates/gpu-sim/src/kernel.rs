@@ -12,12 +12,13 @@
 //! threads.
 
 use crate::config::GpuConfig;
+use crate::constant::{broadcast_degree, ConstId, ConstantBuffer};
 use crate::global::{coalesce_halfwarp, GlobalMemory};
 use crate::shared::{conflict_passes, SharedMemory};
 use crate::stats::SmStats;
-use crate::constant::{broadcast_degree, ConstId, ConstantBuffer};
 use crate::texture::{TexId, Texture2d};
 use mem_sim::{Cache, Cycle, DramChannel};
+use trace::StallReason;
 
 /// Identity of a warp within the launch, handed to the program factory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +80,11 @@ pub struct StepCost {
     /// Cycle at which the warp may issue its next instruction (memory
     /// completion for loads; equals issue end when no memory op ran).
     pub ready_at: Cycle,
+    /// Why the warp is waiting past its issue slot, when a long-latency
+    /// memory source is responsible. `None` for compute-bound steps, hits,
+    /// and conflict-free accesses — idle gaps ending on such a warp fall
+    /// into the `no-ready-warp` residual bucket.
+    pub stall: Option<StallReason>,
 }
 
 /// Execution context for one warp step: a view over the SM's memory system
@@ -98,6 +104,7 @@ pub struct WarpCtx<'a> {
     pub(crate) issue: u32,
     pub(crate) ready_at: Cycle,
     pub(crate) mem_ops: u32,
+    pub(crate) stall: Option<StallReason>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -131,17 +138,33 @@ impl<'a> WarpCtx<'a> {
             issue,
             ready_at: now + issue as Cycle,
             mem_ops: 0,
+            stall: None,
         }
     }
 
-    /// Finalize the step into its cost.
+    /// Finalize the step into its cost. The stall classification only
+    /// survives when the warp actually waits past its issue slot — a hidden
+    /// (issue-bound) memory access cannot end an idle gap for its reason.
     pub(crate) fn into_cost(self) -> StepCost {
-        StepCost { issue: self.issue, ready_at: self.ready_at.max(self.now + self.issue as Cycle) }
+        let issue_end = self.now + self.issue as Cycle;
+        let stall = if self.ready_at > issue_end {
+            self.stall
+        } else {
+            None
+        };
+        StepCost {
+            issue: self.issue,
+            ready_at: self.ready_at.max(issue_end),
+            stall,
+        }
     }
 
     fn note_mem_op(&mut self) {
         self.mem_ops += 1;
-        debug_assert!(self.mem_ops <= 1, "a warp step may perform at most one memory operation");
+        debug_assert!(
+            self.mem_ops <= 1,
+            "a warp step may perform at most one memory operation"
+        );
     }
 
     /// The device configuration (for warp size, bank count, …).
@@ -204,6 +227,7 @@ impl<'a> WarpCtx<'a> {
                 ready = ready.max(self.dram.issue(self.now, bytes));
             }
         }
+        self.stall = Some(StallReason::GlobalLatency);
         self.ready_at = self.ready_at.max(ready);
     }
 
@@ -287,6 +311,9 @@ impl<'a> WarpCtx<'a> {
         // The first pass of each half-warp is covered by the base issue
         // slot; each extra (conflict) pass re-occupies the port.
         self.issue += extra_passes * self.cfg.issue_cycles;
+        if extra_passes > 0 {
+            self.stall = Some(StallReason::SharedBank);
+        }
         self.ready_at = self
             .ready_at
             .max(self.now + (self.issue + self.cfg.shared_latency) as Cycle);
@@ -322,6 +349,9 @@ impl<'a> WarpCtx<'a> {
         self.stats.const_reads += reads;
         self.stats.const_replays += (degree - 1) as u64;
         self.stats.const_misses += misses;
+        if misses > 0 {
+            self.stall = Some(StallReason::ConstMiss);
+        }
         self.ready_at = self.ready_at.max(ready);
     }
 
@@ -358,6 +388,9 @@ impl<'a> WarpCtx<'a> {
         let pipe = (fetches as f64 / self.cfg.tex_lanes_per_cycle).ceil() as u32;
         self.issue = self.issue.max(pipe);
         self.stats.record_tex(fetches, misses_this_op as u64);
+        if misses_this_op > 0 {
+            self.stall = Some(StallReason::TexMiss);
+        }
         self.ready_at = self.ready_at.max(ready);
     }
 }
@@ -394,7 +427,10 @@ mod tests {
                 cache: Cache::new(cfg.tex_cache),
                 l2: Cache::new(cfg.tex_l2),
                 cc: Cache::new(cfg.const_cache),
-                dram: DramChannel::new(DramConfig { latency_cycles: 100, bytes_per_cycle: 8.0 }),
+                dram: DramChannel::new(DramConfig {
+                    latency_cycles: 100,
+                    bytes_per_cycle: 8.0,
+                }),
                 stats: SmStats::default(),
             }
         }
@@ -426,7 +462,7 @@ mod tests {
         let cost = ctx.into_cost();
         assert!(cost.ready_at > 100); // paid DRAM latency
         assert_eq!(rig.stats.global_transactions, 2); // 2 half-warps × 1 txn
-        // Functional correctness: little-endian of the 0..=255 ramp.
+                                                      // Functional correctness: little-endian of the 0..=255 ramp.
         assert_eq!(out[1], u32::from_le_bytes([4, 5, 6, 7]));
     }
 
@@ -572,6 +608,61 @@ mod tests {
         }
         assert_eq!(rig.stats.const_replays, 31);
         assert_eq!(rig.stats.const_reads, 64);
+    }
+
+    #[test]
+    fn stall_classification_per_op_kind() {
+        let mut rig = Rig::new();
+        // Global load pays DRAM latency → GlobalLatency.
+        {
+            let mut ctx = rig.ctx(0);
+            let mut out = vec![0u8; 32];
+            ctx.global_read_u8(&[Some(0)], &mut out);
+            assert_eq!(ctx.into_cost().stall, Some(StallReason::GlobalLatency));
+        }
+        // Conflict-free shared access → no attributable stall.
+        {
+            let mut ctx = rig.ctx(0);
+            let writes: Vec<Option<(u64, u32)>> = (0..32).map(|l| Some((l * 4, 0u32))).collect();
+            ctx.shared_write_u32(&writes);
+            assert_eq!(ctx.into_cost().stall, None);
+        }
+        // Bank-conflicted shared access → SharedBank.
+        {
+            let mut ctx = rig.ctx(0);
+            let addrs: Vec<Option<u64>> = (0..32).map(|l| Some(l * 16 * 4)).collect();
+            let mut out = vec![0u8; 32];
+            ctx.shared_read_u8(&addrs, &mut out);
+            assert_eq!(ctx.into_cost().stall, Some(StallReason::SharedBank));
+        }
+        // Cold texture fetch → TexMiss; warm repeat → no stall.
+        {
+            let mut ctx = rig.ctx(0);
+            let coords = vec![Some((0u32, 0u32)); 32];
+            let mut out = vec![0u32; 32];
+            ctx.tex_fetch(TexId(0), &coords, &mut out);
+            assert_eq!(ctx.into_cost().stall, Some(StallReason::TexMiss));
+        }
+        {
+            let mut ctx = rig.ctx(10_000);
+            let coords = vec![Some((0u32, 1u32)); 32];
+            let mut out = vec![0u32; 32];
+            ctx.tex_fetch(TexId(0), &coords, &mut out);
+            assert_eq!(ctx.into_cost().stall, None);
+        }
+        // Cold constant read → ConstMiss; compute-only step → None.
+        {
+            let mut ctx = rig.ctx(20_000);
+            let idx = vec![Some(0u32); 32];
+            let mut out = vec![0u32; 32];
+            ctx.const_read_u32(ConstId(0), &idx, &mut out);
+            assert_eq!(ctx.into_cost().stall, Some(StallReason::ConstMiss));
+        }
+        {
+            let mut ctx = rig.ctx(0);
+            ctx.compute(3);
+            assert_eq!(ctx.into_cost().stall, None);
+        }
     }
 
     #[test]

@@ -71,7 +71,8 @@ pub use fault::{FaultKind, FaultPlan, FaultState, InjectedFault, HANG_CYCLES};
 pub use global::GlobalMemory;
 pub use kernel::{StepOutcome, WarpCtx, WarpGeometry, WarpProgram};
 pub use shared::SharedMemory;
-pub use stats::{LaunchStats, SmStats};
+pub use stats::{LaunchStats, LoadImbalance, SmStats};
 pub use texture::{TexId, Texture2d};
 
 pub use mem_sim::Cycle;
+pub use trace::{StallBreakdown, StallReason, TraceBuffer, TraceConfig};

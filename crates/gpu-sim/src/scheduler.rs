@@ -23,6 +23,11 @@ use crate::shared::SharedMemory;
 use crate::stats::SmStats;
 use crate::texture::Texture2d;
 use mem_sim::{Cache, Cycle, DramChannel};
+use trace::{ArgValue, StallReason, TraceBuffer, PID_DEVICE};
+
+/// Trace track offset separating each SM's DRAM-channel events from its
+/// scheduler events (same pid, distinct tid lane).
+const DRAM_TID_BASE: u32 = 1000;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WarpRun {
@@ -38,6 +43,9 @@ struct WarpSlot<P> {
     run: WarpRun,
     /// Index into the SM's active-block table.
     block_slot: usize,
+    /// Why the warp is waiting until `ready_at` (None = issue-bound). An
+    /// idle gap ending at this warp's wake-up is charged to this reason.
+    wait: Option<StallReason>,
 }
 
 struct ActiveBlock {
@@ -48,7 +56,9 @@ struct ActiveBlock {
 
 /// Simulate one SM executing `block_ids` of the launch. Returns the SM's
 /// statistics; finished warp programs are appended to `retired` for
-/// host-side result extraction.
+/// host-side result extraction. When `trace` is armed, scheduler and DRAM
+/// events are recorded against SM `sm_id`'s tracks — recording never feeds
+/// back into timing, so traced and untraced runs produce identical stats.
 #[allow(clippy::too_many_arguments)] // the SM's full memory system is threaded through explicitly
 pub(crate) fn run_sm<P, F>(
     cfg: &GpuConfig,
@@ -59,6 +69,8 @@ pub(crate) fn run_sm<P, F>(
     block_ids: &[u32],
     factory: &mut F,
     retired: &mut Vec<(WarpGeometry, P)>,
+    sm_id: u32,
+    mut trace: Option<&mut TraceBuffer>,
 ) -> SmStats
 where
     P: WarpProgram,
@@ -75,6 +87,11 @@ where
     let mut tex_l2 = Cache::new(cfg.tex_l2);
     let mut const_cache = Cache::new(cfg.const_cache);
     let mut dram = DramChannel::new(cfg.dram);
+    if let Some(tb) = trace.as_deref_mut() {
+        if tb.config().dram {
+            dram.enable_log(tb.config().max_events);
+        }
+    }
 
     let mut pending = block_ids.iter().copied();
     let mut blocks: Vec<ActiveBlock> = Vec::with_capacity(resident_blocks);
@@ -82,41 +99,64 @@ where
     // Indices of live (not finished) slots, scanned round-robin.
     let mut live: Vec<usize> = Vec::new();
 
-    let activate =
-        |block_id: u32,
-         block_slot: usize,
-         slots: &mut Vec<WarpSlot<P>>,
-         live: &mut Vec<usize>,
-         factory: &mut F,
-         now: Cycle|
-         -> ActiveBlock {
-            for w in 0..warps_per_block {
-                let geom = WarpGeometry {
-                    block_id,
-                    warp_in_block: w,
-                    warp_size: cfg.warp_size,
-                    threads_per_block: lc.threads_per_block,
-                    grid_blocks: lc.grid_blocks,
-                };
-                slots.push(WarpSlot {
-                    program: Some(factory(geom)),
-                    geom,
-                    ready_at: now,
-                    run: WarpRun::Ready,
-                    block_slot,
-                });
-                live.push(slots.len() - 1);
+    let activate = |block_id: u32,
+                    block_slot: usize,
+                    slots: &mut Vec<WarpSlot<P>>,
+                    live: &mut Vec<usize>,
+                    factory: &mut F,
+                    now: Cycle,
+                    trace: Option<&mut TraceBuffer>|
+     -> ActiveBlock {
+        for w in 0..warps_per_block {
+            let geom = WarpGeometry {
+                block_id,
+                warp_in_block: w,
+                warp_size: cfg.warp_size,
+                threads_per_block: lc.threads_per_block,
+                grid_blocks: lc.grid_blocks,
+            };
+            slots.push(WarpSlot {
+                program: Some(factory(geom)),
+                geom,
+                ready_at: now,
+                run: WarpRun::Ready,
+                block_slot,
+                wait: None,
+            });
+            live.push(slots.len() - 1);
+        }
+        if let Some(tb) = trace {
+            if tb.config().scheduler {
+                tb.instant(
+                    "block-activate",
+                    "sched",
+                    PID_DEVICE,
+                    sm_id,
+                    now,
+                    vec![("block".to_string(), ArgValue::U64(block_id as u64))],
+                );
             }
-            ActiveBlock {
-                shared: SharedMemory::new(lc.shared_bytes_per_block, cfg.shared_banks),
-                alive_warps: warps_per_block,
-                at_barrier: 0,
-            }
-        };
+        }
+        ActiveBlock {
+            shared: SharedMemory::new(lc.shared_bytes_per_block, cfg.shared_banks),
+            alive_warps: warps_per_block,
+            at_barrier: 0,
+        }
+    };
 
     for slot in 0..resident_blocks {
-        let id = pending.next().expect("resident_blocks bounded by block count");
-        let ab = activate(id, slot, &mut slots, &mut live, factory, 0);
+        let id = pending
+            .next()
+            .expect("resident_blocks bounded by block count");
+        let ab = activate(
+            id,
+            slot,
+            &mut slots,
+            &mut live,
+            factory,
+            0,
+            trace.as_deref_mut(),
+        );
         blocks.push(ab);
     }
 
@@ -137,16 +177,31 @@ where
             }
         }
         let Some(li) = chosen else {
-            // Nothing issueable: jump to the earliest wake-up.
-            let next = live
-                .iter()
-                .filter(|&&i| slots[i].run == WarpRun::Ready)
-                .map(|&i| slots[i].ready_at)
-                .min();
+            // Nothing issueable: jump to the earliest wake-up. The idle gap
+            // is charged to the wait reason of the warp that ends it (the
+            // first live warp with the minimal wake-up cycle — deterministic
+            // because `live` scan order is deterministic).
+            let mut next: Option<(Cycle, usize)> = None;
+            for &i in &live {
+                if slots[i].run == WarpRun::Ready {
+                    let t = slots[i].ready_at;
+                    if next.is_none_or(|(best, _)| t < best) {
+                        next = Some((t, i));
+                    }
+                }
+            }
             match next {
-                Some(t) => {
+                Some((t, ender)) => {
                     debug_assert!(t > now);
-                    stats.idle_cycles += t - now;
+                    let gap = t - now;
+                    let reason = slots[ender].wait.unwrap_or(StallReason::NoReadyWarp);
+                    stats.idle_cycles += gap;
+                    stats.stalls.add(reason, gap);
+                    if let Some(tb) = trace.as_deref_mut() {
+                        if tb.config().scheduler {
+                            tb.stall(sm_id, now, gap, reason);
+                        }
+                    }
                     now = t;
                     continue;
                 }
@@ -181,20 +236,46 @@ where
                 &mut stats,
                 now,
             );
-            let program = slots[slot_idx].program.as_mut().expect("live warp has a program");
+            let program = slots[slot_idx]
+                .program
+                .as_mut()
+                .expect("live warp has a program");
             let outcome = program.step(&mut ctx);
             (outcome, ctx.into_cost())
         };
         stats.instructions += 1;
         issue_free = now + cost.issue as Cycle;
         slots[slot_idx].ready_at = cost.ready_at.max(issue_free);
+        slots[slot_idx].wait = cost.stall;
+        if let Some(tb) = trace.as_deref_mut() {
+            if tb.config().issues {
+                let geom = slots[slot_idx].geom;
+                tb.instant(
+                    "issue",
+                    "sched",
+                    PID_DEVICE,
+                    sm_id,
+                    now,
+                    vec![
+                        ("block".to_string(), ArgValue::U64(geom.block_id as u64)),
+                        ("warp".to_string(), ArgValue::U64(geom.warp_in_block as u64)),
+                    ],
+                );
+            }
+        }
 
         match outcome {
             StepOutcome::Continue => {}
             StepOutcome::Barrier => {
                 slots[slot_idx].run = WarpRun::AtBarrier;
                 blocks[block_slot].at_barrier += 1;
-                maybe_release_barrier(&mut blocks[block_slot], &mut slots, &live, block_slot, &mut stats);
+                maybe_release_barrier(
+                    &mut blocks[block_slot],
+                    &mut slots,
+                    &live,
+                    block_slot,
+                    &mut stats,
+                );
             }
             StepOutcome::Finished => {
                 slots[slot_idx].run = WarpRun::Finished;
@@ -218,7 +299,15 @@ where
                     // Retire the block; activate the next pending one in
                     // this residency slot.
                     if let Some(next_id) = pending.next() {
-                        let ab = activate(next_id, block_slot, &mut slots, &mut live, factory, now);
+                        let ab = activate(
+                            next_id,
+                            block_slot,
+                            &mut slots,
+                            &mut live,
+                            factory,
+                            now,
+                            trace.as_deref_mut(),
+                        );
                         blocks[block_slot] = ab;
                     }
                 } else {
@@ -233,6 +322,45 @@ where
         // Account for in-flight memory of the final instructions.
         slots.iter().map(|s| s.ready_at).max().unwrap_or(0),
     );
+    if let Some(tb) = trace {
+        if tb.config().scheduler {
+            tb.span(
+                "sm",
+                "sched",
+                PID_DEVICE,
+                sm_id,
+                0,
+                stats.cycles,
+                vec![
+                    ("blocks".to_string(), ArgValue::U64(block_ids.len() as u64)),
+                    (
+                        "instructions".to_string(),
+                        ArgValue::U64(stats.instructions),
+                    ),
+                    ("idle_cycles".to_string(), ArgValue::U64(stats.idle_cycles)),
+                ],
+            );
+        }
+        if tb.config().dram {
+            for txn in dram.take_log() {
+                tb.span(
+                    "dram-txn",
+                    "mem",
+                    PID_DEVICE,
+                    DRAM_TID_BASE + sm_id,
+                    txn.start,
+                    txn.done - txn.start,
+                    vec![
+                        ("bytes".to_string(), ArgValue::U64(txn.bytes as u64)),
+                        (
+                            "queue_cycles".to_string(),
+                            ArgValue::U64(txn.start - txn.issued),
+                        ),
+                    ],
+                );
+            }
+        }
+    }
     stats
 }
 
@@ -256,6 +384,11 @@ fn maybe_release_barrier<P>(
         for &i in live {
             if slots[i].block_slot == block_slot && slots[i].run == WarpRun::AtBarrier {
                 slots[i].run = WarpRun::Ready;
+                if release_at > slots[i].ready_at {
+                    // The barrier, not this warp's own memory, is what it
+                    // resumes behind.
+                    slots[i].wait = Some(StallReason::Barrier);
+                }
                 slots[i].ready_at = slots[i].ready_at.max(release_at);
             }
         }

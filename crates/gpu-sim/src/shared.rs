@@ -19,7 +19,10 @@ pub struct SharedMemory {
 impl SharedMemory {
     /// Allocate `size` zeroed bytes with the device's bank count.
     pub fn new(size: u32, banks: u32) -> Self {
-        SharedMemory { data: vec![0; size as usize], banks }
+        SharedMemory {
+            data: vec![0; size as usize],
+            banks,
+        }
     }
 
     /// Capacity in bytes.

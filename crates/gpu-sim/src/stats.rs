@@ -4,6 +4,7 @@
 use crate::global::Transaction;
 use mem_sim::{Counter, Cycle};
 use serde::{Deserialize, Serialize};
+use trace::{MetricsSnapshot, SmActivity, StallBreakdown};
 
 /// Counters accumulated by one SM during a launch.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -39,6 +40,10 @@ pub struct SmStats {
     /// Cycles this SM spent with no warp ready to issue (stalled on
     /// memory) — the "saturation" signal of paper Fig. 19(b).
     pub idle_cycles: u64,
+    /// Attribution of `idle_cycles` by the reason the gap-ending warp was
+    /// parked; invariant (pinned by tests): `stalls.total() == idle_cycles`.
+    #[serde(default)]
+    pub stalls: StallBreakdown,
     /// Total cycles this SM ran.
     pub cycles: Cycle,
 }
@@ -74,10 +79,12 @@ impl SmStats {
         self.const_reads += other.const_reads;
         self.const_replays += other.const_replays;
         self.const_misses += other.const_misses;
-        self.shared_conflict_passes.merge(&other.shared_conflict_passes);
+        self.shared_conflict_passes
+            .merge(&other.shared_conflict_passes);
         self.shared_conflicts += other.shared_conflicts;
         self.barriers += other.barriers;
         self.idle_cycles += other.idle_cycles;
+        self.stalls.merge(&other.stalls);
         self.cycles = self.cycles.max(other.cycles);
     }
 
@@ -108,6 +115,9 @@ pub struct LaunchStats {
     pub cycles: Cycle,
     /// Per-SM completion cycles (load-balance diagnostics).
     pub per_sm_cycles: Vec<Cycle>,
+    /// Full per-SM counters (stall attribution, idle cycles, traffic).
+    #[serde(default)]
+    pub per_sm: Vec<SmStats>,
     /// Aggregated counters across SMs.
     pub totals: SmStats,
     /// Blocks executed.
@@ -116,10 +126,183 @@ pub struct LaunchStats {
     pub warps: u32,
 }
 
+/// Per-SM completion-cycle spread: how evenly the launch's blocks loaded
+/// the SMs. `max` is the launch's critical path; a large `max/mean` means
+/// some SMs finished early and idled while the stragglers ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadImbalance {
+    /// Slowest SM's completion cycle (= the launch time).
+    pub max: Cycle,
+    /// Fastest SM's completion cycle.
+    pub min: Cycle,
+    /// Mean completion cycle across SMs.
+    pub mean: f64,
+}
+
+impl LoadImbalance {
+    /// `max / mean` — 1.0 is a perfectly balanced launch.
+    pub fn ratio(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
 impl LaunchStats {
     /// Seconds at `clock_hz`.
     pub fn seconds(&self, clock_hz: f64) -> f64 {
         self.cycles as f64 / clock_hz
+    }
+
+    /// Input-consumption throughput in Gbit/s — the paper's headline unit
+    /// (e.g. Fig. 7's ~2 Gbps for the global-memory kernel).
+    pub fn throughput_gbps(&self, clock_hz: f64, input_bytes: u64) -> f64 {
+        let secs = self.seconds(clock_hz);
+        if secs == 0.0 {
+            0.0
+        } else {
+            input_bytes as f64 * 8.0 / secs / 1e9
+        }
+    }
+
+    /// Per-SM completion-cycle spread.
+    pub fn load_imbalance(&self) -> LoadImbalance {
+        if self.per_sm_cycles.is_empty() {
+            return LoadImbalance::default();
+        }
+        let max = self.per_sm_cycles.iter().copied().max().unwrap_or(0);
+        let min = self.per_sm_cycles.iter().copied().min().unwrap_or(0);
+        let mean =
+            self.per_sm_cycles.iter().sum::<Cycle>() as f64 / self.per_sm_cycles.len() as f64;
+        LoadImbalance { max, min, mean }
+    }
+
+    /// Per-SM activity rows for the trace crate's stall-summary renderer.
+    pub fn sm_activity(&self) -> Vec<SmActivity> {
+        self.per_sm
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SmActivity {
+                sm: i as u32,
+                cycles: s.cycles,
+                idle_cycles: s.idle_cycles,
+                stalls: s.stalls,
+            })
+            .collect()
+    }
+
+    /// The human-readable per-SM timeline + stall breakdown (the Fig. 19
+    /// latency-hiding narrative).
+    pub fn stall_summary(&self) -> String {
+        trace::render_stall_summary(self.cycles, &self.sm_activity())
+    }
+
+    /// Flatten the launch into a metrics snapshot (JSON / Prometheus via
+    /// [`MetricsSnapshot`]). `input_bytes` feeds the throughput gauge; pass
+    /// 0 when no meaningful input size exists.
+    pub fn metrics(&self, clock_hz: f64, input_bytes: u64) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.push(
+            "acsim_launch_cycles",
+            "wall cycles of the launch (slowest SM)",
+            self.cycles,
+        );
+        snap.push(
+            "acsim_launch_seconds",
+            "launch time at the device clock",
+            self.seconds(clock_hz),
+        );
+        if input_bytes > 0 {
+            snap.push(
+                "acsim_input_bytes",
+                "input bytes consumed by the launch",
+                input_bytes,
+            );
+            snap.push(
+                "acsim_throughput_gbps",
+                "input-consumption throughput in Gbit/s",
+                self.throughput_gbps(clock_hz, input_bytes),
+            );
+        }
+        snap.push("acsim_blocks", "blocks executed", self.blocks as u64);
+        snap.push("acsim_warps", "warps executed", self.warps as u64);
+        snap.push(
+            "acsim_instructions",
+            "warp instructions issued",
+            self.totals.instructions,
+        );
+        snap.push(
+            "acsim_idle_cycles",
+            "SM-cycles with no warp ready",
+            self.totals.idle_cycles,
+        );
+        snap.push(
+            "acsim_tex_hit_rate",
+            "texture L1 hit rate in [0,1]",
+            self.totals.tex_hit_rate(),
+        );
+        snap.push(
+            "acsim_coalescing_ratio",
+            "global lane requests per DRAM transaction",
+            self.totals.coalescing_ratio(),
+        );
+        snap.push(
+            "acsim_global_bytes",
+            "bytes moved for global traffic",
+            self.totals.global_bytes,
+        );
+        snap.push(
+            "acsim_shared_conflicts",
+            "half-warp shared accesses with bank conflicts",
+            self.totals.shared_conflicts,
+        );
+        snap.push(
+            "acsim_barriers",
+            "barrier waits completed",
+            self.totals.barriers,
+        );
+        let imb = self.load_imbalance();
+        snap.push(
+            "acsim_sm_cycles_max",
+            "slowest SM completion cycle",
+            imb.max,
+        );
+        snap.push(
+            "acsim_sm_cycles_min",
+            "fastest SM completion cycle",
+            imb.min,
+        );
+        snap.push("acsim_sm_cycles_mean", "mean SM completion cycle", imb.mean);
+        snap.push(
+            "acsim_load_imbalance",
+            "max/mean SM completion ratio",
+            imb.ratio(),
+        );
+        for (reason, cycles) in self.totals.stalls.entries() {
+            snap.push_labelled(
+                "acsim_stall_cycles",
+                "idle cycles attributed to each stall reason",
+                vec![("reason".to_string(), reason.label().to_string())],
+                cycles,
+            );
+        }
+        for (i, s) in self.per_sm.iter().enumerate() {
+            snap.push_labelled(
+                "acsim_sm_cycles",
+                "per-SM completion cycle",
+                vec![("sm".to_string(), i.to_string())],
+                s.cycles,
+            );
+            snap.push_labelled(
+                "acsim_sm_idle_cycles",
+                "per-SM idle cycles",
+                vec![("sm".to_string(), i.to_string())],
+                s.idle_cycles,
+            );
+        }
+        snap
     }
 }
 
@@ -129,8 +312,18 @@ mod tests {
 
     #[test]
     fn merge_takes_max_cycles_and_sums_counts() {
-        let mut a = SmStats { instructions: 5, cycles: 100, ..Default::default() };
-        let b = SmStats { instructions: 7, cycles: 50, tex_fetches: 10, tex_misses: 5, ..Default::default() };
+        let mut a = SmStats {
+            instructions: 5,
+            cycles: 100,
+            ..Default::default()
+        };
+        let b = SmStats {
+            instructions: 7,
+            cycles: 50,
+            tex_fetches: 10,
+            tex_misses: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.instructions, 12);
         assert_eq!(a.cycles, 100);
@@ -154,7 +347,92 @@ mod tests {
 
     #[test]
     fn launch_seconds() {
-        let ls = LaunchStats { cycles: 2_000_000, ..Default::default() };
+        let ls = LaunchStats {
+            cycles: 2_000_000,
+            ..Default::default()
+        };
         assert!((ls.seconds(2.0e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_gbps_matches_hand_computation() {
+        // 1 GB of input in 1 second is 8 Gbps.
+        let ls = LaunchStats {
+            cycles: 1_000_000_000,
+            ..Default::default()
+        };
+        let gbps = ls.throughput_gbps(1.0e9, 1_000_000_000);
+        assert!((gbps - 8.0).abs() < 1e-12, "{gbps}");
+        // Empty launch yields zero rather than dividing by zero.
+        assert_eq!(
+            LaunchStats::default().throughput_gbps(1.0e9, 1_000_000_000),
+            0.0
+        );
+    }
+
+    #[test]
+    fn load_imbalance_spread() {
+        let ls = LaunchStats {
+            cycles: 400,
+            per_sm_cycles: vec![100, 200, 300, 400],
+            ..Default::default()
+        };
+        let imb = ls.load_imbalance();
+        assert_eq!(imb.max, 400);
+        assert_eq!(imb.min, 100);
+        assert!((imb.mean - 250.0).abs() < 1e-12);
+        assert!((imb.ratio() - 1.6).abs() < 1e-12);
+        // No SMs: well-defined neutral values.
+        let empty = LaunchStats::default().load_imbalance();
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.ratio(), 1.0);
+    }
+
+    #[test]
+    fn merge_sums_stall_breakdowns() {
+        use trace::StallReason;
+        let mut a = SmStats::default();
+        a.stalls.add(StallReason::TexMiss, 10);
+        let mut b = SmStats::default();
+        b.stalls.add(StallReason::TexMiss, 5);
+        b.stalls.add(StallReason::Barrier, 2);
+        a.merge(&b);
+        assert_eq!(a.stalls.tex_miss, 15);
+        assert_eq!(a.stalls.barrier, 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_stalls_and_sms() {
+        use trace::StallReason;
+        let mut sm0 = SmStats {
+            cycles: 100,
+            idle_cycles: 30,
+            ..Default::default()
+        };
+        sm0.stalls.add(StallReason::GlobalLatency, 30);
+        let mut totals = sm0.clone();
+        let sm1 = SmStats {
+            cycles: 80,
+            idle_cycles: 0,
+            ..Default::default()
+        };
+        totals.merge(&sm1);
+        let ls = LaunchStats {
+            cycles: 100,
+            per_sm_cycles: vec![100, 80],
+            per_sm: vec![sm0, sm1],
+            totals,
+            blocks: 2,
+            warps: 4,
+        };
+        let snap = ls.metrics(1.0e6, 1024);
+        assert!(snap.get("acsim_launch_cycles", &[]).is_some());
+        assert!(snap.get("acsim_throughput_gbps", &[]).is_some());
+        assert!(snap
+            .get("acsim_stall_cycles", &[("reason", "global-latency")])
+            .is_some());
+        assert!(snap.get("acsim_sm_idle_cycles", &[("sm", "1")]).is_some());
+        let summary = ls.stall_summary();
+        assert!(summary.contains("global-latency"), "{summary}");
     }
 }

@@ -51,7 +51,12 @@ impl Texture2d {
             "texture data length must equal rows*cols"
         );
         let tiled_cols = (cols as u64).div_ceil(TILE_W) * TILE_W;
-        Texture2d { data, rows, cols, tiled_cols }
+        Texture2d {
+            data,
+            rows,
+            cols,
+            tiled_cols,
+        }
     }
 
     /// Number of rows.
@@ -68,7 +73,10 @@ impl Texture2d {
     /// tiling only affects *addresses*, i.e. timing).
     #[inline]
     pub fn fetch(&self, row: u32, col: u32) -> u32 {
-        debug_assert!(row < self.rows && col < self.cols, "texture fetch out of bounds");
+        debug_assert!(
+            row < self.rows && col < self.cols,
+            "texture fetch out of bounds"
+        );
         self.data[row as usize * self.cols as usize + col as usize]
     }
 
@@ -127,7 +135,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for r in 0..32 {
             for c in 0..40 {
-                assert!(seen.insert(t.tiled_addr(r, c)), "duplicate address at ({r},{c})");
+                assert!(
+                    seen.insert(t.tiled_addr(r, c)),
+                    "duplicate address at ({r},{c})"
+                );
             }
         }
     }
@@ -164,8 +175,13 @@ mod tests {
         // neighbours share tiles. This is the texture cache's raison
         // d'être in the paper.
         let t = tex(256, 257);
-        let mk_cache =
-            || Cache::new(CacheConfig { size_bytes: 2048, line_bytes: 32, associativity: 4 });
+        let mk_cache = || {
+            Cache::new(CacheConfig {
+                size_bytes: 2048,
+                line_bytes: 32,
+                associativity: 4,
+            })
+        };
         let mut tiled = mk_cache();
         let mut linear = mk_cache();
         // Walk: small vertical meander in a few hot columns (like AC

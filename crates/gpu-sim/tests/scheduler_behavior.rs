@@ -38,8 +38,14 @@ impl WarpProgram for LoadLoop {
 fn run_load_loop(cfg: GpuConfig, lc: LaunchConfig, rounds: u32) -> gpu_sim::LaunchStats {
     let mut dev = GpuDevice::new(cfg).expect("device bring-up");
     let base = dev.alloc_global(8192).unwrap();
-    let launched =
-        dev.launch(lc, |geom| LoadLoop { geom, base, rounds, done: 0 }).expect("launch");
+    let launched = dev
+        .launch(lc, |geom| LoadLoop {
+            geom,
+            base,
+            rounds,
+            done: 0,
+        })
+        .expect("launch");
     launched.stats
 }
 
@@ -109,7 +115,12 @@ fn compute_bound_work_is_issue_limited() {
     };
     let run = |cap| {
         let mut dev = GpuDevice::new(cfg).unwrap();
-        dev.launch(lc(cap), |_| Spin { rounds: 32, done: 0 }).unwrap().stats
+        dev.launch(lc(cap), |_| Spin {
+            rounds: 32,
+            done: 0,
+        })
+        .unwrap()
+        .stats
     };
     let narrow = run(Some(1));
     let wide = run(Some(2));
@@ -120,7 +131,10 @@ fn compute_bound_work_is_issue_limited() {
     assert!(narrow.cycles >= total_issue);
     assert!(wide.cycles >= total_issue);
     let diff = narrow.cycles.abs_diff(wide.cycles);
-    assert!(diff * 20 < narrow.cycles, "residency changed compute-bound time by {diff}");
+    assert!(
+        diff * 20 < narrow.cycles,
+        "residency changed compute-bound time by {diff}"
+    );
 }
 
 /// A two-phase program with one barrier; phase order must be strict per
@@ -141,7 +155,10 @@ impl WarpProgram for BarrierOrder {
                 let writes: Vec<Option<(u64, u32)>> = (0..n)
                     .map(|l| {
                         if l == 0 {
-                            Some((self.geom.warp_in_block as u64 * 4, self.geom.warp_in_block + 1))
+                            Some((
+                                self.geom.warp_in_block as u64 * 4,
+                                self.geom.warp_in_block + 1,
+                            ))
                         } else {
                             None
                         }
@@ -158,8 +175,9 @@ impl WarpProgram for BarrierOrder {
             2 => {
                 // Read every warp's slot; all must be visible.
                 let warps = self.geom.threads_per_block / self.geom.warp_size;
-                let addrs: Vec<Option<u64>> =
-                    (0..n).map(|l| Some((l as u64 % warps as u64) * 4)).collect();
+                let addrs: Vec<Option<u64>> = (0..n)
+                    .map(|l| Some((l as u64 % warps as u64) * 4))
+                    .collect();
                 let mut out = vec![0u8; n];
                 ctx.shared_read_u8(&addrs, &mut out);
                 self.observed = out.iter().take(warps as usize).map(|&b| b as u32).collect();
@@ -182,7 +200,11 @@ fn barrier_publishes_all_warps_writes() {
         resident_blocks_cap: None,
     };
     let launched = dev
-        .launch(lc, |geom| BarrierOrder { geom, phase: 0, observed: Vec::new() })
+        .launch(lc, |geom| BarrierOrder {
+            geom,
+            phase: 0,
+            observed: Vec::new(),
+        })
         .unwrap();
     assert_eq!(launched.stats.totals.barriers, 4);
     for (geom, p) in &launched.programs {
@@ -209,8 +231,14 @@ fn block_cycling_completes_all_blocks() {
         shared_bytes_per_block: 0,
         resident_blocks_cap: None,
     };
-    let launched =
-        dev.launch(lc, |geom| LoadLoop { geom, base, rounds: 3, done: 0 }).unwrap();
+    let launched = dev
+        .launch(lc, |geom| LoadLoop {
+            geom,
+            base,
+            rounds: 3,
+            done: 0,
+        })
+        .unwrap();
     let mut blocks: Vec<u32> = launched.programs.iter().map(|(g, _)| g.block_id).collect();
     blocks.sort_unstable();
     blocks.dedup();
@@ -261,7 +289,14 @@ fn launches_are_deterministic() {
     let run = || {
         let mut dev = GpuDevice::new(cfg).unwrap();
         let base = dev.alloc_global(4096).unwrap();
-        dev.launch(lc, |geom| LoadLoop { geom, base, rounds: 5, done: 0 }).unwrap().stats
+        dev.launch(lc, |geom| LoadLoop {
+            geom,
+            base,
+            rounds: 5,
+            done: 0,
+        })
+        .unwrap()
+        .stats
     };
     let a = run();
     let b = run();
@@ -301,7 +336,11 @@ fn mismatched_barrier_release_on_exit() {
         resident_blocks_cap: None,
     };
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        dev.launch(lc, |geom| OneSidedBarrier { geom, synced: false }).map(|l| l.stats.cycles)
+        dev.launch(lc, |geom| OneSidedBarrier {
+            geom,
+            synced: false,
+        })
+        .map(|l| l.stats.cycles)
     }));
     match result {
         Ok(Ok(cycles)) => assert!(cycles > 0),

@@ -1,0 +1,104 @@
+//! Property tests for the statistics algebra: device-level aggregation
+//! merges per-SM counters, so `SmStats::merge` must behave like a proper
+//! commutative monoid on the summed counters, take the max for `cycles`
+//! (wall time is the slowest SM), and never lose stall attribution.
+
+use gpu_sim::{SmStats, StallReason};
+use proptest::prelude::*;
+
+/// Build an SmStats whose every field is driven by the input vector.
+fn stats_from(v: &[u64]) -> SmStats {
+    let mut s = SmStats {
+        instructions: v[0],
+        global_requests: v[1],
+        global_transactions: v[2],
+        global_bytes: v[3],
+        tex_fetches: v[4],
+        tex_misses: v[5],
+        tex_l2_misses: v[6],
+        const_reads: v[7],
+        const_replays: v[8],
+        const_misses: v[9],
+        shared_conflicts: v[10],
+        barriers: v[11],
+        cycles: v[12],
+        ..Default::default()
+    };
+    s.shared_conflict_passes.events = v[13];
+    s.shared_conflict_passes.total = v[14];
+    s.shared_conflict_passes.max = v[15];
+    let reasons = StallReason::all();
+    for (i, &r) in reasons.iter().enumerate() {
+        s.stalls.add(r, v[16 + i]);
+    }
+    s.idle_cycles = s.stalls.total();
+    s
+}
+
+fn merged(a: &SmStats, b: &SmStats) -> SmStats {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(0u64..1_000_000, 22..23),
+        ys in proptest::collection::vec(0u64..1_000_000, 22..23),
+    ) {
+        let (a, b) = (stats_from(&xs), stats_from(&ys));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(0u64..1_000_000, 22..23),
+        ys in proptest::collection::vec(0u64..1_000_000, 22..23),
+        zs in proptest::collection::vec(0u64..1_000_000, 22..23),
+    ) {
+        let (a, b, c) = (stats_from(&xs), stats_from(&ys), stats_from(&zs));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn default_is_the_identity(
+        xs in proptest::collection::vec(0u64..1_000_000, 22..23),
+    ) {
+        let a = stats_from(&xs);
+        prop_assert_eq!(merged(&a, &SmStats::default()), a.clone());
+        prop_assert_eq!(merged(&SmStats::default(), &a), a);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_cycles(
+        xs in proptest::collection::vec(0u64..1_000_000, 22..23),
+        ys in proptest::collection::vec(0u64..1_000_000, 22..23),
+    ) {
+        let (a, b) = (stats_from(&xs), stats_from(&ys));
+        let m = merged(&a, &b);
+        // Summed counters.
+        prop_assert_eq!(m.instructions, a.instructions + b.instructions);
+        prop_assert_eq!(m.global_requests, a.global_requests + b.global_requests);
+        prop_assert_eq!(m.global_transactions, a.global_transactions + b.global_transactions);
+        prop_assert_eq!(m.global_bytes, a.global_bytes + b.global_bytes);
+        prop_assert_eq!(m.tex_fetches, a.tex_fetches + b.tex_fetches);
+        prop_assert_eq!(m.tex_misses, a.tex_misses + b.tex_misses);
+        prop_assert_eq!(m.tex_l2_misses, a.tex_l2_misses + b.tex_l2_misses);
+        prop_assert_eq!(m.const_reads, a.const_reads + b.const_reads);
+        prop_assert_eq!(m.const_replays, a.const_replays + b.const_replays);
+        prop_assert_eq!(m.const_misses, a.const_misses + b.const_misses);
+        prop_assert_eq!(m.shared_conflicts, a.shared_conflicts + b.shared_conflicts);
+        prop_assert_eq!(m.barriers, a.barriers + b.barriers);
+        prop_assert_eq!(m.idle_cycles, a.idle_cycles + b.idle_cycles);
+        for r in StallReason::all() {
+            prop_assert_eq!(m.stalls.get(r), a.stalls.get(r) + b.stalls.get(r));
+        }
+        // Wall time takes the slowest SM, not the sum.
+        prop_assert_eq!(m.cycles, a.cycles.max(b.cycles));
+        // The stall-attribution invariant survives merging.
+        prop_assert_eq!(m.stalls.total(), m.idle_cycles);
+    }
+}

@@ -8,8 +8,11 @@
 
 use ac_core::{AcAutomaton, Match};
 use ac_cpu::{par_find_all, ParallelConfig};
-use ac_gpu::{run_supervised, Approach, GpuAcMatcher, KernelParams, SuperviseConfig, SuperviseReport};
-use gpu_sim::{FaultPlan, GpuConfig};
+use ac_gpu::{
+    run_supervised, Approach, GpuAcMatcher, KernelParams, SuperviseConfig, SuperviseReport,
+};
+use gpu_sim::{FaultPlan, GpuConfig, LaunchStats};
+use trace::{ArgValue, TraceBuffer, PID_HOST};
 
 /// The rung of the degradation ladder that produced the final answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,6 +61,14 @@ pub struct ResilientRun {
     pub tier: Tier,
     /// What happened on the way down.
     pub report: DegradationReport,
+    /// Launch statistics of the winning GPU run (`None` when a CPU rung
+    /// answered — CPU rungs have no simulated clock).
+    pub stats: Option<LaunchStats>,
+    /// The recorded timeline when [`SuperviseConfig::trace`] was armed:
+    /// the supervised GPU attempt's stitched trace plus ladder events
+    /// ("tier-abandoned" for each rung given up on, "tier-answered" for
+    /// the rung that produced the result).
+    pub trace: Option<TraceBuffer>,
 }
 
 /// Policy for the ladder.
@@ -95,12 +106,22 @@ impl ResilientMatcher {
     /// Build the ladder for `ac` on a device described by `gpu_cfg`. A
     /// GPU-side construction failure (automaton too large, bad config) is
     /// not fatal — the matcher simply starts life degraded.
-    pub fn new(gpu_cfg: GpuConfig, params: KernelParams, ac: AcAutomaton, cfg: ResilientConfig) -> Self {
+    pub fn new(
+        gpu_cfg: GpuConfig,
+        params: KernelParams,
+        ac: AcAutomaton,
+        cfg: ResilientConfig,
+    ) -> Self {
         let (gpu, gpu_init_error) = match GpuAcMatcher::new(gpu_cfg, params, ac.clone()) {
             Ok(m) => (Some(m), None),
             Err(e) => (None, Some(e.to_string())),
         };
-        ResilientMatcher { gpu, gpu_init_error, ac, cfg }
+        ResilientMatcher {
+            gpu,
+            gpu_init_error,
+            ac,
+            cfg,
+        }
     }
 
     /// The underlying automaton.
@@ -125,36 +146,119 @@ impl ResilientMatcher {
 
     /// Scan `text`, degrading as needed. Infallible: the final rung is
     /// the serial matcher, which cannot fail.
+    ///
+    /// When [`SuperviseConfig::trace`] is armed the returned run carries a
+    /// timeline: the supervised GPU attempts (retries, backoffs, device
+    /// trace of the winning attempt) plus ladder events marking each rung
+    /// abandoned and the rung that finally answered.
     pub fn scan(&self, text: &[u8]) -> ResilientRun {
         let mut report = DegradationReport::default();
+        let mut timeline = self.cfg.supervise.trace.map(TraceBuffer::new);
+        // Simulated-time cursor for ladder events: GPU backoffs (and the
+        // winning kernel) advance it; CPU rungs have no simulated clock,
+        // so their events land at the cursor where the GPU gave up.
+        let mut cursor: u64 = 0;
 
         match &self.gpu {
-            Some(gpu) => {
-                match run_supervised(gpu, text, self.cfg.approach, &self.cfg.supervise) {
-                    Ok(s) => {
-                        report.gpu = Some(s.report);
-                        return ResilientRun { matches: s.run.matches, tier: Tier::Gpu, report };
-                    }
-                    Err((err, trace)) => {
-                        report.gpu = Some(trace);
-                        report.gpu_error = Some(err.to_string());
+            Some(gpu) => match run_supervised(gpu, text, self.cfg.approach, &self.cfg.supervise) {
+                Ok(mut s) => {
+                    cursor = s.report.backoff_cycles + s.run.stats.cycles;
+                    report.gpu = Some(s.report);
+                    let trace = timeline.map(|mut tl| {
+                        if let Some(attempt) = s.run.trace.take() {
+                            tl.merge_shifted(&attempt, 0);
+                        }
+                        ladder_event(&mut tl, "tier-answered", Tier::Gpu, cursor, None);
+                        tl
+                    });
+                    return ResilientRun {
+                        matches: s.run.matches,
+                        tier: Tier::Gpu,
+                        report,
+                        stats: Some(s.run.stats),
+                        trace,
+                    };
+                }
+                Err((err, gpu_report)) => {
+                    cursor = gpu_report.backoff_cycles;
+                    report.gpu = Some(gpu_report);
+                    report.gpu_error = Some(err.to_string());
+                    if let Some(tl) = timeline.as_mut() {
+                        ladder_event(
+                            tl,
+                            "tier-abandoned",
+                            Tier::Gpu,
+                            cursor,
+                            report.gpu_error.as_deref(),
+                        );
                     }
                 }
+            },
+            None => {
+                report.gpu_error = self.gpu_init_error.clone();
+                if let Some(tl) = timeline.as_mut() {
+                    ladder_event(
+                        tl,
+                        "tier-abandoned",
+                        Tier::Gpu,
+                        cursor,
+                        report.gpu_error.as_deref(),
+                    );
+                }
             }
-            None => report.gpu_error = self.gpu_init_error.clone(),
         }
 
         match par_find_all(&self.ac, text, &self.cfg.parallel) {
             Ok(matches) => {
-                return ResilientRun { matches, tier: Tier::CpuParallel, report };
+                let trace = timeline.map(|mut tl| {
+                    ladder_event(&mut tl, "tier-answered", Tier::CpuParallel, cursor, None);
+                    tl
+                });
+                return ResilientRun {
+                    matches,
+                    tier: Tier::CpuParallel,
+                    report,
+                    stats: None,
+                    trace,
+                };
             }
-            Err(e) => report.cpu_parallel_error = Some(e.to_string()),
+            Err(e) => {
+                report.cpu_parallel_error = Some(e.to_string());
+                if let Some(tl) = timeline.as_mut() {
+                    ladder_event(
+                        tl,
+                        "tier-abandoned",
+                        Tier::CpuParallel,
+                        cursor,
+                        report.cpu_parallel_error.as_deref(),
+                    );
+                }
+            }
         }
 
         let mut matches = self.ac.find_all(text);
         matches.sort();
-        ResilientRun { matches, tier: Tier::CpuSerial, report }
+        let trace = timeline.map(|mut tl| {
+            ladder_event(&mut tl, "tier-answered", Tier::CpuSerial, cursor, None);
+            tl
+        });
+        ResilientRun {
+            matches,
+            tier: Tier::CpuSerial,
+            report,
+            stats: None,
+            trace,
+        }
     }
+}
+
+/// Record one degradation-ladder instant on the host track.
+fn ladder_event(tl: &mut TraceBuffer, name: &str, tier: Tier, ts: u64, error: Option<&str>) {
+    let mut args = vec![("tier".to_string(), ArgValue::from(tier.label()))];
+    if let Some(e) = error {
+        args.push(("error".to_string(), ArgValue::from(e)));
+    }
+    tl.instant(name, "ladder", PID_HOST, 0, ts, args);
 }
 
 #[cfg(test)]
@@ -164,8 +268,7 @@ mod tests {
 
     fn resilient(cfg: ResilientConfig) -> ResilientMatcher {
         let gpu_cfg = GpuConfig::gtx285();
-        let ac =
-            AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
         ResilientMatcher::new(gpu_cfg, KernelParams::defaults_for(&gpu_cfg), ac, cfg)
     }
 
@@ -202,7 +305,10 @@ mod tests {
     #[test]
     fn broken_parallel_rung_falls_through_to_serial() {
         let cfg = ResilientConfig {
-            parallel: ParallelConfig { threads: 0, chunk_size: 4096 },
+            parallel: ParallelConfig {
+                threads: 0,
+                chunk_size: 4096,
+            },
             ..ResilientConfig::default()
         };
         let m = resilient(cfg);
@@ -222,7 +328,11 @@ mod tests {
         let ac = AcAutomaton::build(&PatternSet::from_strs(&["he"]).unwrap());
         let m = ResilientMatcher::new(
             gpu_cfg,
-            KernelParams { threads_per_block: 128, global_chunk_bytes: 4096, shared_chunk_bytes: 64 },
+            KernelParams {
+                threads_per_block: 128,
+                global_chunk_bytes: 4096,
+                shared_chunk_bytes: 64,
+            },
             ac,
             ResilientConfig::default(),
         );
@@ -231,6 +341,83 @@ mod tests {
         assert_eq!(run.matches, oracle(&m, b"hehe"));
         assert!(run.report.gpu_error.is_some());
         assert!(run.report.gpu.is_none());
+    }
+
+    #[test]
+    fn traced_clean_scan_reports_gpu_answer() {
+        let cfg = ResilientConfig {
+            supervise: SuperviseConfig {
+                trace: Some(ac_gpu::TraceConfig::default()),
+                ..SuperviseConfig::default()
+            },
+            ..ResilientConfig::default()
+        };
+        let m = resilient(cfg);
+        let run = m.scan(b"ushers rush home");
+        assert_eq!(run.tier, Tier::Gpu);
+        let stats = run.stats.expect("gpu answer carries launch stats");
+        assert!(stats.cycles > 0);
+        let tb = run.trace.expect("trace requested");
+        let answered = tb
+            .events()
+            .iter()
+            .find(|e| e.name == "tier-answered")
+            .expect("ladder records the answering rung");
+        assert!(answered
+            .args
+            .iter()
+            .any(|(k, v)| k == "tier" && matches!(v, ArgValue::Str(s) if s == "gpu")));
+        // Device events from the winning attempt ride along.
+        assert!(tb.events().iter().any(|e| e.name == "kernel"));
+    }
+
+    #[test]
+    fn traced_fallback_records_abandoned_rungs() {
+        let cfg = ResilientConfig {
+            supervise: SuperviseConfig {
+                trace: Some(ac_gpu::TraceConfig::default()),
+                ..SuperviseConfig::default()
+            },
+            parallel: ParallelConfig {
+                threads: 0,
+                chunk_size: 4096,
+            },
+            ..ResilientConfig::default()
+        };
+        let m = resilient(cfg);
+        let plan = (0..64).fold(FaultPlan::none(), |p, i| p.with_launch_transient(i));
+        m.set_fault_plan(plan);
+        let run = m.scan(b"ushers rush home");
+        assert_eq!(run.tier, Tier::CpuSerial);
+        assert!(run.stats.is_none());
+        let tb = run.trace.expect("trace requested");
+        let abandoned: Vec<&str> = tb
+            .events()
+            .iter()
+            .filter(|e| e.name == "tier-abandoned")
+            .filter_map(|e| {
+                e.args.iter().find_map(|(k, v)| match v {
+                    ArgValue::Str(s) if k == "tier" => Some(s.as_str()),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert_eq!(abandoned, ["gpu", "cpu-parallel"]);
+        // Both abandonments carry the error text that ended the rung.
+        assert!(tb
+            .events()
+            .iter()
+            .filter(|e| e.name == "tier-abandoned")
+            .all(|e| e.args.iter().any(|(k, _)| k == "error")));
+    }
+
+    #[test]
+    fn untraced_scan_carries_no_buffer() {
+        let m = resilient(ResilientConfig::default());
+        let run = m.scan(b"ushers");
+        assert_eq!(run.tier, Tier::Gpu);
+        assert!(run.trace.is_none());
+        assert!(run.stats.is_some());
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl CacheConfig {
     /// Validate the geometry, returning a human-readable reason on failure.
     pub fn validate(&self) -> Result<(), String> {
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(format!("line_bytes {} must be a nonzero power of two", self.line_bytes));
+            return Err(format!(
+                "line_bytes {} must be a nonzero power of two",
+                self.line_bytes
+            ));
         }
         if self.associativity == 0 {
             return Err("associativity must be at least 1".into());
@@ -213,13 +216,20 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets × 2 ways × 16-byte lines = 128 bytes.
-        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, associativity: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            associativity: 2,
+        })
     }
 
     #[test]
     fn cold_miss_then_hit() {
         let mut c = small();
-        assert!(matches!(c.access(0x40), CacheOutcome::Miss { evicted: None }));
+        assert!(matches!(
+            c.access(0x40),
+            CacheOutcome::Miss { evicted: None }
+        ));
         assert!(c.access(0x40).is_hit());
         assert!(c.access(0x4F).is_hit()); // same 16-byte line
         assert!(!c.access(0x50).is_hit()); // next line
@@ -256,27 +266,51 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_geometry() {
-        assert!(CacheConfig { size_bytes: 0, line_bytes: 16, associativity: 1 }
-            .validate()
-            .is_err());
-        assert!(CacheConfig { size_bytes: 128, line_bytes: 10, associativity: 1 }
-            .validate()
-            .is_err());
-        assert!(CacheConfig { size_bytes: 128, line_bytes: 16, associativity: 0 }
-            .validate()
-            .is_err());
-        assert!(CacheConfig { size_bytes: 96, line_bytes: 16, associativity: 2 }
-            .validate()
-            .is_err()); // 3 sets, not a power of two
-        assert!(CacheConfig { size_bytes: 128, line_bytes: 16, associativity: 2 }
-            .validate()
-            .is_ok());
+        assert!(CacheConfig {
+            size_bytes: 0,
+            line_bytes: 16,
+            associativity: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 10,
+            associativity: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            associativity: 0
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 96,
+            line_bytes: 16,
+            associativity: 2
+        }
+        .validate()
+        .is_err()); // 3 sets, not a power of two
+        assert!(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            associativity: 2
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     #[should_panic(expected = "invalid cache config")]
     fn new_panics_on_bad_geometry() {
-        Cache::new(CacheConfig { size_bytes: 100, line_bytes: 16, associativity: 1 });
+        Cache::new(CacheConfig {
+            size_bytes: 100,
+            line_bytes: 16,
+            associativity: 1,
+        });
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl DramConfig {
     /// Validate parameters.
     pub fn validate(&self) -> Result<(), String> {
         if self.bytes_per_cycle <= 0.0 {
-            return Err(format!("bytes_per_cycle {} must be positive", self.bytes_per_cycle));
+            return Err(format!(
+                "bytes_per_cycle {} must be positive",
+                self.bytes_per_cycle
+            ));
         }
         Ok(())
     }
@@ -43,6 +46,20 @@ pub struct DramStats {
     pub queue_cycles: u64,
 }
 
+/// One logged transaction, recorded when the channel's log is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTxn {
+    /// Cycle the requester issued at.
+    pub issued: Cycle,
+    /// Cycle the channel actually started serving it (≥ `issued` when the
+    /// transaction queued behind earlier traffic).
+    pub start: Cycle,
+    /// Transaction size in bytes.
+    pub bytes: u32,
+    /// Cycle the data became available to the requester.
+    pub done: Cycle,
+}
+
 /// The channel. Occupancy is tracked as the cycle at which the pipe frees
 /// up; a transaction issued while the pipe is busy starts when it frees.
 #[derive(Debug, Clone)]
@@ -51,6 +68,10 @@ pub struct DramChannel {
     /// Fractional cycle at which the channel becomes free.
     free_at: f64,
     stats: DramStats,
+    /// Optional bounded transaction log (observability only; never affects
+    /// timing). `None` unless a tracer enabled it.
+    log: Option<Vec<DramTxn>>,
+    log_cap: usize,
 }
 
 impl DramChannel {
@@ -62,21 +83,58 @@ impl DramChannel {
         if let Err(e) = cfg.validate() {
             panic!("invalid DRAM config: {e}");
         }
-        DramChannel { cfg, free_at: 0.0, stats: DramStats::default() }
+        DramChannel {
+            cfg,
+            free_at: 0.0,
+            stats: DramStats::default(),
+            log: None,
+            log_cap: 0,
+        }
+    }
+
+    /// Start logging transactions, keeping at most `cap` entries (overflow
+    /// is silently not recorded; `stats` still counts every transaction).
+    pub fn enable_log(&mut self, cap: usize) {
+        self.log = Some(Vec::new());
+        self.log_cap = cap;
+    }
+
+    /// Take the transaction log recorded so far, leaving logging enabled.
+    /// Returns an empty vector when logging was never enabled.
+    pub fn take_log(&mut self) -> Vec<DramTxn> {
+        match self.log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Issue a `bytes`-sized transaction at cycle `now`; returns the cycle
     /// at which its data is available to the requester (queueing + fixed
     /// latency + transfer time).
     pub fn issue(&mut self, now: Cycle, bytes: u32) -> Cycle {
-        let start = if self.free_at > now as f64 { self.free_at } else { now as f64 };
+        let start = if self.free_at > now as f64 {
+            self.free_at
+        } else {
+            now as f64
+        };
         let queue = start - now as f64;
         let transfer = bytes as f64 / self.cfg.bytes_per_cycle;
         self.free_at = start + transfer;
         self.stats.transactions += 1;
         self.stats.bytes += bytes as u64;
         self.stats.queue_cycles += queue as u64;
-        (start + transfer) as Cycle + self.cfg.latency_cycles as Cycle
+        let done = (start + transfer) as Cycle + self.cfg.latency_cycles as Cycle;
+        if let Some(log) = self.log.as_mut() {
+            if log.len() < self.log_cap {
+                log.push(DramTxn {
+                    issued: now,
+                    start: start as Cycle,
+                    bytes,
+                    done,
+                });
+            }
+        }
+        done
     }
 
     /// Cycle at which the channel next becomes free.
@@ -89,10 +147,14 @@ impl DramChannel {
         self.stats
     }
 
-    /// Reset occupancy and statistics (between kernel launches).
+    /// Reset occupancy, statistics, and any logged transactions (between
+    /// kernel launches). Logging stays enabled if it was.
     pub fn reset(&mut self) {
         self.free_at = 0.0;
         self.stats = DramStats::default();
+        if let Some(log) = self.log.as_mut() {
+            log.clear();
+        }
     }
 
     /// The configured parameters.
@@ -107,7 +169,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn chan() -> DramChannel {
-        DramChannel::new(DramConfig { latency_cycles: 100, bytes_per_cycle: 64.0 })
+        DramChannel::new(DramConfig {
+            latency_cycles: 100,
+            bytes_per_cycle: 64.0,
+        })
     }
 
     #[test]
@@ -159,7 +224,59 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid DRAM config")]
     fn zero_bandwidth_rejected() {
-        DramChannel::new(DramConfig { latency_cycles: 1, bytes_per_cycle: 0.0 });
+        DramChannel::new(DramConfig {
+            latency_cycles: 1,
+            bytes_per_cycle: 0.0,
+        });
+    }
+
+    #[test]
+    fn log_disabled_by_default_and_bounded_when_enabled() {
+        let mut c = chan();
+        c.issue(0, 128);
+        assert!(c.take_log().is_empty());
+
+        c.enable_log(2);
+        c.issue(10, 128);
+        c.issue(10, 128);
+        c.issue(10, 128); // over cap: counted in stats, not logged
+        let log = c.take_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            log[0],
+            DramTxn {
+                issued: 10,
+                start: 10,
+                bytes: 128,
+                done: 112
+            }
+        );
+        assert!(log[1].start > log[0].start); // second queued behind first
+        assert_eq!(c.stats().transactions, 4);
+        // take_log leaves logging on but empties the buffer.
+        assert!(c.take_log().is_empty());
+        c.issue(500, 64);
+        assert_eq!(c.take_log().len(), 1);
+    }
+
+    #[test]
+    fn logging_never_alters_timing() {
+        let mut plain = chan();
+        let mut logged = chan();
+        logged.enable_log(1024);
+        for (now, bytes) in [(0u64, 128u32), (1, 64), (3, 256), (500, 32)] {
+            assert_eq!(plain.issue(now, bytes), logged.issue(now, bytes));
+        }
+        assert_eq!(plain.stats(), logged.stats());
+    }
+
+    #[test]
+    fn reset_clears_log() {
+        let mut c = chan();
+        c.enable_log(16);
+        c.issue(0, 128);
+        c.reset();
+        assert!(c.take_log().is_empty());
     }
 
     proptest! {

@@ -19,7 +19,7 @@ pub mod dram;
 pub mod stats;
 
 pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
-pub use dram::{DramChannel, DramConfig, DramStats};
+pub use dram::{DramChannel, DramConfig, DramStats, DramTxn};
 pub use stats::Counter;
 
 /// Simulation time is measured in device clock cycles.

@@ -74,7 +74,11 @@ mod tests {
 
     #[test]
     fn saturates_instead_of_overflowing() {
-        let mut c = Counter { events: 0, total: u64::MAX - 1, max: 0 };
+        let mut c = Counter {
+            events: 0,
+            total: u64::MAX - 1,
+            max: 0,
+        };
         c.record(100);
         assert_eq!(c.total, u64::MAX);
     }

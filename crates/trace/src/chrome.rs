@@ -1,0 +1,327 @@
+//! Chrome trace-event JSON export.
+//!
+//! The output follows the Trace Event Format's "JSON object" flavour:
+//! `{"traceEvents": [...], ...}` where each event carries `name`, `cat`,
+//! `ph`, `ts` (microseconds), `pid`, `tid`, optional `dur` and `args`.
+//! Files written by [`to_chrome_json`] load directly in Perfetto or
+//! `chrome://tracing`.
+//!
+//! Cycle→microsecond conversion happens at export time: callers pass
+//! `cycles_per_us` (clock_hz / 1e6). Exporting with `cycles_per_us = 1.0`
+//! keeps timestamps in raw cycles, which the round-trip tests rely on.
+
+use crate::event::{ArgValue, Phase, TraceBuffer, TraceEvent};
+use serde::Value;
+
+/// What a validated trace contains; returned by [`validate_chrome_json`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Duration spans (`ph: "X"`).
+    pub spans: usize,
+    /// Instant markers (`ph: "i"`).
+    pub instants: usize,
+    /// Counter samples (`ph: "C"`).
+    pub counters: usize,
+    /// Events recorded against the device pid.
+    pub device_events: usize,
+    /// Events recorded against the host pid.
+    pub host_events: usize,
+}
+
+fn arg_to_value(arg: &ArgValue) -> Value {
+    match arg {
+        ArgValue::U64(n) => Value::U64(*n),
+        ArgValue::F64(f) => Value::F64(*f),
+        ArgValue::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+fn event_to_value(ev: &TraceEvent, cycles_per_us: f64) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(ev.name.clone())),
+        ("cat".to_string(), Value::Str(ev.cat.clone())),
+        ("ph".to_string(), Value::Str(ev.ph.code().to_string())),
+        ("ts".to_string(), Value::F64(ev.ts as f64 / cycles_per_us)),
+        ("pid".to_string(), Value::U64(ev.pid as u64)),
+        ("tid".to_string(), Value::U64(ev.tid as u64)),
+    ];
+    if ev.ph == Phase::Complete {
+        fields.push(("dur".to_string(), Value::F64(ev.dur as f64 / cycles_per_us)));
+    }
+    if !ev.args.is_empty() {
+        let args: Vec<(String, Value)> = ev
+            .args
+            .iter()
+            .map(|(k, v)| (k.clone(), arg_to_value(v)))
+            .collect();
+        fields.push(("args".to_string(), Value::Obj(args)));
+    }
+    Value::Obj(fields)
+}
+
+/// Render a buffer as Chrome trace-event JSON. `cycles_per_us` is the
+/// device clock in MHz (clock_hz / 1e6); pass `1.0` to keep raw cycles.
+pub fn to_chrome_json(buf: &TraceBuffer, cycles_per_us: f64) -> String {
+    let scale = if cycles_per_us > 0.0 {
+        cycles_per_us
+    } else {
+        1.0
+    };
+    let events: Vec<Value> = buf
+        .events()
+        .iter()
+        .map(|ev| event_to_value(ev, scale))
+        .collect();
+    let doc = Value::Obj(vec![
+        ("traceEvents".to_string(), Value::Arr(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        (
+            "otherData".to_string(),
+            Value::Obj(vec![
+                ("cyclesPerUs".to_string(), Value::F64(scale)),
+                ("droppedEvents".to_string(), Value::U64(buf.dropped())),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("chrome trace serialization cannot fail")
+}
+
+fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    serde::obj_get(obj, key)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        Value::F64(f) if f.is_finite() && *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(f) => Some(*f),
+        Value::I64(n) => Some(*n as f64),
+        Value::U64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Check that `json` is schema-valid Chrome trace-event JSON: a top-level
+/// `traceEvents` array whose members each carry a string `name`/`cat`, a
+/// known `ph` code, numeric non-negative `ts`, numeric `pid`/`tid`, and —
+/// for complete spans — a numeric non-negative `dur`.
+pub fn validate_chrome_json(json: &str) -> Result<ChromeSummary, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = doc.as_obj().ok_or("top level must be an object")?;
+    let events = get(obj, "traceEvents")
+        .ok_or("missing `traceEvents`")?
+        .as_arr()
+        .ok_or("`traceEvents` must be an array")?;
+
+    let mut summary = ChromeSummary {
+        events: events.len(),
+        ..Default::default()
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let fields = ev
+            .as_obj()
+            .ok_or_else(|| format!("event {i}: not an object"))?;
+        for key in ["name", "cat"] {
+            get(fields, key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("event {i}: missing string `{key}`"))?;
+        }
+        let ph = get(fields, "ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing string `ph`"))?;
+        let phase =
+            Phase::from_code(ph).ok_or_else(|| format!("event {i}: unknown phase `{ph}`"))?;
+        let ts = get(fields, "ts")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric `ts`"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!(
+                "event {i}: `ts` must be finite and non-negative, got {ts}"
+            ));
+        }
+        for key in ["pid", "tid"] {
+            get(fields, key)
+                .and_then(as_u64)
+                .ok_or_else(|| format!("event {i}: missing numeric `{key}`"))?;
+        }
+        match phase {
+            Phase::Complete => {
+                let dur = get(fields, "dur")
+                    .and_then(as_f64)
+                    .ok_or_else(|| format!("event {i}: complete span missing numeric `dur`"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: `dur` must be finite and non-negative"));
+                }
+                summary.spans += 1;
+            }
+            Phase::Instant => summary.instants += 1,
+            Phase::Counter => summary.counters += 1,
+        }
+        match get(fields, "pid").and_then(as_u64) {
+            Some(p) if p == crate::event::PID_DEVICE as u64 => summary.device_events += 1,
+            Some(p) if p == crate::event::PID_HOST as u64 => summary.host_events += 1,
+            _ => {}
+        }
+    }
+    Ok(summary)
+}
+
+fn value_to_arg(v: &Value) -> Result<ArgValue, String> {
+    match v {
+        Value::U64(n) => Ok(ArgValue::U64(*n)),
+        Value::I64(n) if *n >= 0 => Ok(ArgValue::U64(*n as u64)),
+        Value::F64(f) => Ok(ArgValue::F64(*f)),
+        Value::Str(s) => Ok(ArgValue::Str(s.clone())),
+        other => Err(format!("unsupported arg value {other:?}")),
+    }
+}
+
+/// Parse Chrome trace-event JSON back into [`TraceEvent`]s, converting
+/// microsecond timestamps back to cycles with `cycles_per_us`. Exact for
+/// traces exported with the same scale (the exporter divides, this
+/// multiplies and rounds); used by the round-trip tests.
+pub fn parse_chrome_json(json: &str, cycles_per_us: f64) -> Result<Vec<TraceEvent>, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = doc.as_obj().ok_or("top level must be an object")?;
+    let events = get(obj, "traceEvents")
+        .ok_or("missing `traceEvents`")?
+        .as_arr()
+        .ok_or("`traceEvents` must be an array")?;
+
+    let to_cycles = |us: f64| -> u64 { (us * cycles_per_us).round() as u64 };
+    let mut out = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let fields = ev
+            .as_obj()
+            .ok_or_else(|| format!("event {i}: not an object"))?;
+        let name = get(fields, "name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing `name`"))?
+            .to_string();
+        let cat = get(fields, "cat")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing `cat`"))?
+            .to_string();
+        let ph = get(fields, "ph")
+            .and_then(Value::as_str)
+            .and_then(Phase::from_code)
+            .ok_or_else(|| format!("event {i}: bad `ph`"))?;
+        let ts = get(fields, "ts")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("event {i}: missing `ts`"))?;
+        let dur = get(fields, "dur").and_then(as_f64).unwrap_or(0.0);
+        let pid = get(fields, "pid")
+            .and_then(as_u64)
+            .ok_or_else(|| format!("event {i}: missing `pid`"))? as u32;
+        let tid = get(fields, "tid")
+            .and_then(as_u64)
+            .ok_or_else(|| format!("event {i}: missing `tid`"))? as u32;
+        let mut args = Vec::new();
+        if let Some(Value::Obj(kvs)) = get(fields, "args") {
+            for (k, v) in kvs {
+                args.push((
+                    k.clone(),
+                    value_to_arg(v).map_err(|e| format!("event {i}: {e}"))?,
+                ));
+            }
+        }
+        out.push(TraceEvent {
+            name,
+            cat,
+            ph,
+            ts: to_cycles(ts),
+            dur: to_cycles(dur),
+            pid,
+            tid,
+            args,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceConfig, PID_DEVICE, PID_HOST};
+    use crate::stall::StallReason;
+
+    fn sample() -> TraceBuffer {
+        let mut buf = TraceBuffer::new(TraceConfig::default());
+        buf.span(
+            "kernel",
+            "host",
+            PID_HOST,
+            0,
+            0,
+            1000,
+            vec![("bytes".into(), ArgValue::U64(4096))],
+        );
+        buf.stall(2, 100, 40, StallReason::GlobalLatency);
+        buf.instant("readback", "host", PID_HOST, 0, 1000, Vec::new());
+        buf.counter("dram-bytes", "mem", PID_DEVICE, 0, 500, 128);
+        buf
+    }
+
+    #[test]
+    fn export_validates_against_schema() {
+        let json = to_chrome_json(&sample(), 1476.0);
+        let summary = validate_chrome_json(&json).expect("schema-valid");
+        assert_eq!(summary.events, 4);
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.counters, 1);
+        assert_eq!(summary.host_events, 2);
+        assert_eq!(summary.device_events, 2);
+    }
+
+    #[test]
+    fn roundtrip_at_unit_scale_is_exact() {
+        let buf = sample();
+        let json = to_chrome_json(&buf, 1.0);
+        let back = parse_chrome_json(&json, 1.0).expect("parses");
+        assert_eq!(back, buf.events());
+    }
+
+    #[test]
+    fn timestamps_scale_to_microseconds() {
+        let mut buf = TraceBuffer::default();
+        buf.span("k", "host", PID_HOST, 0, 2952, 1476, Vec::new());
+        let json = to_chrome_json(&buf, 1476.0); // 1.476 GHz ⇒ 1476 cycles/µs
+        let back = parse_chrome_json(&json, 1.0).expect("parses");
+        assert_eq!(back[0].ts, 2); // 2952 cycles ⇒ 2 µs
+        assert_eq!(back[0].dur, 1);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_traces() {
+        assert!(validate_chrome_json("[]").is_err());
+        assert!(validate_chrome_json(r#"{"foo": 1}"#).is_err());
+        assert!(validate_chrome_json(r#"{"traceEvents": [{"name": "x"}]}"#).is_err());
+        let bad_phase =
+            r#"{"traceEvents": [{"name":"x","cat":"c","ph":"Q","ts":0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_json(bad_phase)
+            .unwrap_err()
+            .contains("unknown phase"));
+        let missing_dur =
+            r#"{"traceEvents": [{"name":"x","cat":"c","ph":"X","ts":0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_json(missing_dur)
+            .unwrap_err()
+            .contains("dur"));
+    }
+
+    #[test]
+    fn empty_buffer_exports_empty_trace() {
+        let json = to_chrome_json(&TraceBuffer::default(), 1.0);
+        let summary = validate_chrome_json(&json).expect("valid");
+        assert_eq!(summary.events, 0);
+    }
+}

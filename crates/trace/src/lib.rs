@@ -1,0 +1,44 @@
+//! # trace — cycle-stamped tracing for the simulator stack
+//!
+//! The paper's evaluation is an *explanation* of throughput: coalescing
+//! (Figs. 12–14), bank conflicts (Figs. 15–16), texture-cache behaviour
+//! (Figs. 17–18) and latency hiding (Fig. 19). Aggregate counters alone
+//! cannot reproduce that explanation — they say *how many* cycles were
+//! idle, not *where they went*. This crate is the shared vocabulary and
+//! recording substrate that the rest of the stack instruments itself with:
+//!
+//! * [`stall`] — the stall-attribution taxonomy ([`StallReason`]) and the
+//!   per-reason cycle breakdown ([`StallBreakdown`]) whose per-SM sums are
+//!   pinned (by tests) to equal the scheduler's `idle_cycles`;
+//! * [`event`] — the cycle-stamped span/event recorder ([`TraceBuffer`]):
+//!   a bounded, deterministic event log written by the gpu-sim scheduler,
+//!   the DRAM channel, the ac-gpu host phases, and the resilient ladder;
+//! * [`chrome`] — export to Chrome trace-event JSON (loadable in Perfetto
+//!   or `chrome://tracing`), plus a schema validator used by the tests;
+//! * [`metrics`] — a flat metrics snapshot exported as JSON or
+//!   Prometheus-style text;
+//! * [`summary`] — the human-readable timeline + stall breakdown that
+//!   reproduces the paper's Fig. 19 latency-hiding narrative.
+//!
+//! The recorder follows the same **zero-cost-when-disabled** hook pattern
+//! as the fault-injection layer: components carry an `Option` that is
+//! `None` unless a caller armed tracing, so a disarmed run performs one
+//! branch per probe and allocates nothing. Tracing only ever *records* —
+//! it never feeds back into simulated timing — so armed and disarmed runs
+//! produce bit-identical statistics (pinned by `tests/zero_cost_hook.rs`).
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod stall;
+pub mod summary;
+
+pub use chrome::{parse_chrome_json, to_chrome_json, validate_chrome_json, ChromeSummary};
+pub use event::{ArgValue, Phase, TraceBuffer, TraceConfig, TraceEvent, PID_DEVICE, PID_HOST};
+pub use metrics::{Metric, MetricValue, MetricsSnapshot};
+pub use stall::{StallBreakdown, StallReason};
+pub use summary::{render_stall_summary, SmActivity};
+
+/// Simulation time is measured in device clock cycles (mirrors
+/// `mem_sim::Cycle` without the dependency).
+pub type Cycle = u64;

@@ -1,0 +1,249 @@
+//! Flat metrics snapshot.
+//!
+//! A [`MetricsSnapshot`] is an ordered list of named scalar metrics with
+//! optional `key="value"` labels, rendered either as a JSON object tree
+//! (`to_json`) or Prometheus-style text exposition (`to_prometheus`).
+//! Producers (gpu-sim's `LaunchStats`, the CLI, the bench harness) build
+//! snapshots from their counters; nothing here samples anything itself,
+//! so snapshots are as deterministic as the counters they mirror.
+
+use serde::Value;
+
+/// A metric's scalar payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Integer-valued metric (cycle counts, event counts, bytes).
+    U64(u64),
+    /// Real-valued metric (rates, ratios, Gbps).
+    F64(f64),
+}
+
+impl From<u64> for MetricValue {
+    fn from(v: u64) -> MetricValue {
+        MetricValue::U64(v)
+    }
+}
+
+impl From<f64> for MetricValue {
+    fn from(v: f64) -> MetricValue {
+        MetricValue::F64(v)
+    }
+}
+
+/// One named metric with optional labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name, e.g. `"acsim_launch_cycles"`.
+    pub name: String,
+    /// Optional help line emitted as a `# HELP` comment.
+    pub help: String,
+    /// `(key, value)` label pairs, e.g. `[("sm", "3"), ("reason", "tex-miss")]`.
+    pub labels: Vec<(String, String)>,
+    /// The scalar value.
+    pub value: MetricValue,
+}
+
+/// An ordered collection of metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Append an unlabelled metric.
+    pub fn push(&mut self, name: &str, help: &str, value: impl Into<MetricValue>) {
+        self.push_labelled(name, help, Vec::new(), value);
+    }
+
+    /// Append a metric with labels.
+    pub fn push_labelled(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: Vec<(String, String)>,
+        value: impl Into<MetricValue>,
+    ) {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            value: value.into(),
+        });
+    }
+
+    /// All metrics in push order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metrics have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Look up the first metric with `name` and exactly `labels`.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    /// Render as a JSON document: an array of `{name, labels, value}`
+    /// objects preserving push order (labelled metrics are not collapsed,
+    /// so nothing is lost relative to the Prometheus rendering).
+    pub fn to_json(&self) -> String {
+        let metrics: Vec<Value> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let mut fields = vec![("name".to_string(), Value::Str(m.name.clone()))];
+                if !m.labels.is_empty() {
+                    fields.push((
+                        "labels".to_string(),
+                        Value::Obj(
+                            m.labels
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                                .collect(),
+                        ),
+                    ));
+                }
+                let value = match m.value {
+                    MetricValue::U64(n) => Value::U64(n),
+                    MetricValue::F64(f) => Value::F64(f),
+                };
+                fields.push(("value".to_string(), value));
+                Value::Obj(fields)
+            })
+            .collect();
+        let doc = Value::Obj(vec![("metrics".to_string(), Value::Arr(metrics))]);
+        serde_json::to_string_pretty(&doc).expect("metrics serialization cannot fail")
+    }
+
+    /// Render as Prometheus text exposition format (gauge type lines, one
+    /// `# HELP`/`# TYPE` pair per distinct metric name).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut described: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !described.contains(&m.name.as_str()) {
+                described.push(&m.name);
+                if !m.help.is_empty() {
+                    out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+                }
+                out.push_str(&format!("# TYPE {} gauge\n", m.name));
+            }
+            out.push_str(&m.name);
+            if !m.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in m.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}=\"{}\"", k, v.replace('"', "\\\"")));
+                }
+                out.push('}');
+            }
+            match m.value {
+                MetricValue::U64(n) => out.push_str(&format!(" {n}\n")),
+                MetricValue::F64(f) => out.push_str(&format!(" {f}\n")),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.push("acsim_launch_cycles", "total launch cycles", 12345u64);
+        snap.push("acsim_throughput_gbps", "aggregate throughput", 11.25f64);
+        snap.push_labelled(
+            "acsim_sm_stall_cycles",
+            "idle cycles by stall reason",
+            vec![
+                ("sm".to_string(), "0".to_string()),
+                ("reason".to_string(), "tex-miss".to_string()),
+            ],
+            400u64,
+        );
+        snap.push_labelled(
+            "acsim_sm_stall_cycles",
+            "idle cycles by stall reason",
+            vec![
+                ("sm".to_string(), "0".to_string()),
+                ("reason".to_string(), "barrier".to_string()),
+            ],
+            7u64,
+        );
+        snap
+    }
+
+    #[test]
+    fn prometheus_rendering_has_help_type_and_labels() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# HELP acsim_launch_cycles total launch cycles"));
+        assert!(text.contains("# TYPE acsim_launch_cycles gauge"));
+        assert!(text.contains("acsim_launch_cycles 12345"));
+        assert!(text.contains("acsim_throughput_gbps 11.25"));
+        assert!(text.contains("acsim_sm_stall_cycles{sm=\"0\",reason=\"tex-miss\"} 400"));
+        // HELP/TYPE emitted once per name even with multiple label sets.
+        assert_eq!(
+            text.matches("# TYPE acsim_sm_stall_cycles gauge").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_and_complete() {
+        let json = sample().to_json();
+        let doc: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let metrics = serde::obj_get(doc.as_obj().unwrap(), "metrics")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(metrics.len(), 4);
+        let first = metrics[0].as_obj().unwrap();
+        assert_eq!(
+            serde::obj_get(first, "name").unwrap().as_str(),
+            Some("acsim_launch_cycles")
+        );
+    }
+
+    #[test]
+    fn lookup_by_name_and_labels() {
+        let snap = sample();
+        let m = snap
+            .get(
+                "acsim_sm_stall_cycles",
+                &[("sm", "0"), ("reason", "barrier")],
+            )
+            .unwrap();
+        assert_eq!(m.value, MetricValue::U64(7));
+        assert!(snap
+            .get(
+                "acsim_sm_stall_cycles",
+                &[("sm", "1"), ("reason", "barrier")]
+            )
+            .is_none());
+        assert!(snap.get("missing", &[]).is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! The stall-attribution taxonomy.
+//!
+//! When every resident warp of an SM is waiting, the scheduler's issue
+//! port sits empty and the gap is counted in `idle_cycles`. Attribution
+//! answers *why*: each idle gap is charged to the reason the gap-ending
+//! warp was parked. The taxonomy follows the paper's evaluation axes —
+//! texture misses (Figs. 17–18), global-memory latency (Fig. 7 kernel),
+//! shared-bank serialization (Figs. 15–16), barriers, and a residual
+//! bucket for short pipeline waits where no warp was ready but no
+//! long-latency memory source was responsible (the healthy latency-hiding
+//! regime of Fig. 19(a)).
+
+use serde::{Deserialize, Serialize};
+
+/// Why an SM issue slot went idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallReason {
+    /// The gap-ending warp was waiting on a texture-cache miss fill (L1 or
+    /// L2 miss serviced from DRAM).
+    TexMiss,
+    /// The warp was waiting on a global-memory (DRAM) load.
+    GlobalLatency,
+    /// The warp was serialized by shared-memory bank conflicts.
+    SharedBank,
+    /// The warp was waiting on a constant-cache miss fill.
+    ConstMiss,
+    /// The warp was released from a `__syncthreads()` barrier later than
+    /// its own memory readiness — the barrier itself was the bottleneck.
+    Barrier,
+    /// No warp was ready, but the wait was not attributable to a
+    /// long-latency memory source (short pipeline/issue waits, texture
+    /// hits, occupancy gaps).
+    NoReadyWarp,
+}
+
+impl StallReason {
+    /// All reasons, in stable report order.
+    pub fn all() -> [StallReason; 6] {
+        [
+            StallReason::TexMiss,
+            StallReason::GlobalLatency,
+            StallReason::SharedBank,
+            StallReason::ConstMiss,
+            StallReason::Barrier,
+            StallReason::NoReadyWarp,
+        ]
+    }
+
+    /// Stable label used in traces, metrics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallReason::TexMiss => "tex-miss",
+            StallReason::GlobalLatency => "global-latency",
+            StallReason::SharedBank => "shared-bank",
+            StallReason::ConstMiss => "const-miss",
+            StallReason::Barrier => "barrier",
+            StallReason::NoReadyWarp => "no-ready-warp",
+        }
+    }
+}
+
+/// Idle cycles charged to each [`StallReason`]. The invariant — pinned by
+/// the gpu-sim scheduler tests — is that the fields sum to the owning
+/// SM's `idle_cycles`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Cycles idle behind texture-cache miss fills.
+    pub tex_miss: u64,
+    /// Cycles idle behind global-memory (DRAM) loads.
+    pub global_latency: u64,
+    /// Cycles idle behind shared-memory bank serialization.
+    pub shared_bank: u64,
+    /// Cycles idle behind constant-cache miss fills.
+    pub const_miss: u64,
+    /// Cycles idle behind barrier releases.
+    pub barrier: u64,
+    /// Idle cycles with no attributable long-latency source.
+    pub no_ready_warp: u64,
+}
+
+impl StallBreakdown {
+    /// Charge `cycles` to `reason`.
+    pub fn add(&mut self, reason: StallReason, cycles: u64) {
+        *self.slot_mut(reason) += cycles;
+    }
+
+    /// Cycles charged to `reason`.
+    pub fn get(&self, reason: StallReason) -> u64 {
+        match reason {
+            StallReason::TexMiss => self.tex_miss,
+            StallReason::GlobalLatency => self.global_latency,
+            StallReason::SharedBank => self.shared_bank,
+            StallReason::ConstMiss => self.const_miss,
+            StallReason::Barrier => self.barrier,
+            StallReason::NoReadyWarp => self.no_ready_warp,
+        }
+    }
+
+    fn slot_mut(&mut self, reason: StallReason) -> &mut u64 {
+        match reason {
+            StallReason::TexMiss => &mut self.tex_miss,
+            StallReason::GlobalLatency => &mut self.global_latency,
+            StallReason::SharedBank => &mut self.shared_bank,
+            StallReason::ConstMiss => &mut self.const_miss,
+            StallReason::Barrier => &mut self.barrier,
+            StallReason::NoReadyWarp => &mut self.no_ready_warp,
+        }
+    }
+
+    /// Sum across all reasons (must equal the owning SM's `idle_cycles`).
+    pub fn total(&self) -> u64 {
+        StallReason::all().iter().map(|&r| self.get(r)).sum()
+    }
+
+    /// `(reason, cycles)` pairs in stable report order.
+    pub fn entries(&self) -> [(StallReason, u64); 6] {
+        StallReason::all().map(|r| (r, self.get(r)))
+    }
+
+    /// Sum another breakdown into this one (per-SM → device aggregation).
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for (reason, cycles) in other.entries() {
+            self.add(reason, cycles);
+        }
+    }
+
+    /// The reason with the most charged cycles, if any cycles are charged.
+    pub fn dominant(&self) -> Option<(StallReason, u64)> {
+        self.entries()
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .max_by_key(|&(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total_roundtrip() {
+        let mut b = StallBreakdown::default();
+        for (i, r) in StallReason::all().into_iter().enumerate() {
+            b.add(r, (i as u64 + 1) * 10);
+        }
+        assert_eq!(b.total(), 10 + 20 + 30 + 40 + 50 + 60);
+        assert_eq!(b.get(StallReason::Barrier), 50);
+        assert_eq!(b.dominant(), Some((StallReason::NoReadyWarp, 60)));
+    }
+
+    #[test]
+    fn merge_sums_fieldwise() {
+        let mut a = StallBreakdown {
+            tex_miss: 5,
+            barrier: 1,
+            ..Default::default()
+        };
+        let b = StallBreakdown {
+            tex_miss: 7,
+            global_latency: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tex_miss, 12);
+        assert_eq!(a.global_latency, 2);
+        assert_eq!(a.barrier, 1);
+        assert_eq!(a.total(), 15);
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<_> = StallReason::all().iter().map(|r| r.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(StallReason::TexMiss.label(), "tex-miss");
+        assert_eq!(StallReason::NoReadyWarp.label(), "no-ready-warp");
+    }
+
+    #[test]
+    fn empty_breakdown_has_no_dominant() {
+        assert_eq!(StallBreakdown::default().dominant(), None);
+        assert_eq!(StallBreakdown::default().total(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = StallBreakdown {
+            tex_miss: 3,
+            no_ready_warp: 9,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: StallBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,196 @@
+//! Human-readable timeline + stall-breakdown summary.
+//!
+//! [`render_stall_summary`] turns per-SM activity into the narrative the
+//! paper builds around Fig. 19: when enough warps are resident, memory
+//! latency is hidden and SMs stay busy (19(a)); when occupancy or cache
+//! behaviour degrades, idle cycles appear and the breakdown says which
+//! memory path they queued behind (19(b)).
+
+use crate::stall::StallBreakdown;
+
+/// Per-SM activity figures consumed by the renderer. Producers fill this
+/// from `SmStats`; the trace crate stays dependency-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmActivity {
+    /// SM index.
+    pub sm: u32,
+    /// Completion cycle of this SM (its last block retires here).
+    pub cycles: u64,
+    /// Cycles the SM's issue port sat idle.
+    pub idle_cycles: u64,
+    /// Attribution of those idle cycles.
+    pub stalls: StallBreakdown,
+}
+
+impl SmActivity {
+    /// Fraction of this SM's cycles spent issuing (1.0 = perfectly hidden
+    /// latency).
+    pub fn busy_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            return 1.0;
+        }
+        1.0 - (self.idle_cycles as f64 / self.cycles as f64)
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Render the per-SM busy/idle table and the device-wide stall breakdown.
+/// `launch_cycles` is the whole-launch completion cycle (max over SMs).
+pub fn render_stall_summary(launch_cycles: u64, sms: &[SmActivity]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "launch: {launch_cycles} cycles, {} SMs\n",
+        sms.len()
+    ));
+    if sms.is_empty() {
+        return out;
+    }
+
+    let total_cycles: u64 = sms.iter().map(|s| s.cycles).sum();
+    let total_idle: u64 = sms.iter().map(|s| s.idle_cycles).sum();
+    let mut device = StallBreakdown::default();
+    for s in sms {
+        device.merge(&s.stalls);
+    }
+
+    out.push_str("\nper-SM activity:\n");
+    out.push_str("  sm   cycles       idle         busy%   dominant stall\n");
+    for s in sms {
+        if s.cycles == 0 {
+            out.push_str(&format!(
+                "  {:<4} {:<12} {:<12} {:>5}   -\n",
+                s.sm, 0, 0, "-"
+            ));
+            continue;
+        }
+        let dominant = s.stalls.dominant().map(|(r, _)| r.label()).unwrap_or("-");
+        out.push_str(&format!(
+            "  {:<4} {:<12} {:<12} {:>5.1}   {}\n",
+            s.sm,
+            s.cycles,
+            s.idle_cycles,
+            100.0 * s.busy_fraction(),
+            dominant,
+        ));
+    }
+
+    let busy = pct(total_cycles.saturating_sub(total_idle), total_cycles);
+    out.push_str(&format!(
+        "\ndevice: {:.1}% busy ({} of {} SM-cycles idle)\n",
+        busy, total_idle, total_cycles
+    ));
+
+    out.push_str("\nstall breakdown (share of idle cycles):\n");
+    for (reason, cycles) in device.entries() {
+        out.push_str(&format!(
+            "  {:<14} {:>12}  {:>5.1}%\n",
+            reason.label(),
+            cycles,
+            pct(cycles, total_idle),
+        ));
+    }
+
+    // The Fig. 19 narrative: latency hiding works when warps cover memory
+    // waits; say which regime this launch landed in.
+    if busy >= 90.0 {
+        out.push_str(
+            "\nlatency hiding is effective: resident warps cover memory latency \
+             (Fig. 19(a) regime).\n",
+        );
+    } else if let Some((reason, cycles)) = device.dominant() {
+        out.push_str(&format!(
+            "\nlatency hiding is incomplete: {:.1}% of SM-cycles idle, dominated by \
+             {} ({} cycles, {:.1}% of idle) — Fig. 19(b) regime.\n",
+            100.0 - busy,
+            reason.label(),
+            cycles,
+            pct(cycles, total_idle),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stall::StallReason;
+
+    #[test]
+    fn busy_fraction_handles_zero_cycles() {
+        assert_eq!(SmActivity::default().busy_fraction(), 1.0);
+        let s = SmActivity {
+            sm: 0,
+            cycles: 100,
+            idle_cycles: 25,
+            ..Default::default()
+        };
+        assert!((s.busy_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_effective_hiding_when_busy() {
+        let sms = [SmActivity {
+            sm: 0,
+            cycles: 1000,
+            idle_cycles: 10,
+            ..Default::default()
+        }];
+        let text = render_stall_summary(1000, &sms);
+        assert!(text.contains("Fig. 19(a)"), "{text}");
+        assert!(text.contains("99.0% busy"), "{text}");
+    }
+
+    #[test]
+    fn summary_names_dominant_stall_when_idle() {
+        let mut stalls = StallBreakdown::default();
+        stalls.add(StallReason::TexMiss, 400);
+        stalls.add(StallReason::Barrier, 100);
+        let sms = [SmActivity {
+            sm: 0,
+            cycles: 1000,
+            idle_cycles: 500,
+            stalls,
+        }];
+        let text = render_stall_summary(1000, &sms);
+        assert!(text.contains("Fig. 19(b)"), "{text}");
+        assert!(text.contains("dominated by tex-miss"), "{text}");
+        assert!(text.contains("tex-miss"), "{text}");
+        assert!(text.contains("80.0%"), "{text}"); // 400 of 500 idle
+    }
+
+    #[test]
+    fn summary_lists_every_reason_and_every_sm() {
+        let sms = [
+            SmActivity {
+                sm: 0,
+                cycles: 100,
+                idle_cycles: 0,
+                ..Default::default()
+            },
+            SmActivity {
+                sm: 1,
+                cycles: 90,
+                idle_cycles: 0,
+                ..Default::default()
+            },
+        ];
+        let text = render_stall_summary(100, &sms);
+        for reason in StallReason::all() {
+            assert!(text.contains(reason.label()), "missing {}", reason.label());
+        }
+        assert!(text.contains("2 SMs"));
+    }
+
+    #[test]
+    fn empty_sm_list_is_harmless() {
+        let text = render_stall_summary(0, &[]);
+        assert!(text.contains("0 SMs"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Property test: the Chrome trace-event exporter and its parser are
+//! exact inverses at unit scale, for arbitrary buffers of spans,
+//! instants, and counters.
+
+use proptest::prelude::*;
+use trace::{parse_chrome_json, to_chrome_json, validate_chrome_json, ArgValue, TraceBuffer};
+
+/// Deterministically expand a numeric seed row into one recorded event.
+fn record(buf: &mut TraceBuffer, name_seed: usize, kind: u64, ts: u64, dur: u64, arg: u64) {
+    const NAMES: [&str; 5] = ["kernel", "warp-stall", "dram-txn", "upload", "sm"];
+    const CATS: [&str; 3] = ["host", "scheduler", "dram"];
+    let name = NAMES[name_seed % NAMES.len()];
+    let cat = CATS[name_seed % CATS.len()];
+    let pid = (kind % 2) as u32;
+    let tid = (arg % 7) as u32;
+    let args = vec![
+        ("value".to_string(), ArgValue::U64(arg)),
+        ("label".to_string(), ArgValue::Str(format!("a{arg}"))),
+    ];
+    match kind % 3 {
+        0 => buf.span(name, cat, pid, tid, ts, dur, args),
+        1 => buf.instant(name, cat, pid, tid, ts, args),
+        _ => buf.counter(name, cat, pid, tid, ts, arg),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chrome_json_round_trips_exactly(
+        rows in proptest::collection::vec(
+            (0usize..1000, 0u64..100, 0u64..1_000_000_000, 0u64..1_000_000, 0u64..1_000_000),
+            0..40,
+        ),
+    ) {
+        let mut buf = TraceBuffer::default();
+        for &(name_seed, kind, ts, dur, arg) in &rows {
+            record(&mut buf, name_seed, kind, ts, dur, arg);
+        }
+
+        // Exporting at 1 cycle per µs keeps raw cycle stamps in the JSON,
+        // so parsing back must reproduce every event bit-for-bit.
+        let json = to_chrome_json(&buf, 1.0);
+        let summary = validate_chrome_json(&json).expect("exporter output validates");
+        prop_assert_eq!(summary.events, buf.len());
+        let parsed = parse_chrome_json(&json, 1.0).expect("exporter output parses");
+        prop_assert_eq!(&parsed, buf.events());
+    }
+}

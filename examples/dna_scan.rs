@@ -45,7 +45,11 @@ fn main() -> Result<(), String> {
     // text (every base has a goto from the root), making the
     // thread-per-base baseline interesting to contrast.
     let mut reference: Option<usize> = None;
-    for approach in [Approach::SharedDiagonal, Approach::GlobalOnly, Approach::Pfac] {
+    for approach in [
+        Approach::SharedDiagonal,
+        Approach::GlobalOnly,
+        Approach::Pfac,
+    ] {
         let run = matcher.run(&genome, approach)?;
         if let Some(n) = reference {
             assert_eq!(run.matches.len(), n, "{approach:?} diverged");

@@ -25,9 +25,7 @@ fn main() -> Result<(), String> {
 
     let cfg = GpuConfig::gtx285();
     let matcher = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac)?;
-    println!(
-        "workload: 1 MB prose, 500 extracted patterns; device: simulated GTX 285\n"
-    );
+    println!("workload: 1 MB prose, 500 extracted patterns; device: simulated GTX 285\n");
     println!(
         "{:>22} | {:>10} | {:>9} | {:>11} | {:>9} | {:>10}",
         "kernel", "Gbps", "coalesce", "bank confl", "tex hit", "idle %"
@@ -43,8 +41,7 @@ fn main() -> Result<(), String> {
     ] {
         let run = matcher.run_counting(&text, approach)?;
         let t = &run.stats.totals;
-        let idle =
-            100.0 * t.idle_cycles as f64 / (t.cycles.max(1) as f64 * cfg.num_sms as f64);
+        let idle = 100.0 * t.idle_cycles as f64 / (t.cycles.max(1) as f64 * cfg.num_sms as f64);
         println!(
             "{:>22} | {:>10.2} | {:>8.1}x | {:>11} | {:>8.1}% | {:>9.1}%",
             approach.label(),
@@ -107,13 +104,10 @@ impl WarpProgram for TableLookup {
         }
         let n = self.geom.warp_size as usize;
         // Pseudo-random divergent index per lane (like DFA states).
-        let idx = |lane: usize| {
-            ((lane as u32 * 97 + self.round * 31 + self.acc) % 256, ())
-        };
+        let idx = |lane: usize| ((lane as u32 * 97 + self.round * 31 + self.acc) % 256, ());
         let mut out = vec![0u32; n];
         if let Some(t) = self.tex {
-            let coords: Vec<Option<(u32, u32)>> =
-                (0..n).map(|l| Some((0u32, idx(l).0))).collect();
+            let coords: Vec<Option<(u32, u32)>> = (0..n).map(|l| Some((0u32, idx(l).0))).collect();
             ctx.tex_fetch(t, &coords, &mut out);
         } else if let Some(cid) = self.cst {
             let indices: Vec<Option<u32>> = (0..n).map(|l| Some(idx(l).0)).collect();
@@ -136,13 +130,25 @@ fn table_lookup_microbench(cfg: &GpuConfig) -> Result<(u64, u64), String> {
     let mut dev = GpuDevice::new(*cfg)?;
     let tex = dev.bind_texture_2d(table.clone(), 1, 256)?;
     let t = dev
-        .launch(lc, |geom| TableLookup { geom, tex: Some(tex), cst: None, round: 0, acc: 0 })?
+        .launch(lc, |geom| TableLookup {
+            geom,
+            tex: Some(tex),
+            cst: None,
+            round: 0,
+            acc: 0,
+        })?
         .stats
         .cycles;
     let mut dev = GpuDevice::new(*cfg)?;
     let cid = dev.bind_constant(table)?;
     let c = dev
-        .launch(lc, |geom| TableLookup { geom, tex: None, cst: Some(cid), round: 0, acc: 0 })?
+        .launch(lc, |geom| TableLookup {
+            geom,
+            tex: None,
+            cst: Some(cid),
+            round: 0,
+            acc: 0,
+        })?
         .stats
         .cycles;
     Ok((t, c))

@@ -26,7 +26,11 @@ fn main() -> Result<(), String> {
     );
 
     let ac = AcAutomaton::build(&rules);
-    println!("automaton: {} states, STT {:.1} MB", ac.state_count(), ac.stt().size_bytes() as f64 / 1e6);
+    println!(
+        "automaton: {} states, STT {:.1} MB",
+        ac.state_count(),
+        ac.stt().size_bytes() as f64 / 1e6
+    );
 
     // CPU scan (real wall time on this host).
     let cpu = ac_cpu::find_all_timed(&ac, &traffic);

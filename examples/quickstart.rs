@@ -14,14 +14,23 @@ fn main() -> Result<(), String> {
     let patterns =
         PatternSet::from_strs(&["he", "she", "his", "hers"]).map_err(|e| e.to_string())?;
     let ac = AcAutomaton::build(&patterns);
-    println!("automaton: {} states, STT {} bytes", ac.state_count(), ac.stt().size_bytes());
+    println!(
+        "automaton: {} states, STT {} bytes",
+        ac.state_count(),
+        ac.stt().size_bytes()
+    );
 
     // 2. Serial matching.
     let text = b"ushers say she sells seashells; his heirs hear hers";
     let matches = ac.find_all(text);
     println!("\nserial matches in {:?}:", String::from_utf8_lossy(text));
     for m in &matches {
-        println!("  [{:>2}..{:>2}] {}", m.start, m.end, ac.patterns().as_str(m.pattern));
+        println!(
+            "  [{:>2}..{:>2}] {}",
+            m.start,
+            m.end,
+            ac.patterns().as_str(m.pattern)
+        );
     }
 
     // 3. The same dictionary on the simulated GTX 285.

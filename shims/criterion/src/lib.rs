@@ -25,11 +25,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { name: format!("{function}/{parameter}") }
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { name: parameter.to_string() }
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -41,7 +45,9 @@ impl fmt::Display for BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { name: s.to_string() }
+        BenchmarkId {
+            name: s.to_string(),
+        }
     }
 }
 
@@ -63,7 +69,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
@@ -117,9 +127,12 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let label = format!("{}/{}", self.name, id.name);
-        run_one(&label, self.throughput, self.parent.smoke_only, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_one(
+            &label,
+            self.throughput,
+            self.parent.smoke_only,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -141,9 +154,17 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, throughput: Option<Throughput>, smoke_only: bool, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    smoke_only: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     let iters = if smoke_only { 1 } else { 3 };
-    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     if smoke_only {
         eprintln!("bench {label}: ok (smoke)");
@@ -153,11 +174,17 @@ fn run_one(label: &str, throughput: Option<Throughput>, smoke_only: bool, f: &mu
     match throughput {
         Some(Throughput::Bytes(n)) => {
             let gbps = n as f64 / per_iter / 1e9;
-            eprintln!("bench {label}: {:.3} ms/iter, {gbps:.3} GB/s", per_iter * 1e3);
+            eprintln!(
+                "bench {label}: {:.3} ms/iter, {gbps:.3} GB/s",
+                per_iter * 1e3
+            );
         }
         Some(Throughput::Elements(n)) => {
             let eps = n as f64 / per_iter;
-            eprintln!("bench {label}: {:.3} ms/iter, {eps:.0} elem/s", per_iter * 1e3);
+            eprintln!(
+                "bench {label}: {:.3} ms/iter, {eps:.0} elem/s",
+                per_iter * 1e3
+            );
         }
         None => eprintln!("bench {label}: {:.3} ms/iter", per_iter * 1e3),
     }

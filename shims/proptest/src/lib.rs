@@ -28,7 +28,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -164,7 +166,36 @@ impl<A: Strategy, B: Strategy> Strategy for (A, B) {
 impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     type Value = (A::Value, B::Value, C::Value);
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E) {
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
+        )
     }
 }
 
@@ -197,7 +228,9 @@ fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
             }
             '\\' => {
                 i += 2;
-                vec![*chars.get(i - 1).unwrap_or_else(|| panic!("trailing \\ in {pat:?}"))]
+                vec![*chars
+                    .get(i - 1)
+                    .unwrap_or_else(|| panic!("trailing \\ in {pat:?}"))]
             }
             c => {
                 i += 1;
@@ -470,10 +503,7 @@ mod tests {
     fn deterministic_across_runs() {
         let gen = |case| {
             let mut rng = crate::TestRng::for_case("det", case);
-            crate::Strategy::generate(
-                &crate::collection::vec(any::<u8>(), 1..10),
-                &mut rng,
-            )
+            crate::Strategy::generate(&crate::collection::vec(any::<u8>(), 1..10), &mut rng)
         };
         assert_eq!(gen(3), gen(3));
         assert_ne!(gen(3), gen(4)); // overwhelmingly likely distinct

@@ -190,7 +190,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_str().map(str::to_string).ok_or_else(|| DeError::expected("string", "String"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String"))
     }
 }
 
@@ -208,7 +210,9 @@ impl Serialize for char {
 
 impl Deserialize for char {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let s = v.as_str().ok_or_else(|| DeError::expected("single-char string", "char"))?;
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("single-char string", "char"))?;
         let mut it = s.chars();
         match (it.next(), it.next()) {
             (Some(c), None) => Ok(c),
@@ -300,7 +304,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -318,7 +326,12 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
         // Sort keys for deterministic output.
         let mut entries: Vec<(&String, &V)> = self.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
-        Value::Obj(entries.into_iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -332,9 +345,25 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 

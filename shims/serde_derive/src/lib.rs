@@ -66,23 +66,36 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     };
     i += 1;
     if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("serde shim derive: generic item `{name}` is unsupported"));
+        return Err(format!(
+            "serde shim derive: generic item `{name}` is unsupported"
+        ));
     }
     match kind.as_str() {
         "struct" => match &toks.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok(Item::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Ok(Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
             }
-            _ => Err(format!("serde shim derive: unsupported struct body for `{name}`")),
+            _ => Err(format!(
+                "serde shim derive: unsupported struct body for `{name}`"
+            )),
         },
         "enum" => match &toks.get(i) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Ok(Item::UnitEnum { name: name.clone(), variants: parse_unit_variants(g.stream(), &name)? })
-            }
-            _ => Err(format!("serde shim derive: expected enum body for `{name}`")),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::UnitEnum {
+                name: name.clone(),
+                variants: parse_unit_variants(g.stream(), &name)?,
+            }),
+            _ => Err(format!(
+                "serde shim derive: expected enum body for `{name}`"
+            )),
         },
         _ => Err("serde shim derive: expected `struct` or `enum`".into()),
     }
@@ -136,12 +149,20 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         let name = match toks.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
-            Some(other) => return Err(format!("serde shim derive: expected field name, got `{other}`")),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: expected field name, got `{other}`"
+                ))
+            }
         };
         i += 1;
         match toks.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            _ => return Err(format!("serde shim derive: expected `:` after field `{name}`")),
+            _ => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`"
+                ))
+            }
         }
         // Skim the type: skip token trees until a comma at angle-bracket
         // depth zero (commas inside `<...>` belong to generic arguments;
@@ -193,7 +214,9 @@ fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<Strin
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break,
             Some(other) => {
-                return Err(format!("serde shim derive: expected variant name, got `{other}`"))
+                return Err(format!(
+                    "serde shim derive: expected variant name, got `{other}`"
+                ))
             }
         };
         i += 1;
@@ -241,8 +264,9 @@ fn gen_serialize(item: &Item) -> String {
             let body = if *arity == 1 {
                 "::serde::Serialize::to_value(&self.0)".to_string()
             } else {
-                let elems: Vec<String> =
-                    (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
                 format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
             };
             format!(

@@ -38,7 +38,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 }
 
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -60,19 +63,33 @@ fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String)
         Value::U64(n) => out.push_str(&n.to_string()),
         Value::F64(f) => write_f64(*f, out),
         Value::Str(s) => write_escaped(s, out),
-        Value::Arr(items) => write_seq(items.iter(), items.len(), '[', ']', indent, depth, out, |item, d, o| {
-            write_value(item, indent, d, o)
-        }),
-        Value::Obj(fields) => {
-            write_seq(fields.iter(), fields.len(), '{', '}', indent, depth, out, |(k, val), d, o| {
+        Value::Arr(items) => write_seq(
+            items.iter(),
+            items.len(),
+            '[',
+            ']',
+            indent,
+            depth,
+            out,
+            |item, d, o| write_value(item, indent, d, o),
+        ),
+        Value::Obj(fields) => write_seq(
+            fields.iter(),
+            fields.len(),
+            '{',
+            '}',
+            indent,
+            depth,
+            out,
+            |(k, val), d, o| {
                 write_escaped(k, o);
                 o.push(':');
                 if indent.is_some() {
                     o.push(' ');
                 }
                 write_value(val, indent, d, o);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -355,7 +372,9 @@ impl<'a> Parser<'a> {
                 return Ok(Value::U64(n));
             }
         }
-        text.parse::<f64>().map(Value::F64).map_err(|_| self.err("invalid number"))
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err("invalid number"))
     }
 }
 
@@ -365,8 +384,7 @@ mod tests {
 
     #[test]
     fn round_trips_scalars_and_nesting() {
-        let v: Vec<(String, f64)> =
-            from_str(r#"[["a",1.5],["b\n\"q\"",2.0]]"#).unwrap();
+        let v: Vec<(String, f64)> = from_str(r#"[["a",1.5],["b\n\"q\"",2.0]]"#).unwrap();
         assert_eq!(v, vec![("a".into(), 1.5), ("b\n\"q\"".into(), 2.0)]);
         let s = to_string(&v).unwrap();
         let back: Vec<(String, f64)> = from_str(&s).unwrap();

@@ -42,7 +42,15 @@ fn seven_implementations_agree() {
     assert_eq!(match_all_chunks(&ac, &text, &plan), reference, "chunked");
 
     // 3. Multithreaded CPU.
-    let par = par_find_all(&ac, &text, &ParallelConfig { threads: 3, chunk_size: 4096 }).unwrap();
+    let par = par_find_all(
+        &ac,
+        &text,
+        &ParallelConfig {
+            threads: 3,
+            chunk_size: 4096,
+        },
+    )
+    .unwrap();
     assert_eq!(par, reference, "crossbeam parallel");
 
     // 4. PFAC.

@@ -8,8 +8,12 @@ use gpu_sim::GpuConfig;
 
 fn matcher_for(patterns: &ac_core::PatternSet) -> GpuAcMatcher {
     let cfg = GpuConfig::gtx285();
-    GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), AcAutomaton::build(patterns))
-        .expect("matcher construction succeeds")
+    GpuAcMatcher::new(
+        cfg,
+        KernelParams::defaults_for(&cfg),
+        AcAutomaton::build(patterns),
+    )
+    .expect("matcher construction succeeds")
 }
 
 #[test]
@@ -27,7 +31,14 @@ fn prose_pipeline_all_kernels_equal_serial() {
         // The raw flagged-position count can exceed the match count only
         // through the overlap regions; it can never be less than the
         // number of distinct (end, state) events that produced matches.
-        assert!(run.match_events as usize >= want.iter().map(|m| m.end).collect::<std::collections::HashSet<_>>().len());
+        assert!(
+            run.match_events as usize
+                >= want
+                    .iter()
+                    .map(|m| m.end)
+                    .collect::<std::collections::HashSet<_>>()
+                    .len()
+        );
     }
 }
 
@@ -40,8 +51,15 @@ fn ids_pipeline_binary_signatures() {
     let m = matcher_for(&rules);
     let mut want = m.automaton().find_all(&traffic);
     want.sort();
-    assert!(!want.is_empty(), "traffic should contain embedded signatures");
-    for approach in [Approach::SharedDiagonal, Approach::GlobalOnly, Approach::Pfac] {
+    assert!(
+        !want.is_empty(),
+        "traffic should contain embedded signatures"
+    );
+    for approach in [
+        Approach::SharedDiagonal,
+        Approach::GlobalOnly,
+        Approach::Pfac,
+    ] {
         let run = m.run(&traffic, approach).expect("kernel run succeeds");
         assert_eq!(run.matches, want, "{approach:?} diverged");
     }

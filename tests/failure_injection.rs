@@ -22,17 +22,31 @@ fn pattern_set_rejects_degenerate_input() {
 
 #[test]
 fn chunk_plan_rejects_unsafe_geometry() {
-    assert_eq!(ChunkPlan::new(100, 0, 5, 5).unwrap_err(), AcError::ZeroChunkSize);
+    assert_eq!(
+        ChunkPlan::new(100, 0, 5, 5).unwrap_err(),
+        AcError::ZeroChunkSize
+    );
     assert_eq!(
         ChunkPlan::new(100, 10, 2, 9).unwrap_err(),
-        AcError::OverlapTooSmall { requested: 2, required: 9 }
+        AcError::OverlapTooSmall {
+            requested: 2,
+            required: 9
+        }
     );
 }
 
 #[test]
 fn parallel_matcher_rejects_zero_workers() {
     let ac = ac_core::AcAutomaton::build(&PatternSet::from_strs(&["x"]).unwrap());
-    assert!(par_find_all(&ac, b"xx", &ParallelConfig { threads: 0, chunk_size: 4 }).is_err());
+    assert!(par_find_all(
+        &ac,
+        b"xx",
+        &ParallelConfig {
+            threads: 0,
+            chunk_size: 4
+        }
+    )
+    .is_err());
 }
 
 type Mutation = Box<dyn Fn(&mut GpuConfig)>;
@@ -51,14 +65,20 @@ fn gpu_config_validation_is_exhaustive() {
         ("zero device mem", Box::new(|c| c.device_mem_bytes = 0)),
         ("zero tex rate", Box::new(|c| c.tex_lanes_per_cycle = 0.0)),
         ("bad l1 line", Box::new(|c| c.tex_cache.line_bytes = 48)),
-        ("mismatched l2 line", Box::new(|c| c.tex_l2.line_bytes = 128)),
+        (
+            "mismatched l2 line",
+            Box::new(|c| c.tex_l2.line_bytes = 128),
+        ),
         ("zero dram bw", Box::new(|c| c.dram.bytes_per_cycle = 0.0)),
     ];
     for (what, mutate) in mutations {
         let mut cfg = base;
         mutate(&mut cfg);
         assert!(cfg.validate().is_err(), "{what} should be rejected");
-        assert!(GpuDevice::new(cfg).is_err(), "{what} should fail device bring-up");
+        assert!(
+            GpuDevice::new(cfg).is_err(),
+            "{what} should fail device bring-up"
+        );
     }
     assert!(base.validate().is_ok());
 }
@@ -102,12 +122,36 @@ fn kernel_params_rejected_before_any_launch() {
     let cfg = GpuConfig::gtx285();
     let ac = ac_core::AcAutomaton::build(&PatternSet::from_strs(&["abc"]).unwrap());
     let bad = [
-        KernelParams { threads_per_block: 0, global_chunk_bytes: 64, shared_chunk_bytes: 64 },
-        KernelParams { threads_per_block: 48, global_chunk_bytes: 64, shared_chunk_bytes: 64 },
-        KernelParams { threads_per_block: 32, global_chunk_bytes: 0, shared_chunk_bytes: 64 },
-        KernelParams { threads_per_block: 32, global_chunk_bytes: 64, shared_chunk_bytes: 62 },
-        KernelParams { threads_per_block: 32, global_chunk_bytes: 64, shared_chunk_bytes: 32 },
-        KernelParams { threads_per_block: 256, global_chunk_bytes: 64, shared_chunk_bytes: 512 },
+        KernelParams {
+            threads_per_block: 0,
+            global_chunk_bytes: 64,
+            shared_chunk_bytes: 64,
+        },
+        KernelParams {
+            threads_per_block: 48,
+            global_chunk_bytes: 64,
+            shared_chunk_bytes: 64,
+        },
+        KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 0,
+            shared_chunk_bytes: 64,
+        },
+        KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 64,
+            shared_chunk_bytes: 62,
+        },
+        KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 64,
+            shared_chunk_bytes: 32,
+        },
+        KernelParams {
+            threads_per_block: 256,
+            global_chunk_bytes: 64,
+            shared_chunk_bytes: 512,
+        },
     ];
     for params in bad {
         assert!(
@@ -126,10 +170,17 @@ fn device_memory_exhaustion_is_an_error_not_a_panic() {
     // 4 MB of input cannot fit on a 1 MB device.
     let big = vec![0u8; 4 * 1024 * 1024];
     let err = m.run(&big, Approach::SharedDiagonal).unwrap_err();
-    assert!(err.to_string().contains("out of device memory"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("out of device memory"),
+        "unexpected error: {err}"
+    );
     // The typed error carries the arithmetic, not just prose.
     match err {
-        GpuError::Device(DeviceError::OutOfDeviceMemory { requested, available, capacity }) => {
+        GpuError::Device(DeviceError::OutOfDeviceMemory {
+            requested,
+            available,
+            capacity,
+        }) => {
             assert_eq!(requested, 4 * 1024 * 1024 + 4); // input + guard bytes
             assert_eq!(capacity, 1024 * 1024);
             assert!(available <= capacity);
@@ -145,14 +196,23 @@ fn transient_faults_are_retried_with_observable_count() {
     let ac = ac_core::AcAutomaton::build(&PatternSet::from_strs(&["he", "hers"]).unwrap());
     let m = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
     // First two launches fail transiently; the third succeeds.
-    m.set_fault_plan(FaultPlan::none().with_launch_transient(0).with_launch_transient(1));
-    let s = run_supervised(&m, b"ushers", Approach::SharedDiagonal, &SuperviseConfig::default())
-        .unwrap();
+    m.set_fault_plan(
+        FaultPlan::none()
+            .with_launch_transient(0)
+            .with_launch_transient(1),
+    );
+    let s = run_supervised(
+        &m,
+        b"ushers",
+        Approach::SharedDiagonal,
+        &SuperviseConfig::default(),
+    )
+    .unwrap();
     assert_eq!(s.report.attempts, 3);
     assert_eq!(s.report.retries, 2);
     assert_eq!(s.report.faults.len(), 2);
     assert_eq!(s.run.matches.len(), 2); // he, hers
-    // Unsupervised runs surface the same fault as a typed, retryable error.
+                                        // Unsupervised runs surface the same fault as a typed, retryable error.
     m.set_fault_plan(FaultPlan::none().with_launch_transient(0));
     let err = m.run(b"ushers", Approach::SharedDiagonal).unwrap_err();
     assert_eq!(err.class(), ErrorClass::Transient);
@@ -169,9 +229,11 @@ fn fatal_faults_surface_as_typed_errors_without_retry() {
     // error stays typed the whole way.
     let plan = (0..64).fold(FaultPlan::none(), |p, i| p.with_alloc_fail(i));
     m.set_fault_plan(plan);
-    let scfg = SuperviseConfig { max_retries: 2, ..SuperviseConfig::default() };
-    let (err, report) =
-        run_supervised(&m, b"hehe", Approach::SharedDiagonal, &scfg).unwrap_err();
+    let scfg = SuperviseConfig {
+        max_retries: 2,
+        ..SuperviseConfig::default()
+    };
+    let (err, report) = run_supervised(&m, b"hehe", Approach::SharedDiagonal, &scfg).unwrap_err();
     assert!(matches!(err, GpuError::Device(DeviceError::Fault(_))));
     assert_eq!(report.attempts, 3, "budget of 2 retries = 3 attempts");
 }
@@ -198,9 +260,13 @@ fn corrupted_readback_is_detected_never_silently_wrong() {
         }
         // Supervision discards the corrupt attempt and recovers.
         m.set_fault_plan(FaultPlan::none().with_readback_flip(0, bit));
-        let s =
-            run_supervised(&m, text, Approach::SharedDiagonal, &SuperviseConfig::default())
-                .unwrap();
+        let s = run_supervised(
+            &m,
+            text,
+            Approach::SharedDiagonal,
+            &SuperviseConfig::default(),
+        )
+        .unwrap();
         assert_eq!(s.run.matches, clean, "bit {bit}");
         assert_eq!(s.report.attempts, 2, "bit {bit}");
         m.clear_fault_plan();
@@ -217,7 +283,11 @@ fn watchdog_kills_hung_kernels() {
         .run_opts(
             b"hehe",
             Approach::SharedDiagonal,
-            ac_gpu::RunOptions { record: true, watchdog_cycles: Some(1 << 30) },
+            ac_gpu::RunOptions {
+                record: true,
+                watchdog_cycles: Some(1 << 30),
+                trace: None,
+            },
         )
         .unwrap_err();
     match err {

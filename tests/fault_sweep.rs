@@ -58,7 +58,10 @@ fn resilient(ac: AcAutomaton, parallel: ParallelConfig) -> ResilientMatcher {
         gpu_cfg,
         KernelParams::defaults_for(&gpu_cfg),
         ac,
-        ResilientConfig { parallel, ..ResilientConfig::default() },
+        ResilientConfig {
+            parallel,
+            ..ResilientConfig::default()
+        },
     )
 }
 
@@ -78,7 +81,13 @@ fn seeded_sweep_matches_oracle_under_every_plan() {
         let mut want = ac.find_all(&text);
         want.sort();
 
-        let m = resilient(ac, ParallelConfig { threads: 2, chunk_size: 1024 });
+        let m = resilient(
+            ac,
+            ParallelConfig {
+                threads: 2,
+                chunk_size: 1024,
+            },
+        );
         m.set_fault_plan(plan);
         let run = m.scan(&text);
         assert_eq!(
@@ -93,10 +102,19 @@ fn seeded_sweep_matches_oracle_under_every_plan() {
     }
 
     for kind in FaultKind::all() {
-        assert!(kinds_scheduled.contains(&kind), "{kind:?} never scheduled across the sweep");
-        assert!(kinds_fired.contains(&kind), "{kind:?} never fired across the sweep");
+        assert!(
+            kinds_scheduled.contains(&kind),
+            "{kind:?} never scheduled across the sweep"
+        );
+        assert!(
+            kinds_fired.contains(&kind),
+            "{kind:?} never fired across the sweep"
+        );
     }
-    assert!(tiers.contains(&Tier::Gpu), "no plan let the GPU rung answer");
+    assert!(
+        tiers.contains(&Tier::Gpu),
+        "no plan let the GPU rung answer"
+    );
 }
 
 #[test]
@@ -105,21 +123,39 @@ fn every_rung_of_the_ladder_is_reachable() {
     let (ac, text) = scenario(0);
     let mut want = ac.find_all(&text);
     want.sort();
-    let m = resilient(ac.clone(), ParallelConfig { threads: 2, chunk_size: 1024 });
+    let m = resilient(
+        ac.clone(),
+        ParallelConfig {
+            threads: 2,
+            chunk_size: 1024,
+        },
+    );
     let run = m.scan(&text);
     assert_eq!(run.tier, Tier::Gpu);
     assert_eq!(run.matches, want);
 
     // Rung 2: GPU retries exhausted → parallel CPU.
     let exhaust = (0..64).fold(FaultPlan::none(), |p, i| p.with_launch_transient(i));
-    let m = resilient(ac.clone(), ParallelConfig { threads: 2, chunk_size: 1024 });
+    let m = resilient(
+        ac.clone(),
+        ParallelConfig {
+            threads: 2,
+            chunk_size: 1024,
+        },
+    );
     m.set_fault_plan(exhaust.clone());
     let run = m.scan(&text);
     assert_eq!(run.tier, Tier::CpuParallel);
     assert_eq!(run.matches, want);
 
     // Rung 3: GPU exhausted AND parallel rung broken → serial oracle.
-    let m = resilient(ac, ParallelConfig { threads: 0, chunk_size: 1024 });
+    let m = resilient(
+        ac,
+        ParallelConfig {
+            threads: 0,
+            chunk_size: 1024,
+        },
+    );
     m.set_fault_plan(exhaust);
     let run = m.scan(&text);
     assert_eq!(run.tier, Tier::CpuSerial);
@@ -134,17 +170,37 @@ fn sweep_is_deterministic() {
     for seed in [0u64, 1, 2, 3, 17, 63] {
         let once = {
             let (ac, text) = scenario(seed);
-            let m = resilient(ac, ParallelConfig { threads: 2, chunk_size: 1024 });
+            let m = resilient(
+                ac,
+                ParallelConfig {
+                    threads: 2,
+                    chunk_size: 1024,
+                },
+            );
             m.set_fault_plan(FaultPlan::generate(seed));
             let run = m.scan(&text);
-            (run.tier, run.matches, run.report.gpu.map(|g| (g.attempts, g.faults)))
+            (
+                run.tier,
+                run.matches,
+                run.report.gpu.map(|g| (g.attempts, g.faults)),
+            )
         };
         let twice = {
             let (ac, text) = scenario(seed);
-            let m = resilient(ac, ParallelConfig { threads: 2, chunk_size: 1024 });
+            let m = resilient(
+                ac,
+                ParallelConfig {
+                    threads: 2,
+                    chunk_size: 1024,
+                },
+            );
             m.set_fault_plan(FaultPlan::generate(seed));
             let run = m.scan(&text);
-            (run.tier, run.matches, run.report.gpu.map(|g| (g.attempts, g.faults)))
+            (
+                run.tier,
+                run.matches,
+                run.report.gpu.map(|g| (g.attempts, g.faults)),
+            )
         };
         assert_eq!(once, twice, "seed {seed}");
     }

@@ -1,0 +1,185 @@
+//! End-to-end acceptance tests for the observability layer: an armed
+//! trace exports valid Chrome trace-event JSON, the recorded stall spans
+//! reconcile exactly with the scheduler's stall attribution, and the
+//! per-SM stall-reason cycles always sum to `idle_cycles` — the
+//! invariant the Fig. 19 latency-hiding narrative rests on.
+
+use ac_core::{AcAutomaton, PatternSet};
+use ac_gpu::{Approach, GpuAcMatcher, GpuRun, KernelParams, RunOptions};
+use gpu_sim::{GpuConfig, StallReason, TraceConfig};
+use std::collections::HashMap;
+use trace::{parse_chrome_json, to_chrome_json, validate_chrome_json, ArgValue, MetricValue};
+
+fn matcher(cfg: &GpuConfig) -> GpuAcMatcher {
+    let ac = AcAutomaton::build(
+        &PatternSet::from_strs(&["he", "she", "his", "hers", "use", "user"]).unwrap(),
+    );
+    GpuAcMatcher::new(*cfg, KernelParams::defaults_for(cfg), ac).unwrap()
+}
+
+fn text() -> Vec<u8> {
+    b"those users share his shelf; she ushers her heirs there "
+        .iter()
+        .cycle()
+        .take(6_000)
+        .copied()
+        .collect()
+}
+
+fn traced_run(cfg: &GpuConfig, approach: Approach) -> GpuRun {
+    matcher(cfg)
+        .run_opts(
+            &text(),
+            approach,
+            RunOptions {
+                record: true,
+                watchdog_cycles: None,
+                trace: Some(TraceConfig::default()),
+            },
+        )
+        .unwrap()
+}
+
+/// The headline acceptance criterion: for every approach, the per-SM
+/// stall-reason cycles sum to that SM's `idle_cycles` (and likewise for
+/// the device totals), and the exported Chrome trace validates against
+/// the trace-event schema with nothing lost.
+#[test]
+fn stall_attribution_accounts_for_every_idle_cycle() {
+    let cfg = GpuConfig::gtx285();
+    for approach in Approach::all() {
+        let run = traced_run(&cfg, approach);
+
+        let mut sm_idle_sum = 0;
+        for (i, s) in run.stats.per_sm.iter().enumerate() {
+            assert_eq!(
+                s.stalls.total(),
+                s.idle_cycles,
+                "{approach:?}: SM {i} stall breakdown does not cover its idle cycles",
+            );
+            sm_idle_sum += s.idle_cycles;
+        }
+        assert_eq!(
+            run.stats.totals.stalls.total(),
+            run.stats.totals.idle_cycles,
+            "{approach:?}"
+        );
+        assert_eq!(run.stats.totals.idle_cycles, sm_idle_sum, "{approach:?}");
+
+        let tb = run.trace.as_ref().expect("trace armed");
+        assert!(!tb.is_empty(), "{approach:?}: armed trace recorded nothing");
+        let json = to_chrome_json(tb, cfg.clock_hz / 1e6);
+        let summary = validate_chrome_json(&json)
+            .unwrap_or_else(|e| panic!("{approach:?}: invalid Chrome trace JSON: {e}"));
+        assert_eq!(
+            summary.events,
+            tb.len(),
+            "{approach:?}: exporter lost events"
+        );
+    }
+}
+
+/// The trace is not merely well-formed — its stall spans carry the same
+/// cycle accounting as the statistics. Summing `warp-stall` span
+/// durations per (SM, reason) reproduces each SM's `StallBreakdown`.
+#[test]
+fn recorded_stall_spans_reconcile_with_stats() {
+    let cfg = GpuConfig::gtx285();
+    let run = traced_run(&cfg, Approach::SharedDiagonal);
+    let tb = run.trace.as_ref().unwrap();
+    assert_eq!(
+        tb.dropped(),
+        0,
+        "buffer overflowed; reconciliation needs every event"
+    );
+
+    let mut by_sm_reason: HashMap<(u32, String), u64> = HashMap::new();
+    for ev in tb.events() {
+        if ev.name != "warp-stall" {
+            continue;
+        }
+        let reason = ev
+            .args
+            .iter()
+            .find_map(|(k, v)| match (k.as_str(), v) {
+                ("reason", ArgValue::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("warp-stall span carries a reason arg");
+        *by_sm_reason.entry((ev.tid, reason)).or_default() += ev.dur;
+    }
+    assert!(!by_sm_reason.is_empty(), "no stall spans recorded");
+
+    for (i, s) in run.stats.per_sm.iter().enumerate() {
+        for reason in StallReason::all() {
+            let traced = by_sm_reason
+                .get(&(i as u32, reason.label().to_string()))
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(
+                traced,
+                s.stalls.get(reason),
+                "SM {i} {reason:?}: trace and stats disagree",
+            );
+        }
+    }
+}
+
+/// The host-phase spans and the Chrome parser round-trip: an export at
+/// unit scale parses back to exactly the recorded events, and the
+/// upload → kernel → readback narrative is present.
+#[test]
+fn host_phases_recorded_and_export_round_trips() {
+    let cfg = GpuConfig::gtx285();
+    let run = traced_run(&cfg, Approach::GlobalOnly);
+    let tb = run.trace.as_ref().unwrap();
+
+    for name in ["upload", "kernel", "readback"] {
+        assert!(
+            tb.events()
+                .iter()
+                .any(|ev| ev.name == name && ev.cat == "host"),
+            "missing host-phase event {name:?}",
+        );
+    }
+
+    let json = to_chrome_json(tb, 1.0);
+    let parsed = parse_chrome_json(&json, 1.0).unwrap();
+    assert_eq!(&parsed, tb.events());
+}
+
+/// The flat metrics snapshot mirrors the statistics it was built from
+/// and renders to both machine formats.
+#[test]
+fn metrics_snapshot_reconciles_with_launch_stats() {
+    let cfg = GpuConfig::gtx285();
+    let input = text();
+    let run = traced_run(&cfg, Approach::SharedDiagonal);
+    let snap = run.stats.metrics(cfg.clock_hz, input.len() as u64);
+
+    let idle = snap
+        .get("acsim_idle_cycles", &[])
+        .expect("idle gauge present");
+    assert_eq!(idle.value, MetricValue::U64(run.stats.totals.idle_cycles));
+
+    let mut stall_sum = 0;
+    for reason in StallReason::all() {
+        let m = snap
+            .get("acsim_stall_cycles", &[("reason", reason.label())])
+            .unwrap_or_else(|| panic!("missing stall gauge for {reason:?}"));
+        match m.value {
+            MetricValue::U64(v) => stall_sum += v,
+            ref other => panic!("stall gauge has non-integer value {other:?}"),
+        }
+    }
+    assert_eq!(
+        stall_sum, run.stats.totals.idle_cycles,
+        "labelled stall gauges must sum to idle"
+    );
+
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE acsim_launch_cycles gauge"));
+    assert!(prom.contains("acsim_stall_cycles{reason=\"tex-miss\"}"));
+    let json = snap.to_json();
+    serde_json::from_str::<serde::Value>(&json).expect("metrics JSON parses");
+}

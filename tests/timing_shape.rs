@@ -18,13 +18,21 @@ fn rig(patterns: usize, bytes: usize) -> Rig {
     let source = TextGenerator::new(901).generate(512 * 1024);
     let ps = extract_patterns(&source, &ExtractConfig::paper_default(patterns, 902));
     let cfg = GpuConfig::gtx285();
-    let matcher = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), AcAutomaton::build(&ps))
-        .expect("matcher construction succeeds");
+    let matcher = GpuAcMatcher::new(
+        cfg,
+        KernelParams::defaults_for(&cfg),
+        AcAutomaton::build(&ps),
+    )
+    .expect("matcher construction succeeds");
     Rig { text, matcher }
 }
 
 fn cycles(r: &Rig, a: Approach) -> u64 {
-    r.matcher.run_counting(&r.text, a).expect("run succeeds").stats.cycles
+    r.matcher
+        .run_counting(&r.text, a)
+        .expect("run succeeds")
+        .stats
+        .cycles
 }
 
 /// Paper Figs. 15/18 vs 14/17: the shared-memory approach beats the
@@ -71,8 +79,14 @@ fn gpu_beats_modelled_serial() {
 fn throughput_grows_with_input_size() {
     let small = rig(200, 64 * 1024);
     let large = rig(200, 512 * 1024);
-    let g_small = small.matcher.run_counting(&small.text, Approach::SharedDiagonal).unwrap();
-    let g_large = large.matcher.run_counting(&large.text, Approach::SharedDiagonal).unwrap();
+    let g_small = small
+        .matcher
+        .run_counting(&small.text, Approach::SharedDiagonal)
+        .unwrap();
+    let g_large = large
+        .matcher
+        .run_counting(&large.text, Approach::SharedDiagonal)
+        .unwrap();
     assert!(g_large.gbps() > g_small.gbps());
 }
 
@@ -113,10 +127,20 @@ fn shared_degrades_less_than_serial() {
 fn tex_hit_rate_falls_with_patterns() {
     let few = rig(100, 128 * 1024);
     let many = rig(5_000, 128 * 1024);
-    let h_few =
-        few.matcher.run_counting(&few.text, Approach::SharedDiagonal).unwrap().stats.totals.tex_hit_rate();
-    let h_many =
-        many.matcher.run_counting(&many.text, Approach::SharedDiagonal).unwrap().stats.totals.tex_hit_rate();
+    let h_few = few
+        .matcher
+        .run_counting(&few.text, Approach::SharedDiagonal)
+        .unwrap()
+        .stats
+        .totals
+        .tex_hit_rate();
+    let h_many = many
+        .matcher
+        .run_counting(&many.text, Approach::SharedDiagonal)
+        .unwrap()
+        .stats
+        .totals
+        .tex_hit_rate();
     assert!(h_many < h_few, "{h_many} !< {h_few}");
 }
 

@@ -1,14 +1,13 @@
-//! The fault hook costs nothing when disabled: every benchmark-visible
-//! timing/statistics output is bit-identical whether injection is (a)
-//! never armed, (b) armed with an empty plan, or (c) wrapped in a
-//! supervisor. The paper's throughput figures therefore cannot drift from
-//! merely *having* the robustness layer.
+//! The fault and trace hooks cost nothing when disabled: every
+//! benchmark-visible timing/statistics output is bit-identical whether
+//! injection is (a) never armed, (b) armed with an empty plan, or (c)
+//! wrapped in a supervisor — and whether trace recording is armed or not.
+//! The paper's throughput figures therefore cannot drift from merely
+//! *having* the robustness or observability layers.
 
 use ac_core::{AcAutomaton, PatternSet};
-use ac_gpu::{
-    run_supervised, Approach, GpuAcMatcher, KernelParams, RunOptions, SuperviseConfig,
-};
-use gpu_sim::{FaultPlan, GpuConfig};
+use ac_gpu::{run_supervised, Approach, GpuAcMatcher, KernelParams, RunOptions, SuperviseConfig};
+use gpu_sim::{FaultPlan, GpuConfig, TraceConfig};
 
 fn matcher() -> GpuAcMatcher {
     let cfg = GpuConfig::gtx285();
@@ -38,14 +37,20 @@ fn disabled_and_empty_plan_runs_are_bit_identical() {
         let armed = matcher();
         armed.set_fault_plan(FaultPlan::none());
         let run = armed.run(&text, approach).unwrap();
-        assert_eq!(run.stats, plain.stats, "{approach:?}: stats drifted with empty plan armed");
+        assert_eq!(
+            run.stats, plain.stats,
+            "{approach:?}: stats drifted with empty plan armed"
+        );
         assert_eq!(run.matches, plain.matches, "{approach:?}");
         assert_eq!(run.match_events, plain.match_events, "{approach:?}");
 
         // Same matcher after disarming: still identical.
         armed.clear_fault_plan();
         let run = armed.run(&text, approach).unwrap();
-        assert_eq!(run.stats, plain.stats, "{approach:?}: stats drifted after disarm");
+        assert_eq!(
+            run.stats, plain.stats,
+            "{approach:?}: stats drifted after disarm"
+        );
     }
 }
 
@@ -55,8 +60,13 @@ fn supervision_does_not_perturb_fault_free_timing() {
     let m = matcher();
     let plain = m.run(&text, Approach::SharedDiagonal).unwrap();
 
-    let s = run_supervised(&m, &text, Approach::SharedDiagonal, &SuperviseConfig::default())
-        .unwrap();
+    let s = run_supervised(
+        &m,
+        &text,
+        Approach::SharedDiagonal,
+        &SuperviseConfig::default(),
+    )
+    .unwrap();
     assert_eq!(s.report.attempts, 1);
     assert_eq!(s.run.stats, plain.stats, "supervised stats drifted");
     assert_eq!(s.run.matches, plain.matches);
@@ -66,10 +76,68 @@ fn supervision_does_not_perturb_fault_free_timing() {
         .run_opts(
             &text,
             Approach::SharedDiagonal,
-            RunOptions { record: true, watchdog_cycles: Some(u64::MAX) },
+            RunOptions {
+                record: true,
+                watchdog_cycles: Some(u64::MAX),
+                trace: None,
+            },
         )
         .unwrap();
     assert_eq!(watched.stats, plain.stats, "watchdog arming drifted stats");
+}
+
+#[test]
+fn trace_arming_leaves_launch_stats_bit_identical() {
+    let text = text();
+    for approach in Approach::all() {
+        let plain = matcher().run(&text, approach).unwrap();
+
+        // Recording armed (scheduler + DRAM + per-issue instants): the
+        // recorder observes the simulation but must never feed back into
+        // it, so every stat — cycles, idle, stall attribution, per-SM
+        // breakdowns — is bit-identical to the untraced run.
+        let cfg = TraceConfig {
+            issues: true,
+            ..TraceConfig::default()
+        };
+        let traced = matcher()
+            .run_opts(
+                &text,
+                approach,
+                RunOptions {
+                    record: true,
+                    watchdog_cycles: None,
+                    trace: Some(cfg),
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            traced.stats, plain.stats,
+            "{approach:?}: stats drifted with trace armed"
+        );
+        assert_eq!(traced.matches, plain.matches, "{approach:?}");
+        assert_eq!(traced.match_events, plain.match_events, "{approach:?}");
+        let tb = traced.trace.as_ref().expect("trace requested");
+        assert!(!tb.is_empty(), "{approach:?}: armed trace recorded nothing");
+
+        // Disarmed run through the same entry point carries no buffer.
+        let untraced = matcher()
+            .run_opts(
+                &text,
+                approach,
+                RunOptions {
+                    record: true,
+                    watchdog_cycles: None,
+                    trace: None,
+                },
+            )
+            .unwrap();
+        assert!(untraced.trace.is_none());
+        assert_eq!(
+            untraced.stats, plain.stats,
+            "{approach:?}: disarmed run drifted"
+        );
+    }
 }
 
 #[test]
