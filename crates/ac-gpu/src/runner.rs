@@ -16,7 +16,8 @@ use crate::readback;
 use crate::upload::{DevicePfac, DeviceStt};
 use ac_core::{AcAutomaton, Match, PfacAutomaton};
 use gpu_sim::{
-    FaultPlan, FaultState, GpuConfig, GpuDevice, InjectedFault, LaunchConfig, LaunchStats,
+    FaultPlan, FaultState, GpuConfig, GpuDevice, InjectedFault, IntrospectConfig, Introspection,
+    LaunchConfig, LaunchStats,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::{Mutex, OnceLock};
@@ -94,6 +95,10 @@ pub struct GpuRun {
     /// host upload/kernel/readback phases). `None` unless the run was
     /// launched with [`RunOptions::trace`].
     pub trace: Option<TraceBuffer>,
+    /// Spatial memory-hierarchy snapshot (per-set cache counters, bank
+    /// histograms, DRAM busy intervals, per-STT-row fetch counts). `None`
+    /// unless the run was launched with [`RunOptions::introspect`].
+    pub introspection: Option<Introspection>,
 }
 
 impl GpuRun {
@@ -121,6 +126,9 @@ pub struct RunOptions {
     /// Arm trace recording for this run; the buffer comes back on
     /// [`GpuRun::trace`]. Recording never affects timing or matches.
     pub trace: Option<TraceConfig>,
+    /// Arm spatial introspection for this run; the snapshot comes back on
+    /// [`GpuRun::introspection`]. Observation-only, like `trace`.
+    pub introspect: Option<IntrospectConfig>,
 }
 
 /// The host-side matcher: an automaton prepared for a device.
@@ -255,6 +263,9 @@ impl GpuAcMatcher {
         if let Some(tcfg) = opts.trace {
             dev.arm_trace(tcfg);
         }
+        if let Some(icfg) = opts.introspect {
+            dev.arm_introspection(icfg);
+        }
         let result = self.run_on_device(&mut dev, text, approach, opts.record);
         if let Some(state) = dev.disarm_faults() {
             *self.fault.lock().unwrap() = Some(state);
@@ -295,8 +306,19 @@ impl GpuAcMatcher {
                 );
                 run.trace = Some(tb);
             }
+            run.introspection = dev.take_introspection();
             run
         })
+    }
+
+    /// The device-layout STT texture (row == DFA state id), for mapping
+    /// introspection residency/fetch data back to hot states.
+    pub fn stt_texture(&self) -> gpu_sim::Texture2d {
+        gpu_sim::Texture2d::new(
+            self.dev_stt.entries.clone(),
+            self.dev_stt.rows,
+            self.dev_stt.cols,
+        )
     }
 
     fn run_on_device(
@@ -411,6 +433,7 @@ impl GpuAcMatcher {
             bytes: text.len(),
             clock_hz: self.cfg.clock_hz,
             trace: None,
+            introspection: None,
         })
     }
 
@@ -628,6 +651,67 @@ mod tests {
     }
 
     #[test]
+    fn introspected_run_matches_plain_and_carries_snapshot() {
+        let m = matcher(&["he", "she", "hers"]);
+        let text = b"she ushers her heirs; he hears her";
+        for a in Approach::all() {
+            let plain = m.run(text, a).unwrap();
+            assert!(plain.introspection.is_none(), "{a:?}");
+            let probed = m
+                .run_opts(
+                    text,
+                    a,
+                    RunOptions {
+                        record: true,
+                        introspect: Some(IntrospectConfig::default()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            // Introspection is observation-only: stats and matches are
+            // bit-identical to the plain run.
+            assert_eq!(probed.stats, plain.stats, "{a:?}");
+            assert_eq!(probed.matches, plain.matches, "{a:?}");
+            let intro = probed.introspection.expect("introspection requested");
+            assert!(!intro.per_sm.is_empty(), "{a:?}: no per-SM snapshots");
+            // Per-set counters cover the aggregate cache stats exactly.
+            for sm in &intro.per_sm {
+                let acc: u64 = sm.tex_l1_sets.iter().map(|s| s.accesses).sum();
+                let hits: u64 = sm.tex_l1_sets.iter().map(|s| s.hits).sum();
+                assert_eq!(acc, sm.tex_l1.accesses, "{a:?} SM {}", sm.sm);
+                assert_eq!(hits, sm.tex_l1.hits, "{a:?} SM {}", sm.sm);
+            }
+        }
+    }
+
+    #[test]
+    fn introspection_reports_hot_stt_rows() {
+        let m = matcher(&["he", "she", "hers"]);
+        let text = b"she ushers her heirs; he hears her".repeat(8);
+        let run = m
+            .run_opts(
+                &text,
+                Approach::SharedDiagonal,
+                RunOptions {
+                    record: false,
+                    introspect: Some(IntrospectConfig::default()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let intro = run.introspection.unwrap();
+        // Every state id the kernel fetched maps back to a real STT row.
+        let fetches = intro.row_fetches(0);
+        assert_eq!(fetches.len(), m.stt_texture().rows() as usize);
+        assert!(fetches[0] > 0, "root state is always consulted");
+        assert!(fetches.iter().sum::<u64>() > 0);
+        // Residency maps cache lines back through the tiled layout.
+        let resident = intro.resident_rows(&m.stt_texture());
+        assert_eq!(resident.len(), fetches.len());
+        assert!(resident.iter().sum::<u64>() > 0, "cache holds no STT lines");
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(Approach::GlobalOnly.label(), "global-only");
         assert_eq!(Approach::SharedDiagonal.label(), "shared-diagonal");
@@ -661,6 +745,7 @@ mod tests {
             bytes: 125_000_000, // 1 Gbit
             clock_hz: 1.476e9,
             trace: None,
+            introspection: None,
         };
         assert!((run.seconds() - 1.0).abs() < 1e-9);
         assert!((run.gbps() - 1.0).abs() < 1e-9);

@@ -88,6 +88,7 @@ pub fn run_supervised(
         record: true,
         watchdog_cycles: cfg.watchdog_cycles,
         trace: cfg.trace,
+        introspect: None,
     };
     // Retry-aware timeline: failed-attempt markers and backoff spans at a
     // cumulative simulated-time cursor; the winning attempt's own trace is

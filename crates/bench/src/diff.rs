@@ -1,0 +1,396 @@
+//! Noise-aware comparison of two [`BenchReport`]s: the CI perf-regression
+//! gate.
+//!
+//! Rows are matched by `(approach, size, patterns)` and compared under
+//! configurable relative thresholds on throughput, cycles and the
+//! stall-reason mix. Every value comes from the deterministic simulated
+//! clock, so "noise" here is not run-to-run jitter but *intentional
+//! slack*: small modelling changes (a latency constant, a cache tweak)
+//! may legitimately move numbers a little, and the thresholds say how
+//! much movement a PR may ship without explaining itself.
+
+use crate::report::{BenchReport, BenchRow};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use trace::StallReason;
+
+/// Relative thresholds for [`diff_reports`]. All are fractions
+/// (0.05 = 5%) except `stall_shift_pts`, which is in percentage points
+/// of the idle-cycle mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffThresholds {
+    /// Max tolerated relative throughput drop (`0.05` = 5%).
+    pub gbps_drop: f64,
+    /// Max tolerated relative cycle-count rise.
+    pub cycles_rise: f64,
+    /// Max tolerated shift of any stall reason's share of idle cycles,
+    /// in percentage points.
+    pub stall_shift_pts: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            gbps_drop: 0.05,
+            cycles_rise: 0.05,
+            stall_shift_pts: 10.0,
+        }
+    }
+}
+
+/// The comparison of one matched grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffEntry {
+    /// Approach label of the matched rows.
+    pub approach: String,
+    /// Input size in bytes.
+    pub size: usize,
+    /// Dictionary size.
+    pub patterns: usize,
+    /// Baseline throughput in Gbit/s.
+    pub old_gbps: f64,
+    /// Candidate throughput in Gbit/s.
+    pub new_gbps: f64,
+    /// Relative throughput change (`+0.10` = 10% faster).
+    pub gbps_rel: f64,
+    /// Baseline cycles.
+    pub old_cycles: u64,
+    /// Candidate cycles.
+    pub new_cycles: u64,
+    /// Relative cycle change (`+0.10` = 10% more cycles).
+    pub cycles_rel: f64,
+    /// Largest shift of any stall reason's idle share, in points.
+    pub stall_shift_pts: f64,
+    /// Reasons this entry trips the gate (empty = within thresholds).
+    pub violations: Vec<String>,
+}
+
+impl DiffEntry {
+    /// Whether this grid point regressed past the thresholds.
+    pub fn regressed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// Full diff of two reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Baseline report name.
+    pub old_name: String,
+    /// Candidate report name.
+    pub new_name: String,
+    /// Thresholds the diff was evaluated under.
+    pub thresholds: DiffThresholds,
+    /// One entry per grid point present in both reports.
+    pub entries: Vec<DiffEntry>,
+    /// Grid points of the baseline missing from the candidate — losing
+    /// coverage silently is itself a regression.
+    pub missing: Vec<String>,
+    /// Grid points only in the candidate (informational).
+    pub added: Vec<String>,
+}
+
+fn key(r: &BenchRow) -> String {
+    format!(
+        "{} @ {} bytes x {} patterns",
+        r.approach, r.size, r.patterns
+    )
+}
+
+/// Largest per-reason shift of the stall mix between two rows, in
+/// percentage points of idle cycles. Rows with no idle cycles have no
+/// mix to shift.
+fn stall_shift_pts(old: &BenchRow, new: &BenchRow) -> f64 {
+    let share = |row: &BenchRow, reason: StallReason| -> f64 {
+        if row.idle_cycles == 0 {
+            0.0
+        } else {
+            100.0 * row.stalls.get(reason) as f64 / row.idle_cycles as f64
+        }
+    };
+    StallReason::all()
+        .into_iter()
+        .map(|r| (share(old, r) - share(new, r)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Compare `new` against the `old` baseline under `thr`.
+pub fn diff_reports(old: &BenchReport, new: &BenchReport, thr: DiffThresholds) -> DiffReport {
+    let mut out = DiffReport {
+        old_name: old.name.clone(),
+        new_name: new.name.clone(),
+        thresholds: thr,
+        entries: Vec::new(),
+        missing: Vec::new(),
+        added: Vec::new(),
+    };
+    for o in &old.rows {
+        let Some(n) = new
+            .rows
+            .iter()
+            .find(|n| n.approach == o.approach && n.size == o.size && n.patterns == o.patterns)
+        else {
+            out.missing.push(key(o));
+            continue;
+        };
+        let gbps_rel = if o.gbps == 0.0 {
+            0.0
+        } else {
+            (n.gbps - o.gbps) / o.gbps
+        };
+        let cycles_rel = if o.cycles == 0 {
+            0.0
+        } else {
+            (n.cycles as f64 - o.cycles as f64) / o.cycles as f64
+        };
+        let shift = stall_shift_pts(o, n);
+        let mut violations = Vec::new();
+        if gbps_rel < -thr.gbps_drop {
+            violations.push(format!(
+                "throughput dropped {:.1}% (limit {:.1}%)",
+                -100.0 * gbps_rel,
+                100.0 * thr.gbps_drop
+            ));
+        }
+        if cycles_rel > thr.cycles_rise {
+            violations.push(format!(
+                "cycles rose {:.1}% (limit {:.1}%)",
+                100.0 * cycles_rel,
+                100.0 * thr.cycles_rise
+            ));
+        }
+        if shift > thr.stall_shift_pts {
+            violations.push(format!(
+                "stall mix shifted {:.1} pts (limit {:.1})",
+                shift, thr.stall_shift_pts
+            ));
+        }
+        out.entries.push(DiffEntry {
+            approach: o.approach.clone(),
+            size: o.size,
+            patterns: o.patterns,
+            old_gbps: o.gbps,
+            new_gbps: n.gbps,
+            gbps_rel,
+            old_cycles: o.cycles,
+            new_cycles: n.cycles,
+            cycles_rel,
+            stall_shift_pts: shift,
+            violations,
+        });
+    }
+    for n in &new.rows {
+        if !old
+            .rows
+            .iter()
+            .any(|o| o.approach == n.approach && o.size == n.size && o.patterns == n.patterns)
+        {
+            out.added.push(key(n));
+        }
+    }
+    out
+}
+
+impl DiffReport {
+    /// Whether the gate should fail: any entry past a threshold, or any
+    /// baseline grid point the candidate no longer covers.
+    pub fn has_regressions(&self) -> bool {
+        !self.missing.is_empty() || self.entries.iter().any(DiffEntry::regressed)
+    }
+
+    /// Regressed entries only.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries.iter().filter(|e| e.regressed())
+    }
+
+    /// Pretty JSON for the CI artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("diff serialization is infallible")
+    }
+
+    /// Render the human-readable gate verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench diff: {} (baseline) vs {} (candidate), {} matched point(s)",
+            self.old_name,
+            self.new_name,
+            self.entries.len()
+        );
+        let _ = writeln!(
+            out,
+            "thresholds: gbps drop {:.1}%, cycles rise {:.1}%, stall shift {:.1} pts\n",
+            100.0 * self.thresholds.gbps_drop,
+            100.0 * self.thresholds.cycles_rise,
+            self.thresholds.stall_shift_pts
+        );
+        let _ = writeln!(
+            out,
+            "{:>20} | {:>10} | {:>5} | {:>8} -> {:>8} | {:>8} | {:>6} | verdict",
+            "approach", "size", "pats", "old Gb/s", "new Gb/s", "cycles", "stall"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(100));
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:>20} | {:>10} | {:>5} | {:>8.2} -> {:>8.2} | {:>+7.1}% | {:>5.1}p | {}",
+                e.approach,
+                e.size,
+                e.patterns,
+                e.old_gbps,
+                e.new_gbps,
+                100.0 * e.cycles_rel,
+                e.stall_shift_pts,
+                if e.regressed() { "REGRESSED" } else { "ok" }
+            );
+            for v in &e.violations {
+                let _ = writeln!(out, "{:>20}   {v}", "");
+            }
+        }
+        for m in &self.missing {
+            let _ = writeln!(out, "MISSING from candidate: {m}");
+        }
+        for a in &self.added {
+            let _ = writeln!(out, "added in candidate: {a}");
+        }
+        let _ = writeln!(
+            out,
+            "\n{}",
+            if self.has_regressions() {
+                "VERDICT: REGRESSED"
+            } else {
+                "VERDICT: ok"
+            }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::StallBreakdown;
+
+    fn row(approach: &str, gbps: f64, cycles: u64) -> BenchRow {
+        BenchRow {
+            approach: approach.into(),
+            size: 65536,
+            patterns: 100,
+            gbps,
+            cycles,
+            idle_cycles: 0,
+            stalls: StallBreakdown::default(),
+        }
+    }
+
+    fn report(name: &str, rows: Vec<BenchRow>) -> BenchReport {
+        BenchReport {
+            name: name.into(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let r = report(
+            "smoke",
+            vec![row("pfac", 10.0, 1000), row("serial", 0.1, 9000)],
+        );
+        let d = diff_reports(&r, &r, DiffThresholds::default());
+        assert!(!d.has_regressions(), "{}", d.render());
+        assert_eq!(d.entries.len(), 2);
+        assert!(d.missing.is_empty() && d.added.is_empty());
+        assert!(d.render().contains("VERDICT: ok"));
+    }
+
+    #[test]
+    fn throughput_drop_past_threshold_regresses() {
+        let old = report("base", vec![row("pfac", 10.0, 1000)]);
+        let new = report("cand", vec![row("pfac", 9.0, 1000)]);
+        let d = diff_reports(&old, &new, DiffThresholds::default());
+        assert!(d.has_regressions());
+        assert!(
+            d.render().contains("throughput dropped 10.0%"),
+            "{}",
+            d.render()
+        );
+        // The same drop passes under a looser gate.
+        let loose = DiffThresholds {
+            gbps_drop: 0.15,
+            ..DiffThresholds::default()
+        };
+        assert!(!diff_reports(&old, &new, loose).has_regressions());
+        // Improvements never trip the gate.
+        let faster = report("cand", vec![row("pfac", 20.0, 500)]);
+        assert!(!diff_reports(&old, &faster, DiffThresholds::default()).has_regressions());
+    }
+
+    #[test]
+    fn cycle_rise_and_missing_rows_regress() {
+        let old = report(
+            "base",
+            vec![row("pfac", 10.0, 1000), row("shared-diagonal", 12.0, 800)],
+        );
+        let slower = report(
+            "cand",
+            vec![row("pfac", 10.0, 1100), row("shared-diagonal", 12.0, 800)],
+        );
+        let d = diff_reports(&old, &slower, DiffThresholds::default());
+        assert!(d.has_regressions());
+        assert!(d.render().contains("cycles rose 10.0%"), "{}", d.render());
+
+        // Dropping a covered grid point is a regression even if every
+        // surviving row is fine.
+        let shrunk = report("cand", vec![row("pfac", 10.0, 1000)]);
+        let d = diff_reports(&old, &shrunk, DiffThresholds::default());
+        assert!(d.has_regressions());
+        assert_eq!(d.missing.len(), 1);
+        assert!(d.missing[0].contains("shared-diagonal"), "{:?}", d.missing);
+
+        // New coverage is fine.
+        let grown = report(
+            "cand",
+            vec![
+                row("pfac", 10.0, 1000),
+                row("shared-diagonal", 12.0, 800),
+                row("global-only", 2.0, 5000),
+            ],
+        );
+        let d = diff_reports(&old, &grown, DiffThresholds::default());
+        assert!(!d.has_regressions());
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn stall_mix_shift_trips_its_threshold() {
+        let mut old_row = row("shared-diagonal", 10.0, 1000);
+        old_row.idle_cycles = 100;
+        old_row.stalls.add(StallReason::TexMiss, 100);
+        let mut new_row = row("shared-diagonal", 10.0, 1000);
+        new_row.idle_cycles = 100;
+        new_row.stalls.add(StallReason::TexMiss, 80);
+        new_row.stalls.add(StallReason::Barrier, 20);
+        let old = report("base", vec![old_row]);
+        let new = report("cand", vec![new_row]);
+        // 20-point shift beats the 10-point default.
+        let d = diff_reports(&old, &new, DiffThresholds::default());
+        assert!(d.has_regressions());
+        assert!((d.entries[0].stall_shift_pts - 20.0).abs() < 1e-9);
+        let loose = DiffThresholds {
+            stall_shift_pts: 25.0,
+            ..DiffThresholds::default()
+        };
+        assert!(!diff_reports(&old, &new, loose).has_regressions());
+    }
+
+    #[test]
+    fn diff_report_serializes_for_the_artifact() {
+        let r = report("smoke", vec![row("pfac", 10.0, 1000)]);
+        let d = diff_reports(&r, &r, DiffThresholds::default());
+        let json = d.to_json();
+        assert!(json.contains("\"old_name\""));
+        let back: DiffReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

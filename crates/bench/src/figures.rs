@@ -166,27 +166,42 @@ pub enum CellSpec {
     Ratio(String, String),
 }
 
-/// `50 KB`, `3.2 MB`, …
+/// `50 KB`, `3.2 MB`, … Exact multiples print whole numbers; anything
+/// else keeps one decimal so `3.2 MB` never truncates to `3276 KB`.
 pub fn human_bytes(b: usize) -> String {
-    if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
-        format!("{} MB", b / (1024 * 1024))
+    const MB: usize = 1024 * 1024;
+    if b >= MB {
+        if b.is_multiple_of(MB) {
+            format!("{} MB", b / MB)
+        } else {
+            format!("{:.1} MB", b as f64 / MB as f64)
+        }
     } else if b >= 1024 {
-        format!("{} KB", b / 1024)
+        if b.is_multiple_of(1024) {
+            format!("{} KB", b / 1024)
+        } else {
+            format!("{:.1} KB", b as f64 / 1024.0)
+        }
     } else {
         format!("{b} B")
     }
 }
 
-/// Adaptive time formatting (the paper's run times span µs to minutes).
+/// Adaptive time formatting (the paper's run times span µs to minutes;
+/// tiny simulated kernels go below a microsecond).
 pub fn format_seconds(v: f64) -> String {
     if !v.is_finite() {
         "n/a".into()
+    } else if v == 0.0 {
+        "0 s".into()
     } else if v >= 1.0 {
         format!("{v:.2} s")
     } else if v >= 1e-3 {
         format!("{:.2} ms", v * 1e3)
-    } else {
+    } else if v >= 1e-6 {
         format!("{:.1} us", v * 1e6)
+    } else {
+        format!("{:.1} ns", v * 1e9)
     }
 }
 
@@ -274,6 +289,25 @@ mod tests {
         assert_eq!(format_seconds(2.5), "2.50 s");
         assert_eq!(format_seconds(0.0025), "2.50 ms");
         assert_eq!(format_seconds(2.5e-5), "25.0 us");
+    }
+
+    #[test]
+    fn formatting_edge_cases() {
+        // Zero is exact at both helpers, not "0.0 us" or "0 KB".
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(format_seconds(0.0), "0 s");
+        // Non-multiples keep a decimal instead of truncating a unit down.
+        assert_eq!(human_bytes(1536), "1.5 KB");
+        assert_eq!(human_bytes(1024 * 1024 + 512 * 1024), "1.5 MB");
+        assert_eq!(human_bytes(3_355_443), "3.2 MB");
+        // Boundaries stay in the smaller unit until a full step.
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1 KB");
+        // Sub-microsecond values get the nanosecond tier.
+        assert_eq!(format_seconds(2.5e-8), "25.0 ns");
+        assert_eq!(format_seconds(1e-6), "1.0 us");
+        assert_eq!(format_seconds(f64::NAN), "n/a");
+        assert_eq!(format_seconds(f64::INFINITY), "n/a");
     }
 
     #[test]

@@ -19,14 +19,18 @@
 //! host-side implementations (automaton construction, serial and
 //! multithreaded matching) and small simulated-kernel runs.
 
+pub mod diff;
 pub mod figures;
 pub mod measure;
 pub mod report;
 pub mod verdict;
+pub mod whatif;
 pub mod workload;
 
+pub use diff::{diff_reports, DiffEntry, DiffReport, DiffThresholds};
 pub use figures::{Figure, FigureSet};
 pub use measure::{Engine, EngineConfig, Measurement, Measurements};
 pub use report::{BenchReport, BenchRow};
 pub use verdict::{evaluate, render, Outcome, Verdict};
+pub use whatif::{explain, explain_label, Knob, WhatIfReport, WhatIfRow};
 pub use workload::Workload;

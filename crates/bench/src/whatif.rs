@@ -1,0 +1,365 @@
+//! Differential (counterfactual) profiling: re-run one configuration with
+//! exactly one memory-hierarchy knob perturbed and attribute the
+//! throughput delta to the hierarchy level the knob belongs to.
+//!
+//! The paper argues its throughput curve point by point — texture-cache
+//! locality (Figs. 16–17), bank conflicts (Figs. 15–16), coalescing
+//! (Figs. 12–14), diagonal staging (Fig. 11). A what-if sweep makes that
+//! argument quantitative for *this* workload: "if the texture cache were
+//! twice as large, this kernel would gain X Gbit/s" is a one-knob rerun
+//! of the deterministic simulator, not an estimate.
+
+use crate::measure::approach_from_label;
+use ac_core::AcAutomaton;
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
+use gpu_sim::GpuConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One memory-hierarchy knob a counterfactual run may turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Knob {
+    /// Double the per-SM texture-cache capacity.
+    TexCacheDouble,
+    /// Halve the per-SM texture-cache capacity.
+    TexCacheHalve,
+    /// Widen shared memory from 16 to 32 banks (the Fermi layout).
+    Banks32,
+    /// Cripple global-memory coalescing (4-byte segments: every lane
+    /// group becomes its own transaction, the paper's Fig. 9 worst case).
+    CoalescingOff,
+    /// Drop the diagonal shared-memory staging and run the plain
+    /// coalesced kernel instead (isolates the Fig. 11 trick).
+    DiagonalOff,
+}
+
+impl Knob {
+    /// Every knob, in report order.
+    pub fn all() -> [Knob; 5] {
+        [
+            Knob::TexCacheDouble,
+            Knob::TexCacheHalve,
+            Knob::Banks32,
+            Knob::CoalescingOff,
+            Knob::DiagonalOff,
+        ]
+    }
+
+    /// Short CLI/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Knob::TexCacheDouble => "tex-cache x2",
+            Knob::TexCacheHalve => "tex-cache /2",
+            Knob::Banks32 => "banks 16->32",
+            Knob::CoalescingOff => "coalescing off",
+            Knob::DiagonalOff => "diagonal off",
+        }
+    }
+
+    /// The memory-hierarchy level this knob perturbs; deltas are
+    /// attributed to it in the report.
+    pub fn level(&self) -> &'static str {
+        match self {
+            Knob::TexCacheDouble | Knob::TexCacheHalve => "texture cache",
+            Knob::Banks32 => "shared banks",
+            Knob::CoalescingOff => "global coalescing",
+            Knob::DiagonalOff => "shared staging",
+        }
+    }
+
+    /// Apply the knob to `(cfg, approach)`. Returns `None` when the knob
+    /// does not apply (already at the target value, or the approach has
+    /// no diagonal staging to drop).
+    pub fn apply(&self, cfg: &GpuConfig, approach: Approach) -> Option<(GpuConfig, Approach)> {
+        let mut c = *cfg;
+        match self {
+            Knob::TexCacheDouble => {
+                c.tex_cache.size_bytes *= 2;
+            }
+            Knob::TexCacheHalve => {
+                let floor = c.tex_cache.line_bytes * c.tex_cache.associativity;
+                if c.tex_cache.size_bytes / 2 < floor {
+                    return None;
+                }
+                c.tex_cache.size_bytes /= 2;
+            }
+            Knob::Banks32 => {
+                if c.shared_banks >= 32 {
+                    return None;
+                }
+                c.shared_banks = 32;
+            }
+            Knob::CoalescingOff => {
+                if c.coalesce_segment <= 4 {
+                    return None;
+                }
+                c.coalesce_segment = 4;
+            }
+            Knob::DiagonalOff => {
+                if approach != Approach::SharedDiagonal {
+                    return None;
+                }
+                return Some((c, Approach::SharedCoalescedOnly));
+            }
+        }
+        c.validate().ok()?;
+        Some((c, approach))
+    }
+}
+
+/// One counterfactual outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfRow {
+    /// The knob that was turned.
+    pub knob: Knob,
+    /// Hierarchy level the delta is attributed to.
+    pub level: String,
+    /// Counterfactual throughput in Gbit/s.
+    pub gbps: f64,
+    /// `gbps - baseline.gbps` (positive = the change would help).
+    pub delta_gbps: f64,
+    /// Counterfactual device cycles.
+    pub cycles: u64,
+    /// Dominant stall reason after the change (label, share of idle).
+    pub dominant_stall: String,
+}
+
+/// A ranked what-if report for one (config, approach, input) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfReport {
+    /// Approach label of the baseline run.
+    pub approach: String,
+    /// Input bytes scanned.
+    pub bytes: usize,
+    /// Baseline throughput in Gbit/s.
+    pub baseline_gbps: f64,
+    /// Baseline device cycles.
+    pub baseline_cycles: u64,
+    /// Baseline dominant stall.
+    pub baseline_stall: String,
+    /// Counterfactual rows, ranked by `delta_gbps` descending — the top
+    /// row is the change that would help most.
+    pub rows: Vec<WhatIfRow>,
+    /// Knobs that did not apply to this configuration, with why-nots.
+    pub skipped: Vec<String>,
+}
+
+fn dominant_label(stats: &gpu_sim::LaunchStats) -> String {
+    match stats.totals.stalls.dominant() {
+        Some((reason, cycles)) => {
+            let idle = stats.totals.idle_cycles.max(1);
+            format!(
+                "{} ({:.0}% of idle)",
+                reason.label(),
+                100.0 * cycles as f64 / idle as f64
+            )
+        }
+        None => "none".into(),
+    }
+}
+
+/// Run the counterfactual sweep for `approach` over `text`: a baseline
+/// counting run, then one rerun per applicable [`Knob`] with only that
+/// knob turned. `params` is shared by every run so the knob is the sole
+/// difference.
+pub fn explain(
+    cfg: &GpuConfig,
+    params: KernelParams,
+    ac: &AcAutomaton,
+    text: &[u8],
+    approach: Approach,
+) -> Result<WhatIfReport, String> {
+    let baseline = GpuAcMatcher::new(*cfg, params, ac.clone())?.run_counting(text, approach)?;
+    let mut report = WhatIfReport {
+        approach: approach.label().into(),
+        bytes: text.len(),
+        baseline_gbps: baseline.gbps(),
+        baseline_cycles: baseline.stats.cycles,
+        baseline_stall: dominant_label(&baseline.stats),
+        rows: Vec::new(),
+        skipped: Vec::new(),
+    };
+    for knob in Knob::all() {
+        let Some((cfg2, approach2)) = knob.apply(cfg, approach) else {
+            report
+                .skipped
+                .push(format!("{}: not applicable here", knob.label()));
+            continue;
+        };
+        let run = match GpuAcMatcher::new(cfg2, params, ac.clone())
+            .and_then(|m| m.run_counting(text, approach2))
+        {
+            Ok(run) => run,
+            Err(e) => {
+                report.skipped.push(format!("{}: {e}", knob.label()));
+                continue;
+            }
+        };
+        report.rows.push(WhatIfRow {
+            knob,
+            level: knob.level().into(),
+            gbps: run.gbps(),
+            delta_gbps: run.gbps() - report.baseline_gbps,
+            cycles: run.stats.cycles,
+            dominant_stall: dominant_label(&run.stats),
+        });
+    }
+    report
+        .rows
+        .sort_by(|a, b| b.delta_gbps.partial_cmp(&a.delta_gbps).expect("finite"));
+    Ok(report)
+}
+
+/// Convenience wrapper taking an approach label (as used by reports and
+/// the CLI) instead of the enum.
+pub fn explain_label(
+    cfg: &GpuConfig,
+    params: KernelParams,
+    ac: &AcAutomaton,
+    text: &[u8],
+    label: &str,
+) -> Result<WhatIfReport, String> {
+    let approach =
+        approach_from_label(label).ok_or_else(|| format!("unknown approach '{label}'"))?;
+    explain(cfg, params, ac, text, approach)
+}
+
+impl WhatIfReport {
+    /// Render the ranked "what would make this faster" table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "what-if sweep: {} over {} bytes",
+            self.approach, self.bytes
+        );
+        let _ = writeln!(
+            out,
+            "baseline: {:.2} Gb/s, {} cycles, dominant stall {}\n",
+            self.baseline_gbps, self.baseline_cycles, self.baseline_stall
+        );
+        let _ = writeln!(
+            out,
+            "{:>16} | {:>17} | {:>9} | {:>9} | dominant stall",
+            "change", "level", "Gb/s", "delta"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(85));
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>16} | {:>17} | {:>9.2} | {:>+9.2} | {}",
+                r.knob.label(),
+                r.level,
+                r.gbps,
+                r.delta_gbps,
+                r.dominant_stall
+            );
+        }
+        if let Some(best) = self.rows.first().filter(|r| r.delta_gbps > 0.0) {
+            let _ = writeln!(
+                out,
+                "\nbiggest win: {} ({}, {:+.2} Gb/s)",
+                best.knob.label(),
+                best.level,
+                best.delta_gbps
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "\nno tested change helps: the kernel is balanced at this point"
+            );
+        }
+        for s in &self.skipped {
+            let _ = writeln!(out, "skipped: {s}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    fn fixture() -> (GpuConfig, KernelParams, AcAutomaton, Vec<u8>) {
+        let cfg = GpuConfig::gtx285();
+        let params = KernelParams {
+            threads_per_block: 32,
+            global_chunk_bytes: 16,
+            shared_chunk_bytes: 64,
+        };
+        let w = Workload::prepare(16 * 1024, 7);
+        let ac = w.automaton(20);
+        let text = w.input(16 * 1024).to_vec();
+        (cfg, params, ac, text)
+    }
+
+    #[test]
+    fn knob_application_rules() {
+        let cfg = GpuConfig::gtx285();
+        // Doubling and halving move the texture cache capacity only.
+        let (c, a) = Knob::TexCacheDouble
+            .apply(&cfg, Approach::SharedDiagonal)
+            .unwrap();
+        assert_eq!(c.tex_cache.size_bytes, cfg.tex_cache.size_bytes * 2);
+        assert_eq!(a, Approach::SharedDiagonal);
+        assert_eq!(c.shared_banks, cfg.shared_banks);
+        // Banks widen to the Fermi layout; a 32-bank device is a no-op.
+        let (c, _) = Knob::Banks32.apply(&cfg, Approach::Pfac).unwrap();
+        assert_eq!(c.shared_banks, 32);
+        assert!(Knob::Banks32.apply(&c, Approach::Pfac).is_none());
+        // Diagonal staging only exists on the shared-diagonal kernel.
+        let (_, a) = Knob::DiagonalOff
+            .apply(&cfg, Approach::SharedDiagonal)
+            .unwrap();
+        assert_eq!(a, Approach::SharedCoalescedOnly);
+        assert!(Knob::DiagonalOff.apply(&cfg, Approach::Pfac).is_none());
+        // Halving stops at one full set.
+        let mut small = cfg;
+        small.tex_cache.size_bytes = small.tex_cache.line_bytes * small.tex_cache.associativity;
+        assert!(Knob::TexCacheHalve.apply(&small, Approach::Pfac).is_none());
+    }
+
+    #[test]
+    fn explain_ranks_counterfactuals_and_is_deterministic() {
+        let (cfg, params, ac, text) = fixture();
+        let r = explain(&cfg, params, &ac, &text, Approach::SharedDiagonal).unwrap();
+        assert!(r.baseline_gbps > 0.0);
+        assert!(!r.rows.is_empty());
+        // Rows are sorted best-first.
+        for pair in r.rows.windows(2) {
+            assert!(pair[0].delta_gbps >= pair[1].delta_gbps);
+        }
+        // Deltas reconcile with the counterfactual throughputs.
+        for row in &r.rows {
+            assert!((row.delta_gbps - (row.gbps - r.baseline_gbps)).abs() < 1e-12);
+        }
+        // Crippling coalescing must not help.
+        let co = r
+            .rows
+            .iter()
+            .find(|x| x.knob == Knob::CoalescingOff)
+            .unwrap();
+        assert!(co.delta_gbps <= 1e-12, "{:+.3}", co.delta_gbps);
+        // The simulator is deterministic, so the sweep replays exactly.
+        let again = explain(&cfg, params, &ac, &text, Approach::SharedDiagonal).unwrap();
+        assert_eq!(again, r);
+        let rendered = r.render();
+        assert!(rendered.contains("what-if sweep"), "{rendered}");
+        assert!(rendered.contains("texture cache"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_label_round_trips_and_rejects_unknowns() {
+        let (cfg, params, ac, text) = fixture();
+        let r = explain_label(&cfg, params, &ac, &text, "pfac").unwrap();
+        assert_eq!(r.approach, "pfac");
+        // PFAC has no diagonal staging; the knob lands in `skipped`.
+        assert!(
+            r.skipped.iter().any(|s| s.contains("diagonal off")),
+            "{:?}",
+            r.skipped
+        );
+        assert!(explain_label(&cfg, params, &ac, &text, "warp-drive").is_err());
+    }
+}

@@ -4,12 +4,17 @@ use crate::engines::{device, run_engine, run_resilient, EngineReport, ResilientR
 use crate::opts::{Command, Engine, Options};
 use ac_core::{analysis, dot, AcAutomaton, NfaTables, PatternSet, Trie};
 use ac_gpu::{Approach, GpuAcMatcher, KernelParams, RunOptions};
-use gpu_sim::{GpuConfig, LaunchStats, TraceBuffer, TraceConfig};
+use bench::{diff_reports, BenchReport, DiffThresholds};
+use gpu_sim::{GpuConfig, IntrospectConfig, LaunchStats, StallBreakdown, TraceBuffer, TraceConfig};
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// Run a parsed invocation, returning the text to print.
 pub fn run(opts: &Options) -> Result<String, String> {
+    // `bench diff` compares committed reports; no dictionary involved.
+    if opts.command == Command::BenchDiff {
+        return bench_diff_text(opts);
+    }
     let patterns = load_patterns(&opts.patterns)?;
     match opts.command {
         Command::Dot => {
@@ -86,8 +91,15 @@ pub fn run(opts: &Options) -> Result<String, String> {
             let input = opts.input.as_ref().expect("validated by the parser");
             let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
             let ac = AcAutomaton::build(&patterns);
-            profile_text(&ac, &text, &device(opts.fermi))
+            profile_text(&ac, &text, &device(opts.fermi), opts.json)
         }
+        Command::Explain => {
+            let input = opts.input.as_ref().expect("validated by the parser");
+            let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
+            let ac = AcAutomaton::build(&patterns);
+            explain_text(opts, &ac, &text, &device(opts.fermi))
+        }
+        Command::BenchDiff => unreachable!("dispatched before pattern loading"),
         Command::Compare => {
             let input = opts.input.as_ref().expect("validated by the parser");
             let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
@@ -248,6 +260,7 @@ fn launch_stats_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> String {
                 record: false,
                 watchdog_cycles: None,
                 trace: None,
+                introspect: None,
             },
         )
     });
@@ -289,11 +302,144 @@ fn launch_stats_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> String {
     out
 }
 
+/// `acsim bench diff OLD NEW`: compare two committed perf reports under
+/// the regression thresholds. A regression (or lost grid coverage) comes
+/// back as `Err`, which the binary turns into a non-zero exit — this is
+/// the CI gate.
+fn bench_diff_text(opts: &Options) -> Result<String, String> {
+    let read = |p: &Path| -> Result<BenchReport, String> {
+        let raw =
+            std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+        BenchReport::from_json(&raw).map_err(|e| format!("parsing {}: {e}", p.display()))
+    };
+    let old = read(opts.bench_old.as_ref().expect("validated by the parser"))?;
+    let new = read(opts.bench_new.as_ref().expect("validated by the parser"))?;
+    let mut thr = DiffThresholds::default();
+    if let Some(pm) = opts.gbps_drop_pm {
+        thr.gbps_drop = pm as f64 / 1000.0;
+    }
+    if let Some(pm) = opts.cycles_rise_pm {
+        thr.cycles_rise = pm as f64 / 1000.0;
+    }
+    if let Some(dpts) = opts.stall_shift_dpts {
+        thr.stall_shift_pts = dpts as f64 / 10.0;
+    }
+    let diff = diff_reports(&old, &new, thr);
+    let mut out = diff.render();
+    if let Some(path) = &opts.report_out {
+        std::fs::write(path, diff.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "report written: {}", path.display());
+    }
+    if diff.has_regressions() {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
+/// `acsim explain`: the counterfactual knob sweep plus the spatial
+/// memory-hierarchy view of the baseline — per-state texture fetches,
+/// end-of-run texture-cache residency, and the shared-memory conflict
+/// degree histogram.
+fn explain_text(
+    opts: &Options,
+    ac: &AcAutomaton,
+    text: &[u8],
+    cfg: &GpuConfig,
+) -> Result<String, String> {
+    let approach = match opts.engine {
+        Engine::GpuShared => Approach::SharedDiagonal,
+        Engine::GpuGlobal => Approach::GlobalOnly,
+        Engine::GpuCompressed => Approach::SharedCompressed,
+        Engine::GpuPfac => Approach::Pfac,
+        Engine::Serial | Engine::Parallel => unreachable!("validated by the parser"),
+    };
+    let params = KernelParams::defaults_for(cfg);
+    let report = bench::explain(cfg, params, ac, text, approach)?;
+    let mut out = report.render();
+
+    let matcher = GpuAcMatcher::new(*cfg, params, ac.clone())?;
+    let run = matcher.run_opts(
+        text,
+        approach,
+        RunOptions {
+            record: false,
+            watchdog_cycles: None,
+            trace: None,
+            introspect: Some(IntrospectConfig::default()),
+        },
+    )?;
+    let intro = run
+        .introspection
+        .expect("introspection was armed for this run");
+    let fetches = intro.row_fetches(0);
+    out.push('\n');
+    out.push_str(&trace::render_heatmap(
+        "per-state texture fetches (STT row = DFA state):",
+        &fetches,
+        64,
+    ));
+    // The compressed kernel's first texture is its bitmap metadata, not
+    // the dense STT, so line→row residency mapping only holds elsewhere.
+    if approach != Approach::SharedCompressed {
+        let resident = intro.resident_rows(&matcher.stt_texture());
+        out.push('\n');
+        out.push_str(&trace::render_heatmap(
+            "texture-L1 residency by STT row (end of run):",
+            &resident,
+            64,
+        ));
+    }
+    let hist = intro.bank_histogram();
+    let bins: Vec<(String, u64)> = hist
+        .degree_counts
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(degree, &ops)| (format!("{degree}-way"), ops))
+        .collect();
+    out.push('\n');
+    out.push_str(&trace::render_histogram(
+        "shared-memory ops by conflict degree (1-way = conflict-free):",
+        &bins,
+        40,
+    ));
+    if let Some(path) = &opts.csv_out {
+        let rows: Vec<(String, u64)> = fetches
+            .iter()
+            .enumerate()
+            .map(|(state, &count)| (state.to_string(), count))
+            .collect();
+        std::fs::write(path, trace::to_csv(("state", "fetches"), &rows))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "csv written: {}", path.display());
+    }
+    Ok(out)
+}
+
+/// One row of `profile --json`.
+#[derive(serde::Serialize)]
+struct ProfileRow {
+    config: String,
+    cycles: u64,
+    seconds: f64,
+    gbps: f64,
+    busy_pct: f64,
+    idle_cycles: u64,
+    stalls: StallBreakdown,
+}
+
 /// The `profile` sweep: run every GPU kernel configuration over `text`
 /// and tabulate cycles, throughput, SM occupancy, and the stall-reason
 /// breakdown, closing with the Fig. 19 narrative for the paper's default
-/// kernel.
-fn profile_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> Result<String, String> {
+/// kernel. With `json` the same rows come back machine-readable.
+fn profile_text(
+    ac: &AcAutomaton,
+    text: &[u8],
+    cfg: &GpuConfig,
+    json: bool,
+) -> Result<String, String> {
     let matcher = GpuAcMatcher::new(*cfg, KernelParams::defaults_for(cfg), ac.clone())
         .map_err(|e| e.to_string())?;
     let mut out = format!(
@@ -309,6 +455,7 @@ fn profile_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> Result<String
     );
     let _ = writeln!(out, "{}", "-".repeat(100));
     let mut shared_stats: Option<LaunchStats> = None;
+    let mut json_rows: Vec<ProfileRow> = Vec::new();
     for (engine, name) in Engine::all() {
         let approach = match engine {
             Engine::GpuGlobal => Approach::GlobalOnly,
@@ -325,6 +472,7 @@ fn profile_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> Result<String
                     record: false,
                     watchdog_cycles: None,
                     trace: None,
+                    introspect: None,
                 },
             )
             .map_err(|e| format!("{name}: {e}"))?;
@@ -353,6 +501,17 @@ fn profile_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> Result<String
         if breakdown.is_empty() {
             breakdown.push("none".into());
         }
+        if json {
+            json_rows.push(ProfileRow {
+                config: name.to_string(),
+                cycles: stats.cycles,
+                seconds: run.seconds(),
+                gbps: run.gbps(),
+                busy_pct: busy,
+                idle_cycles: idle,
+                stalls: stats.totals.stalls,
+            });
+        }
         let _ = writeln!(
             out,
             "{:>15} | {:>12} | {:>10.3} | {:>8.2} | {:>6.1} | {}",
@@ -366,6 +525,9 @@ fn profile_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> Result<String
         if approach == Approach::SharedDiagonal {
             shared_stats = Some(run.stats);
         }
+    }
+    if json {
+        return serde_json::to_string_pretty(&json_rows).map_err(|e| e.to_string());
     }
     if let Some(stats) = shared_stats {
         let _ = writeln!(out, "\ngpu:shared latency-hiding detail (paper Fig. 19):");
@@ -682,6 +844,132 @@ mod tests {
         assert!(out.contains("metrics written:"), "{out}");
         let json = std::fs::read_to_string(&metrics_path).unwrap();
         assert!(json.contains("acsim_launch_cycles"), "{json}");
+    }
+
+    #[test]
+    fn profile_json_emits_machine_readable_rows() {
+        let pats = write_tmp("p11.txt", b"he\nshe\n");
+        let input = write_tmp("i11.txt", &b"ushers everywhere ".repeat(100));
+        let opts = parse([
+            "profile",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--json",
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        let rows: serde::Value = serde_json::from_str(&out).expect("valid JSON");
+        let rows = rows.as_arr().expect("top-level array");
+        assert_eq!(rows.len(), 4, "{out}"); // four GPU configs
+        let first = rows[0].as_obj().unwrap();
+        for field in ["config", "cycles", "gbps", "busy_pct", "stalls"] {
+            assert!(serde::obj_get(first, field).is_some(), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn explain_ranks_knobs_and_writes_csv() {
+        let pats = write_tmp("p12.txt", b"he\nshe\nhers\n");
+        let input = write_tmp("i12.txt", &b"ushers everywhere ".repeat(200));
+        let csv = write_tmp("rows12.csv", b"");
+        let opts = parse([
+            "explain",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--csv-out",
+            csv.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("what-if sweep"), "{out}");
+        assert!(out.contains("tex-cache x2"), "{out}");
+        assert!(out.contains("per-state texture fetches"), "{out}");
+        assert!(out.contains("texture-L1 residency"), "{out}");
+        assert!(out.contains("conflict degree"), "{out}");
+        assert!(out.contains("csv written:"), "{out}");
+        let body = std::fs::read_to_string(&csv).unwrap();
+        assert!(body.starts_with("state,fetches\n"), "{body}");
+        assert!(body.lines().count() > 1);
+    }
+
+    #[test]
+    fn bench_diff_gates_on_regressions() {
+        use bench::BenchRow;
+        let row = |gbps: f64, cycles: u64| BenchRow {
+            approach: "pfac".into(),
+            size: 1024,
+            patterns: 10,
+            gbps,
+            cycles,
+            idle_cycles: 0,
+            stalls: Default::default(),
+        };
+        let old = BenchReport {
+            name: "old".into(),
+            rows: vec![row(10.0, 1000)],
+        };
+        let new = BenchReport {
+            name: "new".into(),
+            rows: vec![row(8.0, 1300)],
+        };
+        let old_p = write_tmp("BENCH_old.json", old.to_json().as_bytes());
+        let new_p = write_tmp("BENCH_new.json", new.to_json().as_bytes());
+
+        // Self-diff passes.
+        let opts = parse([
+            "bench",
+            "diff",
+            old_p.to_str().unwrap(),
+            old_p.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("VERDICT: ok"), "{out}");
+
+        // A 20% throughput drop fails and writes the artifact.
+        let report_p = write_tmp("diff13.json", b"");
+        let opts = parse([
+            "bench",
+            "diff",
+            old_p.to_str().unwrap(),
+            new_p.to_str().unwrap(),
+            "--report",
+            report_p.to_str().unwrap(),
+        ])
+        .unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("VERDICT: REGRESSED"), "{err}");
+        assert!(err.contains("throughput dropped"), "{err}");
+        let artifact = std::fs::read_to_string(&report_p).unwrap();
+        assert!(artifact.contains("\"violations\""), "{artifact}");
+
+        // The same diff passes under loose thresholds.
+        let opts = parse([
+            "bench",
+            "diff",
+            old_p.to_str().unwrap(),
+            new_p.to_str().unwrap(),
+            "--max-gbps-drop",
+            "50",
+            "--max-cycles-rise",
+            "50",
+        ])
+        .unwrap();
+        assert!(run(&opts).is_ok());
+
+        // Unreadable reports error cleanly.
+        let opts = parse([
+            "bench",
+            "diff",
+            "/nonexistent/a.json",
+            new_p.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(run(&opts).unwrap_err().contains("reading"));
     }
 
     #[test]

@@ -108,6 +108,7 @@ pub fn run_engine(
                     record: !count_only,
                     watchdog_cycles: None,
                     trace,
+                    introspect: None,
                 },
             )?;
             let count = if count_only {

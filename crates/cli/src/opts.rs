@@ -62,6 +62,12 @@ pub enum Command {
     Compare,
     /// Sweep kernel configurations and print per-config stall breakdowns.
     Profile,
+    /// Counterfactual sweep: rerun one kernel with single memory-hierarchy
+    /// knobs perturbed and rank what would make it faster.
+    Explain,
+    /// Compare two committed `BENCH_*.json` reports under regression
+    /// thresholds (`acsim bench diff OLD NEW`).
+    BenchDiff,
 }
 
 /// Full parsed invocation.
@@ -94,6 +100,24 @@ pub struct Options {
     /// ends in `.prom`/`.txt`, JSON otherwise (`match` only; GPU engine or
     /// --resilient).
     pub metrics_out: Option<PathBuf>,
+    /// Emit machine-readable JSON instead of the text table (`profile`).
+    pub json: bool,
+    /// Baseline report for `bench diff`.
+    pub bench_old: Option<PathBuf>,
+    /// Candidate report for `bench diff`.
+    pub bench_new: Option<PathBuf>,
+    /// Write the `bench diff` report JSON here (CI artifact).
+    pub report_out: Option<PathBuf>,
+    /// Write the `explain` hot-row fetch counts as CSV here.
+    pub csv_out: Option<PathBuf>,
+    /// `bench diff` throughput-drop threshold in per-mille (50 = 5%).
+    /// Stored as an integer so `Options` stays `Eq`.
+    pub gbps_drop_pm: Option<u32>,
+    /// `bench diff` cycle-rise threshold in per-mille.
+    pub cycles_rise_pm: Option<u32>,
+    /// `bench diff` stall-mix shift threshold in tenths of a percentage
+    /// point (100 = 10 pts).
+    pub stall_shift_dpts: Option<u32>,
 }
 
 /// A human-readable argument error.
@@ -114,7 +138,10 @@ pub const USAGE: &str = "usage:
                 [--resilient [--fault-seed N]] [--trace-out FILE] [--metrics-out FILE]
   acsim compare --patterns FILE --input FILE [--fermi]
   acsim stats   --patterns FILE [--input FILE] [--fermi]
-  acsim profile --patterns FILE --input FILE [--fermi]
+  acsim profile --patterns FILE --input FILE [--fermi] [--json]
+  acsim explain --patterns FILE --input FILE [--engine gpu:*] [--fermi] [--csv-out FILE]
+  acsim bench diff OLD.json NEW.json [--max-gbps-drop PCT] [--max-cycles-rise PCT]
+                [--max-stall-shift PTS] [--report FILE]
   acsim dot     --patterns FILE
 engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed | gpu:pfac
 --resilient runs supervised GPU matching that degrades to the CPU engines on
@@ -122,7 +149,12 @@ failure; --fault-seed arms a deterministic fault-injection plan (testing aid).
 --trace-out writes a Chrome trace-event JSON (load in Perfetto); --metrics-out
 writes a metrics snapshot (Prometheus text for .prom/.txt paths, else JSON).
 Both need a simulated device, so they require a gpu:* engine or --resilient.
-`profile` sweeps every GPU kernel and prints per-config stall breakdowns.";
+`profile` sweeps every GPU kernel and prints per-config stall breakdowns
+(--json emits the table as machine-readable JSON).
+`explain` reruns one kernel with single memory-hierarchy knobs perturbed and
+ranks what would make it faster; --csv-out dumps per-state fetch counts.
+`bench diff` compares two BENCH_*.json perf reports and exits non-zero when
+the candidate regresses past the thresholds (defaults: 5% / 5% / 10 pts).";
 
 /// Parse an argument vector (without the program name).
 pub fn parse<I, S>(args: I) -> Result<Options, ParseError>
@@ -137,6 +169,16 @@ where
         Some("dot") => Command::Dot,
         Some("compare") => Command::Compare,
         Some("profile") => Command::Profile,
+        Some("explain") => Command::Explain,
+        Some("bench") => match it.next().as_ref().map(|s| s.as_ref()) {
+            Some("diff") => Command::BenchDiff,
+            Some(other) => {
+                return Err(ParseError(format!(
+                    "unknown bench subcommand '{other}' (expected 'diff')\n{USAGE}"
+                )))
+            }
+            None => return Err(ParseError(format!("bench needs a subcommand\n{USAGE}"))),
+        },
         Some(other) => return Err(ParseError(format!("unknown command '{other}'\n{USAGE}"))),
         None => return Err(ParseError(USAGE.into())),
     };
@@ -150,6 +192,26 @@ where
     let mut fault_seed: Option<u64> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut json = false;
+    let mut positionals: Vec<PathBuf> = Vec::new();
+    let mut report_out: Option<PathBuf> = None;
+    let mut csv_out: Option<PathBuf> = None;
+    let mut gbps_drop_pm: Option<u32> = None;
+    let mut cycles_rise_pm: Option<u32> = None;
+    let mut stall_shift_dpts: Option<u32> = None;
+    // Thresholds arrive as human percentages/points but are stored ×10 as
+    // integers so `Options` can stay `Eq`.
+    fn tenths(flag: &str, raw: Option<impl AsRef<str>>) -> Result<u32, ParseError> {
+        let raw = raw.ok_or_else(|| ParseError(format!("{flag} needs a number")))?;
+        let v: f64 = raw
+            .as_ref()
+            .parse()
+            .map_err(|e| ParseError(format!("bad {flag}: {e}")))?;
+        if !(0.0..=1000.0).contains(&v) {
+            return Err(ParseError(format!("{flag} out of range: {v}")));
+        }
+        Ok((v * 10.0).round() as u32)
+    }
     while let Some(a) = it.next() {
         match a.as_ref() {
             "--patterns" => {
@@ -207,13 +269,72 @@ where
                     .parse()
                     .map_err(|e| ParseError(format!("bad --limit: {e}")))?
             }
+            "--json" => json = true,
+            "--report" => {
+                report_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| ParseError("--report needs a file".into()))?
+                        .as_ref(),
+                ))
+            }
+            "--csv-out" => {
+                csv_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| ParseError("--csv-out needs a file".into()))?
+                        .as_ref(),
+                ))
+            }
+            "--max-gbps-drop" => gbps_drop_pm = Some(tenths("--max-gbps-drop", it.next())?),
+            "--max-cycles-rise" => cycles_rise_pm = Some(tenths("--max-cycles-rise", it.next())?),
+            "--max-stall-shift" => stall_shift_dpts = Some(tenths("--max-stall-shift", it.next())?),
+            other if !other.starts_with("--") && command == Command::BenchDiff => {
+                positionals.push(PathBuf::from(other))
+            }
             other => return Err(ParseError(format!("unknown flag '{other}'\n{USAGE}"))),
         }
     }
-    let patterns = patterns.ok_or_else(|| ParseError("--patterns is required".into()))?;
+    let (bench_old, bench_new) = if command == Command::BenchDiff {
+        if positionals.len() != 2 {
+            return Err(ParseError(format!(
+                "bench diff needs exactly two report paths, got {}",
+                positionals.len()
+            )));
+        }
+        let mut p = positionals.into_iter();
+        (p.next(), p.next())
+    } else {
+        (None, None)
+    };
+    if command != Command::BenchDiff
+        && (gbps_drop_pm.is_some() || cycles_rise_pm.is_some() || stall_shift_dpts.is_some())
+    {
+        return Err(ParseError(
+            "--max-gbps-drop/--max-cycles-rise/--max-stall-shift only apply to `bench diff`".into(),
+        ));
+    }
+    if report_out.is_some() && command != Command::BenchDiff {
+        return Err(ParseError("--report only applies to `bench diff`".into()));
+    }
+    if json && command != Command::Profile {
+        return Err(ParseError("--json only applies to `profile`".into()));
+    }
+    if csv_out.is_some() && command != Command::Explain {
+        return Err(ParseError("--csv-out only applies to `explain`".into()));
+    }
+    if command == Command::Explain && matches!(engine, Engine::Serial | Engine::Parallel) {
+        return Err(ParseError(
+            "explain perturbs GPU memory-hierarchy knobs: use a gpu:* engine".into(),
+        ));
+    }
+    let patterns = if command == Command::BenchDiff {
+        // `bench diff` works on committed reports, not a dictionary.
+        patterns.unwrap_or_default()
+    } else {
+        patterns.ok_or_else(|| ParseError("--patterns is required".into()))?
+    };
     if matches!(
         command,
-        Command::Match | Command::Compare | Command::Profile
+        Command::Match | Command::Compare | Command::Profile | Command::Explain
     ) && input.is_none()
     {
         return Err(ParseError(format!("{command:?} requires --input")));
@@ -251,6 +372,14 @@ where
         fault_seed,
         trace_out,
         metrics_out,
+        json,
+        bench_old,
+        bench_new,
+        report_out,
+        csv_out,
+        gbps_drop_pm,
+        cycles_rise_pm,
+        stall_shift_dpts,
     })
 }
 
@@ -451,6 +580,105 @@ mod tests {
         // Missing operands are rejected.
         assert!(p(&["match", "--patterns", "d", "--input", "i", "--trace-out"]).is_err());
         assert!(p(&["match", "--patterns", "d", "--input", "i", "--metrics-out"]).is_err());
+    }
+
+    #[test]
+    fn explain_parses_and_is_validated() {
+        let o = p(&["explain", "--patterns", "d", "--input", "i"]).unwrap();
+        assert_eq!(o.command, Command::Explain);
+        assert_eq!(o.engine, Engine::GpuShared);
+        let o = p(&[
+            "explain",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--engine",
+            "gpu:pfac",
+            "--csv-out",
+            "rows.csv",
+        ])
+        .unwrap();
+        assert_eq!(o.engine, Engine::GpuPfac);
+        assert_eq!(o.csv_out.as_deref(), Some(std::path::Path::new("rows.csv")));
+        // Needs an input and a GPU engine.
+        assert!(p(&["explain", "--patterns", "d"]).is_err());
+        assert!(p(&[
+            "explain",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--engine",
+            "serial"
+        ])
+        .is_err());
+        // --csv-out belongs to explain only.
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--csv-out", "x"]).is_err());
+    }
+
+    #[test]
+    fn bench_diff_parses_paths_and_thresholds() {
+        let o = p(&["bench", "diff", "old.json", "new.json"]).unwrap();
+        assert_eq!(o.command, Command::BenchDiff);
+        assert_eq!(
+            o.bench_old.as_deref(),
+            Some(std::path::Path::new("old.json"))
+        );
+        assert_eq!(
+            o.bench_new.as_deref(),
+            Some(std::path::Path::new("new.json"))
+        );
+        assert_eq!(o.gbps_drop_pm, None);
+
+        let o = p(&[
+            "bench",
+            "diff",
+            "a.json",
+            "b.json",
+            "--max-gbps-drop",
+            "7.5",
+            "--max-cycles-rise",
+            "3",
+            "--max-stall-shift",
+            "12",
+            "--report",
+            "diff.json",
+        ])
+        .unwrap();
+        assert_eq!(o.gbps_drop_pm, Some(75));
+        assert_eq!(o.cycles_rise_pm, Some(30));
+        assert_eq!(o.stall_shift_dpts, Some(120));
+        assert_eq!(
+            o.report_out.as_deref(),
+            Some(std::path::Path::new("diff.json"))
+        );
+
+        // Exactly two paths; a sane subcommand; flags stay scoped.
+        assert!(p(&["bench", "diff", "only-one.json"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "c"]).is_err());
+        assert!(p(&["bench"]).is_err());
+        assert!(p(&["bench", "run"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "--max-gbps-drop", "nope"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "--max-gbps-drop", "-2"]).is_err());
+        assert!(p(&[
+            "match",
+            "--patterns",
+            "d",
+            "--input",
+            "i",
+            "--max-gbps-drop",
+            "5"
+        ])
+        .is_err());
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--report", "r"]).is_err());
+    }
+
+    #[test]
+    fn profile_json_flag_is_scoped() {
+        let o = p(&["profile", "--patterns", "d", "--input", "i", "--json"]).unwrap();
+        assert!(o.json);
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--json"]).is_err());
     }
 
     #[test]

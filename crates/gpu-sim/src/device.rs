@@ -6,6 +6,7 @@ use crate::constant::{ConstId, ConstantBuffer};
 use crate::error::{DeviceError, LaunchError};
 use crate::fault::{FaultState, InjectedFault, LaunchFault, HANG_CYCLES};
 use crate::global::GlobalMemory;
+use crate::introspect::{IntrospectConfig, IntrospectState, Introspection};
 use crate::kernel::{WarpGeometry, WarpProgram};
 use crate::scheduler::run_sm;
 use crate::stats::{LaunchStats, SmStats};
@@ -114,6 +115,10 @@ pub struct GpuDevice {
     /// and recording never feeds back into simulated timing, so armed and
     /// disarmed launches produce bit-identical statistics.
     trace: Option<Box<TraceBuffer>>,
+    /// Armed spatial introspection (per-set cache counters, bank
+    /// histograms, DRAM busy intervals, hot-row fetch counts), if any.
+    /// Same zero-cost-when-disabled contract as `fault` and `trace`.
+    introspect: Option<Box<IntrospectState>>,
 }
 
 impl GpuDevice {
@@ -130,6 +135,7 @@ impl GpuDevice {
             fault: None,
             watchdog: None,
             trace: None,
+            introspect: None,
         })
     }
 
@@ -181,6 +187,28 @@ impl GpuDevice {
     /// Whether trace recording is currently armed.
     pub fn trace_armed(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Arm spatial introspection: subsequent launches collect per-set
+    /// texture-cache counters, shared-bank histograms, DRAM busy intervals,
+    /// and per-row texture fetch counts into one [`Introspection`] per
+    /// device. Observation-only — armed and disarmed launches produce
+    /// bit-identical [`LaunchStats`].
+    pub fn arm_introspection(&mut self, cfg: IntrospectConfig) {
+        self.introspect = Some(Box::new(IntrospectState::new(cfg)));
+    }
+
+    /// Disarm introspection, returning whatever was collected since
+    /// [`arm_introspection`].
+    ///
+    /// [`arm_introspection`]: GpuDevice::arm_introspection
+    pub fn take_introspection(&mut self) -> Option<Introspection> {
+        self.introspect.take().map(|b| b.result)
+    }
+
+    /// Whether spatial introspection is currently armed.
+    pub fn introspection_armed(&self) -> bool {
+        self.introspect.is_some()
     }
 
     /// Copy a device→host readback buffer "across the bus": counts one
@@ -302,6 +330,7 @@ impl GpuDevice {
                 &mut retired,
                 sm,
                 self.trace.as_deref_mut(),
+                self.introspect.as_deref_mut(),
             );
             per_sm_cycles.push(sm_stats.cycles);
             totals.merge(&sm_stats);

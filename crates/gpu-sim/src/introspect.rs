@@ -1,0 +1,241 @@
+//! Spatial memory-hierarchy introspection.
+//!
+//! The trace layer (PR 2) answers *how many* cycles stalled per reason;
+//! this layer answers *where*: which texture-cache sets thrash, which STT
+//! states stay resident (the texture-locality story of paper Figs. 13–17),
+//! which shared-memory banks serialize, and how bursty the DRAM channel is.
+//!
+//! Same zero-cost-when-disabled contract as the fault and trace hooks: the
+//! device holds an `Option<Box<IntrospectState>>`, every probe is a single
+//! branch when disarmed, and observation never feeds back into timing —
+//! armed and disarmed launches produce bit-identical `LaunchStats`.
+
+use crate::config::GpuConfig;
+use crate::texture::Texture2d;
+use mem_sim::{BankHistogram, BusyInterval, CacheStats, SetStats};
+use serde::{Deserialize, Serialize};
+
+/// What to collect and how much of it to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntrospectConfig {
+    /// Merged DRAM busy intervals retained per SM (burstiness beyond the
+    /// cap is counted in `DramStats` but not stored).
+    pub max_busy_intervals: usize,
+}
+
+impl Default for IntrospectConfig {
+    fn default() -> Self {
+        IntrospectConfig {
+            max_busy_intervals: 4096,
+        }
+    }
+}
+
+/// One SM's spatial snapshot, harvested when the SM retires its last block.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SmIntrospection {
+    /// SM index.
+    pub sm: u32,
+    /// Aggregate texture-L1 counters (also reachable via `SmStats`; kept
+    /// here so per-set sums can be checked against their own aggregate).
+    pub tex_l1: CacheStats,
+    /// Per-set texture-L1 counters, indexed by set.
+    pub tex_l1_sets: Vec<SetStats>,
+    /// Aggregate texture-L2 counters.
+    pub tex_l2: CacheStats,
+    /// Per-set texture-L2 counters, indexed by set.
+    pub tex_l2_sets: Vec<SetStats>,
+    /// Tiled base addresses of texture-L1 lines resident at SM retirement —
+    /// the residency snapshot behind the hot-state heatmap.
+    pub tex_resident_lines: Vec<u64>,
+    /// Shared-memory bank traffic and serialization degrees.
+    pub banks: BankHistogram,
+    /// Merged busy intervals of this SM's DRAM channel slice.
+    pub dram_busy: Vec<BusyInterval>,
+    /// Texture fetches per `(texture, row)`; for the STT texture, row ==
+    /// DFA state id, so `row_fetches[stt][s]` counts visits to state `s`.
+    pub row_fetches: Vec<Vec<u64>>,
+}
+
+/// Device-wide introspection: one snapshot per SM plus fold-up helpers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Introspection {
+    /// Per-SM snapshots, in SM order.
+    pub per_sm: Vec<SmIntrospection>,
+}
+
+impl Introspection {
+    /// Texture-L1 per-set counters summed over SMs.
+    pub fn tex_l1_sets(&self) -> Vec<SetStats> {
+        Self::fold_sets(self.per_sm.iter().map(|s| &s.tex_l1_sets))
+    }
+
+    /// Texture-L2 per-set counters summed over SMs.
+    pub fn tex_l2_sets(&self) -> Vec<SetStats> {
+        Self::fold_sets(self.per_sm.iter().map(|s| &s.tex_l2_sets))
+    }
+
+    fn fold_sets<'a>(per_sm: impl Iterator<Item = &'a Vec<SetStats>>) -> Vec<SetStats> {
+        let mut out: Vec<SetStats> = Vec::new();
+        for sets in per_sm {
+            if out.len() < sets.len() {
+                out.resize(sets.len(), SetStats::default());
+            }
+            for (o, s) in out.iter_mut().zip(sets) {
+                o.accesses += s.accesses;
+                o.hits += s.hits;
+                o.evictions += s.evictions;
+            }
+        }
+        out
+    }
+
+    /// Shared-memory bank histogram folded over SMs.
+    pub fn bank_histogram(&self) -> BankHistogram {
+        let mut out = BankHistogram::default();
+        for s in &self.per_sm {
+            out.merge(&s.banks);
+        }
+        out
+    }
+
+    /// Texture fetches per row of texture `tex`, summed over SMs. For the
+    /// STT texture this is the hot-state visit profile.
+    pub fn row_fetches(&self, tex: usize) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for s in &self.per_sm {
+            let Some(rows) = s.row_fetches.get(tex) else {
+                continue;
+            };
+            if out.len() < rows.len() {
+                out.resize(rows.len(), 0);
+            }
+            for (o, &r) in out.iter_mut().zip(rows) {
+                *o += r;
+            }
+        }
+        out
+    }
+
+    /// How many SMs still held each row of `tex` in texture L1 at
+    /// retirement (0..=num_sms per row) — the residency half of the
+    /// hot-state heatmap. Lines whose addresses fall outside `tex` (other
+    /// textures, padding) are skipped.
+    pub fn resident_rows(&self, tex: &Texture2d) -> Vec<u64> {
+        let mut out = vec![0u64; tex.rows() as usize];
+        for s in &self.per_sm {
+            for &line in &s.tex_resident_lines {
+                if let Some(row) = tex.row_of_tiled_addr(line) {
+                    out[row as usize] += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Total DRAM busy cycles summed over SM channel slices.
+    pub fn dram_busy_cycles(&self) -> u64 {
+        self.per_sm
+            .iter()
+            .flat_map(|s| &s.dram_busy)
+            .map(|b| b.cycles())
+            .sum()
+    }
+}
+
+/// The armed hook held by the device (mirrors `FaultState`/`TraceBuffer`).
+#[derive(Debug, Clone)]
+pub struct IntrospectState {
+    pub(crate) cfg: IntrospectConfig,
+    pub(crate) result: Introspection,
+}
+
+impl IntrospectState {
+    /// Fresh state with nothing collected yet.
+    pub fn new(cfg: IntrospectConfig) -> Self {
+        IntrospectState {
+            cfg,
+            result: Introspection::default(),
+        }
+    }
+}
+
+/// Armed-only collection sink threaded into the kernel context. Created per
+/// SM by the scheduler when introspection is armed; the extra scans it
+/// implies (per-bank word counts, per-row fetch counts) run only on that
+/// path.
+#[derive(Debug)]
+pub struct SmProbe {
+    /// Shared-memory bank traffic.
+    pub banks: BankHistogram,
+    /// Fetch counts per `(texture, row)`.
+    pub row_fetches: Vec<Vec<u64>>,
+}
+
+impl SmProbe {
+    pub(crate) fn new(cfg: &GpuConfig, textures: &[Texture2d]) -> Self {
+        SmProbe {
+            banks: BankHistogram::new(cfg.shared_banks),
+            row_fetches: textures
+                .iter()
+                .map(|t| vec![0u64; t.rows() as usize])
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn snap(sm: u32) -> SmIntrospection {
+        SmIntrospection {
+            sm,
+            tex_l1_sets: vec![
+                SetStats {
+                    accesses: 10,
+                    hits: 8,
+                    evictions: 1,
+                },
+                SetStats {
+                    accesses: 2,
+                    hits: 0,
+                    evictions: 0,
+                },
+            ],
+            row_fetches: vec![vec![5, 0, 7]],
+            dram_busy: vec![BusyInterval { start: 0, end: 10 }],
+            ..SmIntrospection::default()
+        }
+    }
+
+    #[test]
+    fn folds_sum_over_sms() {
+        let intro = Introspection {
+            per_sm: vec![snap(0), snap(1)],
+        };
+        let sets = intro.tex_l1_sets();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].accesses, 20);
+        assert_eq!(sets[0].hits, 16);
+        assert_eq!(sets[1].accesses, 4);
+        assert_eq!(intro.row_fetches(0), vec![10, 0, 14]);
+        assert_eq!(intro.row_fetches(7), Vec::<u64>::new());
+        assert_eq!(intro.dram_busy_cycles(), 20);
+    }
+
+    #[test]
+    fn resident_rows_maps_lines_through_the_texture() {
+        let tex = Texture2d::new(Arc::new((0..4u32 * 257).collect()), 4, 257);
+        let line0 = tex.tiled_addr(0, 0) & !31; // row 0 segment
+        let line3 = tex.tiled_addr(3, 8) & !31; // row 3 segment
+        let intro = Introspection {
+            per_sm: vec![SmIntrospection {
+                tex_resident_lines: vec![line0, line3, 1 << 40],
+                ..SmIntrospection::default()
+            }],
+        };
+        assert_eq!(intro.resident_rows(&tex), vec![1, 0, 0, 1]);
+    }
+}

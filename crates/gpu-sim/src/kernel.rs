@@ -14,7 +14,8 @@
 use crate::config::GpuConfig;
 use crate::constant::{broadcast_degree, ConstId, ConstantBuffer};
 use crate::global::{coalesce_halfwarp, GlobalMemory};
-use crate::shared::{conflict_passes, SharedMemory};
+use crate::introspect::SmProbe;
+use crate::shared::{conflict_passes, conflict_passes_profiled, SharedMemory};
 use crate::stats::SmStats;
 use crate::texture::{TexId, Texture2d};
 use mem_sim::{Cache, Cycle, DramChannel};
@@ -100,6 +101,9 @@ pub struct WarpCtx<'a> {
     pub(crate) const_cache: &'a mut Cache,
     pub(crate) dram: &'a mut DramChannel,
     pub(crate) stats: &'a mut SmStats,
+    /// Armed-only introspection sink; `None` on the disarmed (timing
+    /// baseline) path, where every probe is a single branch.
+    pub(crate) probe: Option<&'a mut SmProbe>,
     pub(crate) now: Cycle,
     pub(crate) issue: u32,
     pub(crate) ready_at: Cycle,
@@ -120,6 +124,7 @@ impl<'a> WarpCtx<'a> {
         const_cache: &'a mut Cache,
         dram: &'a mut DramChannel,
         stats: &'a mut SmStats,
+        probe: Option<&'a mut SmProbe>,
         now: Cycle,
     ) -> Self {
         let issue = cfg.issue_cycles;
@@ -134,6 +139,7 @@ impl<'a> WarpCtx<'a> {
             const_cache,
             dram,
             stats,
+            probe,
             now,
             issue,
             ready_at: now + issue as Cycle,
@@ -274,7 +280,10 @@ impl<'a> WarpCtx<'a> {
             if scratch.is_empty() {
                 continue;
             }
-            let p = conflict_passes(self.cfg, &scratch);
+            let p = match self.probe.as_deref_mut() {
+                Some(probe) => conflict_passes_profiled(self.cfg, &scratch, &mut probe.banks),
+                None => conflict_passes(self.cfg, &scratch),
+            };
             self.stats.record_shared(p);
             // Half-warps pipeline; only passes beyond the first per
             // half-warp re-occupy the issue port.
@@ -300,7 +309,10 @@ impl<'a> WarpCtx<'a> {
             if scratch.is_empty() {
                 continue;
             }
-            let p = conflict_passes(self.cfg, &scratch);
+            let p = match self.probe.as_deref_mut() {
+                Some(probe) => conflict_passes_profiled(self.cfg, &scratch, &mut probe.banks),
+                None => conflict_passes(self.cfg, &scratch),
+            };
             self.stats.record_shared(p);
             extra_passes += p - 1;
         }
@@ -370,6 +382,15 @@ impl<'a> WarpCtx<'a> {
             let Some((row, col)) = *c else { continue };
             fetches += 1;
             out[lane] = t.fetch(row, col);
+            if let Some(probe) = self.probe.as_deref_mut() {
+                if let Some(slot) = probe
+                    .row_fetches
+                    .get_mut(tex.0)
+                    .and_then(|rows| rows.get_mut(row as usize))
+                {
+                    *slot += 1;
+                }
+            }
             let addr = t.tiled_addr(row, col);
             if !self.tex_cache.access(addr).is_hit() {
                 misses_this_op += 1;
@@ -447,6 +468,24 @@ mod tests {
                 &mut self.cc,
                 &mut self.dram,
                 &mut self.stats,
+                None,
+                now,
+            )
+        }
+
+        fn probed_ctx<'a>(&'a mut self, probe: &'a mut SmProbe, now: Cycle) -> WarpCtx<'a> {
+            WarpCtx::new(
+                &self.cfg,
+                &mut self.global,
+                &mut self.shared,
+                &self.textures,
+                &self.constants,
+                &mut self.cache,
+                &mut self.l2,
+                &mut self.cc,
+                &mut self.dram,
+                &mut self.stats,
+                Some(probe),
                 now,
             )
         }
@@ -663,6 +702,41 @@ mod tests {
             ctx.compute(3);
             assert_eq!(ctx.into_cost().stall, None);
         }
+    }
+
+    #[test]
+    fn armed_probe_collects_banks_and_rows_without_timing_drift() {
+        // Same op sequence through a plain and a probed context: identical
+        // costs and stats, and the probe fills in the spatial story.
+        let conflicted: Vec<Option<u64>> = (0..32).map(|l| Some(l * 16 * 4)).collect();
+        let coords: Vec<Option<(u32, u32)>> = (0..32).map(|l| Some((l % 4, l % 8))).collect();
+
+        let mut plain = Rig::new();
+        let mut probed = Rig::new();
+        let mut probe = SmProbe::new(&probed.cfg, &probed.textures);
+
+        let mut out8 = vec![0u8; 32];
+        let mut ctx = plain.ctx(0);
+        ctx.shared_read_u8(&conflicted, &mut out8);
+        let plain_cost = ctx.into_cost();
+        let mut ctx = probed.probed_ctx(&mut probe, 0);
+        ctx.shared_read_u8(&conflicted, &mut out8);
+        assert_eq!(ctx.into_cost(), plain_cost);
+
+        let mut out32 = vec![0u32; 32];
+        let mut ctx = plain.ctx(500);
+        ctx.tex_fetch(TexId(0), &coords, &mut out32);
+        let plain_cost = ctx.into_cost();
+        let mut ctx = probed.probed_ctx(&mut probe, 500);
+        ctx.tex_fetch(TexId(0), &coords, &mut out32);
+        assert_eq!(ctx.into_cost(), plain_cost);
+
+        assert_eq!(plain.stats, probed.stats);
+        // The conflicted read put 16 distinct words in bank 0 per half-warp.
+        assert_eq!(probe.banks.bank_words[0], 32);
+        assert_eq!(probe.banks.degree_counts[16], 2);
+        // 32 fetches spread over rows 0..4 of texture 0, 8 per row.
+        assert_eq!(probe.row_fetches[0][..4], [8, 8, 8, 8]);
     }
 
     #[test]

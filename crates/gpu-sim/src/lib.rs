@@ -57,6 +57,7 @@ pub mod device;
 pub mod error;
 pub mod fault;
 pub mod global;
+pub mod introspect;
 pub mod kernel;
 pub mod scheduler;
 pub mod shared;
@@ -69,10 +70,11 @@ pub use device::{GpuDevice, LaunchConfig, Launched};
 pub use error::{DeviceError, GpuConfigError, LaunchError};
 pub use fault::{FaultKind, FaultPlan, FaultState, InjectedFault, HANG_CYCLES};
 pub use global::GlobalMemory;
+pub use introspect::{IntrospectConfig, Introspection, SmIntrospection};
 pub use kernel::{StepOutcome, WarpCtx, WarpGeometry, WarpProgram};
 pub use shared::SharedMemory;
 pub use stats::{LaunchStats, LoadImbalance, SmStats};
 pub use texture::{TexId, Texture2d};
 
-pub use mem_sim::Cycle;
+pub use mem_sim::{BankHistogram, BusyInterval, CacheStats, Cycle, SetStats};
 pub use trace::{StallBreakdown, StallReason, TraceBuffer, TraceConfig};

@@ -18,6 +18,7 @@ use crate::config::GpuConfig;
 use crate::constant::ConstantBuffer;
 use crate::device::LaunchConfig;
 use crate::global::GlobalMemory;
+use crate::introspect::{IntrospectState, SmIntrospection, SmProbe};
 use crate::kernel::{StepOutcome, WarpCtx, WarpGeometry, WarpProgram};
 use crate::shared::SharedMemory;
 use crate::stats::SmStats;
@@ -71,6 +72,7 @@ pub(crate) fn run_sm<P, F>(
     retired: &mut Vec<(WarpGeometry, P)>,
     sm_id: u32,
     mut trace: Option<&mut TraceBuffer>,
+    introspect: Option<&mut IntrospectState>,
 ) -> SmStats
 where
     P: WarpProgram,
@@ -92,6 +94,15 @@ where
             dram.enable_log(tb.config().max_events);
         }
     }
+    // Armed introspection: turn on the spatial collectors. None of them
+    // feeds back into timing (pure counters/logs), so the disarmed path
+    // stays the bit-identical baseline.
+    let mut probe = introspect.as_ref().map(|st| {
+        tex_cache.enable_set_profile();
+        tex_l2.enable_set_profile();
+        dram.enable_busy_tracking(st.cfg.max_busy_intervals);
+        SmProbe::new(cfg, textures)
+    });
 
     let mut pending = block_ids.iter().copied();
     let mut blocks: Vec<ActiveBlock> = Vec::with_capacity(resident_blocks);
@@ -234,6 +245,7 @@ where
                 &mut const_cache,
                 &mut dram,
                 &mut stats,
+                probe.as_mut(),
                 now,
             );
             let program = slots[slot_idx]
@@ -360,6 +372,20 @@ where
                 );
             }
         }
+    }
+    if let Some(st) = introspect {
+        let probe = probe.take().expect("probe exists whenever armed");
+        st.result.per_sm.push(SmIntrospection {
+            sm: sm_id,
+            tex_l1: tex_cache.stats(),
+            tex_l1_sets: tex_cache.set_profile().unwrap_or_default().to_vec(),
+            tex_l2: tex_l2.stats(),
+            tex_l2_sets: tex_l2.set_profile().unwrap_or_default().to_vec(),
+            tex_resident_lines: tex_cache.resident_lines(),
+            banks: probe.banks,
+            dram_busy: dram.take_busy_intervals(),
+            row_fetches: probe.row_fetches,
+        });
     }
     stats
 }

@@ -8,6 +8,7 @@
 //! GT200 special case.
 
 use crate::config::GpuConfig;
+use mem_sim::BankHistogram;
 
 /// A block's shared memory: functional byte store sized at launch.
 #[derive(Debug, Clone)]
@@ -83,6 +84,27 @@ pub fn conflict_passes(cfg: &GpuConfig, addrs: &[u64]) -> u32 {
     if addrs.is_empty() {
         return 0;
     }
+    let counts = bank_word_counts(cfg, addrs);
+    counts.iter().copied().max().unwrap_or(0).max(1)
+}
+
+/// As [`conflict_passes`], additionally recording the per-bank distinct-word
+/// distribution into `hist`. Called only on the armed-introspection path:
+/// the return value is byte-for-byte the same as [`conflict_passes`], so
+/// timing cannot drift, and the extra scan never runs disarmed.
+pub fn conflict_passes_profiled(cfg: &GpuConfig, addrs: &[u64], hist: &mut BankHistogram) -> u32 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    let counts = bank_word_counts(cfg, addrs);
+    let passes = counts.iter().copied().max().unwrap_or(0).max(1);
+    hist.record(&counts[..cfg.shared_banks as usize], passes);
+    passes
+}
+
+/// Distinct words addressed per bank by one half-warp (indices past
+/// `shared_banks` stay zero).
+fn bank_word_counts(cfg: &GpuConfig, addrs: &[u64]) -> [u32; 32] {
     let banks = cfg.shared_banks as usize;
     // Half-warps are ≤16 lanes: fixed scratch arrays, no allocation.
     debug_assert!(addrs.len() <= cfg.half_warp() as usize);
@@ -98,7 +120,7 @@ pub fn conflict_passes(cfg: &GpuConfig, addrs: &[u64]) -> u32 {
             *count += 1;
         }
     }
-    per_bank_count.iter().copied().max().unwrap_or(0).max(1)
+    per_bank_count
 }
 
 #[cfg(test)]
@@ -177,6 +199,21 @@ mod tests {
         assert!(!s.is_empty());
     }
 
+    #[test]
+    fn profiled_passes_fill_histogram() {
+        let mut hist = BankHistogram::new(16);
+        // Lane l touches word l*16 → all in bank 0 → 16 passes.
+        let addrs: Vec<u64> = (0..16).map(|l| l * 16 * 4).collect();
+        assert_eq!(conflict_passes_profiled(&cfg(), &addrs, &mut hist), 16);
+        assert_eq!(hist.bank_words[0], 16);
+        assert_eq!(hist.bank_words[1..].iter().sum::<u64>(), 0);
+        assert_eq!(hist.degree_counts[16], 1);
+        assert_eq!(hist.conflicted_ops(), 1);
+        // Empty access records nothing.
+        assert_eq!(conflict_passes_profiled(&cfg(), &[], &mut hist), 0);
+        assert_eq!(hist.ops(), 1);
+    }
+
     proptest! {
         /// Passes are bounded by [1, active lanes] and by the number of
         /// distinct words.
@@ -189,6 +226,17 @@ mod tests {
             words.sort_unstable();
             words.dedup();
             prop_assert!(p as usize <= words.len());
+        }
+
+        /// The profiled variant returns exactly what the plain one does —
+        /// introspection can never perturb serialization.
+        #[test]
+        fn profiled_matches_plain(addrs in proptest::collection::vec(0u64..4096, 0..16)) {
+            let mut hist = BankHistogram::new(16);
+            prop_assert_eq!(
+                conflict_passes_profiled(&cfg(), &addrs, &mut hist),
+                conflict_passes(&cfg(), &addrs)
+            );
         }
     }
 }

@@ -100,6 +100,25 @@ impl Texture2d {
     pub fn size_bytes(&self) -> usize {
         self.data.len() * 4
     }
+
+    /// Invert [`Texture2d::tiled_addr`]: the texture row holding the texel
+    /// at tiled byte address `addr`, or `None` when the address falls in
+    /// column padding or past the last row.
+    ///
+    /// Because one 32-byte cache line is exactly one `TILE_W` row-segment,
+    /// every address of a line maps to the *same* row — which is what lets
+    /// an introspector turn texture-cache residency into "which STT states
+    /// are resident" (the STT binds state `s` as texture row `s`).
+    pub fn row_of_tiled_addr(&self, addr: u64) -> Option<u32> {
+        let texel = addr / 4;
+        let tile_texels = TILE_W * TILE_H;
+        let tiles_per_row = self.tiled_cols / TILE_W;
+        let tile = texel / tile_texels;
+        let within = texel % tile_texels;
+        let row = (tile / tiles_per_row) * TILE_H + within / TILE_W;
+        let col = (tile % tiles_per_row) * TILE_W + within % TILE_W;
+        (row < self.rows as u64 && col < self.cols as u64).then_some(row as u32)
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +184,40 @@ mod tests {
             assert_eq!(t.tiled_addr(r, 0) / tile_bytes, tile);
         }
         assert_ne!(t.tiled_addr(TILE_H as u32, 0) / tile_bytes, tile);
+    }
+
+    #[test]
+    fn row_of_tiled_addr_inverts_tiled_addr() {
+        // Cols not a multiple of TILE_W exercises padding-tile addresses.
+        let t = tex(37, 21);
+        for r in 0..37 {
+            for c in 0..21 {
+                assert_eq!(
+                    t.row_of_tiled_addr(t.tiled_addr(r, c)),
+                    Some(r),
+                    "({r},{c})"
+                );
+            }
+        }
+        // Column padding of the last tile (cols 21..24 of row 0) and
+        // addresses past the texture are unmapped.
+        assert_eq!(t.row_of_tiled_addr(t.tiled_addr(0, 20) + 4 * 3), None);
+        assert_eq!(t.row_of_tiled_addr(1 << 40), None);
+    }
+
+    #[test]
+    fn every_address_of_a_line_maps_to_one_row() {
+        // A 32-byte line is one TILE_W row-segment, so the line base
+        // address answers for every texel in the line — the invariant the
+        // residency heatmap depends on.
+        let t = tex(64, 257);
+        for r in (0..64).step_by(7) {
+            for c in (0..257).step_by(11) {
+                let addr = t.tiled_addr(r, c);
+                let line_base = addr & !31;
+                assert_eq!(t.row_of_tiled_addr(line_base), Some(r), "({r},{c})");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Per-bank accounting for banked scratchpad memories.
+//!
+//! The GPU simulator serializes a half-warp's shared-memory access into
+//! `max(distinct words per bank)` passes; this module keeps the *spatial*
+//! side of that story — which banks the words landed in and how serialized
+//! each operation was — so a conflict report can say "bank 0 takes 16× the
+//! traffic of its neighbours" instead of just "there were conflicts".
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram of banked-memory traffic, recorded per half-warp operation.
+///
+/// Observability only: recording never changes the serialization decision,
+/// which stays with the owner's conflict computation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankHistogram {
+    /// Distinct words routed to each bank, summed over operations.
+    pub bank_words: Vec<u64>,
+    /// Operations by serialization degree: `degree_counts[d]` half-warp
+    /// operations needed exactly `d` passes. Index 0 is unused (a non-empty
+    /// access always takes ≥ 1 pass); the vector grows to the worst degree
+    /// observed.
+    pub degree_counts: Vec<u64>,
+}
+
+impl BankHistogram {
+    /// An empty histogram over `banks` banks.
+    pub fn new(banks: u32) -> Self {
+        BankHistogram {
+            bank_words: vec![0; banks as usize],
+            degree_counts: Vec::new(),
+        }
+    }
+
+    /// Record one half-warp operation: `per_bank_words[b]` distinct words
+    /// addressed bank `b`, serialized into `passes` passes.
+    pub fn record(&mut self, per_bank_words: &[u32], passes: u32) {
+        for (b, &w) in per_bank_words.iter().enumerate() {
+            if let Some(slot) = self.bank_words.get_mut(b) {
+                *slot += w as u64;
+            }
+        }
+        let d = passes as usize;
+        if self.degree_counts.len() <= d {
+            self.degree_counts.resize(d + 1, 0);
+        }
+        self.degree_counts[d] += 1;
+    }
+
+    /// Fold another histogram into this one (e.g. across SMs).
+    pub fn merge(&mut self, other: &BankHistogram) {
+        if self.bank_words.len() < other.bank_words.len() {
+            self.bank_words.resize(other.bank_words.len(), 0);
+        }
+        for (b, &w) in other.bank_words.iter().enumerate() {
+            self.bank_words[b] += w;
+        }
+        if self.degree_counts.len() < other.degree_counts.len() {
+            self.degree_counts.resize(other.degree_counts.len(), 0);
+        }
+        for (d, &n) in other.degree_counts.iter().enumerate() {
+            self.degree_counts[d] += n;
+        }
+    }
+
+    /// Total half-warp operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.degree_counts.iter().sum()
+    }
+
+    /// Operations that needed more than one pass (true conflicts).
+    pub fn conflicted_ops(&self) -> u64 {
+        self.degree_counts.iter().skip(2).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_banks_and_degrees() {
+        let mut h = BankHistogram::new(4);
+        h.record(&[2, 0, 1, 0], 2);
+        h.record(&[1, 1, 1, 1], 1);
+        assert_eq!(h.bank_words, vec![3, 1, 2, 1]);
+        assert_eq!(h.degree_counts, vec![0, 1, 1]);
+        assert_eq!(h.ops(), 2);
+        assert_eq!(h.conflicted_ops(), 1);
+    }
+
+    #[test]
+    fn merge_is_elementwise_with_growth() {
+        let mut a = BankHistogram::new(2);
+        a.record(&[1, 1], 1);
+        let mut b = BankHistogram::new(4);
+        b.record(&[0, 0, 4, 0], 4);
+        a.merge(&b);
+        assert_eq!(a.bank_words, vec![1, 1, 4, 0]);
+        assert_eq!(a.degree_counts, vec![0, 1, 0, 0, 1]);
+        assert_eq!(a.ops(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = BankHistogram::new(16);
+        assert_eq!(h.ops(), 0);
+        assert_eq!(h.conflicted_ops(), 0);
+    }
+}

@@ -99,6 +99,22 @@ impl CacheStats {
     }
 }
 
+/// Per-set counters, collected only after [`Cache::enable_set_profile`].
+///
+/// Observability only: profiling never changes outcomes, timing inputs, or
+/// the aggregate [`CacheStats`]. When enabled, the per-set sums are exact:
+/// Σ`accesses` = `CacheStats::accesses`, Σ`hits` = `CacheStats::hits`, and
+/// Σ`evictions` ≤ `CacheStats::misses` (cold fills evict nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetStats {
+    /// Accesses that indexed this set.
+    pub accesses: u64,
+    /// Accesses that hit in this set.
+    pub hits: u64,
+    /// Valid lines displaced from this set.
+    pub evictions: u64,
+}
+
 /// The cache proper. One `u64` tag and one LRU stamp per line.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -111,6 +127,8 @@ pub struct Cache {
     stats: CacheStats,
     set_mask: u64,
     line_shift: u32,
+    /// Per-set counters; `None` unless an introspector enabled them.
+    set_profile: Option<Vec<SetStats>>,
 }
 
 impl Cache {
@@ -133,7 +151,32 @@ impl Cache {
             stats: CacheStats::default(),
             set_mask: (cfg.sets() - 1) as u64,
             line_shift: cfg.line_bytes.trailing_zeros(),
+            set_profile: None,
         }
+    }
+
+    /// Start collecting per-set counters ([`SetStats`]). Idempotent: calling
+    /// it again keeps the counters already accumulated.
+    pub fn enable_set_profile(&mut self) {
+        if self.set_profile.is_none() {
+            self.set_profile = Some(vec![SetStats::default(); self.cfg.sets() as usize]);
+        }
+    }
+
+    /// Per-set counters accumulated since [`Cache::enable_set_profile`];
+    /// `None` when profiling was never enabled. Indexed by set number.
+    pub fn set_profile(&self) -> Option<&[SetStats]> {
+        self.set_profile.as_deref()
+    }
+
+    /// Base addresses of every currently-resident line (a residency
+    /// snapshot for heatmaps). Counter-free, like [`Cache::contains`].
+    pub fn resident_lines(&self) -> Vec<u64> {
+        self.tags
+            .iter()
+            .filter(|&&t| t != u64::MAX)
+            .map(|&t| t << self.line_shift)
+            .collect()
     }
 
     /// Access the byte at `addr`; the whole containing line is allocated on
@@ -146,12 +189,18 @@ impl Cache {
         let set = (line_addr & self.set_mask) as usize;
         let ways = self.cfg.associativity as usize;
         let base = set * ways;
+        if let Some(p) = self.set_profile.as_mut() {
+            p[set].accesses += 1;
+        }
         let slice = &mut self.tags[base..base + ways];
         // Hit?
         for (w, tag) in slice.iter().enumerate() {
             if *tag == line_addr {
                 self.stamps[base + w] = self.clock;
                 self.stats.hits += 1;
+                if let Some(p) = self.set_profile.as_mut() {
+                    p[set].hits += 1;
+                }
                 return CacheOutcome::Hit;
             }
         }
@@ -172,6 +221,9 @@ impl Cache {
         let evicted = if self.tags[base + victim] == u64::MAX {
             None
         } else {
+            if let Some(p) = self.set_profile.as_mut() {
+                p[set].evictions += 1;
+            }
             Some(self.tags[base + victim] << self.line_shift)
         };
         self.tags[base + victim] = line_addr;
@@ -187,7 +239,9 @@ impl Cache {
         self.tags[set * ways..set * ways + ways].contains(&line_addr)
     }
 
-    /// Invalidate everything (e.g. between kernel launches).
+    /// Invalidate everything (e.g. between kernel launches). Cumulative
+    /// statistics — aggregate and per-set alike — are preserved; only
+    /// residency is dropped.
     pub fn flush(&mut self) {
         self.tags.fill(u64::MAX);
         self.stamps.fill(0);
@@ -198,9 +252,12 @@ impl Cache {
         self.stats
     }
 
-    /// Reset statistics, keeping residency.
+    /// Reset statistics (aggregate and per-set), keeping residency.
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        if let Some(p) = self.set_profile.as_mut() {
+            p.fill(SetStats::default());
+        }
     }
 
     /// The configured geometry.
@@ -338,6 +395,39 @@ mod tests {
         assert_eq!(c.stats().hit_rate(), 1.0);
     }
 
+    #[test]
+    fn set_profile_disabled_by_default_and_tracks_sets() {
+        let mut c = small();
+        c.access(0x00);
+        assert!(c.set_profile().is_none());
+
+        c.enable_set_profile();
+        c.access(0x00); // set 0: hit
+        c.access(0x40); // set 0: miss
+        c.access(0x10); // set 1: miss
+        let p = c.set_profile().unwrap();
+        assert_eq!(p[0].accesses, 2);
+        assert_eq!(p[0].hits, 1);
+        assert_eq!(p[1].accesses, 1);
+        assert_eq!(p[1].hits, 0);
+        // Third distinct line in set 0 evicts (2 ways).
+        c.access(0x80);
+        assert_eq!(c.set_profile().unwrap()[0].evictions, 1);
+    }
+
+    #[test]
+    fn resident_lines_snapshot() {
+        let mut c = small();
+        assert!(c.resident_lines().is_empty());
+        c.access(0x00);
+        c.access(0x53);
+        let mut lines = c.resident_lines();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0x00, 0x50]);
+        c.flush();
+        assert!(c.resident_lines().is_empty());
+    }
+
     proptest! {
         /// Accesses never under- or over-count: hits + misses = accesses.
         #[test]
@@ -357,6 +447,67 @@ mod tests {
             let mut c = small();
             c.access(addr as u64);
             prop_assert!(c.access(addr as u64).is_hit());
+        }
+
+        /// A just-accessed line is resident.
+        #[test]
+        fn contains_after_access_holds(addr in any::<u32>()) {
+            let mut c = small();
+            c.access(addr as u64);
+            prop_assert!(c.contains(addr as u64));
+        }
+
+        /// Per-set counters sum exactly to the aggregate totals, and
+        /// evictions never exceed misses.
+        #[test]
+        fn set_profile_sums_to_aggregate_stats(
+            addrs in proptest::collection::vec(any::<u32>(), 1..500),
+        ) {
+            let mut c = small();
+            c.enable_set_profile();
+            for a in addrs {
+                c.access(a as u64);
+            }
+            let s = c.stats();
+            let p = c.set_profile().unwrap();
+            prop_assert_eq!(p.iter().map(|x| x.accesses).sum::<u64>(), s.accesses);
+            prop_assert_eq!(p.iter().map(|x| x.hits).sum::<u64>(), s.hits);
+            prop_assert!(p.iter().map(|x| x.evictions).sum::<u64>() <= s.misses);
+        }
+
+        /// Profiling is pure observation: outcomes and aggregate stats are
+        /// identical with and without the set profile enabled.
+        #[test]
+        fn set_profile_never_changes_outcomes(
+            addrs in proptest::collection::vec(any::<u32>(), 1..300),
+        ) {
+            let mut plain = small();
+            let mut profiled = small();
+            profiled.enable_set_profile();
+            for &a in &addrs {
+                prop_assert_eq!(plain.access(a as u64), profiled.access(a as u64));
+            }
+            prop_assert_eq!(plain.stats(), profiled.stats());
+        }
+
+        /// `flush` zeroes residency but preserves cumulative statistics,
+        /// per-set counters included.
+        #[test]
+        fn flush_zeroes_residency_preserves_stats(
+            addrs in proptest::collection::vec(any::<u32>(), 1..200),
+        ) {
+            let mut c = small();
+            c.enable_set_profile();
+            for &a in &addrs {
+                c.access(a as u64);
+            }
+            let stats_before = c.stats();
+            let profile_before = c.set_profile().unwrap().to_vec();
+            c.flush();
+            prop_assert!(c.resident_lines().is_empty());
+            prop_assert!(!c.contains(addrs[0] as u64));
+            prop_assert_eq!(c.stats(), stats_before);
+            prop_assert_eq!(c.set_profile().unwrap(), &profile_before[..]);
         }
     }
 }

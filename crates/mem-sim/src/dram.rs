@@ -60,6 +60,26 @@ pub struct DramTxn {
     pub done: Cycle,
 }
 
+/// One contiguous period during which the channel's pipe was transferring
+/// data, in whole cycles (`start..end`, end exclusive). Recorded only when
+/// busy tracking is enabled; adjacent/overlapping transactions merge into a
+/// single interval, so the interval count measures *burstiness* and the
+/// summed widths measure channel utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusyInterval {
+    /// First busy cycle.
+    pub start: Cycle,
+    /// One past the last busy cycle.
+    pub end: Cycle,
+}
+
+impl BusyInterval {
+    /// Width of the interval in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
 /// The channel. Occupancy is tracked as the cycle at which the pipe frees
 /// up; a transaction issued while the pipe is busy starts when it frees.
 #[derive(Debug, Clone)]
@@ -72,6 +92,9 @@ pub struct DramChannel {
     /// timing). `None` unless a tracer enabled it.
     log: Option<Vec<DramTxn>>,
     log_cap: usize,
+    /// Optional bounded merged busy-interval track (observability only).
+    busy: Option<Vec<BusyInterval>>,
+    busy_cap: usize,
 }
 
 impl DramChannel {
@@ -89,6 +112,25 @@ impl DramChannel {
             stats: DramStats::default(),
             log: None,
             log_cap: 0,
+            busy: None,
+            busy_cap: 0,
+        }
+    }
+
+    /// Start tracking merged busy intervals, keeping at most `cap` entries
+    /// (busy time past the cap is silently not recorded; `stats` still
+    /// counts every transaction).
+    pub fn enable_busy_tracking(&mut self, cap: usize) {
+        self.busy = Some(Vec::new());
+        self.busy_cap = cap;
+    }
+
+    /// Take the busy intervals recorded so far, leaving tracking enabled.
+    /// Returns an empty vector when tracking was never enabled.
+    pub fn take_busy_intervals(&mut self) -> Vec<BusyInterval> {
+        match self.busy.as_mut() {
+            Some(busy) => std::mem::take(busy),
+            None => Vec::new(),
         }
     }
 
@@ -134,6 +176,20 @@ impl DramChannel {
                 });
             }
         }
+        if let Some(busy) = self.busy.as_mut() {
+            // A transaction occupies [start, start+transfer) of pipe time;
+            // round outward to whole cycles and occupy at least one.
+            let s = start as Cycle;
+            let e = ((start + transfer).ceil() as Cycle).max(s + 1);
+            match busy.last_mut() {
+                Some(last) if s <= last.end => last.end = last.end.max(e),
+                _ => {
+                    if busy.len() < self.busy_cap {
+                        busy.push(BusyInterval { start: s, end: e });
+                    }
+                }
+            }
+        }
         done
     }
 
@@ -154,6 +210,9 @@ impl DramChannel {
         self.stats = DramStats::default();
         if let Some(log) = self.log.as_mut() {
             log.clear();
+        }
+        if let Some(busy) = self.busy.as_mut() {
+            busy.clear();
         }
     }
 
@@ -277,6 +336,59 @@ mod tests {
         c.issue(0, 128);
         c.reset();
         assert!(c.take_log().is_empty());
+    }
+
+    #[test]
+    fn busy_tracking_merges_contiguous_traffic() {
+        let mut c = chan();
+        c.issue(0, 128);
+        assert!(c.take_busy_intervals().is_empty()); // never enabled
+
+        c.enable_busy_tracking(16);
+        c.reset();
+        c.issue(0, 128); // busy [0, 2)
+        c.issue(0, 128); // queues: busy [2, 4) → merges into [0, 4)
+        c.issue(1000, 64); // idle gap → new interval [1000, 1001)
+        let busy = c.take_busy_intervals();
+        assert_eq!(
+            busy,
+            vec![
+                BusyInterval { start: 0, end: 4 },
+                BusyInterval {
+                    start: 1000,
+                    end: 1001
+                },
+            ]
+        );
+        assert_eq!(busy[0].cycles(), 4);
+        // take_ leaves tracking on but empties the buffer.
+        assert!(c.take_busy_intervals().is_empty());
+        c.issue(2000, 64);
+        assert_eq!(c.take_busy_intervals().len(), 1);
+    }
+
+    #[test]
+    fn busy_tracking_is_bounded_and_reset_clears_it() {
+        let mut c = chan();
+        c.enable_busy_tracking(2);
+        for i in 0..5u64 {
+            c.issue(i * 1000, 64); // five disjoint intervals, cap 2
+        }
+        assert_eq!(c.take_busy_intervals().len(), 2);
+        c.issue(10_000, 64);
+        c.reset();
+        assert!(c.take_busy_intervals().is_empty());
+    }
+
+    #[test]
+    fn busy_tracking_never_alters_timing() {
+        let mut plain = chan();
+        let mut tracked = chan();
+        tracked.enable_busy_tracking(1024);
+        for (now, bytes) in [(0u64, 128u32), (1, 64), (3, 256), (500, 32)] {
+            assert_eq!(plain.issue(now, bytes), tracked.issue(now, bytes));
+        }
+        assert_eq!(plain.stats(), tracked.stats());
     }
 
     proptest! {

@@ -14,12 +14,14 @@
 //! Everything is deterministic and cycle-based: callers pass the current
 //! cycle and receive completion cycles back; nothing here owns a clock.
 
+pub mod bank;
 pub mod cache;
 pub mod dram;
 pub mod stats;
 
-pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
-pub use dram::{DramChannel, DramConfig, DramStats, DramTxn};
+pub use bank::BankHistogram;
+pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats, SetStats};
+pub use dram::{BusyInterval, DramChannel, DramConfig, DramStats, DramTxn};
 pub use stats::Counter;
 
 /// Simulation time is measured in device clock cycles.

@@ -37,7 +37,7 @@ pub use chrome::{parse_chrome_json, to_chrome_json, validate_chrome_json, Chrome
 pub use event::{ArgValue, Phase, TraceBuffer, TraceConfig, TraceEvent, PID_DEVICE, PID_HOST};
 pub use metrics::{Metric, MetricValue, MetricsSnapshot};
 pub use stall::{StallBreakdown, StallReason};
-pub use summary::{render_stall_summary, SmActivity};
+pub use summary::{render_heatmap, render_histogram, render_stall_summary, to_csv, SmActivity};
 
 /// Simulation time is measured in device clock cycles (mirrors
 /// `mem_sim::Cycle` without the dependency).

@@ -117,6 +117,78 @@ pub fn render_stall_summary(launch_cycles: u64, sms: &[SmActivity]) -> String {
     out
 }
 
+/// Render labelled counts as an ASCII bar histogram, scaled so the largest
+/// bin spans `width` characters. Used for shared-bank traffic and
+/// texture-set access profiles.
+pub fn render_histogram(title: &str, bins: &[(String, u64)], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    if bins.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max = bins.iter().map(|(_, v)| *v).max().unwrap_or(0);
+    let label_w = bins.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in bins {
+        let bar = if max == 0 {
+            0
+        } else {
+            ((*value as f64 / max as f64) * width as f64).round() as usize
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} {value:>12} {}\n",
+            "#".repeat(bar)
+        ));
+    }
+    out
+}
+
+/// Intensity ramp for [`render_heatmap`], dimmest first.
+const HEAT_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render a 1-D value series (e.g. texture-cache residency per STT state)
+/// as a bucketed intensity heatmap: values are folded into `buckets` cells
+/// by summation and drawn with the ` .:-=+*#%@` ramp, one character per
+/// cell, 64 cells per line.
+pub fn render_heatmap(title: &str, values: &[u64], buckets: usize) -> String {
+    let mut out = format!("{title}\n");
+    if values.is_empty() || buckets == 0 {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let buckets = buckets.min(values.len());
+    let per = values.len().div_ceil(buckets);
+    let cells: Vec<u64> = values.chunks(per).map(|c| c.iter().sum()).collect();
+    let max = cells.iter().copied().max().unwrap_or(0);
+    out.push_str(&format!(
+        "  [{} values in {} buckets of {per}; max bucket = {max}]\n",
+        values.len(),
+        cells.len(),
+    ));
+    for line in cells.chunks(64) {
+        out.push_str("  ");
+        for &v in line {
+            let idx = if max == 0 {
+                0
+            } else {
+                ((v as f64 / max as f64) * (HEAT_RAMP.len() - 1) as f64).round() as usize
+            };
+            out.push(HEAT_RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize labelled counts as a two-column CSV (header row included) for
+/// offline plotting of histograms and heatmaps.
+pub fn to_csv(header: (&str, &str), rows: &[(String, u64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for (label, value) in rows {
+        out.push_str(&format!("{label},{value}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +264,50 @@ mod tests {
     fn empty_sm_list_is_harmless() {
         let text = render_stall_summary(0, &[]);
         assert!(text.contains("0 SMs"));
+    }
+
+    #[test]
+    fn histogram_scales_bars_to_width() {
+        let bins = vec![
+            ("bank 0".to_string(), 40),
+            ("bank 1".to_string(), 20),
+            ("bank 2".to_string(), 0),
+        ];
+        let text = render_histogram("bank traffic", &bins, 10);
+        assert!(text.contains("bank traffic"));
+        assert!(
+            text.contains(&format!("bank 0 {:>12} {}", 40, "#".repeat(10))),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("bank 1 {:>12} {}", 20, "#".repeat(5))),
+            "{text}"
+        );
+        let bank2 = text.lines().find(|l| l.contains("bank 2")).unwrap();
+        assert!(!bank2.contains('#'), "{bank2}");
+        assert!(render_histogram("empty", &[], 10).contains("(no data)"));
+    }
+
+    #[test]
+    fn heatmap_buckets_and_ramps() {
+        // 128 values, hot only in the front quarter.
+        let mut values = vec![0u64; 128];
+        for v in values.iter_mut().take(32) {
+            *v = 9;
+        }
+        let text = render_heatmap("residency", &values, 16);
+        assert!(text.contains("128 values in 16 buckets of 8"), "{text}");
+        let row = text.lines().last().unwrap().trim_start();
+        assert_eq!(row.len(), 16);
+        assert!(row.starts_with("@@@@"), "{row}");
+        assert!(row.ends_with("    "), "{row:?}");
+        assert!(render_heatmap("empty", &[], 4).contains("(no data)"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![("0".to_string(), 7), ("1".to_string(), 0)];
+        let csv = to_csv(("state", "fetches"), &rows);
+        assert_eq!(csv, "state,fetches\n0,7\n1,0\n");
     }
 }

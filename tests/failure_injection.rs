@@ -287,6 +287,7 @@ fn watchdog_kills_hung_kernels() {
                 record: true,
                 watchdog_cycles: Some(1 << 30),
                 trace: None,
+                introspect: None,
             },
         )
         .unwrap_err();

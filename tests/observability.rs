@@ -35,6 +35,7 @@ fn traced_run(cfg: &GpuConfig, approach: Approach) -> GpuRun {
                 record: true,
                 watchdog_cycles: None,
                 trace: Some(TraceConfig::default()),
+                introspect: None,
             },
         )
         .unwrap()

@@ -7,7 +7,7 @@
 
 use ac_core::{AcAutomaton, PatternSet};
 use ac_gpu::{run_supervised, Approach, GpuAcMatcher, KernelParams, RunOptions, SuperviseConfig};
-use gpu_sim::{FaultPlan, GpuConfig, TraceConfig};
+use gpu_sim::{FaultPlan, GpuConfig, IntrospectConfig, TraceConfig};
 
 fn matcher() -> GpuAcMatcher {
     let cfg = GpuConfig::gtx285();
@@ -80,6 +80,7 @@ fn supervision_does_not_perturb_fault_free_timing() {
                 record: true,
                 watchdog_cycles: Some(u64::MAX),
                 trace: None,
+                introspect: None,
             },
         )
         .unwrap();
@@ -108,6 +109,7 @@ fn trace_arming_leaves_launch_stats_bit_identical() {
                     record: true,
                     watchdog_cycles: None,
                     trace: Some(cfg),
+                    introspect: None,
                 },
             )
             .unwrap();
@@ -129,6 +131,7 @@ fn trace_arming_leaves_launch_stats_bit_identical() {
                     record: true,
                     watchdog_cycles: None,
                     trace: None,
+                    introspect: None,
                 },
             )
             .unwrap();
@@ -137,6 +140,64 @@ fn trace_arming_leaves_launch_stats_bit_identical() {
             untraced.stats, plain.stats,
             "{approach:?}: disarmed run drifted"
         );
+    }
+}
+
+#[test]
+fn introspection_arming_leaves_launch_stats_bit_identical() {
+    let text = text();
+    for approach in Approach::all() {
+        let plain = matcher().run(&text, approach).unwrap();
+
+        // Introspection armed (per-set cache counters, bank histograms,
+        // DRAM busy intervals, per-row fetch counts): the probe observes
+        // the simulation but never feeds back into it, so every stat is
+        // bit-identical to the unprobed run.
+        let probed = matcher()
+            .run_opts(
+                &text,
+                approach,
+                RunOptions {
+                    record: true,
+                    watchdog_cycles: None,
+                    trace: None,
+                    introspect: Some(IntrospectConfig::default()),
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            probed.stats, plain.stats,
+            "{approach:?}: stats drifted with introspection armed"
+        );
+        assert_eq!(probed.matches, plain.matches, "{approach:?}");
+        assert_eq!(probed.match_events, plain.match_events, "{approach:?}");
+        assert!(plain.introspection.is_none());
+
+        // The snapshot is present and internally consistent: per-set
+        // counters sum exactly to each cache's aggregate stats.
+        let intro = probed.introspection.expect("introspection requested");
+        assert!(!intro.per_sm.is_empty(), "{approach:?}: empty snapshot");
+        for sm in &intro.per_sm {
+            for (sets, agg, which) in [
+                (&sm.tex_l1_sets, &sm.tex_l1, "L1"),
+                (&sm.tex_l2_sets, &sm.tex_l2, "L2"),
+            ] {
+                let accesses: u64 = sets.iter().map(|s| s.accesses).sum();
+                let hits: u64 = sets.iter().map(|s| s.hits).sum();
+                let evictions: u64 = sets.iter().map(|s| s.evictions).sum();
+                assert_eq!(
+                    accesses, agg.accesses,
+                    "{approach:?} SM {} {which}: per-set accesses != aggregate",
+                    sm.sm
+                );
+                assert_eq!(hits, agg.hits, "{approach:?} SM {} {which}", sm.sm);
+                assert!(
+                    evictions <= agg.misses,
+                    "{approach:?} SM {} {which}: more evictions than misses",
+                    sm.sm
+                );
+            }
+        }
     }
 }
 
