@@ -33,6 +33,7 @@
 pub mod error;
 pub mod kernels;
 pub mod layout;
+pub mod multistream;
 pub mod readback;
 pub mod runner;
 pub mod stream;
@@ -45,6 +46,7 @@ pub use kernels::{
     SharedVariant,
 };
 pub use layout::{DiagonalMap, KernelParams, LinearMap, Plan};
+pub use multistream::{run_multistream, MultiStreamConfig, MultiStreamRun};
 pub use readback::ReadbackCorruption;
 pub use runner::{Approach, GpuAcMatcher, GpuRun, RunOptions};
 pub use stream::{run_streamed, run_streamed_supervised, PcieConfig, StreamedRun};

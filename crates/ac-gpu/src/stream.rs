@@ -181,14 +181,33 @@ fn run_streamed_inner(
     matches.sort();
     matches.dedup();
 
-    // Double-buffered pipeline.
-    let mut pipelined = copy_times[0];
+    // Double-buffered pipeline, scheduled on the stream engine: two
+    // in-order streams, segment i's kernel on stream i%2, segment i+1's
+    // upload issued before kernel i so the single DMA engine overlaps it
+    // with the running kernel. This schedule reproduces the classic
+    // closed form `copy(0) + Σ max(kernel_i, copy_{i+1})` bit-for-bit
+    // (pinned by `engine_schedule_matches_closed_formula`).
+    let mut eng = gpu_sim::StreamEngine::new(2);
+    eng.submit(0, gpu_sim::StreamOpKind::CopyH2D, "seg0", copy_times[0], 0);
     for (i, &kt) in kernel_times.iter().enumerate() {
-        let next_copy = copy_times.get(i + 1).copied().unwrap_or(0.0);
-        pipelined += kt.max(next_copy);
+        if let Some(&next_copy) = copy_times.get(i + 1) {
+            eng.submit(
+                ((i + 1) % 2) as u32,
+                gpu_sim::StreamOpKind::CopyH2D,
+                &format!("seg{}", i + 1),
+                next_copy,
+                0,
+            );
+        }
+        eng.submit(
+            (i % 2) as u32,
+            gpu_sim::StreamOpKind::Kernel,
+            &format!("seg{i}"),
+            kt,
+            0,
+        );
     }
-    // Correction: the last stage is the final kernel alone (the loop above
-    // already handles it because next_copy is 0 there).
+    let pipelined = eng.finish().total_seconds();
 
     let stt_copy_seconds = pcie.copy_seconds(matcher.automaton().stt().size_bytes());
 
@@ -326,6 +345,50 @@ mod tests {
         assert_eq!(reports.len(), r.segments);
         let total_retries: u32 = reports.iter().map(|rep| rep.retries).sum();
         assert_eq!(total_retries, 2);
+    }
+
+    #[test]
+    fn engine_schedule_matches_closed_formula() {
+        let m = matcher();
+        let pcie = PcieConfig::gen2_x16();
+        // Uneven tail segments and both copy-bound and kernel-bound
+        // regimes; the engine schedule must equal the legacy closed form
+        // exactly, not within a tolerance.
+        for (len, segment) in [
+            (20_000usize, 3000usize),
+            (64 * 1024, 16 * 1024),
+            (5000, 8192),
+        ] {
+            let text: Vec<u8> = b"ushers rush home; his shelf, her shoes "
+                .iter()
+                .cycle()
+                .take(len)
+                .copied()
+                .collect();
+            let r = run_streamed(&m, &text, Approach::SharedDiagonal, segment, &pcie).unwrap();
+            // Reconstruct the per-segment times the run used.
+            let overlap = m.automaton().required_overlap();
+            let n = len.div_ceil(segment).max(1);
+            let mut expected = 0.0f64;
+            let mut copies = Vec::new();
+            let mut kernels = Vec::new();
+            for i in 0..n {
+                let start = i * segment;
+                let owned_end = ((i + 1) * segment).min(len);
+                let scan_end = (owned_end + overlap).min(len);
+                copies.push(pcie.copy_seconds(scan_end - start));
+                kernels.push(
+                    m.run(&text[start..scan_end], Approach::SharedDiagonal)
+                        .unwrap()
+                        .seconds(),
+                );
+            }
+            expected += copies[0];
+            for (i, &kt) in kernels.iter().enumerate() {
+                expected += kt.max(copies.get(i + 1).copied().unwrap_or(0.0));
+            }
+            assert_eq!(r.pipelined_seconds, expected, "len={len} segment={segment}");
+        }
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Coalescing jobs into one launch, and demuxing matches back out.
+//!
+//! Payloads are concatenated with `gap` padding bytes between
+//! consecutive jobs. With `gap = automaton.required_overlap()`
+//! (= max pattern length − 1), a match of length ≤ gap+1 cannot reach
+//! from one job across the whole gap into the next, so every device
+//! match lies inside at most one job span; [`demux_matches`] keeps
+//! exactly the matches fully inside a span and re-bases their offsets.
+//! Matches touching a gap (possible only if a pattern contains the pad
+//! byte) are not matches of any job's payload and are dropped.
+
+use crate::job::ScanJob;
+use ac_core::Match;
+
+/// Byte written into inter-job gaps.
+pub const PAD_BYTE: u8 = 0;
+
+/// Admission limits for one batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchLimits {
+    /// Maximum jobs coalesced into one launch (1 = per-job launches).
+    pub max_jobs: usize,
+    /// Maximum total payload bytes per launch.
+    pub max_bytes: usize,
+}
+
+impl BatchLimits {
+    /// Per-job launches: no coalescing.
+    pub fn per_job() -> Self {
+        BatchLimits {
+            max_jobs: 1,
+            max_bytes: usize::MAX,
+        }
+    }
+}
+
+/// Where one job landed inside the concatenated buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpan {
+    /// Job id.
+    pub id: u64,
+    /// First byte of the job's payload in the batch buffer.
+    pub offset: usize,
+    /// Payload length.
+    pub len: usize,
+}
+
+/// A concatenated launch buffer plus the map back to its jobs.
+#[derive(Debug, Clone)]
+pub struct AssembledBatch {
+    /// `payload₀ · gap · payload₁ · gap · …` (no trailing gap).
+    pub data: Vec<u8>,
+    /// One span per job, in batch order.
+    pub spans: Vec<JobSpan>,
+}
+
+impl AssembledBatch {
+    /// Total payload bytes (excluding gaps).
+    pub fn payload_bytes(&self) -> usize {
+        self.spans.iter().map(|s| s.len).sum()
+    }
+}
+
+/// Concatenate `jobs` with `gap` pad bytes between consecutive payloads.
+pub fn assemble_batch(jobs: &[ScanJob], gap: usize) -> AssembledBatch {
+    let total: usize = jobs.iter().map(|j| j.payload.len()).sum();
+    let mut data = Vec::with_capacity(total + gap * jobs.len().saturating_sub(1));
+    let mut spans = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        if i > 0 {
+            data.resize(data.len() + gap, PAD_BYTE);
+        }
+        spans.push(JobSpan {
+            id: job.id,
+            offset: data.len(),
+            len: job.payload.len(),
+        });
+        data.extend_from_slice(&job.payload);
+    }
+    AssembledBatch { data, spans }
+}
+
+/// Split batch-level matches back into per-job match lists (batch order),
+/// offsets re-based to each job's own coordinates.
+pub fn demux_matches(matches: &[Match], spans: &[JobSpan]) -> Vec<Vec<Match>> {
+    let mut per_job: Vec<Vec<Match>> = vec![Vec::new(); spans.len()];
+    // Both matches (sorted by start) and spans (batch order) ascend, so a
+    // single cursor suffices: skip spans that end at or before the match's
+    // start, then test containment in the one span that could hold it.
+    let mut cursor = 0usize;
+    for m in matches {
+        while cursor < spans.len() && spans[cursor].offset + spans[cursor].len <= m.start {
+            cursor += 1;
+        }
+        if cursor == spans.len() {
+            break;
+        }
+        let s = spans[cursor];
+        if m.start >= s.offset && m.end <= s.offset + s.len {
+            per_job[cursor].push(Match {
+                pattern: m.pattern,
+                start: m.start - s.offset,
+                end: m.end - s.offset,
+            });
+        }
+    }
+    per_job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, payload: &[u8]) -> ScanJob {
+        ScanJob {
+            id,
+            payload: payload.to_vec(),
+            arrival_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn assemble_layout_and_gaps() {
+        let jobs = [job(1, b"abc"), job(2, b"de"), job(3, b"")];
+        let b = assemble_batch(&jobs, 2);
+        assert_eq!(b.data, b"abc\0\0de\0\0");
+        assert_eq!(
+            b.spans,
+            vec![
+                JobSpan {
+                    id: 1,
+                    offset: 0,
+                    len: 3
+                },
+                JobSpan {
+                    id: 2,
+                    offset: 5,
+                    len: 2
+                },
+                JobSpan {
+                    id: 3,
+                    offset: 9,
+                    len: 0
+                },
+            ]
+        );
+        assert_eq!(b.payload_bytes(), 5);
+    }
+
+    #[test]
+    fn single_job_has_no_gap() {
+        let b = assemble_batch(&[job(7, b"xyz")], 4);
+        assert_eq!(b.data, b"xyz");
+    }
+
+    #[test]
+    fn demux_rebases_and_drops_gap_matches() {
+        let spans = [
+            JobSpan {
+                id: 1,
+                offset: 0,
+                len: 4,
+            },
+            JobSpan {
+                id: 2,
+                offset: 6,
+                len: 3,
+            },
+        ];
+        let matches = [
+            Match {
+                pattern: 0,
+                start: 1,
+                end: 3,
+            }, // inside job 1
+            Match {
+                pattern: 1,
+                start: 3,
+                end: 7,
+            }, // straddles the gap → dropped
+            Match {
+                pattern: 0,
+                start: 4,
+                end: 6,
+            }, // wholly in the gap → dropped
+            Match {
+                pattern: 2,
+                start: 6,
+                end: 9,
+            }, // job 2, rebased to 0..3
+        ];
+        let per_job = demux_matches(&matches, &spans);
+        assert_eq!(
+            per_job[0],
+            vec![Match {
+                pattern: 0,
+                start: 1,
+                end: 3
+            }]
+        );
+        assert_eq!(
+            per_job[1],
+            vec![Match {
+                pattern: 2,
+                start: 0,
+                end: 3
+            }]
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Scan jobs and their per-job outcomes.
+
+use ac_core::Match;
+
+/// One small scan request: a payload to match and the simulated time it
+/// arrives at the server (open-loop workload).
+#[derive(Debug, Clone)]
+pub struct ScanJob {
+    /// Caller-visible identifier, unique within a workload.
+    pub id: u64,
+    /// Bytes to scan.
+    pub payload: Vec<u8>,
+    /// Arrival time on the simulated clock, seconds.
+    pub arrival_seconds: f64,
+}
+
+/// The served result of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job this answers.
+    pub id: u64,
+    /// Matches in the job's own coordinates.
+    pub matches: Vec<Match>,
+    /// Completion time on the simulated clock, seconds.
+    pub completed_seconds: f64,
+    /// `completed_seconds - arrival_seconds`.
+    pub latency_seconds: f64,
+    /// How many jobs shared this job's kernel launch.
+    pub batch_jobs: usize,
+    /// Stream the batch ran on.
+    pub stream: u32,
+}

@@ -1,0 +1,37 @@
+//! # ac-serve — batched request serving over the multi-stream GPU engine
+//!
+//! The paper reports kernel-only throughput on one large resident input;
+//! the ROADMAP's north star is "serve heavy traffic from millions of
+//! users", which is the opposite regime: many *small* scan jobs arriving
+//! continuously. Two classic techniques close the gap, and this crate
+//! simulates both end to end:
+//!
+//! * **batching** ([`batch`]) — coalesce queued jobs into one kernel
+//!   launch by concatenating payloads with `required_overlap()`-byte
+//!   padding gaps (so no match can straddle two jobs), then demux device
+//!   matches back to per-job results with offsets re-based;
+//! * **streams** ([`sim`]) — dispatch batches round-robin across N
+//!   in-order streams on the [`gpu_sim::StreamEngine`] so one batch's
+//!   PCIe copies overlap another's kernel, subject to the GT200's single
+//!   DMA engine.
+//!
+//! Admission is bounded ([`queue`]): when the queue is full, new jobs are
+//! rejected with a typed [`Overloaded`] instead of growing latency without
+//! bound. [`ServeReport`] summarises a run — p50/p99 simulated latency,
+//! jobs/sec, effective Gbps, batch-size histogram — and is what
+//! `acsim serve-sim` prints and the bench serving scenario records.
+
+pub mod batch;
+pub mod job;
+pub mod queue;
+pub mod report;
+pub mod sim;
+pub mod workload;
+
+pub use batch::{assemble_batch, demux_matches, AssembledBatch, BatchLimits, JobSpan};
+pub use job::{JobOutcome, ScanJob};
+pub use queue::{BoundedQueue, Overloaded};
+pub use report::{BatchBucket, ServeReport};
+pub use sim::ServeRun;
+pub use sim::{serve, ServeConfig};
+pub use workload::{serve_automaton, synthetic_workload, WorkloadConfig, DEFAULT_PATTERNS};

@@ -1,0 +1,131 @@
+//! Bounded admission queue — backpressure instead of unbounded latency.
+
+use crate::job::ScanJob;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A job was rejected because the queue was full when it arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The rejected job.
+    pub job_id: u64,
+    /// Queue occupancy at rejection time (== capacity).
+    pub queue_len: usize,
+    /// The configured bound.
+    pub capacity: usize,
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} rejected: queue full ({}/{})",
+            self.job_id, self.queue_len, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// FIFO queue that admits at most `capacity` waiting jobs.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    jobs: VecDeque<ScanJob>,
+    capacity: usize,
+}
+
+impl BoundedQueue {
+    /// A queue bounded to `capacity` waiting jobs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            jobs: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit a job, or reject it with [`Overloaded`] when full.
+    pub fn push(&mut self, job: ScanJob) -> Result<(), Overloaded> {
+        if self.jobs.len() >= self.capacity {
+            return Err(Overloaded {
+                job_id: job.id,
+                queue_len: self.jobs.len(),
+                capacity: self.capacity,
+            });
+        }
+        self.jobs.push_back(job);
+        Ok(())
+    }
+
+    /// Next job in FIFO order.
+    pub fn pop(&mut self) -> Option<ScanJob> {
+        self.jobs.pop_front()
+    }
+
+    /// Arrival time of the job at the head, if any.
+    pub fn head_arrival(&self) -> Option<f64> {
+        self.jobs.front().map(|j| j.arrival_seconds)
+    }
+
+    /// Payload length of the job at the head, if any.
+    pub fn head_payload_len(&self) -> Option<usize> {
+        self.jobs.front().map(|j| j.payload.len())
+    }
+
+    /// Waiting jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64) -> ScanJob {
+        ScanJob {
+            id,
+            payload: vec![b'x'],
+            arrival_seconds: id as f64,
+        }
+    }
+
+    #[test]
+    fn fifo_and_backpressure() {
+        let mut q = BoundedQueue::new(2);
+        q.push(job(1)).unwrap();
+        q.push(job(2)).unwrap();
+        let err = q.push(job(3)).unwrap_err();
+        assert_eq!(
+            err,
+            Overloaded {
+                job_id: 3,
+                queue_len: 2,
+                capacity: 2
+            }
+        );
+        assert!(err.to_string().contains("job 3 rejected"));
+        assert_eq!(q.pop().unwrap().id, 1);
+        // A slot freed up: admission resumes.
+        q.push(job(3)).unwrap();
+        assert_eq!(q.head_arrival(), Some(2.0));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(job(1)).unwrap();
+        assert!(q.push(job(2)).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! The serving summary: latency percentiles, throughput, batching shape.
+
+use serde::{Deserialize, Serialize};
+
+/// One bar of the batch-size histogram: `count` batches carried `jobs`
+/// jobs each.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchBucket {
+    /// Jobs per batch.
+    pub jobs: usize,
+    /// How many batches had exactly that many jobs.
+    pub count: u64,
+}
+
+/// Summary of one serve simulation, printed by `acsim serve-sim` and
+/// recorded in the bench serving scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Streams used.
+    pub streams: u32,
+    /// Whether the batcher coalesced jobs (false = per-job launches).
+    pub batched: bool,
+    /// Jobs offered by the workload.
+    pub jobs_submitted: u64,
+    /// Jobs served to completion.
+    pub jobs_completed: u64,
+    /// Jobs rejected by backpressure.
+    pub jobs_rejected: u64,
+    /// Kernel launches issued.
+    pub batches: u64,
+    /// Simulated wall time from first arrival to last completion.
+    pub makespan_seconds: f64,
+    /// Median completion latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile completion latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Mean completion latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Completed jobs per simulated second.
+    pub jobs_per_sec: f64,
+    /// Payload bits served per simulated second, in Gbit/s.
+    pub effective_gbps: f64,
+    /// Total payload bytes of completed jobs.
+    pub payload_bytes: u64,
+    /// Fraction of the makespan the DMA engine was busy.
+    pub copy_utilisation: f64,
+    /// Fraction of the makespan the compute engine was busy.
+    pub compute_utilisation: f64,
+    /// Batch-size distribution, ascending by `jobs`.
+    pub batch_histogram: Vec<BatchBucket>,
+}
+
+impl ServeReport {
+    /// Pretty JSON for artifacts and `--report` output.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Parse a previously written report.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample, `p` in [0, 100].
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 50.0), 50.0);
+        assert_eq!(percentile(&s, 99.0), 99.0);
+        assert_eq!(percentile(&s, 100.0), 100.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = ServeReport {
+            streams: 4,
+            batched: true,
+            jobs_submitted: 10,
+            jobs_completed: 9,
+            jobs_rejected: 1,
+            batches: 3,
+            makespan_seconds: 0.5,
+            p50_latency_us: 100.0,
+            p99_latency_us: 900.0,
+            mean_latency_us: 200.0,
+            jobs_per_sec: 18.0,
+            effective_gbps: 1.5,
+            payload_bytes: 9000,
+            copy_utilisation: 0.4,
+            compute_utilisation: 0.8,
+            batch_histogram: vec![BatchBucket { jobs: 3, count: 3 }],
+        };
+        let back = ServeReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,357 @@
+//! The serve loop: admit → batch → dispatch on a stream → demux.
+//!
+//! A greedy open-loop server: whenever a stream frees up, every job that
+//! has arrived by then is admitted (or rejected by backpressure), the
+//! queue's head run is coalesced up to the batch limits, and the batch's
+//! `h2d → kernel → d2h` chain is dispatched on that stream. Batch size
+//! therefore adapts to backlog — an idle server launches singleton
+//! batches immediately, a busy one amortises launches over whatever
+//! queued up — which is the whole p99 argument for batching.
+//!
+//! Issue order matters on a single-DMA-engine device: the copy engine is
+//! a FIFO, so enqueueing a batch's `d2h` right behind its kernel would
+//! park the engine until that kernel finishes and block the *next*
+//! batch's `h2d` (the classic GT200 false-serialisation). The loop
+//! therefore issues staged: each stream's `d2h` is held back and only
+//! enqueued when that stream is next reused (or at drain), so uploads
+//! for other streams slot into the gap and copies genuinely overlap
+//! compute. With one stream the flush lands immediately before the next
+//! upload, reproducing the strictly serial order.
+
+use crate::batch::{assemble_batch, demux_matches, BatchLimits};
+use crate::job::{JobOutcome, ScanJob};
+use crate::queue::{BoundedQueue, Overloaded};
+use crate::report::{percentile, BatchBucket, ServeReport};
+use ac_gpu::multistream::readback_bytes;
+use ac_gpu::{Approach, GpuAcMatcher, GpuError, PcieConfig};
+use gpu_sim::{EngineKind, StreamEngine, StreamOpKind, StreamTimeline};
+use std::collections::BTreeMap;
+
+/// Server policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Streams to dispatch across.
+    pub streams: u32,
+    /// Bounded-queue capacity (jobs waiting, beyond the one being formed).
+    pub queue_capacity: usize,
+    /// Batch coalescing limits ([`BatchLimits::per_job`] disables).
+    pub limits: BatchLimits,
+    /// Host↔device link model.
+    pub pcie: PcieConfig,
+    /// Kernel approach for every launch.
+    pub approach: Approach,
+}
+
+impl ServeConfig {
+    /// Batched serving on `streams` streams with repo-default knobs.
+    pub fn new(streams: u32) -> Self {
+        ServeConfig {
+            streams,
+            queue_capacity: 256,
+            limits: BatchLimits {
+                max_jobs: 32,
+                max_bytes: 1 << 20,
+            },
+            pcie: PcieConfig::gen2_x16(),
+            approach: Approach::SharedDiagonal,
+        }
+    }
+
+    /// Same server but per-job launches (the batching ablation).
+    pub fn per_job(mut self) -> Self {
+        self.limits = BatchLimits::per_job();
+        self
+    }
+}
+
+/// Everything a serve simulation produced.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// The summary (latency percentiles, throughput, histogram).
+    pub report: ServeReport,
+    /// Per-job results in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Jobs refused by backpressure.
+    pub rejections: Vec<Overloaded>,
+    /// The scheduled op timeline (Chrome-trace exportable).
+    pub timeline: StreamTimeline,
+}
+
+/// Serve `jobs` (an open-loop arrival sequence) through `matcher`.
+pub fn serve(
+    matcher: &GpuAcMatcher,
+    mut jobs: Vec<ScanJob>,
+    cfg: &ServeConfig,
+) -> Result<ServeRun, GpuError> {
+    cfg.pcie.validate()?;
+    jobs.sort_by(|a, b| {
+        a.arrival_seconds
+            .partial_cmp(&b.arrival_seconds)
+            .expect("arrival times are finite")
+            .then(a.id.cmp(&b.id))
+    });
+    let submitted = jobs.len() as u64;
+    let gap = matcher.automaton().required_overlap();
+    let max_jobs = cfg.limits.max_jobs.max(1);
+
+    let mut engine = StreamEngine::new(cfg.streams);
+    let mut queue = BoundedQueue::new(cfg.queue_capacity);
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+    let mut rejections = Vec::new();
+    let mut histogram: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut batches = 0u64;
+    let mut payload_bytes = 0u64;
+    let mut next = 0usize;
+    let mut pending: Vec<Option<PendingReadback>> = (0..cfg.streams.max(1)).map(|_| None).collect();
+
+    loop {
+        if queue.is_empty() {
+            if next >= jobs.len() {
+                break;
+            }
+            queue
+                .push(jobs[next].clone())
+                .expect("empty queue admits one job");
+            next += 1;
+        }
+        let (stream, free) = engine.next_free_stream();
+        let dispatch = free.max(queue.head_arrival().expect("queue is non-empty"));
+        // Reusing this stream: its held readback goes first, so the new
+        // upload queues behind it on both the stream and the copy engine.
+        if let Some(p) = pending[stream as usize].take() {
+            flush_readback(&mut engine, &mut outcomes, p);
+        }
+        // Everything that arrived while the stream was busy is admitted
+        // now (or bounced off the full queue).
+        while next < jobs.len() && jobs[next].arrival_seconds <= dispatch {
+            if let Err(e) = queue.push(jobs[next].clone()) {
+                rejections.push(e);
+            }
+            next += 1;
+        }
+
+        // Coalesce the backlog head into one launch.
+        let mut batch = vec![queue.pop().expect("queue is non-empty")];
+        let mut batch_bytes = batch[0].payload.len();
+        while batch.len() < max_jobs {
+            match queue.head_payload_len() {
+                Some(len) if batch_bytes + len <= cfg.limits.max_bytes => {
+                    batch_bytes += len;
+                    batch.push(queue.pop().expect("head exists"));
+                }
+                _ => break,
+            }
+        }
+
+        let assembled = assemble_batch(&batch, gap);
+        let run = matcher.run(&assembled.data, cfg.approach)?;
+        let per_job = demux_matches(&run.matches, &assembled.spans);
+
+        let label = format!("batch{batches}");
+        let h2d = cfg.pcie.copy_seconds(assembled.data.len());
+        let rb_bytes = readback_bytes(run.match_events);
+        let d2h = cfg.pcie.copy_seconds(rb_bytes as usize);
+        engine.submit_at(
+            stream,
+            StreamOpKind::CopyH2D,
+            &label,
+            h2d,
+            assembled.data.len() as u64,
+            dispatch,
+        );
+        engine.submit(stream, StreamOpKind::Kernel, &label, run.seconds(), 0);
+
+        batches += 1;
+        payload_bytes += batch_bytes as u64;
+        *histogram.entry(batch.len()).or_insert(0) += 1;
+        pending[stream as usize] = Some(PendingReadback {
+            stream,
+            label,
+            d2h_seconds: d2h,
+            rb_bytes,
+            batch,
+            per_job,
+        });
+    }
+
+    // Drain: no more uploads will fill the copy-engine gaps, so flush the
+    // held readbacks in the order their kernels finish.
+    let mut leftovers: Vec<PendingReadback> = pending.iter_mut().filter_map(Option::take).collect();
+    leftovers.sort_by(|a, b| {
+        engine
+            .stream_ready(a.stream)
+            .partial_cmp(&engine.stream_ready(b.stream))
+            .expect("sim times are finite")
+    });
+    for p in leftovers {
+        flush_readback(&mut engine, &mut outcomes, p);
+    }
+
+    let timeline = engine.finish();
+    let makespan = timeline.total_seconds();
+    let latencies_us: Vec<f64> = outcomes.iter().map(|o| o.latency_seconds * 1.0e6).collect();
+    let report = ServeReport {
+        streams: timeline.streams,
+        batched: max_jobs > 1,
+        jobs_submitted: submitted,
+        jobs_completed: outcomes.len() as u64,
+        jobs_rejected: rejections.len() as u64,
+        batches,
+        makespan_seconds: makespan,
+        p50_latency_us: percentile(&latencies_us, 50.0),
+        p99_latency_us: percentile(&latencies_us, 99.0),
+        mean_latency_us: if latencies_us.is_empty() {
+            0.0
+        } else {
+            latencies_us.iter().sum::<f64>() / latencies_us.len() as f64
+        },
+        jobs_per_sec: rate(outcomes.len() as f64, makespan),
+        effective_gbps: rate(payload_bytes as f64 * 8.0 / 1.0e9, makespan),
+        payload_bytes,
+        copy_utilisation: timeline.utilisation(EngineKind::Copy),
+        compute_utilisation: timeline.utilisation(EngineKind::Compute),
+        batch_histogram: histogram
+            .into_iter()
+            .map(|(jobs, count)| BatchBucket { jobs, count })
+            .collect(),
+    };
+    Ok(ServeRun {
+        report,
+        outcomes,
+        rejections,
+        timeline,
+    })
+}
+
+/// A batch whose kernel has been issued but whose readback is held
+/// until its stream is reused (staged issue, see module docs).
+struct PendingReadback {
+    stream: u32,
+    label: String,
+    d2h_seconds: f64,
+    rb_bytes: u64,
+    batch: Vec<ScanJob>,
+    per_job: Vec<Vec<ac_core::Match>>,
+}
+
+/// Enqueue the held `d2h` and record its jobs' outcomes.
+fn flush_readback(engine: &mut StreamEngine, outcomes: &mut Vec<JobOutcome>, p: PendingReadback) {
+    engine.submit(
+        p.stream,
+        StreamOpKind::CopyD2H,
+        &p.label,
+        p.d2h_seconds,
+        p.rb_bytes,
+    );
+    let done = engine.stream_ready(p.stream);
+    let batch_jobs = p.batch.len();
+    for (job, matches) in p.batch.into_iter().zip(p.per_job) {
+        outcomes.push(JobOutcome {
+            id: job.id,
+            matches,
+            completed_seconds: done,
+            latency_seconds: done - job.arrival_seconds,
+            batch_jobs,
+            stream: p.stream,
+        });
+    }
+}
+
+fn rate(amount: f64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        amount / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{synthetic_workload, WorkloadConfig};
+    use ac_core::{AcAutomaton, PatternSet};
+    use ac_gpu::KernelParams;
+    use gpu_sim::GpuConfig;
+
+    fn matcher() -> GpuAcMatcher {
+        let cfg = GpuConfig::gtx285();
+        let ac = AcAutomaton::build(
+            &PatternSet::from_strs(&["the", "and", "ing", "tion", "her"]).unwrap(),
+        );
+        GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap()
+    }
+
+    fn tiny_workload() -> Vec<ScanJob> {
+        synthetic_workload(&WorkloadConfig {
+            jobs: 12,
+            arrival_rate_per_sec: 2000,
+            job_bytes: 4096,
+            seed: 9,
+        })
+    }
+
+    #[test]
+    fn serves_every_job_with_oracle_matches() {
+        let m = matcher();
+        let jobs = tiny_workload();
+        let run = serve(&m, jobs.clone(), &ServeConfig::new(2)).unwrap();
+        assert_eq!(run.report.jobs_completed, jobs.len() as u64);
+        assert_eq!(run.report.jobs_rejected, 0);
+        for job in &jobs {
+            let out = run.outcomes.iter().find(|o| o.id == job.id).unwrap();
+            let mut expect = m.automaton().find_all(&job.payload);
+            expect.sort();
+            let mut got = out.matches.clone();
+            got.sort();
+            assert_eq!(got, expect, "job {}", job.id);
+            assert!(out.latency_seconds > 0.0);
+        }
+        let hist_total: u64 = run.report.batch_histogram.iter().map(|b| b.count).sum();
+        assert_eq!(hist_total, run.report.batches);
+    }
+
+    #[test]
+    fn per_job_mode_never_coalesces() {
+        let m = matcher();
+        let run = serve(&m, tiny_workload(), &ServeConfig::new(1).per_job()).unwrap();
+        assert!(!run.report.batched);
+        assert_eq!(run.report.batches, run.report.jobs_completed);
+        assert!(run.outcomes.iter().all(|o| o.batch_jobs == 1));
+    }
+
+    #[test]
+    fn single_stream_timeline_has_no_overlap() {
+        let m = matcher();
+        let run = serve(&m, tiny_workload(), &ServeConfig::new(1)).unwrap();
+        // One in-order stream: ops execute back to back (plus arrival
+        // idle gaps), so busy time never exceeds the makespan and no two
+        // ops overlap.
+        let mut ops = run.timeline.ops.clone();
+        ops.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        for w in ops.windows(2) {
+            assert!(w[0].end <= w[1].start + 1e-15);
+        }
+    }
+
+    #[test]
+    fn tiny_queue_rejects_under_burst() {
+        let m = matcher();
+        // Everything arrives at t=0; capacity 2 must bounce most of it.
+        let jobs: Vec<ScanJob> = (0..10)
+            .map(|id| ScanJob {
+                id,
+                payload: b"the thing and her".to_vec(),
+                arrival_seconds: 0.0,
+            })
+            .collect();
+        let mut cfg = ServeConfig::new(1).per_job();
+        cfg.queue_capacity = 2;
+        let run = serve(&m, jobs, &cfg).unwrap();
+        assert!(run.report.jobs_rejected > 0);
+        assert_eq!(
+            run.report.jobs_completed + run.report.jobs_rejected,
+            run.report.jobs_submitted
+        );
+        assert!(run.rejections.iter().all(|r| r.capacity == 2));
+    }
+}

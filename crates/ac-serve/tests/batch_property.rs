@@ -1,0 +1,98 @@
+//! Satellite property: batching K jobs with `required_overlap()`-byte
+//! gaps and demuxing the device matches yields *exactly* the union of the
+//! per-job match sets — offsets re-based, nothing lost, and no
+//! gap-straddling false positives even when patterns contain the pad
+//! byte itself.
+
+use ac_core::{AcAutomaton, Match, PatternSet};
+use ac_gpu::{Approach, GpuAcMatcher, KernelParams};
+use ac_serve::{assemble_batch, demux_matches, ScanJob};
+use gpu_sim::GpuConfig;
+use proptest::prelude::*;
+
+fn matcher(patterns: &[&[u8]]) -> GpuAcMatcher {
+    let cfg = GpuConfig::gtx285();
+    let ac = AcAutomaton::build(&PatternSet::new(patterns.iter().copied()).unwrap());
+    GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap()
+}
+
+/// Map raw proptest bytes onto a tiny alphabet that actually hits the
+/// pattern set (plus the pad byte, to provoke gap interactions).
+fn alphabetize(raw: &[u8]) -> Vec<u8> {
+    const ALPHABET: &[u8] = b"hers i\0";
+    raw.iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()])
+        .collect()
+}
+
+fn jobs_from(payloads: &[Vec<u8>]) -> Vec<ScanJob> {
+    payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ScanJob {
+            id: i as u64,
+            payload: alphabetize(p),
+            arrival_seconds: 0.0,
+        })
+        .collect()
+}
+
+/// The CPU oracle for one job, sorted like the demuxed output.
+fn oracle(ac: &AcAutomaton, payload: &[u8]) -> Vec<Match> {
+    let mut m = ac.find_all(payload);
+    m.sort();
+    m
+}
+
+fn check_batch_equals_union(m: &GpuAcMatcher, jobs: &[ScanJob]) -> Result<(), TestCaseError> {
+    let gap = m.automaton().required_overlap();
+    let assembled = assemble_batch(jobs, gap);
+    let run = m
+        .run(&assembled.data, Approach::SharedDiagonal)
+        .expect("batched launch");
+    let mut batch_matches = run.matches;
+    batch_matches.sort();
+    let per_job = demux_matches(&batch_matches, &assembled.spans);
+    prop_assert_eq!(per_job.len(), jobs.len());
+    for (job, got) in jobs.iter().zip(&per_job) {
+        let mut got = got.clone();
+        got.sort();
+        prop_assert_eq!(got, oracle(m.automaton(), &job.payload), "job {}", job.id);
+    }
+    // Conservation: every batch match either landed in exactly one job or
+    // touched a gap; the per-job total can only differ by dropped
+    // gap-touching matches.
+    let demuxed: usize = per_job.iter().map(|v| v.len()).sum();
+    prop_assert!(demuxed <= batch_matches.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_matches_are_exactly_the_per_job_union(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..120),
+            1..7,
+        ),
+    ) {
+        // Plain text patterns: gaps can never match.
+        let m = matcher(&[b"he", b"she", b"his", b"hers"]);
+        check_batch_equals_union(&m, &jobs_from(&payloads))?;
+    }
+
+    #[test]
+    fn pad_byte_patterns_cannot_leak_across_jobs(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..90),
+            2..6,
+        ),
+    ) {
+        // Adversarial: patterns containing the pad byte can match inside
+        // or across a gap on the device; demux must still report exactly
+        // the per-job oracle for every job.
+        let m = matcher(&[b"he", b"s\0h", b"\0\0", b"i\0"]);
+        check_batch_equals_union(&m, &jobs_from(&payloads))?;
+    }
+}

@@ -613,6 +613,16 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The serving scenario rides along on every run so the perf report
+    // always carries the batching/stream rows the bench gate diffs.
+    eprintln!("running serving scenarios (batched multi-stream server)");
+    match bench::serving_measurements() {
+        Ok(m) => measurements.extend(m),
+        Err(e) => {
+            eprintln!("error while running serving scenarios: {e}");
+            std::process::exit(1);
+        }
+    }
 
     for f in &set.figures {
         println!("{}", f.render());

@@ -281,6 +281,8 @@ mod tests {
             cycles,
             idle_cycles: 0,
             stalls: StallBreakdown::default(),
+            p99_latency_us: 0.0,
+            jobs_per_sec: 0.0,
         }
     }
 

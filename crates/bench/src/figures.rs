@@ -226,6 +226,8 @@ mod tests {
                 match_events: 0,
                 idle_cycles: 0,
                 stalls: Default::default(),
+                p99_latency_us: 0.0,
+                jobs_per_sec: 0.0,
             });
         }
         m

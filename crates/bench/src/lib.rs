@@ -23,6 +23,7 @@ pub mod diff;
 pub mod figures;
 pub mod measure;
 pub mod report;
+pub mod serving;
 pub mod verdict;
 pub mod whatif;
 pub mod workload;
@@ -31,6 +32,7 @@ pub use diff::{diff_reports, DiffEntry, DiffReport, DiffThresholds};
 pub use figures::{Figure, FigureSet};
 pub use measure::{Engine, EngineConfig, Measurement, Measurements};
 pub use report::{BenchReport, BenchRow};
+pub use serving::{serving_measurements, SERVING_SCENARIOS};
 pub use verdict::{evaluate, render, Outcome, Verdict};
 pub use whatif::{explain, explain_label, Knob, WhatIfReport, WhatIfRow};
 pub use workload::Workload;

@@ -38,6 +38,12 @@ pub struct Measurement {
     /// Attribution of `idle_cycles` by stall reason (GPU only).
     #[serde(default)]
     pub stalls: trace::StallBreakdown,
+    /// p99 job latency in µs (serving scenarios only).
+    #[serde(default)]
+    pub p99_latency_us: f64,
+    /// Completed jobs per simulated second (serving scenarios only).
+    #[serde(default)]
+    pub jobs_per_sec: f64,
 }
 
 /// The full record set of one engine run.
@@ -205,6 +211,8 @@ impl Engine {
             match_events: report.match_states,
             idle_cycles: 0,
             stalls: trace::StallBreakdown::default(),
+            p99_latency_us: 0.0,
+            jobs_per_sec: 0.0,
         }
     }
 
@@ -231,6 +239,8 @@ impl Engine {
             match_events: report.cores.iter().map(|r| r.match_states).sum(),
             idle_cycles: 0,
             stalls: trace::StallBreakdown::default(),
+            p99_latency_us: 0.0,
+            jobs_per_sec: 0.0,
         }
     }
 
@@ -257,6 +267,8 @@ impl Engine {
             match_events: run.match_events,
             idle_cycles: run.stats.totals.idle_cycles,
             stalls: run.stats.totals.stalls,
+            p99_latency_us: 0.0,
+            jobs_per_sec: 0.0,
         })
     }
 }

@@ -31,6 +31,12 @@ pub struct BenchRow {
     /// Stall-reason attribution of `idle_cycles`.
     #[serde(default)]
     pub stalls: StallBreakdown,
+    /// p99 job latency in µs (serving rows only, else 0).
+    #[serde(default)]
+    pub p99_latency_us: f64,
+    /// Completed jobs per simulated second (serving rows only, else 0).
+    #[serde(default)]
+    pub jobs_per_sec: f64,
 }
 
 /// A named, diffable perf report.
@@ -56,6 +62,8 @@ impl BenchReport {
                 cycles: r.cycles,
                 idle_cycles: r.idle_cycles,
                 stalls: r.stalls,
+                p99_latency_us: r.p99_latency_us,
+                jobs_per_sec: r.jobs_per_sec,
             })
             .collect();
         BenchReport {

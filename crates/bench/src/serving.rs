@@ -1,0 +1,101 @@
+//! The serving scenario: bench rows for the batched multi-stream server.
+//!
+//! Replays the default [`ac_serve`] workload through three server
+//! configurations — per-job launches on one stream, batched on one
+//! stream, batched on four streams — and flattens each [`ServeReport`]
+//! into a [`Measurement`] row. The rows land in `BENCH_<grid>.json`
+//! next to the kernel grid points, so the perf-regression gate
+//! (`acsim bench diff`) guards serving throughput (as `gbps`) and
+//! makespan (as `cycles`) exactly like it guards the kernels; the
+//! batching-vs-per-job p99 delta and the stream scaling are readable
+//! straight off the committed report via the `p99_latency_us` and
+//! `jobs_per_sec` columns.
+//!
+//! [`ServeReport`]: ac_serve::ServeReport
+
+use crate::measure::{Measurement, Measurements};
+use ac_gpu::{GpuAcMatcher, KernelParams};
+use ac_serve::{serve, serve_automaton, synthetic_workload, ServeConfig, WorkloadConfig};
+use gpu_sim::GpuConfig;
+
+/// The scenarios measured, as `(row label, streams, batched)`.
+pub const SERVING_SCENARIOS: [(&str, u32, bool); 3] = [
+    ("serve-perjob-s1", 1, false),
+    ("serve-batched-s1", 1, true),
+    ("serve-batched-s4", 4, true),
+];
+
+/// Run every serving scenario over the default workload and return one
+/// measurement row per scenario. Fully deterministic: same tree, same
+/// rows.
+pub fn serving_measurements() -> Result<Measurements, String> {
+    let gpu = GpuConfig::gtx285();
+    let workload = WorkloadConfig::defaults();
+    let ac = serve_automaton(ac_serve::DEFAULT_PATTERNS, workload.seed);
+    let matcher =
+        GpuAcMatcher::new(gpu, KernelParams::defaults_for(&gpu), ac).map_err(|e| e.to_string())?;
+    let jobs = synthetic_workload(&workload);
+
+    let mut out = Measurements::default();
+    for (label, streams, batched) in SERVING_SCENARIOS {
+        let mut cfg = ServeConfig::new(streams);
+        if !batched {
+            cfg = cfg.per_job();
+        }
+        let run = serve(&matcher, jobs.clone(), &cfg).map_err(|e| e.to_string())?;
+        let r = &run.report;
+        out.rows.push(Measurement {
+            size: r.payload_bytes as usize,
+            patterns: ac_serve::DEFAULT_PATTERNS,
+            approach: label.into(),
+            seconds: r.makespan_seconds,
+            gbps: r.effective_gbps,
+            cycles: (r.makespan_seconds * gpu.clock_hz).round() as u64,
+            cache_hit_rate: 0.0,
+            shared_conflicts: 0,
+            coalescing_ratio: 0.0,
+            match_events: run.outcomes.iter().map(|o| o.matches.len() as u64).sum(),
+            idle_cycles: 0,
+            stalls: trace::StallBreakdown::default(),
+            p99_latency_us: r.p99_latency_us,
+            jobs_per_sec: r.jobs_per_sec,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_rows_meet_the_headline_deltas() {
+        let m = serving_measurements().unwrap();
+        assert_eq!(m.rows.len(), SERVING_SCENARIOS.len());
+        let get = |label: &str| m.rows.iter().find(|r| r.approach == label).unwrap();
+        let perjob = get("serve-perjob-s1");
+        let batched = get("serve-batched-s1");
+        let streamed = get("serve-batched-s4");
+        // The two committed acceptance deltas: batching beats per-job
+        // launches on p99 latency, and 4 streams beat 1 on jobs/sec.
+        assert!(
+            batched.p99_latency_us < perjob.p99_latency_us,
+            "batched p99 {} !< per-job p99 {}",
+            batched.p99_latency_us,
+            perjob.p99_latency_us
+        );
+        assert!(
+            streamed.jobs_per_sec >= 1.5 * batched.jobs_per_sec,
+            "streams=4 {} jobs/s !>= 1.5x streams=1 {} jobs/s",
+            streamed.jobs_per_sec,
+            batched.jobs_per_sec
+        );
+    }
+
+    #[test]
+    fn serving_rows_are_deterministic() {
+        let a = serving_measurements().unwrap();
+        let b = serving_measurements().unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+}

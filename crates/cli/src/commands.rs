@@ -11,9 +11,13 @@ use std::path::Path;
 
 /// Run a parsed invocation, returning the text to print.
 pub fn run(opts: &Options) -> Result<String, String> {
-    // `bench diff` compares committed reports; no dictionary involved.
+    // `bench diff` compares committed reports; `serve-sim` extracts its
+    // dictionary from the synthetic corpus. Neither loads --patterns.
     if opts.command == Command::BenchDiff {
         return bench_diff_text(opts);
+    }
+    if opts.command == Command::ServeSim {
+        return serve_sim_text(opts);
     }
     let patterns = load_patterns(&opts.patterns)?;
     match opts.command {
@@ -99,7 +103,9 @@ pub fn run(opts: &Options) -> Result<String, String> {
             let ac = AcAutomaton::build(&patterns);
             explain_text(opts, &ac, &text, &device(opts.fermi))
         }
-        Command::BenchDiff => unreachable!("dispatched before pattern loading"),
+        Command::BenchDiff | Command::ServeSim => {
+            unreachable!("dispatched before pattern loading")
+        }
         Command::Compare => {
             let input = opts.input.as_ref().expect("validated by the parser");
             let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
@@ -336,6 +342,85 @@ fn bench_diff_text(opts: &Options) -> Result<String, String> {
     } else {
         Ok(out)
     }
+}
+
+/// Default dictionary size for `serve-sim`: small enough that the kernel
+/// runs near its peak rate, which is the regime where PCIe copies matter
+/// and stream overlap pays.
+const SERVE_PATTERNS: usize = ac_serve::DEFAULT_PATTERNS;
+
+/// `acsim serve-sim`: replay a deterministic open-loop workload of small
+/// scan jobs through the batched multi-stream server and render the
+/// [`ac_serve::ServeReport`].
+fn serve_sim_text(opts: &Options) -> Result<String, String> {
+    use ac_serve::{serve, synthetic_workload, ServeConfig, WorkloadConfig};
+    let cfg = device(opts.fermi);
+    let ac = ac_serve::serve_automaton(SERVE_PATTERNS, opts.serve_seed);
+    let matcher =
+        GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).map_err(|e| e.to_string())?;
+    let jobs = synthetic_workload(&WorkloadConfig {
+        jobs: opts.serve_jobs,
+        arrival_rate_per_sec: opts.serve_rate,
+        job_bytes: opts.serve_job_bytes,
+        seed: opts.serve_seed,
+    });
+    let mut serve_cfg = ServeConfig::new(opts.serve_streams);
+    serve_cfg.queue_capacity = opts.serve_queue_cap;
+    if opts.serve_no_batch {
+        serve_cfg = serve_cfg.per_job();
+    }
+    let run = serve(&matcher, jobs, &serve_cfg).map_err(|e| e.to_string())?;
+    let r = &run.report;
+    let mut out = format!(
+        "serve-sim: {} jobs offered at ~{}/s, {} stream(s), {}\n",
+        r.jobs_submitted,
+        opts.serve_rate,
+        r.streams,
+        if r.batched {
+            "adaptive batching"
+        } else {
+            "per-job launches"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  completed:   {} ({} rejected by backpressure), {} launch(es)",
+        r.jobs_completed, r.jobs_rejected, r.batches
+    );
+    let _ = writeln!(
+        out,
+        "  makespan:    {:.3} ms simulated   jobs/sec: {:.0}",
+        r.makespan_seconds * 1e3,
+        r.jobs_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "  latency:     p50 {:.0} µs   p99 {:.0} µs   mean {:.0} µs",
+        r.p50_latency_us, r.p99_latency_us, r.mean_latency_us
+    );
+    let _ = writeln!(
+        out,
+        "  effective:   {:.2} Gb/s over {} payload bytes",
+        r.effective_gbps, r.payload_bytes
+    );
+    let _ = writeln!(
+        out,
+        "  engines:     copy {:.0}% busy, compute {:.0}% busy",
+        r.copy_utilisation * 100.0,
+        r.compute_utilisation * 100.0
+    );
+    let hist: Vec<String> = r
+        .batch_histogram
+        .iter()
+        .map(|b| format!("{}×{}", b.count, b.jobs))
+        .collect();
+    let _ = writeln!(out, "  batch sizes: {} (count×jobs)", hist.join(" "));
+    if let Some(path) = &opts.report_out {
+        std::fs::write(path, r.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "report written: {}", path.display());
+    }
+    Ok(out)
 }
 
 /// `acsim explain`: the counterfactual knob sweep plus the spatial
@@ -907,6 +992,8 @@ mod tests {
             cycles,
             idle_cycles: 0,
             stalls: Default::default(),
+            p99_latency_us: 0.0,
+            jobs_per_sec: 0.0,
         };
         let old = BenchReport {
             name: "old".into(),
@@ -970,6 +1057,48 @@ mod tests {
         ])
         .unwrap();
         assert!(run(&opts).unwrap_err().contains("reading"));
+    }
+
+    #[test]
+    fn serve_sim_end_to_end_and_report_artifact() {
+        let report_p = write_tmp("serve14.json", b"");
+        let opts = parse([
+            "serve-sim",
+            "--jobs",
+            "8",
+            "--arrival-rate",
+            "2000",
+            "--streams",
+            "2",
+            "--job-bytes",
+            "4096",
+            "--report",
+            report_p.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("8 jobs offered"), "{out}");
+        assert!(out.contains("adaptive batching"), "{out}");
+        assert!(out.contains("jobs/sec:"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("report written:"), "{out}");
+        let json = std::fs::read_to_string(&report_p).unwrap();
+        let back = ac_serve::ServeReport::from_json(&json).expect("valid ServeReport JSON");
+        assert_eq!(back.jobs_submitted, 8);
+        assert_eq!(back.streams, 2);
+
+        // Per-job mode reports itself as such.
+        let opts = parse([
+            "serve-sim",
+            "--jobs",
+            "4",
+            "--job-bytes",
+            "2048",
+            "--no-batch",
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("per-job launches"), "{out}");
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub enum Command {
     /// Compare two committed `BENCH_*.json` reports under regression
     /// thresholds (`acsim bench diff OLD NEW`).
     BenchDiff,
+    /// Replay a synthetic open-loop serving workload through the batched
+    /// multi-stream server and print the ServeReport.
+    ServeSim,
 }
 
 /// Full parsed invocation.
@@ -118,6 +121,21 @@ pub struct Options {
     /// `bench diff` stall-mix shift threshold in tenths of a percentage
     /// point (100 = 10 pts).
     pub stall_shift_dpts: Option<u32>,
+    /// `serve-sim` jobs to generate.
+    pub serve_jobs: u64,
+    /// `serve-sim` mean arrival rate, jobs per simulated second. Stored as
+    /// an integer so `Options` stays `Eq`.
+    pub serve_rate: u64,
+    /// `serve-sim` stream count.
+    pub serve_streams: u32,
+    /// `serve-sim` workload seed.
+    pub serve_seed: u64,
+    /// `serve-sim` nominal job payload bytes.
+    pub serve_job_bytes: usize,
+    /// `serve-sim` bounded-queue capacity.
+    pub serve_queue_cap: usize,
+    /// `serve-sim`: per-job launches instead of adaptive batching.
+    pub serve_no_batch: bool,
 }
 
 /// A human-readable argument error.
@@ -142,6 +160,8 @@ pub const USAGE: &str = "usage:
   acsim explain --patterns FILE --input FILE [--engine gpu:*] [--fermi] [--csv-out FILE]
   acsim bench diff OLD.json NEW.json [--max-gbps-drop PCT] [--max-cycles-rise PCT]
                 [--max-stall-shift PTS] [--report FILE]
+  acsim serve-sim [--jobs N] [--arrival-rate R] [--streams S] [--seed N]
+                [--job-bytes N] [--queue-cap N] [--no-batch] [--fermi] [--report FILE]
   acsim dot     --patterns FILE
 engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed | gpu:pfac
 --resilient runs supervised GPU matching that degrades to the CPU engines on
@@ -154,7 +174,11 @@ Both need a simulated device, so they require a gpu:* engine or --resilient.
 `explain` reruns one kernel with single memory-hierarchy knobs perturbed and
 ranks what would make it faster; --csv-out dumps per-state fetch counts.
 `bench diff` compares two BENCH_*.json perf reports and exits non-zero when
-the candidate regresses past the thresholds (defaults: 5% / 5% / 10 pts).";
+the candidate regresses past the thresholds (defaults: 5% / 5% / 10 pts).
+`serve-sim` replays a deterministic open-loop workload of small scan jobs
+through the batched multi-stream server (--no-batch launches per job;
+--arrival-rate is jobs per simulated second) and prints the ServeReport;
+--report also writes it as JSON.";
 
 /// Parse an argument vector (without the program name).
 pub fn parse<I, S>(args: I) -> Result<Options, ParseError>
@@ -179,6 +203,7 @@ where
             }
             None => return Err(ParseError(format!("bench needs a subcommand\n{USAGE}"))),
         },
+        Some("serve-sim") => Command::ServeSim,
         Some(other) => return Err(ParseError(format!("unknown command '{other}'\n{USAGE}"))),
         None => return Err(ParseError(USAGE.into())),
     };
@@ -199,6 +224,26 @@ where
     let mut gbps_drop_pm: Option<u32> = None;
     let mut cycles_rise_pm: Option<u32> = None;
     let mut stall_shift_dpts: Option<u32> = None;
+    let mut serve_jobs = 512u64;
+    let mut serve_rate = 1_600_000u64;
+    let mut serve_streams = 4u32;
+    let mut serve_seed = 42u64;
+    let mut serve_job_bytes = 2048usize;
+    let mut serve_queue_cap = 256usize;
+    let mut serve_no_batch = false;
+    let mut serve_flag_seen = false;
+    fn number<T: std::str::FromStr>(
+        flag: &str,
+        raw: Option<impl AsRef<str>>,
+    ) -> Result<T, ParseError>
+    where
+        T::Err: fmt::Display,
+    {
+        raw.ok_or_else(|| ParseError(format!("{flag} needs a number")))?
+            .as_ref()
+            .parse()
+            .map_err(|e| ParseError(format!("bad {flag}: {e}")))
+    }
     // Thresholds arrive as human percentages/points but are stored ×10 as
     // integers so `Options` can stay `Eq`.
     fn tenths(flag: &str, raw: Option<impl AsRef<str>>) -> Result<u32, ParseError> {
@@ -284,6 +329,34 @@ where
                         .as_ref(),
                 ))
             }
+            "--jobs" => {
+                serve_jobs = number("--jobs", it.next())?;
+                serve_flag_seen = true;
+            }
+            "--arrival-rate" => {
+                serve_rate = number("--arrival-rate", it.next())?;
+                serve_flag_seen = true;
+            }
+            "--streams" => {
+                serve_streams = number("--streams", it.next())?;
+                serve_flag_seen = true;
+            }
+            "--seed" => {
+                serve_seed = number("--seed", it.next())?;
+                serve_flag_seen = true;
+            }
+            "--job-bytes" => {
+                serve_job_bytes = number("--job-bytes", it.next())?;
+                serve_flag_seen = true;
+            }
+            "--queue-cap" => {
+                serve_queue_cap = number("--queue-cap", it.next())?;
+                serve_flag_seen = true;
+            }
+            "--no-batch" => {
+                serve_no_batch = true;
+                serve_flag_seen = true;
+            }
             "--max-gbps-drop" => gbps_drop_pm = Some(tenths("--max-gbps-drop", it.next())?),
             "--max-cycles-rise" => cycles_rise_pm = Some(tenths("--max-cycles-rise", it.next())?),
             "--max-stall-shift" => stall_shift_dpts = Some(tenths("--max-stall-shift", it.next())?),
@@ -312,8 +385,31 @@ where
             "--max-gbps-drop/--max-cycles-rise/--max-stall-shift only apply to `bench diff`".into(),
         ));
     }
-    if report_out.is_some() && command != Command::BenchDiff {
-        return Err(ParseError("--report only applies to `bench diff`".into()));
+    if report_out.is_some() && !matches!(command, Command::BenchDiff | Command::ServeSim) {
+        return Err(ParseError(
+            "--report only applies to `bench diff` and `serve-sim`".into(),
+        ));
+    }
+    if serve_flag_seen && command != Command::ServeSim {
+        return Err(ParseError(
+            "--jobs/--arrival-rate/--streams/--seed/--job-bytes/--queue-cap/--no-batch only \
+             apply to `serve-sim`"
+                .into(),
+        ));
+    }
+    if command == Command::ServeSim {
+        if serve_jobs == 0 {
+            return Err(ParseError("--jobs must be positive".into()));
+        }
+        if serve_rate == 0 {
+            return Err(ParseError("--arrival-rate must be positive".into()));
+        }
+        if serve_streams == 0 {
+            return Err(ParseError("--streams must be positive".into()));
+        }
+        if serve_job_bytes == 0 {
+            return Err(ParseError("--job-bytes must be positive".into()));
+        }
     }
     if json && command != Command::Profile {
         return Err(ParseError("--json only applies to `profile`".into()));
@@ -326,8 +422,9 @@ where
             "explain perturbs GPU memory-hierarchy knobs: use a gpu:* engine".into(),
         ));
     }
-    let patterns = if command == Command::BenchDiff {
-        // `bench diff` works on committed reports, not a dictionary.
+    let patterns = if matches!(command, Command::BenchDiff | Command::ServeSim) {
+        // `bench diff` works on committed reports; `serve-sim` extracts
+        // its dictionary from the synthetic corpus.
         patterns.unwrap_or_default()
     } else {
         patterns.ok_or_else(|| ParseError("--patterns is required".into()))?
@@ -380,6 +477,13 @@ where
         gbps_drop_pm,
         cycles_rise_pm,
         stall_shift_dpts,
+        serve_jobs,
+        serve_rate,
+        serve_streams,
+        serve_seed,
+        serve_job_bytes,
+        serve_queue_cap,
+        serve_no_batch,
     })
 }
 
@@ -679,6 +783,68 @@ mod tests {
         let o = p(&["profile", "--patterns", "d", "--input", "i", "--json"]).unwrap();
         assert!(o.json);
         assert!(p(&["match", "--patterns", "d", "--input", "i", "--json"]).is_err());
+    }
+
+    #[test]
+    fn serve_sim_parses_with_defaults_and_overrides() {
+        let o = p(&["serve-sim"]).unwrap();
+        assert_eq!(o.command, Command::ServeSim);
+        assert_eq!(o.serve_jobs, 512);
+        assert_eq!(o.serve_rate, 1_600_000);
+        assert_eq!(o.serve_streams, 4);
+        assert_eq!(o.serve_seed, 42);
+        assert_eq!(o.serve_job_bytes, 2048);
+        assert_eq!(o.serve_queue_cap, 256);
+        assert!(!o.serve_no_batch);
+
+        let o = p(&[
+            "serve-sim",
+            "--jobs",
+            "100",
+            "--arrival-rate",
+            "9000",
+            "--streams",
+            "2",
+            "--seed",
+            "7",
+            "--job-bytes",
+            "8192",
+            "--queue-cap",
+            "16",
+            "--no-batch",
+            "--fermi",
+            "--report",
+            "serve.json",
+        ])
+        .unwrap();
+        assert_eq!(o.serve_jobs, 100);
+        assert_eq!(o.serve_rate, 9000);
+        assert_eq!(o.serve_streams, 2);
+        assert_eq!(o.serve_seed, 7);
+        assert_eq!(o.serve_job_bytes, 8192);
+        assert_eq!(o.serve_queue_cap, 16);
+        assert!(o.serve_no_batch);
+        assert!(o.fermi);
+        assert_eq!(
+            o.report_out.as_deref(),
+            Some(std::path::Path::new("serve.json"))
+        );
+    }
+
+    #[test]
+    fn serve_sim_flags_are_scoped_and_validated() {
+        // Serve flags leak nowhere else.
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--jobs", "3"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "--streams", "2"]).is_err());
+        assert!(p(&["stats", "--patterns", "d", "--no-batch"]).is_err());
+        // Zeroes are rejected.
+        assert!(p(&["serve-sim", "--jobs", "0"]).is_err());
+        assert!(p(&["serve-sim", "--arrival-rate", "0"]).is_err());
+        assert!(p(&["serve-sim", "--streams", "0"]).is_err());
+        assert!(p(&["serve-sim", "--job-bytes", "0"]).is_err());
+        // Missing operands are rejected.
+        assert!(p(&["serve-sim", "--jobs"]).is_err());
+        assert!(p(&["serve-sim", "--streams", "many"]).is_err());
     }
 
     #[test]

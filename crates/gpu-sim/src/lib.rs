@@ -21,7 +21,10 @@
 //!   wake-ups, producing the latency-hiding and saturation regimes of
 //!   paper Fig. 19;
 //! * **device façade** ([`device`]) — allocation, host↔device copies,
-//!   texture binding and kernel launches with CUDA-style occupancy limits.
+//!   texture binding and kernel launches with CUDA-style occupancy limits;
+//! * **streams** ([`stream`]) — in-order command queues overlapping
+//!   copies with compute across the GT200's single DMA engine plus one
+//!   compute engine, with events and a Chrome-trace timeline export.
 //!
 //! Timing is cycle-based and fully deterministic. Functional state (bytes
 //! in global/shared memory, texels) is real, so kernels produce real
@@ -62,6 +65,7 @@ pub mod kernel;
 pub mod scheduler;
 pub mod shared;
 pub mod stats;
+pub mod stream;
 pub mod texture;
 
 pub use config::GpuConfig;
@@ -74,6 +78,9 @@ pub use introspect::{IntrospectConfig, Introspection, SmIntrospection};
 pub use kernel::{StepOutcome, WarpCtx, WarpGeometry, WarpProgram};
 pub use shared::SharedMemory;
 pub use stats::{LaunchStats, LoadImbalance, SmStats};
+pub use stream::{
+    EngineKind, EventId, ScheduledOp, StreamEngine, StreamOpKind, StreamTimeline, PID_STREAM_BASE,
+};
 pub use texture::{TexId, Texture2d};
 
 pub use mem_sim::{BankHistogram, BusyInterval, CacheStats, Cycle, SetStats};

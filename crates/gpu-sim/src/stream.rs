@@ -1,0 +1,425 @@
+//! Streams: in-order command queues with cross-stream overlap.
+//!
+//! CUDA exposes concurrency between host↔device copies and kernel
+//! execution through *streams*: each stream is an in-order queue of
+//! operations, and operations from different streams may overlap when
+//! they occupy different hardware engines. On the GT200 there are exactly
+//! two such engines — one DMA copy engine and the compute engine — so at
+//! any instant at most one copy and one kernel are in flight, regardless
+//! of how many streams the host created. This module models that shape:
+//!
+//! * [`StreamEngine`] — a deterministic event-timeline scheduler. Ops are
+//!   submitted in host issue order; each op starts at the latest of its
+//!   stream's readiness (program order), its engine's availability (the
+//!   single DMA/compute queue is FIFO in issue order, which also
+//!   reproduces the classic head-of-line "false dependency" of
+//!   single-queue hardware), any awaited events, and an optional
+//!   host-side release time.
+//! * [`StreamTimeline`] — the scheduled ops with start/end times, busy
+//!   accounting per engine, and a Chrome trace-event export
+//!   ([`StreamTimeline::to_trace`]) whose rows are one pid per stream so
+//!   the overlap is visible in Perfetto.
+//!
+//! Time is modelled in *seconds* (f64) rather than device cycles because
+//! the timeline spans two clock domains — PCIe copies and kernel
+//! execution; the trace export quantizes to cycles only for display.
+//! Everything is deterministic: identical submissions yield identical
+//! timelines.
+
+use serde::{Deserialize, Serialize};
+use trace::{ArgValue, TraceBuffer, TraceConfig};
+
+/// First Chrome-trace pid used for per-stream rows (pids 0/1 are the
+/// host/device rows of kernel traces).
+pub const PID_STREAM_BASE: u32 = 16;
+
+/// What an operation does, which determines the engine it occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamOpKind {
+    /// Host→device copy (DMA engine).
+    CopyH2D,
+    /// Device→host copy (same single DMA engine on GT200).
+    CopyD2H,
+    /// Kernel execution (compute engine).
+    Kernel,
+}
+
+impl StreamOpKind {
+    /// The hardware engine this op occupies.
+    pub fn engine(self) -> EngineKind {
+        match self {
+            StreamOpKind::CopyH2D | StreamOpKind::CopyD2H => EngineKind::Copy,
+            StreamOpKind::Kernel => EngineKind::Compute,
+        }
+    }
+
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamOpKind::CopyH2D => "h2d",
+            StreamOpKind::CopyD2H => "d2h",
+            StreamOpKind::Kernel => "kernel",
+        }
+    }
+}
+
+/// The two overlap-capable hardware resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// The single DMA copy engine.
+    Copy,
+    /// The compute engine.
+    Compute,
+}
+
+/// A scheduled operation on the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// Stream the op was issued to.
+    pub stream: u32,
+    /// Operation kind.
+    pub kind: StreamOpKind,
+    /// Caller-supplied label (e.g. `"seg3"` or `"batch12"`).
+    pub label: String,
+    /// Scheduled start time in seconds.
+    pub start: f64,
+    /// Scheduled end time in seconds.
+    pub end: f64,
+    /// Payload bytes (0 for kernels).
+    pub bytes: u64,
+}
+
+impl ScheduledOp {
+    /// Duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// An event recorded on a stream ([`StreamEngine::record_event`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId(usize);
+
+/// Deterministic stream scheduler: two engines, N in-order streams.
+#[derive(Debug, Clone)]
+pub struct StreamEngine {
+    /// Per-stream readiness (end of the last op issued to it).
+    stream_ready: Vec<f64>,
+    /// When the copy engine finishes its last issued op.
+    copy_free: f64,
+    /// When the compute engine finishes its last issued op.
+    compute_free: f64,
+    /// Completion time of each recorded event.
+    events: Vec<f64>,
+    /// Events the *next* op on each stream must wait for.
+    pending_waits: Vec<Vec<usize>>,
+    ops: Vec<ScheduledOp>,
+}
+
+impl StreamEngine {
+    /// An engine with `streams` empty in-order queues (at least one).
+    pub fn new(streams: u32) -> Self {
+        let n = streams.max(1) as usize;
+        StreamEngine {
+            stream_ready: vec![0.0; n],
+            copy_free: 0.0,
+            compute_free: 0.0,
+            events: Vec::new(),
+            pending_waits: vec![Vec::new(); n],
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> u32 {
+        self.stream_ready.len() as u32
+    }
+
+    /// When `stream`'s last issued op completes.
+    pub fn stream_ready(&self, stream: u32) -> f64 {
+        self.stream_ready[stream as usize]
+    }
+
+    /// The stream that becomes idle first (lowest id on ties) and when.
+    pub fn next_free_stream(&self) -> (u32, f64) {
+        let mut best = (0u32, self.stream_ready[0]);
+        for (i, &t) in self.stream_ready.iter().enumerate().skip(1) {
+            if t < best.1 {
+                best = (i as u32, t);
+            }
+        }
+        best
+    }
+
+    /// Submit an op released to the device at time 0.
+    pub fn submit(
+        &mut self,
+        stream: u32,
+        kind: StreamOpKind,
+        label: &str,
+        seconds: f64,
+        bytes: u64,
+    ) -> ScheduledOp {
+        self.submit_at(stream, kind, label, seconds, bytes, 0.0)
+    }
+
+    /// Submit an op the host releases no earlier than `not_before`
+    /// seconds (e.g. a serve batch dispatched when its jobs arrived).
+    ///
+    /// The op starts at the latest of: `not_before`, the stream's program
+    /// order, awaited events, and its engine's FIFO availability.
+    pub fn submit_at(
+        &mut self,
+        stream: u32,
+        kind: StreamOpKind,
+        label: &str,
+        seconds: f64,
+        bytes: u64,
+        not_before: f64,
+    ) -> ScheduledOp {
+        assert!(seconds >= 0.0, "op duration must be non-negative");
+        let s = stream as usize;
+        let mut ready = self.stream_ready[s].max(not_before);
+        for ev in self.pending_waits[s].drain(..) {
+            ready = ready.max(self.events[ev]);
+        }
+        let engine_free = match kind.engine() {
+            EngineKind::Copy => &mut self.copy_free,
+            EngineKind::Compute => &mut self.compute_free,
+        };
+        let start = ready.max(*engine_free);
+        let end = start + seconds;
+        *engine_free = end;
+        self.stream_ready[s] = end;
+        let op = ScheduledOp {
+            stream,
+            kind,
+            label: label.to_string(),
+            start,
+            end,
+            bytes,
+        };
+        self.ops.push(op.clone());
+        op
+    }
+
+    /// Record an event that completes when everything issued to `stream`
+    /// so far has completed (CUDA `cudaEventRecord`).
+    pub fn record_event(&mut self, stream: u32) -> EventId {
+        self.events.push(self.stream_ready[stream as usize]);
+        EventId(self.events.len() - 1)
+    }
+
+    /// Make the next op submitted to `stream` wait for `event`
+    /// (CUDA `cudaStreamWaitEvent`).
+    pub fn wait_event(&mut self, stream: u32, event: EventId) {
+        self.pending_waits[stream as usize].push(event.0);
+    }
+
+    /// Completion time of a recorded event.
+    pub fn event_seconds(&self, event: EventId) -> f64 {
+        self.events[event.0]
+    }
+
+    /// Finish submission and return the timeline.
+    pub fn finish(self) -> StreamTimeline {
+        StreamTimeline {
+            streams: self.stream_ready.len() as u32,
+            ops: self.ops,
+        }
+    }
+}
+
+/// The complete scheduled timeline of a [`StreamEngine`] run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamTimeline {
+    /// Number of streams the engine was created with.
+    pub streams: u32,
+    /// Every op in issue order, with scheduled times.
+    pub ops: Vec<ScheduledOp>,
+}
+
+impl StreamTimeline {
+    /// Makespan: when the last op completes.
+    pub fn total_seconds(&self) -> f64 {
+        self.ops.iter().fold(0.0, |acc, o| acc.max(o.end))
+    }
+
+    /// What the same ops would take end-to-end with no overlap at all:
+    /// the left fold of durations in issue order (so a one-stream
+    /// schedule, which cannot overlap anything, equals this exactly).
+    pub fn serial_seconds(&self) -> f64 {
+        self.ops.iter().fold(0.0, |acc, o| acc + o.seconds())
+    }
+
+    /// Total busy seconds of one engine.
+    pub fn busy_seconds(&self, engine: EngineKind) -> f64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind.engine() == engine)
+            .fold(0.0, |acc, o| acc + o.seconds())
+    }
+
+    /// Busy fraction of one engine over the makespan, in [0, 1].
+    pub fn utilisation(&self, engine: EngineKind) -> f64 {
+        let total = self.total_seconds();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.busy_seconds(engine) / total
+        }
+    }
+
+    /// Seconds saved by overlap relative to the fully serial schedule.
+    pub fn overlap_saved_seconds(&self) -> f64 {
+        self.serial_seconds() - self.total_seconds()
+    }
+
+    /// Export as Chrome trace events: one pid per stream
+    /// ([`PID_STREAM_BASE`]` + stream`), timestamps quantized to cycles
+    /// at `clock_hz`. Load the result of
+    /// [`trace::chrome::to_chrome_json`] in Perfetto to see copies and
+    /// kernels from different streams overlapping.
+    pub fn to_trace(&self, clock_hz: f64, cfg: TraceConfig) -> TraceBuffer {
+        let mut tb = TraceBuffer::new(cfg);
+        for op in &self.ops {
+            let start = (op.start * clock_hz).round() as u64;
+            let dur = (op.seconds() * clock_hz).round() as u64;
+            let mut args = vec![(
+                "engine".to_string(),
+                ArgValue::Str(
+                    match op.kind.engine() {
+                        EngineKind::Copy => "copy",
+                        EngineKind::Compute => "compute",
+                    }
+                    .to_string(),
+                ),
+            )];
+            if op.bytes > 0 {
+                args.push(("bytes".to_string(), ArgValue::U64(op.bytes)));
+            }
+            tb.span(
+                &format!("{}:{}", op.kind.label(), op.label),
+                "stream",
+                PID_STREAM_BASE + op.stream,
+                0,
+                start,
+                dur,
+                args,
+            );
+        }
+        tb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(sec: f64) -> (StreamOpKind, f64) {
+        (StreamOpKind::Kernel, sec)
+    }
+
+    #[test]
+    fn single_stream_is_fully_serial() {
+        let mut e = StreamEngine::new(1);
+        e.submit(0, StreamOpKind::CopyH2D, "a", 2.0, 100);
+        e.submit(0, StreamOpKind::Kernel, "a", 3.0, 0);
+        e.submit(0, StreamOpKind::CopyD2H, "a", 1.0, 10);
+        let t = e.finish();
+        assert_eq!(t.total_seconds(), 6.0);
+        assert_eq!(t.serial_seconds(), 6.0);
+        assert_eq!(t.overlap_saved_seconds(), 0.0);
+    }
+
+    #[test]
+    fn two_streams_overlap_copy_with_compute() {
+        // Stream 0: copy 2s + kernel 3s; stream 1 the same. The copy
+        // engine runs stream 1's upload while stream 0's kernel runs.
+        let mut e = StreamEngine::new(2);
+        e.submit(0, StreamOpKind::CopyH2D, "s0", 2.0, 0);
+        e.submit(1, StreamOpKind::CopyH2D, "s1", 2.0, 0);
+        e.submit(0, StreamOpKind::Kernel, "s0", 3.0, 0);
+        e.submit(1, StreamOpKind::Kernel, "s1", 3.0, 0);
+        let t = e.finish();
+        // u0 [0,2], u1 [2,4], k0 [2,5], k1 [5,8] vs 10s serial.
+        assert_eq!(t.total_seconds(), 8.0);
+        assert_eq!(t.serial_seconds(), 10.0);
+        assert_eq!(t.busy_seconds(EngineKind::Copy), 4.0);
+        assert_eq!(t.busy_seconds(EngineKind::Compute), 6.0);
+    }
+
+    #[test]
+    fn copies_serialize_on_the_single_dma_engine() {
+        // Two streams, copies only: no overlap is possible.
+        let mut e = StreamEngine::new(2);
+        e.submit(0, StreamOpKind::CopyH2D, "a", 2.0, 0);
+        e.submit(1, StreamOpKind::CopyH2D, "b", 2.0, 0);
+        e.submit(0, StreamOpKind::CopyD2H, "a", 2.0, 0);
+        let t = e.finish();
+        assert_eq!(t.total_seconds(), 6.0);
+        assert_eq!(t.utilisation(EngineKind::Copy), 1.0);
+        assert_eq!(t.utilisation(EngineKind::Compute), 0.0);
+    }
+
+    #[test]
+    fn issue_order_fifo_creates_false_dependencies() {
+        // The classic single-queue hazard: a d2h issued *before* another
+        // stream's h2d blocks it even though the engine is idle when the
+        // d2h is still waiting on its kernel.
+        let mut e = StreamEngine::new(2);
+        e.submit(0, StreamOpKind::CopyH2D, "a", 1.0, 0);
+        e.submit(0, StreamOpKind::Kernel, "a", 10.0, 0);
+        e.submit(0, StreamOpKind::CopyD2H, "a", 1.0, 0); // waits for kernel
+        let held = e.submit(1, StreamOpKind::CopyH2D, "b", 1.0, 0);
+        // d2h starts at 11 (after the kernel); the FIFO copy queue holds
+        // stream 1's upload behind it even though the DMA engine idled
+        // from 1 to 11.
+        assert_eq!(held.start, 12.0);
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let mut e = StreamEngine::new(2);
+        e.submit(0, StreamOpKind::Kernel, "a", 5.0, 0);
+        let ev = e.record_event(0);
+        e.wait_event(1, ev);
+        let dep = e.submit(1, StreamOpKind::Kernel, "b", 1.0, 0);
+        assert_eq!(e.event_seconds(ev), 5.0);
+        assert_eq!(dep.start, 5.0);
+        assert_eq!(dep.end, 6.0);
+    }
+
+    #[test]
+    fn not_before_releases_ops_late() {
+        let mut e = StreamEngine::new(1);
+        let op = e.submit_at(0, StreamOpKind::Kernel, "late", 1.0, 0, 7.0);
+        assert_eq!(op.start, 7.0);
+        // The next op queues behind it in program order.
+        let (kind, sec) = k(2.0);
+        let op2 = e.submit(0, kind, "tail", sec, 0);
+        assert_eq!(op2.start, 8.0);
+    }
+
+    #[test]
+    fn next_free_stream_prefers_lowest_id() {
+        let mut e = StreamEngine::new(3);
+        e.submit(0, StreamOpKind::Kernel, "a", 5.0, 0);
+        e.submit(2, StreamOpKind::Kernel, "c", 1.0, 0);
+        let (s, at) = e.next_free_stream();
+        assert_eq!((s, at), (1, 0.0));
+    }
+
+    #[test]
+    fn trace_export_carries_one_pid_per_stream() {
+        let mut e = StreamEngine::new(2);
+        e.submit(0, StreamOpKind::CopyH2D, "s0", 1.0, 64);
+        e.submit(1, StreamOpKind::Kernel, "s1", 2.0, 0);
+        let t = e.finish();
+        let tb = t.to_trace(1.0e6, TraceConfig::default());
+        assert_eq!(tb.len(), 2);
+        let pids: Vec<u32> = tb.events().iter().map(|ev| ev.pid).collect();
+        assert!(pids.contains(&PID_STREAM_BASE));
+        assert!(pids.contains(&(PID_STREAM_BASE + 1)));
+    }
+}
