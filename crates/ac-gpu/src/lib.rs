@@ -37,19 +37,23 @@ pub mod multistream;
 pub mod readback;
 pub mod runner;
 pub mod stream;
+pub mod stt_layout;
 pub mod supervise;
 pub mod upload;
 
 pub use error::{ErrorClass, GpuError, PcieError, UploadError};
 pub use kernels::{
-    CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel, SharedKernel,
-    SharedVariant,
+    BandedKernel, CompressedKernel, DeviceBandedStt, DeviceCompressedStt, DeviceTwoLevelStt,
+    GlobalOnlyKernel, MatchEvent, PfacKernel, SharedKernel, SharedVariant, TwoLevelKernel,
 };
 pub use layout::{DiagonalMap, KernelParams, LinearMap, Plan};
 pub use multistream::{run_multistream, MultiStreamConfig, MultiStreamRun};
 pub use readback::ReadbackCorruption;
 pub use runner::{Approach, GpuAcMatcher, GpuRun, RunOptions};
 pub use stream::{run_streamed, run_streamed_supervised, PcieConfig, StreamedRun};
+pub use stt_layout::{
+    layout_footprints, pick_layout, LayoutChoice, LayoutFootprint, LayoutProbe, SttLayout,
+};
 pub use supervise::{run_supervised, SuperviseConfig, SuperviseReport, Supervised};
 pub use trace::{TraceBuffer, TraceConfig};
 pub use upload::{DevicePfac, DeviceStt, MATCH_BIT, PFAC_STOP, STATE_MASK};

@@ -1,15 +1,15 @@
 //! Host orchestration: upload, launch, readback, match expansion.
 //!
 //! [`GpuAcMatcher`] is the crate's main entry point. It owns the automaton
-//! and its device image; [`GpuAcMatcher::run`] executes one of the five
+//! and its device image; [`GpuAcMatcher::run`] executes one of the
 //! kernels over an input and returns both the matches (checked against the
 //! CPU oracle in the test suites) and the full timing/statistics record
 //! that the benchmark harness turns into the paper's figures.
 
 use crate::error::GpuError;
 use crate::kernels::{
-    CompressedKernel, DeviceCompressedStt, GlobalOnlyKernel, MatchEvent, PfacKernel, SharedKernel,
-    SharedVariant,
+    BandedKernel, CompressedKernel, DeviceBandedStt, DeviceCompressedStt, DeviceTwoLevelStt,
+    GlobalOnlyKernel, MatchEvent, PfacKernel, SharedKernel, SharedVariant, TwoLevelKernel,
 };
 use crate::layout::{KernelParams, Plan};
 use crate::readback;
@@ -44,6 +44,19 @@ pub enum Approach {
     /// (Zha/Scarpazza/Sahni-style) — ~4× the texture fetches for ~16×
     /// less texture footprint.
     SharedCompressed,
+    /// Extension: the shared-memory kernel over a failure-banded STT
+    /// flattened into trie-preorder fat-pointer records — per state, a
+    /// failure word plus the padded band of symbols deviating from its
+    /// failure state (≈ its trie children), every entry carrying the
+    /// target record's shape so any transition attempt is one texture
+    /// fetch. Preorder keeps a walk's next record on the same or
+    /// adjacent texture line, so this is the family's smallest and most
+    /// path-local layout.
+    SharedBanded,
+    /// Extension: two-level hot/cold STT — BFS-shallow states keep dense
+    /// rows in a small cache-resident texture (1 fetch), the cold tail
+    /// uses bitmap rows (4 fetches).
+    SharedTwoLevel,
 }
 
 impl Approach {
@@ -56,11 +69,13 @@ impl Approach {
             Approach::SharedDiagonal => SharedVariant::Diagonal.label(),
             Approach::Pfac => "pfac",
             Approach::SharedCompressed => "shared-compressed",
+            Approach::SharedBanded => "shared-banded",
+            Approach::SharedTwoLevel => "shared-twolevel",
         }
     }
 
     /// All approaches, in report order.
-    pub fn all() -> [Approach; 6] {
+    pub fn all() -> [Approach; 8] {
         [
             Approach::GlobalOnly,
             Approach::SharedNaive,
@@ -68,6 +83,8 @@ impl Approach {
             Approach::SharedDiagonal,
             Approach::Pfac,
             Approach::SharedCompressed,
+            Approach::SharedBanded,
+            Approach::SharedTwoLevel,
         ]
     }
 }
@@ -140,6 +157,8 @@ pub struct GpuAcMatcher {
     dev_stt: DeviceStt,
     pfac: OnceLock<(PfacAutomaton, DevicePfac)>,
     compressed: OnceLock<DeviceCompressedStt>,
+    banded: OnceLock<DeviceBandedStt>,
+    twolevel: OnceLock<DeviceTwoLevelStt>,
     /// Armed fault-injection state. Lives on the matcher (not the
     /// per-run device) so operation counters persist across retries: a
     /// retried launch has a fresh index and is not re-scheduled to fail.
@@ -161,6 +180,8 @@ impl GpuAcMatcher {
             dev_stt,
             pfac: OnceLock::new(),
             compressed: OnceLock::new(),
+            banded: OnceLock::new(),
+            twolevel: OnceLock::new(),
             fault: Mutex::new(None),
         })
     }
@@ -243,6 +264,21 @@ impl GpuAcMatcher {
     fn compressed_tables(&self) -> &DeviceCompressedStt {
         self.compressed
             .get_or_init(|| DeviceCompressedStt::from_automaton(&self.ac))
+    }
+
+    fn banded_tables(&self) -> &DeviceBandedStt {
+        self.banded
+            .get_or_init(|| DeviceBandedStt::from_automaton(&self.ac))
+    }
+
+    /// Two-level tables with the hot set sized to half the texture-L2
+    /// budget: the dense hot rows stay L2-resident with room left for the
+    /// cold bitmap meta traffic.
+    pub fn twolevel_tables(&self) -> &DeviceTwoLevelStt {
+        self.twolevel.get_or_init(|| {
+            let budget = self.cfg.tex_l2.size_bytes as usize / 2;
+            DeviceTwoLevelStt::from_automaton(&self.ac, budget)
+        })
     }
 
     /// Run with explicit [`RunOptions`] (recording mode, watchdog).
@@ -401,7 +437,80 @@ impl GpuAcMatcher {
                 })?;
                 collect(launched.programs, launched.stats, |p| p.take_results())
             }
+            Approach::SharedBanded => {
+                let tables = self.banded_tables();
+                let tex_words = dev.bind_texture_2d(
+                    tables.words.clone(),
+                    tables.word_rows,
+                    crate::kernels::banded::BAND_ROW,
+                )?;
+                let root_fat = tables.fat_of[0];
+                let launched = dev.launch(launch, |geom| {
+                    BandedKernel::new(geom, plan, text_base, out_base, tex_words, root_fat, record)
+                })?;
+                collect(launched.programs, launched.stats, |p| p.take_results())
+            }
+            Approach::SharedTwoLevel => {
+                let tables = self.twolevel_tables();
+                let tex_hot = dev.bind_texture_2d(
+                    tables.hot.clone(),
+                    tables.hot_count,
+                    ac_core::stt::STT_COLUMNS as u32,
+                )?;
+                let tex_meta = dev.bind_texture_2d(
+                    tables.meta.clone(),
+                    tables.meta_rows,
+                    crate::kernels::twolevel::COLD_META_COLS,
+                )?;
+                let tex_targets = dev.bind_texture_2d(
+                    tables.targets.clone(),
+                    tables.target_rows,
+                    crate::kernels::twolevel::COLD_TARGET_ROW,
+                )?;
+                let tex_root = dev.bind_texture_2d(tables.root.clone(), 1, 256)?;
+                let hot_count = tables.hot_count;
+                let launched = dev.launch(launch, |geom| {
+                    TwoLevelKernel::new(
+                        geom,
+                        plan,
+                        text_base,
+                        out_base,
+                        hot_count,
+                        tex_hot,
+                        tex_meta,
+                        tex_targets,
+                        tex_root,
+                        record,
+                    )
+                })?;
+                collect(launched.programs, launched.stats, |p| p.take_results())
+            }
         };
+
+        // Two-level and failure-banded kernels report renumbered state
+        // ids (a banded id is a fat pointer whose offset field indexes
+        // `new_to_old`); translate back to the automaton's ids before
+        // host-side output expansion.
+        let events =
+            if record && matches!(approach, Approach::SharedTwoLevel | Approach::SharedBanded) {
+                type StateIndex = fn(u32) -> u32;
+                let (map, index): (std::sync::Arc<Vec<u32>>, StateIndex) = match approach {
+                    Approach::SharedTwoLevel => (self.twolevel_tables().new_to_old.clone(), |s| s),
+                    _ => (
+                        self.banded_tables().new_to_old.clone(),
+                        crate::kernels::banded::fat_off,
+                    ),
+                };
+                events
+                    .into_iter()
+                    .map(|ev| MatchEvent {
+                        state: map[index(ev.state) as usize],
+                        ..ev
+                    })
+                    .collect()
+            } else {
+                events
+            };
 
         // Model the device→host result copy when faults are armed: frame
         // the event buffer, ship it across the (corruptible) bus, and
@@ -716,8 +825,10 @@ mod tests {
         assert_eq!(Approach::GlobalOnly.label(), "global-only");
         assert_eq!(Approach::SharedDiagonal.label(), "shared-diagonal");
         assert_eq!(Approach::Pfac.label(), "pfac");
-        assert_eq!(Approach::all().len(), 6);
+        assert_eq!(Approach::all().len(), 8);
         assert_eq!(Approach::SharedCompressed.label(), "shared-compressed");
+        assert_eq!(Approach::SharedBanded.label(), "shared-banded");
+        assert_eq!(Approach::SharedTwoLevel.label(), "shared-twolevel");
     }
 
     #[test]

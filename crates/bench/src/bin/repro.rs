@@ -623,6 +623,30 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // So does the STT layout sweep: the gate diffs the 20k-pattern
+    // crossover rows (compressed layouts vs the dense STT) on every run.
+    eprintln!("running STT layout sweep (dictionaries up to 20k patterns)");
+    match bench::layout_sweep_measurements(args.verbose) {
+        Ok(m) => {
+            match bench::check_layout_crossover(
+                &m,
+                bench::LAYOUT_SWEEP_SIZE,
+                *bench::LAYOUT_SWEEP_PATTERNS.last().expect("non-empty"),
+            ) {
+                Ok((label, gbps, share)) => eprintln!(
+                    "layout crossover holds: {label} at {gbps:.2} Gb/s, \
+                     {:.0}% tex-miss stall share",
+                    share * 100.0
+                ),
+                Err(why) => eprintln!("warning: layout crossover not met: {why}"),
+            }
+            measurements.extend(m);
+        }
+        Err(e) => {
+            eprintln!("error while running the layout sweep: {e}");
+            std::process::exit(1);
+        }
+    }
 
     for f in &set.figures {
         println!("{}", f.render());

@@ -21,6 +21,7 @@
 
 pub mod diff;
 pub mod figures;
+pub mod layout_sweep;
 pub mod measure;
 pub mod report;
 pub mod serving;
@@ -30,6 +31,10 @@ pub mod workload;
 
 pub use diff::{diff_reports, DiffEntry, DiffReport, DiffThresholds};
 pub use figures::{Figure, FigureSet};
+pub use layout_sweep::{
+    check_layout_crossover, check_layout_crossover_report, layout_sweep_measurements,
+    tex_miss_share, LAYOUT_SWEEP_APPROACHES, LAYOUT_SWEEP_PATTERNS, LAYOUT_SWEEP_SIZE,
+};
 pub use measure::{Engine, EngineConfig, Measurement, Measurements};
 pub use report::{BenchReport, BenchRow};
 pub use serving::{serving_measurements, SERVING_SCENARIOS};

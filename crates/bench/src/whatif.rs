@@ -31,17 +31,23 @@ pub enum Knob {
     /// Drop the diagonal shared-memory staging and run the plain
     /// coalesced kernel instead (isolates the Fig. 11 trick).
     DiagonalOff,
+    /// Swap the STT for the next-smaller layout in the compression chain
+    /// (dense → two-level → bitmap → banded): the counterfactual the
+    /// texture-cache knee points at — when a bigger cache can't help,
+    /// a smaller table still can.
+    SttLayout,
 }
 
 impl Knob {
     /// Every knob, in report order.
-    pub fn all() -> [Knob; 5] {
+    pub fn all() -> [Knob; 6] {
         [
             Knob::TexCacheDouble,
             Knob::TexCacheHalve,
             Knob::Banks32,
             Knob::CoalescingOff,
             Knob::DiagonalOff,
+            Knob::SttLayout,
         ]
     }
 
@@ -53,6 +59,7 @@ impl Knob {
             Knob::Banks32 => "banks 16->32",
             Knob::CoalescingOff => "coalescing off",
             Knob::DiagonalOff => "diagonal off",
+            Knob::SttLayout => "stt-layout next",
         }
     }
 
@@ -64,6 +71,7 @@ impl Knob {
             Knob::Banks32 => "shared banks",
             Knob::CoalescingOff => "global coalescing",
             Knob::DiagonalOff => "shared staging",
+            Knob::SttLayout => "table footprint",
         }
     }
 
@@ -100,6 +108,14 @@ impl Knob {
                     return None;
                 }
                 return Some((c, Approach::SharedCoalescedOnly));
+            }
+            Knob::SttLayout => {
+                // Walk the layout family one step smaller. Approaches
+                // outside the family (PFAC, degraded staging variants)
+                // have no layout to swap; bitmap is already smallest.
+                let layout = ac_gpu::SttLayout::of_approach(approach)?;
+                let smaller = layout.next_smaller()?;
+                return Some((c, smaller.approach().expect("concrete layout")));
             }
         }
         c.validate().ok()?;
@@ -181,9 +197,14 @@ pub fn explain(
     };
     for knob in Knob::all() {
         let Some((cfg2, approach2)) = knob.apply(cfg, approach) else {
-            report
-                .skipped
-                .push(format!("{}: not applicable here", knob.label()));
+            let why = if knob == Knob::SttLayout
+                && ac_gpu::SttLayout::of_approach(approach) == Some(ac_gpu::SttLayout::Banded)
+            {
+                "already the smallest layout"
+            } else {
+                "not applicable here"
+            };
+            report.skipped.push(format!("{}: {why}", knob.label()));
             continue;
         };
         let run = match GpuAcMatcher::new(cfg2, params, ac.clone())
@@ -318,6 +339,24 @@ mod tests {
         let mut small = cfg;
         small.tex_cache.size_bytes = small.tex_cache.line_bytes * small.tex_cache.associativity;
         assert!(Knob::TexCacheHalve.apply(&small, Approach::Pfac).is_none());
+        // The layout knob walks the compression chain one step at a time
+        // and stops at the failure-banded layout; non-family approaches
+        // skip.
+        let chain = [
+            (Approach::SharedDiagonal, Approach::SharedTwoLevel),
+            (Approach::SharedTwoLevel, Approach::SharedCompressed),
+            (Approach::SharedCompressed, Approach::SharedBanded),
+        ];
+        for (from, to) in chain {
+            let (c2, a2) = Knob::SttLayout.apply(&cfg, from).unwrap();
+            assert_eq!(a2, to);
+            assert_eq!(c2, cfg, "layout swap must not touch the config");
+        }
+        assert!(Knob::SttLayout
+            .apply(&cfg, Approach::SharedBanded)
+            .is_none());
+        assert!(Knob::SttLayout.apply(&cfg, Approach::Pfac).is_none());
+        assert!(Knob::SttLayout.apply(&cfg, Approach::SharedNaive).is_none());
     }
 
     #[test]
@@ -341,6 +380,8 @@ mod tests {
             .find(|x| x.knob == Knob::CoalescingOff)
             .unwrap();
         assert!(co.delta_gbps <= 1e-12, "{:+.3}", co.delta_gbps);
+        // The dense baseline always has a smaller layout to try.
+        assert!(r.rows.iter().any(|x| x.knob == Knob::SttLayout));
         // The simulator is deterministic, so the sweep replays exactly.
         let again = explain(&cfg, params, &ac, &text, Approach::SharedDiagonal).unwrap();
         assert_eq!(again, r);
@@ -361,5 +402,18 @@ mod tests {
             r.skipped
         );
         assert!(explain_label(&cfg, params, &ac, &text, "warp-drive").is_err());
+    }
+
+    #[test]
+    fn layout_knob_skips_when_already_smallest() {
+        let (cfg, params, ac, text) = fixture();
+        let r = explain(&cfg, params, &ac, &text, Approach::SharedBanded).unwrap();
+        assert!(
+            r.skipped
+                .iter()
+                .any(|s| s.contains("already the smallest layout")),
+            "{:?}",
+            r.skipped
+        );
     }
 }

@@ -28,7 +28,7 @@ pub fn run(opts: &Options) -> Result<String, String> {
         }
         Command::Stats => {
             let ac = AcAutomaton::build(&patterns);
-            let mut out = stats_text(&patterns, &ac);
+            let mut out = stats_text(&patterns, &ac, &device(opts.fermi));
             if let Some(input) = &opts.input {
                 let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
                 let trie = Trie::build(&patterns);
@@ -66,11 +66,17 @@ pub fn run(opts: &Options) -> Result<String, String> {
                 )?;
                 return Ok(out);
             }
-            let name = Engine::all()
-                .iter()
-                .find(|(e, _)| *e == opts.engine)
-                .map(|(_, n)| *n)
-                .expect("engine table is total");
+            // `gpu:auto` sits outside `Engine::all()` (it resolves to a
+            // concrete layout), so name it directly.
+            let name = if opts.engine == Engine::GpuAuto {
+                "gpu:auto"
+            } else {
+                Engine::all()
+                    .iter()
+                    .find(|(e, _)| *e == opts.engine)
+                    .map(|(_, n)| *n)
+                    .expect("engine table is total")
+            };
             let report = run_engine(
                 opts.engine,
                 name,
@@ -332,12 +338,39 @@ fn bench_diff_text(opts: &Options) -> Result<String, String> {
     }
     let diff = diff_reports(&old, &new, thr);
     let mut out = diff.render();
+    // The layout sweep's headline is a *claim about rows*, not a row: at
+    // the largest swept dictionary the best compressed layout must beat
+    // the dense STT with a lower texture-miss stall share. Re-derive it
+    // from the fresh report whenever the sweep rows are present, so the
+    // gate fails on a broken crossover even when every row moved less
+    // than the per-row thresholds.
+    let mut crossover_broken = false;
+    let sweep_point = (
+        bench::LAYOUT_SWEEP_SIZE,
+        *bench::LAYOUT_SWEEP_PATTERNS.last().expect("non-empty"),
+    );
+    match bench::check_layout_crossover_report(&new, sweep_point.0, sweep_point.1) {
+        Some(Ok((label, gbps, share))) => {
+            let _ = writeln!(
+                out,
+                "layout crossover holds at {} patterns: {label} at {gbps:.2} Gb/s, \
+                 {:.0}% tex-miss stall share",
+                sweep_point.1,
+                share * 100.0
+            );
+        }
+        Some(Err(why)) => {
+            crossover_broken = true;
+            let _ = writeln!(out, "LAYOUT CROSSOVER BROKEN: {why}");
+        }
+        None => {}
+    }
     if let Some(path) = &opts.report_out {
         std::fs::write(path, diff.to_json())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         let _ = writeln!(out, "report written: {}", path.display());
     }
-    if diff.has_regressions() {
+    if diff.has_regressions() || crossover_broken {
         Err(out)
     } else {
         Ok(out)
@@ -433,18 +466,27 @@ fn explain_text(
     text: &[u8],
     cfg: &GpuConfig,
 ) -> Result<String, String> {
+    let params = KernelParams::defaults_for(cfg);
+    let matcher = GpuAcMatcher::new(*cfg, params, ac.clone())?;
     let approach = match opts.engine {
         Engine::GpuShared => Approach::SharedDiagonal,
         Engine::GpuGlobal => Approach::GlobalOnly,
         Engine::GpuCompressed => Approach::SharedCompressed,
+        Engine::GpuBanded => Approach::SharedBanded,
+        Engine::GpuTwoLevel => Approach::SharedTwoLevel,
         Engine::GpuPfac => Approach::Pfac,
+        Engine::GpuAuto => {
+            let choice = ac_gpu::pick_layout(&matcher, text).map_err(|e| e.to_string())?;
+            choice
+                .layout
+                .approach()
+                .expect("picker returns concrete layouts")
+        }
         Engine::Serial | Engine::Parallel => unreachable!("validated by the parser"),
     };
-    let params = KernelParams::defaults_for(cfg);
     let report = bench::explain(cfg, params, ac, text, approach)?;
     let mut out = report.render();
 
-    let matcher = GpuAcMatcher::new(*cfg, params, ac.clone())?;
     let run = matcher.run_opts(
         text,
         approach,
@@ -465,9 +507,13 @@ fn explain_text(
         &fetches,
         64,
     ));
-    // The compressed kernel's first texture is its bitmap metadata, not
-    // the dense STT, so line→row residency mapping only holds elsewhere.
-    if approach != Approach::SharedCompressed {
+    // The compressed-layout kernels' first texture holds per-state
+    // metadata (bitmap, band, or hot rows), not the dense STT, so the
+    // line→row residency mapping only holds for dense-table kernels.
+    if ac_gpu::SttLayout::of_approach(approach)
+        .map(|l| l == ac_gpu::SttLayout::Dense)
+        .unwrap_or(true)
+    {
         let resident = intro.resident_rows(&matcher.stt_texture());
         out.push('\n');
         out.push_str(&trace::render_heatmap(
@@ -546,8 +592,10 @@ fn profile_text(
             Engine::GpuGlobal => Approach::GlobalOnly,
             Engine::GpuShared => Approach::SharedDiagonal,
             Engine::GpuCompressed => Approach::SharedCompressed,
+            Engine::GpuBanded => Approach::SharedBanded,
+            Engine::GpuTwoLevel => Approach::SharedTwoLevel,
             Engine::GpuPfac => Approach::Pfac,
-            Engine::Serial | Engine::Parallel => continue,
+            Engine::Serial | Engine::Parallel | Engine::GpuAuto => continue,
         };
         let run = matcher
             .run_opts(
@@ -621,7 +669,7 @@ fn profile_text(
     Ok(out)
 }
 
-fn stats_text(patterns: &PatternSet, ac: &AcAutomaton) -> String {
+fn stats_text(patterns: &PatternSet, ac: &AcAutomaton, cfg: &GpuConfig) -> String {
     let trie = Trie::build(patterns);
     let s = analysis::analyze_structure(&trie);
     let mut out = String::new();
@@ -636,6 +684,27 @@ fn stats_text(patterns: &PatternSet, ac: &AcAutomaton) -> String {
     let _ = writeln!(out, "mean fanout:     {:.2}", s.mean_fanout);
     let _ = writeln!(out, "dense STT:       {} bytes", ac.stt().size_bytes());
     let _ = writeln!(out, "states by depth: {:?}", s.states_by_depth);
+    let _ = writeln!(
+        out,
+        "\nSTT device footprint by layout (texture L1 {} KiB, L2 {} KiB per SM):",
+        cfg.tex_cache.size_bytes / 1024,
+        cfg.tex_l2.size_bytes / 1024
+    );
+    let _ = writeln!(
+        out,
+        "  {:>9} | {:>12} | {:>9} | {:>9}",
+        "layout", "bytes", "of L1", "of L2"
+    );
+    for fp in ac_gpu::layout_footprints(ac, cfg) {
+        let _ = writeln!(
+            out,
+            "  {:>9} | {:>12} | {:>8.1}% | {:>8.1}%",
+            fp.layout.label(),
+            fp.bytes,
+            fp.share_of(cfg.tex_cache.size_bytes) * 100.0,
+            fp.share_of(cfg.tex_l2.size_bytes) * 100.0
+        );
+    }
     out
 }
 
@@ -769,6 +838,8 @@ mod tests {
             "gpu:shared",
             "gpu:global",
             "gpu:compressed",
+            "gpu:banded",
+            "gpu:twolevel",
             "gpu:pfac",
         ] {
             assert!(out.contains(name), "missing {name} in\n{out}");
@@ -785,6 +856,37 @@ mod tests {
         let opts = parse(["dot", "--patterns", pats.to_str().unwrap()]).unwrap();
         let out = run(&opts).unwrap();
         assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn stats_prints_layout_footprint_table() {
+        let pats = write_tmp("p15.txt", b"he\nshe\nhers\nhis\n");
+        let opts = parse(["stats", "--patterns", pats.to_str().unwrap()]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("STT device footprint by layout"), "{out}");
+        for label in ["dense", "banded", "twolevel", "bitmap"] {
+            assert!(out.contains(label), "missing {label} in\n{out}");
+        }
+        assert!(out.contains("of L1"), "{out}");
+        assert!(out.contains("of L2"), "{out}");
+    }
+
+    #[test]
+    fn auto_engine_match_end_to_end() {
+        let pats = write_tmp("p16.txt", b"he\nshe\nhers\n");
+        let input = write_tmp("i16.txt", b"ushers everywhere");
+        let opts = parse([
+            "match",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--engine",
+            "gpu:auto",
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("4 matches (gpu:auto engine)"), "{out}");
     }
 
     #[test]
@@ -871,7 +973,14 @@ mod tests {
         ])
         .unwrap();
         let out = run(&opts).unwrap();
-        for name in ["gpu:shared", "gpu:global", "gpu:compressed", "gpu:pfac"] {
+        for name in [
+            "gpu:shared",
+            "gpu:global",
+            "gpu:compressed",
+            "gpu:banded",
+            "gpu:twolevel",
+            "gpu:pfac",
+        ] {
             assert!(out.contains(name), "missing {name} in\n{out}");
         }
         assert!(out.contains("stall breakdown"), "{out}");
@@ -947,7 +1056,7 @@ mod tests {
         let out = run(&opts).unwrap();
         let rows: serde::Value = serde_json::from_str(&out).expect("valid JSON");
         let rows = rows.as_arr().expect("top-level array");
-        assert_eq!(rows.len(), 4, "{out}"); // four GPU configs
+        assert_eq!(rows.len(), 6, "{out}"); // six GPU configs
         let first = rows[0].as_obj().unwrap();
         for field in ["config", "cycles", "gbps", "busy_pct", "stalls"] {
             assert!(serde::obj_get(first, field).is_some(), "missing {field}");

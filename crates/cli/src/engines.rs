@@ -40,13 +40,17 @@ pub fn device(fermi: bool) -> GpuConfig {
     }
 }
 
-fn gpu_approach(e: Engine) -> Option<Approach> {
+/// The approach a GPU engine runs. `None` for the CPU engines and for
+/// `gpu:auto`, which picks a layout per workload (see [`run_engine`]).
+pub fn gpu_approach(e: Engine) -> Option<Approach> {
     match e {
         Engine::GpuShared => Some(Approach::SharedDiagonal),
         Engine::GpuGlobal => Some(Approach::GlobalOnly),
         Engine::GpuCompressed => Some(Approach::SharedCompressed),
+        Engine::GpuBanded => Some(Approach::SharedBanded),
+        Engine::GpuTwoLevel => Some(Approach::SharedTwoLevel),
         Engine::GpuPfac => Some(Approach::Pfac),
-        Engine::Serial | Engine::Parallel => None,
+        Engine::Serial | Engine::Parallel | Engine::GpuAuto => None,
     }
 }
 
@@ -99,8 +103,30 @@ pub fn run_engine(
             })
         }
         _ => {
-            let approach = gpu_approach(engine).expect("non-CPU engine maps to an approach");
             let matcher = GpuAcMatcher::new(*cfg, KernelParams::defaults_for(cfg), ac.clone())?;
+            let approach = if engine == Engine::GpuAuto {
+                // Probe every STT layout on a sample of the input and keep
+                // the fastest; print the residency evidence per probe.
+                let choice = ac_gpu::pick_layout(&matcher, text).map_err(|e| e.to_string())?;
+                let layout = choice.layout;
+                eprintln!(
+                    "gpu:auto picked the {} layout ({})",
+                    layout.label(),
+                    choice
+                        .probes
+                        .iter()
+                        .map(|p| format!(
+                            "{} {:.0}% L1",
+                            p.layout.label(),
+                            p.stt_l1_hit_rate * 100.0
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                layout.approach().expect("picker returns concrete layouts")
+            } else {
+                gpu_approach(engine).expect("non-CPU engine maps to an approach")
+            };
             let mut run = matcher.run_opts(
                 text,
                 approach,
@@ -199,6 +225,18 @@ mod tests {
         }
         let first = counts[0].1;
         assert!(counts.iter().all(|&(_, c)| c == first), "{counts:?}");
+    }
+
+    #[test]
+    fn auto_engine_resolves_a_layout_and_agrees_with_serial() {
+        let ac = ac();
+        let text = b"ushers she hers and he";
+        let cfg = device(false);
+        let r = run_engine(Engine::GpuAuto, "gpu:auto", &ac, text, &cfg, false, None).unwrap();
+        let mut want = ac.find_all(text);
+        want.sort();
+        assert_eq!(r.matches, want);
+        assert!(r.device_gbps.unwrap() > 0.0);
     }
 
     #[test]

@@ -14,8 +14,16 @@ pub enum Engine {
     GpuShared,
     /// Simulated-GPU kernel: global-memory-only.
     GpuGlobal,
-    /// Simulated-GPU kernel: compressed-STT.
+    /// Simulated-GPU kernel: compressed-STT (bitmap rows).
     GpuCompressed,
+    /// Simulated-GPU kernel: failure-banded STT (fat-pointer records —
+    /// per-state padded band of deviations from the failure state, any
+    /// transition attempt one texture fetch).
+    GpuBanded,
+    /// Simulated-GPU kernel: two-level STT (hot states dense, cold bitmap).
+    GpuTwoLevel,
+    /// Simulated GPU with the STT layout auto-picked per workload.
+    GpuAuto,
     /// Simulated-GPU kernel: failureless PFAC.
     GpuPfac,
 }
@@ -28,22 +36,29 @@ impl Engine {
             "gpu:shared" => Ok(Engine::GpuShared),
             "gpu:global" => Ok(Engine::GpuGlobal),
             "gpu:compressed" => Ok(Engine::GpuCompressed),
+            "gpu:banded" => Ok(Engine::GpuBanded),
+            "gpu:twolevel" => Ok(Engine::GpuTwoLevel),
+            "gpu:auto" => Ok(Engine::GpuAuto),
             "gpu:pfac" => Ok(Engine::GpuPfac),
             other => Err(ParseError(format!(
                 "unknown engine '{other}' (serial, parallel, gpu:shared, gpu:global, \
-                 gpu:compressed, gpu:pfac)"
+                 gpu:compressed, gpu:banded, gpu:twolevel, gpu:auto, gpu:pfac)"
             ))),
         }
     }
 
-    /// All engines with their CLI names (for `compare`).
-    pub fn all() -> [(Engine, &'static str); 6] {
+    /// All engines with their CLI names (for `compare`). `gpu:auto` is
+    /// excluded: it resolves to one of the concrete layouts per workload,
+    /// so it would only duplicate a row.
+    pub fn all() -> [(Engine, &'static str); 8] {
         [
             (Engine::Serial, "serial"),
             (Engine::Parallel, "parallel"),
             (Engine::GpuShared, "gpu:shared"),
             (Engine::GpuGlobal, "gpu:global"),
             (Engine::GpuCompressed, "gpu:compressed"),
+            (Engine::GpuBanded, "gpu:banded"),
+            (Engine::GpuTwoLevel, "gpu:twolevel"),
             (Engine::GpuPfac, "gpu:pfac"),
         ]
     }
@@ -163,7 +178,10 @@ pub const USAGE: &str = "usage:
   acsim serve-sim [--jobs N] [--arrival-rate R] [--streams S] [--seed N]
                 [--job-bytes N] [--queue-cap N] [--no-batch] [--fermi] [--report FILE]
   acsim dot     --patterns FILE
-engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed | gpu:pfac
+engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed
+       | gpu:banded | gpu:twolevel | gpu:auto | gpu:pfac
+gpu:auto probes every STT layout on a sample of the input and keeps the
+fastest (texture-residency introspection reported as the evidence).
 --resilient runs supervised GPU matching that degrades to the CPU engines on
 failure; --fault-seed arms a deterministic fault-injection plan (testing aid).
 --trace-out writes a Chrome trace-event JSON (load in Perfetto); --metrics-out
@@ -852,5 +870,9 @@ mod tests {
         for (e, name) in Engine::all() {
             assert_eq!(Engine::parse(name).unwrap(), e);
         }
+        // `gpu:auto` deliberately sits outside `all()` (it duplicates a
+        // concrete layout's row) but must still parse.
+        assert_eq!(Engine::parse("gpu:auto").unwrap(), Engine::GpuAuto);
+        assert!(!Engine::all().iter().any(|&(e, _)| e == Engine::GpuAuto));
     }
 }

@@ -55,6 +55,20 @@ pub struct SmIntrospection {
     /// Texture fetches per `(texture, row)`; for the STT texture, row ==
     /// DFA state id, so `row_fetches[stt][s]` counts visits to state `s`.
     pub row_fetches: Vec<Vec<u64>>,
+    /// Total texture fetches per texture (Σ over rows of `row_fetches`,
+    /// kept separately so hit shares don't need a rescan).
+    #[serde(default)]
+    pub tex_fetches: Vec<u64>,
+    /// Texture-L1 hits per texture — the per-texture split the aggregate
+    /// `tex_l1` counters cannot provide. `tex_l1_hits[t] / tex_fetches[t]`
+    /// is texture `t`'s L1 residency share, the quantity the STT-layout
+    /// auto-picker maximizes for the state-table texture.
+    #[serde(default)]
+    pub tex_l1_hits: Vec<u64>,
+    /// Texture-L2 hits per texture (counted on L1 misses only) — which
+    /// texture's working set stays on-chip versus paying DRAM line fills.
+    #[serde(default)]
+    pub tex_l2_hits: Vec<u64>,
 }
 
 /// Device-wide introspection: one snapshot per SM plus fold-up helpers.
@@ -133,6 +147,45 @@ impl Introspection {
         out
     }
 
+    /// `(fetches, L1 hits)` for texture `tex`, summed over SMs. Returns
+    /// `(0, 0)` for textures the launch never touched.
+    pub fn tex_hit_counts(&self, tex: usize) -> (u64, u64) {
+        let mut fetches = 0u64;
+        let mut hits = 0u64;
+        for s in &self.per_sm {
+            fetches += s.tex_fetches.get(tex).copied().unwrap_or(0);
+            hits += s.tex_l1_hits.get(tex).copied().unwrap_or(0);
+        }
+        (fetches, hits)
+    }
+
+    /// Texture-L1 hit rate of texture `tex` alone — how resident that
+    /// texture's working set stayed, independent of traffic to the other
+    /// bound textures. `None` when the texture saw no fetches.
+    pub fn tex_l1_hit_rate(&self, tex: usize) -> Option<f64> {
+        let (fetches, hits) = self.tex_hit_counts(tex);
+        (fetches > 0).then(|| hits as f64 / fetches as f64)
+    }
+
+    /// `(L2 accesses, L2 hits)` for texture `tex`, summed over SMs. L2
+    /// accesses are exactly the texture's L1 misses.
+    pub fn tex_l2_counts(&self, tex: usize) -> (u64, u64) {
+        let (fetches, l1_hits) = self.tex_hit_counts(tex);
+        let mut hits = 0u64;
+        for s in &self.per_sm {
+            hits += s.tex_l2_hits.get(tex).copied().unwrap_or(0);
+        }
+        (fetches - l1_hits, hits)
+    }
+
+    /// Texture-L2 hit rate of texture `tex` alone — of this texture's L1
+    /// misses, the share served on-chip rather than by a DRAM line fill.
+    /// `None` when every fetch hit L1 (or the texture saw none).
+    pub fn tex_l2_hit_rate(&self, tex: usize) -> Option<f64> {
+        let (accesses, hits) = self.tex_l2_counts(tex);
+        (accesses > 0).then(|| hits as f64 / accesses as f64)
+    }
+
     /// Total DRAM busy cycles summed over SM channel slices.
     pub fn dram_busy_cycles(&self) -> u64 {
         self.per_sm
@@ -170,6 +223,12 @@ pub struct SmProbe {
     pub banks: BankHistogram,
     /// Fetch counts per `(texture, row)`.
     pub row_fetches: Vec<Vec<u64>>,
+    /// Fetch totals per texture.
+    pub tex_fetches: Vec<u64>,
+    /// Texture-L1 hits per texture.
+    pub tex_l1_hits: Vec<u64>,
+    /// Texture-L2 hits per texture (on L1 misses).
+    pub tex_l2_hits: Vec<u64>,
 }
 
 impl SmProbe {
@@ -180,6 +239,9 @@ impl SmProbe {
                 .iter()
                 .map(|t| vec![0u64; t.rows() as usize])
                 .collect(),
+            tex_fetches: vec![0; textures.len()],
+            tex_l1_hits: vec![0; textures.len()],
+            tex_l2_hits: vec![0; textures.len()],
         }
     }
 }
@@ -205,6 +267,8 @@ mod tests {
                 },
             ],
             row_fetches: vec![vec![5, 0, 7]],
+            tex_fetches: vec![12],
+            tex_l1_hits: vec![9],
             dram_busy: vec![BusyInterval { start: 0, end: 10 }],
             ..SmIntrospection::default()
         }
@@ -222,6 +286,9 @@ mod tests {
         assert_eq!(sets[1].accesses, 4);
         assert_eq!(intro.row_fetches(0), vec![10, 0, 14]);
         assert_eq!(intro.row_fetches(7), Vec::<u64>::new());
+        assert_eq!(intro.tex_hit_counts(0), (24, 18));
+        assert_eq!(intro.tex_l1_hit_rate(0), Some(0.75));
+        assert_eq!(intro.tex_l1_hit_rate(7), None);
         assert_eq!(intro.dram_busy_cycles(), 20);
     }
 

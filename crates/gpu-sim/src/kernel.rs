@@ -382,6 +382,22 @@ impl<'a> WarpCtx<'a> {
             let Some((row, col)) = *c else { continue };
             fetches += 1;
             out[lane] = t.fetch(row, col);
+            let addr = t.tiled_addr(row, col);
+            let l1_hit = self.tex_cache.access(addr).is_hit();
+            let mut l2_hit = false;
+            if !l1_hit {
+                misses_this_op += 1;
+                if self.tex_l2.access(addr).is_hit() {
+                    // On-chip L2 hit: latency only, no DRAM channel time.
+                    l2_hit = true;
+                    ready = ready.max(self.now + self.cfg.tex_l2_latency as Cycle);
+                } else {
+                    l2_misses_this_op += 1;
+                    ready = ready.max(self.dram.issue(self.now, line));
+                }
+            }
+            // Armed-only observation; the cache access above is identical
+            // either way.
             if let Some(probe) = self.probe.as_deref_mut() {
                 if let Some(slot) = probe
                     .row_fetches
@@ -390,16 +406,13 @@ impl<'a> WarpCtx<'a> {
                 {
                     *slot += 1;
                 }
-            }
-            let addr = t.tiled_addr(row, col);
-            if !self.tex_cache.access(addr).is_hit() {
-                misses_this_op += 1;
-                if self.tex_l2.access(addr).is_hit() {
-                    // On-chip L2 hit: latency only, no DRAM channel time.
-                    ready = ready.max(self.now + self.cfg.tex_l2_latency as Cycle);
-                } else {
-                    l2_misses_this_op += 1;
-                    ready = ready.max(self.dram.issue(self.now, line));
+                if let Some(total) = probe.tex_fetches.get_mut(tex.0) {
+                    *total += 1;
+                    if l1_hit {
+                        probe.tex_l1_hits[tex.0] += 1;
+                    } else if l2_hit {
+                        probe.tex_l2_hits[tex.0] += 1;
+                    }
                 }
             }
         }

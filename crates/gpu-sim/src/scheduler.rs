@@ -385,6 +385,9 @@ where
             banks: probe.banks,
             dram_busy: dram.take_busy_intervals(),
             row_fetches: probe.row_fetches,
+            tex_fetches: probe.tex_fetches,
+            tex_l1_hits: probe.tex_l1_hits,
+            tex_l2_hits: probe.tex_l2_hits,
         });
     }
     stats

@@ -26,6 +26,26 @@ fn text() -> Vec<u8> {
         .collect()
 }
 
+/// The loops below iterate `Approach::all()`, so the zero-cost invariant
+/// automatically covers new kernels — but only if they are actually in the
+/// list. Pin the compressed-layout family's presence so coverage cannot
+/// silently shrink if the enumeration is ever reworked.
+#[test]
+fn approach_enumeration_covers_the_layout_family() {
+    for approach in [
+        Approach::SharedDiagonal,
+        Approach::SharedBanded,
+        Approach::SharedTwoLevel,
+        Approach::SharedCompressed,
+    ] {
+        assert!(
+            Approach::all().contains(&approach),
+            "{approach:?} missing from Approach::all(): the zero-cost-hook \
+             tests would no longer cover it"
+        );
+    }
+}
+
 #[test]
 fn disabled_and_empty_plan_runs_are_bit_identical() {
     let text = text();
