@@ -56,11 +56,26 @@ pub struct SuperviseReport {
     pub retries: u32,
     /// Total simulated backoff cycles spent between attempts.
     pub backoff_cycles: u64,
+    /// Attempts the watchdog killed (each one burned its full cycle
+    /// budget before the supervisor could retry).
+    pub watchdog_kills: u32,
     /// Faults that fired during these attempts (delta of the matcher's
     /// injection log).
     pub faults: Vec<InjectedFault>,
     /// Display text of each failed attempt's error, in order.
     pub attempt_errors: Vec<String>,
+}
+
+impl SuperviseReport {
+    /// Simulated cycles the failed attempts cost on top of the winning
+    /// run: inter-attempt backoff plus the watchdog budget burned by each
+    /// killed attempt. (Transient launch failures die before executing
+    /// and corrupted readbacks are detected at the frame check, so
+    /// neither adds kernel time.) Serving paths charge this to their
+    /// simulated clock so retries are not free.
+    pub fn penalty_cycles(&self, watchdog_budget: Option<u64>) -> u64 {
+        self.backoff_cycles + self.watchdog_kills as u64 * watchdog_budget.unwrap_or(0)
+    }
 }
 
 /// A successful supervised run: the result plus its supervision trace.
@@ -111,6 +126,9 @@ pub fn run_supervised(
                 return Ok(Supervised { run, report });
             }
             Err(err) => {
+                if matches!(err, GpuError::Device(gpu_sim::DeviceError::Watchdog { .. })) {
+                    report.watchdog_kills += 1;
+                }
                 report.attempt_errors.push(err.to_string());
                 let retryable =
                     matches!(err.class(), ErrorClass::Transient | ErrorClass::Corrupted);
@@ -195,6 +213,27 @@ mod tests {
         assert_eq!(s.report.attempts, 2);
         assert!(s.report.attempt_errors[0].contains("watchdog"));
         assert_eq!(s.run.matches.len(), 3);
+        // The killed attempt burned its whole watchdog budget; the
+        // penalty accounts for it plus the backoff.
+        assert_eq!(s.report.watchdog_kills, 1);
+        let budget = SuperviseConfig::default().watchdog_cycles;
+        assert_eq!(
+            s.report.penalty_cycles(budget),
+            s.report.backoff_cycles + budget.unwrap()
+        );
+    }
+
+    #[test]
+    fn transient_failures_carry_no_watchdog_penalty() {
+        let m = matcher();
+        m.set_fault_plan(FaultPlan::none().with_launch_transient(0));
+        let s =
+            run_supervised(&m, b"ushers", Approach::SharedDiagonal, &Default::default()).unwrap();
+        assert_eq!(s.report.watchdog_kills, 0);
+        assert_eq!(
+            s.report.penalty_cycles(Some(1 << 30)),
+            s.report.backoff_cycles
+        );
     }
 
     #[test]

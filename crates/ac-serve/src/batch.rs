@@ -112,11 +112,7 @@ mod tests {
     use super::*;
 
     fn job(id: u64, payload: &[u8]) -> ScanJob {
-        ScanJob {
-            id,
-            payload: payload.to_vec(),
-            arrival_seconds: 0.0,
-        }
+        ScanJob::new(id, payload.to_vec(), 0.0)
     }
 
     #[test]

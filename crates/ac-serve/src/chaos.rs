@@ -1,0 +1,356 @@
+//! Seeded chaos soak: a deterministic fault storm under sustained load.
+//!
+//! [`chaos_soak`] serves the same workload twice through one matcher —
+//! once clean (the baseline), once with [`FaultPlan::generate_chaos`]
+//! armed (a kernel hang, corrupted readbacks, then a contiguous burst of
+//! launch transients, nothing after) — and checks the resilience
+//! contract:
+//!
+//! 1. **zero wrong matches** — every served answer equals the serial
+//!    oracle on that job's payload, faults or not;
+//! 2. **zero lost admitted jobs** — every submitted job is accounted for
+//!    exactly once: an answer, a typed expiry, a typed rejection, or a
+//!    typed shed;
+//! 3. **bounded degradation** — the breaker opens during the storm, and
+//!    the p99 of jobs completed inside the degraded window (first open →
+//!    last close) stays within `degraded_p99_factor` of those same jobs'
+//!    baseline latencies;
+//! 4. **recovery** — the breaker closes again, and jobs *arriving* after
+//!    the last close (steady state restored, storm backlog excluded)
+//!    have p99 within `recovered_p99_factor` of their baseline.
+//!
+//! Everything is keyed off one seed, so a failing verdict replays
+//! bit-identically.
+
+use crate::breaker::{BreakerConfig, BreakerState};
+use crate::report::{percentile, ServeReport};
+use crate::sim::{serve, ServeConfig, ServeRun};
+use crate::workload::{synthetic_workload, WorkloadConfig};
+use ac_gpu::{GpuAcMatcher, GpuError};
+use gpu_sim::FaultPlan;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Soak parameters: the load, the serving policy, and the bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for the fault storm ([`FaultPlan::generate_chaos`]).
+    pub seed: u64,
+    /// The sustained load offered to both runs.
+    pub workload: WorkloadConfig,
+    /// Serving policy for both runs.
+    pub serve: ServeConfig,
+    /// Degraded-window p99 may be at most this multiple of the same
+    /// jobs' baseline p99.
+    pub degraded_p99_factor: f64,
+    /// Post-recovery p99 may be at most this multiple of the same jobs'
+    /// baseline p99.
+    pub recovered_p99_factor: f64,
+}
+
+impl ChaosConfig {
+    /// The CI smoke soak: single stream, a tight retry budget so the
+    /// transient burst actually trips the breaker, a cooldown short
+    /// enough to re-probe (and recover) within the run, and a deadline
+    /// loose enough that only storm-stalled jobs can expire.
+    pub fn smoke(seed: u64) -> Self {
+        let mut serve = ServeConfig::new(1);
+        // One retry per batch: isolated transients are absorbed, but the
+        // contiguous burst fails whole batches and feeds the breaker.
+        serve.supervise.max_retries = 1;
+        // A watchdog budget of ~0.7 ms at the GTX 285 shader clock: well
+        // above any batch kernel, small enough that the injected hang
+        // costs bounded simulated time.
+        serve.supervise.watchdog_cycles = Some(1 << 20);
+        serve.breaker = BreakerConfig {
+            failure_threshold: 3,
+            cooldown_seconds: 300.0e-6,
+            half_open_successes: 2,
+        };
+        ChaosConfig {
+            seed,
+            workload: WorkloadConfig {
+                jobs: 1024,
+                // Sustained but serviceable: the default serving rate
+                // (1.6M/s) crams every arrival into ~0.6 ms and the run
+                // drains before the transient burst can trip the breaker.
+                // At 200k/s the load spans ~5 ms — the storm, the
+                // breaker's cooldown probes, and a healthy recovery tail
+                // all fit inside the run.
+                arrival_rate_per_sec: 200_000,
+                deadline_us: Some(4_000.0),
+                ..WorkloadConfig::defaults()
+            },
+            serve,
+            degraded_p99_factor: 25.0,
+            recovered_p99_factor: 1.5,
+        }
+    }
+}
+
+/// The soak's outcome, serializable as the CI artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosVerdict {
+    /// The storm seed.
+    pub seed: u64,
+    /// Clean-run summary.
+    pub baseline: ServeReport,
+    /// Storm-run summary.
+    pub faulted: ServeReport,
+    /// Served answers that disagreed with the serial oracle.
+    pub wrong_matches: u64,
+    /// Submitted jobs with no answer and no typed outcome.
+    pub lost_jobs: u64,
+    /// Start of the degraded window (first breaker open), seconds.
+    pub degraded_from_seconds: f64,
+    /// End of the degraded window (last breaker close), seconds.
+    pub degraded_until_seconds: f64,
+    /// p99 of degraded-window completions ÷ the same jobs' baseline p99.
+    pub degraded_p99_ratio: f64,
+    /// p99 of post-recovery completions ÷ the same jobs' baseline p99.
+    pub recovered_p99_ratio: f64,
+    /// Every violated invariant, human-readable. Empty = pass.
+    pub violations: Vec<String>,
+}
+
+impl ChaosVerdict {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Pretty JSON for the CI artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("verdict serialization is infallible")
+    }
+}
+
+/// Run the soak. The matcher's fault plan is owned for the duration:
+/// cleared before the baseline, armed with the storm for the second run,
+/// cleared again before returning.
+pub fn chaos_soak(matcher: &GpuAcMatcher, cfg: &ChaosConfig) -> Result<ChaosVerdict, GpuError> {
+    let jobs = synthetic_workload(&cfg.workload);
+
+    matcher.clear_fault_plan();
+    let baseline = serve(matcher, jobs.clone(), &cfg.serve)?;
+
+    matcher.set_fault_plan(FaultPlan::generate_chaos(cfg.seed));
+    let faulted = serve(matcher, jobs.clone(), &cfg.serve);
+    matcher.clear_fault_plan();
+    let faulted = faulted?;
+
+    let mut violations = Vec::new();
+
+    // 1. Zero wrong matches, against the serial oracle per payload.
+    let ac = matcher.automaton();
+    let mut wrong_matches = 0u64;
+    for out in &faulted.outcomes {
+        let job = &jobs[out.id as usize];
+        debug_assert_eq!(job.id, out.id, "workload ids are dense");
+        let mut expect = ac.find_all(&job.payload);
+        expect.sort();
+        let mut got = out.matches.clone();
+        got.sort();
+        if got != expect {
+            wrong_matches += 1;
+        }
+    }
+    if wrong_matches > 0 {
+        violations.push(format!(
+            "{wrong_matches} served answers disagree with the serial oracle"
+        ));
+    }
+
+    // 2. Zero lost jobs: every submitted id has exactly one terminal
+    // event (answer, expiry, rejection, or shed) in the faulted run.
+    let mut seen: BTreeMap<u64, u32> = BTreeMap::new();
+    for out in &faulted.outcomes {
+        *seen.entry(out.id).or_insert(0) += 1;
+    }
+    for e in &faulted.expiries {
+        *seen.entry(e.job_id).or_insert(0) += 1;
+    }
+    for r in &faulted.rejections {
+        *seen.entry(r.job_id).or_insert(0) += 1;
+    }
+    for s in &faulted.sheds {
+        *seen.entry(s.job_id).or_insert(0) += 1;
+    }
+    let mut lost_jobs = 0u64;
+    for job in &jobs {
+        match seen.get(&job.id) {
+            Some(1) => {}
+            Some(n) => violations.push(format!("job {} has {n} terminal events", job.id)),
+            None => lost_jobs += 1,
+        }
+    }
+    if lost_jobs > 0 {
+        violations.push(format!(
+            "{lost_jobs} admitted jobs vanished without answer, expiry, rejection, or shed"
+        ));
+    }
+
+    // 3 & 4. The breaker must open under the storm and close again, and
+    // latency inside/after the degraded window must stay within bounds
+    // relative to the SAME jobs' baseline latencies (fair under a
+    // saturating open-loop workload, where latency depends on position).
+    let opens: Vec<f64> = faulted
+        .breaker_transitions
+        .iter()
+        .filter(|t| t.to == BreakerState::Open)
+        .map(|t| t.at_seconds)
+        .collect();
+    let closes: Vec<f64> = faulted
+        .breaker_transitions
+        .iter()
+        .filter(|t| t.to == BreakerState::Closed)
+        .map(|t| t.at_seconds)
+        .collect();
+    let mut degraded_from = 0.0;
+    let mut degraded_until = 0.0;
+    let mut degraded_ratio = 0.0;
+    let mut recovered_ratio = 0.0;
+    if opens.is_empty() {
+        violations.push("the storm never opened the breaker".to_string());
+    } else if closes.is_empty() {
+        violations.push("the breaker opened but never closed again".to_string());
+    } else {
+        degraded_from = opens[0];
+        degraded_until = *closes.last().expect("non-empty");
+        let in_window = |t: f64| t >= degraded_from && t <= degraded_until;
+        degraded_ratio = p99_ratio_vs_baseline(
+            &faulted,
+            &baseline,
+            |o| in_window(o.completed_seconds),
+            &mut violations,
+            "degraded window",
+        );
+        if degraded_ratio > cfg.degraded_p99_factor {
+            violations.push(format!(
+                "degraded-window p99 is {degraded_ratio:.1}x baseline (bound {:.1}x)",
+                cfg.degraded_p99_factor
+            ));
+        }
+        // Recovery is judged on jobs that ARRIVE after the last close:
+        // completions just past the close still carry storm backlog, and
+        // charging that drain to "recovery" would punish the server for
+        // not losing the queued work.
+        let arrival_of = |id: u64| jobs[id as usize].arrival_seconds;
+        recovered_ratio = p99_ratio_vs_baseline(
+            &faulted,
+            &baseline,
+            |o| arrival_of(o.id) > degraded_until,
+            &mut violations,
+            "post-recovery window",
+        );
+        if recovered_ratio > cfg.recovered_p99_factor {
+            violations.push(format!(
+                "post-recovery p99 is {recovered_ratio:.2}x baseline (bound {:.2}x)",
+                cfg.recovered_p99_factor
+            ));
+        }
+    }
+
+    Ok(ChaosVerdict {
+        seed: cfg.seed,
+        baseline: baseline.report,
+        faulted: faulted.report,
+        wrong_matches,
+        lost_jobs,
+        degraded_from_seconds: degraded_from,
+        degraded_until_seconds: degraded_until,
+        degraded_p99_ratio: degraded_ratio,
+        recovered_p99_ratio: recovered_ratio,
+        violations,
+    })
+}
+
+/// p99 of the faulted outcomes selected by `pick`, divided by the p99 of
+/// the *same job ids* in the baseline run. Records a violation if either
+/// side has no samples.
+fn p99_ratio_vs_baseline(
+    faulted: &ServeRun,
+    baseline: &ServeRun,
+    pick: impl Fn(&crate::job::JobOutcome) -> bool,
+    violations: &mut Vec<String>,
+    what: &str,
+) -> f64 {
+    let picked: Vec<&crate::job::JobOutcome> =
+        faulted.outcomes.iter().filter(|o| pick(o)).collect();
+    let ids: BTreeSet<u64> = picked.iter().map(|o| o.id).collect();
+    let base: Vec<f64> = baseline
+        .outcomes
+        .iter()
+        .filter(|o| ids.contains(&o.id))
+        .map(|o| o.latency_seconds * 1.0e6)
+        .collect();
+    if picked.is_empty() || base.is_empty() {
+        violations.push(format!("no comparable completions in the {what}"));
+        return f64::INFINITY;
+    }
+    let fault_p99 = percentile(
+        &picked
+            .iter()
+            .map(|o| o.latency_seconds * 1.0e6)
+            .collect::<Vec<_>>(),
+        99.0,
+    );
+    let base_p99 = percentile(&base, 99.0);
+    if base_p99 <= 0.0 {
+        return f64::INFINITY;
+    }
+    fault_p99 / base_p99
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::AcAutomaton;
+    use ac_gpu::KernelParams;
+    use gpu_sim::GpuConfig;
+
+    fn chaos_matcher() -> GpuAcMatcher {
+        let gpu = GpuConfig::gtx285();
+        let ac = crate::workload::serve_automaton(crate::workload::DEFAULT_PATTERNS, 42);
+        let _: &AcAutomaton = &ac;
+        GpuAcMatcher::new(gpu, KernelParams::defaults_for(&gpu), ac).unwrap()
+    }
+
+    #[test]
+    fn smoke_soak_passes_and_exercises_every_path() {
+        let m = chaos_matcher();
+        let verdict = chaos_soak(&m, &ChaosConfig::smoke(7)).unwrap();
+        assert!(
+            verdict.passed(),
+            "chaos invariants violated: {:?}",
+            verdict.violations
+        );
+        assert_eq!(verdict.wrong_matches, 0);
+        assert_eq!(verdict.lost_jobs, 0);
+        assert!(verdict.faulted.breaker_opens >= 1);
+        assert!(verdict.faulted.cpu_fallback_batches > 0);
+        assert!(verdict.faulted.gpu_retries > 0);
+        assert!(verdict.faulted.faults_fired > 0);
+        assert!(verdict.degraded_until_seconds > verdict.degraded_from_seconds);
+        // The clean baseline run is untouched by resilience machinery.
+        assert_eq!(verdict.baseline.breaker_opens, 0);
+        assert_eq!(verdict.baseline.cpu_fallback_batches, 0);
+        assert_eq!(verdict.baseline.faults_fired, 0);
+    }
+
+    #[test]
+    fn soak_is_deterministic_per_seed() {
+        let m = chaos_matcher();
+        let a = chaos_soak(&m, &ChaosConfig::smoke(7)).unwrap();
+        let b = chaos_soak(&m, &ChaosConfig::smoke(7)).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        // The makespan is arrival-driven (the tail is idle either way),
+        // so seed placement shows up in the degraded window instead.
+        let c = chaos_soak(&m, &ChaosConfig::smoke(9)).unwrap();
+        assert_ne!(
+            (a.degraded_from_seconds, a.degraded_until_seconds),
+            (c.degraded_from_seconds, c.degraded_until_seconds),
+            "different seeds place the storm differently"
+        );
+    }
+}

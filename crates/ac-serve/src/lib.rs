@@ -16,22 +16,48 @@
 //!   DMA engine.
 //!
 //! Admission is bounded ([`queue`]): when the queue is full, new jobs are
-//! rejected with a typed [`Overloaded`] instead of growing latency without
-//! bound. [`ServeReport`] summarises a run — p50/p99 simulated latency,
+//! rejected with a typed [`Overloaded`] carrying a drain-rate
+//! `retry_after_us` hint instead of growing latency without bound.
+//! [`ServeReport`] summarises a run — p50/p99 simulated latency,
 //! jobs/sec, effective Gbps, batch-size histogram — and is what
 //! `acsim serve-sim` prints and the bench serving scenario records.
+//!
+//! The serving path also survives faults and overload with *bounded*
+//! degradation rather than falling over:
+//!
+//! * **supervision** — every batch runs under [`ac_gpu::run_supervised`]
+//!   (retry, watchdog, CRC-checked readback), with retry penalties
+//!   charged to the stream's simulated clock;
+//! * **circuit breaker** ([`breaker`]) — consecutive batch failures open
+//!   a per-GPU-tier breaker; open batches fail over to the CPU ladder
+//!   ([`integration::cpu_ladder_scan`]) until half-open probes re-earn
+//!   trust;
+//! * **deadlines** ([`JobExpiry`]) — admitted jobs overdue in the queue
+//!   expire as a typed outcome distinct from [`Overloaded`];
+//! * **SLO admission control** ([`slo`]) — a control loop over observed
+//!   latency sheds the lowest-priority arrivals and widens the batch
+//!   window while p99 exceeds the target;
+//! * **chaos soak** ([`chaos`]) — a seeded fault storm under sustained
+//!   load asserting no wrong matches, no lost admitted jobs, bounded
+//!   degradation while the breaker is open, and post-fault recovery.
 
 pub mod batch;
+pub mod breaker;
+pub mod chaos;
 pub mod job;
 pub mod queue;
 pub mod report;
 pub mod sim;
+pub mod slo;
 pub mod workload;
 
 pub use batch::{assemble_batch, demux_matches, AssembledBatch, BatchLimits, JobSpan};
-pub use job::{JobOutcome, ScanJob};
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, Route};
+pub use chaos::{chaos_soak, ChaosConfig, ChaosVerdict};
+pub use job::{JobExpiry, JobOutcome, ScanJob, ServedBy};
 pub use queue::{BoundedQueue, Overloaded};
 pub use report::{BatchBucket, ServeReport};
 pub use sim::ServeRun;
 pub use sim::{serve, ServeConfig};
+pub use slo::{AdmissionController, SheddedJob, SloConfig};
 pub use workload::{serve_automaton, synthetic_workload, WorkloadConfig, DEFAULT_PATTERNS};

@@ -1,11 +1,12 @@
-//! Bounded admission queue — backpressure instead of unbounded latency.
+//! Bounded admission queue — backpressure instead of unbounded latency,
+//! and deadline expiry instead of wasted batch slots.
 
-use crate::job::ScanJob;
+use crate::job::{JobExpiry, ScanJob};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// A job was rejected because the queue was full when it arrived.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Overloaded {
     /// The rejected job.
     pub job_id: u64,
@@ -13,14 +14,18 @@ pub struct Overloaded {
     pub queue_len: usize,
     /// The configured bound.
     pub capacity: usize,
+    /// How long the caller should wait before retrying, in microseconds,
+    /// derived from the batcher's observed drain rate (0 when the server
+    /// has not completed anything yet and has no rate to extrapolate).
+    pub retry_after_us: f64,
 }
 
 impl fmt::Display for Overloaded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "job {} rejected: queue full ({}/{})",
-            self.job_id, self.queue_len, self.capacity
+            "job {} rejected: queue full ({}/{}), retry after {:.0} us",
+            self.job_id, self.queue_len, self.capacity, self.retry_after_us
         )
     }
 }
@@ -43,13 +48,16 @@ impl BoundedQueue {
         }
     }
 
-    /// Admit a job, or reject it with [`Overloaded`] when full.
+    /// Admit a job, or reject it with [`Overloaded`] when full. The
+    /// rejection's `retry_after_us` hint starts at 0; the serve loop
+    /// fills it in from its drain-rate estimate.
     pub fn push(&mut self, job: ScanJob) -> Result<(), Overloaded> {
         if self.jobs.len() >= self.capacity {
             return Err(Overloaded {
                 job_id: job.id,
                 queue_len: self.jobs.len(),
                 capacity: self.capacity,
+                retry_after_us: 0.0,
             });
         }
         self.jobs.push_back(job);
@@ -59,6 +67,26 @@ impl BoundedQueue {
     /// Next job in FIFO order.
     pub fn pop(&mut self) -> Option<ScanJob> {
         self.jobs.pop_front()
+    }
+
+    /// Remove every queued job whose deadline is already past at `now`,
+    /// returning one typed [`JobExpiry`] per removed job in FIFO order.
+    /// Jobs without deadlines (and jobs still inside their deadline) keep
+    /// their relative order — expiry never reorders survivors.
+    pub fn expire_overdue(&mut self, now: f64) -> Vec<JobExpiry> {
+        let mut expired = Vec::new();
+        self.jobs.retain(|job| match job.deadline_seconds {
+            Some(d) if d < now => {
+                expired.push(JobExpiry {
+                    job_id: job.id,
+                    deadline_seconds: d,
+                    expired_at_seconds: now,
+                });
+                false
+            }
+            _ => true,
+        });
+        expired
     }
 
     /// Arrival time of the job at the head, if any.
@@ -92,11 +120,7 @@ mod tests {
     use super::*;
 
     fn job(id: u64) -> ScanJob {
-        ScanJob {
-            id,
-            payload: vec![b'x'],
-            arrival_seconds: id as f64,
-        }
+        ScanJob::new(id, vec![b'x'], id as f64)
     }
 
     #[test]
@@ -110,7 +134,8 @@ mod tests {
             Overloaded {
                 job_id: 3,
                 queue_len: 2,
-                capacity: 2
+                capacity: 2,
+                retry_after_us: 0.0,
             }
         );
         assert!(err.to_string().contains("job 3 rejected"));
@@ -127,5 +152,42 @@ mod tests {
         assert_eq!(q.capacity(), 1);
         q.push(job(1)).unwrap();
         assert!(q.push(job(2)).is_err());
+    }
+
+    #[test]
+    fn expiry_removes_only_overdue_jobs_in_order() {
+        let mut q = BoundedQueue::new(8);
+        q.push(job(1).with_deadline(5.0)).unwrap(); // overdue at t=10
+        q.push(job(2)).unwrap(); // no deadline: immune
+        q.push(job(3).with_deadline(20.0)).unwrap(); // still live
+        q.push(job(4).with_deadline(9.0)).unwrap(); // overdue at t=10
+        let expired = q.expire_overdue(10.0);
+        assert_eq!(
+            expired,
+            vec![
+                JobExpiry {
+                    job_id: 1,
+                    deadline_seconds: 5.0,
+                    expired_at_seconds: 10.0
+                },
+                JobExpiry {
+                    job_id: 4,
+                    deadline_seconds: 9.0,
+                    expired_at_seconds: 10.0
+                },
+            ]
+        );
+        // Survivors keep FIFO order.
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop().unwrap().id, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn deadline_exactly_at_now_is_not_expired() {
+        let mut q = BoundedQueue::new(4);
+        q.push(job(1).with_deadline(10.0)).unwrap();
+        assert!(q.expire_overdue(10.0).is_empty());
+        assert_eq!(q.len(), 1);
     }
 }

@@ -26,8 +26,28 @@ pub struct ServeReport {
     pub jobs_completed: u64,
     /// Jobs rejected by backpressure.
     pub jobs_rejected: u64,
-    /// Kernel launches issued.
+    /// Admitted jobs expired past their deadline while queued
+    /// (`#[serde(default)]`: absent in pre-resilience reports).
+    #[serde(default)]
+    pub jobs_expired: u64,
+    /// Jobs turned away by SLO admission control.
+    #[serde(default)]
+    pub jobs_shed: u64,
+    /// Batches formed (GPU launches plus CPU-failover batches).
     pub batches: u64,
+    /// Times the GPU-tier circuit breaker opened.
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Batches answered by the CPU ladder (breaker open, or GPU retry
+    /// budget exhausted).
+    #[serde(default)]
+    pub cpu_fallback_batches: u64,
+    /// Supervised GPU retries consumed across all batches.
+    #[serde(default)]
+    pub gpu_retries: u64,
+    /// Injected faults that fired during GPU batches.
+    #[serde(default)]
+    pub faults_fired: u64,
     /// Simulated wall time from first arrival to last completion.
     pub makespan_seconds: f64,
     /// Median completion latency, microseconds.
@@ -95,7 +115,13 @@ mod tests {
             jobs_submitted: 10,
             jobs_completed: 9,
             jobs_rejected: 1,
+            jobs_expired: 2,
+            jobs_shed: 1,
             batches: 3,
+            breaker_opens: 1,
+            cpu_fallback_batches: 2,
+            gpu_retries: 4,
+            faults_fired: 5,
             makespan_seconds: 0.5,
             p50_latency_us: 100.0,
             p99_latency_us: 900.0,
@@ -108,6 +134,61 @@ mod tests {
             batch_histogram: vec![BatchBucket { jobs: 3, count: 3 }],
         };
         let back = ServeReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_resilience_reports_parse_with_zero_counters() {
+        // A report serialized before the resilience fields existed must
+        // still load (serde defaults), so old artifacts stay readable.
+        let r = ServeReport {
+            streams: 1,
+            batched: false,
+            jobs_submitted: 1,
+            jobs_completed: 1,
+            jobs_rejected: 0,
+            jobs_expired: 0,
+            jobs_shed: 0,
+            batches: 1,
+            breaker_opens: 0,
+            cpu_fallback_batches: 0,
+            gpu_retries: 0,
+            faults_fired: 0,
+            makespan_seconds: 0.1,
+            p50_latency_us: 1.0,
+            p99_latency_us: 2.0,
+            mean_latency_us: 1.5,
+            jobs_per_sec: 10.0,
+            effective_gbps: 0.1,
+            payload_bytes: 100,
+            copy_utilisation: 0.1,
+            compute_utilisation: 0.2,
+            batch_histogram: vec![],
+        };
+        let resilience_keys = [
+            "\"jobs_expired\"",
+            "\"jobs_shed\"",
+            "\"breaker_opens\"",
+            "\"cpu_fallback_batches\"",
+            "\"gpu_retries\"",
+            "\"faults_fired\"",
+        ];
+        // Drop the (interior) resilience lines from the pretty JSON to
+        // reconstruct what an old artifact looked like.
+        let legacy: String = r
+            .to_json()
+            .lines()
+            .filter(|line| {
+                !resilience_keys
+                    .iter()
+                    .any(|k| line.trim_start().starts_with(k))
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        for k in resilience_keys {
+            assert!(!legacy.contains(k), "{k} should be stripped");
+        }
+        let back = ServeReport::from_json(&legacy).unwrap();
         assert_eq!(back, r);
     }
 }

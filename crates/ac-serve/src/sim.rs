@@ -17,14 +17,46 @@
 //! for other streams slot into the gap and copies genuinely overlap
 //! compute. With one stream the flush lands immediately before the next
 //! upload, reproducing the strictly serial order.
+//!
+//! # Resilience
+//!
+//! Every batch executes under the PR-1 supervisor ([`run_supervised`]):
+//! transient launch failures and corrupted readbacks are retried with
+//! deterministic backoff, hung kernels are watchdog-killed, and the
+//! retry cost ([`SuperviseReport::penalty_cycles`]) is charged to the
+//! stream's simulated clock so faults are never free. A batch that
+//! exhausts its retry budget is *not* lost: it fails over to the CPU
+//! ladder ([`integration::cpu_ladder_scan`] — parallel CPU, then the
+//! serial oracle) on a separate simulated CPU clock, and feeds the
+//! per-GPU-tier [`CircuitBreaker`]. While the breaker is open,
+//! subsequent batches skip the GPU entirely and run on the CPU tier
+//! until a cooldown elapses and half-open probes re-earn trust.
+//!
+//! Admitted jobs whose deadline passes while still queued are expired
+//! with a typed [`JobExpiry`] — an answer distinct from backpressure
+//! ([`crate::Overloaded`]) — instead of wasting a batch slot. When an
+//! SLO target is configured ([`SloConfig`]), an [`AdmissionController`]
+//! tracks sliding-window p99 against it, sheds the lowest-priority
+//! arrivals while over target, and grows the batcher's window to drain
+//! the backlog faster.
+//!
+//! With no faults armed, no deadlines, and no SLO config, every one of
+//! these paths is quiescent and the schedule is bit-identical to the
+//! plain batched server.
 
-use crate::batch::{assemble_batch, demux_matches, BatchLimits};
-use crate::job::{JobOutcome, ScanJob};
+use crate::batch::{assemble_batch, demux_matches, AssembledBatch, BatchLimits};
+use crate::breaker::{BreakerConfig, BreakerTransition, CircuitBreaker, Route};
+use crate::job::{JobExpiry, JobOutcome, ScanJob, ServedBy};
 use crate::queue::{BoundedQueue, Overloaded};
 use crate::report::{percentile, BatchBucket, ServeReport};
+use crate::slo::{AdmissionController, SheddedJob, SloConfig};
+use ac_cpu::ParallelConfig;
 use ac_gpu::multistream::readback_bytes;
-use ac_gpu::{Approach, GpuAcMatcher, GpuError, PcieConfig};
+use ac_gpu::supervise::SuperviseReport;
+use ac_gpu::{run_supervised, Approach, GpuAcMatcher, GpuError, PcieConfig, SuperviseConfig};
+use cpu_sim::{simulate_multicore, CpuConfig};
 use gpu_sim::{EngineKind, StreamEngine, StreamOpKind, StreamTimeline};
+use integration::cpu_ladder_scan;
 use std::collections::BTreeMap;
 
 /// Server policy knobs.
@@ -40,6 +72,22 @@ pub struct ServeConfig {
     pub pcie: PcieConfig,
     /// Kernel approach for every launch.
     pub approach: Approach,
+    /// Per-batch GPU retry/watchdog policy. With no faults armed the
+    /// supervisor is pure bookkeeping: one attempt, zero penalty.
+    pub supervise: SuperviseConfig,
+    /// GPU-tier circuit breaker policy.
+    pub breaker: BreakerConfig,
+    /// SLO admission control; `None` disables shedding and batch-window
+    /// adaptation entirely.
+    pub slo: Option<SloConfig>,
+    /// Worker geometry for the CPU failover ladder's parallel rung
+    /// (functional only; timing comes from the model below).
+    pub parallel: ParallelConfig,
+    /// CPU timing model for failover batches.
+    pub cpu: CpuConfig,
+    /// Modelled cores the failover executor runs on (fixed, so failover
+    /// timing is host-independent).
+    pub cpu_cores: usize,
 }
 
 impl ServeConfig {
@@ -54,12 +102,24 @@ impl ServeConfig {
             },
             pcie: PcieConfig::gen2_x16(),
             approach: Approach::SharedDiagonal,
+            supervise: SuperviseConfig::default(),
+            breaker: BreakerConfig::default(),
+            slo: None,
+            parallel: ParallelConfig::default_for_host(),
+            cpu: CpuConfig::core2duo_2_2ghz(),
+            cpu_cores: 2,
         }
     }
 
     /// Same server but per-job launches (the batching ablation).
     pub fn per_job(mut self) -> Self {
         self.limits = BatchLimits::per_job();
+        self
+    }
+
+    /// Enable SLO admission control.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
         self
     }
 }
@@ -73,6 +133,12 @@ pub struct ServeRun {
     pub outcomes: Vec<JobOutcome>,
     /// Jobs refused by backpressure.
     pub rejections: Vec<Overloaded>,
+    /// Admitted jobs whose deadline passed while queued.
+    pub expiries: Vec<JobExpiry>,
+    /// Jobs turned away by SLO admission control.
+    pub sheds: Vec<SheddedJob>,
+    /// Circuit-breaker state changes, in time order.
+    pub breaker_transitions: Vec<BreakerTransition>,
     /// The scheduled op timeline (Chrome-trace exportable).
     pub timeline: StreamTimeline,
 }
@@ -92,48 +158,93 @@ pub fn serve(
     });
     let submitted = jobs.len() as u64;
     let gap = matcher.automaton().required_overlap();
-    let max_jobs = cfg.limits.max_jobs.max(1);
+    let base_max_jobs = cfg.limits.max_jobs.max(1);
+    let clock_hz = matcher.config().clock_hz;
 
     let mut engine = StreamEngine::new(cfg.streams);
     let mut queue = BoundedQueue::new(cfg.queue_capacity);
+    let mut breaker = CircuitBreaker::new(cfg.breaker);
+    let mut slo = cfg.slo.map(|s| AdmissionController::new(s, base_max_jobs));
     let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
     let mut rejections = Vec::new();
+    let mut expiries: Vec<JobExpiry> = Vec::new();
     let mut histogram: BTreeMap<usize, u64> = BTreeMap::new();
     let mut batches = 0u64;
     let mut payload_bytes = 0u64;
     let mut next = 0usize;
     let mut pending: Vec<Option<PendingReadback>> = (0..cfg.streams.max(1)).map(|_| None).collect();
+    // The CPU failover executor's own in-order clock: failover batches
+    // queue behind each other here, not on a GPU stream.
+    let mut cpu_free = 0.0f64;
+    let mut gpu_retries = 0u64;
+    let mut cpu_fallback_batches = 0u64;
+    let mut faults_fired = 0u64;
 
     loop {
         if queue.is_empty() {
             if next >= jobs.len() {
                 break;
             }
-            queue
-                .push(jobs[next].clone())
-                .expect("empty queue admits one job");
+            let job = jobs[next].clone();
             next += 1;
+            if shed(&mut slo, &job) {
+                continue;
+            }
+            queue.push(job).expect("empty queue admits one job");
         }
-        let (stream, free) = engine.next_free_stream();
-        let dispatch = free.max(queue.head_arrival().expect("queue is non-empty"));
+        let (stream, gpu_free) = engine.next_free_stream();
+        let head = queue.head_arrival().expect("queue is non-empty");
+        let gpu_dispatch = gpu_free.max(head);
+        let route = breaker.route_at(gpu_dispatch);
+        let dispatch = match route {
+            Route::Gpu => gpu_dispatch,
+            Route::Cpu => cpu_free.max(head),
+        };
         // Reusing this stream: its held readback goes first, so the new
         // upload queues behind it on both the stream and the copy engine.
-        if let Some(p) = pending[stream as usize].take() {
-            flush_readback(&mut engine, &mut outcomes, p);
+        if route == Route::Gpu {
+            if let Some(p) = pending[stream as usize].take() {
+                flush_readback(&mut engine, &mut outcomes, &mut slo, p);
+            }
         }
-        // Everything that arrived while the stream was busy is admitted
-        // now (or bounced off the full queue).
+        // Everything that arrived while the tier was busy is admitted
+        // now (shed under SLO pressure, or bounced off the full queue
+        // with a drain-rate retry hint).
+        let drain_rate = if dispatch > 0.0 {
+            outcomes.len() as f64 / dispatch
+        } else {
+            0.0
+        };
         while next < jobs.len() && jobs[next].arrival_seconds <= dispatch {
-            if let Err(e) = queue.push(jobs[next].clone()) {
+            let job = jobs[next].clone();
+            next += 1;
+            if shed(&mut slo, &job) {
+                continue;
+            }
+            if let Err(mut e) = queue.push(job) {
+                if drain_rate > 0.0 {
+                    e.retry_after_us = e.capacity as f64 / drain_rate * 1.0e6;
+                }
                 rejections.push(e);
             }
-            next += 1;
+        }
+        // Overdue jobs get a typed expiry instead of a batch slot. Any
+        // expiry may have changed the head, so re-plan from the top.
+        let newly_expired = queue.expire_overdue(dispatch);
+        if !newly_expired.is_empty() {
+            expiries.extend(newly_expired);
+            continue;
         }
 
-        // Coalesce the backlog head into one launch.
+        // Coalesce the backlog head into one launch. Under SLO pressure
+        // the controller widens the window beyond the configured base.
+        let max_jobs_now = slo
+            .as_ref()
+            .map(|c| c.batch_jobs())
+            .unwrap_or(base_max_jobs);
         let mut batch = vec![queue.pop().expect("queue is non-empty")];
         let mut batch_bytes = batch[0].payload.len();
-        while batch.len() < max_jobs {
+        while batch.len() < max_jobs_now {
             match queue.head_payload_len() {
                 Some(len) if batch_bytes + len <= cfg.limits.max_bytes => {
                     batch_bytes += len;
@@ -144,34 +255,105 @@ pub fn serve(
         }
 
         let assembled = assemble_batch(&batch, gap);
-        let run = matcher.run(&assembled.data, cfg.approach)?;
-        let per_job = demux_matches(&run.matches, &assembled.spans);
-
         let label = format!("batch{batches}");
-        let h2d = cfg.pcie.copy_seconds(assembled.data.len());
-        let rb_bytes = readback_bytes(run.match_events);
-        let d2h = cfg.pcie.copy_seconds(rb_bytes as usize);
-        engine.submit_at(
-            stream,
-            StreamOpKind::CopyH2D,
-            &label,
-            h2d,
-            assembled.data.len() as u64,
-            dispatch,
-        );
-        engine.submit(stream, StreamOpKind::Kernel, &label, run.seconds(), 0);
-
         batches += 1;
         payload_bytes += batch_bytes as u64;
         *histogram.entry(batch.len()).or_insert(0) += 1;
-        pending[stream as usize] = Some(PendingReadback {
-            stream,
-            label,
-            d2h_seconds: d2h,
-            rb_bytes,
-            batch,
-            per_job,
-        });
+
+        match route {
+            Route::Cpu => {
+                cpu_free = run_cpu_batch(
+                    matcher,
+                    cfg,
+                    &assembled,
+                    batch,
+                    dispatch,
+                    &mut outcomes,
+                    &mut slo,
+                );
+                cpu_fallback_batches += 1;
+            }
+            Route::Gpu => {
+                match run_supervised(matcher, &assembled.data, cfg.approach, &cfg.supervise) {
+                    Ok(sup) => {
+                        tally(&sup.report, &mut gpu_retries, &mut faults_fired);
+                        let penalty = sup.report.penalty_cycles(cfg.supervise.watchdog_cycles)
+                            as f64
+                            / clock_hz;
+                        let per_job = demux_matches(&sup.run.matches, &assembled.spans);
+                        let h2d = cfg.pcie.copy_seconds(assembled.data.len());
+                        let rb_bytes = readback_bytes(sup.run.match_events);
+                        let d2h = cfg.pcie.copy_seconds(rb_bytes as usize);
+                        engine.submit_at(
+                            stream,
+                            StreamOpKind::CopyH2D,
+                            &label,
+                            h2d,
+                            assembled.data.len() as u64,
+                            dispatch,
+                        );
+                        // Retry penalty (backoff + watchdog-burned budgets)
+                        // is charged to the stream: faults cost real time.
+                        engine.submit(
+                            stream,
+                            StreamOpKind::Kernel,
+                            &label,
+                            sup.run.seconds() + penalty,
+                            0,
+                        );
+                        breaker.record_success(engine.stream_ready(stream));
+                        pending[stream as usize] = Some(PendingReadback {
+                            stream,
+                            label,
+                            d2h_seconds: d2h,
+                            rb_bytes,
+                            batch,
+                            per_job,
+                        });
+                    }
+                    Err((err, rep)) => {
+                        tally(&rep, &mut gpu_retries, &mut faults_fired);
+                        // The failed attempts still burned stream time: the
+                        // upload happened, and backoff/watchdog budgets
+                        // elapsed before the supervisor gave up.
+                        let penalty =
+                            rep.penalty_cycles(cfg.supervise.watchdog_cycles) as f64 / clock_hz;
+                        let h2d = cfg.pcie.copy_seconds(assembled.data.len());
+                        engine.submit_at(
+                            stream,
+                            StreamOpKind::CopyH2D,
+                            &format!("{label}-failed"),
+                            h2d,
+                            assembled.data.len() as u64,
+                            dispatch,
+                        );
+                        if penalty > 0.0 {
+                            engine.submit(
+                                stream,
+                                StreamOpKind::Kernel,
+                                &format!("{label}-failed"),
+                                penalty,
+                                0,
+                            );
+                        }
+                        let failed_at = engine.stream_ready(stream);
+                        breaker.record_failure(failed_at, &err.to_string());
+                        // The batch is admitted work: it fails over to the
+                        // CPU ladder rather than being dropped.
+                        cpu_free = run_cpu_batch(
+                            matcher,
+                            cfg,
+                            &assembled,
+                            batch,
+                            cpu_free.max(failed_at),
+                            &mut outcomes,
+                            &mut slo,
+                        );
+                        cpu_fallback_batches += 1;
+                    }
+                }
+            }
+        }
     }
 
     // Drain: no more uploads will fill the copy-engine gaps, so flush the
@@ -184,19 +366,29 @@ pub fn serve(
             .expect("sim times are finite")
     });
     for p in leftovers {
-        flush_readback(&mut engine, &mut outcomes, p);
+        flush_readback(&mut engine, &mut outcomes, &mut slo, p);
     }
 
     let timeline = engine.finish();
-    let makespan = timeline.total_seconds();
+    // CPU-failover completions can outlast the GPU timeline.
+    let makespan = outcomes
+        .iter()
+        .fold(timeline.total_seconds(), |m, o| m.max(o.completed_seconds));
     let latencies_us: Vec<f64> = outcomes.iter().map(|o| o.latency_seconds * 1.0e6).collect();
+    let sheds = slo.map(|c| c.sheds().to_vec()).unwrap_or_default();
     let report = ServeReport {
         streams: timeline.streams,
-        batched: max_jobs > 1,
+        batched: base_max_jobs > 1,
         jobs_submitted: submitted,
         jobs_completed: outcomes.len() as u64,
         jobs_rejected: rejections.len() as u64,
+        jobs_expired: expiries.len() as u64,
+        jobs_shed: sheds.len() as u64,
         batches,
+        breaker_opens: breaker.opens(),
+        cpu_fallback_batches,
+        gpu_retries,
+        faults_fired,
         makespan_seconds: makespan,
         p50_latency_us: percentile(&latencies_us, 50.0),
         p99_latency_us: percentile(&latencies_us, 99.0),
@@ -219,8 +411,67 @@ pub fn serve(
         report,
         outcomes,
         rejections,
+        expiries,
+        sheds,
+        breaker_transitions: breaker.transitions().to_vec(),
         timeline,
     })
+}
+
+/// Ask the admission controller about an arrival; true = turned away.
+fn shed(slo: &mut Option<AdmissionController>, job: &ScanJob) -> bool {
+    slo.as_mut()
+        .map(|c| c.admit(job.id, job.priority, job.arrival_seconds).is_some())
+        .unwrap_or(false)
+}
+
+fn tally(rep: &SuperviseReport, gpu_retries: &mut u64, faults_fired: &mut u64) {
+    *gpu_retries += rep.retries as u64;
+    *faults_fired += rep.faults.len() as u64;
+}
+
+/// Run one batch on the CPU ladder: matches from
+/// [`integration::cpu_ladder_scan`] (parallel rung, serial-oracle floor),
+/// wall time from the multicore model on a fixed core count. Outcomes are
+/// recorded immediately — the CPU tier has no deferred readback. Returns
+/// the completion time (the executor's next free instant).
+fn run_cpu_batch(
+    matcher: &GpuAcMatcher,
+    cfg: &ServeConfig,
+    assembled: &AssembledBatch,
+    batch: Vec<ScanJob>,
+    start: f64,
+    outcomes: &mut Vec<JobOutcome>,
+    slo: &mut Option<AdmissionController>,
+) -> f64 {
+    let ac = matcher.automaton();
+    let ladder = cpu_ladder_scan(ac, &assembled.data, &cfg.parallel);
+    let per_job = demux_matches(&ladder.matches, &assembled.spans);
+    let timing = simulate_multicore(
+        &cfg.cpu,
+        ac.stt(),
+        &assembled.data,
+        cfg.cpu_cores.max(1),
+        ac.required_overlap(),
+    );
+    let done = start + timing.seconds(&cfg.cpu);
+    let batch_jobs = batch.len();
+    for (job, matches) in batch.into_iter().zip(per_job) {
+        let latency = done - job.arrival_seconds;
+        if let Some(c) = slo.as_mut() {
+            c.observe(latency);
+        }
+        outcomes.push(JobOutcome {
+            id: job.id,
+            matches,
+            completed_seconds: done,
+            latency_seconds: latency,
+            batch_jobs,
+            stream: 0,
+            served_by: ServedBy::CpuLadder,
+        });
+    }
+    done
 }
 
 /// A batch whose kernel has been issued but whose readback is held
@@ -235,7 +486,12 @@ struct PendingReadback {
 }
 
 /// Enqueue the held `d2h` and record its jobs' outcomes.
-fn flush_readback(engine: &mut StreamEngine, outcomes: &mut Vec<JobOutcome>, p: PendingReadback) {
+fn flush_readback(
+    engine: &mut StreamEngine,
+    outcomes: &mut Vec<JobOutcome>,
+    slo: &mut Option<AdmissionController>,
+    p: PendingReadback,
+) {
     engine.submit(
         p.stream,
         StreamOpKind::CopyD2H,
@@ -246,13 +502,18 @@ fn flush_readback(engine: &mut StreamEngine, outcomes: &mut Vec<JobOutcome>, p: 
     let done = engine.stream_ready(p.stream);
     let batch_jobs = p.batch.len();
     for (job, matches) in p.batch.into_iter().zip(p.per_job) {
+        let latency = done - job.arrival_seconds;
+        if let Some(c) = slo.as_mut() {
+            c.observe(latency);
+        }
         outcomes.push(JobOutcome {
             id: job.id,
             matches,
             completed_seconds: done,
-            latency_seconds: done - job.arrival_seconds,
+            latency_seconds: latency,
             batch_jobs,
             stream: p.stream,
+            served_by: ServedBy::Gpu,
         });
     }
 }
@@ -271,7 +532,7 @@ mod tests {
     use crate::workload::{synthetic_workload, WorkloadConfig};
     use ac_core::{AcAutomaton, PatternSet};
     use ac_gpu::KernelParams;
-    use gpu_sim::GpuConfig;
+    use gpu_sim::{FaultPlan, GpuConfig};
 
     fn matcher() -> GpuAcMatcher {
         let cfg = GpuConfig::gtx285();
@@ -286,8 +547,19 @@ mod tests {
             jobs: 12,
             arrival_rate_per_sec: 2000,
             job_bytes: 4096,
-            seed: 9,
+            ..WorkloadConfig::defaults()
         })
+    }
+
+    fn assert_oracle_matches(m: &GpuAcMatcher, jobs: &[ScanJob], run: &ServeRun) {
+        for job in jobs {
+            let out = run.outcomes.iter().find(|o| o.id == job.id).unwrap();
+            let mut expect = m.automaton().find_all(&job.payload);
+            expect.sort();
+            let mut got = out.matches.clone();
+            got.sort();
+            assert_eq!(got, expect, "job {}", job.id);
+        }
     }
 
     #[test]
@@ -297,15 +569,12 @@ mod tests {
         let run = serve(&m, jobs.clone(), &ServeConfig::new(2)).unwrap();
         assert_eq!(run.report.jobs_completed, jobs.len() as u64);
         assert_eq!(run.report.jobs_rejected, 0);
-        for job in &jobs {
-            let out = run.outcomes.iter().find(|o| o.id == job.id).unwrap();
-            let mut expect = m.automaton().find_all(&job.payload);
-            expect.sort();
-            let mut got = out.matches.clone();
-            got.sort();
-            assert_eq!(got, expect, "job {}", job.id);
-            assert!(out.latency_seconds > 0.0);
-        }
+        assert_eq!(run.report.gpu_retries, 0);
+        assert_eq!(run.report.breaker_opens, 0);
+        assert_eq!(run.report.cpu_fallback_batches, 0);
+        assert_oracle_matches(&m, &jobs, &run);
+        assert!(run.outcomes.iter().all(|o| o.served_by == ServedBy::Gpu));
+        assert!(run.outcomes.iter().all(|o| o.latency_seconds > 0.0));
         let hist_total: u64 = run.report.batch_histogram.iter().map(|b| b.count).sum();
         assert_eq!(hist_total, run.report.batches);
     }
@@ -334,15 +603,12 @@ mod tests {
     }
 
     #[test]
-    fn tiny_queue_rejects_under_burst() {
+    fn tiny_queue_rejects_under_burst_with_retry_hint() {
         let m = matcher();
-        // Everything arrives at t=0; capacity 2 must bounce most of it.
+        // Near-simultaneous arrivals of slow jobs; capacity 2 must bounce
+        // most of the backlog once the server is busy.
         let jobs: Vec<ScanJob> = (0..10)
-            .map(|id| ScanJob {
-                id,
-                payload: b"the thing and her".to_vec(),
-                arrival_seconds: 0.0,
-            })
+            .map(|id| ScanJob::new(id, vec![b't'; 32 * 1024], id as f64 * 1.0e-6))
             .collect();
         let mut cfg = ServeConfig::new(1).per_job();
         cfg.queue_capacity = 2;
@@ -353,5 +619,123 @@ mod tests {
             run.report.jobs_submitted
         );
         assert!(run.rejections.iter().all(|r| r.capacity == 2));
+        // Rejections issued after the first completion carry a positive
+        // drain-rate hint.
+        assert!(run.rejections.iter().any(|r| r.retry_after_us > 0.0));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_charged() {
+        let m = matcher();
+        let clean = serve(&m, tiny_workload(), &ServeConfig::new(1)).unwrap();
+        m.set_fault_plan(FaultPlan::none().with_launch_transient(0));
+        let faulted = serve(&m, tiny_workload(), &ServeConfig::new(1)).unwrap();
+        m.clear_fault_plan();
+        assert_eq!(faulted.report.gpu_retries, 1);
+        assert_eq!(faulted.report.faults_fired, 1);
+        assert_eq!(faulted.report.breaker_opens, 0);
+        assert_eq!(faulted.report.jobs_completed, faulted.report.jobs_submitted);
+        // The retry's backoff is on the clock: the faulted batch (and the
+        // jobs in it) finishes later than in the clean run. The makespan
+        // may not move — the penalty hides in the idle gap before the
+        // next arrival — but the affected completion must.
+        let first = |run: &ServeRun| {
+            run.outcomes
+                .iter()
+                .find(|o| o.id == 0)
+                .expect("job 0 served")
+                .completed_seconds
+        };
+        assert!(first(&faulted) > first(&clean));
+        assert_oracle_matches(&m, &tiny_workload(), &faulted);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_over_and_trip_the_breaker() {
+        let m = matcher();
+        // Every launch fails: with a zero retry budget each GPU batch
+        // fails immediately, the breaker opens at the threshold, and
+        // everything is answered by the CPU ladder.
+        let mut plan = FaultPlan::none();
+        for i in 0..64 {
+            plan = plan.with_launch_transient(i);
+        }
+        m.set_fault_plan(plan);
+        let jobs = tiny_workload();
+        let mut cfg = ServeConfig::new(1);
+        cfg.supervise.max_retries = 0;
+        cfg.breaker.cooldown_seconds = 1.0; // never half-opens in-run
+        let run = serve(&m, jobs.clone(), &cfg).unwrap();
+        m.clear_fault_plan();
+        assert_eq!(run.report.breaker_opens, 1);
+        assert!(run.report.cpu_fallback_batches > 0);
+        assert_eq!(run.report.jobs_completed, run.report.jobs_submitted);
+        assert!(run
+            .outcomes
+            .iter()
+            .all(|o| o.served_by == ServedBy::CpuLadder));
+        // No admitted job was lost, and answers match the oracle.
+        assert_oracle_matches(&m, &jobs, &run);
+        assert!(!run.breaker_transitions.is_empty());
+    }
+
+    #[test]
+    fn overdue_jobs_expire_as_typed_outcomes() {
+        let m = matcher();
+        // A burst at t=0 with deadlines only one job can meet on a
+        // per-job single-stream server.
+        let jobs: Vec<ScanJob> = (0..6)
+            .map(|id| ScanJob::new(id, vec![b'x'; 32 * 1024], 0.0).with_deadline(100.0e-6))
+            .collect();
+        let cfg = ServeConfig::new(1).per_job();
+        let run = serve(&m, jobs, &cfg).unwrap();
+        assert!(run.report.jobs_expired > 0, "deadlines must bite");
+        assert_eq!(
+            run.report.jobs_completed + run.report.jobs_expired + run.report.jobs_rejected,
+            run.report.jobs_submitted
+        );
+        // Expired ids and completed ids are disjoint: exactly one answer
+        // per admitted job.
+        for e in &run.expiries {
+            assert!(run.outcomes.iter().all(|o| o.id != e.job_id));
+        }
+    }
+
+    #[test]
+    fn slo_pressure_sheds_low_priority_and_widens_batches() {
+        let m = matcher();
+        // Arrivals faster than the 2-job batcher drains, alternating
+        // priorities, a p99 target far below what the backlog produces —
+        // and an arrival tail long enough that jobs are still coming in
+        // once the controller has *observed* the pressure (admission
+        // control can only shed arrivals, not the existing backlog).
+        let jobs: Vec<ScanJob> = (0..64)
+            .map(|id| {
+                ScanJob::new(id, vec![b'y'; 32 * 1024], id as f64 * 5.0e-6)
+                    .with_priority((id % 2) as u8)
+            })
+            .collect();
+        let mut cfg = ServeConfig::new(1);
+        cfg.limits.max_jobs = 2;
+        cfg.slo = Some(SloConfig {
+            p99_target_seconds: 50.0e-6,
+            window: 8,
+            shed_below_priority: 1,
+            recover_ratio: 0.5,
+            max_batch_jobs: 16,
+        });
+        let run = serve(&m, jobs, &cfg).unwrap();
+        assert!(run.report.jobs_shed > 0, "shedding must engage");
+        assert!(run.sheds.iter().all(|s| s.priority == 0));
+        assert_eq!(
+            run.report.jobs_completed + run.report.jobs_shed + run.report.jobs_rejected,
+            run.report.jobs_submitted
+        );
+        // The widened window shows up as batches above the configured max.
+        assert!(run
+            .report
+            .batch_histogram
+            .iter()
+            .any(|b| b.jobs > cfg.limits.max_jobs));
     }
 }

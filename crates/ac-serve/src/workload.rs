@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 pub const DEFAULT_PATTERNS: usize = 50;
 
 /// Parameters of a synthetic workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadConfig {
     /// Jobs to generate.
     pub jobs: u64,
@@ -27,6 +27,14 @@ pub struct WorkloadConfig {
     pub job_bytes: usize,
     /// RNG seed for sizes, arrival jitter, and payload text.
     pub seed: u64,
+    /// Per-job deadline, microseconds after arrival; `None` = no
+    /// deadlines. Derived from the arrival clock, not the RNG, so
+    /// enabling deadlines never perturbs payloads or arrival times.
+    pub deadline_us: Option<f64>,
+    /// Number of priority classes; job `id` gets priority
+    /// `id % priority_classes` (0 = lowest, shed first). `1` = everything
+    /// lowest priority. Also RNG-free.
+    pub priority_classes: u8,
 }
 
 impl WorkloadConfig {
@@ -42,6 +50,8 @@ impl WorkloadConfig {
             arrival_rate_per_sec: 1_600_000,
             job_bytes: 2048,
             seed: 42,
+            deadline_us: None,
+            priority_classes: 1,
         }
     }
 }
@@ -74,11 +84,14 @@ pub fn synthetic_workload(cfg: &WorkloadConfig) -> Vec<ScanJob> {
         clock += mean_gap * (rng.random_range(500u64..1500) as f64 / 1000.0);
         let len = (cfg.job_bytes / 2).max(1)
             + rng.random_range(0u64..cfg.job_bytes.max(1) as u64) as usize;
-        jobs.push(ScanJob {
-            id,
-            payload: text.generate(len),
-            arrival_seconds: clock,
-        });
+        let mut job = ScanJob::new(id, text.generate(len), clock);
+        if let Some(us) = cfg.deadline_us {
+            job = job.with_deadline(clock + us * 1.0e-6);
+        }
+        if cfg.priority_classes > 1 {
+            job = job.with_priority((id % cfg.priority_classes as u64) as u8);
+        }
+        jobs.push(job);
     }
     jobs
 }
@@ -104,6 +117,28 @@ mod tests {
         // Sizes jitter around the nominal value.
         let mean: f64 = a.iter().map(|j| j.payload.len() as f64).sum::<f64>() / a.len() as f64;
         assert!(mean > cfg.job_bytes as f64 * 0.7 && mean < cfg.job_bytes as f64 * 1.3);
+    }
+
+    #[test]
+    fn deadlines_and_priorities_never_perturb_payloads() {
+        let base = synthetic_workload(&WorkloadConfig::defaults());
+        let shaped = synthetic_workload(&WorkloadConfig {
+            deadline_us: Some(500.0),
+            priority_classes: 3,
+            ..WorkloadConfig::defaults()
+        });
+        for (a, b) in base.iter().zip(&shaped) {
+            assert_eq!(a.payload, b.payload);
+            assert_eq!(a.arrival_seconds, b.arrival_seconds);
+            assert_eq!(
+                b.deadline_seconds,
+                Some(b.arrival_seconds + 500.0e-6),
+                "deadline is arrival-relative"
+            );
+            assert_eq!(b.priority, (b.id % 3) as u8);
+            assert_eq!(a.deadline_seconds, None);
+            assert_eq!(a.priority, 0);
+        }
     }
 
     #[test]

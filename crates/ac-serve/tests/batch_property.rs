@@ -29,11 +29,7 @@ fn jobs_from(payloads: &[Vec<u8>]) -> Vec<ScanJob> {
     payloads
         .iter()
         .enumerate()
-        .map(|(i, p)| ScanJob {
-            id: i as u64,
-            payload: alphabetize(p),
-            arrival_seconds: 0.0,
-        })
+        .map(|(i, p)| ScanJob::new(i as u64, alphabetize(p), 0.0))
         .collect()
 }
 

@@ -1,0 +1,122 @@
+//! Satellite property: the bounded admission queue is a faithful FIFO
+//! under arbitrary interleavings of push / pop / expiry — capacity is
+//! never exceeded, rejections happen exactly when full, accepted jobs
+//! come back in admission order, and deadline expiry removes exactly the
+//! overdue jobs (in FIFO order) without reordering survivors.
+
+use ac_serve::{BoundedQueue, ScanJob};
+use proptest::prelude::*;
+
+/// One scripted operation against the queue, decoded from an
+/// `(opcode, param)` pair (the proptest shim has no enum strategies).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push a job with this deadline (seconds); `None` = immortal.
+    Push(Option<f64>),
+    Pop,
+    /// Expire everything overdue at this instant.
+    Expire(f64),
+}
+
+fn decode(opcode: u8, param: u8) -> Op {
+    match opcode {
+        // Weight pushes heaviest so the queue actually fills.
+        0..=3 => Op::Push((param < 16).then_some(param as f64)),
+        4..=5 => Op::Pop,
+        _ => Op::Expire(param.min(16) as f64),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queue_is_a_bounded_fifo_under_any_interleaving(
+        capacity in 1usize..8,
+        script in proptest::collection::vec((0u8..7, 0u8..20), 0..64),
+    ) {
+        let mut q = BoundedQueue::new(capacity);
+        // The model: (id, deadline) of queued jobs, in admission order.
+        let mut model: Vec<(u64, Option<f64>)> = Vec::new();
+        let mut next_id = 0u64;
+        for (opcode, param) in script {
+            prop_assert!(q.len() <= q.capacity());
+            prop_assert_eq!(q.len(), model.len());
+            match decode(opcode, param) {
+                Op::Push(deadline) => {
+                    let mut job = ScanJob::new(next_id, vec![b'x'; 4], 0.0);
+                    if let Some(d) = deadline {
+                        job = job.with_deadline(d);
+                    }
+                    let res = q.push(job);
+                    if model.len() < capacity {
+                        prop_assert!(res.is_ok(), "push below capacity must admit");
+                        model.push((next_id, deadline));
+                    } else {
+                        let err = res.expect_err("push at capacity must reject");
+                        prop_assert_eq!(err.job_id, next_id);
+                        prop_assert_eq!(err.capacity, capacity);
+                        prop_assert_eq!(err.queue_len, capacity);
+                        // The queue itself never invents a retry hint —
+                        // that's the serve loop's drain-rate estimate.
+                        prop_assert_eq!(err.retry_after_us, 0.0);
+                    }
+                    next_id += 1;
+                }
+                Op::Pop => {
+                    let got = q.pop().map(|j| j.id);
+                    let want = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0).0)
+                    };
+                    prop_assert_eq!(got, want, "pop must be FIFO");
+                }
+                Op::Expire(now) => {
+                    let expired = q.expire_overdue(now);
+                    // Model: overdue jobs leave in FIFO order, survivors
+                    // keep their relative order.
+                    let (gone, keep): (Vec<_>, Vec<_>) = model
+                        .iter()
+                        .copied()
+                        .partition(|(_, d)| matches!(d, Some(d) if *d < now));
+                    model = keep;
+                    prop_assert_eq!(
+                        expired.iter().map(|e| e.job_id).collect::<Vec<_>>(),
+                        gone.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+                        "expiry must remove exactly the overdue jobs, in order"
+                    );
+                    for e in &expired {
+                        prop_assert_eq!(e.expired_at_seconds, now);
+                        prop_assert!(e.deadline_seconds < now, "strictly overdue only");
+                    }
+                }
+            }
+        }
+        // Drain: whatever survived comes out in admission order.
+        let mut rest = Vec::new();
+        while let Some(j) = q.pop() {
+            rest.push(j.id);
+        }
+        prop_assert_eq!(rest, model.iter().map(|(id, _)| *id).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn expiry_is_idempotent_at_a_fixed_time(
+        deadline_codes in proptest::collection::vec(0u8..20, 1..16),
+        now in 0u8..17,
+    ) {
+        let mut q = BoundedQueue::new(deadline_codes.len());
+        for (id, code) in deadline_codes.iter().enumerate() {
+            let mut job = ScanJob::new(id as u64, vec![b'x'], 0.0);
+            if *code < 16 {
+                job = job.with_deadline(*code as f64);
+            }
+            q.push(job).unwrap();
+        }
+        let first = q.expire_overdue(now as f64);
+        let second = q.expire_overdue(now as f64);
+        prop_assert!(second.is_empty(), "same instant twice expires nothing new");
+        prop_assert_eq!(first.len() + q.len(), deadline_codes.len());
+    }
+}

@@ -623,6 +623,20 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The chaos soak rides along too: its rows pin the degraded and
+    // recovered serving profiles, and the run itself enforces the soak's
+    // hard invariants (wrong/lost jobs fail the whole repro).
+    eprintln!(
+        "running serve chaos soak (seed {}, seeded fault storm)",
+        bench::CHAOS_SEED
+    );
+    match bench::serve_chaos_measurements() {
+        Ok(m) => measurements.extend(m),
+        Err(e) => {
+            eprintln!("error while running the serve chaos soak: {e}");
+            std::process::exit(1);
+        }
+    }
     // So does the STT layout sweep: the gate diffs the 20k-pattern
     // crossover rows (compressed layouts vs the dense STT) on every run.
     eprintln!("running STT layout sweep (dictionaries up to 20k patterns)");

@@ -15,7 +15,10 @@
 
 use crate::measure::{Measurement, Measurements};
 use ac_gpu::{GpuAcMatcher, KernelParams};
-use ac_serve::{serve, serve_automaton, synthetic_workload, ServeConfig, WorkloadConfig};
+use ac_serve::{
+    chaos_soak, serve, serve_automaton, synthetic_workload, ChaosConfig, ServeConfig, ServeReport,
+    WorkloadConfig,
+};
 use gpu_sim::GpuConfig;
 
 /// The scenarios measured, as `(row label, streams, batched)`.
@@ -64,6 +67,55 @@ pub fn serving_measurements() -> Result<Measurements, String> {
     Ok(out)
 }
 
+/// The fixed seed of the committed chaos rows (and the CI smoke soak):
+/// one storm, replayed bit-identically everywhere.
+pub const CHAOS_SEED: u64 = 42;
+
+/// Run the seeded chaos soak and return two pinned rows:
+/// `serve-chaos-baseline` (the clean run under the full resilience
+/// config — supervisor, breaker, deadlines armed but quiescent) and
+/// `serve-chaos-faulted` (the same workload through the storm). The
+/// bench gate diffing these rows pins both ends of the contract: the
+/// baseline row regressing means resilience stopped being free when
+/// idle; the faulted row regressing means degradation got worse. The
+/// soak's hard invariants (no wrong matches, no lost jobs, recovery)
+/// are enforced here — a violated verdict is an error, not a row.
+pub fn serve_chaos_measurements() -> Result<Measurements, String> {
+    let gpu = GpuConfig::gtx285();
+    let chaos = ChaosConfig::smoke(CHAOS_SEED);
+    let ac = serve_automaton(ac_serve::DEFAULT_PATTERNS, chaos.workload.seed);
+    let matcher =
+        GpuAcMatcher::new(gpu, KernelParams::defaults_for(&gpu), ac).map_err(|e| e.to_string())?;
+    let verdict = chaos_soak(&matcher, &chaos).map_err(|e| e.to_string())?;
+    if !verdict.passed() {
+        return Err(format!(
+            "chaos soak (seed {CHAOS_SEED}) violated its invariants: {}",
+            verdict.violations.join("; ")
+        ));
+    }
+    let row = |label: &str, r: &ServeReport| Measurement {
+        size: r.payload_bytes as usize,
+        patterns: ac_serve::DEFAULT_PATTERNS,
+        approach: label.into(),
+        seconds: r.makespan_seconds,
+        gbps: r.effective_gbps,
+        cycles: (r.makespan_seconds * gpu.clock_hz).round() as u64,
+        cache_hit_rate: 0.0,
+        shared_conflicts: 0,
+        coalescing_ratio: 0.0,
+        match_events: 0,
+        idle_cycles: 0,
+        stalls: trace::StallBreakdown::default(),
+        p99_latency_us: r.p99_latency_us,
+        jobs_per_sec: r.jobs_per_sec,
+    };
+    let mut out = Measurements::default();
+    out.rows
+        .push(row("serve-chaos-baseline", &verdict.baseline));
+    out.rows.push(row("serve-chaos-faulted", &verdict.faulted));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +149,26 @@ mod tests {
         let a = serving_measurements().unwrap();
         let b = serving_measurements().unwrap();
         assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn chaos_rows_enforce_the_soak_contract() {
+        // serve_chaos_measurements errors on any soak violation, so the
+        // rows existing at all is the acceptance gate (no lost jobs, no
+        // wrong matches, breaker opened and recovered).
+        let m = serve_chaos_measurements().unwrap();
+        assert_eq!(m.rows.len(), 2);
+        let get = |label: &str| m.rows.iter().find(|r| r.approach == label).unwrap();
+        let baseline = get("serve-chaos-baseline");
+        let faulted = get("serve-chaos-faulted");
+        // The storm's cost shows up in latency, not makespan (the
+        // open-loop tail is arrival-driven either way); degradation is
+        // visible but bounded (the soak's own ratio checks).
+        assert!(baseline.seconds > 0.0 && faulted.seconds > 0.0);
+        assert!(faulted.p99_latency_us > baseline.p99_latency_us);
+        assert!(faulted.jobs_per_sec > 0.0);
+        // Deterministic: the committed rows replay bit-identically.
+        let again = serve_chaos_measurements().unwrap();
+        assert_eq!(m.rows, again.rows);
     }
 }

@@ -386,22 +386,40 @@ const SERVE_PATTERNS: usize = ac_serve::DEFAULT_PATTERNS;
 /// scan jobs through the batched multi-stream server and render the
 /// [`ac_serve::ServeReport`].
 fn serve_sim_text(opts: &Options) -> Result<String, String> {
-    use ac_serve::{serve, synthetic_workload, ServeConfig, WorkloadConfig};
+    use ac_serve::{serve, synthetic_workload, ServeConfig, SloConfig, WorkloadConfig};
     let cfg = device(opts.fermi);
     let ac = ac_serve::serve_automaton(SERVE_PATTERNS, opts.serve_seed);
     let matcher =
         GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).map_err(|e| e.to_string())?;
-    let jobs = synthetic_workload(&WorkloadConfig {
+    let workload = WorkloadConfig {
         jobs: opts.serve_jobs,
         arrival_rate_per_sec: opts.serve_rate,
         job_bytes: opts.serve_job_bytes,
         seed: opts.serve_seed,
-    });
+        deadline_us: opts.serve_deadline_us.map(|us| us as f64),
+        // SLO shedding is priority-based: give the workload two classes
+        // when a target is set so the controller has something to shed.
+        priority_classes: if opts.serve_p99_target_us.is_some() {
+            2
+        } else {
+            1
+        },
+    };
     let mut serve_cfg = ServeConfig::new(opts.serve_streams);
     serve_cfg.queue_capacity = opts.serve_queue_cap;
     if opts.serve_no_batch {
         serve_cfg = serve_cfg.per_job();
     }
+    if let Some(target_us) = opts.serve_p99_target_us {
+        serve_cfg.slo = Some(SloConfig {
+            p99_target_seconds: target_us as f64 * 1.0e-6,
+            ..SloConfig::default()
+        });
+    }
+    if opts.serve_chaos {
+        return serve_chaos_text(opts, &matcher);
+    }
+    let jobs = synthetic_workload(&workload);
     let run = serve(&matcher, jobs, &serve_cfg).map_err(|e| e.to_string())?;
     let r = &run.report;
     let mut out = format!(
@@ -420,6 +438,14 @@ fn serve_sim_text(opts: &Options) -> Result<String, String> {
         "  completed:   {} ({} rejected by backpressure), {} launch(es)",
         r.jobs_completed, r.jobs_rejected, r.batches
     );
+    if r.jobs_expired + r.jobs_shed + r.breaker_opens + r.cpu_fallback_batches + r.gpu_retries > 0 {
+        let _ = writeln!(
+            out,
+            "  resilience:  {} expired, {} shed, {} breaker open(s), \
+             {} cpu-fallback batch(es), {} gpu retry(ies)",
+            r.jobs_expired, r.jobs_shed, r.breaker_opens, r.cpu_fallback_batches, r.gpu_retries
+        );
+    }
     let _ = writeln!(
         out,
         "  makespan:    {:.3} ms simulated   jobs/sec: {:.0}",
@@ -454,6 +480,87 @@ fn serve_sim_text(opts: &Options) -> Result<String, String> {
         let _ = writeln!(out, "report written: {}", path.display());
     }
     Ok(out)
+}
+
+/// `acsim serve-sim --chaos`: the seeded fault-storm soak. The load and
+/// resilience policy are the pinned smoke scenario ([`ChaosConfig::smoke`]
+/// — one replayable storm, the same one CI gates on); the generic
+/// load-shaping flags do not apply. `--fault-seed` places the storm,
+/// `--seed` reshuffles payloads, `--deadline-us`/`--p99-target-us`
+/// override the resilience knobs. Renders the verdict, writes it as the
+/// `--report` artifact, and returns `Err` (→ exit code 1) when any
+/// resilience invariant is violated, so CI can gate on it directly.
+fn serve_chaos_text(opts: &Options, matcher: &GpuAcMatcher) -> Result<String, String> {
+    use ac_serve::{chaos_soak, ChaosConfig, SloConfig};
+    let seed = opts.fault_seed.unwrap_or(bench::CHAOS_SEED);
+    let mut chaos = ChaosConfig::smoke(seed);
+    chaos.workload.seed = opts.serve_seed;
+    if let Some(us) = opts.serve_deadline_us {
+        chaos.workload.deadline_us = Some(us as f64);
+    }
+    if let Some(target_us) = opts.serve_p99_target_us {
+        chaos.workload.priority_classes = 2;
+        chaos.serve.slo = Some(SloConfig {
+            p99_target_seconds: target_us as f64 * 1.0e-6,
+            ..SloConfig::default()
+        });
+    }
+    let verdict = chaos_soak(matcher, &chaos).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "serve-chaos: seed {seed}, {} jobs, {} stream(s)\n",
+        verdict.faulted.jobs_submitted, verdict.faulted.streams
+    );
+    let _ = writeln!(
+        out,
+        "  storm:       {} fault(s) fired, {} gpu retry(ies), {} breaker open(s), \
+         {} cpu-fallback batch(es)",
+        verdict.faulted.faults_fired,
+        verdict.faulted.gpu_retries,
+        verdict.faulted.breaker_opens,
+        verdict.faulted.cpu_fallback_batches
+    );
+    let _ = writeln!(
+        out,
+        "  accounting:  {} completed, {} expired, {} rejected, {} shed \
+         (of {} offered; {} wrong, {} lost)",
+        verdict.faulted.jobs_completed,
+        verdict.faulted.jobs_expired,
+        verdict.faulted.jobs_rejected,
+        verdict.faulted.jobs_shed,
+        verdict.faulted.jobs_submitted,
+        verdict.wrong_matches,
+        verdict.lost_jobs
+    );
+    let _ = writeln!(
+        out,
+        "  degradation: p99 {:.1}x baseline inside [{:.0} µs, {:.0} µs], \
+         {:.2}x after recovery",
+        verdict.degraded_p99_ratio,
+        verdict.degraded_from_seconds * 1e6,
+        verdict.degraded_until_seconds * 1e6,
+        verdict.recovered_p99_ratio
+    );
+    let _ = writeln!(
+        out,
+        "  p99:         baseline {:.0} µs   under storm {:.0} µs",
+        verdict.baseline.p99_latency_us, verdict.faulted.p99_latency_us
+    );
+    if let Some(path) = &opts.report_out {
+        std::fs::write(path, verdict.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "verdict written: {}", path.display());
+    }
+    if verdict.passed() {
+        let _ = writeln!(out, "  verdict:     PASS (all resilience invariants held)");
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "  verdict:     FAIL");
+        for v in &verdict.violations {
+            let _ = writeln!(out, "    violation: {v}");
+        }
+        print!("{out}");
+        Err("chaos soak violated resilience invariants".into())
+    }
 }
 
 /// `acsim explain`: the counterfactual knob sweep plus the spatial

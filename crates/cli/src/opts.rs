@@ -151,6 +151,15 @@ pub struct Options {
     pub serve_queue_cap: usize,
     /// `serve-sim`: per-job launches instead of adaptive batching.
     pub serve_no_batch: bool,
+    /// `serve-sim`: run the seeded chaos soak (fault storm + invariants)
+    /// instead of a single clean run. Seeded by `--fault-seed`.
+    pub serve_chaos: bool,
+    /// `serve-sim`: per-job deadline, microseconds after arrival
+    /// (overdue queued jobs expire as typed outcomes).
+    pub serve_deadline_us: Option<u64>,
+    /// `serve-sim`: SLO p99 target in microseconds; arms the admission
+    /// controller (low-priority shedding + adaptive batch window).
+    pub serve_p99_target_us: Option<u64>,
 }
 
 /// A human-readable argument error.
@@ -176,7 +185,8 @@ pub const USAGE: &str = "usage:
   acsim bench diff OLD.json NEW.json [--max-gbps-drop PCT] [--max-cycles-rise PCT]
                 [--max-stall-shift PTS] [--report FILE]
   acsim serve-sim [--jobs N] [--arrival-rate R] [--streams S] [--seed N]
-                [--job-bytes N] [--queue-cap N] [--no-batch] [--fermi] [--report FILE]
+                [--job-bytes N] [--queue-cap N] [--no-batch] [--deadline-us N]
+                [--p99-target-us N] [--chaos [--fault-seed N]] [--fermi] [--report FILE]
   acsim dot     --patterns FILE
 engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed
        | gpu:banded | gpu:twolevel | gpu:auto | gpu:pfac
@@ -196,7 +206,12 @@ the candidate regresses past the thresholds (defaults: 5% / 5% / 10 pts).
 `serve-sim` replays a deterministic open-loop workload of small scan jobs
 through the batched multi-stream server (--no-batch launches per job;
 --arrival-rate is jobs per simulated second) and prints the ServeReport;
---report also writes it as JSON.";
+--report also writes it as JSON. --deadline-us expires overdue queued jobs
+as typed outcomes; --p99-target-us arms SLO admission control (sheds the
+lowest priorities, widens the batch window under pressure); --chaos runs
+the seeded fault-storm soak on the pinned smoke scenario (load-shaping
+flags do not apply; --fault-seed places the storm, --seed reshuffles
+payloads) and exits non-zero if any resilience invariant is violated.";
 
 /// Parse an argument vector (without the program name).
 pub fn parse<I, S>(args: I) -> Result<Options, ParseError>
@@ -249,6 +264,9 @@ where
     let mut serve_job_bytes = 2048usize;
     let mut serve_queue_cap = 256usize;
     let mut serve_no_batch = false;
+    let mut serve_chaos = false;
+    let mut serve_deadline_us: Option<u64> = None;
+    let mut serve_p99_target_us: Option<u64> = None;
     let mut serve_flag_seen = false;
     fn number<T: std::str::FromStr>(
         flag: &str,
@@ -375,6 +393,18 @@ where
                 serve_no_batch = true;
                 serve_flag_seen = true;
             }
+            "--chaos" => {
+                serve_chaos = true;
+                serve_flag_seen = true;
+            }
+            "--deadline-us" => {
+                serve_deadline_us = Some(number("--deadline-us", it.next())?);
+                serve_flag_seen = true;
+            }
+            "--p99-target-us" => {
+                serve_p99_target_us = Some(number("--p99-target-us", it.next())?);
+                serve_flag_seen = true;
+            }
             "--max-gbps-drop" => gbps_drop_pm = Some(tenths("--max-gbps-drop", it.next())?),
             "--max-cycles-rise" => cycles_rise_pm = Some(tenths("--max-cycles-rise", it.next())?),
             "--max-stall-shift" => stall_shift_dpts = Some(tenths("--max-stall-shift", it.next())?),
@@ -410,8 +440,8 @@ where
     }
     if serve_flag_seen && command != Command::ServeSim {
         return Err(ParseError(
-            "--jobs/--arrival-rate/--streams/--seed/--job-bytes/--queue-cap/--no-batch only \
-             apply to `serve-sim`"
+            "--jobs/--arrival-rate/--streams/--seed/--job-bytes/--queue-cap/--no-batch/\
+             --chaos/--deadline-us/--p99-target-us only apply to `serve-sim`"
                 .into(),
         ));
     }
@@ -427,6 +457,17 @@ where
         }
         if serve_job_bytes == 0 {
             return Err(ParseError("--job-bytes must be positive".into()));
+        }
+        if serve_deadline_us == Some(0) {
+            return Err(ParseError("--deadline-us must be positive".into()));
+        }
+        if serve_p99_target_us == Some(0) {
+            return Err(ParseError("--p99-target-us must be positive".into()));
+        }
+        if fault_seed.is_some() && !serve_chaos {
+            return Err(ParseError(
+                "--fault-seed on serve-sim requires --chaos".into(),
+            ));
         }
     }
     if json && command != Command::Profile {
@@ -457,8 +498,10 @@ where
     if resilient && command != Command::Match {
         return Err(ParseError("--resilient only applies to `match`".into()));
     }
-    if fault_seed.is_some() && !resilient {
-        return Err(ParseError("--fault-seed requires --resilient".into()));
+    if fault_seed.is_some() && !resilient && command != Command::ServeSim {
+        return Err(ParseError(
+            "--fault-seed requires --resilient (or serve-sim --chaos)".into(),
+        ));
     }
     if trace_out.is_some() || metrics_out.is_some() {
         if command != Command::Match {
@@ -502,6 +545,9 @@ where
         serve_job_bytes,
         serve_queue_cap,
         serve_no_batch,
+        serve_chaos,
+        serve_deadline_us,
+        serve_p99_target_us,
     })
 }
 
@@ -863,6 +909,39 @@ mod tests {
         // Missing operands are rejected.
         assert!(p(&["serve-sim", "--jobs"]).is_err());
         assert!(p(&["serve-sim", "--streams", "many"]).is_err());
+    }
+
+    #[test]
+    fn serve_sim_resilience_flags_parse_and_are_validated() {
+        let o = p(&[
+            "serve-sim",
+            "--deadline-us",
+            "2000",
+            "--p99-target-us",
+            "800",
+        ])
+        .unwrap();
+        assert_eq!(o.serve_deadline_us, Some(2000));
+        assert_eq!(o.serve_p99_target_us, Some(800));
+        assert!(!o.serve_chaos);
+
+        let o = p(&["serve-sim", "--chaos", "--fault-seed", "7"]).unwrap();
+        assert!(o.serve_chaos);
+        assert_eq!(o.fault_seed, Some(7));
+        // --chaos without an explicit seed uses the committed default.
+        let o = p(&["serve-sim", "--chaos"]).unwrap();
+        assert!(o.serve_chaos);
+        assert_eq!(o.fault_seed, None);
+
+        // --fault-seed on serve-sim is only meaningful with --chaos.
+        assert!(p(&["serve-sim", "--fault-seed", "7"]).is_err());
+        // The new flags stay scoped to serve-sim.
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--chaos"]).is_err());
+        assert!(p(&["stats", "--patterns", "d", "--deadline-us", "5"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "--p99-target-us", "5"]).is_err());
+        // Zeroes are rejected.
+        assert!(p(&["serve-sim", "--deadline-us", "0"]).is_err());
+        assert!(p(&["serve-sim", "--p99-target-us", "0"]).is_err());
     }
 
     #[test]

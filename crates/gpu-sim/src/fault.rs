@@ -184,6 +184,35 @@ impl FaultPlan {
         plan
     }
 
+    /// Generate a chaos-soak plan for a sustained multi-launch run (the
+    /// serving path): an early kernel hang, a couple of readback
+    /// bit-flips, then a contiguous burst of launch transients long
+    /// enough to exhaust per-batch retries on several consecutive batches
+    /// (which is what trips a consecutive-failure circuit breaker) — and
+    /// nothing after the burst, so the run provably recovers. Fully
+    /// deterministic in `seed`.
+    pub fn generate_chaos(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let mut plan = FaultPlan::default();
+        // One hang among the first few launches: the watchdog kill and
+        // retry path is exercised before the breaker ever opens.
+        plan = plan.with_kernel_hang(1 + rng.below(2));
+        // Two single-bit readback corruptions early on: CRC framing must
+        // catch them and the retried batch must still answer correctly.
+        let flip_base = 2 + rng.below(2);
+        plan = plan.with_readback_flip(flip_base, rng.below(1 << 16));
+        plan = plan.with_readback_flip(flip_base + 2, rng.below(1 << 16));
+        // The breaker-tripping burst: 10 consecutive launch transients
+        // starting a seed-chosen distance into the run. With a 2-attempt
+        // supervisor every batch inside the burst fails, so at least four
+        // consecutive batches fail outright.
+        let burst_start = 8 + rng.below(4);
+        for i in 0..10 {
+            plan = plan.with_launch_transient(burst_start + i);
+        }
+        plan
+    }
+
     fn schedule(self, kind: FaultKind, rng: &mut SplitMix64) -> Self {
         match kind {
             // Launch/readback ops happen once per attempt; keep indices
@@ -354,6 +383,27 @@ mod tests {
                 "seed {seed} missing {forced:?}"
             );
             assert!(!plan.is_empty());
+        }
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_and_shaped() {
+        for seed in 0..32u64 {
+            let plan = FaultPlan::generate_chaos(seed);
+            assert_eq!(plan, FaultPlan::generate_chaos(seed), "seed {seed}");
+            // Shape: a hang, two flips, and a 10-launch transient burst.
+            assert_eq!(plan.kernel_hang.len(), 1);
+            assert_eq!(plan.readback_flip.len(), 2);
+            assert_eq!(plan.launch_transient.len(), 10);
+            // The burst is contiguous (consecutive batch failures) and
+            // starts after the hang/flip prelude.
+            let burst: Vec<u64> = plan.launch_transient.iter().copied().collect();
+            for w in burst.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "burst must be contiguous");
+            }
+            assert!(burst[0] > *plan.kernel_hang.iter().next().unwrap());
+            // Finite: every scheduled index is bounded, so the run recovers.
+            assert!(*burst.last().unwrap() < 64);
         }
     }
 

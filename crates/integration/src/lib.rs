@@ -92,6 +92,43 @@ impl Default for ResilientConfig {
     }
 }
 
+/// Which CPU rung answered a [`cpu_ladder_scan`], and why the parallel
+/// rung was skipped if it was.
+#[derive(Debug, Clone)]
+pub struct CpuLadderRun {
+    /// Sorted matches, bit-identical to the serial oracle's output.
+    pub matches: Vec<Match>,
+    /// [`Tier::CpuParallel`] or [`Tier::CpuSerial`].
+    pub tier: Tier,
+    /// Display text of the parallel rung's error when the serial oracle
+    /// had to answer.
+    pub parallel_error: Option<String>,
+}
+
+/// The CPU half of the degradation ladder as a standalone, infallible
+/// scan: parallel CPU first, serial oracle as the floor. This is the
+/// per-batch failover the serving path runs while its GPU circuit
+/// breaker is open — the same ladder semantics [`ResilientMatcher`]
+/// applies per-process, reusable per unit of work.
+pub fn cpu_ladder_scan(ac: &AcAutomaton, text: &[u8], parallel: &ParallelConfig) -> CpuLadderRun {
+    match par_find_all(ac, text, parallel) {
+        Ok(matches) => CpuLadderRun {
+            matches,
+            tier: Tier::CpuParallel,
+            parallel_error: None,
+        },
+        Err(e) => {
+            let mut matches = ac.find_all(text);
+            matches.sort();
+            CpuLadderRun {
+                matches,
+                tier: Tier::CpuSerial,
+                parallel_error: Some(e.to_string()),
+            }
+        }
+    }
+}
+
 /// A matcher that always answers: supervised GPU first, then parallel
 /// CPU, then the serial oracle.
 #[derive(Debug)]
@@ -208,43 +245,20 @@ impl ResilientMatcher {
             }
         }
 
-        match par_find_all(&self.ac, text, &self.cfg.parallel) {
-            Ok(matches) => {
-                let trace = timeline.map(|mut tl| {
-                    ladder_event(&mut tl, "tier-answered", Tier::CpuParallel, cursor, None);
-                    tl
-                });
-                return ResilientRun {
-                    matches,
-                    tier: Tier::CpuParallel,
-                    report,
-                    stats: None,
-                    trace,
-                };
-            }
-            Err(e) => {
-                report.cpu_parallel_error = Some(e.to_string());
-                if let Some(tl) = timeline.as_mut() {
-                    ladder_event(
-                        tl,
-                        "tier-abandoned",
-                        Tier::CpuParallel,
-                        cursor,
-                        report.cpu_parallel_error.as_deref(),
-                    );
-                }
+        let cpu = cpu_ladder_scan(&self.ac, text, &self.cfg.parallel);
+        if let Some(err) = &cpu.parallel_error {
+            report.cpu_parallel_error = Some(err.clone());
+            if let Some(tl) = timeline.as_mut() {
+                ladder_event(tl, "tier-abandoned", Tier::CpuParallel, cursor, Some(err));
             }
         }
-
-        let mut matches = self.ac.find_all(text);
-        matches.sort();
         let trace = timeline.map(|mut tl| {
-            ladder_event(&mut tl, "tier-answered", Tier::CpuSerial, cursor, None);
+            ladder_event(&mut tl, "tier-answered", cpu.tier, cursor, None);
             tl
         });
         ResilientRun {
-            matches,
-            tier: Tier::CpuSerial,
+            matches: cpu.matches,
+            tier: cpu.tier,
             report,
             stats: None,
             trace,
@@ -418,6 +432,38 @@ mod tests {
         assert_eq!(run.tier, Tier::Gpu);
         assert!(run.trace.is_none());
         assert!(run.stats.is_some());
+    }
+
+    #[test]
+    fn cpu_ladder_is_infallible_and_oracle_identical() {
+        let ac = AcAutomaton::build(&PatternSet::from_strs(&["he", "she", "hers"]).unwrap());
+        let text = b"ushers rush home to her";
+        let mut want = ac.find_all(text);
+        want.sort();
+        // Healthy parallel rung.
+        let run = cpu_ladder_scan(
+            &ac,
+            text,
+            &ParallelConfig {
+                threads: 2,
+                chunk_size: 1024,
+            },
+        );
+        assert_eq!(run.tier, Tier::CpuParallel);
+        assert_eq!(run.matches, want);
+        assert!(run.parallel_error.is_none());
+        // Broken parallel rung: the serial floor still answers.
+        let run = cpu_ladder_scan(
+            &ac,
+            text,
+            &ParallelConfig {
+                threads: 0,
+                chunk_size: 1024,
+            },
+        );
+        assert_eq!(run.tier, Tier::CpuSerial);
+        assert_eq!(run.matches, want);
+        assert!(run.parallel_error.is_some());
     }
 
     #[test]

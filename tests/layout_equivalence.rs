@@ -54,6 +54,7 @@ fn compressed_layouts_match_dense_through_the_serving_path() {
         arrival_rate_per_sec: 50_000,
         job_bytes: 1024,
         seed: 7,
+        ..WorkloadConfig::defaults()
     });
 
     // Per-job match lists from the dense layout are the reference; every
