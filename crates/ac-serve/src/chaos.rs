@@ -129,6 +129,17 @@ impl ChaosVerdict {
 /// cleared before the baseline, armed with the storm for the second run,
 /// cleared again before returning.
 pub fn chaos_soak(matcher: &GpuAcMatcher, cfg: &ChaosConfig) -> Result<ChaosVerdict, GpuError> {
+    chaos_soak_runs(matcher, cfg).map(|(verdict, _, _)| verdict)
+}
+
+/// [`chaos_soak`], but returning the two full [`ServeRun`]s alongside
+/// the verdict so callers can export the faulted run's telemetry (the
+/// CLI's `serve-sim --chaos --trace-out` stitched trace comes from
+/// here).
+pub fn chaos_soak_runs(
+    matcher: &GpuAcMatcher,
+    cfg: &ChaosConfig,
+) -> Result<(ChaosVerdict, ServeRun, ServeRun), GpuError> {
     let jobs = synthetic_workload(&cfg.workload);
 
     matcher.clear_fault_plan();
@@ -251,10 +262,10 @@ pub fn chaos_soak(matcher: &GpuAcMatcher, cfg: &ChaosConfig) -> Result<ChaosVerd
         }
     }
 
-    Ok(ChaosVerdict {
+    let verdict = ChaosVerdict {
         seed: cfg.seed,
-        baseline: baseline.report,
-        faulted: faulted.report,
+        baseline: baseline.report.clone(),
+        faulted: faulted.report.clone(),
         wrong_matches,
         lost_jobs,
         degraded_from_seconds: degraded_from,
@@ -262,7 +273,8 @@ pub fn chaos_soak(matcher: &GpuAcMatcher, cfg: &ChaosConfig) -> Result<ChaosVerd
         degraded_p99_ratio: degraded_ratio,
         recovered_p99_ratio: recovered_ratio,
         violations,
-    })
+    };
+    Ok((verdict, baseline, faulted))
 }
 
 /// p99 of the faulted outcomes selected by `pick`, divided by the p99 of

@@ -57,7 +57,7 @@ pub enum ServedBy {
 }
 
 /// The served result of one job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// The job this answers.
     pub id: u64,

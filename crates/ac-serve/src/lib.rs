@@ -40,6 +40,14 @@
 //! * **chaos soak** ([`chaos`]) — a seeded fault storm under sustained
 //!   load asserting no wrong matches, no lost admitted jobs, bounded
 //!   degradation while the breaker is open, and post-fault recovery.
+//!
+//! The whole pipeline is observable end to end ([`telemetry`]): armed
+//! via `ServeConfig::telemetry`, every job gets a queue-wait + service
+//! span timeline stitched above the stream ops that served it, a live
+//! metrics registry samples p50/p99/queue-depth/breaker-state on a
+//! simulated-time cadence, and an SLO flight recorder keeps the worst
+//! exemplars per window. Disarmed, the run is bit-identical — the same
+//! zero-cost hook contract as fault injection and tracing.
 
 pub mod batch;
 pub mod breaker;
@@ -49,15 +57,19 @@ pub mod queue;
 pub mod report;
 pub mod sim;
 pub mod slo;
+pub mod telemetry;
 pub mod workload;
 
 pub use batch::{assemble_batch, demux_matches, AssembledBatch, BatchLimits, JobSpan};
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, Route};
-pub use chaos::{chaos_soak, ChaosConfig, ChaosVerdict};
+pub use chaos::{chaos_soak, chaos_soak_runs, ChaosConfig, ChaosVerdict};
 pub use job::{JobExpiry, JobOutcome, ScanJob, ServedBy};
 pub use queue::{BoundedQueue, Overloaded};
 pub use report::{BatchBucket, ServeReport};
 pub use sim::ServeRun;
 pub use sim::{serve, ServeConfig};
-pub use slo::{AdmissionController, SheddedJob, SloConfig};
+pub use slo::{AdmissionController, QuantileWindow, SheddedJob, SloConfig};
+pub use telemetry::{
+    render_slo_report, Exemplar, MetricsSample, ServeTelemetry, TelemetryConfig, TelemetryRun,
+};
 pub use workload::{serve_automaton, synthetic_workload, WorkloadConfig, DEFAULT_PATTERNS};

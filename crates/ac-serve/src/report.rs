@@ -14,7 +14,7 @@ pub struct BatchBucket {
 
 /// Summary of one serve simulation, printed by `acsim serve-sim` and
 /// recorded in the bench serving scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Streams used.
     pub streams: u32,
@@ -80,6 +80,81 @@ impl ServeReport {
     pub fn from_json(json: &str) -> Result<Self, String> {
         serde_json::from_str(json).map_err(|e| e.to_string())
     }
+
+    /// Flatten the terminal counters into a [`trace::MetricsSnapshot`]
+    /// (the base of `serve-sim --metrics-out`; the telemetry registry
+    /// appends its sampled series on top).
+    pub fn to_metrics(&self) -> trace::MetricsSnapshot {
+        let mut snap = trace::MetricsSnapshot::new();
+        snap.push("acsim_serve_streams", "streams used", self.streams as u64);
+        snap.push(
+            "acsim_serve_jobs_submitted",
+            "jobs offered by the workload",
+            self.jobs_submitted,
+        );
+        snap.push(
+            "acsim_serve_jobs_completed",
+            "jobs served to completion",
+            self.jobs_completed,
+        );
+        snap.push(
+            "acsim_serve_jobs_rejected",
+            "jobs rejected by backpressure",
+            self.jobs_rejected,
+        );
+        snap.push(
+            "acsim_serve_jobs_expired",
+            "admitted jobs expired past their deadline",
+            self.jobs_expired,
+        );
+        snap.push(
+            "acsim_serve_jobs_shed",
+            "jobs turned away by SLO admission control",
+            self.jobs_shed,
+        );
+        snap.push("acsim_serve_batches", "batches formed", self.batches);
+        snap.push(
+            "acsim_serve_breaker_opens",
+            "times the GPU-tier circuit breaker opened",
+            self.breaker_opens,
+        );
+        snap.push(
+            "acsim_serve_cpu_fallback_batches",
+            "batches answered by the CPU ladder",
+            self.cpu_fallback_batches,
+        );
+        snap.push(
+            "acsim_serve_gpu_retries",
+            "supervised GPU retries consumed",
+            self.gpu_retries,
+        );
+        snap.push(
+            "acsim_serve_makespan_seconds",
+            "first arrival to last completion",
+            self.makespan_seconds,
+        );
+        snap.push(
+            "acsim_serve_p50_latency_us",
+            "median completion latency",
+            self.p50_latency_us,
+        );
+        snap.push(
+            "acsim_serve_p99_latency_us",
+            "99th-percentile completion latency",
+            self.p99_latency_us,
+        );
+        snap.push(
+            "acsim_serve_jobs_per_sec",
+            "completed jobs per simulated second",
+            self.jobs_per_sec,
+        );
+        snap.push(
+            "acsim_serve_effective_gbps",
+            "payload bits served per simulated second",
+            self.effective_gbps,
+        );
+        snap
+    }
 }
 
 /// Nearest-rank percentile of an unsorted sample, `p` in [0, 100].
@@ -135,6 +210,22 @@ mod tests {
         };
         let back = ServeReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn metrics_flattening_mirrors_the_counters() {
+        let r = ServeReport {
+            jobs_completed: 9,
+            p99_latency_us: 900.0,
+            ..ServeReport::default()
+        };
+        let snap = r.to_metrics();
+        let get = |name: &str| snap.get(name, &[]).expect(name).value;
+        assert_eq!(get("acsim_serve_jobs_completed"), 9u64.into());
+        assert_eq!(get("acsim_serve_p99_latency_us"), 900.0.into());
+        assert!(snap
+            .to_prometheus()
+            .contains("acsim_serve_jobs_completed 9"));
     }
 
     #[test]

@@ -50,6 +50,7 @@ use crate::job::{JobExpiry, JobOutcome, ScanJob, ServedBy};
 use crate::queue::{BoundedQueue, Overloaded};
 use crate::report::{percentile, BatchBucket, ServeReport};
 use crate::slo::{AdmissionController, SheddedJob, SloConfig};
+use crate::telemetry::{ServeTelemetry, TelemetryConfig, TelemetryRun};
 use ac_cpu::ParallelConfig;
 use ac_gpu::multistream::readback_bytes;
 use ac_gpu::supervise::SuperviseReport;
@@ -80,6 +81,10 @@ pub struct ServeConfig {
     /// SLO admission control; `None` disables shedding and batch-window
     /// adaptation entirely.
     pub slo: Option<SloConfig>,
+    /// Serving telemetry (span timeline, metrics registry, SLO flight
+    /// recorder); `None` disarms every probe and keeps the run
+    /// bit-identical to a pre-telemetry serve.
+    pub telemetry: Option<TelemetryConfig>,
     /// Worker geometry for the CPU failover ladder's parallel rung
     /// (functional only; timing comes from the model below).
     pub parallel: ParallelConfig,
@@ -105,6 +110,7 @@ impl ServeConfig {
             supervise: SuperviseConfig::default(),
             breaker: BreakerConfig::default(),
             slo: None,
+            telemetry: None,
             parallel: ParallelConfig::default_for_host(),
             cpu: CpuConfig::core2duo_2_2ghz(),
             cpu_cores: 2,
@@ -120,6 +126,12 @@ impl ServeConfig {
     /// Enable SLO admission control.
     pub fn with_slo(mut self, slo: SloConfig) -> Self {
         self.slo = Some(slo);
+        self
+    }
+
+    /// Arm serving telemetry.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -141,6 +153,8 @@ pub struct ServeRun {
     pub breaker_transitions: Vec<BreakerTransition>,
     /// The scheduled op timeline (Chrome-trace exportable).
     pub timeline: StreamTimeline,
+    /// Everything telemetry recorded, when armed (`None` when disarmed).
+    pub telemetry: Option<TelemetryRun>,
 }
 
 /// Serve `jobs` (an open-loop arrival sequence) through `matcher`.
@@ -165,6 +179,9 @@ pub fn serve(
     let mut queue = BoundedQueue::new(cfg.queue_capacity);
     let mut breaker = CircuitBreaker::new(cfg.breaker);
     let mut slo = cfg.slo.map(|s| AdmissionController::new(s, base_max_jobs));
+    // The telemetry recorder only ever *reads* values the loop already
+    // computed; disarmed (`None`) the loop is bit-identical.
+    let mut tel = cfg.telemetry.map(|t| ServeTelemetry::new(t, clock_hz));
     let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
     let mut rejections = Vec::new();
     let mut expiries: Vec<JobExpiry> = Vec::new();
@@ -187,7 +204,10 @@ pub fn serve(
             }
             let job = jobs[next].clone();
             next += 1;
-            if shed(&mut slo, &job) {
+            if let Some(s) = shed(&mut slo, &job) {
+                if let Some(t) = tel.as_mut() {
+                    t.job_shed(&s);
+                }
                 continue;
             }
             queue.push(job).expect("empty queue admits one job");
@@ -204,7 +224,7 @@ pub fn serve(
         // upload queues behind it on both the stream and the copy engine.
         if route == Route::Gpu {
             if let Some(p) = pending[stream as usize].take() {
-                flush_readback(&mut engine, &mut outcomes, &mut slo, p);
+                flush_readback(&mut engine, &mut outcomes, &mut slo, &mut tel, p);
             }
         }
         // Everything that arrived while the tier was busy is admitted
@@ -218,12 +238,19 @@ pub fn serve(
         while next < jobs.len() && jobs[next].arrival_seconds <= dispatch {
             let job = jobs[next].clone();
             next += 1;
-            if shed(&mut slo, &job) {
+            if let Some(s) = shed(&mut slo, &job) {
+                if let Some(t) = tel.as_mut() {
+                    t.job_shed(&s);
+                }
                 continue;
             }
+            let (priority, arrival) = (job.priority, job.arrival_seconds);
             if let Err(mut e) = queue.push(job) {
                 if drain_rate > 0.0 {
                     e.retry_after_us = e.capacity as f64 / drain_rate * 1.0e6;
+                }
+                if let Some(t) = tel.as_mut() {
+                    t.job_rejected(&e, priority, arrival);
                 }
                 rejections.push(e);
             }
@@ -232,6 +259,11 @@ pub fn serve(
         // expiry may have changed the head, so re-plan from the top.
         let newly_expired = queue.expire_overdue(dispatch);
         if !newly_expired.is_empty() {
+            if let Some(t) = tel.as_mut() {
+                for e in &newly_expired {
+                    t.job_expired(e);
+                }
+            }
             expiries.extend(newly_expired);
             continue;
         }
@@ -242,6 +274,9 @@ pub fn serve(
             .as_ref()
             .map(|c| c.batch_jobs())
             .unwrap_or(base_max_jobs);
+        if let Some(t) = tel.as_mut() {
+            t.tick(dispatch, queue.len(), max_jobs_now, breaker.state());
+        }
         let mut batch = vec![queue.pop().expect("queue is non-empty")];
         let mut batch_bytes = batch[0].payload.len();
         while batch.len() < max_jobs_now {
@@ -259,6 +294,13 @@ pub fn serve(
         batches += 1;
         payload_bytes += batch_bytes as u64;
         *histogram.entry(batch.len()).or_insert(0) += 1;
+        if let Some(t) = tel.as_mut() {
+            let route_label = match route {
+                Route::Gpu => "gpu",
+                Route::Cpu => "cpu",
+            };
+            t.batch_formed(&label, &batch, dispatch, route_label);
+        }
 
         match route {
             Route::Cpu => {
@@ -270,6 +312,8 @@ pub fn serve(
                     dispatch,
                     &mut outcomes,
                     &mut slo,
+                    &mut tel,
+                    0,
                 );
                 cpu_fallback_batches += 1;
             }
@@ -309,6 +353,8 @@ pub fn serve(
                             rb_bytes,
                             batch,
                             per_job,
+                            dispatch_seconds: dispatch,
+                            retries: sup.report.retries as u64,
                         });
                     }
                     Err((err, rep)) => {
@@ -348,6 +394,8 @@ pub fn serve(
                             cpu_free.max(failed_at),
                             &mut outcomes,
                             &mut slo,
+                            &mut tel,
+                            rep.retries as u64,
                         );
                         cpu_fallback_batches += 1;
                     }
@@ -366,7 +414,7 @@ pub fn serve(
             .expect("sim times are finite")
     });
     for p in leftovers {
-        flush_readback(&mut engine, &mut outcomes, &mut slo, p);
+        flush_readback(&mut engine, &mut outcomes, &mut slo, &mut tel, p);
     }
 
     let timeline = engine.finish();
@@ -375,6 +423,17 @@ pub fn serve(
         .iter()
         .fold(timeline.total_seconds(), |m, o| m.max(o.completed_seconds));
     let latencies_us: Vec<f64> = outcomes.iter().map(|o| o.latency_seconds * 1.0e6).collect();
+    // Final telemetry flush: the drain tail's samples, the breaker's
+    // transition instants, the kept exemplars, and the stitched stream
+    // timeline.
+    let telemetry = tel.map(|mut t| {
+        let batch_window = slo
+            .as_ref()
+            .map(|c| c.batch_jobs())
+            .unwrap_or(base_max_jobs);
+        t.tick(makespan, queue.len(), batch_window, breaker.state());
+        t.finish(breaker.transitions(), &timeline)
+    });
     let sheds = slo.map(|c| c.sheds().to_vec()).unwrap_or_default();
     let report = ServeReport {
         streams: timeline.streams,
@@ -415,14 +474,14 @@ pub fn serve(
         sheds,
         breaker_transitions: breaker.transitions().to_vec(),
         timeline,
+        telemetry,
     })
 }
 
-/// Ask the admission controller about an arrival; true = turned away.
-fn shed(slo: &mut Option<AdmissionController>, job: &ScanJob) -> bool {
+/// Ask the admission controller about an arrival; `Some` = turned away.
+fn shed(slo: &mut Option<AdmissionController>, job: &ScanJob) -> Option<SheddedJob> {
     slo.as_mut()
-        .map(|c| c.admit(job.id, job.priority, job.arrival_seconds).is_some())
-        .unwrap_or(false)
+        .and_then(|c| c.admit(job.id, job.priority, job.arrival_seconds))
 }
 
 fn tally(rep: &SuperviseReport, gpu_retries: &mut u64, faults_fired: &mut u64) {
@@ -435,6 +494,7 @@ fn tally(rep: &SuperviseReport, gpu_retries: &mut u64, faults_fired: &mut u64) {
 /// wall time from the multicore model on a fixed core count. Outcomes are
 /// recorded immediately — the CPU tier has no deferred readback. Returns
 /// the completion time (the executor's next free instant).
+#[allow(clippy::too_many_arguments)]
 fn run_cpu_batch(
     matcher: &GpuAcMatcher,
     cfg: &ServeConfig,
@@ -443,6 +503,8 @@ fn run_cpu_batch(
     start: f64,
     outcomes: &mut Vec<JobOutcome>,
     slo: &mut Option<AdmissionController>,
+    tel: &mut Option<ServeTelemetry>,
+    gpu_retries: u64,
 ) -> f64 {
     let ac = matcher.automaton();
     let ladder = cpu_ladder_scan(ac, &assembled.data, &cfg.parallel);
@@ -461,7 +523,7 @@ fn run_cpu_batch(
         if let Some(c) = slo.as_mut() {
             c.observe(latency);
         }
-        outcomes.push(JobOutcome {
+        let outcome = JobOutcome {
             id: job.id,
             matches,
             completed_seconds: done,
@@ -469,7 +531,11 @@ fn run_cpu_batch(
             batch_jobs,
             stream: 0,
             served_by: ServedBy::CpuLadder,
-        });
+        };
+        if let Some(t) = tel.as_mut() {
+            t.job_completed(&job, &outcome, start, gpu_retries);
+        }
+        outcomes.push(outcome);
     }
     done
 }
@@ -483,6 +549,11 @@ struct PendingReadback {
     rb_bytes: u64,
     batch: Vec<ScanJob>,
     per_job: Vec<Vec<ac_core::Match>>,
+    /// When the batch was dispatched (host bookkeeping for the service
+    /// span; never fed back into timing).
+    dispatch_seconds: f64,
+    /// Supervised retries the batch absorbed.
+    retries: u64,
 }
 
 /// Enqueue the held `d2h` and record its jobs' outcomes.
@@ -490,6 +561,7 @@ fn flush_readback(
     engine: &mut StreamEngine,
     outcomes: &mut Vec<JobOutcome>,
     slo: &mut Option<AdmissionController>,
+    tel: &mut Option<ServeTelemetry>,
     p: PendingReadback,
 ) {
     engine.submit(
@@ -506,7 +578,7 @@ fn flush_readback(
         if let Some(c) = slo.as_mut() {
             c.observe(latency);
         }
-        outcomes.push(JobOutcome {
+        let outcome = JobOutcome {
             id: job.id,
             matches,
             completed_seconds: done,
@@ -514,7 +586,11 @@ fn flush_readback(
             batch_jobs,
             stream: p.stream,
             served_by: ServedBy::Gpu,
-        });
+        };
+        if let Some(t) = tel.as_mut() {
+            t.job_completed(&job, &outcome, p.dispatch_seconds, p.retries);
+        }
+        outcomes.push(outcome);
     }
 }
 

@@ -15,6 +15,74 @@
 //!   back toward the configured base so light load keeps its low
 //!   per-job latency.
 
+/// A fixed-capacity ring buffer of latency observations with
+/// nearest-rank quantile estimation. This is the sliding window behind
+/// both the [`AdmissionController`]'s p99 and the telemetry registry's
+/// sampled p50/p99 series, extracted so its estimator can be tested (and
+/// property-tested) in isolation.
+#[derive(Debug, Clone)]
+pub struct QuantileWindow {
+    samples: Vec<f64>,
+    next_slot: usize,
+    cap: usize,
+}
+
+impl QuantileWindow {
+    /// A window remembering the most recent `cap` observations (at least
+    /// one).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        QuantileWindow {
+            samples: Vec::with_capacity(cap),
+            next_slot: 0,
+            cap,
+        }
+    }
+
+    /// Record one observation, evicting the oldest once full.
+    pub fn push(&mut self, value: f64) {
+        if self.samples.len() < self.cap {
+            self.samples.push(value);
+        } else {
+            self.samples[self.next_slot] = value;
+            self.next_slot = (self.next_slot + 1) % self.cap;
+        }
+    }
+
+    /// Observations currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True until the first observation lands.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest observation in the window, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest observation in the window, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Nearest-rank quantile of the window (`q` in `[0, 1]`); 0 until
+    /// anything has been observed. `quantile(0.99)` on a full window is
+    /// exactly the admission controller's p99.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("observations are finite"));
+        let rank = ((sorted.len() as f64) * q).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
 /// One admitted-latency observation window + reaction policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SloConfig {
@@ -61,8 +129,7 @@ pub struct SheddedJob {
 pub struct AdmissionController {
     cfg: SloConfig,
     base_batch_jobs: usize,
-    latencies: Vec<f64>,
-    next_slot: usize,
+    latencies: QuantileWindow,
     shedding: bool,
     batch_jobs: usize,
     sheds: Vec<SheddedJob>,
@@ -76,8 +143,7 @@ impl AdmissionController {
         AdmissionController {
             cfg,
             base_batch_jobs: base,
-            latencies: Vec::with_capacity(cfg.window.max(1)),
-            next_slot: 0,
+            latencies: QuantileWindow::new(cfg.window),
             shedding: false,
             batch_jobs: base,
             sheds: Vec::new(),
@@ -87,13 +153,7 @@ impl AdmissionController {
     /// Record one completed job's latency and update shed mode and the
     /// batch window.
     pub fn observe(&mut self, latency_seconds: f64) {
-        let cap = self.cfg.window.max(1);
-        if self.latencies.len() < cap {
-            self.latencies.push(latency_seconds);
-        } else {
-            self.latencies[self.next_slot] = latency_seconds;
-            self.next_slot = (self.next_slot + 1) % cap;
-        }
+        self.latencies.push(latency_seconds);
         let p99 = self.p99();
         if self.shedding {
             if p99 <= self.cfg.p99_target_seconds * self.cfg.recover_ratio {
@@ -113,13 +173,7 @@ impl AdmissionController {
 
     /// Sliding-window p99 (nearest-rank), 0 until anything completes.
     pub fn p99(&self) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        self.latencies.quantile(0.99)
     }
 
     /// Whether shed mode is currently active.
@@ -244,5 +298,35 @@ mod tests {
         let mut c = controller();
         assert_eq!(c.p99(), 0.0);
         assert!(c.admit(1, 0, 0.0).is_none());
+    }
+
+    #[test]
+    fn quantile_window_evicts_oldest_and_tracks_extremes() {
+        let mut w = QuantileWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(0.5), 0.0);
+        for v in [5.0, 1.0, 3.0] {
+            w.push(v);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.min(), Some(1.0));
+        assert_eq!(w.max(), Some(5.0));
+        // Full: the next push overwrites the oldest slot (the 5.0).
+        w.push(2.0);
+        assert_eq!(w.max(), Some(3.0));
+    }
+
+    #[test]
+    fn quantile_window_nearest_rank_endpoints() {
+        let mut w = QuantileWindow::new(8);
+        for i in 1..=8 {
+            w.push(i as f64);
+        }
+        // ceil(8 * 0.01) = 1 → min; ceil(8 * 0.99) = 8 → max.
+        assert_eq!(w.quantile(0.01), 1.0);
+        assert_eq!(w.quantile(0.5), 4.0);
+        assert_eq!(w.quantile(0.99), 8.0);
+        // q = 0 clamps to the first rank rather than indexing out.
+        assert_eq!(w.quantile(0.0), 1.0);
     }
 }

@@ -1,0 +1,90 @@
+//! Satellite property: the sliding-window quantile estimator behind the
+//! SLO controller and the telemetry registry is sound — any reported
+//! quantile lies inside the window's [min, max] envelope, quantiles are
+//! monotone in rank, the ring buffer keeps exactly the last `cap`
+//! samples, and the estimator agrees with a from-scratch nearest-rank
+//! computation over the retained window.
+
+use ac_serve::QuantileWindow;
+use proptest::prelude::*;
+
+/// Nearest-rank quantile computed the slow, obviously-correct way.
+fn reference_quantile(window: &[f64], q: f64) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = window.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_stay_inside_the_window_envelope_and_rank_order(
+        cap in 1usize..24,
+        samples in proptest::collection::vec(0u32..10_000, 0..96),
+        // Quantile probed in per-mille so the strategy stays integral.
+        q_pm in 0u32..=1000,
+    ) {
+        let mut w = QuantileWindow::new(cap);
+        let mut model: Vec<f64> = Vec::new();
+        for s in &samples {
+            let v = *s as f64;
+            w.push(v);
+            model.push(v);
+            if model.len() > cap {
+                model.remove(0); // ring overwrite evicts the oldest
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+        let q = q_pm as f64 / 1000.0;
+        let got = w.quantile(q);
+        if model.is_empty() {
+            prop_assert!(w.is_empty());
+            prop_assert_eq!(got, 0.0);
+            prop_assert_eq!(w.min(), None);
+            prop_assert_eq!(w.max(), None);
+        } else {
+            let lo = model.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = model.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            // Inside the retained window's envelope…
+            prop_assert!(got >= lo && got <= hi, "q{q}: {got} outside [{lo}, {hi}]");
+            prop_assert_eq!(w.min(), Some(lo));
+            prop_assert_eq!(w.max(), Some(hi));
+            // …and exactly the nearest-rank statistic of that window.
+            prop_assert_eq!(got, reference_quantile(&model, q));
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_rank(
+        cap in 1usize..24,
+        samples in proptest::collection::vec(0u32..10_000, 1..96),
+        q_pms in proptest::collection::vec(0u32..=1000, 2..8),
+    ) {
+        let mut w = QuantileWindow::new(cap);
+        for s in &samples {
+            w.push(*s as f64);
+        }
+        let mut ranks = q_pms;
+        ranks.sort_unstable();
+        let values: Vec<f64> = ranks
+            .iter()
+            .map(|pm| w.quantile(*pm as f64 / 1000.0))
+            .collect();
+        for pair in values.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "quantile must be monotone under rank: {:?} over ranks {:?}",
+                values,
+                ranks
+            );
+        }
+        // Extremes anchor the curve.
+        prop_assert_eq!(w.quantile(1.0), w.max().unwrap());
+        prop_assert!(w.quantile(0.0) >= w.min().unwrap());
+    }
+}

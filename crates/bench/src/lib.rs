@@ -37,7 +37,10 @@ pub use layout_sweep::{
 };
 pub use measure::{Engine, EngineConfig, Measurement, Measurements};
 pub use report::{BenchReport, BenchRow};
-pub use serving::{serve_chaos_measurements, serving_measurements, CHAOS_SEED, SERVING_SCENARIOS};
+pub use serving::{
+    serve_chaos_measurements, serving_measurements, serving_measurements_with, CHAOS_SEED,
+    SERVING_SCENARIOS,
+};
 pub use verdict::{evaluate, render, Outcome, Verdict};
 pub use whatif::{explain, explain_label, Knob, WhatIfReport, WhatIfRow};
 pub use workload::Workload;

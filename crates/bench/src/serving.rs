@@ -17,7 +17,7 @@ use crate::measure::{Measurement, Measurements};
 use ac_gpu::{GpuAcMatcher, KernelParams};
 use ac_serve::{
     chaos_soak, serve, serve_automaton, synthetic_workload, ChaosConfig, ServeConfig, ServeReport,
-    WorkloadConfig,
+    TelemetryConfig, WorkloadConfig,
 };
 use gpu_sim::GpuConfig;
 
@@ -32,6 +32,17 @@ pub const SERVING_SCENARIOS: [(&str, u32, bool); 3] = [
 /// measurement row per scenario. Fully deterministic: same tree, same
 /// rows.
 pub fn serving_measurements() -> Result<Measurements, String> {
+    serving_measurements_with(None)
+}
+
+/// [`serving_measurements`] with the telemetry hook optionally armed.
+/// The rows must be bit-identical either way — telemetry observes the
+/// serve loop, it never feeds back into it — and the bench gate pins
+/// that: the committed `BENCH_*.json` rows come from the disarmed path,
+/// so an armed run drifting would show up as a perf regression.
+pub fn serving_measurements_with(
+    telemetry: Option<TelemetryConfig>,
+) -> Result<Measurements, String> {
     let gpu = GpuConfig::gtx285();
     let workload = WorkloadConfig::defaults();
     let ac = serve_automaton(ac_serve::DEFAULT_PATTERNS, workload.seed);
@@ -45,6 +56,7 @@ pub fn serving_measurements() -> Result<Measurements, String> {
         if !batched {
             cfg = cfg.per_job();
         }
+        cfg.telemetry = telemetry;
         let run = serve(&matcher, jobs.clone(), &cfg).map_err(|e| e.to_string())?;
         let r = &run.report;
         out.rows.push(Measurement {
@@ -149,6 +161,15 @@ mod tests {
         let a = serving_measurements().unwrap();
         let b = serving_measurements().unwrap();
         assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn telemetry_does_not_move_the_bench_rows() {
+        // The zero-cost contract at the bench-gate level: arming the
+        // telemetry hook must leave every committed row bit-identical.
+        let disarmed = serving_measurements_with(None).unwrap();
+        let armed = serving_measurements_with(Some(TelemetryConfig::default())).unwrap();
+        assert_eq!(disarmed.rows, armed.rows);
     }
 
     #[test]

@@ -11,13 +11,17 @@ use std::path::Path;
 
 /// Run a parsed invocation, returning the text to print.
 pub fn run(opts: &Options) -> Result<String, String> {
-    // `bench diff` compares committed reports; `serve-sim` extracts its
-    // dictionary from the synthetic corpus. Neither loads --patterns.
+    // `bench diff` compares committed reports, `serve-sim` extracts its
+    // dictionary from the synthetic corpus, and `slo-report` reads a
+    // recorded trace. None of them load --patterns.
     if opts.command == Command::BenchDiff {
         return bench_diff_text(opts);
     }
     if opts.command == Command::ServeSim {
         return serve_sim_text(opts);
+    }
+    if opts.command == Command::SloReport {
+        return slo_report_text(opts);
     }
     let patterns = load_patterns(&opts.patterns)?;
     match opts.command {
@@ -109,7 +113,7 @@ pub fn run(opts: &Options) -> Result<String, String> {
             let ac = AcAutomaton::build(&patterns);
             explain_text(opts, &ac, &text, &device(opts.fermi))
         }
-        Command::BenchDiff | Command::ServeSim => {
+        Command::BenchDiff | Command::ServeSim | Command::SloReport => {
             unreachable!("dispatched before pattern loading")
         }
         Command::Compare => {
@@ -386,7 +390,9 @@ const SERVE_PATTERNS: usize = ac_serve::DEFAULT_PATTERNS;
 /// scan jobs through the batched multi-stream server and render the
 /// [`ac_serve::ServeReport`].
 fn serve_sim_text(opts: &Options) -> Result<String, String> {
-    use ac_serve::{serve, synthetic_workload, ServeConfig, SloConfig, WorkloadConfig};
+    use ac_serve::{
+        serve, synthetic_workload, ServeConfig, SloConfig, TelemetryConfig, WorkloadConfig,
+    };
     let cfg = device(opts.fermi);
     let ac = ac_serve::serve_automaton(SERVE_PATTERNS, opts.serve_seed);
     let matcher =
@@ -415,6 +421,11 @@ fn serve_sim_text(opts: &Options) -> Result<String, String> {
             p99_target_seconds: target_us as f64 * 1.0e-6,
             ..SloConfig::default()
         });
+    }
+    // Export flags arm end-to-end telemetry; without them the hook stays
+    // disarmed and the run is bit-identical to an unobserved one.
+    if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        serve_cfg.telemetry = Some(TelemetryConfig::default());
     }
     if opts.serve_chaos {
         return serve_chaos_text(opts, &matcher);
@@ -479,7 +490,75 @@ fn serve_sim_text(opts: &Options) -> Result<String, String> {
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         let _ = writeln!(out, "report written: {}", path.display());
     }
+    write_serve_exports(opts, run.telemetry.as_ref(), &run.report, &mut out)?;
     Ok(out)
+}
+
+/// Write the `serve-sim` telemetry exports: the stitched Chrome trace
+/// (schema-validated before it touches disk, so a malformed export fails
+/// the command rather than silently producing a broken artifact) and the
+/// metrics snapshot (Prometheus text for `.prom`/`.txt` paths, else
+/// JSON).
+fn write_serve_exports(
+    opts: &Options,
+    telemetry: Option<&ac_serve::TelemetryRun>,
+    report: &ac_serve::ServeReport,
+    out: &mut String,
+) -> Result<(), String> {
+    if opts.trace_out.is_none() && opts.metrics_out.is_none() {
+        return Ok(());
+    }
+    let tel = telemetry.ok_or("telemetry was armed but the run recorded none")?;
+    if let Some(path) = &opts.trace_out {
+        let json = tel.chrome_json();
+        let summary = trace::validate_chrome_json(&json)
+            .map_err(|e| format!("telemetry trace failed schema validation: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(
+            out,
+            "trace written: {} ({} events, {} spans, {} dropped)",
+            path.display(),
+            summary.events,
+            summary.spans,
+            tel.trace.dropped()
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        let snap = tel.metrics_snapshot(report);
+        let prom = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.eq_ignore_ascii_case("prom") || e.eq_ignore_ascii_case("txt"));
+        let body = if prom {
+            snap.to_prometheus()
+        } else {
+            snap.to_json()
+        };
+        std::fs::write(path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(
+            out,
+            "metrics written: {} ({} series, {})",
+            path.display(),
+            snap.len(),
+            if prom { "prometheus" } else { "json" }
+        );
+    }
+    Ok(())
+}
+
+/// `acsim slo-report TRACE.json`: validate a recorded serve telemetry
+/// trace and render the incident narrative (breaker timeline, pressure
+/// counters, admission decisions, worst-latency exemplars).
+fn slo_report_text(opts: &Options) -> Result<String, String> {
+    let path = opts.slo_trace.as_ref().expect("validated by the parser");
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    trace::validate_chrome_json(&json)
+        .map_err(|e| format!("{} is not a valid chrome trace: {e}", path.display()))?;
+    // The trace was exported in microseconds, so parse it back 1:1.
+    let events = trace::parse_chrome_json(&json, 1.0)
+        .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    Ok(ac_serve::render_slo_report(&events))
 }
 
 /// `acsim serve-sim --chaos`: the seeded fault-storm soak. The load and
@@ -491,7 +570,7 @@ fn serve_sim_text(opts: &Options) -> Result<String, String> {
 /// `--report` artifact, and returns `Err` (→ exit code 1) when any
 /// resilience invariant is violated, so CI can gate on it directly.
 fn serve_chaos_text(opts: &Options, matcher: &GpuAcMatcher) -> Result<String, String> {
-    use ac_serve::{chaos_soak, ChaosConfig, SloConfig};
+    use ac_serve::{chaos_soak_runs, ChaosConfig, SloConfig, TelemetryConfig};
     let seed = opts.fault_seed.unwrap_or(bench::CHAOS_SEED);
     let mut chaos = ChaosConfig::smoke(seed);
     chaos.workload.seed = opts.serve_seed;
@@ -505,7 +584,14 @@ fn serve_chaos_text(opts: &Options, matcher: &GpuAcMatcher) -> Result<String, St
             ..SloConfig::default()
         });
     }
-    let verdict = chaos_soak(matcher, &chaos).map_err(|e| e.to_string())?;
+    // Export flags arm telemetry on the soak; the *faulted* run is the
+    // interesting one (breaker transitions, fallbacks), so that is the
+    // trace/metrics artifact.
+    if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        chaos.serve.telemetry = Some(TelemetryConfig::default());
+    }
+    let (verdict, _baseline, faulted) =
+        chaos_soak_runs(matcher, &chaos).map_err(|e| e.to_string())?;
     let mut out = format!(
         "serve-chaos: seed {seed}, {} jobs, {} stream(s)\n",
         verdict.faulted.jobs_submitted, verdict.faulted.streams
@@ -550,6 +636,9 @@ fn serve_chaos_text(opts: &Options, matcher: &GpuAcMatcher) -> Result<String, St
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         let _ = writeln!(out, "verdict written: {}", path.display());
     }
+    // Export before the verdict gate so the incident artifacts exist
+    // precisely when the soak fails and someone needs to debug it.
+    write_serve_exports(opts, faulted.telemetry.as_ref(), &faulted.report, &mut out)?;
     if verdict.passed() {
         let _ = writeln!(out, "  verdict:     PASS (all resilience invariants held)");
         Ok(out)
@@ -1315,6 +1404,83 @@ mod tests {
         .unwrap();
         let out = run(&opts).unwrap();
         assert!(out.contains("per-job launches"), "{out}");
+    }
+
+    #[test]
+    fn serve_sim_exports_telemetry_and_slo_report_renders() {
+        let trace_p = write_tmp("serve17_t.json", b"");
+        let metrics_p = write_tmp("serve17_m.prom", b"");
+        let opts = parse([
+            "serve-sim",
+            "--jobs",
+            "12",
+            "--arrival-rate",
+            "4000",
+            "--streams",
+            "2",
+            "--trace-out",
+            trace_p.to_str().unwrap(),
+            "--metrics-out",
+            metrics_p.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("trace written:"), "{out}");
+        assert!(out.contains("metrics written:"), "{out}");
+
+        // The trace on disk is a valid Chrome export with job spans.
+        let json = std::fs::read_to_string(&trace_p).unwrap();
+        let summary = trace::validate_chrome_json(&json).expect("valid chrome trace");
+        assert!(summary.spans > 0, "{summary:?}");
+        // The metrics snapshot carries the terminal report plus the
+        // sampled series.
+        let prom = std::fs::read_to_string(&metrics_p).unwrap();
+        assert!(prom.contains("acsim_serve_jobs_completed"), "{prom}");
+        assert!(prom.contains("acsim_serve_sample_p99_us{"), "{prom}");
+
+        // The recorded trace feeds `slo-report` directly.
+        let opts = parse(["slo-report", trace_p.to_str().unwrap()]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("slo-report:"), "{out}");
+        assert!(out.contains("breaker"), "{out}");
+        assert!(out.contains("admission:"), "{out}");
+        assert!(out.contains("p99 (sampled):"), "{out}");
+    }
+
+    #[test]
+    fn serve_chaos_exports_the_faulted_run_telemetry() {
+        let trace_p = write_tmp("serve18_t.json", b"");
+        let opts = parse([
+            "serve-sim",
+            "--chaos",
+            "--trace-out",
+            trace_p.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("trace written:"), "{out}");
+        let json = std::fs::read_to_string(&trace_p).unwrap();
+        trace::validate_chrome_json(&json).expect("valid chrome trace");
+        // The storm trips the breaker, so the incident narrative names
+        // the transitions and the degraded window.
+        let opts = parse(["slo-report", trace_p.to_str().unwrap()]).unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.contains("breaker timeline:"), "{report}");
+        assert!(
+            report.contains("breaker-open") || report.contains("open"),
+            "{report}"
+        );
+        assert!(report.contains("worst-latency exemplars:"), "{report}");
+    }
+
+    #[test]
+    fn slo_report_rejects_garbage_traces() {
+        let bogus = write_tmp("bogus19.json", b"{\"traceEvents\": \"nope\"}");
+        let opts = parse(["slo-report", bogus.to_str().unwrap()]).unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("not a valid chrome trace"), "{err}");
+        let opts = parse(["slo-report", "/nonexistent/t.json"]).unwrap();
+        assert!(run(&opts).unwrap_err().contains("reading"));
     }
 
     #[test]

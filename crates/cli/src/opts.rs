@@ -86,6 +86,9 @@ pub enum Command {
     /// Replay a synthetic open-loop serving workload through the batched
     /// multi-stream server and print the ServeReport.
     ServeSim,
+    /// Render an incident narrative from a serve telemetry trace
+    /// (`acsim slo-report TRACE.json`).
+    SloReport,
 }
 
 /// Full parsed invocation.
@@ -160,6 +163,8 @@ pub struct Options {
     /// `serve-sim`: SLO p99 target in microseconds; arms the admission
     /// controller (low-priority shedding + adaptive batch window).
     pub serve_p99_target_us: Option<u64>,
+    /// Telemetry trace to summarise (`slo-report`).
+    pub slo_trace: Option<PathBuf>,
 }
 
 /// A human-readable argument error.
@@ -187,6 +192,8 @@ pub const USAGE: &str = "usage:
   acsim serve-sim [--jobs N] [--arrival-rate R] [--streams S] [--seed N]
                 [--job-bytes N] [--queue-cap N] [--no-batch] [--deadline-us N]
                 [--p99-target-us N] [--chaos [--fault-seed N]] [--fermi] [--report FILE]
+                [--trace-out FILE] [--metrics-out FILE]
+  acsim slo-report TRACE.json
   acsim dot     --patterns FILE
 engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed
        | gpu:banded | gpu:twolevel | gpu:auto | gpu:pfac
@@ -196,7 +203,10 @@ fastest (texture-residency introspection reported as the evidence).
 failure; --fault-seed arms a deterministic fault-injection plan (testing aid).
 --trace-out writes a Chrome trace-event JSON (load in Perfetto); --metrics-out
 writes a metrics snapshot (Prometheus text for .prom/.txt paths, else JSON).
-Both need a simulated device, so they require a gpu:* engine or --resilient.
+On `match` both need a simulated device (a gpu:* engine or --resilient); on
+`serve-sim` they arm end-to-end telemetry — per-job lifecycle spans stitched
+above the stream ops plus the sampled metrics registry (with --chaos, the
+faulted soak run is the one exported).
 `profile` sweeps every GPU kernel and prints per-config stall breakdowns
 (--json emits the table as machine-readable JSON).
 `explain` reruns one kernel with single memory-hierarchy knobs perturbed and
@@ -211,7 +221,10 @@ as typed outcomes; --p99-target-us arms SLO admission control (sheds the
 lowest priorities, widens the batch window under pressure); --chaos runs
 the seeded fault-storm soak on the pinned smoke scenario (load-shaping
 flags do not apply; --fault-seed places the storm, --seed reshuffles
-payloads) and exits non-zero if any resilience invariant is violated.";
+payloads) and exits non-zero if any resilience invariant is violated.
+`slo-report` reads a `serve-sim --trace-out` telemetry trace and renders an
+incident narrative: breaker timeline, pressure-counter arcs, admission
+decisions, and the worst-latency exemplars per flight-recorder window.";
 
 /// Parse an argument vector (without the program name).
 pub fn parse<I, S>(args: I) -> Result<Options, ParseError>
@@ -237,6 +250,7 @@ where
             None => return Err(ParseError(format!("bench needs a subcommand\n{USAGE}"))),
         },
         Some("serve-sim") => Command::ServeSim,
+        Some("slo-report") => Command::SloReport,
         Some(other) => return Err(ParseError(format!("unknown command '{other}'\n{USAGE}"))),
         None => return Err(ParseError(USAGE.into())),
     };
@@ -408,12 +422,26 @@ where
             "--max-gbps-drop" => gbps_drop_pm = Some(tenths("--max-gbps-drop", it.next())?),
             "--max-cycles-rise" => cycles_rise_pm = Some(tenths("--max-cycles-rise", it.next())?),
             "--max-stall-shift" => stall_shift_dpts = Some(tenths("--max-stall-shift", it.next())?),
-            other if !other.starts_with("--") && command == Command::BenchDiff => {
+            other
+                if !other.starts_with("--")
+                    && matches!(command, Command::BenchDiff | Command::SloReport) =>
+            {
                 positionals.push(PathBuf::from(other))
             }
             other => return Err(ParseError(format!("unknown flag '{other}'\n{USAGE}"))),
         }
     }
+    let slo_trace = if command == Command::SloReport {
+        if positionals.len() != 1 {
+            return Err(ParseError(format!(
+                "slo-report needs exactly one trace path, got {}",
+                positionals.len()
+            )));
+        }
+        positionals.pop()
+    } else {
+        None
+    };
     let (bench_old, bench_new) = if command == Command::BenchDiff {
         if positionals.len() != 2 {
             return Err(ParseError(format!(
@@ -481,9 +509,13 @@ where
             "explain perturbs GPU memory-hierarchy knobs: use a gpu:* engine".into(),
         ));
     }
-    let patterns = if matches!(command, Command::BenchDiff | Command::ServeSim) {
-        // `bench diff` works on committed reports; `serve-sim` extracts
-        // its dictionary from the synthetic corpus.
+    let patterns = if matches!(
+        command,
+        Command::BenchDiff | Command::ServeSim | Command::SloReport
+    ) {
+        // `bench diff` works on committed reports, `serve-sim` extracts
+        // its dictionary from the synthetic corpus, and `slo-report`
+        // reads a recorded trace.
         patterns.unwrap_or_default()
     } else {
         patterns.ok_or_else(|| ParseError("--patterns is required".into()))?
@@ -504,13 +536,15 @@ where
         ));
     }
     if trace_out.is_some() || metrics_out.is_some() {
-        if command != Command::Match {
+        if !matches!(command, Command::Match | Command::ServeSim) {
             return Err(ParseError(
-                "--trace-out/--metrics-out only apply to `match`".into(),
+                "--trace-out/--metrics-out only apply to `match` and `serve-sim`".into(),
             ));
         }
+        // `serve-sim` always drives the simulated device; `match` only
+        // does under a gpu:* engine or the resilient ladder.
         let gpu_engine = !matches!(engine, Engine::Serial | Engine::Parallel);
-        if !gpu_engine && !resilient {
+        if command == Command::Match && !gpu_engine && !resilient {
             return Err(ParseError(
                 "--trace-out/--metrics-out need a simulated device: use a gpu:* engine or \
                  --resilient"
@@ -548,6 +582,7 @@ where
         serve_chaos,
         serve_deadline_us,
         serve_p99_target_us,
+        slo_trace,
     })
 }
 
@@ -942,6 +977,43 @@ mod tests {
         // Zeroes are rejected.
         assert!(p(&["serve-sim", "--deadline-us", "0"]).is_err());
         assert!(p(&["serve-sim", "--p99-target-us", "0"]).is_err());
+    }
+
+    #[test]
+    fn serve_sim_telemetry_export_flags_parse_and_are_validated() {
+        let o = p(&[
+            "serve-sim",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.prom",
+        ])
+        .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(
+            o.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.prom"))
+        );
+        // No device requirement: serve-sim always drives the simulated GPU.
+        assert!(p(&["serve-sim", "--chaos", "--trace-out", "t.json"]).is_ok());
+        // Still rejected where there is nothing to record.
+        assert!(p(&["stats", "--patterns", "d", "--trace-out", "t"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "--metrics-out", "m"]).is_err());
+    }
+
+    #[test]
+    fn slo_report_parses_one_trace_path() {
+        let o = p(&["slo-report", "trace.json"]).unwrap();
+        assert_eq!(o.command, Command::SloReport);
+        assert_eq!(
+            o.slo_trace.as_deref(),
+            Some(std::path::Path::new("trace.json"))
+        );
+        // Exactly one path; no stray flags.
+        assert!(p(&["slo-report"]).is_err());
+        assert!(p(&["slo-report", "a.json", "b.json"]).is_err());
+        assert!(p(&["slo-report", "t.json", "--jobs", "5"]).is_err());
+        assert!(p(&["slo-report", "t.json", "--trace-out", "x"]).is_err());
     }
 
     #[test]

@@ -30,8 +30,12 @@ use serde::{Deserialize, Serialize};
 use trace::{ArgValue, TraceBuffer, TraceConfig};
 
 /// First Chrome-trace pid used for per-stream rows (pids 0/1 are the
-/// host/device rows of kernel traces).
+/// host/device rows of kernel traces, pids 2–4 the serving-telemetry
+/// rows). Stream rows must stay above every reserved pid so a stitched
+/// serving trace keeps job lifecycle tracks and stream-op tracks in
+/// disjoint pid ranges.
 pub const PID_STREAM_BASE: u32 = 16;
+const _: () = assert!(PID_STREAM_BASE >= trace::PID_SERVE_LIMIT);
 
 /// What an operation does, which determines the engine it occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -282,6 +286,16 @@ impl StreamTimeline {
     /// kernels from different streams overlapping.
     pub fn to_trace(&self, clock_hz: f64, cfg: TraceConfig) -> TraceBuffer {
         let mut tb = TraceBuffer::new(cfg);
+        self.append_trace(&mut tb, clock_hz);
+        tb
+    }
+
+    /// Append this timeline's ops into an existing buffer (same pid/cycle
+    /// convention as [`StreamTimeline::to_trace`]). This is how the
+    /// serving telemetry stitches per-job lifecycle spans (pids 2–4) and
+    /// the stream ops that served them (pids ≥ [`PID_STREAM_BASE`]) into
+    /// one Chrome trace.
+    pub fn append_trace(&self, tb: &mut TraceBuffer, clock_hz: f64) {
         for op in &self.ops {
             let start = (op.start * clock_hz).round() as u64;
             let dur = (op.seconds() * clock_hz).round() as u64;
@@ -308,7 +322,6 @@ impl StreamTimeline {
                 args,
             );
         }
-        tb
     }
 }
 
@@ -421,5 +434,29 @@ mod tests {
         let pids: Vec<u32> = tb.events().iter().map(|ev| ev.pid).collect();
         assert!(pids.contains(&PID_STREAM_BASE));
         assert!(pids.contains(&(PID_STREAM_BASE + 1)));
+    }
+
+    #[test]
+    fn append_trace_stitches_into_an_existing_buffer() {
+        let mut e = StreamEngine::new(1);
+        e.submit(0, StreamOpKind::Kernel, "k", 2.0, 0);
+        let t = e.finish();
+        let mut tb = TraceBuffer::default();
+        tb.instant(
+            "queue-wait",
+            "serve",
+            trace::PID_SERVE_JOBS,
+            0,
+            0,
+            Vec::new(),
+        );
+        t.append_trace(&mut tb, 1.0e6);
+        assert_eq!(tb.len(), 2);
+        // Serve pids and stream pids stay disjoint in the stitched trace.
+        assert_eq!(tb.events()[0].pid, trace::PID_SERVE_JOBS);
+        assert_eq!(tb.events()[1].pid, PID_STREAM_BASE);
+        // Identical cycle quantization as the standalone export.
+        let alone = t.to_trace(1.0e6, TraceConfig::default());
+        assert_eq!(&tb.events()[1..], alone.events());
     }
 }

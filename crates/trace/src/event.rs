@@ -19,6 +19,21 @@ use crate::Cycle;
 pub const PID_HOST: u32 = 0;
 /// Process-id used for device-side activity (SMs, DRAM channel).
 pub const PID_DEVICE: u32 = 1;
+/// Process-id used for per-job serving lifecycle spans (queue wait,
+/// service) and admission instants (shed/rejected/expired); `tid` is the
+/// job's priority class.
+pub const PID_SERVE_JOBS: u32 = 2;
+/// Process-id used for the serving control plane: breaker transitions
+/// and cadence-sampled metrics counters (queue depth, windowed p99).
+pub const PID_SERVE_CONTROL: u32 = 3;
+/// Process-id used for SLO flight-recorder exemplars (the worst-latency
+/// jobs per window); `tid` is the window index.
+pub const PID_SERVE_SLO: u32 = 4;
+/// One past the highest reserved serve pid. Per-stream rows
+/// (`gpu_sim::PID_STREAM_BASE`) must start at or above this so a
+/// stitched serving trace keeps job lifecycle tracks and stream-op
+/// tracks in disjoint pid ranges.
+pub const PID_SERVE_LIMIT: u32 = 5;
 
 /// Trace-event phase, mirroring the Chrome trace-event `ph` field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -34,7 +34,10 @@ pub mod stall;
 pub mod summary;
 
 pub use chrome::{parse_chrome_json, to_chrome_json, validate_chrome_json, ChromeSummary};
-pub use event::{ArgValue, Phase, TraceBuffer, TraceConfig, TraceEvent, PID_DEVICE, PID_HOST};
+pub use event::{
+    ArgValue, Phase, TraceBuffer, TraceConfig, TraceEvent, PID_DEVICE, PID_HOST, PID_SERVE_CONTROL,
+    PID_SERVE_JOBS, PID_SERVE_LIMIT, PID_SERVE_SLO,
+};
 pub use metrics::{Metric, MetricValue, MetricsSnapshot};
 pub use stall::{StallBreakdown, StallReason};
 pub use summary::{render_heatmap, render_histogram, render_stall_summary, to_csv, SmActivity};

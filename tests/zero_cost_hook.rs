@@ -251,6 +251,53 @@ fn stream_engine_routing_leaves_launch_stats_bit_identical() {
 }
 
 #[test]
+fn serve_telemetry_disarmed_and_armed_runs_are_bit_identical() {
+    use ac_serve::{serve, synthetic_workload, ServeConfig, TelemetryConfig, WorkloadConfig};
+
+    // The serving pipeline's observability layer holds the same contract
+    // as the kernel-level hooks above: armed telemetry only *observes*
+    // the serve loop (it reads already-computed times and counters), so
+    // every behavioural output — the report, each job's matches and
+    // latencies, the rejection/expiry/shed records, the breaker history,
+    // the scheduled stream timeline — must be bit-identical to a
+    // disarmed run.
+    let matcher = {
+        let cfg = GpuConfig::gtx285();
+        let ac = ac_serve::serve_automaton(ac_serve::DEFAULT_PATTERNS, 7);
+        GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap()
+    };
+    let workload = WorkloadConfig {
+        jobs: 64,
+        seed: 7,
+        ..WorkloadConfig::defaults()
+    };
+    let jobs = synthetic_workload(&workload);
+
+    let mut disarmed_cfg = ServeConfig::new(2);
+    disarmed_cfg.queue_capacity = 16;
+    let mut armed_cfg = disarmed_cfg;
+    armed_cfg.telemetry = Some(TelemetryConfig::default());
+
+    let disarmed = serve(&matcher, jobs.clone(), &disarmed_cfg).unwrap();
+    let armed = serve(&matcher, jobs, &armed_cfg).unwrap();
+
+    assert_eq!(armed.report, disarmed.report, "ServeReport drifted");
+    assert_eq!(armed.outcomes, disarmed.outcomes, "outcomes drifted");
+    assert_eq!(armed.rejections, disarmed.rejections);
+    assert_eq!(armed.expiries, disarmed.expiries);
+    assert_eq!(armed.sheds, disarmed.sheds);
+    assert_eq!(armed.breaker_transitions, disarmed.breaker_transitions);
+    assert_eq!(armed.timeline, disarmed.timeline, "stream timeline drifted");
+
+    // And the armed run actually recorded something: job spans in the
+    // stitched trace, cadence samples in the registry.
+    assert!(disarmed.telemetry.is_none());
+    let tel = armed.telemetry.expect("telemetry was armed");
+    assert!(!tel.trace.is_empty(), "armed telemetry recorded no events");
+    assert!(!tel.samples.is_empty(), "registry produced no samples");
+}
+
+#[test]
 fn counting_mode_timing_unaffected_by_armed_empty_plan() {
     let text = text();
     let m = matcher();
