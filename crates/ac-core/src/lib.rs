@@ -45,6 +45,7 @@ pub mod matcher;
 pub mod naive;
 pub mod nfa;
 pub mod nfa_matcher;
+pub mod ownership;
 pub mod pattern;
 pub mod pfac;
 pub mod stt;
@@ -58,6 +59,7 @@ pub use error::AcError;
 pub use matcher::{Match, StreamMatcher};
 pub use nfa::NfaTables;
 pub use nfa_matcher::NfaMatcher;
+pub use ownership::StateOwnership;
 pub use pattern::{PatternId, PatternSet};
 pub use pfac::PfacAutomaton;
 pub use stt::{Stt, MATCH_COLUMN, STT_COLUMNS};

@@ -1,0 +1,214 @@
+//! State → pattern ownership: which patterns' spelling paths visit each
+//! DFA state.
+//!
+//! The trie's state numbering survives DFA construction unchanged (the
+//! next-move function is computed in place over the trie's states), so a
+//! trie walk of each pattern enumerates exactly the DFA states that
+//! pattern "owns". The workload-attribution profiler folds per-state cycle
+//! charges through this map to answer *which patterns are expensive*, and
+//! uses the parent/edge arrays to render a state's root path as a
+//! flamegraph stack.
+
+use crate::pattern::{PatternId, PatternSet};
+use crate::trie::Trie;
+
+/// Ownership and path metadata for every automaton state.
+///
+/// Owners are stored CSR-style (offsets + flat ids), like
+/// [`crate::OutputTable`]: two contiguous allocations regardless of state
+/// count. The root (state 0) has no owners — its cost is shared scanning
+/// work that no single pattern causes.
+#[derive(Debug, Clone)]
+pub struct StateOwnership {
+    offsets: Vec<u32>,
+    owners: Vec<PatternId>,
+    /// Parent state on the trie's root path (`parent[0] == 0`).
+    parent: Vec<u32>,
+    /// Byte on the edge from `parent[s]` to `s` (`edge[0]` unused).
+    edge: Vec<u8>,
+    depth: Vec<u32>,
+    patterns: usize,
+}
+
+impl StateOwnership {
+    /// Build the ownership map for `patterns` (the set an automaton was
+    /// built from; state ids here coincide with the automaton's).
+    pub fn build(patterns: &PatternSet) -> Self {
+        let trie = Trie::build(patterns);
+        let n = trie.state_count();
+        let mut parent = vec![0u32; n];
+        let mut edge = vec![0u8; n];
+        let mut depth = vec![0u32; n];
+        for s in 0..n as u32 {
+            depth[s as usize] = trie.depth(s);
+            for (byte, child) in trie.children_of(s) {
+                parent[child as usize] = s;
+                edge[child as usize] = byte;
+            }
+        }
+        // Walk each pattern; every non-root state on its path is owned.
+        let mut per_state: Vec<Vec<PatternId>> = vec![Vec::new(); n];
+        for (id, bytes) in patterns.iter() {
+            let mut s = 0u32;
+            for &b in bytes {
+                s = trie.goto(s, b);
+                per_state[s as usize].push(id);
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut owners = Vec::new();
+        offsets.push(0u32);
+        for list in &per_state {
+            owners.extend_from_slice(list);
+            offsets.push(owners.len() as u32);
+        }
+        StateOwnership {
+            offsets,
+            owners,
+            parent,
+            edge,
+            depth,
+            patterns: patterns.len(),
+        }
+    }
+
+    /// Number of states covered.
+    pub fn state_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Patterns whose spelling path visits `state` (empty for the root).
+    pub fn owners_of(&self, state: u32) -> &[PatternId] {
+        let s = state as usize;
+        &self.owners[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    /// Parent of `state` on the root path (the root is its own parent).
+    pub fn parent(&self, state: u32) -> u32 {
+        self.parent[state as usize]
+    }
+
+    /// Byte consumed entering `state` from its parent.
+    pub fn edge_byte(&self, state: u32) -> u8 {
+        self.edge[state as usize]
+    }
+
+    /// Depth of `state` (bytes on the root path).
+    pub fn depth(&self, state: u32) -> u32 {
+        self.depth[state as usize]
+    }
+
+    /// The bytes spelling `state`'s root path, in root→state order.
+    pub fn path_bytes(&self, state: u32) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.depth(state) as usize);
+        let mut s = state;
+        while s != 0 {
+            bytes.push(self.edge_byte(s));
+            s = self.parent(s);
+        }
+        bytes.reverse();
+        bytes
+    }
+
+    /// The state ids on `state`'s root path, root first, `state` last.
+    pub fn path_states(&self, state: u32) -> Vec<u32> {
+        let mut states = Vec::with_capacity(self.depth(state) as usize + 1);
+        let mut s = state;
+        loop {
+            states.push(s);
+            if s == 0 {
+                break;
+            }
+            s = self.parent(s);
+        }
+        states.reverse();
+        states
+    }
+
+    /// Fold per-state costs into per-pattern costs: each owned state's
+    /// cost is split evenly among its owners (a shared-prefix state
+    /// charges each sharing pattern its fair fraction). Root and unowned
+    /// cost is *not* distributed — callers report it as shared overhead.
+    /// `state_costs` beyond `state_count` (or shorter) is handled by
+    /// index, so profiles from a differently-sized table simply truncate.
+    pub fn per_pattern_cost(&self, state_costs: &[u64]) -> Vec<f64> {
+        let mut per_pattern = vec![0.0f64; self.patterns];
+        for (s, &cost) in state_costs.iter().enumerate().take(self.state_count()) {
+            if cost == 0 {
+                continue;
+            }
+            let owners = self.owners_of(s as u32);
+            if owners.is_empty() {
+                continue;
+            }
+            let share = cost as f64 / owners.len() as f64;
+            for &pid in owners {
+                per_pattern[pid as usize] += share;
+            }
+        }
+        per_pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_ownership() -> (PatternSet, StateOwnership) {
+        let ps = PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap();
+        let own = StateOwnership::build(&ps);
+        (ps, own)
+    }
+
+    #[test]
+    fn root_is_unowned_and_paths_reconstruct() {
+        let (_, own) = paper_ownership();
+        assert_eq!(own.state_count(), 10);
+        assert!(own.owners_of(0).is_empty());
+        // Walk "hers" and confirm path reconstruction at each state.
+        let trie = Trie::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
+        let mut s = 0u32;
+        for (i, &b) in b"hers".iter().enumerate() {
+            s = trie.goto(s, b);
+            assert_eq!(own.path_bytes(s), b"hers"[..=i].to_vec());
+            assert_eq!(own.path_states(s).len(), i + 2);
+            assert_eq!(own.depth(s), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn shared_prefix_states_have_multiple_owners() {
+        let (_, own) = paper_ownership();
+        let trie = Trie::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
+        // "h" is on the paths of he (0), his (2), hers (3).
+        let h = trie.goto(0, b'h');
+        assert_eq!(own.owners_of(h), &[0, 2, 3]);
+        // "he" is owned by he and hers.
+        let he = trie.goto(h, b'e');
+        assert_eq!(own.owners_of(he), &[0, 3]);
+        // Every non-root state is owned by someone.
+        for s in 1..own.state_count() as u32 {
+            assert!(!own.owners_of(s).is_empty(), "state {s} unowned");
+        }
+    }
+
+    #[test]
+    fn per_pattern_cost_splits_evenly_and_conserves_owned_cost() {
+        let (_, own) = paper_ownership();
+        // Charge 30 cycles to the "h" state (3 owners) and 10 to root.
+        let trie = Trie::build(&PatternSet::from_strs(&["he", "she", "his", "hers"]).unwrap());
+        let h = trie.goto(0, b'h');
+        let mut costs = vec![0u64; own.state_count()];
+        costs[0] = 10;
+        costs[h as usize] = 30;
+        let per = own.per_pattern_cost(&costs);
+        assert_eq!(per.len(), 4);
+        assert!((per[0] - 10.0).abs() < 1e-9);
+        assert!((per[1]).abs() < 1e-9, "she does not own 'h'");
+        assert!((per[2] - 10.0).abs() < 1e-9);
+        assert!((per[3] - 10.0).abs() < 1e-9);
+        // Owned cost is conserved; root cost is excluded by design.
+        let total: f64 = per.iter().sum();
+        assert!((total - 30.0).abs() < 1e-9);
+    }
+}

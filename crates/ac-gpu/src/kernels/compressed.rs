@@ -287,6 +287,8 @@ impl WarpProgram for CompressedKernel {
                         None
                     };
                 }
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 let (addrs, bytes) = (&self.scratch.addrs, &mut self.lanes.byte);
                 ctx.shared_read_u8(addrs, bytes);
                 ctx.compute(super::BYTE_LOAD_OVERHEAD);
@@ -294,18 +296,24 @@ impl WarpProgram for CompressedKernel {
                 StepOutcome::Continue
             }
             Phase::FetchBitmapLo => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 meta_coords(&self.lanes, 0, &mut self.scratch.coords);
                 ctx.tex_fetch(self.tex_meta, &self.scratch.coords, &mut self.bm_lo);
                 self.phase = Phase::FetchBitmapHi;
                 StepOutcome::Continue
             }
             Phase::FetchBitmapHi => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 meta_coords(&self.lanes, 1, &mut self.scratch.coords);
                 ctx.tex_fetch(self.tex_meta, &self.scratch.coords, &mut self.bm_hi);
                 self.phase = Phase::FetchRank;
                 StepOutcome::Continue
             }
             Phase::FetchRank => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 meta_coords(&self.lanes, 2, &mut self.scratch.coords);
                 ctx.tex_fetch(self.tex_meta, &self.scratch.coords, &mut self.rank_base);
                 ctx.compute(4); // popcount + bit test per lane
@@ -324,6 +332,8 @@ impl WarpProgram for CompressedKernel {
                 StepOutcome::Continue
             }
             Phase::FetchTarget => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 // Stored-transition lanes fetch from the CSR targets.
                 for lane in 0..n {
                     self.scratch.coords[lane] = if self.lanes.active(lane) && self.hit_mask[lane] {
@@ -345,6 +355,8 @@ impl WarpProgram for CompressedKernel {
                 StepOutcome::Continue
             }
             Phase::FetchRoot => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 // Restart lanes fetch the root row; results merge into the
                 // same per-lane transition-entry buffer.
                 for lane in 0..n {

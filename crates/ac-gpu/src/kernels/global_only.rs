@@ -93,6 +93,8 @@ impl WarpProgram for GlobalOnlyKernel {
                         None
                     };
                 }
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 // Each active lane reads one byte from its own chunk: the
                 // scattered pattern of Fig. 7.
                 let (addrs, bytes) = (&self.scratch.addrs, &mut self.lanes.byte);
@@ -102,6 +104,8 @@ impl WarpProgram for GlobalOnlyKernel {
                 StepOutcome::Continue
             }
             Phase::Transition => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 self.lanes.fill_tex_coords(&mut self.scratch.coords);
                 ctx.tex_fetch(self.tex, &self.scratch.coords, &mut self.scratch.words);
                 ctx.compute(super::TRANSITION_OVERHEAD);

@@ -18,7 +18,7 @@ pub use twolevel::{DeviceTwoLevelStt, TwoLevelKernel};
 
 use crate::layout::Plan;
 use crate::upload::{MATCH_BIT, STATE_MASK};
-use gpu_sim::WarpGeometry;
+use gpu_sim::{LaneAttr, WarpGeometry};
 use serde::{Deserialize, Serialize};
 
 /// Arithmetic cycles charged per byte-load iteration of the matching loop
@@ -122,6 +122,14 @@ impl MatchLanes {
         }
     }
 
+    /// Fill `attrs` with each active lane's current (pre-transition) DFA
+    /// state as its workload-attribution label.
+    pub fn fill_attrs(&self, attrs: &mut [Option<LaneAttr>]) {
+        for (lane, attr) in attrs.iter_mut().enumerate().take(self.pos.len()) {
+            *attr = self.active(lane).then(|| LaneAttr::state(self.state[lane]));
+        }
+    }
+
     /// Apply fetched transition entries: update states, record matches,
     /// advance cursors. Returns true if any lane entered a matching state
     /// (the kernels then issue the result-write instruction).
@@ -171,6 +179,7 @@ pub(crate) struct Scratch {
     pub coords: Vec<Option<(u32, u32)>>,
     pub words: Vec<u32>,
     pub writes: Vec<Option<(u64, u32)>>,
+    pub attrs: Vec<Option<LaneAttr>>,
 }
 
 impl Scratch {
@@ -181,6 +190,7 @@ impl Scratch {
             coords: vec![None; n],
             words: vec![0; n],
             writes: vec![None; n],
+            attrs: vec![None; n],
         }
     }
 
@@ -190,6 +200,7 @@ impl Scratch {
             coords: Vec::new(),
             words: Vec::new(),
             writes: Vec::new(),
+            attrs: Vec::new(),
         };
     }
 }

@@ -88,6 +88,16 @@ impl PfacKernel {
         o != u64::MAX && self.geom.global_thread(lane as u32) + o < self.text_len
     }
 
+    /// Current (pre-transition) trie state per active lane; PFAC trie ids
+    /// coincide with the DFA's state ids, so no host remap is needed.
+    fn fill_attrs(&mut self) {
+        for lane in 0..self.state.len() {
+            self.scratch.attrs[lane] = self
+                .active(lane)
+                .then(|| gpu_sim::LaneAttr::state(self.state[lane]));
+        }
+    }
+
     fn finish(&mut self) -> StepOutcome {
         self.phase = Phase::Done;
         self.off = Vec::new();
@@ -116,6 +126,8 @@ impl WarpProgram for PfacKernel {
                         None
                     };
                 }
+                self.fill_attrs();
+                ctx.attribute(&self.scratch.attrs);
                 ctx.global_read_u8(&self.scratch.addrs, &mut self.byte);
                 ctx.compute(super::BYTE_LOAD_OVERHEAD);
                 self.phase = Phase::Transition;
@@ -129,6 +141,8 @@ impl WarpProgram for PfacKernel {
                         None
                     };
                 }
+                self.fill_attrs();
+                ctx.attribute(&self.scratch.attrs);
                 ctx.tex_fetch(self.tex, &self.scratch.coords, &mut self.scratch.words);
                 ctx.compute(super::TRANSITION_OVERHEAD);
                 let mut any = false;

@@ -258,6 +258,8 @@ impl WarpProgram for SharedKernel {
                         None
                     };
                 }
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 let (addrs, bytes) = (&self.scratch.addrs, &mut self.lanes.byte);
                 ctx.shared_read_u8(addrs, bytes);
                 ctx.compute(super::BYTE_LOAD_OVERHEAD);
@@ -265,6 +267,10 @@ impl WarpProgram for SharedKernel {
                 StepOutcome::Continue
             }
             Phase::Transition => {
+                // Attribute before the fetch so the per-label texture
+                // counters see this step's (pre-transition) states.
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 self.lanes.fill_tex_coords(&mut self.scratch.coords);
                 ctx.tex_fetch(self.tex, &self.scratch.coords, &mut self.scratch.words);
                 ctx.compute(super::TRANSITION_OVERHEAD);

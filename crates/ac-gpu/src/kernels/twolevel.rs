@@ -391,6 +391,8 @@ impl WarpProgram for TwoLevelKernel {
                         None
                     };
                 }
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 let (addrs, bytes) = (&self.scratch.addrs, &mut self.lanes.byte);
                 ctx.shared_read_u8(addrs, bytes);
                 // One extra compare for the hot/cold routing decision.
@@ -409,6 +411,8 @@ impl WarpProgram for TwoLevelKernel {
                 StepOutcome::Continue
             }
             Phase::FetchHot => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 for lane in 0..n {
                     self.scratch.coords[lane] = if self.hot_mask[lane] {
                         Some((self.lanes.state[lane], 1 + self.lanes.byte[lane] as u32))
@@ -426,6 +430,8 @@ impl WarpProgram for TwoLevelKernel {
                 StepOutcome::Continue
             }
             Phase::FetchBitmapLo => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 cold_meta_coords(
                     &self.lanes,
                     &self.hot_mask,
@@ -438,6 +444,8 @@ impl WarpProgram for TwoLevelKernel {
                 StepOutcome::Continue
             }
             Phase::FetchBitmapHi => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 cold_meta_coords(
                     &self.lanes,
                     &self.hot_mask,
@@ -450,6 +458,8 @@ impl WarpProgram for TwoLevelKernel {
                 StepOutcome::Continue
             }
             Phase::FetchRank => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 cold_meta_coords(
                     &self.lanes,
                     &self.hot_mask,
@@ -472,6 +482,8 @@ impl WarpProgram for TwoLevelKernel {
                 StepOutcome::Continue
             }
             Phase::FetchTarget => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 for lane in 0..n {
                     self.scratch.coords[lane] =
                         if self.lanes.active(lane) && !self.hot_mask[lane] && self.hit_mask[lane] {
@@ -493,6 +505,8 @@ impl WarpProgram for TwoLevelKernel {
                 StepOutcome::Continue
             }
             Phase::FetchRoot => {
+                self.lanes.fill_attrs(&mut self.scratch.attrs);
+                ctx.attribute(&self.scratch.attrs);
                 for lane in 0..n {
                     self.scratch.coords[lane] = if self.lanes.active(lane)
                         && !self.hot_mask[lane]

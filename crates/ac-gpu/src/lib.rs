@@ -49,7 +49,7 @@ pub use kernels::{
 pub use layout::{DiagonalMap, KernelParams, LinearMap, Plan};
 pub use multistream::{run_multistream, MultiStreamConfig, MultiStreamRun};
 pub use readback::ReadbackCorruption;
-pub use runner::{Approach, GpuAcMatcher, GpuRun, RunOptions};
+pub use runner::{Approach, GpuAcMatcher, GpuRun, RunOptions, WorkloadAttribution};
 pub use stream::{run_streamed, run_streamed_supervised, PcieConfig, StreamedRun};
 pub use stt_layout::{
     layout_footprints, pick_layout, LayoutChoice, LayoutFootprint, LayoutProbe, SttLayout,

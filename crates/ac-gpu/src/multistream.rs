@@ -359,8 +359,8 @@ mod tests {
             .timeline
             .to_trace(m.config().clock_hz, trace::TraceConfig::default());
         assert_eq!(tb.len(), 3 * r.segments);
-        let json = trace::chrome::to_chrome_json(&tb, m.config().clock_hz / 1.0e6);
-        trace::chrome::validate_chrome_json(&json).unwrap();
+        let json = trace::to_chrome_json(&tb, m.config().clock_hz / 1.0e6);
+        trace::validate_chrome_json(&json).unwrap();
     }
 
     #[test]

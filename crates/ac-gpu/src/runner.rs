@@ -16,8 +16,8 @@ use crate::readback;
 use crate::upload::{DevicePfac, DeviceStt};
 use ac_core::{AcAutomaton, Match, PfacAutomaton};
 use gpu_sim::{
-    FaultPlan, FaultState, GpuConfig, GpuDevice, InjectedFault, IntrospectConfig, Introspection,
-    LaunchConfig, LaunchStats,
+    Attribution, AttributionConfig, FaultPlan, FaultState, GpuConfig, GpuDevice, InjectedFault,
+    IntrospectConfig, Introspection, LaunchConfig, LaunchStats,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::{Mutex, OnceLock};
@@ -89,6 +89,58 @@ impl Approach {
     }
 }
 
+/// Per-DFA-state workload attribution for one run, folded over SMs and
+/// translated back to the automaton's original state ids (the banded and
+/// two-level kernels report renumbered labels; the fold undoes that, just
+/// as `run_on_device` does for match events).
+///
+/// Conservation: `state_cycles.sum() + unattributed_cycles + drain_cycles
+/// == total_sm_cycles` — every simulated SM cycle lands in exactly one
+/// bucket. `fail_cycles` is a *sub-bucket* of `state_cycles` (the share a
+/// kernel flagged as failure-path work), not an additional one.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadAttribution {
+    /// Issue + stall cycles charged to each DFA state (indexed by original
+    /// state id).
+    pub state_cycles: Vec<u64>,
+    /// The failure-path share of `state_cycles`, where the kernel
+    /// distinguishes it (currently the banded kernel's non-entry fetches).
+    pub fail_cycles: Vec<u64>,
+    /// Texture fetches issued while the lane was in each state.
+    pub tex_fetches: Vec<u64>,
+    /// Texture L1 misses among those fetches.
+    pub tex_misses: Vec<u64>,
+    /// Cycles spent in steps no kernel labelled (staging, syncs, result
+    /// writes) plus anything charged to an out-of-range label.
+    pub unattributed_cycles: u64,
+    /// Post-retirement memory-drain cycles (no warp left to label).
+    pub drain_cycles: u64,
+    /// Total SM cycles across the launch (the conservation right-hand
+    /// side; `Σ per-SM cycles`, not the launch's max).
+    pub total_sm_cycles: u64,
+}
+
+impl WorkloadAttribution {
+    /// Total cycles charged to states.
+    pub fn attributed_cycles(&self) -> u64 {
+        self.state_cycles.iter().sum()
+    }
+
+    /// State ids ranked by charged cycles, descending; ties break toward
+    /// the lower id. Zero-cost states are omitted.
+    pub fn hot_states(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .state_cycles
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| (s as u32, c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
 /// Result of one kernel execution.
 #[derive(Debug, Clone)]
 pub struct GpuRun {
@@ -116,6 +168,10 @@ pub struct GpuRun {
     /// histograms, DRAM busy intervals, per-STT-row fetch counts). `None`
     /// unless the run was launched with [`RunOptions::introspect`].
     pub introspection: Option<Introspection>,
+    /// Per-state workload attribution (cycles, failure share, texture
+    /// traffic charged to the DFA state each lane was visiting). `None`
+    /// unless the run was launched with [`RunOptions::attribution`].
+    pub attribution: Option<WorkloadAttribution>,
 }
 
 impl GpuRun {
@@ -146,6 +202,10 @@ pub struct RunOptions {
     /// Arm spatial introspection for this run; the snapshot comes back on
     /// [`GpuRun::introspection`]. Observation-only, like `trace`.
     pub introspect: Option<IntrospectConfig>,
+    /// Arm per-state workload attribution for this run; the folded profile
+    /// comes back on [`GpuRun::attribution`]. Observation-only, like
+    /// `trace` and `introspect`.
+    pub attribution: Option<AttributionConfig>,
 }
 
 /// The host-side matcher: an automaton prepared for a device.
@@ -302,6 +362,9 @@ impl GpuAcMatcher {
         if let Some(icfg) = opts.introspect {
             dev.arm_introspection(icfg);
         }
+        if let Some(acfg) = opts.attribution {
+            dev.arm_attribution(acfg);
+        }
         let result = self.run_on_device(&mut dev, text, approach, opts.record);
         if let Some(state) = dev.disarm_faults() {
             *self.fault.lock().unwrap() = Some(state);
@@ -343,8 +406,67 @@ impl GpuAcMatcher {
                 run.trace = Some(tb);
             }
             run.introspection = dev.take_introspection();
+            if let Some(raw) = dev.take_attribution() {
+                run.attribution = Some(self.fold_attribution(raw, approach));
+            }
             run
         })
+    }
+
+    /// Fold a raw device [`Attribution`] (per-SM, kernel-label-indexed)
+    /// into a host [`WorkloadAttribution`] indexed by original DFA state
+    /// id. Mirrors the match-event remap: two-level labels pass through
+    /// `new_to_old`, banded labels are record offsets translated the same
+    /// way, everything else already uses DFA ids. Out-of-range labels —
+    /// impossible for well-formed kernels, but conservation must not
+    /// depend on that — fall into the unattributed bucket.
+    fn fold_attribution(&self, raw: Attribution, approach: Approach) -> WorkloadAttribution {
+        let remap: Option<std::sync::Arc<Vec<u32>>> = match approach {
+            Approach::SharedTwoLevel => Some(self.twolevel_tables().new_to_old.clone()),
+            Approach::SharedBanded => Some(self.banded_tables().new_to_old.clone()),
+            _ => None,
+        };
+        let states = self.ac.state_count();
+        let mut out = WorkloadAttribution {
+            state_cycles: vec![0; states],
+            fail_cycles: vec![0; states],
+            tex_fetches: vec![0; states],
+            tex_misses: vec![0; states],
+            unattributed_cycles: raw.unattributed_cycles(),
+            drain_cycles: raw.drain_cycles(),
+            total_sm_cycles: raw.total_cycles(),
+        };
+        let map = |label: usize| -> Option<usize> {
+            let orig = match &remap {
+                Some(m) => *m.get(label)? as usize,
+                None => label,
+            };
+            (orig < states).then_some(orig)
+        };
+        for sm in &raw.per_sm {
+            for (label, &v) in sm.state_cycles.iter().enumerate().filter(|(_, &v)| v > 0) {
+                match map(label) {
+                    Some(s) => out.state_cycles[s] += v,
+                    None => out.unattributed_cycles += v,
+                }
+            }
+            for (label, &v) in sm.fail_cycles.iter().enumerate().filter(|(_, &v)| v > 0) {
+                if let Some(s) = map(label) {
+                    out.fail_cycles[s] += v;
+                }
+            }
+            for (label, &v) in sm.tex_fetches.iter().enumerate().filter(|(_, &v)| v > 0) {
+                if let Some(s) = map(label) {
+                    out.tex_fetches[s] += v;
+                }
+            }
+            for (label, &v) in sm.tex_misses.iter().enumerate().filter(|(_, &v)| v > 0) {
+                if let Some(s) = map(label) {
+                    out.tex_misses[s] += v;
+                }
+            }
+        }
+        out
     }
 
     /// The device-layout STT texture (row == DFA state id), for mapping
@@ -543,6 +665,7 @@ impl GpuAcMatcher {
             clock_hz: self.cfg.clock_hz,
             trace: None,
             introspection: None,
+            attribution: None,
         })
     }
 
@@ -821,6 +944,55 @@ mod tests {
     }
 
     #[test]
+    fn attributed_run_conserves_cycles_across_all_approaches() {
+        let m = matcher(&["he", "she", "his", "hers", "use", "user"]);
+        let text = b"those users share his shelf; she ushers her heirs there";
+        for a in Approach::all() {
+            let plain = m.run(text, a).unwrap();
+            assert!(plain.attribution.is_none(), "{a:?}");
+            let run = m
+                .run_opts(
+                    text,
+                    a,
+                    RunOptions {
+                        record: true,
+                        attribution: Some(AttributionConfig::default()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            // Attribution is observation-only: stats and matches are
+            // bit-identical to the plain run.
+            assert_eq!(run.stats, plain.stats, "{a:?}");
+            assert_eq!(run.matches, plain.matches, "{a:?}");
+            let w = run.attribution.expect("attribution requested");
+            assert_eq!(w.state_cycles.len(), m.automaton().state_count());
+            // Conservation: every SM cycle lands in exactly one bucket.
+            assert_eq!(
+                w.attributed_cycles() + w.unattributed_cycles + w.drain_cycles,
+                w.total_sm_cycles,
+                "{a:?}: cycles leaked"
+            );
+            assert!(w.attributed_cycles() > 0, "{a:?}: nothing attributed");
+            // The root state is always visited.
+            assert!(w.state_cycles[0] > 0, "{a:?}: root uncharged");
+            // Failure share never exceeds its bucket.
+            for (s, (&f, &c)) in w.fail_cycles.iter().zip(&w.state_cycles).enumerate() {
+                assert!(f <= c, "{a:?}: state {s} fail {f} > total {c}");
+            }
+            // Texture misses never exceed fetches, and per-state fetches
+            // fold back to the launch totals for single-texture kernels.
+            let fetches: u64 = w.tex_fetches.iter().sum();
+            let misses: u64 = w.tex_misses.iter().sum();
+            assert!(misses <= fetches, "{a:?}");
+            assert_eq!(
+                fetches, run.stats.totals.tex_fetches,
+                "{a:?}: fetch count diverged from LaunchStats"
+            );
+        }
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(Approach::GlobalOnly.label(), "global-only");
         assert_eq!(Approach::SharedDiagonal.label(), "shared-diagonal");
@@ -857,6 +1029,7 @@ mod tests {
             clock_hz: 1.476e9,
             trace: None,
             introspection: None,
+            attribution: None,
         };
         assert!((run.seconds() - 1.0).abs() < 1e-9);
         assert!((run.gbps() - 1.0).abs() < 1e-9);

@@ -104,6 +104,7 @@ pub fn run_supervised(
         watchdog_cycles: cfg.watchdog_cycles,
         trace: cfg.trace,
         introspect: None,
+        attribution: None,
     };
     // Retry-aware timeline: failed-attempt markers and backoff spans at a
     // cumulative simulated-time cursor; the winning attempt's own trace is

@@ -70,6 +70,7 @@ pub use sim::ServeRun;
 pub use sim::{serve, ServeConfig};
 pub use slo::{AdmissionController, QuantileWindow, SheddedJob, SloConfig};
 pub use telemetry::{
-    render_slo_report, Exemplar, MetricsSample, ServeTelemetry, TelemetryConfig, TelemetryRun,
+    render_slo_report, Exemplar, MetricsSample, PatternCost, ServeTelemetry, TelemetryConfig,
+    TelemetryRun,
 };
 pub use workload::{serve_automaton, synthetic_workload, WorkloadConfig, DEFAULT_PATTERNS};

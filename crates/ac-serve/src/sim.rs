@@ -432,7 +432,12 @@ pub fn serve(
             .map(|c| c.batch_jobs())
             .unwrap_or(base_max_jobs);
         t.tick(makespan, queue.len(), batch_window, breaker.state());
-        t.finish(breaker.transitions(), &timeline)
+        let mut run = t.finish(breaker.transitions(), &timeline);
+        // Observer-only replay: charges the sampled traffic's cycles to
+        // the dictionary after the serve clock is final, so armed and
+        // disarmed serve outputs stay bit-identical.
+        run.attribute_pattern_costs(matcher, cfg.approach, makespan);
+        run
     });
     let sheds = slo.map(|c| c.sheds().to_vec()).unwrap_or_default();
     let report = ServeReport {
@@ -813,5 +818,78 @@ mod tests {
             .batch_histogram
             .iter()
             .any(|b| b.jobs > cfg.limits.max_jobs));
+    }
+
+    #[test]
+    fn armed_serve_attributes_pattern_costs_end_to_end() {
+        use crate::telemetry::render_slo_report;
+
+        let m = matcher();
+        let payload: Vec<u8> = b"the king and her mother were singing a motion "
+            .iter()
+            .cycle()
+            .take(8 * 1024)
+            .copied()
+            .collect();
+        let jobs: Vec<ScanJob> = (0..6)
+            .map(|id| ScanJob::new(id, payload.clone(), id as f64 * 20.0e-6))
+            .collect();
+        let mut cfg = ServeConfig::new(2);
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let run = serve(&m, jobs, &cfg).unwrap();
+
+        let tel = run.telemetry.expect("telemetry armed");
+        // The replay charged the dictionary: every ranked pattern carries
+        // positive cost and the shares account for the whole owned total.
+        assert!(!tel.pattern_costs.is_empty(), "no pattern costs recorded");
+        assert!(tel.pattern_costs.iter().all(|p| p.cycles > 0.0));
+        let share_sum: f64 = tel.pattern_costs.iter().map(|p| p.share_pct).sum();
+        assert!(
+            (share_sum - 100.0).abs() < 1e-6,
+            "shares sum to {share_sum}"
+        );
+        // Ranked worst-first, and the texts come from the dictionary.
+        for w in tel.pattern_costs.windows(2) {
+            assert!(w[0].cycles >= w[1].cycles);
+        }
+        assert!(tel.pattern_costs.iter().any(|p| p.text == "the"));
+
+        // The costs surface in the metrics snapshot...
+        let snap = tel.metrics_snapshot(&run.report);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("acsim_serve_pattern_cost_cycles"), "{prom}");
+        // ...and in the slo-report narrative, via the Chrome round-trip
+        // exactly as `acsim slo-report` consumes it.
+        let events = trace::parse_chrome_json(&tel.chrome_json(), 1.0).unwrap();
+        let report = render_slo_report(&events);
+        assert!(
+            report.contains("dominant pattern cost"),
+            "missing pattern section: {report}"
+        );
+        assert!(report.contains("the"), "{report}");
+    }
+
+    #[test]
+    fn zero_sample_budget_disables_the_attribution_replay() {
+        use crate::telemetry::render_slo_report;
+
+        let m = matcher();
+        let jobs = tiny_workload();
+        let mut cfg = ServeConfig::new(2);
+        cfg.telemetry = Some(TelemetryConfig {
+            attribution_sample_bytes: 0,
+            ..TelemetryConfig::default()
+        });
+        let run = serve(&m, jobs, &cfg).unwrap();
+        let tel = run.telemetry.expect("telemetry armed");
+        assert!(tel.payload_sample.is_empty());
+        assert!(tel.pattern_costs.is_empty());
+        // The narrative degrades gracefully instead of inventing a section.
+        let events = trace::parse_chrome_json(&tel.chrome_json(), 1.0).unwrap();
+        let report = render_slo_report(&events);
+        assert!(
+            report.contains("no attribution replay recorded"),
+            "{report}"
+        );
     }
 }

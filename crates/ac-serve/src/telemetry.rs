@@ -62,6 +62,11 @@ pub struct TelemetryConfig {
     pub exemplar_window_seconds: f64,
     /// Bound on recorded trace events (overflow is counted, not kept).
     pub max_trace_events: usize,
+    /// Served payload bytes sampled for the post-run workload-attribution
+    /// pass (see [`TelemetryRun::attribute_pattern_costs`]). The sample
+    /// is a prefix of the dispatched traffic, capped so the observer
+    /// replay stays cheap. `0` disables the pass.
+    pub attribution_sample_bytes: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -72,6 +77,7 @@ impl Default for TelemetryConfig {
             exemplars_per_window: 3,
             exemplar_window_seconds: 500.0e-6,
             max_trace_events: 1 << 20,
+            attribution_sample_bytes: 64 << 10,
         }
     }
 }
@@ -271,6 +277,7 @@ pub struct ServeTelemetry {
     trace: TraceBuffer,
     registry: MetricsRegistry,
     recorder: FlightRecorder,
+    payload_sample: Vec<u8>,
 }
 
 impl ServeTelemetry {
@@ -287,6 +294,7 @@ impl ServeTelemetry {
             }),
             registry: MetricsRegistry::new(&cfg),
             recorder: FlightRecorder::new(&cfg),
+            payload_sample: Vec::new(),
         }
     }
 
@@ -304,6 +312,17 @@ impl ServeTelemetry {
         route: &str,
     ) {
         for job in jobs {
+            // Sample a prefix of the dispatched traffic for the post-run
+            // attribution replay. Copying bytes never touches the
+            // simulated clock, so the armed run stays bit-identical.
+            let room = self
+                .cfg
+                .attribution_sample_bytes
+                .saturating_sub(self.payload_sample.len());
+            if room > 0 {
+                let take = job.payload.len().min(room);
+                self.payload_sample.extend_from_slice(&job.payload[..take]);
+            }
             let ts = self.cycles(job.arrival_seconds);
             let dur = self.cycles(dispatch_seconds).saturating_sub(ts);
             self.trace.span(
@@ -557,8 +576,25 @@ impl ServeTelemetry {
                 .collect(),
             exemplars,
             clock_hz: self.clock_hz,
+            payload_sample: self.payload_sample,
+            pattern_costs: Vec::new(),
         }
     }
+}
+
+/// One pattern's share of the attributed device cycles in the post-run
+/// observer replay (see [`TelemetryRun::attribute_pattern_costs`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternCost {
+    /// Pattern id in the matcher's dictionary.
+    pub pattern: u32,
+    /// The pattern bytes, ASCII-escaped for display.
+    pub text: String,
+    /// Cycles charged to the pattern (each owned state's cost split
+    /// evenly among its owners).
+    pub cycles: f64,
+    /// Share of the total *owned* cost, percent.
+    pub share_pct: f64,
 }
 
 /// Everything an armed serve run recorded.
@@ -575,14 +611,87 @@ pub struct TelemetryRun {
     pub exemplars: Vec<Exemplar>,
     /// The clock used to quantize seconds into trace cycles.
     pub clock_hz: f64,
+    /// Prefix of the dispatched payload bytes kept for the attribution
+    /// replay (capped by `TelemetryConfig::attribution_sample_bytes`).
+    pub payload_sample: Vec<u8>,
+    /// Per-pattern attributed cost, worst first. Empty until
+    /// [`TelemetryRun::attribute_pattern_costs`] runs.
+    pub pattern_costs: Vec<PatternCost>,
 }
 
 impl TelemetryRun {
+    /// Charge the sampled traffic's device cycles to the dictionary:
+    /// replay the payload sample through `matcher` with workload
+    /// attribution armed (a fresh device — the serve run's timing is
+    /// already final and cannot move), fold per-state cycles through the
+    /// trie's state→pattern ownership, and record the result three ways:
+    /// [`TelemetryRun::pattern_costs`], `pattern-cost:<pattern>`
+    /// control-plane counters in the trace (so `acsim slo-report` can
+    /// name the classes that dominated a degraded window), and — via
+    /// [`TelemetryRun::metrics_snapshot`] —
+    /// `acsim_serve_pattern_cost_cycles` series. A failed or empty
+    /// replay leaves `pattern_costs` empty.
+    pub fn attribute_pattern_costs(
+        &mut self,
+        matcher: &ac_gpu::GpuAcMatcher,
+        approach: ac_gpu::Approach,
+        at_seconds: f64,
+    ) {
+        self.pattern_costs.clear();
+        if self.payload_sample.is_empty() {
+            return;
+        }
+        let opts = ac_gpu::RunOptions {
+            attribution: Some(gpu_sim::AttributionConfig::default()),
+            ..ac_gpu::RunOptions::default()
+        };
+        let Ok(run) = matcher.run_opts(&self.payload_sample, approach, opts) else {
+            return;
+        };
+        let Some(w) = run.attribution else {
+            return;
+        };
+        let patterns = matcher.automaton().patterns();
+        let ownership = ac_core::StateOwnership::build(patterns);
+        let costs = ownership.per_pattern_cost(&w.state_cycles);
+        let owned_total: f64 = costs.iter().sum();
+        if owned_total <= 0.0 {
+            return;
+        }
+        let mut ranked: Vec<PatternCost> = costs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0.0)
+            .map(|(id, &cycles)| PatternCost {
+                pattern: id as u32,
+                text: patterns.get(id as u32).escape_ascii().to_string(),
+                cycles,
+                share_pct: 100.0 * cycles / owned_total,
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.cycles
+                .total_cmp(&a.cycles)
+                .then(a.pattern.cmp(&b.pattern))
+        });
+        let ts = (at_seconds.max(0.0) * self.clock_hz).round() as u64;
+        for pc in &ranked {
+            self.trace.counter(
+                &format!("pattern-cost:{}", pc.text),
+                "serve-control",
+                PID_SERVE_CONTROL,
+                0,
+                ts,
+                pc.cycles.round() as u64,
+            );
+        }
+        self.pattern_costs = ranked;
+    }
     /// The stitched trace as Chrome trace-event JSON with microsecond
     /// timestamps (loadable in Perfetto; parseable back with
-    /// `trace::chrome::parse_chrome_json(json, 1.0)`).
+    /// `trace::parse_chrome_json(json, 1.0)`).
     pub fn chrome_json(&self) -> String {
-        trace::chrome::to_chrome_json(&self.trace, self.clock_hz / 1.0e6)
+        trace::to_chrome_json(&self.trace, self.clock_hz / 1.0e6)
     }
 
     /// Flatten the run into a [`trace::MetricsSnapshot`]: the final
@@ -596,6 +705,14 @@ impl TelemetryRun {
                 "final sliding-window p99 latency per priority class",
                 vec![("priority".to_string(), priority.to_string())],
                 *p99,
+            );
+        }
+        for pc in &self.pattern_costs {
+            snap.push_labelled(
+                "acsim_serve_pattern_cost_cycles",
+                "device cycles attributed to each pattern over the sampled traffic",
+                vec![("pattern".to_string(), pc.text.clone())],
+                pc.cycles,
             );
         }
         for (i, s) in self.samples.iter().enumerate() {
@@ -695,7 +812,7 @@ fn arg_str<'a>(ev: &'a TraceEvent, key: &str) -> Option<&'a str> {
 
 /// Render the incident narrative of a stitched serving trace whose
 /// timestamps are in microseconds (i.e. parsed with
-/// `trace::chrome::parse_chrome_json(json, 1.0)` from a trace written by
+/// `trace::parse_chrome_json(json, 1.0)` from a trace written by
 /// [`TelemetryRun::chrome_json`]). Degrades gracefully: a clean run
 /// reports "breaker: no transitions" instead of an empty timeline.
 pub fn render_slo_report(events: &[TraceEvent]) -> String {
@@ -797,6 +914,33 @@ pub fn render_slo_report(events: &[TraceEvent]) -> String {
     }
     out.push('\n');
 
+    // Pattern-cost attribution from the observer replay, if one ran.
+    let mut pattern_costs: Vec<(&str, u64)> = events
+        .iter()
+        .filter(|e| e.pid == PID_SERVE_CONTROL && e.ph == Phase::Counter)
+        .filter_map(|e| {
+            e.name
+                .strip_prefix("pattern-cost:")
+                .and_then(|p| arg_u64(e, "value").map(|v| (p, v)))
+        })
+        .collect();
+    if pattern_costs.is_empty() {
+        out.push_str("pattern cost: no attribution replay recorded\n");
+    } else {
+        pattern_costs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let total: u64 = pattern_costs.iter().map(|(_, v)| v).sum();
+        out.push_str("dominant pattern cost (attributed device cycles):\n");
+        for (pattern, cycles) in pattern_costs.iter().take(5) {
+            out.push_str(&format!(
+                "  {:<24} {:>10} cycles ({:.1}%)\n",
+                pattern,
+                cycles,
+                100.0 * *cycles as f64 / total.max(1) as f64
+            ));
+        }
+    }
+    out.push('\n');
+
     // Worst-latency exemplars per flight-recorder window.
     let mut exemplars: Vec<&TraceEvent> = events
         .iter()
@@ -850,6 +994,7 @@ mod tests {
             exemplars_per_window: 2,
             exemplar_window_seconds: 10.0,
             max_trace_events: 1 << 16,
+            attribution_sample_bytes: 4 << 10,
         }
     }
 
@@ -951,7 +1096,7 @@ mod tests {
         let run = t.finish(&transitions, &StreamTimeline::default());
         // Round-trip through the Chrome exporter exactly as the CLI does.
         let json = run.chrome_json();
-        let events = trace::chrome::parse_chrome_json(&json, 1.0).expect("parses");
+        let events = trace::parse_chrome_json(&json, 1.0).expect("parses");
         let report = render_slo_report(&events);
         assert!(report.contains("breaker timeline:"), "{report}");
         assert!(report.contains("open"), "{report}");
@@ -963,6 +1108,60 @@ mod tests {
         // A clean trace degrades gracefully.
         let clean = render_slo_report(&[]);
         assert!(clean.contains("no transitions"), "{clean}");
+    }
+
+    #[test]
+    fn empty_latency_window_exports_without_nan_or_inf() {
+        // No completions at all: every quantile window is empty, yet the
+        // sampled series and both renderings must stay finite — an
+        // idle-server scrape cannot poison a Prometheus ingest.
+        let mut t = ServeTelemetry::new(cfg(), 1.0e6);
+        t.tick(3.0, 0, 1, BreakerState::Closed);
+        let run = t.finish(&[], &StreamTimeline::default());
+        assert!(!run.samples.is_empty());
+        for s in run.samples.iter() {
+            assert_eq!(s.p50_us, 0.0);
+            assert_eq!(s.p99_us, 0.0);
+            assert!(s.drain_rate_per_sec.is_finite());
+        }
+        let snap = run.metrics_snapshot(&ServeReport::default());
+        for m in snap.metrics() {
+            if let trace::MetricValue::F64(f) = m.value {
+                assert!(f.is_finite(), "non-finite {}: {f}", m.name);
+            }
+        }
+        let prom = snap.to_prometheus();
+        assert!(!prom.contains("NaN"), "{prom}");
+        assert!(!prom.contains("Inf"), "{prom}");
+    }
+
+    #[test]
+    fn per_priority_series_are_stable_across_identical_runs() {
+        // The per-priority windows live in a BTreeMap, so the exported
+        // label sets are ordered and two identical runs render the same
+        // exposition text byte-for-byte — scrape-to-scrape series never
+        // flap.
+        let record = |t: &mut ServeTelemetry| {
+            for (id, priority, latency) in [(1u64, 2u8, 0.4), (2, 0, 0.2), (3, 1, 0.3)] {
+                let mut j = ScanJob::new(id, Vec::new(), 0.0);
+                j.priority = priority;
+                t.job_completed(&j, &outcome(id, 1.0, latency), 0.5, 0);
+            }
+            t.tick(1.0, 0, 1, BreakerState::Closed);
+        };
+        let mut a = ServeTelemetry::new(cfg(), 1.0e6);
+        record(&mut a);
+        let mut b = ServeTelemetry::new(cfg(), 1.0e6);
+        record(&mut b);
+        let run_a = a.finish(&[], &StreamTimeline::default());
+        let run_b = b.finish(&[], &StreamTimeline::default());
+        // Priorities come out sorted regardless of completion order.
+        let prios: Vec<u8> = run_a.per_priority_p99_us.iter().map(|(p, _)| *p).collect();
+        assert_eq!(prios, vec![0, 1, 2]);
+        let snap_a = run_a.metrics_snapshot(&ServeReport::default());
+        let snap_b = run_b.metrics_snapshot(&ServeReport::default());
+        assert_eq!(snap_a.to_prometheus(), snap_b.to_prometheus());
+        assert_eq!(snap_a.to_json(), snap_b.to_json());
     }
 
     #[test]

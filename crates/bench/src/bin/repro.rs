@@ -216,7 +216,24 @@ fn write_outputs(out_dir: &Path, name: &str, set: &FigureSet, measurements: &Mea
     if let Ok(json) = serde_json::to_string_pretty(measurements) {
         let _ = std::fs::write(out_dir.join("measurements.json"), json);
     }
-    let report = bench::BenchReport::from_measurements(name, measurements);
+    let mut report = bench::BenchReport::from_measurements(name, measurements);
+    // Stamp generation context on the committed artifact (the library
+    // builder stays pure so reports remain a deterministic function of
+    // the measurements; only this writer knows the git state and grid).
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut kernels: Vec<String> = report.rows.iter().map(|r| r.approach.clone()).collect();
+    kernels.dedup();
+    report.provenance = Some(bench::Provenance {
+        git_rev,
+        grid: name.to_string(),
+        kernels,
+    });
     match report.write_to(out_dir) {
         Ok(p) => eprintln!("perf report: {}", p.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", report.file_name()),

@@ -61,6 +61,13 @@ pub struct DiffEntry {
     pub cycles_rel: f64,
     /// Largest shift of any stall reason's idle share, in points.
     pub stall_shift_pts: f64,
+    /// The stall reason whose idle-share moved the most between baseline
+    /// and candidate, with its signed shift — e.g. `"tex-miss +9.2pp"`
+    /// means the candidate spends 9.2 more points of its idle time on
+    /// texture misses. `None` when neither row has a stall mix. Absent
+    /// in reports written before this field existed.
+    #[serde(default)]
+    pub dominant_mover: Option<String>,
     /// Reasons this entry trips the gate (empty = within thresholds).
     pub violations: Vec<String>,
 }
@@ -88,6 +95,12 @@ pub struct DiffReport {
     pub missing: Vec<String>,
     /// Grid points only in the candidate (informational).
     pub added: Vec<String>,
+    /// Non-gating observations: provenance mismatches (different git rev,
+    /// grid, or kernel set) and per-row config-hash drift. A warned diff
+    /// still passes — the warning tells the reader the comparison may not
+    /// be like-for-like. Absent in artifacts written before this field.
+    #[serde(default)]
+    pub warnings: Vec<String>,
 }
 
 fn key(r: &BenchRow) -> String {
@@ -98,9 +111,10 @@ fn key(r: &BenchRow) -> String {
 }
 
 /// Largest per-reason shift of the stall mix between two rows, in
-/// percentage points of idle cycles. Rows with no idle cycles have no
-/// mix to shift.
-fn stall_shift_pts(old: &BenchRow, new: &BenchRow) -> f64 {
+/// percentage points of idle cycles, plus the signed shift of the reason
+/// that moved most (the *dominant mover* named in regression verdicts).
+/// Rows with no idle cycles have no mix to shift.
+fn stall_shift_pts(old: &BenchRow, new: &BenchRow) -> (f64, Option<String>) {
     let share = |row: &BenchRow, reason: StallReason| -> f64 {
         if row.idle_cycles == 0 {
             0.0
@@ -108,10 +122,17 @@ fn stall_shift_pts(old: &BenchRow, new: &BenchRow) -> f64 {
             100.0 * row.stalls.get(reason) as f64 / row.idle_cycles as f64
         }
     };
-    StallReason::all()
-        .into_iter()
-        .map(|r| (share(old, r) - share(new, r)).abs())
-        .fold(0.0, f64::max)
+    let mut max_abs = 0.0f64;
+    let mut dominant: Option<(StallReason, f64)> = None;
+    for r in StallReason::all() {
+        let signed = share(new, r) - share(old, r);
+        if signed.abs() > max_abs {
+            max_abs = signed.abs();
+            dominant = Some((r, signed));
+        }
+    }
+    let label = dominant.map(|(r, signed)| format!("{} {:+.1}pp", r.label(), signed));
+    (max_abs, label)
 }
 
 /// Compare `new` against the `old` baseline under `thr`.
@@ -123,7 +144,31 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, thr: DiffThresholds) -
         entries: Vec::new(),
         missing: Vec::new(),
         added: Vec::new(),
+        warnings: Vec::new(),
     };
+    // Provenance is advisory: comparing runs from different revisions or
+    // grids is often exactly what the user wants (that's what a perf gate
+    // does), but the diff should say so out loud.
+    if let (Some(a), Some(b)) = (&old.provenance, &new.provenance) {
+        if a.git_rev != b.git_rev {
+            out.warnings.push(format!(
+                "provenance: git rev {} (baseline) vs {} (candidate)",
+                a.git_rev, b.git_rev
+            ));
+        }
+        if a.grid != b.grid {
+            out.warnings.push(format!(
+                "provenance: grid '{}' (baseline) vs '{}' (candidate)",
+                a.grid, b.grid
+            ));
+        }
+        if a.kernels != b.kernels {
+            out.warnings.push(format!(
+                "provenance: kernel set {:?} (baseline) vs {:?} (candidate)",
+                a.kernels, b.kernels
+            ));
+        }
+    }
     for o in &old.rows {
         let Some(n) = new
             .rows
@@ -133,6 +178,10 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, thr: DiffThresholds) -
             out.missing.push(key(o));
             continue;
         };
+        if o.config_hash != 0 && n.config_hash != 0 && o.config_hash != n.config_hash {
+            out.warnings
+                .push(format!("config hash changed for {}", key(o)));
+        }
         let gbps_rel = if o.gbps == 0.0 {
             0.0
         } else {
@@ -143,7 +192,7 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, thr: DiffThresholds) -
         } else {
             (n.cycles as f64 - o.cycles as f64) / o.cycles as f64
         };
-        let shift = stall_shift_pts(o, n);
+        let (shift, dominant_mover) = stall_shift_pts(o, n);
         let mut violations = Vec::new();
         if gbps_rel < -thr.gbps_drop {
             violations.push(format!(
@@ -176,6 +225,7 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport, thr: DiffThresholds) -
             new_cycles: n.cycles,
             cycles_rel,
             stall_shift_pts: shift,
+            dominant_mover,
             violations,
         });
     }
@@ -242,7 +292,11 @@ impl DiffReport {
                 e.new_gbps,
                 100.0 * e.cycles_rel,
                 e.stall_shift_pts,
-                if e.regressed() { "REGRESSED" } else { "ok" }
+                match (&e.dominant_mover, e.regressed()) {
+                    (Some(mover), true) => format!("REGRESSED: {mover}"),
+                    (None, true) => "REGRESSED".to_string(),
+                    _ => "ok".to_string(),
+                }
             );
             for v in &e.violations {
                 let _ = writeln!(out, "{:>20}   {v}", "");
@@ -253,6 +307,9 @@ impl DiffReport {
         }
         for a in &self.added {
             let _ = writeln!(out, "added in candidate: {a}");
+        }
+        for w in &self.warnings {
+            let _ = writeln!(out, "WARNING: {w}");
         }
         let _ = writeln!(
             out,
@@ -283,6 +340,7 @@ mod tests {
             stalls: StallBreakdown::default(),
             p99_latency_us: 0.0,
             jobs_per_sec: 0.0,
+            config_hash: 0,
         }
     }
 
@@ -290,6 +348,7 @@ mod tests {
         BenchReport {
             name: name.into(),
             rows,
+            provenance: None,
         }
     }
 
@@ -384,6 +443,71 @@ mod tests {
             ..DiffThresholds::default()
         };
         assert!(!diff_reports(&old, &new, loose).has_regressions());
+    }
+
+    #[test]
+    fn regression_verdict_names_the_dominant_stall_mover() {
+        // Baseline: idle time split 60/40 between texture misses and
+        // global latency. Candidate: same totals, but the mix swings to
+        // 80/20 *and* cycles rise past the gate — the verdict must name
+        // tex-miss as the mover with its signed shift.
+        let mut old_row = row("shared-diagonal", 10.0, 1000);
+        old_row.idle_cycles = 100;
+        old_row.stalls.add(StallReason::TexMiss, 60);
+        old_row.stalls.add(StallReason::GlobalLatency, 40);
+        let mut new_row = row("shared-diagonal", 8.0, 1400);
+        new_row.idle_cycles = 100;
+        new_row.stalls.add(StallReason::TexMiss, 80);
+        new_row.stalls.add(StallReason::GlobalLatency, 20);
+        let d = diff_reports(
+            &report("base", vec![old_row]),
+            &report("cand", vec![new_row]),
+            DiffThresholds::default(),
+        );
+        assert!(d.has_regressions());
+        let e = &d.entries[0];
+        assert_eq!(e.dominant_mover.as_deref(), Some("tex-miss +20.0pp"));
+        assert!(
+            d.render().contains("REGRESSED: tex-miss +20.0pp"),
+            "{}",
+            d.render()
+        );
+    }
+
+    #[test]
+    fn provenance_and_config_hash_mismatches_warn_without_gating() {
+        use crate::report::{row_config_hash, Provenance};
+        let mut old = report("base", vec![row("pfac", 10.0, 1000)]);
+        let mut new = report("cand", vec![row("pfac", 10.0, 1000)]);
+        old.provenance = Some(Provenance {
+            git_rev: "abc1234".into(),
+            grid: "smoke".into(),
+            kernels: vec!["pfac".into()],
+        });
+        new.provenance = Some(Provenance {
+            git_rev: "def5678".into(),
+            grid: "full".into(),
+            kernels: vec!["pfac".into()],
+        });
+        old.rows[0].config_hash = row_config_hash("pfac", 65536, 100);
+        new.rows[0].config_hash = row_config_hash("pfac", 65536, 101);
+        let d = diff_reports(&old, &new, DiffThresholds::default());
+        // Mismatched context warns loudly but never fails the gate.
+        assert!(!d.has_regressions(), "{}", d.render());
+        assert_eq!(d.warnings.len(), 3, "{:?}", d.warnings);
+        assert!(d.warnings[0].contains("abc1234"), "{:?}", d.warnings);
+        assert!(d.warnings[1].contains("grid"), "{:?}", d.warnings);
+        assert!(d.warnings[2].contains("config hash"), "{:?}", d.warnings);
+        assert!(d.render().contains("WARNING: provenance"), "{}", d.render());
+
+        // Reports without provenance (all pre-existing artifacts) and
+        // zero hashes never warn.
+        let d = diff_reports(
+            &report("base", vec![row("pfac", 10.0, 1000)]),
+            &report("cand", vec![row("pfac", 10.0, 1000)]),
+            DiffThresholds::default(),
+        );
+        assert!(d.warnings.is_empty());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use layout_sweep::{
     tex_miss_share, LAYOUT_SWEEP_APPROACHES, LAYOUT_SWEEP_PATTERNS, LAYOUT_SWEEP_SIZE,
 };
 pub use measure::{Engine, EngineConfig, Measurement, Measurements};
-pub use report::{BenchReport, BenchRow};
+pub use report::{row_config_hash, BenchReport, BenchRow, Provenance};
 pub use serving::{
     serve_chaos_measurements, serving_measurements, serving_measurements_with, CHAOS_SEED,
     SERVING_SCENARIOS,

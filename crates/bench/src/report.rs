@@ -37,6 +37,49 @@ pub struct BenchRow {
     /// Completed jobs per simulated second (serving rows only, else 0).
     #[serde(default)]
     pub jobs_per_sec: f64,
+    /// FNV-1a hash of the row's identity fields (approach, size,
+    /// patterns). A diff between two reports warns when matched rows
+    /// disagree — a hash change means the grid point was re-keyed, so the
+    /// comparison may not be like-for-like. Zero in reports written
+    /// before this field existed.
+    #[serde(default)]
+    pub config_hash: u64,
+}
+
+/// FNV-1a over a row's identity fields: stable across runs and platforms,
+/// cheap enough to compute inline, and any change to the keyed config is
+/// visible as a different hash.
+pub fn row_config_hash(approach: &str, size: usize, patterns: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(approach.as_bytes());
+    eat(&[0]);
+    eat(&(size as u64).to_le_bytes());
+    eat(&(patterns as u64).to_le_bytes());
+    h
+}
+
+/// Where a report came from: enough context for a diff to say whether two
+/// reports are comparable. Filled by the `repro` binary (the committed
+/// artifacts' writer); [`BenchReport::from_measurements`] leaves it empty
+/// so report generation stays a pure function of the measurements.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// `git rev-parse --short HEAD` at generation time ("unknown" when
+    /// git is unavailable).
+    #[serde(default)]
+    pub git_rev: String,
+    /// Grid name the run replayed (`smoke`, `full`, …).
+    #[serde(default)]
+    pub grid: String,
+    /// Approach labels the grid covered, in report order.
+    #[serde(default)]
+    pub kernels: Vec<String>,
 }
 
 /// A named, diffable perf report.
@@ -46,6 +89,11 @@ pub struct BenchReport {
     pub name: String,
     /// One row per measured grid point.
     pub rows: Vec<BenchRow>,
+    /// Generation context (git rev, grid, kernel set). `None` in reports
+    /// from older writers and in reports built directly from
+    /// measurements.
+    #[serde(default)]
+    pub provenance: Option<Provenance>,
 }
 
 impl BenchReport {
@@ -64,11 +112,13 @@ impl BenchReport {
                 stalls: r.stalls,
                 p99_latency_us: r.p99_latency_us,
                 jobs_per_sec: r.jobs_per_sec,
+                config_hash: row_config_hash(&r.approach, r.size, r.patterns),
             })
             .collect();
         BenchReport {
             name: name.to_string(),
             rows,
+            provenance: None,
         }
     }
 
@@ -133,6 +183,43 @@ mod tests {
         assert_eq!(gpu.stalls.total(), gpu.idle_cycles);
         let serial = report.rows.iter().find(|r| r.approach == "serial").unwrap();
         assert_eq!(serial.idle_cycles, 0);
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_keyed_on_identity() {
+        let h = row_config_hash("pfac", 65536, 100);
+        assert_eq!(h, row_config_hash("pfac", 65536, 100));
+        assert_ne!(h, 0);
+        assert_ne!(h, row_config_hash("pfac", 65536, 101));
+        assert_ne!(h, row_config_hash("pfac", 65537, 100));
+        assert_ne!(h, row_config_hash("serial", 65536, 100));
+        // Every row gets its identity hash stamped at build time.
+        let report = BenchReport::from_measurements("smoke", &measurements());
+        for r in &report.rows {
+            assert_eq!(
+                r.config_hash,
+                row_config_hash(&r.approach, r.size, r.patterns)
+            );
+        }
+    }
+
+    #[test]
+    fn provenance_round_trips_and_old_reports_still_parse() {
+        let mut report = BenchReport::from_measurements("smoke", &measurements());
+        assert_eq!(report.provenance, None);
+        report.provenance = Some(Provenance {
+            git_rev: "abc1234".into(),
+            grid: "smoke".into(),
+            kernels: vec!["serial".into(), "shared-diagonal".into()],
+        });
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        // A pre-provenance report (no provenance, no config_hash) parses
+        // with defaults — the committed artifacts predate both fields.
+        let old = r#"{"name":"legacy","rows":[{"approach":"serial","size":16,"patterns":2,"gbps":1.0,"cycles":10}]}"#;
+        let parsed = BenchReport::from_json(old).unwrap();
+        assert_eq!(parsed.provenance, None);
+        assert_eq!(parsed.rows[0].config_hash, 0);
     }
 
     #[test]

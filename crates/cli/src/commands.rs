@@ -113,6 +113,12 @@ pub fn run(opts: &Options) -> Result<String, String> {
             let ac = AcAutomaton::build(&patterns);
             explain_text(opts, &ac, &text, &device(opts.fermi))
         }
+        Command::Hot => {
+            let input = opts.input.as_ref().expect("validated by the parser");
+            let text = std::fs::read(input).map_err(|e| format!("reading input: {e}"))?;
+            let ac = AcAutomaton::build(&patterns);
+            hot_text(opts, &ac, &text, &device(opts.fermi))
+        }
         Command::BenchDiff | Command::ServeSim | Command::SloReport => {
             unreachable!("dispatched before pattern loading")
         }
@@ -277,6 +283,7 @@ fn launch_stats_text(ac: &AcAutomaton, text: &[u8], cfg: &GpuConfig) -> String {
                 watchdog_cycles: None,
                 trace: None,
                 introspect: None,
+                attribution: None,
             },
         )
     });
@@ -691,6 +698,7 @@ fn explain_text(
             watchdog_cycles: None,
             trace: None,
             introspect: Some(IntrospectConfig::default()),
+            attribution: None,
         },
     )?;
     let intro = run
@@ -802,6 +810,7 @@ fn profile_text(
                     watchdog_cycles: None,
                     trace: None,
                     introspect: None,
+                    attribution: None,
                 },
             )
             .map_err(|e| format!("{name}: {e}"))?;
@@ -861,6 +870,222 @@ fn profile_text(
     if let Some(stats) = shared_stats {
         let _ = writeln!(out, "\ngpu:shared latency-hiding detail (paper Fig. 19):");
         out.push_str(&stats.stall_summary());
+    }
+    Ok(out)
+}
+
+/// One state row of `hot --json` output.
+#[derive(serde::Serialize)]
+struct HotStateRow {
+    state: u32,
+    prefix: String,
+    cycles: u64,
+    share_pct: f64,
+    tex_fetches: u64,
+    tex_miss_pct: f64,
+    fail_pct: f64,
+    patterns: Vec<u32>,
+}
+
+/// One pattern row of `hot --json` output.
+#[derive(serde::Serialize)]
+struct HotPatternRow {
+    pattern: u32,
+    text: String,
+    cycles: f64,
+    share_pct: f64,
+}
+
+/// The full `hot --json` document.
+#[derive(serde::Serialize)]
+struct HotReport {
+    approach: String,
+    input_bytes: usize,
+    states: usize,
+    total_sm_cycles: u64,
+    attributed_cycles: u64,
+    unattributed_cycles: u64,
+    drain_cycles: u64,
+    hot_states: Vec<HotStateRow>,
+    hot_patterns: Vec<HotPatternRow>,
+}
+
+/// A state's trie prefix, printable-escaped ("" for the root).
+fn state_prefix(own: &ac_core::StateOwnership, state: u32) -> String {
+    own.path_bytes(state).escape_ascii().to_string()
+}
+
+fn hot_text(
+    opts: &Options,
+    ac: &AcAutomaton,
+    text: &[u8],
+    cfg: &GpuConfig,
+) -> Result<String, String> {
+    let params = KernelParams::defaults_for(cfg);
+    let matcher = GpuAcMatcher::new(*cfg, params, ac.clone())?;
+    let approach = match opts.engine {
+        Engine::GpuShared => Approach::SharedDiagonal,
+        Engine::GpuGlobal => Approach::GlobalOnly,
+        Engine::GpuCompressed => Approach::SharedCompressed,
+        Engine::GpuBanded => Approach::SharedBanded,
+        Engine::GpuTwoLevel => Approach::SharedTwoLevel,
+        Engine::GpuPfac => Approach::Pfac,
+        Engine::GpuAuto => {
+            let choice = ac_gpu::pick_layout(&matcher, text).map_err(|e| e.to_string())?;
+            choice
+                .layout
+                .approach()
+                .expect("picker returns concrete layouts")
+        }
+        Engine::Serial | Engine::Parallel => unreachable!("validated by the parser"),
+    };
+    let run = matcher.run_opts(
+        text,
+        approach,
+        RunOptions {
+            record: false,
+            attribution: Some(gpu_sim::AttributionConfig::default()),
+            ..Default::default()
+        },
+    )?;
+    let w = run.attribution.expect("attribution requested");
+    let own = ac_core::StateOwnership::build(ac.patterns());
+    let total = w.total_sm_cycles.max(1) as f64;
+
+    if let Some(path) = &opts.folded_out {
+        // One folded stack per charged state: its trie root path as the
+        // frames (one frame per prefix byte), its charged cycles as the
+        // self value. Flamegraph tooling then aggregates shared prefixes.
+        let stacks: Vec<trace::FoldedStack> = w
+            .state_cycles
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| {
+                let mut frames = vec!["root".to_string()];
+                frames.extend(
+                    own.path_states(s as u32)
+                        .into_iter()
+                        .skip(1)
+                        .map(|st| [own.edge_byte(st)].escape_ascii().to_string()),
+                );
+                trace::FoldedStack { frames, value: c }
+            })
+            .collect();
+        std::fs::write(path, trace::render_folded(&stacks))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    let hot_states: Vec<HotStateRow> = w
+        .hot_states()
+        .into_iter()
+        .take(opts.top)
+        .map(|(s, cycles)| {
+            let f = w.tex_fetches[s as usize];
+            HotStateRow {
+                state: s,
+                prefix: state_prefix(&own, s),
+                cycles,
+                share_pct: cycles as f64 / total * 100.0,
+                tex_fetches: f,
+                tex_miss_pct: if f > 0 {
+                    w.tex_misses[s as usize] as f64 / f as f64 * 100.0
+                } else {
+                    0.0
+                },
+                fail_pct: if cycles > 0 {
+                    w.fail_cycles[s as usize] as f64 / cycles as f64 * 100.0
+                } else {
+                    0.0
+                },
+                patterns: own.owners_of(s).to_vec(),
+            }
+        })
+        .collect();
+
+    let per_pattern = own.per_pattern_cost(&w.state_cycles);
+    let mut ranked: Vec<(u32, f64)> = per_pattern
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0.0)
+        .map(|(p, &c)| (p as u32, c))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let hot_patterns: Vec<HotPatternRow> = ranked
+        .into_iter()
+        .take(opts.top)
+        .map(|(p, cycles)| HotPatternRow {
+            pattern: p,
+            text: ac.patterns().get(p).escape_ascii().to_string(),
+            cycles,
+            share_pct: cycles / total * 100.0,
+        })
+        .collect();
+
+    if opts.json {
+        let report = HotReport {
+            approach: approach.label().to_string(),
+            input_bytes: text.len(),
+            states: ac.state_count(),
+            total_sm_cycles: w.total_sm_cycles,
+            attributed_cycles: w.attributed_cycles(),
+            unattributed_cycles: w.unattributed_cycles,
+            drain_cycles: w.drain_cycles,
+            hot_states,
+            hot_patterns,
+        };
+        return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+    }
+
+    let mut out = format!(
+        "workload attribution: {} over {} input bytes, {} DFA states\n",
+        approach.label(),
+        text.len(),
+        ac.state_count()
+    );
+    let _ = writeln!(
+        out,
+        "total SM cycles: {} (attributed {} = {:.1}%, unattributed {}, drain {})\n",
+        w.total_sm_cycles,
+        w.attributed_cycles(),
+        w.attributed_cycles() as f64 / total * 100.0,
+        w.unattributed_cycles,
+        w.drain_cycles
+    );
+    let _ = writeln!(out, "top {} hot states (by charged cycles):", opts.top);
+    let _ = writeln!(
+        out,
+        "{:>7} | {:>12} | {:>6} | {:>9} | {:>8} | {:>6} | prefix",
+        "state", "cycles", "share", "tex-fetch", "tex-miss", "fail"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for r in &hot_states {
+        let _ = writeln!(
+            out,
+            "{:>7} | {:>12} | {:>5.1}% | {:>9} | {:>7.1}% | {:>5.1}% | \"{}\"",
+            r.state, r.cycles, r.share_pct, r.tex_fetches, r.tex_miss_pct, r.fail_pct, r.prefix
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ntop {} hot patterns (shared-prefix cost split evenly):",
+        opts.top
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} | {:>12} | {:>6} | pattern",
+        "id", "cycles", "share"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(48));
+    for r in &hot_patterns {
+        let _ = writeln!(
+            out,
+            "{:>7} | {:>12.0} | {:>5.1}% | \"{}\"",
+            r.pattern, r.cycles, r.share_pct, r.text
+        );
+    }
+    if let Some(path) = &opts.folded_out {
+        let _ = writeln!(out, "\nfolded stacks written to {}", path.display());
     }
     Ok(out)
 }
@@ -1013,6 +1238,80 @@ mod tests {
         let out = run(&opts).unwrap();
         assert!(out.contains("4 matches"), "{out}"); // she, he, hers in "ushers"; he in "everywhere"
         assert!(out.contains("hers"));
+    }
+
+    #[test]
+    fn hot_prints_table_and_writes_parseable_folded_stacks() {
+        let pats = write_tmp("hot-p.txt", b"he\nshe\nhis\nhers\n");
+        let input = write_tmp(
+            "hot-i.txt",
+            b"those users share his shelf; she ushers her heirs there".as_slice(),
+        );
+        let folded = std::env::temp_dir().join("acsim-tests").join("hot.folded");
+        let opts = parse([
+            "hot",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--top",
+            "5",
+            "--folded-out",
+            folded.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(
+            out.contains("workload attribution: shared-diagonal"),
+            "{out}"
+        );
+        assert!(out.contains("top 5 hot states"), "{out}");
+        assert!(out.contains("top 5 hot patterns"), "{out}");
+        // The root state is always the hottest row of a short scan.
+        assert!(out.contains("| \"\""), "missing root prefix row:\n{out}");
+        // The folded artifact round-trips through the parser and carries
+        // the root stack.
+        let text = std::fs::read_to_string(&folded).unwrap();
+        let stacks = trace::parse_folded(&text).expect("valid folded output");
+        assert!(!stacks.is_empty());
+        assert!(stacks.iter().all(|s| s.frames[0] == "root"));
+        assert!(stacks.iter().any(|s| s.frames.len() > 1 && s.value > 0));
+    }
+
+    #[test]
+    fn hot_json_is_machine_readable_and_conserves() {
+        let pats = write_tmp("hot-jp.txt", b"he\nshe\nhis\nhers\n");
+        let input = write_tmp(
+            "hot-ji.txt",
+            b"she ushers her heirs; he hears her".as_slice(),
+        );
+        let opts = parse([
+            "hot",
+            "--patterns",
+            pats.to_str().unwrap(),
+            "--input",
+            input.to_str().unwrap(),
+            "--engine",
+            "gpu:banded",
+            "--json",
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        let v: serde::Value = serde_json::from_str(&out).expect("valid JSON");
+        let obj = v.as_obj().expect("top-level object");
+        let field = |k: &str| serde::obj_get(obj, k).unwrap_or_else(|| panic!("missing {k}"));
+        let num = |k: &str| match field(k) {
+            serde::Value::U64(n) => *n,
+            serde::Value::I64(n) if *n >= 0 => *n as u64,
+            other => panic!("{k} not a u64: {other:?}"),
+        };
+        assert_eq!(field("approach").as_str(), Some("shared-banded"));
+        assert_eq!(
+            num("attributed_cycles") + num("unattributed_cycles") + num("drain_cycles"),
+            num("total_sm_cycles")
+        );
+        assert!(!field("hot_states").as_arr().unwrap().is_empty());
+        assert!(!field("hot_patterns").as_arr().unwrap().is_empty());
     }
 
     #[test]
@@ -1299,14 +1598,17 @@ mod tests {
             stalls: Default::default(),
             p99_latency_us: 0.0,
             jobs_per_sec: 0.0,
+            config_hash: 0,
         };
         let old = BenchReport {
             name: "old".into(),
             rows: vec![row(10.0, 1000)],
+            provenance: None,
         };
         let new = BenchReport {
             name: "new".into(),
             rows: vec![row(8.0, 1300)],
+            provenance: None,
         };
         let old_p = write_tmp("BENCH_old.json", old.to_json().as_bytes());
         let new_p = write_tmp("BENCH_new.json", new.to_json().as_bytes());

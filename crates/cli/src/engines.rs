@@ -135,6 +135,7 @@ pub fn run_engine(
                     watchdog_cycles: None,
                     trace,
                     introspect: None,
+                    attribution: None,
                 },
             )?;
             let count = if count_only {

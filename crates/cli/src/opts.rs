@@ -89,6 +89,9 @@ pub enum Command {
     /// Render an incident narrative from a serve telemetry trace
     /// (`acsim slo-report TRACE.json`).
     SloReport,
+    /// Run one kernel with workload attribution armed and print the top-K
+    /// hottest DFA states and patterns by charged cycles.
+    Hot,
 }
 
 /// Full parsed invocation.
@@ -165,6 +168,11 @@ pub struct Options {
     pub serve_p99_target_us: Option<u64>,
     /// Telemetry trace to summarise (`slo-report`).
     pub slo_trace: Option<PathBuf>,
+    /// `hot`: number of states/patterns to print.
+    pub top: usize,
+    /// `hot`: write the per-state cycle profile as folded stacks here
+    /// (trie root path as the stack; feed to flamegraph tooling).
+    pub folded_out: Option<PathBuf>,
 }
 
 /// A human-readable argument error.
@@ -194,6 +202,8 @@ pub const USAGE: &str = "usage:
                 [--p99-target-us N] [--chaos [--fault-seed N]] [--fermi] [--report FILE]
                 [--trace-out FILE] [--metrics-out FILE]
   acsim slo-report TRACE.json
+  acsim hot     --patterns FILE --input FILE [--engine gpu:*] [--fermi] [--top N]
+                [--json] [--folded-out FILE]
   acsim dot     --patterns FILE
 engines: serial | parallel | gpu:shared | gpu:global | gpu:compressed
        | gpu:banded | gpu:twolevel | gpu:auto | gpu:pfac
@@ -224,7 +234,13 @@ flags do not apply; --fault-seed places the storm, --seed reshuffles
 payloads) and exits non-zero if any resilience invariant is violated.
 `slo-report` reads a `serve-sim --trace-out` telemetry trace and renders an
 incident narrative: breaker timeline, pressure-counter arcs, admission
-decisions, and the worst-latency exemplars per flight-recorder window.";
+decisions, the dominant pattern-cost classes from the attribution replay,
+and the worst-latency exemplars per flight-recorder window.
+`hot` runs one kernel with per-state workload attribution armed and prints
+the top-K hottest DFA states (cycles, texture-miss share, failure share,
+trie prefix) and patterns; --folded-out writes the full per-state profile
+as folded stacks for flamegraph tooling; --json emits machine-readable
+output.";
 
 /// Parse an argument vector (without the program name).
 pub fn parse<I, S>(args: I) -> Result<Options, ParseError>
@@ -251,6 +267,7 @@ where
         },
         Some("serve-sim") => Command::ServeSim,
         Some("slo-report") => Command::SloReport,
+        Some("hot") => Command::Hot,
         Some(other) => return Err(ParseError(format!("unknown command '{other}'\n{USAGE}"))),
         None => return Err(ParseError(USAGE.into())),
     };
@@ -282,6 +299,9 @@ where
     let mut serve_deadline_us: Option<u64> = None;
     let mut serve_p99_target_us: Option<u64> = None;
     let mut serve_flag_seen = false;
+    let mut top = 10usize;
+    let mut top_seen = false;
+    let mut folded_out: Option<PathBuf> = None;
     fn number<T: std::str::FromStr>(
         flag: &str,
         raw: Option<impl AsRef<str>>,
@@ -419,6 +439,17 @@ where
                 serve_p99_target_us = Some(number("--p99-target-us", it.next())?);
                 serve_flag_seen = true;
             }
+            "--top" => {
+                top = number("--top", it.next())?;
+                top_seen = true;
+            }
+            "--folded-out" => {
+                folded_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| ParseError("--folded-out needs a file".into()))?
+                        .as_ref(),
+                ))
+            }
             "--max-gbps-drop" => gbps_drop_pm = Some(tenths("--max-gbps-drop", it.next())?),
             "--max-cycles-rise" => cycles_rise_pm = Some(tenths("--max-cycles-rise", it.next())?),
             "--max-stall-shift" => stall_shift_dpts = Some(tenths("--max-stall-shift", it.next())?),
@@ -498,8 +529,23 @@ where
             ));
         }
     }
-    if json && command != Command::Profile {
-        return Err(ParseError("--json only applies to `profile`".into()));
+    if json && !matches!(command, Command::Profile | Command::Hot) {
+        return Err(ParseError(
+            "--json only applies to `profile` and `hot`".into(),
+        ));
+    }
+    if (top_seen || folded_out.is_some()) && command != Command::Hot {
+        return Err(ParseError("--top/--folded-out only apply to `hot`".into()));
+    }
+    if command == Command::Hot {
+        if top == 0 {
+            return Err(ParseError("--top must be positive".into()));
+        }
+        if matches!(engine, Engine::Serial | Engine::Parallel) {
+            return Err(ParseError(
+                "hot profiles a simulated-GPU run: use a gpu:* engine".into(),
+            ));
+        }
     }
     if csv_out.is_some() && command != Command::Explain {
         return Err(ParseError("--csv-out only applies to `explain`".into()));
@@ -522,7 +568,7 @@ where
     };
     if matches!(
         command,
-        Command::Match | Command::Compare | Command::Profile | Command::Explain
+        Command::Match | Command::Compare | Command::Profile | Command::Explain | Command::Hot
     ) && input.is_none()
     {
         return Err(ParseError(format!("{command:?} requires --input")));
@@ -583,6 +629,8 @@ where
         serve_deadline_us,
         serve_p99_target_us,
         slo_trace,
+        top,
+        folded_out,
     })
 }
 
@@ -592,6 +640,52 @@ mod tests {
 
     fn p(args: &[&str]) -> Result<Options, ParseError> {
         parse(args.iter().copied())
+    }
+
+    #[test]
+    fn parses_hot_invocation() {
+        let o = p(&[
+            "hot",
+            "--patterns",
+            "d.txt",
+            "--input",
+            "c.bin",
+            "--engine",
+            "gpu:banded",
+            "--top",
+            "3",
+            "--json",
+            "--folded-out",
+            "prof.folded",
+        ])
+        .unwrap();
+        assert_eq!(o.command, Command::Hot);
+        assert_eq!(o.engine, Engine::GpuBanded);
+        assert_eq!(o.top, 3);
+        assert!(o.json);
+        assert_eq!(o.folded_out, Some(PathBuf::from("prof.folded")));
+    }
+
+    #[test]
+    fn hot_flag_scoping() {
+        // --top/--folded-out are hot-only.
+        assert!(p(&["match", "--patterns", "d", "--input", "c", "--top", "3"]).is_err());
+        assert!(p(&["stats", "--patterns", "d", "--folded-out", "f"]).is_err());
+        // hot needs an input and a GPU engine, and a positive top.
+        assert!(p(&["hot", "--patterns", "d"]).is_err());
+        assert!(p(&[
+            "hot",
+            "--patterns",
+            "d",
+            "--input",
+            "c",
+            "--engine",
+            "serial"
+        ])
+        .is_err());
+        assert!(p(&["hot", "--patterns", "d", "--input", "c", "--top", "0"]).is_err());
+        // --json now also applies to hot.
+        assert!(p(&["hot", "--patterns", "d", "--input", "c", "--json"]).is_ok());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The host-visible device: global-memory allocation, texture binding, and
 //! kernel launches.
 
+use crate::attrib::{Attribution, AttributionConfig, AttributionState};
 use crate::config::GpuConfig;
 use crate::constant::{ConstId, ConstantBuffer};
 use crate::error::{DeviceError, LaunchError};
@@ -119,6 +120,10 @@ pub struct GpuDevice {
     /// histograms, DRAM busy intervals, hot-row fetch counts), if any.
     /// Same zero-cost-when-disabled contract as `fault` and `trace`.
     introspect: Option<Box<IntrospectState>>,
+    /// Armed workload attribution (per-label cycle/fetch ledgers fed by
+    /// kernel `WarpCtx::attribute` calls), if any. Same
+    /// zero-cost-when-disabled contract as `fault`, `trace`, `introspect`.
+    attribution: Option<Box<AttributionState>>,
 }
 
 impl GpuDevice {
@@ -136,6 +141,7 @@ impl GpuDevice {
             watchdog: None,
             trace: None,
             introspect: None,
+            attribution: None,
         })
     }
 
@@ -209,6 +215,28 @@ impl GpuDevice {
     /// Whether spatial introspection is currently armed.
     pub fn introspection_armed(&self) -> bool {
         self.introspect.is_some()
+    }
+
+    /// Arm workload attribution: subsequent launches charge every issue
+    /// slot and idle gap to the per-lane labels kernels declare through
+    /// [`crate::WarpCtx::attribute`], into one [`Attribution`] per device.
+    /// Observation-only — armed and disarmed launches produce bit-identical
+    /// [`LaunchStats`].
+    pub fn arm_attribution(&mut self, cfg: AttributionConfig) {
+        self.attribution = Some(Box::new(AttributionState::new(cfg)));
+    }
+
+    /// Disarm attribution, returning whatever was collected since
+    /// [`arm_attribution`].
+    ///
+    /// [`arm_attribution`]: GpuDevice::arm_attribution
+    pub fn take_attribution(&mut self) -> Option<Attribution> {
+        self.attribution.take().map(|b| b.result)
+    }
+
+    /// Whether workload attribution is currently armed.
+    pub fn attribution_armed(&self) -> bool {
+        self.attribution.is_some()
     }
 
     /// Copy a device→host readback buffer "across the bus": counts one
@@ -331,6 +359,7 @@ impl GpuDevice {
                 sm,
                 self.trace.as_deref_mut(),
                 self.introspect.as_deref_mut(),
+                self.attribution.as_deref_mut(),
             );
             per_sm_cycles.push(sm_stats.cycles);
             totals.merge(&sm_stats);

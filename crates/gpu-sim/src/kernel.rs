@@ -11,6 +11,7 @@
 //! multithreaded latency hiding of paper Fig. 19 — without coroutines or
 //! threads.
 
+use crate::attrib::{LaneAttr, SmAttrSink};
 use crate::config::GpuConfig;
 use crate::constant::{broadcast_degree, ConstId, ConstantBuffer};
 use crate::global::{coalesce_halfwarp, GlobalMemory};
@@ -104,6 +105,8 @@ pub struct WarpCtx<'a> {
     /// Armed-only introspection sink; `None` on the disarmed (timing
     /// baseline) path, where every probe is a single branch.
     pub(crate) probe: Option<&'a mut SmProbe>,
+    /// Armed-only workload-attribution sink; same contract as `probe`.
+    pub(crate) attr: Option<&'a mut SmAttrSink>,
     pub(crate) now: Cycle,
     pub(crate) issue: u32,
     pub(crate) ready_at: Cycle,
@@ -125,6 +128,7 @@ impl<'a> WarpCtx<'a> {
         dram: &'a mut DramChannel,
         stats: &'a mut SmStats,
         probe: Option<&'a mut SmProbe>,
+        attr: Option<&'a mut SmAttrSink>,
         now: Cycle,
     ) -> Self {
         let issue = cfg.issue_cycles;
@@ -140,6 +144,7 @@ impl<'a> WarpCtx<'a> {
             dram,
             stats,
             probe,
+            attr,
             now,
             issue,
             ready_at: now + issue as Cycle,
@@ -182,6 +187,18 @@ impl<'a> WarpCtx<'a> {
     /// bookkeeping, comparisons). Added to the issue occupancy.
     pub fn compute(&mut self, cycles: u32) {
         self.issue += cycles;
+    }
+
+    /// Tag this step with per-lane workload labels (for the AC kernels,
+    /// the DFA state each lane is visiting). The scheduler charges the
+    /// step's issue cycles — and any idle gap this warp later ends —
+    /// across these labels; texture fetches performed *after* this call in
+    /// the same step are counted per label. A single branch when
+    /// attribution is disarmed; never feeds back into timing.
+    pub fn attribute(&mut self, lanes: &[Option<LaneAttr>]) {
+        if let Some(sink) = self.attr.as_deref_mut() {
+            sink.set_lanes(lanes);
+        }
     }
 
     /// Iterate half-warp ranges over `n` lanes.
@@ -398,6 +415,9 @@ impl<'a> WarpCtx<'a> {
             }
             // Armed-only observation; the cache access above is identical
             // either way.
+            if let Some(sink) = self.attr.as_deref_mut() {
+                sink.note_tex_fetch(lane, l1_hit);
+            }
             if let Some(probe) = self.probe.as_deref_mut() {
                 if let Some(slot) = probe
                     .row_fetches
@@ -482,6 +502,25 @@ mod tests {
                 &mut self.dram,
                 &mut self.stats,
                 None,
+                None,
+                now,
+            )
+        }
+
+        fn attr_ctx<'a>(&'a mut self, sink: &'a mut SmAttrSink, now: Cycle) -> WarpCtx<'a> {
+            WarpCtx::new(
+                &self.cfg,
+                &mut self.global,
+                &mut self.shared,
+                &self.textures,
+                &self.constants,
+                &mut self.cache,
+                &mut self.l2,
+                &mut self.cc,
+                &mut self.dram,
+                &mut self.stats,
+                None,
+                Some(sink),
                 now,
             )
         }
@@ -499,6 +538,7 @@ mod tests {
                 &mut self.dram,
                 &mut self.stats,
                 Some(probe),
+                None,
                 now,
             )
         }
@@ -750,6 +790,37 @@ mod tests {
         assert_eq!(probe.banks.degree_counts[16], 2);
         // 32 fetches spread over rows 0..4 of texture 0, 8 per row.
         assert_eq!(probe.row_fetches[0][..4], [8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn armed_attribution_counts_labelled_tex_fetches_without_timing_drift() {
+        use crate::attrib::AttributionConfig;
+        let coords: Vec<Option<(u32, u32)>> = (0..32).map(|l| Some((l % 4, l % 8))).collect();
+        let labels: Vec<Option<LaneAttr>> = (0..32).map(|l| Some(LaneAttr::state(l % 4))).collect();
+
+        let mut plain = Rig::new();
+        let mut attributed = Rig::new();
+        let mut sink = SmAttrSink::new(&AttributionConfig::default(), attributed.cfg.warp_size);
+
+        let mut out32 = vec![0u32; 32];
+        let mut ctx = plain.ctx(0);
+        ctx.tex_fetch(TexId(0), &coords, &mut out32);
+        let plain_cost = ctx.into_cost();
+
+        sink.begin_step();
+        let mut ctx = attributed.attr_ctx(&mut sink, 0);
+        ctx.attribute(&labels);
+        ctx.tex_fetch(TexId(0), &coords, &mut out32);
+        assert_eq!(ctx.into_cost(), plain_cost);
+        assert_eq!(plain.stats, attributed.stats);
+
+        // 8 fetches under each of the 4 labels; per-label misses sum to
+        // the SM aggregate.
+        assert_eq!(sink.tex_fetches, vec![8, 8, 8, 8]);
+        assert_eq!(
+            sink.tex_misses.iter().sum::<u64>(),
+            attributed.stats.tex_misses
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! assert!(launched.stats.cycles > 0);
 //! ```
 
+pub mod attrib;
 pub mod config;
 pub mod constant;
 pub mod device;
@@ -68,6 +69,7 @@ pub mod stats;
 pub mod stream;
 pub mod texture;
 
+pub use attrib::{Attribution, AttributionConfig, LaneAttr, SmAttribution};
 pub use config::GpuConfig;
 pub use constant::{ConstId, ConstantBuffer};
 pub use device::{GpuDevice, LaunchConfig, Launched};

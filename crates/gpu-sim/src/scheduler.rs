@@ -14,6 +14,7 @@
 //! next pending block is activated in its place, reusing the hardware the
 //! way a real GT200 does.
 
+use crate::attrib::{AttributionState, LaneAttr, SmAttrSink};
 use crate::config::GpuConfig;
 use crate::constant::ConstantBuffer;
 use crate::device::LaunchConfig;
@@ -47,6 +48,9 @@ struct WarpSlot<P> {
     /// Why the warp is waiting until `ready_at` (None = issue-bound). An
     /// idle gap ending at this warp's wake-up is charged to this reason.
     wait: Option<StallReason>,
+    /// Armed-attribution only: the labels of this warp's last step; an
+    /// idle gap ending at this warp's wake-up is charged to these labels.
+    attr_last: Vec<LaneAttr>,
 }
 
 struct ActiveBlock {
@@ -73,6 +77,7 @@ pub(crate) fn run_sm<P, F>(
     sm_id: u32,
     mut trace: Option<&mut TraceBuffer>,
     introspect: Option<&mut IntrospectState>,
+    attribution: Option<&mut AttributionState>,
 ) -> SmStats
 where
     P: WarpProgram,
@@ -103,6 +108,11 @@ where
         dram.enable_busy_tracking(st.cfg.max_busy_intervals);
         SmProbe::new(cfg, textures)
     });
+    // Armed attribution: the per-SM ledger the kernel labels feed. Like
+    // the probe, it observes without feeding back into timing.
+    let mut attr_sink = attribution
+        .as_ref()
+        .map(|st| SmAttrSink::new(&st.cfg, cfg.warp_size));
 
     let mut pending = block_ids.iter().copied();
     let mut blocks: Vec<ActiveBlock> = Vec::with_capacity(resident_blocks);
@@ -133,6 +143,7 @@ where
                 run: WarpRun::Ready,
                 block_slot,
                 wait: None,
+                attr_last: Vec::new(),
             });
             live.push(slots.len() - 1);
         }
@@ -208,6 +219,11 @@ where
                     let reason = slots[ender].wait.unwrap_or(StallReason::NoReadyWarp);
                     stats.idle_cycles += gap;
                     stats.stalls.add(reason, gap);
+                    if let Some(sink) = attr_sink.as_mut() {
+                        // The gap is the fault of whatever the ender's last
+                        // step was working on.
+                        sink.charge_labels(&slots[ender].attr_last, gap);
+                    }
                     if let Some(tb) = trace.as_deref_mut() {
                         if tb.config().scheduler {
                             tb.stall(sm_id, now, gap, reason);
@@ -233,6 +249,9 @@ where
 
         // Step the warp.
         let (outcome, cost) = {
+            if let Some(sink) = attr_sink.as_mut() {
+                sink.begin_step();
+            }
             let block = &mut blocks[block_slot];
             let mut ctx = WarpCtx::new(
                 cfg,
@@ -246,6 +265,7 @@ where
                 &mut dram,
                 &mut stats,
                 probe.as_mut(),
+                attr_sink.as_mut(),
                 now,
             );
             let program = slots[slot_idx]
@@ -256,6 +276,12 @@ where
             (outcome, ctx.into_cost())
         };
         stats.instructions += 1;
+        if let Some(sink) = attr_sink.as_mut() {
+            sink.charge_step(cost.issue as u64);
+            let last = &mut slots[slot_idx].attr_last;
+            last.clear();
+            last.extend(sink.step_labels());
+        }
         issue_free = now + cost.issue as Cycle;
         slots[slot_idx].ready_at = cost.ready_at.max(issue_free);
         slots[slot_idx].wait = cost.stall;
@@ -372,6 +398,16 @@ where
                 );
             }
         }
+    }
+    if let Some(st) = attribution {
+        let sink = attr_sink.take().expect("sink exists whenever armed");
+        // Every advance of the clock was either an issue slot (charged at
+        // step time) or an idle gap (charged at jump time); what remains
+        // is the in-flight memory drain past the final issue.
+        let busy = now.max(issue_free);
+        st.result
+            .per_sm
+            .push(sink.finish(sm_id, stats.cycles - busy, stats.cycles));
     }
     if let Some(st) = introspect {
         let probe = probe.take().expect("probe exists whenever armed");

@@ -282,7 +282,7 @@ impl StreamTimeline {
     /// Export as Chrome trace events: one pid per stream
     /// ([`PID_STREAM_BASE`]` + stream`), timestamps quantized to cycles
     /// at `clock_hz`. Load the result of
-    /// [`trace::chrome::to_chrome_json`] in Perfetto to see copies and
+    /// [`trace::to_chrome_json`] in Perfetto to see copies and
     /// kernels from different streams overlapping.
     pub fn to_trace(&self, clock_hz: f64, cfg: TraceConfig) -> TraceBuffer {
         let mut tb = TraceBuffer::new(cfg);

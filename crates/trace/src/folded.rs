@@ -1,0 +1,126 @@
+//! Folded-stack rendering — the `frame;frame;frame value` line format
+//! consumed by flamegraph tooling (Brendan Gregg's `flamegraph.pl`,
+//! inferno, speedscope).
+//!
+//! The workload-attribution profiler renders a DFA state's trie path
+//! (root → state, one frame per prefix byte) as the stack and the cycles
+//! charged to the state as the value, so a flamegraph of a matching run
+//! shows exactly which automaton prefixes the GPU spent its time in.
+
+/// One folded line: a root-first stack of frames and its sampled value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedStack {
+    /// Frames, outermost first. Rendering sanitizes frame text (`;` and
+    /// whitespace become `_`) so lines stay machine-parseable.
+    pub frames: Vec<String>,
+    /// The value (for attribution profiles: cycles).
+    pub value: u64,
+}
+
+/// Replace the characters the folded format reserves (`;` separates
+/// frames, whitespace separates stack from value) with `_`.
+fn sanitize(frame: &str) -> String {
+    frame
+        .chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Render stacks to folded lines. Empty stacks are skipped (a folded line
+/// must have at least one frame); zero-valued stacks are kept — tooling
+/// treats them as present-but-cold.
+pub fn render_folded(stacks: &[FoldedStack]) -> String {
+    let mut out = String::new();
+    for st in stacks {
+        if st.frames.is_empty() {
+            continue;
+        }
+        let line: Vec<String> = st.frames.iter().map(|f| sanitize(f)).collect();
+        out.push_str(&line.join(";"));
+        out.push(' ');
+        out.push_str(&st.value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse folded lines back into stacks. Accepts the exact output of
+/// [`render_folded`] and the common external variants (blank lines,
+/// trailing whitespace). Errors name the offending line.
+pub fn parse_folded(text: &str) -> Result<Vec<FoldedStack>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value field: {line:?}", i + 1))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|e| format!("line {}: bad value {value:?}: {e}", i + 1))?;
+        let frames: Vec<String> = stack.split(';').map(str::to_string).collect();
+        if frames.iter().any(|f| f.is_empty()) {
+            return Err(format!("line {}: empty frame in {stack:?}", i + 1));
+        }
+        out.push(FoldedStack { frames, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(frames: &[&str], value: u64) -> FoldedStack {
+        FoldedStack {
+            frames: frames.iter().map(|s| s.to_string()).collect(),
+            value,
+        }
+    }
+
+    #[test]
+    fn renders_gregg_format() {
+        let s = render_folded(&[stack(&["root", "h", "he"], 120), stack(&["root", "s"], 30)]);
+        assert_eq!(s, "root;h;he 120\nroot;s 30\n");
+    }
+
+    #[test]
+    fn round_trips() {
+        let stacks = vec![
+            stack(&["root"], 7),
+            stack(&["root", "h", "he", "her", "hers"], 99),
+            stack(&["root", "x"], 0),
+        ];
+        let back = parse_folded(&render_folded(&stacks)).expect("parses");
+        assert_eq!(back, stacks);
+    }
+
+    #[test]
+    fn sanitizes_reserved_characters() {
+        let s = render_folded(&[stack(&["a;b", "c d"], 1)]);
+        assert_eq!(s, "a_b;c_d 1\n");
+        assert_eq!(parse_folded(&s).unwrap(), vec![stack(&["a_b", "c_d"], 1)]);
+    }
+
+    #[test]
+    fn skips_empty_stacks_and_blank_lines() {
+        let s = render_folded(&[stack(&[], 5), stack(&["x"], 5)]);
+        assert_eq!(s, "x 5\n");
+        assert_eq!(parse_folded("\n\nx 5\n\n").unwrap(), vec![stack(&["x"], 5)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_folded("novalue").is_err());
+        assert!(parse_folded("a;b notanumber").is_err());
+        assert!(parse_folded("a;;b 3").is_err());
+    }
+}

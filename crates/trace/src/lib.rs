@@ -29,6 +29,7 @@
 
 pub mod chrome;
 pub mod event;
+pub mod folded;
 pub mod metrics;
 pub mod stall;
 pub mod summary;
@@ -38,6 +39,7 @@ pub use event::{
     ArgValue, Phase, TraceBuffer, TraceConfig, TraceEvent, PID_DEVICE, PID_HOST, PID_SERVE_CONTROL,
     PID_SERVE_JOBS, PID_SERVE_LIMIT, PID_SERVE_SLO,
 };
+pub use folded::{parse_folded, render_folded, FoldedStack};
 pub use metrics::{Metric, MetricValue, MetricsSnapshot};
 pub use stall::{StallBreakdown, StallReason};
 pub use summary::{render_heatmap, render_histogram, render_stall_summary, to_csv, SmActivity};

@@ -136,7 +136,11 @@ impl MetricsSnapshot {
     }
 
     /// Render as Prometheus text exposition format (gauge type lines, one
-    /// `# HELP`/`# TYPE` pair per distinct metric name).
+    /// `# HELP`/`# TYPE` pair per distinct metric name). Label values are
+    /// escaped per the exposition spec (`\\`, `\"`, `\n`) and non-finite
+    /// floats render as the spec's `NaN`/`+Inf`/`-Inf` tokens, so a
+    /// snapshot built from arbitrary pattern text or an empty latency
+    /// window still scrapes cleanly.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut described: Vec<&str> = Vec::new();
@@ -155,17 +159,29 @@ impl MetricsSnapshot {
                     if i > 0 {
                         out.push(',');
                     }
-                    out.push_str(&format!("{}=\"{}\"", k, v.replace('"', "\\\"")));
+                    out.push_str(&format!("{}=\"{}\"", k, escape_label_value(v)));
                 }
                 out.push('}');
             }
             match m.value {
                 MetricValue::U64(n) => out.push_str(&format!(" {n}\n")),
+                MetricValue::F64(f) if f.is_nan() => out.push_str(" NaN\n"),
+                MetricValue::F64(f) if f.is_infinite() => {
+                    out.push_str(if f > 0.0 { " +Inf\n" } else { " -Inf\n" })
+                }
                 MetricValue::F64(f) => out.push_str(&format!(" {f}\n")),
             }
         }
         out
     }
+}
+
+/// Escape a label value for the text exposition format: backslash first
+/// (so the other escapes stay unambiguous), then quote and newline.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -226,6 +242,57 @@ mod tests {
             serde::obj_get(first, "name").unwrap().as_str(),
             Some("acsim_launch_cycles")
         );
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_the_exposition_spec() {
+        let mut snap = MetricsSnapshot::new();
+        // A pattern label straight out of `escape_ascii`: contains a
+        // literal backslash — which must itself be escaped on the wire.
+        snap.push_labelled(
+            "acsim_serve_pattern_cost_cycles",
+            "",
+            vec![("pattern".to_string(), "a\\nb".to_string())],
+            1u64,
+        );
+        snap.push_labelled(
+            "acsim_serve_pattern_cost_cycles",
+            "",
+            vec![("pattern".to_string(), "say \"hi\"\nok".to_string())],
+            2u64,
+        );
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains(r#"pattern="a\\nb"#),
+            "backslash not doubled: {text}"
+        );
+        assert!(
+            text.contains(r#"pattern="say \"hi\"\nok"#),
+            "quote/newline not escaped: {text}"
+        );
+        // A raw newline inside a label would split the sample line.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.ends_with('1') || line.ends_with('2'),
+                "broken sample line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_spec_tokens() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push("a", "", f64::NAN);
+        snap.push("b", "", f64::INFINITY);
+        snap.push("c", "", f64::NEG_INFINITY);
+        snap.push("d", "", 0.0f64);
+        let text = snap.to_prometheus();
+        assert!(text.contains("a NaN\n"), "{text}");
+        assert!(text.contains("b +Inf\n"), "{text}");
+        assert!(text.contains("c -Inf\n"), "{text}");
+        assert!(text.contains("d 0\n"), "{text}");
+        // The lowercase Rust renderings never leak through.
+        assert!(!text.contains("inf\n"), "{text}");
     }
 
     #[test]

@@ -288,6 +288,7 @@ fn watchdog_kills_hung_kernels() {
                 watchdog_cycles: Some(1 << 30),
                 trace: None,
                 introspect: None,
+                attribution: None,
             },
         )
         .unwrap_err();

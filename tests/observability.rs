@@ -36,6 +36,7 @@ fn traced_run(cfg: &GpuConfig, approach: Approach) -> GpuRun {
                 watchdog_cycles: None,
                 trace: Some(TraceConfig::default()),
                 introspect: None,
+                attribution: None,
             },
         )
         .unwrap()

@@ -101,6 +101,7 @@ fn supervision_does_not_perturb_fault_free_timing() {
                 watchdog_cycles: Some(u64::MAX),
                 trace: None,
                 introspect: None,
+                attribution: None,
             },
         )
         .unwrap();
@@ -130,6 +131,7 @@ fn trace_arming_leaves_launch_stats_bit_identical() {
                     watchdog_cycles: None,
                     trace: Some(cfg),
                     introspect: None,
+                    attribution: None,
                 },
             )
             .unwrap();
@@ -152,6 +154,7 @@ fn trace_arming_leaves_launch_stats_bit_identical() {
                     watchdog_cycles: None,
                     trace: None,
                     introspect: None,
+                    attribution: None,
                 },
             )
             .unwrap();
@@ -182,6 +185,7 @@ fn introspection_arming_leaves_launch_stats_bit_identical() {
                     watchdog_cycles: None,
                     trace: None,
                     introspect: Some(IntrospectConfig::default()),
+                    attribution: None,
                 },
             )
             .unwrap();
@@ -218,6 +222,72 @@ fn introspection_arming_leaves_launch_stats_bit_identical() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn attribution_arming_leaves_launch_stats_bit_identical_and_conserves() {
+    let text = text();
+    for approach in Approach::all() {
+        let plain = matcher().run(&text, approach).unwrap();
+
+        // Attribution armed: every fetch/stall cycle is charged to the
+        // DFA state being visited, but the ledger only observes — stats,
+        // matches, and events must be bit-identical to the plain run.
+        let charged = matcher()
+            .run_opts(
+                &text,
+                approach,
+                RunOptions {
+                    record: true,
+                    attribution: Some(gpu_sim::AttributionConfig::default()),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            charged.stats, plain.stats,
+            "{approach:?}: stats drifted with attribution armed"
+        );
+        assert_eq!(charged.matches, plain.matches, "{approach:?}");
+        assert_eq!(charged.match_events, plain.match_events, "{approach:?}");
+        assert!(plain.attribution.is_none());
+
+        // Conservation: every SM cycle lands in exactly one bucket —
+        // charged to a state, unattributed, or post-retire drain.
+        let w = charged.attribution.expect("attribution requested");
+        assert_eq!(
+            w.attributed_cycles() + w.unattributed_cycles + w.drain_cycles,
+            w.total_sm_cycles,
+            "{approach:?}: cycles leaked from the attribution ledger"
+        );
+        assert!(
+            w.attributed_cycles() > 0,
+            "{approach:?}: nothing was charged"
+        );
+        // Texture traffic folds exactly onto the kernel's own counters.
+        let fetches: u64 = w.tex_fetches.iter().sum();
+        assert_eq!(
+            fetches, charged.stats.totals.tex_fetches,
+            "{approach:?}: per-state tex fetches disagree with LaunchStats"
+        );
+
+        // Disarmed run through the same entry point carries no ledger.
+        let disarmed = matcher()
+            .run_opts(
+                &text,
+                approach,
+                RunOptions {
+                    record: true,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(disarmed.attribution.is_none());
+        assert_eq!(
+            disarmed.stats, plain.stats,
+            "{approach:?}: disarmed run drifted"
+        );
     }
 }
 
