@@ -246,6 +246,33 @@ impl GpuAcMatcher {
         })
     }
 
+    /// A matcher for another device of the same model: shares the
+    /// already-built automaton and device table images (cloned host-side
+    /// bytes — each device still uploads its own copy at run time, as on
+    /// real hardware) but carries *independent* fault state, so devices
+    /// in a fleet fail independently. Lazily-built tables that exist on
+    /// `self` are pre-seeded on the replica to keep fleet devices from
+    /// re-deriving them.
+    pub fn replicate(&self) -> GpuAcMatcher {
+        fn clone_cell<T: Clone>(src: &OnceLock<T>) -> OnceLock<T> {
+            match src.get() {
+                Some(v) => OnceLock::from(v.clone()),
+                None => OnceLock::new(),
+            }
+        }
+        GpuAcMatcher {
+            cfg: self.cfg,
+            params: self.params,
+            ac: self.ac.clone(),
+            dev_stt: self.dev_stt.clone(),
+            pfac: clone_cell(&self.pfac),
+            compressed: clone_cell(&self.compressed),
+            banded: clone_cell(&self.banded),
+            twolevel: clone_cell(&self.twolevel),
+            fault: Mutex::new(None),
+        }
+    }
+
     /// Arm a deterministic fault plan for subsequent runs. Counters start
     /// at zero; they advance across runs and retries until
     /// [`GpuAcMatcher::clear_fault_plan`].
@@ -841,6 +868,28 @@ mod tests {
             let run = m.run(b"", a).unwrap();
             assert!(run.matches.is_empty(), "{a:?}");
         }
+    }
+
+    #[test]
+    fn replicas_run_identically_with_independent_fault_state() {
+        let m = matcher(&["he", "she", "hers"]);
+        // Build a lazy table first so the replica inherits it pre-seeded.
+        let text = b"she ushers her heirs; he hears her";
+        m.run(text, Approach::Pfac).unwrap();
+        let r = m.replicate();
+        for a in [Approach::SharedDiagonal, Approach::Pfac] {
+            let orig = m.run(text, a).unwrap();
+            let repl = r.run(text, a).unwrap();
+            assert_eq!(orig.matches, repl.matches, "{a:?}");
+            assert_eq!(orig.stats.cycles, repl.stats.cycles, "{a:?}");
+        }
+        // A fault plan armed on the original must not leak into the
+        // replica: fleet devices fail independently.
+        m.set_fault_plan(FaultPlan::none().with_launch_transient(0));
+        assert!(m.run(text, Approach::SharedDiagonal).is_err());
+        assert!(r.run(text, Approach::SharedDiagonal).is_ok());
+        assert!(r.fault_log().is_empty());
+        m.clear_fault_plan();
     }
 
     #[test]

@@ -52,6 +52,7 @@
 pub mod batch;
 pub mod breaker;
 pub mod chaos;
+pub mod fleet;
 pub mod job;
 pub mod queue;
 pub mod report;
@@ -63,6 +64,10 @@ pub mod workload;
 pub use batch::{assemble_batch, demux_matches, AssembledBatch, BatchLimits, JobSpan};
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, Route};
 pub use chaos::{chaos_soak, chaos_soak_runs, ChaosConfig, ChaosVerdict};
+pub use fleet::{
+    merge_shard_matches, plan_shards, serve_fleet, CostModel, CostModelSnapshot, DeviceReport,
+    FleetConfig, FleetReport, FleetRun, RouterConfig, ShardSegment, TierCounts,
+};
 pub use job::{JobExpiry, JobOutcome, ScanJob, ServedBy};
 pub use queue::{BoundedQueue, Overloaded};
 pub use report::{BatchBucket, ServeReport};

@@ -99,6 +99,11 @@ impl BoundedQueue {
         self.jobs.front().map(|j| j.payload.len())
     }
 
+    /// Total payload bytes waiting (the fleet router's backlog signal).
+    pub fn queued_bytes(&self) -> usize {
+        self.jobs.iter().map(|j| j.payload.len()).sum()
+    }
+
     /// Waiting jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()

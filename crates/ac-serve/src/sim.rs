@@ -484,12 +484,12 @@ pub fn serve(
 }
 
 /// Ask the admission controller about an arrival; `Some` = turned away.
-fn shed(slo: &mut Option<AdmissionController>, job: &ScanJob) -> Option<SheddedJob> {
+pub(crate) fn shed(slo: &mut Option<AdmissionController>, job: &ScanJob) -> Option<SheddedJob> {
     slo.as_mut()
         .and_then(|c| c.admit(job.id, job.priority, job.arrival_seconds))
 }
 
-fn tally(rep: &SuperviseReport, gpu_retries: &mut u64, faults_fired: &mut u64) {
+pub(crate) fn tally(rep: &SuperviseReport, gpu_retries: &mut u64, faults_fired: &mut u64) {
     *gpu_retries += rep.retries as u64;
     *faults_fired += rep.faults.len() as u64;
 }
@@ -500,7 +500,7 @@ fn tally(rep: &SuperviseReport, gpu_retries: &mut u64, faults_fired: &mut u64) {
 /// recorded immediately — the CPU tier has no deferred readback. Returns
 /// the completion time (the executor's next free instant).
 #[allow(clippy::too_many_arguments)]
-fn run_cpu_batch(
+pub(crate) fn run_cpu_batch(
     matcher: &GpuAcMatcher,
     cfg: &ServeConfig,
     assembled: &AssembledBatch,
@@ -546,23 +546,25 @@ fn run_cpu_batch(
 }
 
 /// A batch whose kernel has been issued but whose readback is held
-/// until its stream is reused (staged issue, see module docs).
-struct PendingReadback {
-    stream: u32,
-    label: String,
-    d2h_seconds: f64,
-    rb_bytes: u64,
-    batch: Vec<ScanJob>,
-    per_job: Vec<Vec<ac_core::Match>>,
+/// until its stream is reused (staged issue, see module docs). Crate
+/// visibility: the fleet dispatcher ([`crate::fleet`]) holds the same
+/// structure per device, flushing through the shared bus arbiter.
+pub(crate) struct PendingReadback {
+    pub(crate) stream: u32,
+    pub(crate) label: String,
+    pub(crate) d2h_seconds: f64,
+    pub(crate) rb_bytes: u64,
+    pub(crate) batch: Vec<ScanJob>,
+    pub(crate) per_job: Vec<Vec<ac_core::Match>>,
     /// When the batch was dispatched (host bookkeeping for the service
     /// span; never fed back into timing).
-    dispatch_seconds: f64,
+    pub(crate) dispatch_seconds: f64,
     /// Supervised retries the batch absorbed.
-    retries: u64,
+    pub(crate) retries: u64,
 }
 
 /// Enqueue the held `d2h` and record its jobs' outcomes.
-fn flush_readback(
+pub(crate) fn flush_readback(
     engine: &mut StreamEngine,
     outcomes: &mut Vec<JobOutcome>,
     slo: &mut Option<AdmissionController>,
@@ -577,8 +579,36 @@ fn flush_readback(
         p.rb_bytes,
     );
     let done = engine.stream_ready(p.stream);
-    let batch_jobs = p.batch.len();
-    for (job, matches) in p.batch.into_iter().zip(p.per_job) {
+    record_gpu_outcomes(
+        done,
+        p.stream,
+        p.batch,
+        p.per_job,
+        p.dispatch_seconds,
+        p.retries,
+        outcomes,
+        slo,
+        tel,
+    );
+}
+
+/// Record the per-job outcomes of a completed GPU batch. Split out of
+/// [`flush_readback`] so the fleet path can reuse it with a device-global
+/// stream id after submitting the `d2h` through the bus arbiter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_gpu_outcomes(
+    done: f64,
+    stream: u32,
+    batch: Vec<ScanJob>,
+    per_job: Vec<Vec<ac_core::Match>>,
+    dispatch_seconds: f64,
+    retries: u64,
+    outcomes: &mut Vec<JobOutcome>,
+    slo: &mut Option<AdmissionController>,
+    tel: &mut Option<ServeTelemetry>,
+) {
+    let batch_jobs = batch.len();
+    for (job, matches) in batch.into_iter().zip(per_job) {
         let latency = done - job.arrival_seconds;
         if let Some(c) = slo.as_mut() {
             c.observe(latency);
@@ -589,17 +619,17 @@ fn flush_readback(
             completed_seconds: done,
             latency_seconds: latency,
             batch_jobs,
-            stream: p.stream,
+            stream,
             served_by: ServedBy::Gpu,
         };
         if let Some(t) = tel.as_mut() {
-            t.job_completed(&job, &outcome, p.dispatch_seconds, p.retries);
+            t.job_completed(&job, &outcome, dispatch_seconds, retries);
         }
         outcomes.push(outcome);
     }
 }
 
-fn rate(amount: f64, seconds: f64) -> f64 {
+pub(crate) fn rate(amount: f64, seconds: f64) -> f64 {
     if seconds <= 0.0 {
         0.0
     } else {

@@ -278,6 +278,10 @@ pub struct ServeTelemetry {
     registry: MetricsRegistry,
     recorder: FlightRecorder,
     payload_sample: Vec<u8>,
+    /// Fleet device context: when set, every emission carries a
+    /// `device=` arg. The single-device serve loop never sets it, so its
+    /// emissions are byte-identical to the pre-fleet recorder.
+    device: Option<u32>,
 }
 
 impl ServeTelemetry {
@@ -295,6 +299,19 @@ impl ServeTelemetry {
             registry: MetricsRegistry::new(&cfg),
             recorder: FlightRecorder::new(&cfg),
             payload_sample: Vec::new(),
+            device: None,
+        }
+    }
+
+    /// Set the fleet device context for subsequent emissions (`None` =
+    /// no `device=` args, the single-device convention).
+    pub(crate) fn set_device(&mut self, device: Option<u32>) {
+        self.device = device;
+    }
+
+    fn push_device_arg(&self, args: &mut Vec<(String, ArgValue)>) {
+        if let Some(d) = self.device {
+            args.push(("device".to_string(), ArgValue::U64(d as u64)));
         }
     }
 
@@ -325,6 +342,12 @@ impl ServeTelemetry {
             }
             let ts = self.cycles(job.arrival_seconds);
             let dur = self.cycles(dispatch_seconds).saturating_sub(ts);
+            let mut args = vec![
+                ("job".to_string(), ArgValue::U64(job.id)),
+                ("batch".to_string(), ArgValue::Str(label.to_string())),
+                ("route".to_string(), ArgValue::Str(route.to_string())),
+            ];
+            self.push_device_arg(&mut args);
             self.trace.span(
                 "queue-wait",
                 "serve-job",
@@ -332,24 +355,22 @@ impl ServeTelemetry {
                 job.priority as u32,
                 ts,
                 dur,
-                vec![
-                    ("job".to_string(), ArgValue::U64(job.id)),
-                    ("batch".to_string(), ArgValue::Str(label.to_string())),
-                    ("route".to_string(), ArgValue::Str(route.to_string())),
-                ],
+                args,
             );
         }
+        let mut args = vec![
+            ("batch".to_string(), ArgValue::Str(label.to_string())),
+            ("jobs".to_string(), ArgValue::U64(jobs.len() as u64)),
+            ("route".to_string(), ArgValue::Str(route.to_string())),
+        ];
+        self.push_device_arg(&mut args);
         self.trace.instant(
             "batch-formed",
             "serve-control",
             PID_SERVE_CONTROL,
             0,
             self.cycles(dispatch_seconds),
-            vec![
-                ("batch".to_string(), ArgValue::Str(label.to_string())),
-                ("jobs".to_string(), ArgValue::U64(jobs.len() as u64)),
-                ("route".to_string(), ArgValue::Str(route.to_string())),
-            ],
+            args,
         );
     }
 
@@ -369,6 +390,21 @@ impl ServeTelemetry {
         };
         let ts = self.cycles(dispatch_seconds);
         let dur = self.cycles(outcome.completed_seconds).saturating_sub(ts);
+        let mut args = vec![
+            ("job".to_string(), ArgValue::U64(outcome.id)),
+            ("served_by".to_string(), ArgValue::Str(tier.to_string())),
+            ("stream".to_string(), ArgValue::U64(outcome.stream as u64)),
+            (
+                "batch_jobs".to_string(),
+                ArgValue::U64(outcome.batch_jobs as u64),
+            ),
+            ("retries".to_string(), ArgValue::U64(retries)),
+            (
+                "latency_us".to_string(),
+                ArgValue::F64(outcome.latency_seconds * 1.0e6),
+            ),
+        ];
+        self.push_device_arg(&mut args);
         self.trace.span(
             "service",
             "serve-job",
@@ -376,20 +412,7 @@ impl ServeTelemetry {
             job.priority as u32,
             ts,
             dur,
-            vec![
-                ("job".to_string(), ArgValue::U64(outcome.id)),
-                ("served_by".to_string(), ArgValue::Str(tier.to_string())),
-                ("stream".to_string(), ArgValue::U64(outcome.stream as u64)),
-                (
-                    "batch_jobs".to_string(),
-                    ArgValue::U64(outcome.batch_jobs as u64),
-                ),
-                ("retries".to_string(), ArgValue::U64(retries)),
-                (
-                    "latency_us".to_string(),
-                    ArgValue::F64(outcome.latency_seconds * 1.0e6),
-                ),
-            ],
+            args,
         );
         self.registry
             .observe_completion(job.priority, outcome.latency_seconds);
@@ -516,16 +539,53 @@ impl ServeTelemetry {
         transitions: &[BreakerTransition],
         timeline: &StreamTimeline,
     ) -> TelemetryRun {
+        self.emit_breaker_instants(transitions, None);
+        let exemplars = self.emit_exemplars();
+        timeline.append_trace(&mut self.trace, self.clock_hz);
+        self.into_run(exemplars)
+    }
+
+    /// Fleet variant of [`ServeTelemetry::finish`]: each device's breaker
+    /// transitions become control-plane instants carrying a `device=`
+    /// arg, and each device's stream timeline is stitched into its own
+    /// pid plane ([`gpu_sim::device_pid_base`]), so a fleet trace keeps N
+    /// separable device tracks above the shared job/control planes.
+    pub(crate) fn finish_fleet(
+        mut self,
+        per_device: &[(Vec<BreakerTransition>, StreamTimeline)],
+    ) -> TelemetryRun {
+        for (d, (transitions, _)) in per_device.iter().enumerate() {
+            self.emit_breaker_instants(transitions, Some(d as u32));
+        }
+        let exemplars = self.emit_exemplars();
+        for (d, (_, timeline)) in per_device.iter().enumerate() {
+            timeline.append_trace_with_base(
+                &mut self.trace,
+                self.clock_hz,
+                gpu_sim::device_pid_base(d as u32),
+            );
+        }
+        self.into_run(exemplars)
+    }
+
+    fn emit_breaker_instants(&mut self, transitions: &[BreakerTransition], device: Option<u32>) {
         for t in transitions {
+            let mut args = vec![("reason".to_string(), ArgValue::Str(t.reason.clone()))];
+            if let Some(d) = device {
+                args.push(("device".to_string(), ArgValue::U64(d as u64)));
+            }
             self.trace.instant(
                 &format!("breaker-{}", t.to.label()),
                 "serve-control",
                 PID_SERVE_CONTROL,
                 0,
                 self.cycles(t.at_seconds),
-                vec![("reason".to_string(), ArgValue::Str(t.reason.clone()))],
+                args,
             );
         }
+    }
+
+    fn emit_exemplars(&mut self) -> Vec<Exemplar> {
         let exemplars =
             std::mem::replace(&mut self.recorder, FlightRecorder::new(&self.cfg)).into_exemplars();
         for ex in &exemplars {
@@ -564,7 +624,10 @@ impl ServeTelemetry {
                 ],
             );
         }
-        timeline.append_trace(&mut self.trace, self.clock_hz);
+        exemplars
+    }
+
+    fn into_run(self, exemplars: Vec<Exemplar>) -> TelemetryRun {
         TelemetryRun {
             trace: self.trace,
             samples: self.registry.samples,
@@ -824,7 +887,10 @@ pub fn render_slo_report(events: &[TraceEvent]) -> String {
         spans
     ));
 
-    // Breaker timeline from control-plane instants.
+    // Breaker timeline from control-plane instants. Fleet traces carry a
+    // `device=` arg on each instant (one breaker per device): those are
+    // grouped into one timeline section per device pid plane; a
+    // single-device trace (no device args) keeps the flat timeline.
     let mut transitions: Vec<&TraceEvent> = events
         .iter()
         .filter(|e| {
@@ -835,31 +901,48 @@ pub fn render_slo_report(events: &[TraceEvent]) -> String {
     if transitions.is_empty() {
         out.push_str("breaker: no transitions (never opened)\n");
     } else {
-        out.push_str("breaker timeline:\n");
+        let mut by_device: BTreeMap<Option<u64>, Vec<&TraceEvent>> = BTreeMap::new();
         for t in &transitions {
-            let state = t.name.trim_start_matches("breaker-");
-            let reason = arg_str(t, "reason").unwrap_or("");
-            out.push_str(&format!("  t={:>8} us  {:<9}  {}\n", t.ts, state, reason));
+            by_device.entry(arg_u64(t, "device")).or_default().push(t);
         }
-        let opens: Vec<u64> = transitions
-            .iter()
-            .filter(|t| t.name == "breaker-open")
-            .map(|t| t.ts)
-            .collect();
-        let closes: Vec<u64> = transitions
-            .iter()
-            .filter(|t| t.name == "breaker-closed")
-            .map(|t| t.ts)
-            .collect();
-        if let (Some(&first_open), Some(&last_close)) = (opens.first(), closes.last()) {
-            out.push_str(&format!(
-                "degraded window: {}-{} us ({} us)\n",
-                first_open,
-                last_close,
-                last_close.saturating_sub(first_open)
-            ));
-        } else if !opens.is_empty() {
-            out.push_str("degraded window: breaker opened but never closed in-run\n");
+        for (device, group) in &by_device {
+            match device {
+                Some(d) => out.push_str(&format!("breaker timeline: device {}\n", d)),
+                None => out.push_str("breaker timeline:\n"),
+            }
+            for t in group {
+                let state = t.name.trim_start_matches("breaker-");
+                let reason = arg_str(t, "reason").unwrap_or("");
+                out.push_str(&format!("  t={:>8} us  {:<9}  {}\n", t.ts, state, reason));
+            }
+            let opens: Vec<u64> = group
+                .iter()
+                .filter(|t| t.name == "breaker-open")
+                .map(|t| t.ts)
+                .collect();
+            let closes: Vec<u64> = group
+                .iter()
+                .filter(|t| t.name == "breaker-closed")
+                .map(|t| t.ts)
+                .collect();
+            let label = match device {
+                Some(d) => format!("degraded window (device {})", d),
+                None => "degraded window".to_string(),
+            };
+            if let (Some(&first_open), Some(&last_close)) = (opens.first(), closes.last()) {
+                out.push_str(&format!(
+                    "{}: {}-{} us ({} us)\n",
+                    label,
+                    first_open,
+                    last_close,
+                    last_close.saturating_sub(first_open)
+                ));
+            } else if !opens.is_empty() {
+                out.push_str(&format!(
+                    "{}: breaker opened but never closed in-run\n",
+                    label
+                ));
+            }
         }
     }
     out.push('\n');
@@ -1108,6 +1191,69 @@ mod tests {
         // A clean trace degrades gracefully.
         let clean = render_slo_report(&[]);
         assert!(clean.contains("no transitions"), "{clean}");
+    }
+
+    #[test]
+    fn slo_report_groups_breaker_timelines_per_device() {
+        // A fleet trace carries `device=` args on its breaker instants
+        // (one breaker per device pid plane): the renderer must split the
+        // timeline into one section per device, each with its own
+        // degraded window, instead of interleaving unrelated breakers.
+        let mut t = ServeTelemetry::new(cfg(), 1.0e6);
+        t.tick(3.0, 0, 1, BreakerState::Closed);
+        let per_device = vec![
+            (
+                vec![
+                    BreakerTransition {
+                        at_seconds: 0.5,
+                        to: BreakerState::Open,
+                        reason: "3 consecutive batch failures".to_string(),
+                    },
+                    BreakerTransition {
+                        at_seconds: 1.5,
+                        to: BreakerState::Closed,
+                        reason: "2 probe successes".to_string(),
+                    },
+                ],
+                StreamTimeline::default(),
+            ),
+            (
+                vec![BreakerTransition {
+                    at_seconds: 2.5,
+                    to: BreakerState::Open,
+                    reason: "watchdog kill".to_string(),
+                }],
+                StreamTimeline::default(),
+            ),
+        ];
+        let run = t.finish_fleet(&per_device);
+        let json = run.chrome_json();
+        let events = trace::parse_chrome_json(&json, 1.0).expect("parses");
+        let report = render_slo_report(&events);
+        assert!(report.contains("breaker timeline: device 0"), "{report}");
+        assert!(report.contains("breaker timeline: device 1"), "{report}");
+        // Device 0 recovered; device 1 stayed open — the windows differ.
+        assert!(report.contains("degraded window (device 0):"), "{report}");
+        assert!(
+            report.contains("degraded window (device 1): breaker opened but never closed in-run"),
+            "{report}"
+        );
+        assert!(report.contains("watchdog kill"), "{report}");
+        // A single-device trace keeps the flat (unsectioned) heading.
+        let mut t1 = ServeTelemetry::new(cfg(), 1.0e6);
+        t1.tick(1.0, 0, 1, BreakerState::Closed);
+        let single = t1.finish(
+            &[BreakerTransition {
+                at_seconds: 0.5,
+                to: BreakerState::Open,
+                reason: "x".to_string(),
+            }],
+            &StreamTimeline::default(),
+        );
+        let events = trace::parse_chrome_json(&single.chrome_json(), 1.0).expect("parses");
+        let flat = render_slo_report(&events);
+        assert!(flat.contains("breaker timeline:\n"), "{flat}");
+        assert!(!flat.contains("device"), "{flat}");
     }
 
     #[test]

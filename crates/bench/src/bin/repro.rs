@@ -654,6 +654,23 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The fleet scenario rides along as well: the d1/d2/d4 device-scaling
+    // rows land in the report and the gate enforces d4 >= 2.5x d1 plus
+    // d1 == serve-batched-s1 parity on every diff.
+    eprintln!("running fleet serving scenarios (multi-device dispatcher)");
+    match bench::fleet_measurements() {
+        Ok(m) => {
+            measurements.extend(m);
+            match bench::check_fleet_scaling(&measurements) {
+                Ok(ratio) => eprintln!("fleet scaling holds: d4 at {ratio:.2}x d1 jobs/s"),
+                Err(why) => eprintln!("warning: fleet scaling not met: {why}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("error while running fleet serving scenarios: {e}");
+            std::process::exit(1);
+        }
+    }
     // So does the STT layout sweep: the gate diffs the 20k-pattern
     // crossover rows (compressed layouts vs the dense STT) on every run.
     eprintln!("running STT layout sweep (dictionaries up to 20k patterns)");

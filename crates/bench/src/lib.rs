@@ -21,6 +21,7 @@
 
 pub mod diff;
 pub mod figures;
+pub mod fleet;
 pub mod layout_sweep;
 pub mod measure;
 pub mod report;
@@ -31,6 +32,10 @@ pub mod workload;
 
 pub use diff::{diff_reports, DiffEntry, DiffReport, DiffThresholds};
 pub use figures::{Figure, FigureSet};
+pub use fleet::{
+    check_fleet_scaling, check_fleet_scaling_report, fleet_measurements, FLEET_SCALING_FLOOR,
+    FLEET_SCENARIOS,
+};
 pub use layout_sweep::{
     check_layout_crossover, check_layout_crossover_report, layout_sweep_measurements,
     tex_miss_share, LAYOUT_SWEEP_APPROACHES, LAYOUT_SWEEP_PATTERNS, LAYOUT_SWEEP_SIZE,

@@ -86,6 +86,10 @@ pub enum Command {
     /// Replay a synthetic open-loop serving workload through the batched
     /// multi-stream server and print the ServeReport.
     ServeSim,
+    /// Replay the serving workload through a multi-device fleet (sharded
+    /// dispatch, calibrated CPU/GPU cost routing, shared-bus contention)
+    /// and print the FleetReport.
+    FleetSim,
     /// Render an incident narrative from a serve telemetry trace
     /// (`acsim slo-report TRACE.json`).
     SloReport,
@@ -166,6 +170,14 @@ pub struct Options {
     /// `serve-sim`: SLO p99 target in microseconds; arms the admission
     /// controller (low-priority shedding + adaptive batch window).
     pub serve_p99_target_us: Option<u64>,
+    /// `fleet-sim` device count.
+    pub fleet_devices: u32,
+    /// `fleet-sim`: parity dispatch (argmin stream) instead of the
+    /// calibrated cost router.
+    pub fleet_no_routing: bool,
+    /// `fleet-sim`: scatter jobs at least this large across all devices
+    /// as overlap-padded shards.
+    pub fleet_shard_bytes: Option<usize>,
     /// Telemetry trace to summarise (`slo-report`).
     pub slo_trace: Option<PathBuf>,
     /// `hot`: number of states/patterns to print.
@@ -201,6 +213,10 @@ pub const USAGE: &str = "usage:
                 [--job-bytes N] [--queue-cap N] [--no-batch] [--deadline-us N]
                 [--p99-target-us N] [--chaos [--fault-seed N]] [--fermi] [--report FILE]
                 [--trace-out FILE] [--metrics-out FILE]
+  acsim fleet-sim [--devices D] [--no-routing] [--shard-bytes N] [--jobs N]
+                [--arrival-rate R] [--streams S] [--seed N] [--job-bytes N]
+                [--queue-cap N] [--no-batch] [--deadline-us N] [--p99-target-us N]
+                [--fermi] [--report FILE] [--trace-out FILE] [--metrics-out FILE]
   acsim slo-report TRACE.json
   acsim hot     --patterns FILE --input FILE [--engine gpu:*] [--fermi] [--top N]
                 [--json] [--folded-out FILE]
@@ -232,6 +248,16 @@ lowest priorities, widens the batch window under pressure); --chaos runs
 the seeded fault-storm soak on the pinned smoke scenario (load-shaping
 flags do not apply; --fault-seed places the storm, --seed reshuffles
 payloads) and exits non-zero if any resilience invariant is violated.
+`fleet-sim` replays the same workload through N simulated devices behind one
+dispatcher: jobs route to the cheapest tier (each GPU or the host CPU ladder)
+via a warmup-calibrated cost model refined online, every h2d/d2h crosses a
+shared PCIe-bus arbiter, and --shard-bytes scatters oversized jobs across all
+devices as overlap-padded shards merged exactly-once. --devices sets the
+fleet size (--streams is per device); --no-routing uses parity dispatch
+(least-loaded stream), which at --devices 1 is bit-identical to serve-sim;
+--report writes the FleetReport (per-device, per-tier and bus statistics) as
+JSON; --trace-out/--metrics-out export fleet telemetry (per-device track
+groups, device-tagged breaker transitions).
 `slo-report` reads a `serve-sim --trace-out` telemetry trace and renders an
 incident narrative: breaker timeline, pressure-counter arcs, admission
 decisions, the dominant pattern-cost classes from the attribution replay,
@@ -266,6 +292,7 @@ where
             None => return Err(ParseError(format!("bench needs a subcommand\n{USAGE}"))),
         },
         Some("serve-sim") => Command::ServeSim,
+        Some("fleet-sim") => Command::FleetSim,
         Some("slo-report") => Command::SloReport,
         Some("hot") => Command::Hot,
         Some(other) => return Err(ParseError(format!("unknown command '{other}'\n{USAGE}"))),
@@ -299,6 +326,10 @@ where
     let mut serve_deadline_us: Option<u64> = None;
     let mut serve_p99_target_us: Option<u64> = None;
     let mut serve_flag_seen = false;
+    let mut fleet_devices = 2u32;
+    let mut fleet_no_routing = false;
+    let mut fleet_shard_bytes: Option<usize> = None;
+    let mut fleet_flag_seen = false;
     let mut top = 10usize;
     let mut top_seen = false;
     let mut folded_out: Option<PathBuf> = None;
@@ -439,6 +470,18 @@ where
                 serve_p99_target_us = Some(number("--p99-target-us", it.next())?);
                 serve_flag_seen = true;
             }
+            "--devices" => {
+                fleet_devices = number("--devices", it.next())?;
+                fleet_flag_seen = true;
+            }
+            "--no-routing" => {
+                fleet_no_routing = true;
+                fleet_flag_seen = true;
+            }
+            "--shard-bytes" => {
+                fleet_shard_bytes = Some(number("--shard-bytes", it.next())?);
+                fleet_flag_seen = true;
+            }
             "--top" => {
                 top = number("--top", it.next())?;
                 top_seen = true;
@@ -492,19 +535,42 @@ where
             "--max-gbps-drop/--max-cycles-rise/--max-stall-shift only apply to `bench diff`".into(),
         ));
     }
-    if report_out.is_some() && !matches!(command, Command::BenchDiff | Command::ServeSim) {
+    if report_out.is_some()
+        && !matches!(
+            command,
+            Command::BenchDiff | Command::ServeSim | Command::FleetSim
+        )
+    {
         return Err(ParseError(
-            "--report only applies to `bench diff` and `serve-sim`".into(),
+            "--report only applies to `bench diff`, `serve-sim` and `fleet-sim`".into(),
         ));
     }
-    if serve_flag_seen && command != Command::ServeSim {
+    if serve_flag_seen && !matches!(command, Command::ServeSim | Command::FleetSim) {
         return Err(ParseError(
             "--jobs/--arrival-rate/--streams/--seed/--job-bytes/--queue-cap/--no-batch/\
-             --chaos/--deadline-us/--p99-target-us only apply to `serve-sim`"
+             --chaos/--deadline-us/--p99-target-us only apply to `serve-sim` and `fleet-sim`"
                 .into(),
         ));
     }
-    if command == Command::ServeSim {
+    if fleet_flag_seen && command != Command::FleetSim {
+        return Err(ParseError(
+            "--devices/--no-routing/--shard-bytes only apply to `fleet-sim`".into(),
+        ));
+    }
+    if command == Command::FleetSim {
+        if fleet_devices == 0 {
+            return Err(ParseError("--devices must be positive".into()));
+        }
+        if fleet_shard_bytes == Some(0) {
+            return Err(ParseError("--shard-bytes must be positive".into()));
+        }
+        if serve_chaos {
+            return Err(ParseError(
+                "--chaos only applies to `serve-sim` (the soak is single-device)".into(),
+            ));
+        }
+    }
+    if matches!(command, Command::ServeSim | Command::FleetSim) {
         if serve_jobs == 0 {
             return Err(ParseError("--jobs must be positive".into()));
         }
@@ -557,11 +623,11 @@ where
     }
     let patterns = if matches!(
         command,
-        Command::BenchDiff | Command::ServeSim | Command::SloReport
+        Command::BenchDiff | Command::ServeSim | Command::FleetSim | Command::SloReport
     ) {
-        // `bench diff` works on committed reports, `serve-sim` extracts
-        // its dictionary from the synthetic corpus, and `slo-report`
-        // reads a recorded trace.
+        // `bench diff` works on committed reports, `serve-sim` and
+        // `fleet-sim` extract their dictionary from the synthetic corpus,
+        // and `slo-report` reads a recorded trace.
         patterns.unwrap_or_default()
     } else {
         patterns.ok_or_else(|| ParseError("--patterns is required".into()))?
@@ -582,13 +648,17 @@ where
         ));
     }
     if trace_out.is_some() || metrics_out.is_some() {
-        if !matches!(command, Command::Match | Command::ServeSim) {
+        if !matches!(
+            command,
+            Command::Match | Command::ServeSim | Command::FleetSim
+        ) {
             return Err(ParseError(
-                "--trace-out/--metrics-out only apply to `match` and `serve-sim`".into(),
+                "--trace-out/--metrics-out only apply to `match`, `serve-sim` and `fleet-sim`"
+                    .into(),
             ));
         }
-        // `serve-sim` always drives the simulated device; `match` only
-        // does under a gpu:* engine or the resilient ladder.
+        // `serve-sim`/`fleet-sim` always drive the simulated devices;
+        // `match` only does under a gpu:* engine or the resilient ladder.
         let gpu_engine = !matches!(engine, Engine::Serial | Engine::Parallel);
         if command == Command::Match && !gpu_engine && !resilient {
             return Err(ParseError(
@@ -628,6 +698,9 @@ where
         serve_chaos,
         serve_deadline_us,
         serve_p99_target_us,
+        fleet_devices,
+        fleet_no_routing,
+        fleet_shard_bytes,
         slo_trace,
         top,
         folded_out,
@@ -1093,6 +1166,62 @@ mod tests {
         // Still rejected where there is nothing to record.
         assert!(p(&["stats", "--patterns", "d", "--trace-out", "t"]).is_err());
         assert!(p(&["bench", "diff", "a", "b", "--metrics-out", "m"]).is_err());
+    }
+
+    #[test]
+    fn fleet_sim_parses_with_defaults_and_overrides() {
+        let o = p(&["fleet-sim"]).unwrap();
+        assert_eq!(o.command, Command::FleetSim);
+        assert_eq!(o.fleet_devices, 2);
+        assert!(!o.fleet_no_routing);
+        assert_eq!(o.fleet_shard_bytes, None);
+        // Serve load-shaping flags carry over (per-device semantics).
+        assert_eq!(o.serve_jobs, 512);
+        assert_eq!(o.serve_streams, 4);
+
+        let o = p(&[
+            "fleet-sim",
+            "--devices",
+            "4",
+            "--no-routing",
+            "--shard-bytes",
+            "65536",
+            "--jobs",
+            "128",
+            "--streams",
+            "1",
+            "--report",
+            "fleet.json",
+            "--trace-out",
+            "t.json",
+        ])
+        .unwrap();
+        assert_eq!(o.fleet_devices, 4);
+        assert!(o.fleet_no_routing);
+        assert_eq!(o.fleet_shard_bytes, Some(65536));
+        assert_eq!(o.serve_jobs, 128);
+        assert_eq!(o.serve_streams, 1);
+        assert_eq!(
+            o.report_out.as_deref(),
+            Some(std::path::Path::new("fleet.json"))
+        );
+        assert_eq!(o.trace_out.as_deref(), Some(std::path::Path::new("t.json")));
+    }
+
+    #[test]
+    fn fleet_sim_flags_are_scoped_and_validated() {
+        // Fleet flags leak nowhere else.
+        assert!(p(&["serve-sim", "--devices", "2"]).is_err());
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--no-routing"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "--shard-bytes", "4096"]).is_err());
+        // Zeroes are rejected, as is the single-device chaos soak.
+        assert!(p(&["fleet-sim", "--devices", "0"]).is_err());
+        assert!(p(&["fleet-sim", "--shard-bytes", "0"]).is_err());
+        assert!(p(&["fleet-sim", "--jobs", "0"]).is_err());
+        assert!(p(&["fleet-sim", "--chaos"]).is_err());
+        assert!(p(&["fleet-sim", "--fault-seed", "3"]).is_err());
+        // Missing operands are rejected.
+        assert!(p(&["fleet-sim", "--devices"]).is_err());
     }
 
     #[test]

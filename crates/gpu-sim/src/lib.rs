@@ -55,6 +55,7 @@
 //! ```
 
 pub mod attrib;
+pub mod bus;
 pub mod config;
 pub mod constant;
 pub mod device;
@@ -70,6 +71,7 @@ pub mod stream;
 pub mod texture;
 
 pub use attrib::{Attribution, AttributionConfig, LaneAttr, SmAttribution};
+pub use bus::{BusConfig, BusStats, PcieBusArbiter};
 pub use config::GpuConfig;
 pub use constant::{ConstId, ConstantBuffer};
 pub use device::{GpuDevice, LaunchConfig, Launched};
@@ -81,7 +83,8 @@ pub use kernel::{StepOutcome, WarpCtx, WarpGeometry, WarpProgram};
 pub use shared::SharedMemory;
 pub use stats::{LaunchStats, LoadImbalance, SmStats};
 pub use stream::{
-    EngineKind, EventId, ScheduledOp, StreamEngine, StreamOpKind, StreamTimeline, PID_STREAM_BASE,
+    device_pid_base, EngineKind, EventId, ScheduledOp, StreamEngine, StreamOpKind, StreamTimeline,
+    DEVICE_PID_STRIDE, PID_STREAM_BASE,
 };
 pub use texture::{TexId, Texture2d};
 

@@ -37,6 +37,18 @@ use trace::{ArgValue, TraceBuffer, TraceConfig};
 pub const PID_STREAM_BASE: u32 = 16;
 const _: () = assert!(PID_STREAM_BASE >= trace::PID_SERVE_LIMIT);
 
+/// Pid stride between devices in a stitched multi-device trace: device
+/// `d`'s stream rows live at pids `device_pid_base(d) ..
+/// device_pid_base(d) + DEVICE_PID_STRIDE`, so a fleet trace keeps each
+/// device's streams in its own disjoint pid plane. Device 0's plane is
+/// exactly the single-device plane ([`PID_STREAM_BASE`]).
+pub const DEVICE_PID_STRIDE: u32 = 16;
+
+/// First Chrome-trace pid for `device`'s stream rows.
+pub fn device_pid_base(device: u32) -> u32 {
+    PID_STREAM_BASE + device * DEVICE_PID_STRIDE
+}
+
 /// What an operation does, which determines the engine it occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StreamOpKind {
@@ -153,6 +165,25 @@ impl StreamEngine {
             }
         }
         best
+    }
+
+    /// When an op of `kind` submitted to `stream` with host release time
+    /// `not_before` would start, without scheduling anything. This is the
+    /// exact start computation of [`StreamEngine::submit_at`] (stream
+    /// program order, awaited events, engine FIFO availability) with no
+    /// state mutated — a fleet dispatcher uses it to ask a shared bus
+    /// arbiter for a release time and then submits at the granted time.
+    pub fn earliest_start(&self, stream: u32, kind: StreamOpKind, not_before: f64) -> f64 {
+        let s = stream as usize;
+        let mut ready = self.stream_ready[s].max(not_before);
+        for &ev in &self.pending_waits[s] {
+            ready = ready.max(self.events[ev]);
+        }
+        let engine_free = match kind.engine() {
+            EngineKind::Copy => self.copy_free,
+            EngineKind::Compute => self.compute_free,
+        };
+        ready.max(engine_free)
     }
 
     /// Submit an op released to the device at time 0.
@@ -296,6 +327,14 @@ impl StreamTimeline {
     /// the stream ops that served them (pids ≥ [`PID_STREAM_BASE`]) into
     /// one Chrome trace.
     pub fn append_trace(&self, tb: &mut TraceBuffer, clock_hz: f64) {
+        self.append_trace_with_base(tb, clock_hz, PID_STREAM_BASE);
+    }
+
+    /// Like [`StreamTimeline::append_trace`], but rooted at an arbitrary
+    /// pid plane. Fleet traces stitch device `d`'s timeline at
+    /// [`device_pid_base`]`(d)` so each device's streams stay visually
+    /// and programmatically separable.
+    pub fn append_trace_with_base(&self, tb: &mut TraceBuffer, clock_hz: f64, pid_base: u32) {
         for op in &self.ops {
             let start = (op.start * clock_hz).round() as u64;
             let dur = (op.seconds() * clock_hz).round() as u64;
@@ -315,7 +354,7 @@ impl StreamTimeline {
             tb.span(
                 &format!("{}:{}", op.kind.label(), op.label),
                 "stream",
-                PID_STREAM_BASE + op.stream,
+                pid_base + op.stream,
                 0,
                 start,
                 dur,
@@ -434,6 +473,54 @@ mod tests {
         let pids: Vec<u32> = tb.events().iter().map(|ev| ev.pid).collect();
         assert!(pids.contains(&PID_STREAM_BASE));
         assert!(pids.contains(&(PID_STREAM_BASE + 1)));
+    }
+
+    #[test]
+    fn earliest_start_matches_submit_at_without_mutating() {
+        let mut e = StreamEngine::new(2);
+        e.submit(0, StreamOpKind::CopyH2D, "a", 2.0, 64);
+        e.submit(0, StreamOpKind::Kernel, "a", 10.0, 0);
+        let ev = e.record_event(0);
+        e.wait_event(1, ev);
+        for &(stream, kind, not_before) in &[
+            (1, StreamOpKind::CopyH2D, 0.5),
+            (1, StreamOpKind::Kernel, 0.0),
+            (0, StreamOpKind::CopyD2H, 3.0),
+        ] {
+            let predicted = e.earliest_start(stream, kind, not_before);
+            let mut probe = e.clone();
+            let op = probe.submit_at(stream, kind, "probe", 1.0, 0, not_before);
+            assert_eq!(predicted, op.start, "stream {stream} {kind:?}");
+        }
+        // The query drained nothing: submitting for real still honours
+        // the pending event wait.
+        let dep = e.submit(1, StreamOpKind::Kernel, "b", 1.0, 0);
+        assert_eq!(dep.start, 12.0);
+    }
+
+    #[test]
+    fn device_pid_planes_are_disjoint() {
+        assert_eq!(device_pid_base(0), PID_STREAM_BASE);
+        assert_eq!(device_pid_base(1), PID_STREAM_BASE + DEVICE_PID_STRIDE);
+        assert!(device_pid_base(1) > device_pid_base(0) + 15);
+    }
+
+    #[test]
+    fn append_trace_with_base_relocates_pids_only() {
+        let mut e = StreamEngine::new(2);
+        e.submit(0, StreamOpKind::CopyH2D, "s0", 1.0, 64);
+        e.submit(1, StreamOpKind::Kernel, "s1", 2.0, 0);
+        let t = e.finish();
+        let mut base_tb = TraceBuffer::default();
+        t.append_trace(&mut base_tb, 1.0e6);
+        let mut dev1_tb = TraceBuffer::default();
+        t.append_trace_with_base(&mut dev1_tb, 1.0e6, device_pid_base(1));
+        assert_eq!(base_tb.len(), dev1_tb.len());
+        for (a, b) in base_tb.events().iter().zip(dev1_tb.events()) {
+            assert_eq!(a.pid + DEVICE_PID_STRIDE, b.pid);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.ts, b.ts);
+        }
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Fleet sharding exactness: splitting a corpus into overlap-padded
+//! per-device segments and merging the demuxed matches must reproduce a
+//! single-device scan *exactly* — every match found once, none lost at a
+//! shard boundary, none duplicated in the overlap. Pinned by proptest
+//! over randomized pattern sets, texts and shard counts, plus structural
+//! properties of the plan itself (full coverage, exact
+//! `required_overlap()` adjacency).
+
+use ac_core::{AcAutomaton, PatternSet};
+use ac_serve::{merge_shard_matches, plan_shards, serve_fleet, FleetConfig, ScanJob, ServeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The plan is a partition: owned ranges tile `[0, len)` in order
+    /// with no gaps, and each scan window extends exactly `overlap`
+    /// bytes past its owned end (clamped at the corpus tail).
+    #[test]
+    fn shard_plan_partitions_and_overlaps_exactly(
+        len in 0usize..10_000,
+        shards in 1u32..9,
+        overlap in 0usize..32,
+    ) {
+        let segs = plan_shards(len, shards, overlap);
+        if len == 0 {
+            prop_assert!(segs.is_empty());
+            return Ok(());
+        }
+        prop_assert_eq!(segs[0].owned_start, 0);
+        prop_assert_eq!(segs.last().unwrap().owned_end, len);
+        for seg in &segs {
+            prop_assert!(seg.owned_start < seg.owned_end, "empty owner");
+            prop_assert_eq!(seg.scan_start, seg.owned_start);
+            prop_assert_eq!(seg.scan_end, (seg.owned_end + overlap).min(len));
+        }
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].owned_end, w[1].owned_start, "gap or overlap in owners");
+            // Adjacent scan windows share exactly the overlap region
+            // (the clamp can only bite on the final segment).
+            prop_assert_eq!(
+                w[0].scan_end - w[1].scan_start,
+                overlap.min(len - w[1].scan_start)
+            );
+        }
+    }
+
+    /// Exactly-once merging: scanning each segment's window independently
+    /// and keeping matches that *start* in the owned range reproduces the
+    /// serial scan bit-for-bit, for any pattern set and shard count.
+    #[test]
+    fn merged_shard_matches_equal_serial_scan(
+        pats in proptest::collection::vec("[abc]{1,6}", 1..8),
+        text in "[abc]{0,600}",
+        shards in 1u32..7,
+    ) {
+        let refs: Vec<&str> = pats.iter().map(String::as_str).collect();
+        let ps = PatternSet::from_strs(&refs).unwrap();
+        let ac = AcAutomaton::build(&ps);
+        let data = text.as_bytes();
+        let overlap = ac.required_overlap();
+
+        let segs = plan_shards(data.len(), shards, overlap);
+        let per_seg: Vec<_> = segs
+            .iter()
+            .map(|s| ac.find_all(&data[s.scan_start..s.scan_end]))
+            .collect();
+        let merged = merge_shard_matches(&segs, &per_seg);
+
+        let mut serial = ac.find_all(data);
+        serial.sort();
+        prop_assert_eq!(merged, serial);
+    }
+}
+
+#[test]
+fn fleet_scatter_union_equals_single_device_scan() {
+    use ac_gpu::{GpuAcMatcher, KernelParams};
+    use gpu_sim::GpuConfig;
+
+    // End-to-end: one oversized job dispatched through the routed fleet's
+    // scatter path (real simulated kernels per segment, shared-bus
+    // transfers) must answer with exactly the single-device match set.
+    let cfg = GpuConfig::gtx285();
+    let ac = ac_serve::serve_automaton(ac_serve::DEFAULT_PATTERNS, 13);
+    let matcher = GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap();
+
+    let payload: Vec<u8> = b"the king and her mother were singing a motion "
+        .iter()
+        .cycle()
+        .take(384 * 1024)
+        .copied()
+        .collect();
+    let mut serial = matcher.automaton().find_all(&payload);
+    serial.sort();
+    assert!(!serial.is_empty(), "fixture must produce matches");
+
+    for devices in [2u32, 3, 4] {
+        let mut fcfg = FleetConfig::new(devices, ServeConfig::new(1));
+        fcfg.shard_bytes = Some(64 * 1024);
+        let run =
+            serve_fleet(&matcher, vec![ScanJob::new(0, payload.clone(), 0.0)], &fcfg).unwrap();
+        assert_eq!(run.report.scattered_jobs, 1, "devices={devices}");
+        let out = &run.serve.outcomes[0];
+        assert_eq!(
+            out.matches, serial,
+            "devices={devices}: sharded union diverged from serial scan"
+        );
+    }
+}
