@@ -34,11 +34,13 @@ pub mod error;
 pub mod kernels;
 pub mod layout;
 pub mod multistream;
+pub mod pool;
 pub mod readback;
 pub mod runner;
 pub mod stream;
 pub mod stt_layout;
 pub mod supervise;
+pub mod table;
 pub mod upload;
 
 pub use error::{ErrorClass, GpuError, PcieError, UploadError};
@@ -48,6 +50,7 @@ pub use kernels::{
 };
 pub use layout::{DiagonalMap, KernelParams, LinearMap, Plan};
 pub use multistream::{run_multistream, MultiStreamConfig, MultiStreamRun};
+pub use pool::{DevicePool, DevicePoolConfig, DevicePoolStats, PooledBuffer, MIN_CLASS_BYTES};
 pub use readback::ReadbackCorruption;
 pub use runner::{Approach, GpuAcMatcher, GpuRun, RunOptions, WorkloadAttribution};
 pub use stream::{run_streamed, run_streamed_supervised, PcieConfig, StreamedRun};
@@ -55,5 +58,6 @@ pub use stt_layout::{
     layout_footprints, pick_layout, LayoutChoice, LayoutFootprint, LayoutProbe, SttLayout,
 };
 pub use supervise::{run_supervised, SuperviseConfig, SuperviseReport, Supervised};
+pub use table::{DeviceTableU32, HostTableU32};
 pub use trace::{TraceBuffer, TraceConfig};
 pub use upload::{DevicePfac, DeviceStt, MATCH_BIT, PFAC_STOP, STATE_MASK};

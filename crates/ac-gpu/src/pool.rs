@@ -1,0 +1,388 @@
+//! A size-classed device-memory pool with RAII buffer handles.
+//!
+//! The serving path allocates two device buffers per batch (corpus in,
+//! results out) and threw both away after every dispatch — on real
+//! hardware that is a `cudaMalloc`/`cudaFree` driver round-trip per
+//! buffer per batch, which dominates small-batch economics. [`DevicePool`]
+//! sits in front of a [`DeviceAllocator`] and recycles returned buffers
+//! through power-of-two size classes: an acquire that finds a cached
+//! block of its class is a **hit** (no allocator traffic, no driver
+//! cycles); a miss falls through to the allocator and pays the usual
+//! [`gpu_sim::ALLOC_CYCLES`]. Dropping a [`PooledBuffer`] returns it to
+//! its class (reuse on) or frees it immediately (reuse off — the churn
+//! baseline the bench rows compare against).
+//!
+//! The pool models the *allocator* half of steady-state serving; it holds
+//! no payload bytes. Callers still price the H2D/D2H transfers through
+//! [`crate::PcieConfig`].
+
+use gpu_sim::{DeviceAllocator, DeviceError};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Smallest size class, so tiny result frames share a class instead of
+/// fragmenting the allocator.
+pub const MIN_CLASS_BYTES: u64 = 4096;
+
+/// Configuration of a [`DevicePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DevicePoolConfig {
+    /// Device bytes the pool's allocator manages.
+    pub capacity_bytes: u64,
+    /// Recycle returned buffers through size classes. Off = every release
+    /// frees immediately (the allocation-churn baseline).
+    pub reuse: bool,
+}
+
+impl DevicePoolConfig {
+    /// A reusing pool over `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        DevicePoolConfig {
+            capacity_bytes,
+            reuse: true,
+        }
+    }
+
+    /// The same pool with reuse disabled (alloc/free per acquire).
+    pub fn churn(capacity_bytes: u64) -> Self {
+        DevicePoolConfig {
+            capacity_bytes,
+            reuse: false,
+        }
+    }
+}
+
+/// Cumulative pool activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DevicePoolStats {
+    /// Buffer acquisitions. Invariant: `hits + misses == acquires`.
+    pub acquires: u64,
+    /// Acquisitions served from a cached same-class block.
+    pub hits: u64,
+    /// Acquisitions that fell through to the device allocator.
+    pub misses: u64,
+    /// Buffers returned (dropped handles).
+    pub releases: u64,
+    /// Bytes currently owned by the pool: outstanding handles plus cached
+    /// free-class blocks.
+    pub resident_bytes: u64,
+    /// Largest `resident_bytes` ever.
+    pub high_water_bytes: u64,
+    /// Host cycles charged to the underlying allocator's driver calls
+    /// (hits cost none — that is the pool's whole point).
+    pub host_cycles: u64,
+}
+
+impl DevicePoolStats {
+    /// Hit rate in [0, 1]; 1.0 for an untouched pool.
+    pub fn hit_rate(&self) -> f64 {
+        if self.acquires == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.acquires as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    alloc: DeviceAllocator,
+    reuse: bool,
+    /// Cached free blocks by size class (class = padded power-of-two).
+    classes: BTreeMap<u64, Vec<u64>>,
+    cached_bytes: u64,
+    stats: DevicePoolStats,
+}
+
+impl PoolInner {
+    fn class_of(bytes: u64) -> u64 {
+        bytes.max(1).next_power_of_two().max(MIN_CLASS_BYTES)
+    }
+
+    fn refresh_stats(&mut self) {
+        let a = self.alloc.stats();
+        // Every block the allocator holds live belongs to the pool: either
+        // out as a handle or cached in a class list.
+        self.stats.resident_bytes = a.live_bytes;
+        self.stats.high_water_bytes = self.stats.high_water_bytes.max(a.live_bytes);
+        self.stats.host_cycles = a.host_cycles;
+    }
+
+    fn acquire(&mut self, bytes: u64) -> Result<(u64, u64), DeviceError> {
+        let class = Self::class_of(bytes);
+        self.stats.acquires += 1;
+        if let Some(list) = self.classes.get_mut(&class) {
+            if let Some(addr) = list.pop() {
+                self.stats.hits += 1;
+                self.cached_bytes -= class;
+                self.refresh_stats();
+                return Ok((addr, class));
+            }
+        }
+        self.stats.misses += 1;
+        let addr = self.alloc.alloc(class)?;
+        self.refresh_stats();
+        Ok((addr, class))
+    }
+
+    fn release(&mut self, addr: u64, class: u64) {
+        self.stats.releases += 1;
+        if self.reuse {
+            self.classes.entry(class).or_default().push(addr);
+            self.cached_bytes += class;
+        } else {
+            self.alloc
+                .free(addr)
+                .expect("pool handle frees a live allocation");
+        }
+        self.refresh_stats();
+    }
+}
+
+/// A size-classed pool over one device's memory. Cheap to clone (shared
+/// handle); not `Send` — per-device pools live with their device's
+/// dispatch loop.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl DevicePool {
+    /// An empty pool over `cfg.capacity_bytes` of device memory.
+    pub fn new(cfg: DevicePoolConfig) -> Self {
+        DevicePool {
+            inner: Rc::new(RefCell::new(PoolInner {
+                alloc: DeviceAllocator::new(cfg.capacity_bytes),
+                reuse: cfg.reuse,
+                classes: BTreeMap::new(),
+                cached_bytes: 0,
+                stats: DevicePoolStats::default(),
+            })),
+        }
+    }
+
+    /// Acquire a buffer of at least `bytes` (padded to its size class).
+    /// The handle returns the block on drop.
+    pub fn acquire(&self, bytes: u64) -> Result<PooledBuffer, DeviceError> {
+        let (addr, class) = self.inner.borrow_mut().acquire(bytes)?;
+        Ok(PooledBuffer {
+            addr,
+            class,
+            requested: bytes,
+            inner: Rc::clone(&self.inner),
+        })
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DevicePoolStats {
+        self.inner.borrow().stats
+    }
+
+    /// Host cycles the allocator has charged so far (misses and churn
+    /// frees; hits are free).
+    pub fn host_cycles(&self) -> u64 {
+        self.inner.borrow().alloc.stats().host_cycles
+    }
+
+    /// Release every cached class block and assert the serve-path leak
+    /// check: with all handles dropped and caches drained, the underlying
+    /// allocator must hold zero live blocks.
+    ///
+    /// # Panics
+    /// If any [`PooledBuffer`] is still outstanding — a serve-path leak.
+    pub fn drain(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let cached: Vec<u64> = inner
+            .classes
+            .values_mut()
+            .flat_map(std::mem::take)
+            .collect();
+        for addr in cached {
+            inner
+                .alloc
+                .free(addr)
+                .expect("cached pool block frees cleanly");
+        }
+        inner.cached_bytes = 0;
+        assert!(
+            inner.alloc.is_drained(),
+            "device pool leak: {} block(s) still live at drain: {:?}",
+            inner.alloc.stats().live_blocks,
+            inner.alloc.live_blocks()
+        );
+        inner.refresh_stats();
+    }
+}
+
+/// RAII handle to a pooled device buffer; dropping it returns the block
+/// to the pool.
+#[derive(Debug)]
+pub struct PooledBuffer {
+    addr: u64,
+    class: u64,
+    requested: u64,
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl PooledBuffer {
+    /// Device address of the block.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Usable size (the padded size class).
+    pub fn len(&self) -> u64 {
+        self.class
+    }
+
+    /// Whether the class is empty (never: classes have a positive floor).
+    pub fn is_empty(&self) -> bool {
+        self.class == 0
+    }
+
+    /// The size originally requested.
+    pub fn requested(&self) -> u64 {
+        self.requested
+    }
+}
+
+impl Drop for PooledBuffer {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().release(self.addr, self.class);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reuse_hits_after_the_first_round() {
+        let pool = DevicePool::new(DevicePoolConfig::new(1 << 20));
+        for round in 0..3 {
+            let corpus = pool.acquire(64 * 1024).unwrap();
+            let result = pool.acquire(1024).unwrap();
+            assert_ne!(corpus.addr(), result.addr());
+            drop(corpus);
+            drop(result);
+            let s = pool.stats();
+            assert_eq!(s.acquires, 2 * (round + 1));
+            if round == 0 {
+                assert_eq!(s.misses, 2);
+            }
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, s.acquires);
+        assert_eq!(s.misses, 2, "only the first round allocates");
+        assert_eq!(s.hits, 4);
+        // Hits cost no driver cycles: 2 allocs worth, no frees yet.
+        assert_eq!(s.host_cycles, 2 * gpu_sim::ALLOC_CYCLES);
+        pool.drain();
+        assert_eq!(pool.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn churn_mode_pays_the_allocator_every_round() {
+        let pool = DevicePool::new(DevicePoolConfig::churn(1 << 20));
+        for _ in 0..3 {
+            let b = pool.acquire(8192).unwrap();
+            drop(b);
+        }
+        let s = pool.stats();
+        assert_eq!(s.acquires, 3);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 0);
+        assert_eq!(
+            s.host_cycles,
+            3 * (gpu_sim::ALLOC_CYCLES + gpu_sim::FREE_CYCLES)
+        );
+        pool.drain();
+    }
+
+    #[test]
+    fn size_classes_round_up_and_share() {
+        let pool = DevicePool::new(DevicePoolConfig::new(1 << 20));
+        let a = pool.acquire(5000).unwrap(); // class 8192
+        assert_eq!(a.len(), 8192);
+        assert_eq!(a.requested(), 5000);
+        assert!(!a.is_empty());
+        let addr = a.addr();
+        drop(a);
+        // A different size in the same class reuses the block.
+        let b = pool.acquire(7000).unwrap();
+        assert_eq!(b.addr(), addr);
+        assert_eq!(pool.stats().hits, 1);
+        // Tiny requests share the floor class.
+        let c = pool.acquire(1).unwrap();
+        assert_eq!(c.len(), MIN_CLASS_BYTES);
+        drop(b);
+        drop(c);
+        pool.drain();
+    }
+
+    #[test]
+    #[should_panic(expected = "device pool leak")]
+    fn drain_panics_on_a_leaked_handle() {
+        let pool = DevicePool::new(DevicePoolConfig::new(1 << 20));
+        let held = pool.acquire(4096).unwrap();
+        pool.drain();
+        drop(held);
+    }
+
+    #[test]
+    fn oom_propagates_from_the_allocator() {
+        let pool = DevicePool::new(DevicePoolConfig::new(16 * 1024));
+        let _a = pool.acquire(8192).unwrap();
+        let _b = pool.acquire(8192).unwrap();
+        assert!(matches!(
+            pool.acquire(8192),
+            Err(DeviceError::OutOfDeviceMemory { .. })
+        ));
+    }
+
+    proptest! {
+        /// Pool invariants over arbitrary acquire/release interleavings:
+        /// live handles never overlap, stats conserve
+        /// (hits + misses == acquires), and draining after dropping every
+        /// handle leaves nothing live.
+        #[test]
+        fn pool_invariants_hold_over_random_interleavings(
+            ops in proptest::collection::vec(
+                (any::<u16>(), any::<bool>()),
+                1..60,
+            ),
+            reuse in any::<bool>(),
+        ) {
+            let cfg = DevicePoolConfig { capacity_bytes: 1 << 22, reuse };
+            let pool = DevicePool::new(cfg);
+            let mut held: Vec<PooledBuffer> = Vec::new();
+            for (size, release) in ops {
+                if release && !held.is_empty() {
+                    held.swap_remove(0);
+                } else if let Ok(buf) = pool.acquire(size as u64 + 1) {
+                    held.push(buf);
+                }
+                // No two outstanding handles overlap.
+                let mut spans: Vec<(u64, u64)> =
+                    held.iter().map(|b| (b.addr(), b.len())).collect();
+                spans.sort();
+                for w in spans.windows(2) {
+                    prop_assert!(
+                        w[0].0 + w[0].1 <= w[1].0,
+                        "handles overlap: {:?}",
+                        w
+                    );
+                }
+                let s = pool.stats();
+                prop_assert_eq!(s.hits + s.misses, s.acquires);
+                prop_assert!(s.resident_bytes <= s.high_water_bytes);
+            }
+            held.clear();
+            pool.drain();
+            prop_assert_eq!(pool.stats().resident_bytes, 0);
+        }
+    }
+}

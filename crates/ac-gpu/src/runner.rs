@@ -499,11 +499,7 @@ impl GpuAcMatcher {
     /// The device-layout STT texture (row == DFA state id), for mapping
     /// introspection residency/fetch data back to hot states.
     pub fn stt_texture(&self) -> gpu_sim::Texture2d {
-        gpu_sim::Texture2d::new(
-            self.dev_stt.entries.clone(),
-            self.dev_stt.rows,
-            self.dev_stt.cols,
-        )
+        self.dev_stt.table.texture()
     }
 
     fn run_on_device(
@@ -524,13 +520,9 @@ impl GpuAcMatcher {
 
         let (events, event_count, stats) = match approach {
             Approach::GlobalOnly => {
-                let tex = dev.bind_texture_2d(
-                    self.dev_stt.entries.clone(),
-                    self.dev_stt.rows,
-                    self.dev_stt.cols,
-                )?;
+                let stt = self.dev_stt.table.bind(dev)?;
                 let launched = dev.launch(launch, |geom| {
-                    GlobalOnlyKernel::new(geom, plan, text_base, out_base, tex, record)
+                    GlobalOnlyKernel::new(geom, plan, text_base, out_base, stt.tex, record)
                 })?;
                 collect(launched.programs, launched.stats, |p| p.take_results())
             }
@@ -540,22 +532,24 @@ impl GpuAcMatcher {
                     Approach::SharedCoalescedOnly => SharedVariant::CoalescedOnly,
                     _ => SharedVariant::Diagonal,
                 };
-                let tex = dev.bind_texture_2d(
-                    self.dev_stt.entries.clone(),
-                    self.dev_stt.rows,
-                    self.dev_stt.cols,
-                )?;
+                let stt = self.dev_stt.table.bind(dev)?;
                 let launched = dev.launch(launch, |geom| {
-                    SharedKernel::new(variant, geom, plan, text_base, out_base, tex, record)
+                    SharedKernel::new(variant, geom, plan, text_base, out_base, stt.tex, record)
                 })?;
                 collect(launched.programs, launched.stats, |p| p.take_results())
             }
             Approach::Pfac => {
                 let (_, dev_pfac) = self.pfac_tables();
-                let tex =
-                    dev.bind_texture_2d(dev_pfac.entries.clone(), dev_pfac.rows, dev_pfac.cols)?;
+                let goto = dev_pfac.table.bind(dev)?;
                 let launched = dev.launch(launch, |geom| {
-                    PfacKernel::new(geom, text.len() as u64, text_base, out_base, tex, record)
+                    PfacKernel::new(
+                        geom,
+                        text.len() as u64,
+                        text_base,
+                        out_base,
+                        goto.tex,
+                        record,
+                    )
                 })?;
                 collect(launched.programs, launched.stats, |p| p.take_results())
             }

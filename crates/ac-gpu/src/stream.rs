@@ -16,6 +16,7 @@ use crate::error::{GpuError, PcieError};
 use crate::runner::{Approach, GpuAcMatcher};
 use crate::supervise::{run_supervised, SuperviseConfig, SuperviseReport};
 use ac_core::Match;
+use gpu_sim::HostMemory;
 use serde::{Deserialize, Serialize};
 
 /// Host↔device link model.
@@ -25,21 +26,52 @@ pub struct PcieConfig {
     pub bandwidth_bytes_per_sec: f64,
     /// Per-transfer setup latency in seconds (driver + DMA start).
     pub latency_sec: f64,
+    /// Where host payloads live: pinned (the default, full link speed —
+    /// the legacy pricing) or pageable, which adds a host-side staging
+    /// memcpy before the DMA engine can run.
+    #[serde(default)]
+    pub host_memory: HostMemory,
 }
 
 impl PcieConfig {
     /// PCIe 2.0 ×16, the GTX 285's link: ~6 GB/s sustained of the 8 GB/s
-    /// peak, ~10 µs per transfer setup.
+    /// peak, ~10 µs per transfer setup. Pinned host staging.
     pub fn gen2_x16() -> Self {
         PcieConfig {
             bandwidth_bytes_per_sec: 6.0e9,
             latency_sec: 10.0e-6,
+            host_memory: HostMemory::pinned(),
         }
     }
 
-    /// Seconds to move `bytes` over the link.
+    /// The same link with pageable host memory: every transfer pays the
+    /// driver's bounce-buffer copy before DMA starts.
+    pub fn gen2_x16_pageable() -> Self {
+        PcieConfig {
+            host_memory: HostMemory::pageable_default(),
+            ..PcieConfig::gen2_x16()
+        }
+    }
+
+    /// This link with the given host-memory model.
+    pub fn with_host_memory(self, host_memory: HostMemory) -> Self {
+        PcieConfig {
+            host_memory,
+            ..self
+        }
+    }
+
+    /// Seconds to move `bytes` over the link (staging hop included for
+    /// pageable host memory).
     pub fn copy_seconds(&self, bytes: usize) -> f64 {
-        self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
+        self.host_memory
+            .transfer_seconds(bytes, self.bandwidth_bytes_per_sec, self.latency_sec)
+    }
+
+    /// Bytes the shared host bus observes for a transfer of `bytes`
+    /// (doubled for pageable memory: bounce-in + DMA-out).
+    pub fn bus_bytes(&self, bytes: u64) -> u64 {
+        self.host_memory.bus_bytes(bytes)
     }
 
     /// Validate.
@@ -47,6 +79,9 @@ impl PcieConfig {
         if self.bandwidth_bytes_per_sec <= 0.0 || self.latency_sec < 0.0 {
             return Err(PcieError::BadLink);
         }
+        self.host_memory
+            .validate()
+            .map_err(|_| PcieError::BadLink)?;
         Ok(())
     }
 }
@@ -306,7 +341,8 @@ mod tests {
         assert!((t - 1.0).abs() < 1e-3);
         assert!(PcieConfig {
             bandwidth_bytes_per_sec: 0.0,
-            latency_sec: 0.0
+            latency_sec: 0.0,
+            host_memory: HostMemory::pinned(),
         }
         .validate()
         .is_err());

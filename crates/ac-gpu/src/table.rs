@@ -1,0 +1,129 @@
+//! Typed host/device buffer views.
+//!
+//! The device tables used to travel as loose `(Arc<Vec<u32>>, rows, cols)`
+//! triples that every bind site re-plumbed by hand — an easy place to
+//! transpose dimensions or bind the wrong buffer. [`HostTableU32`] pairs
+//! the host image with its 2-D shape once, at construction (where the
+//! length invariant is checked), and [`HostTableU32::bind`] is the single
+//! path onto a device, returning a [`DeviceTableU32`] view that carries
+//! the texture id together with the shape kernels index by.
+
+use gpu_sim::{DeviceError, GpuDevice, TexId, Texture2d};
+use std::sync::Arc;
+
+/// A host-resident row-major `u32` table with a fixed 2-D shape.
+#[derive(Debug, Clone)]
+pub struct HostTableU32 {
+    data: Arc<Vec<u32>>,
+    rows: u32,
+    cols: u32,
+}
+
+impl HostTableU32 {
+    /// Wrap `data` as a `rows × cols` table.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols` — shape mismatches are construction
+    /// bugs, not runtime conditions.
+    pub fn new(data: Vec<u32>, rows: u32, cols: u32) -> Self {
+        assert_eq!(
+            data.len(),
+            rows as usize * cols as usize,
+            "table data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        HostTableU32 {
+            data: Arc::new(data),
+            rows,
+            cols,
+        }
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The shared host image.
+    pub fn data(&self) -> &Arc<Vec<u32>> {
+        &self.data
+    }
+
+    /// The entry at `(row, col)`.
+    pub fn at(&self, row: u32, col: u32) -> u32 {
+        self.data[row as usize * self.cols as usize + col as usize]
+    }
+
+    /// Size in bytes (what a texture binding charges against device
+    /// memory).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Bind onto `dev` as a read-only 2-D texture, charging the table's
+    /// footprint against device memory.
+    pub fn bind(&self, dev: &mut GpuDevice) -> Result<DeviceTableU32, DeviceError> {
+        let tex = dev.bind_texture_2d(self.data.clone(), self.rows, self.cols)?;
+        Ok(DeviceTableU32 {
+            tex,
+            rows: self.rows,
+            cols: self.cols,
+        })
+    }
+
+    /// A standalone texture over the same image (for host-side residency
+    /// analysis that needs the tiled layout without a device).
+    pub fn texture(&self) -> Texture2d {
+        Texture2d::new(self.data.clone(), self.rows, self.cols)
+    }
+}
+
+/// A device-resident view of a bound [`HostTableU32`]: the texture id plus
+/// the shape kernels index by.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceTableU32 {
+    /// The bound texture.
+    pub tex: TexId,
+    /// Rows.
+    pub rows: u32,
+    /// Columns.
+    pub cols: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    #[test]
+    fn shape_and_indexing() {
+        let t = HostTableU32::new((0..12).collect(), 3, 4);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 4);
+        assert_eq!(t.at(2, 1), 9);
+        assert_eq!(t.size_bytes(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn shape_mismatch_panics() {
+        HostTableU32::new(vec![0; 5], 2, 4);
+    }
+
+    #[test]
+    fn bind_charges_device_memory_and_carries_shape() {
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap(); // 1 MB
+        let t = HostTableU32::new(vec![0; 1024], 4, 256); // 4 KB
+        let d = t.bind(&mut dev).unwrap();
+        assert_eq!((d.rows, d.cols), (4, 256));
+        assert_eq!(dev.alloc_stats().live_bytes, 4096);
+        // A table larger than the device fails at bind.
+        let big = HostTableU32::new(vec![0; 300_000], 300_000, 1); // 1.2 MB
+        assert!(big.bind(&mut dev).is_err());
+    }
+}

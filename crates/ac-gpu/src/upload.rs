@@ -12,10 +12,10 @@
 //! *do* consult the flag column — none of ours by default — could).
 
 use crate::error::UploadError;
+use crate::table::HostTableU32;
 use ac_core::stt::STT_COLUMNS;
 use ac_core::trie::ALPHABET;
 use ac_core::{AcAutomaton, PfacAutomaton};
-use std::sync::Arc;
 
 /// Bit carrying the folded match flag in a transition entry.
 pub const MATCH_BIT: u32 = 1 << 31;
@@ -28,15 +28,12 @@ pub const STATE_MASK: u32 = MATCH_BIT - 1;
 /// state counts < 2³¹ − 1).
 pub const PFAC_STOP: u32 = STATE_MASK;
 
-/// The host-side image of the device STT texture.
+/// The host-side image of the device STT texture: a typed
+/// `state_count × 257` table with folded match bits.
 #[derive(Debug, Clone)]
 pub struct DeviceStt {
-    /// Row-major `state_count × 257` entries with folded match bits.
-    pub entries: Arc<Vec<u32>>,
-    /// Rows (= DFA states).
-    pub rows: u32,
-    /// Columns (always 257).
-    pub cols: u32,
+    /// The shaped host table (rows = DFA states, 257 columns).
+    pub table: HostTableU32,
 }
 
 impl DeviceStt {
@@ -62,16 +59,14 @@ impl DeviceStt {
             }
         }
         Ok(DeviceStt {
-            entries: Arc::new(entries),
-            rows: n as u32,
-            cols: STT_COLUMNS as u32,
+            table: HostTableU32::new(entries, n as u32, STT_COLUMNS as u32),
         })
     }
 
     /// Size in bytes (what the texture binding charges against device
     /// memory).
     pub fn size_bytes(&self) -> usize {
-        self.entries.len() * 4
+        self.table.size_bytes()
     }
 }
 
@@ -79,12 +74,8 @@ impl DeviceStt {
 /// missing transitions hold [`PFAC_STOP`]).
 #[derive(Debug, Clone)]
 pub struct DevicePfac {
-    /// Row-major `state_count × 257` entries.
-    pub entries: Arc<Vec<u32>>,
-    /// Rows (= trie states).
-    pub rows: u32,
-    /// Columns (always 257).
-    pub cols: u32,
+    /// The shaped host table (rows = trie states, 257 columns).
+    pub table: HostTableU32,
 }
 
 impl DevicePfac {
@@ -117,9 +108,7 @@ impl DevicePfac {
             }
         }
         Ok(DevicePfac {
-            entries: Arc::new(entries),
-            rows: n as u32,
-            cols: STT_COLUMNS as u32,
+            table: HostTableU32::new(entries, n as u32, STT_COLUMNS as u32),
         })
     }
 }
@@ -138,13 +127,12 @@ mod tests {
         let a = ac();
         let dev = DeviceStt::from_automaton(&a).unwrap();
         let stt = a.stt();
-        assert_eq!(dev.rows as usize, stt.state_count());
-        assert_eq!(dev.cols, 257);
+        assert_eq!(dev.table.rows() as usize, stt.state_count());
+        assert_eq!(dev.table.cols(), 257);
         for s in 0..stt.state_count() as u32 {
-            let row = s as usize * 257;
-            assert_eq!(dev.entries[row], stt.is_match(s) as u32);
+            assert_eq!(dev.table.at(s, 0), stt.is_match(s) as u32);
             for sym in 0..=255u8 {
-                let e = dev.entries[row + 1 + sym as usize];
+                let e = dev.table.at(s, 1 + sym as u32);
                 let t = stt.next(s, sym);
                 assert_eq!(e & STATE_MASK, t);
                 assert_eq!(e & MATCH_BIT != 0, stt.is_match(t));
@@ -160,7 +148,7 @@ mod tests {
         let mut s = 0u32;
         let mut flags = Vec::new();
         for &b in text {
-            let e = dev.entries[s as usize * 257 + 1 + b as usize];
+            let e = dev.table.at(s, 1 + b as u32);
             s = e & STATE_MASK;
             flags.push(e & MATCH_BIT != 0);
         }
@@ -175,12 +163,12 @@ mod tests {
         let pfac = PfacAutomaton::build(&ps);
         let dev = DevicePfac::from_pfac(&pfac).unwrap();
         // Root on 'z' stops.
-        assert_eq!(dev.entries[1 + b'z' as usize], PFAC_STOP);
+        assert_eq!(dev.table.at(0, 1 + b'z' as u32), PFAC_STOP);
         // Walk "abc": flags fire at 'b' (ab) and 'c' (abc).
         let mut s = 0u32;
         let mut flags = Vec::new();
         for &b in b"abc" {
-            let e = dev.entries[s as usize * 257 + 1 + b as usize];
+            let e = dev.table.at(s, 1 + b as u32);
             assert_ne!(e, PFAC_STOP);
             s = e & STATE_MASK;
             flags.push(e & MATCH_BIT != 0);

@@ -43,15 +43,16 @@ use crate::batch::assemble_batch;
 use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker, Route};
 use crate::job::{JobExpiry, JobOutcome, ScanJob, ServedBy};
 use crate::queue::BoundedQueue;
-use crate::report::{percentile, BatchBucket, ServeReport};
+use crate::report::{percentile, BatchBucket, PoolStatsReport, ServeReport};
 use crate::sim::{
-    rate, record_gpu_outcomes, run_cpu_batch, shed, tally, PendingReadback, ServeConfig, ServeRun,
+    lease_batch_buffers, rate, record_gpu_outcomes, run_cpu_batch, shed, tally, PendingReadback,
+    ServeConfig, ServeRun,
 };
 use crate::slo::AdmissionController;
 use crate::telemetry::ServeTelemetry;
 use ac_core::Match;
 use ac_gpu::multistream::readback_bytes;
-use ac_gpu::{run_supervised, GpuAcMatcher, GpuError};
+use ac_gpu::{run_supervised, DevicePool, GpuAcMatcher, GpuError};
 use cpu_sim::simulate_multicore;
 use gpu_sim::{
     BusConfig, BusStats, EngineKind, PcieBusArbiter, StreamEngine, StreamOpKind, StreamTimeline,
@@ -340,6 +341,12 @@ struct FleetState {
     engines: Vec<StreamEngine>,
     breakers: Vec<CircuitBreaker>,
     pendings: Vec<Vec<Option<PendingReadback>>>,
+    /// One device-memory pool per device when the per-device config arms
+    /// one (`None` entries otherwise — the legacy untracked path).
+    pools: Vec<Option<DevicePool>>,
+    /// Per-device cursor of pool driver cycles already converted into
+    /// upload delay.
+    pool_charged: Vec<u64>,
     arbiter: PcieBusArbiter,
     outcomes: Vec<JobOutcome>,
     slo: Option<AdmissionController>,
@@ -391,7 +398,7 @@ impl FleetState {
             StreamOpKind::CopyD2H,
             &p.label,
             p.d2h_seconds,
-            p.rb_bytes,
+            p.bus_rb_bytes,
             0.0,
         );
         let done = self.engines[device].stream_ready(local);
@@ -452,7 +459,7 @@ pub fn serve_fleet(
     mut jobs: Vec<ScanJob>,
     cfg: &FleetConfig,
 ) -> Result<FleetRun, GpuError> {
-    cfg.device.pcie.validate()?;
+    cfg.device.effective_pcie().validate()?;
     jobs.sort_by(|a, b| {
         a.arrival_seconds
             .partial_cmp(&b.arrival_seconds)
@@ -492,6 +499,10 @@ pub fn serve_fleet(
         pendings: (0..devices)
             .map(|_| (0..streams_per_device).map(|_| None).collect())
             .collect(),
+        pools: (0..devices)
+            .map(|_| dcfg.pool.map(|p| DevicePool::new(p.device_pool_config())))
+            .collect(),
+        pool_charged: vec![0; devices],
         arbiter: PcieBusArbiter::new(cfg.bus),
         outcomes: Vec::with_capacity(jobs.len()),
         slo: dcfg.slo.map(|s| AdmissionController::new(s, base_max_jobs)),
@@ -529,6 +540,18 @@ pub fn serve_fleet(
     };
 
     st.drain_pendings(streams_per_device);
+
+    // Drain every device's pool: all leases were released with their
+    // readbacks, so a live block here is a dispatcher leak (panics).
+    let mut pool_report: Option<PoolStatsReport> = None;
+    for pool in st.pools.iter().flatten() {
+        pool.drain();
+        let stats = PoolStatsReport::from_stats(pool.stats());
+        match pool_report.as_mut() {
+            Some(agg) => agg.merge(&stats),
+            None => pool_report = Some(stats),
+        }
+    }
 
     let timelines: Vec<StreamTimeline> = st.engines.drain(..).map(|e| e.finish()).collect();
     // Aggregate timeline: per-device ops with streams remapped onto one
@@ -582,6 +605,9 @@ pub fn serve_fleet(
             .collect();
         let mut run = t.finish_fleet(&per_device);
         run.attribute_pattern_costs(matcher, dcfg.approach, makespan);
+        if let Some(ps) = pool_report {
+            run.record_pool_stats(&ps, makespan);
+        }
         run
     });
     let sheds = st
@@ -620,6 +646,7 @@ pub fn serve_fleet(
             .into_iter()
             .map(|(jobs, count)| BatchBucket { jobs, count })
             .collect(),
+        pool: pool_report,
     };
 
     let per_device: Vec<DeviceReport> = (0..devices)
@@ -678,13 +705,12 @@ fn fit_tier_models(
 ) -> Vec<CostModel> {
     let small = router.probe_small_bytes.max(1);
     let large = router.probe_large_bytes.max(small + 1);
+    let pcie = dcfg.effective_pcie();
     let gpu_probe = |bytes: usize| -> Option<f64> {
         let payload = vec![b'a'; bytes];
         let sup = run_supervised(matcher, &payload, dcfg.approach, &dcfg.supervise).ok()?;
-        let h2d = dcfg.pcie.copy_seconds(bytes);
-        let d2h = dcfg
-            .pcie
-            .copy_seconds(readback_bytes(sup.run.match_events) as usize);
+        let h2d = pcie.copy_seconds(bytes);
+        let d2h = pcie.copy_seconds(readback_bytes(sup.run.match_events) as usize);
         Some(h2d + sup.run.seconds() + d2h)
     };
     let gpu_model = match (gpu_probe(small), gpu_probe(large)) {
@@ -902,23 +928,32 @@ fn dispatch_gpu_batch(
 ) {
     use crate::batch::demux_matches;
     st.per_dev_batches[dev] += 1;
+    let pcie = dcfg.effective_pcie();
     match run_supervised(matcher, &assembled.data, dcfg.approach, &dcfg.supervise) {
         Ok(sup) => {
             tally(&sup.report, &mut st.gpu_retries, &mut st.faults_fired);
             let penalty =
                 sup.report.penalty_cycles(dcfg.supervise.watchdog_cycles) as f64 / clock_hz;
             let per_job = demux_matches(&sup.run.matches, &assembled.spans);
-            let h2d = dcfg.pcie.copy_seconds(assembled.data.len());
+            let h2d = pcie.copy_seconds(assembled.data.len());
             let rb_bytes = readback_bytes(sup.run.match_events);
-            let d2h = dcfg.pcie.copy_seconds(rb_bytes as usize);
+            let d2h = pcie.copy_seconds(rb_bytes as usize);
+            let (lease, setup) = lease_batch_buffers(
+                st.pools[dev].as_ref(),
+                &mut st.pool_charged[dev],
+                assembled.data.len() as u64,
+                Some(rb_bytes),
+                clock_hz,
+            )
+            .expect("fleet device pool sized for its batches");
             st.submit_copy(
                 dev,
                 stream,
                 StreamOpKind::CopyH2D,
                 &label,
                 h2d,
-                assembled.data.len() as u64,
-                dispatch,
+                pcie.bus_bytes(assembled.data.len() as u64),
+                dispatch + setup,
             );
             st.engines[dev].submit(
                 stream,
@@ -940,25 +975,36 @@ fn dispatch_gpu_batch(
                 label,
                 d2h_seconds: d2h,
                 rb_bytes,
+                bus_rb_bytes: pcie.bus_bytes(rb_bytes),
                 batch,
                 per_job,
                 dispatch_seconds: dispatch,
                 retries: sup.report.retries as u64,
+                _lease: lease,
             });
         }
         Err((err, rep)) => {
             tally(&rep, &mut st.gpu_retries, &mut st.faults_fired);
             let penalty = rep.penalty_cycles(dcfg.supervise.watchdog_cycles) as f64 / clock_hz;
-            let h2d = dcfg.pcie.copy_seconds(assembled.data.len());
+            let h2d = pcie.copy_seconds(assembled.data.len());
+            let (lease, setup) = lease_batch_buffers(
+                st.pools[dev].as_ref(),
+                &mut st.pool_charged[dev],
+                assembled.data.len() as u64,
+                None,
+                clock_hz,
+            )
+            .expect("fleet device pool sized for its batches");
             st.submit_copy(
                 dev,
                 stream,
                 StreamOpKind::CopyH2D,
                 &format!("{label}-failed"),
                 h2d,
-                assembled.data.len() as u64,
-                dispatch,
+                pcie.bus_bytes(assembled.data.len() as u64),
+                dispatch + setup,
             );
+            drop(lease);
             if penalty > 0.0 {
                 st.engines[dev].submit(
                     stream,
@@ -1372,14 +1418,24 @@ fn scatter_job<'a>(
         let label = format!("{label_base}-d{d}");
         let bytes = seg.scan_end - seg.scan_start;
         let penalty = sup.report.penalty_cycles(dcfg.supervise.watchdog_cycles) as f64 / clock_hz;
+        let pcie = dcfg.effective_pcie();
+        let rb_bytes = readback_bytes(sup.run.match_events);
+        let (lease, setup) = lease_batch_buffers(
+            st.pools[d].as_ref(),
+            &mut st.pool_charged[d],
+            bytes as u64,
+            Some(rb_bytes),
+            clock_hz,
+        )
+        .expect("fleet device pool sized for its shards");
         st.submit_copy(
             d,
             stream,
             StreamOpKind::CopyH2D,
             &label,
-            dcfg.pcie.copy_seconds(bytes),
-            bytes as u64,
-            dispatch,
+            pcie.copy_seconds(bytes),
+            pcie.bus_bytes(bytes as u64),
+            dispatch + setup,
         );
         st.engines[d].submit(
             stream,
@@ -1388,7 +1444,6 @@ fn scatter_job<'a>(
             sup.run.seconds() + penalty,
             0,
         );
-        let rb_bytes = readback_bytes(sup.run.match_events);
         // Scatter readbacks are not staged: the job is latency-bound on
         // its slowest segment, so the `d2h` goes straight onto the bus.
         st.submit_copy(
@@ -1396,10 +1451,11 @@ fn scatter_job<'a>(
             stream,
             StreamOpKind::CopyD2H,
             &label,
-            dcfg.pcie.copy_seconds(rb_bytes as usize),
-            rb_bytes,
+            pcie.copy_seconds(rb_bytes as usize),
+            pcie.bus_bytes(rb_bytes),
             0.0,
         );
+        drop(lease);
         let done = st.engines[d].stream_ready(stream);
         st.breakers[d].record_success(done);
         st.per_dev_batches[d] += 1;
@@ -1435,7 +1491,7 @@ fn scatter_job<'a>(
 mod tests {
     use super::*;
     use crate::workload::{serve_automaton, synthetic_workload, WorkloadConfig, DEFAULT_PATTERNS};
-    use crate::{serve, ServedBy};
+    use crate::{serve, ServedBy, DEFAULT_POOL_CAPACITY};
     use ac_gpu::KernelParams;
     use gpu_sim::GpuConfig;
 
@@ -1538,6 +1594,55 @@ mod tests {
         assert_eq!(fleet.serve.timeline, single.timeline);
         assert!(fleet.report.routing.is_empty());
         assert!(fleet.report.cost_models.is_empty());
+    }
+
+    #[test]
+    fn pooled_parity_fleet_of_one_matches_pooled_serve() {
+        // The parity contract survives arming the device pool: a pinned
+        // pool leases the same buffer sequence on both paths, so the
+        // reports — pool stats included — stay identical.
+        let m = matcher();
+        let jobs = workload(48);
+        let scfg =
+            ServeConfig::new(2).with_pool(crate::ServePoolConfig::pooled(DEFAULT_POOL_CAPACITY));
+        let single = serve(&m, jobs.clone(), &scfg).unwrap();
+        let fleet = serve_fleet(&m, jobs, &FleetConfig::new(1, scfg).parity()).unwrap();
+        assert_eq!(fleet.serve.report, single.report);
+        assert!(fleet.serve.report.pool.is_some());
+        for (a, b) in fleet.serve.outcomes.iter().zip(&single.outcomes) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.completed_seconds, b.completed_seconds);
+        }
+    }
+
+    #[test]
+    fn pooled_fleet_merges_per_device_stats_and_stays_correct() {
+        let m = matcher();
+        let jobs = workload(64);
+        let scfg =
+            ServeConfig::new(1).with_pool(crate::ServePoolConfig::pooled(DEFAULT_POOL_CAPACITY));
+        let fleet = serve_fleet(&m, jobs.clone(), &FleetConfig::new(4, scfg).parity()).unwrap();
+        assert_eq!(fleet.serve.report.jobs_completed, jobs.len() as u64);
+        let pool = fleet.serve.report.pool.expect("merged pool stats");
+        // Every GPU batch on every device leases corpus + result, and the
+        // per-device drains would have panicked on any leak.
+        assert_eq!(pool.acquires, 2 * fleet.serve.report.batches);
+        assert_eq!(pool.releases, pool.acquires);
+        assert_eq!(pool.hits + pool.misses, pool.acquires);
+        assert!(pool.high_water_bytes > 0);
+        for job in &jobs {
+            let out = fleet
+                .serve
+                .outcomes
+                .iter()
+                .find(|o| o.id == job.id)
+                .unwrap();
+            let mut expect = m.automaton().find_all(&job.payload);
+            expect.sort();
+            let mut got = out.matches.clone();
+            got.sort();
+            assert_eq!(got, expect, "job {}", job.id);
+        }
     }
 
     #[test]

@@ -70,9 +70,9 @@ pub use fleet::{
 };
 pub use job::{JobExpiry, JobOutcome, ScanJob, ServedBy};
 pub use queue::{BoundedQueue, Overloaded};
-pub use report::{BatchBucket, ServeReport};
+pub use report::{BatchBucket, PoolStatsReport, ServeReport};
 pub use sim::ServeRun;
-pub use sim::{serve, ServeConfig};
+pub use sim::{serve, ServeConfig, ServePoolConfig, DEFAULT_POOL_CAPACITY};
 pub use slo::{AdmissionController, QuantileWindow, SheddedJob, SloConfig};
 pub use telemetry::{
     render_slo_report, Exemplar, MetricsSample, PatternCost, ServeTelemetry, TelemetryConfig,

@@ -1,6 +1,59 @@
 //! The serving summary: latency percentiles, throughput, batching shape.
 
+use ac_gpu::DevicePoolStats;
 use serde::{Deserialize, Serialize};
+
+/// Device-memory pool activity over one serve run (aggregated across
+/// devices for a fleet). Absent (`None` on [`ServeReport::pool`]) when
+/// the run never armed a pool — pre-pool artifacts parse unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolStatsReport {
+    /// Buffer acquisitions (`hits + misses`).
+    pub acquires: u64,
+    /// Acquisitions served from a cached same-class block.
+    pub hits: u64,
+    /// Acquisitions that fell through to the device allocator.
+    pub misses: u64,
+    /// Buffers returned to the pool.
+    pub releases: u64,
+    /// Largest device-byte footprint the pool ever held.
+    pub high_water_bytes: u64,
+    /// Driver cycles charged by the underlying allocator (misses and
+    /// churn frees; hits are free).
+    pub host_cycles: u64,
+    /// `hits / acquires`, 1.0 for an untouched pool.
+    pub hit_rate: f64,
+}
+
+impl PoolStatsReport {
+    /// Flatten one pool's cumulative stats.
+    pub fn from_stats(s: DevicePoolStats) -> Self {
+        PoolStatsReport {
+            acquires: s.acquires,
+            hits: s.hits,
+            misses: s.misses,
+            releases: s.releases,
+            high_water_bytes: s.high_water_bytes,
+            host_cycles: s.host_cycles,
+            hit_rate: s.hit_rate(),
+        }
+    }
+
+    /// Merge another device's pool stats into this aggregate.
+    pub fn merge(&mut self, other: &PoolStatsReport) {
+        self.acquires += other.acquires;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.releases += other.releases;
+        self.high_water_bytes += other.high_water_bytes;
+        self.host_cycles += other.host_cycles;
+        self.hit_rate = if self.acquires == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.acquires as f64
+        };
+    }
+}
 
 /// One bar of the batch-size histogram: `count` batches carried `jobs`
 /// jobs each.
@@ -68,6 +121,10 @@ pub struct ServeReport {
     pub compute_utilisation: f64,
     /// Batch-size distribution, ascending by `jobs`.
     pub batch_histogram: Vec<BatchBucket>,
+    /// Device-memory pool activity (`None` when no pool was armed;
+    /// `#[serde(default)]`: absent in pre-pool reports).
+    #[serde(default)]
+    pub pool: Option<PoolStatsReport>,
 }
 
 impl ServeReport {
@@ -153,6 +210,38 @@ impl ServeReport {
             "payload bits served per simulated second",
             self.effective_gbps,
         );
+        if let Some(p) = &self.pool {
+            snap.push(
+                "acsim_serve_pool_acquires",
+                "device-pool buffer acquisitions",
+                p.acquires,
+            );
+            snap.push(
+                "acsim_serve_pool_hits",
+                "pool acquisitions served from cache",
+                p.hits,
+            );
+            snap.push(
+                "acsim_serve_pool_misses",
+                "pool acquisitions that hit the allocator",
+                p.misses,
+            );
+            snap.push(
+                "acsim_serve_pool_hit_rate",
+                "pool hit rate in [0, 1]",
+                p.hit_rate,
+            );
+            snap.push(
+                "acsim_serve_pool_high_water_bytes",
+                "largest device-byte footprint the pool held",
+                p.high_water_bytes,
+            );
+            snap.push(
+                "acsim_serve_pool_host_cycles",
+                "driver cycles charged by the pool's allocator",
+                p.host_cycles,
+            );
+        }
         snap
     }
 }
@@ -207,9 +296,61 @@ mod tests {
             copy_utilisation: 0.4,
             compute_utilisation: 0.8,
             batch_histogram: vec![BatchBucket { jobs: 3, count: 3 }],
+            pool: Some(PoolStatsReport {
+                acquires: 6,
+                hits: 4,
+                misses: 2,
+                releases: 6,
+                high_water_bytes: 1 << 20,
+                host_cycles: 24_000,
+                hit_rate: 4.0 / 6.0,
+            }),
         };
         let back = ServeReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_pool_reports_parse_with_no_pool_section() {
+        // A report serialized before the pool existed has no "pool" key
+        // at all; `#[serde(default)]` must fill in `None`.
+        let r = ServeReport {
+            jobs_completed: 3,
+            ..ServeReport::default()
+        };
+        let json = r.to_json();
+        let legacy = json.replace(",\n  \"pool\": null", "");
+        assert!(!legacy.contains("pool"), "pool key must be stripped");
+        let back = ServeReport::from_json(&legacy).unwrap();
+        assert_eq!(back, r);
+        assert!(back.pool.is_none());
+    }
+
+    #[test]
+    fn pool_merge_aggregates_and_rerates() {
+        let mut a = PoolStatsReport {
+            acquires: 4,
+            hits: 2,
+            misses: 2,
+            releases: 4,
+            high_water_bytes: 100,
+            host_cycles: 10,
+            hit_rate: 0.5,
+        };
+        let b = PoolStatsReport {
+            acquires: 6,
+            hits: 6,
+            misses: 0,
+            releases: 6,
+            high_water_bytes: 50,
+            host_cycles: 0,
+            hit_rate: 1.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.acquires, 10);
+        assert_eq!(a.hits, 8);
+        assert_eq!(a.high_water_bytes, 150);
+        assert!((a.hit_rate - 0.8).abs() < 1e-12);
     }
 
     #[test]
@@ -226,6 +367,27 @@ mod tests {
         assert!(snap
             .to_prometheus()
             .contains("acsim_serve_jobs_completed 9"));
+        // No pool armed → no pool gauges.
+        assert!(snap.get("acsim_serve_pool_hits", &[]).is_none());
+        let pooled = ServeReport {
+            pool: Some(PoolStatsReport {
+                acquires: 8,
+                hits: 6,
+                misses: 2,
+                releases: 8,
+                high_water_bytes: 4096,
+                host_cycles: 24_000,
+                hit_rate: 0.75,
+            }),
+            ..ServeReport::default()
+        };
+        let snap = pooled.to_metrics();
+        assert_eq!(get_from(&snap, "acsim_serve_pool_hits"), 6u64.into());
+        assert_eq!(get_from(&snap, "acsim_serve_pool_hit_rate"), 0.75.into());
+    }
+
+    fn get_from(snap: &trace::MetricsSnapshot, name: &str) -> trace::MetricValue {
+        snap.get(name, &[]).expect(name).value
     }
 
     #[test]
@@ -255,6 +417,7 @@ mod tests {
             copy_utilisation: 0.1,
             compute_utilisation: 0.2,
             batch_histogram: vec![],
+            pool: None,
         };
         let resilience_keys = [
             "\"jobs_expired\"",

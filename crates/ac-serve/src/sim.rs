@@ -48,17 +48,76 @@ use crate::batch::{assemble_batch, demux_matches, AssembledBatch, BatchLimits};
 use crate::breaker::{BreakerConfig, BreakerTransition, CircuitBreaker, Route};
 use crate::job::{JobExpiry, JobOutcome, ScanJob, ServedBy};
 use crate::queue::{BoundedQueue, Overloaded};
-use crate::report::{percentile, BatchBucket, ServeReport};
+use crate::report::{percentile, BatchBucket, PoolStatsReport, ServeReport};
 use crate::slo::{AdmissionController, SheddedJob, SloConfig};
 use crate::telemetry::{ServeTelemetry, TelemetryConfig, TelemetryRun};
 use ac_cpu::ParallelConfig;
 use ac_gpu::multistream::readback_bytes;
 use ac_gpu::supervise::SuperviseReport;
-use ac_gpu::{run_supervised, Approach, GpuAcMatcher, GpuError, PcieConfig, SuperviseConfig};
+use ac_gpu::{
+    run_supervised, Approach, DevicePool, DevicePoolConfig, GpuAcMatcher, GpuError, PcieConfig,
+    PooledBuffer, SuperviseConfig,
+};
 use cpu_sim::{simulate_multicore, CpuConfig};
-use gpu_sim::{EngineKind, StreamEngine, StreamOpKind, StreamTimeline};
+use gpu_sim::{EngineKind, HostMemory, StreamEngine, StreamOpKind, StreamTimeline};
 use integration::cpu_ladder_scan;
 use std::collections::BTreeMap;
+
+/// Device-memory pool policy for the serving path.
+///
+/// Armed (`ServeConfig::pool = Some(..)`), every GPU batch leases its
+/// corpus and result buffers from a per-device [`DevicePool`] instead of
+/// the legacy untracked scratch space, and the allocator's driver cycles
+/// (misses and churn frees — hits are free) delay that batch's upload.
+/// `pinned_host` additionally selects the host-memory model: pinned pages
+/// transfer at full link speed, pageable ones pay a staging copy at
+/// reduced bandwidth ([`HostMemory`]). Disarmed (`None`) the serve loop
+/// is bit-identical to the pre-pool server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServePoolConfig {
+    /// Device bytes the pool's allocator manages.
+    pub capacity_bytes: u64,
+    /// Recycle returned buffers through size classes; off = alloc/free
+    /// per batch (the churn baseline).
+    pub reuse: bool,
+    /// Host staging buffers are pinned (full-speed DMA). Off models
+    /// pageable host memory: a staging copy at reduced bandwidth and
+    /// twice the bus traffic per transfer.
+    pub pinned_host: bool,
+}
+
+/// Default pool capacity: comfortably holds per-stream corpus (the 1 MiB
+/// batch cap plus overlap padding) and result buffers across 16 streams.
+pub const DEFAULT_POOL_CAPACITY: u64 = 64 << 20;
+
+impl ServePoolConfig {
+    /// Steady-state serving: reuse on, pinned host staging.
+    pub fn pooled(capacity_bytes: u64) -> Self {
+        ServePoolConfig {
+            capacity_bytes,
+            reuse: true,
+            pinned_host: true,
+        }
+    }
+
+    /// The churn baseline: alloc/free per batch, pageable host memory.
+    pub fn churn(capacity_bytes: u64) -> Self {
+        ServePoolConfig {
+            capacity_bytes,
+            reuse: false,
+            pinned_host: false,
+        }
+    }
+
+    /// The underlying [`DevicePool`] configuration.
+    pub fn device_pool_config(&self) -> DevicePoolConfig {
+        if self.reuse {
+            DevicePoolConfig::new(self.capacity_bytes)
+        } else {
+            DevicePoolConfig::churn(self.capacity_bytes)
+        }
+    }
+}
 
 /// Server policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +152,9 @@ pub struct ServeConfig {
     /// Modelled cores the failover executor runs on (fixed, so failover
     /// timing is host-independent).
     pub cpu_cores: usize,
+    /// Device-memory pool for per-batch corpus/result buffers; `None`
+    /// keeps the legacy untracked-scratch path bit-identical.
+    pub pool: Option<ServePoolConfig>,
 }
 
 impl ServeConfig {
@@ -114,6 +176,7 @@ impl ServeConfig {
             parallel: ParallelConfig::default_for_host(),
             cpu: CpuConfig::core2duo_2_2ghz(),
             cpu_cores: 2,
+            pool: None,
         }
     }
 
@@ -133,6 +196,24 @@ impl ServeConfig {
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = Some(telemetry);
         self
+    }
+
+    /// Arm the device-memory pool.
+    pub fn with_pool(mut self, pool: ServePoolConfig) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The link model the serve loop actually prices transfers with: the
+    /// configured [`PcieConfig`], downgraded to the pageable host-memory
+    /// model when an armed pool opts out of pinned staging. With the pool
+    /// disarmed (or pinned) this is `self.pcie` unchanged, so every
+    /// legacy schedule is preserved bit-for-bit.
+    pub fn effective_pcie(&self) -> PcieConfig {
+        match self.pool {
+            Some(p) if !p.pinned_host => self.pcie.with_host_memory(HostMemory::pageable_default()),
+            _ => self.pcie,
+        }
     }
 }
 
@@ -163,7 +244,8 @@ pub fn serve(
     mut jobs: Vec<ScanJob>,
     cfg: &ServeConfig,
 ) -> Result<ServeRun, GpuError> {
-    cfg.pcie.validate()?;
+    let pcie = cfg.effective_pcie();
+    pcie.validate()?;
     jobs.sort_by(|a, b| {
         a.arrival_seconds
             .partial_cmp(&b.arrival_seconds)
@@ -178,6 +260,10 @@ pub fn serve(
     let mut engine = StreamEngine::new(cfg.streams);
     let mut queue = BoundedQueue::new(cfg.queue_capacity);
     let mut breaker = CircuitBreaker::new(cfg.breaker);
+    // Armed pool: per-batch corpus/result buffers lease from here, and
+    // the allocator's driver cycles delay the leasing batch's upload.
+    let pool = cfg.pool.map(|p| DevicePool::new(p.device_pool_config()));
+    let mut pool_charged = 0u64;
     let mut slo = cfg.slo.map(|s| AdmissionController::new(s, base_max_jobs));
     // The telemetry recorder only ever *reads* values the loop already
     // computed; disarmed (`None`) the loop is bit-identical.
@@ -325,16 +411,23 @@ pub fn serve(
                             as f64
                             / clock_hz;
                         let per_job = demux_matches(&sup.run.matches, &assembled.spans);
-                        let h2d = cfg.pcie.copy_seconds(assembled.data.len());
+                        let h2d = pcie.copy_seconds(assembled.data.len());
                         let rb_bytes = readback_bytes(sup.run.match_events);
-                        let d2h = cfg.pcie.copy_seconds(rb_bytes as usize);
+                        let d2h = pcie.copy_seconds(rb_bytes as usize);
+                        let (lease, setup) = lease_batch_buffers(
+                            pool.as_ref(),
+                            &mut pool_charged,
+                            assembled.data.len() as u64,
+                            Some(rb_bytes),
+                            clock_hz,
+                        )?;
                         engine.submit_at(
                             stream,
                             StreamOpKind::CopyH2D,
                             &label,
                             h2d,
                             assembled.data.len() as u64,
-                            dispatch,
+                            dispatch + setup,
                         );
                         // Retry penalty (backoff + watchdog-burned budgets)
                         // is charged to the stream: faults cost real time.
@@ -351,10 +444,12 @@ pub fn serve(
                             label,
                             d2h_seconds: d2h,
                             rb_bytes,
+                            bus_rb_bytes: pcie.bus_bytes(rb_bytes),
                             batch,
                             per_job,
                             dispatch_seconds: dispatch,
                             retries: sup.report.retries as u64,
+                            _lease: lease,
                         });
                     }
                     Err((err, rep)) => {
@@ -364,15 +459,25 @@ pub fn serve(
                         // elapsed before the supervisor gave up.
                         let penalty =
                             rep.penalty_cycles(cfg.supervise.watchdog_cycles) as f64 / clock_hz;
-                        let h2d = cfg.pcie.copy_seconds(assembled.data.len());
+                        let h2d = pcie.copy_seconds(assembled.data.len());
+                        // The failed attempts still leased (and release)
+                        // the corpus buffer: churn is charged either way.
+                        let (lease, setup) = lease_batch_buffers(
+                            pool.as_ref(),
+                            &mut pool_charged,
+                            assembled.data.len() as u64,
+                            None,
+                            clock_hz,
+                        )?;
                         engine.submit_at(
                             stream,
                             StreamOpKind::CopyH2D,
                             &format!("{label}-failed"),
                             h2d,
                             assembled.data.len() as u64,
-                            dispatch,
+                            dispatch + setup,
                         );
+                        drop(lease);
                         if penalty > 0.0 {
                             engine.submit(
                                 stream,
@@ -417,6 +522,13 @@ pub fn serve(
         flush_readback(&mut engine, &mut outcomes, &mut slo, &mut tel, p);
     }
 
+    // Pool drain: every lease was released with its batch's readback, so
+    // nothing may still be live (a leak panics here, pinned in tests).
+    let pool_report = pool.map(|p| {
+        p.drain();
+        PoolStatsReport::from_stats(p.stats())
+    });
+
     let timeline = engine.finish();
     // CPU-failover completions can outlast the GPU timeline.
     let makespan = outcomes
@@ -437,6 +549,9 @@ pub fn serve(
         // the dictionary after the serve clock is final, so armed and
         // disarmed serve outputs stay bit-identical.
         run.attribute_pattern_costs(matcher, cfg.approach, makespan);
+        if let Some(ps) = pool_report {
+            run.record_pool_stats(&ps, makespan);
+        }
         run
     });
     let sheds = slo.map(|c| c.sheds().to_vec()).unwrap_or_default();
@@ -470,6 +585,7 @@ pub fn serve(
             .into_iter()
             .map(|(jobs, count)| BatchBucket { jobs, count })
             .collect(),
+        pool: pool_report,
     };
     Ok(ServeRun {
         report,
@@ -554,6 +670,10 @@ pub(crate) struct PendingReadback {
     pub(crate) label: String,
     pub(crate) d2h_seconds: f64,
     pub(crate) rb_bytes: u64,
+    /// Bytes the readback charges against the shared host bus (doubled
+    /// under pageable staging; equal to `rb_bytes` when pinned). Only the
+    /// fleet path consults this — the single-device server has no bus.
+    pub(crate) bus_rb_bytes: u64,
     pub(crate) batch: Vec<ScanJob>,
     pub(crate) per_job: Vec<Vec<ac_core::Match>>,
     /// When the batch was dispatched (host bookkeeping for the service
@@ -561,6 +681,49 @@ pub(crate) struct PendingReadback {
     pub(crate) dispatch_seconds: f64,
     /// Supervised retries the batch absorbed.
     pub(crate) retries: u64,
+    /// The batch's pooled device buffers, held only to keep the blocks
+    /// leased; dropping the readback returns them to the pool.
+    pub(crate) _lease: Option<BatchLease>,
+}
+
+/// One GPU batch's pooled device buffers (corpus in, results out),
+/// released back to the pool when the batch's readback flushes.
+#[derive(Debug)]
+pub(crate) struct BatchLease {
+    _corpus: PooledBuffer,
+    _result: Option<PooledBuffer>,
+}
+
+/// Lease a batch's device buffers from the pool (when armed) and convert
+/// every driver cycle accumulated since the last lease — frees from
+/// handles released in between, plus these acquires — into seconds of
+/// upload setup delay. Pool hits charge nothing, which is the whole
+/// steady-state argument the bench rows measure.
+pub(crate) fn lease_batch_buffers(
+    pool: Option<&DevicePool>,
+    charged_cycles: &mut u64,
+    corpus_bytes: u64,
+    result_bytes: Option<u64>,
+    clock_hz: f64,
+) -> Result<(Option<BatchLease>, f64), GpuError> {
+    let Some(pool) = pool else {
+        return Ok((None, 0.0));
+    };
+    let corpus = pool.acquire(corpus_bytes.max(1))?;
+    let result = match result_bytes {
+        Some(b) => Some(pool.acquire(b.max(1))?),
+        None => None,
+    };
+    let total = pool.host_cycles();
+    let setup = total.saturating_sub(*charged_cycles) as f64 / clock_hz;
+    *charged_cycles = total;
+    Ok((
+        Some(BatchLease {
+            _corpus: corpus,
+            _result: result,
+        }),
+        setup,
+    ))
 }
 
 /// Enqueue the held `d2h` and record its jobs' outcomes.
@@ -921,5 +1084,95 @@ mod tests {
             report.contains("no attribution replay recorded"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn pooled_serve_preserves_matches_and_reports_stats() {
+        let m = matcher();
+        let jobs = tiny_workload();
+        let cfg = ServeConfig::new(2).with_pool(ServePoolConfig::pooled(DEFAULT_POOL_CAPACITY));
+        let run = serve(&m, jobs.clone(), &cfg).unwrap();
+        assert_eq!(run.report.jobs_completed, jobs.len() as u64);
+        assert_oracle_matches(&m, &jobs, &run);
+        let pool = run.report.pool.expect("pool stats recorded");
+        // Every batch leases a corpus + a result buffer, and every lease
+        // is returned by drain time (the pool would panic on a leak).
+        assert_eq!(pool.acquires, 2 * run.report.batches);
+        assert_eq!(pool.releases, pool.acquires);
+        assert_eq!(pool.hits + pool.misses, pool.acquires);
+        assert!(pool.high_water_bytes > 0);
+        // Reuse on: after warmup the size classes recycle, so hits land.
+        assert!(pool.hits > 0, "{pool:?}");
+        assert!((0.0..=1.0).contains(&pool.hit_rate));
+    }
+
+    #[test]
+    fn churn_pool_is_slower_than_reuse_pool() {
+        let m = matcher();
+        let pooled = serve(
+            &m,
+            tiny_workload(),
+            &ServeConfig::new(2).with_pool(ServePoolConfig::pooled(DEFAULT_POOL_CAPACITY)),
+        )
+        .unwrap();
+        let churn = serve(
+            &m,
+            tiny_workload(),
+            &ServeConfig::new(2).with_pool(ServePoolConfig::churn(DEFAULT_POOL_CAPACITY)),
+        )
+        .unwrap();
+        // Churn re-allocates per batch (driver cycles on every lease) and
+        // stages through pageable host memory (reduced effective PCIe
+        // bandwidth), so reuse+pinned must be strictly faster end to end.
+        assert!(
+            pooled.report.jobs_per_sec > churn.report.jobs_per_sec,
+            "pooled {} vs churn {}",
+            pooled.report.jobs_per_sec,
+            churn.report.jobs_per_sec
+        );
+        assert!(pooled.report.p99_latency_us <= churn.report.p99_latency_us);
+        let cp = churn.report.pool.expect("churn pool stats");
+        assert_eq!(cp.hits, 0, "no-reuse pool must never hit");
+        assert!(cp.host_cycles > pooled.report.pool.unwrap().host_cycles);
+        // Same answers either way.
+        assert_oracle_matches(&m, &tiny_workload(), &churn);
+    }
+
+    #[test]
+    fn pooled_telemetry_narrates_the_pool_section() {
+        use crate::telemetry::render_slo_report;
+
+        let m = matcher();
+        let mut cfg = ServeConfig::new(2).with_pool(ServePoolConfig::pooled(DEFAULT_POOL_CAPACITY));
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let run = serve(&m, tiny_workload(), &cfg).unwrap();
+        let tel = run.telemetry.expect("telemetry armed");
+        let events = trace::parse_chrome_json(&tel.chrome_json(), 1.0).unwrap();
+        let report = render_slo_report(&events);
+        assert!(report.contains("device pool:"), "{report}");
+        assert!(report.contains("hit rate"), "{report}");
+        assert!(report.contains("high water:"), "{report}");
+        // Unpooled runs keep the narrative free of the section.
+        let mut plain = ServeConfig::new(2);
+        plain.telemetry = Some(TelemetryConfig::default());
+        let prun = serve(&m, tiny_workload(), &plain).unwrap();
+        let pevents =
+            trace::parse_chrome_json(&prun.telemetry.unwrap().chrome_json(), 1.0).unwrap();
+        assert!(!render_slo_report(&pevents).contains("device pool:"));
+    }
+
+    #[test]
+    fn pool_too_small_surfaces_a_fatal_device_error() {
+        let m = matcher();
+        // A pool smaller than one batch's corpus cannot satisfy the first
+        // lease: serve must propagate the typed OOM, not panic or hang.
+        let cfg = ServeConfig::new(1).with_pool(ServePoolConfig::pooled(1024));
+        let err = serve(&m, tiny_workload(), &cfg).unwrap_err();
+        match err {
+            GpuError::Device(e) => {
+                assert!(e.to_string().contains("out of device memory"), "{e}")
+            }
+            other => panic!("expected device OOM, got {other:?}"),
+        }
     }
 }

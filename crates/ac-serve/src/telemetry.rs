@@ -750,6 +750,26 @@ impl TelemetryRun {
         }
         self.pattern_costs = ranked;
     }
+
+    /// Record the run's device-pool activity as `pool-*` control-plane
+    /// counters at the makespan instant, so `acsim slo-report` can
+    /// narrate allocator behaviour from the trace alone. Observer-only:
+    /// the stats are read after the serve clock is final.
+    pub fn record_pool_stats(&mut self, stats: &crate::report::PoolStatsReport, at_seconds: f64) {
+        let ts = (at_seconds.max(0.0) * self.clock_hz).round() as u64;
+        let counters: [(&str, u64); 5] = [
+            ("pool-acquires", stats.acquires),
+            ("pool-hits", stats.hits),
+            ("pool-misses", stats.misses),
+            ("pool-hit-rate-pct", (stats.hit_rate * 100.0).round() as u64),
+            ("pool-high-water-bytes", stats.high_water_bytes),
+        ];
+        for (name, value) in counters {
+            self.trace
+                .counter(name, "serve-control", PID_SERVE_CONTROL, 0, ts, value);
+        }
+    }
+
     /// The stitched trace as Chrome trace-event JSON with microsecond
     /// timestamps (loadable in Perfetto; parseable back with
     /// `trace::parse_chrome_json(json, 1.0)`).
@@ -1023,6 +1043,32 @@ pub fn render_slo_report(events: &[TraceEvent]) -> String {
         }
     }
     out.push('\n');
+
+    // Device-pool counters from the post-run stats flush, if a pool ran.
+    let pool_counter = |name: &str| -> Option<u64> {
+        events
+            .iter()
+            .filter(|e| e.pid == PID_SERVE_CONTROL && e.ph == Phase::Counter && e.name == name)
+            .filter_map(|e| arg_u64(e, "value"))
+            .next_back()
+    };
+    if let (Some(acquires), Some(hits), Some(misses)) = (
+        pool_counter("pool-acquires"),
+        pool_counter("pool-hits"),
+        pool_counter("pool-misses"),
+    ) {
+        out.push_str(&format!(
+            "device pool: {} acquires ({} hits, {} misses, {}% hit rate)\n",
+            acquires,
+            hits,
+            misses,
+            pool_counter("pool-hit-rate-pct").unwrap_or(0),
+        ));
+        if let Some(hw) = pool_counter("pool-high-water-bytes") {
+            out.push_str(&format!("  high water: {} device bytes\n", hw));
+        }
+        out.push('\n');
+    }
 
     // Worst-latency exemplars per flight-recorder window.
     let mut exemplars: Vec<&TraceEvent> = events

@@ -671,6 +671,25 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The steady-state allocation scenario rides along: the pooled vs
+    // churn rows land in the report and the gate enforces that buffer
+    // reuse plus pinned staging strictly beats per-batch churn.
+    eprintln!("running steady-state pool scenarios (device pool vs churn)");
+    match bench::serve_steady_measurements() {
+        Ok(m) => {
+            measurements.extend(m);
+            match bench::check_steady_pool(&measurements) {
+                Ok(ratio) => {
+                    eprintln!("steady-state pooling pays: pooled at {ratio:.2}x churn jobs/s")
+                }
+                Err(why) => eprintln!("warning: steady-state pool contract not met: {why}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("error while running steady-state pool scenarios: {e}");
+            std::process::exit(1);
+        }
+    }
     // So does the STT layout sweep: the gate diffs the 20k-pattern
     // crossover rows (compressed layouts vs the dense STT) on every run.
     eprintln!("running STT layout sweep (dictionaries up to 20k patterns)");

@@ -43,7 +43,8 @@ pub use layout_sweep::{
 pub use measure::{Engine, EngineConfig, Measurement, Measurements};
 pub use report::{row_config_hash, BenchReport, BenchRow, Provenance};
 pub use serving::{
-    serve_chaos_measurements, serving_measurements, serving_measurements_with, CHAOS_SEED,
+    check_steady_pool, check_steady_pool_report, serve_chaos_measurements,
+    serve_steady_measurements, serving_measurements, serving_measurements_with, CHAOS_SEED,
     SERVING_SCENARIOS,
 };
 pub use verdict::{evaluate, render, Outcome, Verdict};

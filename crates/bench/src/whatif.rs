@@ -36,11 +36,16 @@ pub enum Knob {
     /// texture-cache knee points at — when a bigger cache can't help,
     /// a smaller table still can.
     SttLayout,
+    /// Stage host buffers through pageable memory instead of pinned
+    /// pages. Kernel cycles don't move — the knob prices the *end-to-end*
+    /// pipeline (h2d + kernel + d2h) under both host-memory models, so it
+    /// reports via the report's `e2e_*_gbps` fields rather than a row.
+    PinnedHost,
 }
 
 impl Knob {
     /// Every knob, in report order.
-    pub fn all() -> [Knob; 6] {
+    pub fn all() -> [Knob; 7] {
         [
             Knob::TexCacheDouble,
             Knob::TexCacheHalve,
@@ -48,6 +53,7 @@ impl Knob {
             Knob::CoalescingOff,
             Knob::DiagonalOff,
             Knob::SttLayout,
+            Knob::PinnedHost,
         ]
     }
 
@@ -60,6 +66,7 @@ impl Knob {
             Knob::CoalescingOff => "coalescing off",
             Knob::DiagonalOff => "diagonal off",
             Knob::SttLayout => "stt-layout next",
+            Knob::PinnedHost => "pinned-host off",
         }
     }
 
@@ -72,6 +79,7 @@ impl Knob {
             Knob::CoalescingOff => "global coalescing",
             Knob::DiagonalOff => "shared staging",
             Knob::SttLayout => "table footprint",
+            Knob::PinnedHost => "host memory",
         }
     }
 
@@ -117,6 +125,9 @@ impl Knob {
                 let smaller = layout.next_smaller()?;
                 return Some((c, smaller.approach().expect("concrete layout")));
             }
+            // Host memory never changes the device config or kernel —
+            // `explain` prices the transfer pipeline for it directly.
+            Knob::PinnedHost => return None,
         }
         c.validate().ok()?;
         Some((c, approach))
@@ -158,6 +169,15 @@ pub struct WhatIfReport {
     pub rows: Vec<WhatIfRow>,
     /// Knobs that did not apply to this configuration, with why-nots.
     pub skipped: Vec<String>,
+    /// End-to-end (h2d + kernel + d2h) Gbit/s with pinned host staging
+    /// over a Gen2 x16 link — the [`Knob::PinnedHost`] counterfactual's
+    /// baseline. Zero in reports predating the host-memory model.
+    #[serde(default)]
+    pub e2e_pinned_gbps: f64,
+    /// End-to-end Gbit/s with pageable host staging (bounce-buffer copy
+    /// at reduced bandwidth) on the same link.
+    #[serde(default)]
+    pub e2e_pageable_gbps: f64,
 }
 
 fn dominant_label(stats: &gpu_sim::LaunchStats) -> String {
@@ -194,8 +214,24 @@ pub fn explain(
         baseline_stall: dominant_label(&baseline.stats),
         rows: Vec::new(),
         skipped: Vec::new(),
+        e2e_pinned_gbps: 0.0,
+        e2e_pageable_gbps: 0.0,
     };
+    // The host-memory counterfactual is priced, not re-simulated: kernel
+    // cycles are host-memory-independent, so the end-to-end pipeline is
+    // the baseline kernel time plus each model's serial h2d + d2h cost.
+    let kernel_seconds = baseline.seconds();
+    let rb_bytes = ac_gpu::multistream::readback_bytes(baseline.match_events) as usize;
+    let e2e = |pcie: ac_gpu::PcieConfig| -> f64 {
+        let total = pcie.copy_seconds(text.len()) + kernel_seconds + pcie.copy_seconds(rb_bytes);
+        text.len() as f64 * 8.0 / total / 1.0e9
+    };
+    report.e2e_pinned_gbps = e2e(ac_gpu::PcieConfig::gen2_x16());
+    report.e2e_pageable_gbps = e2e(ac_gpu::PcieConfig::gen2_x16_pageable());
     for knob in Knob::all() {
+        if knob == Knob::PinnedHost {
+            continue; // priced above; never a kernel-cycles row
+        }
         let Some((cfg2, approach2)) = knob.apply(cfg, approach) else {
             let why = if knob == Knob::SttLayout
                 && ac_gpu::SttLayout::of_approach(approach) == Some(ac_gpu::SttLayout::Banded)
@@ -274,6 +310,16 @@ impl WhatIfReport {
                 r.gbps,
                 r.delta_gbps,
                 r.dominant_stall
+            );
+        }
+        if self.e2e_pinned_gbps > 0.0 {
+            let _ = writeln!(
+                out,
+                "\nhost memory (end-to-end, Gen2 x16): pinned {:.2} Gb/s, pageable {:.2} Gb/s \
+                 ({:+.2} for pinning)",
+                self.e2e_pinned_gbps,
+                self.e2e_pageable_gbps,
+                self.e2e_pinned_gbps - self.e2e_pageable_gbps
             );
         }
         if let Some(best) = self.rows.first().filter(|r| r.delta_gbps > 0.0) {
@@ -357,6 +403,13 @@ mod tests {
             .is_none());
         assert!(Knob::SttLayout.apply(&cfg, Approach::Pfac).is_none());
         assert!(Knob::SttLayout.apply(&cfg, Approach::SharedNaive).is_none());
+        // The host-memory knob never yields a kernel rerun: it's priced
+        // analytically by `explain`, not simulated.
+        for a in Approach::all() {
+            assert!(Knob::PinnedHost.apply(&cfg, a).is_none());
+        }
+        assert_eq!(Knob::PinnedHost.label(), "pinned-host off");
+        assert_eq!(Knob::PinnedHost.level(), "host memory");
     }
 
     #[test]
@@ -402,6 +455,41 @@ mod tests {
             r.skipped
         );
         assert!(explain_label(&cfg, params, &ac, &text, "warp-drive").is_err());
+    }
+
+    #[test]
+    fn host_memory_counterfactual_prices_the_transfer_pipeline() {
+        let (cfg, params, ac, text) = fixture();
+        let r = explain(&cfg, params, &ac, &text, Approach::SharedDiagonal).unwrap();
+        // Pinned staging transfers at full link speed; pageable pays a
+        // bounce copy at reduced bandwidth, so end-to-end it must be
+        // strictly slower — and both bound below the kernel-only figure.
+        assert!(r.e2e_pinned_gbps > 0.0);
+        assert!(
+            r.e2e_pinned_gbps > r.e2e_pageable_gbps,
+            "pinned {} <= pageable {}",
+            r.e2e_pinned_gbps,
+            r.e2e_pageable_gbps
+        );
+        assert!(r.e2e_pinned_gbps < r.baseline_gbps);
+        // The knob never lands in `rows` — it is not a kernel-cycles
+        // counterfactual — and is not mislabelled as skipped either.
+        assert!(r.rows.iter().all(|x| x.knob != Knob::PinnedHost));
+        assert!(!r.skipped.iter().any(|s| s.contains("pinned-host")));
+        let rendered = r.render();
+        assert!(rendered.contains("host memory (end-to-end"), "{rendered}");
+        assert!(rendered.contains("for pinning"), "{rendered}");
+        // Pre-host-memory reports (no e2e fields in the JSON) parse with
+        // zeros and render without the section.
+        let legacy = WhatIfReport {
+            e2e_pinned_gbps: 0.0,
+            e2e_pageable_gbps: 0.0,
+            ..r.clone()
+        };
+        assert!(!legacy.render().contains("host memory (end-to-end"));
+        let json = serde_json::to_string(&legacy).unwrap();
+        let back: WhatIfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, legacy);
     }
 
     #[test]

@@ -393,12 +393,29 @@ fn bench_diff_text(opts: &Options) -> Result<String, String> {
         }
         None => {}
     }
+    // And for the steady-state pool: buffer reuse plus pinned staging
+    // must keep beating the per-batch churn baseline on jobs/s without
+    // giving back p99, whenever the candidate carries the rows.
+    let mut steady_broken = false;
+    match bench::check_steady_pool_report(&new) {
+        Some(Ok(ratio)) => {
+            let _ = writeln!(
+                out,
+                "steady-state pooling pays: pooled at {ratio:.2}x churn jobs/s"
+            );
+        }
+        Some(Err(why)) => {
+            steady_broken = true;
+            let _ = writeln!(out, "STEADY-STATE POOL BROKEN: {why}");
+        }
+        None => {}
+    }
     if let Some(path) = &opts.report_out {
         std::fs::write(path, diff.to_json())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         let _ = writeln!(out, "report written: {}", path.display());
     }
-    if diff.has_regressions() || crossover_broken || fleet_broken {
+    if diff.has_regressions() || crossover_broken || fleet_broken || steady_broken {
         Err(out)
     } else {
         Ok(out)
@@ -446,6 +463,7 @@ fn serve_sim_text(opts: &Options) -> Result<String, String> {
             ..SloConfig::default()
         });
     }
+    serve_cfg.pool = pool_config(opts);
     // Export flags arm end-to-end telemetry; without them the hook stays
     // disarmed and the run is bit-identical to an unobserved one.
     if opts.trace_out.is_some() || opts.metrics_out.is_some() {
@@ -509,6 +527,7 @@ fn serve_sim_text(opts: &Options) -> Result<String, String> {
         .map(|b| format!("{}×{}", b.count, b.jobs))
         .collect();
     let _ = writeln!(out, "  batch sizes: {} (count×jobs)", hist.join(" "));
+    write_pool_summary(opts, r, &mut out)?;
     if let Some(path) = &opts.report_out {
         std::fs::write(path, r.to_json())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
@@ -555,6 +574,7 @@ fn fleet_sim_text(opts: &Options) -> Result<String, String> {
     if opts.trace_out.is_some() || opts.metrics_out.is_some() {
         dev_cfg.telemetry = Some(TelemetryConfig::default());
     }
+    dev_cfg.pool = pool_config(opts);
     let mut fleet_cfg = FleetConfig::new(opts.fleet_devices, dev_cfg);
     if opts.fleet_no_routing {
         fleet_cfg = fleet_cfg.parity();
@@ -659,6 +679,7 @@ fn fleet_sim_text(opts: &Options) -> Result<String, String> {
             );
         }
     }
+    write_pool_summary(opts, r, &mut out)?;
     if let Some(path) = &opts.report_out {
         std::fs::write(path, f.to_json())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
@@ -666,6 +687,57 @@ fn fleet_sim_text(opts: &Options) -> Result<String, String> {
     }
     write_serve_exports(opts, run.serve.telemetry.as_ref(), r, &mut out)?;
     Ok(out)
+}
+
+/// The device-pool configuration selected by `--pool`/`--pool-churn`
+/// (`None` when neither flag is given: the legacy untracked-scratch
+/// path, bit-identical to a pre-pool run).
+fn pool_config(opts: &Options) -> Option<ac_serve::ServePoolConfig> {
+    if opts.serve_pool {
+        Some(ac_serve::ServePoolConfig::pooled(
+            ac_serve::DEFAULT_POOL_CAPACITY,
+        ))
+    } else if opts.serve_pool_churn {
+        Some(ac_serve::ServePoolConfig::churn(
+            ac_serve::DEFAULT_POOL_CAPACITY,
+        ))
+    } else {
+        None
+    }
+}
+
+/// Render the device-pool summary line and write the `--pool-stats`
+/// JSON artifact when a pool ran.
+fn write_pool_summary(
+    opts: &Options,
+    report: &ac_serve::ServeReport,
+    out: &mut String,
+) -> Result<(), String> {
+    let Some(pool) = &report.pool else {
+        return Ok(());
+    };
+    let _ = writeln!(
+        out,
+        "  device pool: {} acquires ({} hits, {} misses, {:.0}% hit rate), \
+         high water {} bytes{}",
+        pool.acquires,
+        pool.hits,
+        pool.misses,
+        pool.hit_rate * 100.0,
+        pool.high_water_bytes,
+        if opts.serve_pool_churn {
+            " [churn baseline: pageable host, no reuse]"
+        } else {
+            " [pinned host staging]"
+        }
+    );
+    if let Some(path) = &opts.pool_stats_out {
+        let json = serde_json::to_string_pretty(pool)
+            .map_err(|e| format!("serializing pool stats: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "pool stats written: {}", path.display());
+    }
+    Ok(())
 }
 
 /// Write the `serve-sim` telemetry exports: the stitched Chrome trace
@@ -1873,6 +1945,47 @@ mod tests {
         .unwrap();
         let out = run(&opts).unwrap();
         assert!(out.contains("per-job launches"), "{out}");
+    }
+
+    #[test]
+    fn serve_sim_pool_summary_and_stats_artifact() {
+        let stats_p = write_tmp("pool21.json", b"");
+        let opts = parse([
+            "serve-sim",
+            "--jobs",
+            "8",
+            "--arrival-rate",
+            "2000",
+            "--streams",
+            "2",
+            "--pool",
+            "--pool-stats",
+            stats_p.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("device pool:"), "{out}");
+        assert!(out.contains("pinned host staging"), "{out}");
+        assert!(out.contains("pool stats written:"), "{out}");
+        let json = std::fs::read_to_string(&stats_p).unwrap();
+        let back: ac_serve::PoolStatsReport =
+            serde_json::from_str(&json).expect("valid pool stats JSON");
+        assert!(back.acquires > 0);
+        assert_eq!(back.releases, back.acquires);
+
+        // The churn baseline labels itself, and fleet-sim carries the
+        // summary too (merged across its per-device pools).
+        let opts = parse(["serve-sim", "--jobs", "4", "--pool-churn"]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("churn baseline"), "{out}");
+        let opts = parse(["fleet-sim", "--devices", "2", "--jobs", "16", "--pool"]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("device pool:"), "{out}");
+
+        // No pool flags: no pool section anywhere in the output.
+        let opts = parse(["serve-sim", "--jobs", "4"]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(!out.contains("device pool:"), "{out}");
     }
 
     #[test]

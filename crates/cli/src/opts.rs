@@ -170,6 +170,17 @@ pub struct Options {
     /// `serve-sim`: SLO p99 target in microseconds; arms the admission
     /// controller (low-priority shedding + adaptive batch window).
     pub serve_p99_target_us: Option<u64>,
+    /// `serve-sim`/`fleet-sim`: lease per-batch device buffers from a
+    /// size-classed pool with pinned host staging (the steady-state
+    /// configuration).
+    pub serve_pool: bool,
+    /// `serve-sim`/`fleet-sim`: arm the pool in churn mode — alloc/free
+    /// per batch through pageable host memory (the baseline the pool is
+    /// measured against).
+    pub serve_pool_churn: bool,
+    /// Write the run's device-pool statistics as JSON here (requires
+    /// --pool or --pool-churn).
+    pub pool_stats_out: Option<PathBuf>,
     /// `fleet-sim` device count.
     pub fleet_devices: u32,
     /// `fleet-sim`: parity dispatch (argmin stream) instead of the
@@ -211,11 +222,13 @@ pub const USAGE: &str = "usage:
                 [--max-stall-shift PTS] [--report FILE]
   acsim serve-sim [--jobs N] [--arrival-rate R] [--streams S] [--seed N]
                 [--job-bytes N] [--queue-cap N] [--no-batch] [--deadline-us N]
-                [--p99-target-us N] [--chaos [--fault-seed N]] [--fermi] [--report FILE]
+                [--p99-target-us N] [--pool | --pool-churn] [--pool-stats FILE]
+                [--chaos [--fault-seed N]] [--fermi] [--report FILE]
                 [--trace-out FILE] [--metrics-out FILE]
   acsim fleet-sim [--devices D] [--no-routing] [--shard-bytes N] [--jobs N]
                 [--arrival-rate R] [--streams S] [--seed N] [--job-bytes N]
                 [--queue-cap N] [--no-batch] [--deadline-us N] [--p99-target-us N]
+                [--pool | --pool-churn] [--pool-stats FILE]
                 [--fermi] [--report FILE] [--trace-out FILE] [--metrics-out FILE]
   acsim slo-report TRACE.json
   acsim hot     --patterns FILE --input FILE [--engine gpu:*] [--fermi] [--top N]
@@ -248,6 +261,11 @@ lowest priorities, widens the batch window under pressure); --chaos runs
 the seeded fault-storm soak on the pinned smoke scenario (load-shaping
 flags do not apply; --fault-seed places the storm, --seed reshuffles
 payloads) and exits non-zero if any resilience invariant is violated.
+--pool leases per-batch device buffers from a size-classed pool with pinned
+host staging (steady state); --pool-churn arms the alloc/free-per-batch
+baseline through pageable host memory; --pool-stats writes the pool's
+hit/miss/high-water statistics as JSON (both also apply to fleet-sim,
+one pool per device).
 `fleet-sim` replays the same workload through N simulated devices behind one
 dispatcher: jobs route to the cheapest tier (each GPU or the host CPU ladder)
 via a warmup-calibrated cost model refined online, every h2d/d2h crosses a
@@ -325,6 +343,9 @@ where
     let mut serve_chaos = false;
     let mut serve_deadline_us: Option<u64> = None;
     let mut serve_p99_target_us: Option<u64> = None;
+    let mut serve_pool = false;
+    let mut serve_pool_churn = false;
+    let mut pool_stats_out: Option<PathBuf> = None;
     let mut serve_flag_seen = false;
     let mut fleet_devices = 2u32;
     let mut fleet_no_routing = false;
@@ -470,6 +491,22 @@ where
                 serve_p99_target_us = Some(number("--p99-target-us", it.next())?);
                 serve_flag_seen = true;
             }
+            "--pool" => {
+                serve_pool = true;
+                serve_flag_seen = true;
+            }
+            "--pool-churn" => {
+                serve_pool_churn = true;
+                serve_flag_seen = true;
+            }
+            "--pool-stats" => {
+                pool_stats_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| ParseError("--pool-stats needs a file".into()))?
+                        .as_ref(),
+                ));
+                serve_flag_seen = true;
+            }
             "--devices" => {
                 fleet_devices = number("--devices", it.next())?;
                 fleet_flag_seen = true;
@@ -548,7 +585,8 @@ where
     if serve_flag_seen && !matches!(command, Command::ServeSim | Command::FleetSim) {
         return Err(ParseError(
             "--jobs/--arrival-rate/--streams/--seed/--job-bytes/--queue-cap/--no-batch/\
-             --chaos/--deadline-us/--p99-target-us only apply to `serve-sim` and `fleet-sim`"
+             --chaos/--deadline-us/--p99-target-us/--pool/--pool-churn/--pool-stats only \
+             apply to `serve-sim` and `fleet-sim`"
                 .into(),
         ));
     }
@@ -592,6 +630,21 @@ where
         if fault_seed.is_some() && !serve_chaos {
             return Err(ParseError(
                 "--fault-seed on serve-sim requires --chaos".into(),
+            ));
+        }
+        if serve_pool && serve_pool_churn {
+            return Err(ParseError(
+                "--pool and --pool-churn are mutually exclusive".into(),
+            ));
+        }
+        if pool_stats_out.is_some() && !serve_pool && !serve_pool_churn {
+            return Err(ParseError(
+                "--pool-stats requires --pool or --pool-churn".into(),
+            ));
+        }
+        if serve_chaos && (serve_pool || serve_pool_churn) {
+            return Err(ParseError(
+                "--pool/--pool-churn do not apply to --chaos (the soak pins its own config)".into(),
             ));
         }
     }
@@ -698,6 +751,9 @@ where
         serve_chaos,
         serve_deadline_us,
         serve_p99_target_us,
+        serve_pool,
+        serve_pool_churn,
+        pool_stats_out,
         fleet_devices,
         fleet_no_routing,
         fleet_shard_bytes,
@@ -1144,6 +1200,34 @@ mod tests {
         // Zeroes are rejected.
         assert!(p(&["serve-sim", "--deadline-us", "0"]).is_err());
         assert!(p(&["serve-sim", "--p99-target-us", "0"]).is_err());
+    }
+
+    #[test]
+    fn pool_flags_parse_and_are_validated() {
+        let o = p(&["serve-sim", "--pool", "--pool-stats", "pool.json"]).unwrap();
+        assert!(o.serve_pool);
+        assert!(!o.serve_pool_churn);
+        assert_eq!(
+            o.pool_stats_out.as_deref(),
+            Some(std::path::Path::new("pool.json"))
+        );
+        let o = p(&["serve-sim", "--pool-churn"]).unwrap();
+        assert!(o.serve_pool_churn && !o.serve_pool);
+        // Both apply to fleet-sim too (one pool per device).
+        let o = p(&["fleet-sim", "--devices", "2", "--pool"]).unwrap();
+        assert!(o.serve_pool);
+        assert!(p(&["fleet-sim", "--pool-churn", "--pool-stats", "p.json"]).is_ok());
+        // Mutually exclusive modes; stats need an armed pool.
+        assert!(p(&["serve-sim", "--pool", "--pool-churn"]).is_err());
+        assert!(p(&["serve-sim", "--pool-stats", "p.json"]).is_err());
+        // The chaos soak pins its own config.
+        assert!(p(&["serve-sim", "--chaos", "--pool"]).is_err());
+        // Scoped to the serving simulators only.
+        assert!(p(&["match", "--patterns", "d", "--input", "i", "--pool"]).is_err());
+        assert!(p(&["bench", "diff", "a", "b", "--pool-churn"]).is_err());
+        assert!(p(&["stats", "--patterns", "d", "--pool-stats", "p"]).is_err());
+        // Missing operand is rejected.
+        assert!(p(&["serve-sim", "--pool", "--pool-stats"]).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The host-visible device: global-memory allocation, texture binding, and
 //! kernel launches.
 
+use crate::alloc::{AllocStats, DeviceAllocator};
 use crate::attrib::{Attribution, AttributionConfig, AttributionState};
 use crate::config::GpuConfig;
 use crate::constant::{ConstId, ConstantBuffer};
@@ -99,7 +100,7 @@ pub struct Launched<P> {
 pub struct GpuDevice {
     cfg: GpuConfig,
     global: GlobalMemory,
-    cursor: u64,
+    alloc: DeviceAllocator,
     textures: Vec<Texture2d>,
     constants: Vec<ConstantBuffer>,
     constant_bytes: usize,
@@ -130,10 +131,11 @@ impl GpuDevice {
     /// Bring up a device.
     pub fn new(cfg: GpuConfig) -> Result<Self, DeviceError> {
         cfg.validate()?;
+        let alloc = DeviceAllocator::new(cfg.device_mem_bytes);
         Ok(GpuDevice {
             cfg,
             global: GlobalMemory::new(0),
-            cursor: 0,
+            alloc,
             textures: Vec::new(),
             constants: Vec::new(),
             constant_bytes: 0,
@@ -248,30 +250,38 @@ impl GpuDevice {
     }
 
     /// Allocate `bytes` of global memory (256-byte aligned, like CUDA),
-    /// returning the device address. Fails when the G-DRAM capacity is
-    /// exhausted.
+    /// returning the device address. Freed blocks are reused first-fit
+    /// before the capacity frontier grows; fails when no contiguous
+    /// region fits.
     pub fn alloc_global(&mut self, bytes: u64) -> Result<u64, DeviceError> {
         if let Some(fault) = self.fault.as_mut().and_then(|f| f.on_alloc()) {
             return Err(DeviceError::Fault(fault));
         }
-        let base = self.cursor.next_multiple_of(256);
-        let end = base
-            .checked_add(bytes)
-            .ok_or(DeviceError::AddressOverflow)?;
-        if end > self.cfg.device_mem_bytes {
-            return Err(DeviceError::OutOfDeviceMemory {
-                requested: bytes,
-                available: self.cfg.device_mem_bytes.saturating_sub(base),
-                capacity: self.cfg.device_mem_bytes,
-            });
-        }
-        self.cursor = end;
-        if end as usize > self.global.len() {
+        let base = self.alloc.alloc(bytes)?;
+        let end = (base + bytes) as usize;
+        if end > self.global.len() {
             let mut data = std::mem::take(&mut self.global).into_bytes();
-            data.resize(end as usize, 0);
+            data.resize(end, 0);
             self.global = GlobalMemory::from_bytes(data);
         }
         Ok(base)
+    }
+
+    /// Release a block obtained from [`alloc_global`], making its space
+    /// reusable (with coalescing of adjacent free blocks). Fails with
+    /// [`DeviceError::InvalidFree`] on a double free or an address that
+    /// was never allocated. The backing bytes are left in place, exactly
+    /// like real device frees — reuse sees stale contents, not zeroes.
+    ///
+    /// [`alloc_global`]: GpuDevice::alloc_global
+    pub fn free_global(&mut self, addr: u64) -> Result<(), DeviceError> {
+        self.alloc.free(addr)
+    }
+
+    /// Cumulative allocator statistics: live bytes/blocks, high-water
+    /// footprint, and the host cycles charged to alloc/free driver calls.
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.alloc.stats()
     }
 
     /// Copy host bytes into global memory at `addr` (the `cudaMemcpy`
@@ -386,6 +396,7 @@ impl GpuDevice {
                 totals,
                 blocks: lc.grid_blocks,
                 warps: lc.grid_blocks * (lc.threads_per_block / self.cfg.warp_size),
+                device_mem_high_water: self.alloc.stats().high_water_bytes,
             },
             programs: retired,
         })
@@ -699,6 +710,51 @@ mod tests {
             }
             other => panic!("expected OOM, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn free_global_recycles_capacity_and_tracks_stats() {
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap(); // 1 MB
+        let a = dev.alloc_global(512 * 1024).unwrap();
+        let b = dev.alloc_global(256 * 1024).unwrap();
+        // The bump model is full past here; freeing `a` opens a hole that
+        // a same-size allocation reuses.
+        dev.free_global(a).unwrap();
+        let c = dev.alloc_global(512 * 1024).unwrap();
+        assert_eq!(c, a);
+        // Freed contents are stale, not zeroed (like a real device).
+        dev.write_global(c, &[9, 9, 9, 9]);
+        dev.free_global(c).unwrap();
+        let d = dev.alloc_global(16).unwrap();
+        assert_eq!(d, c);
+        assert_eq!(dev.read_global(d, 4), &[9, 9, 9, 9]);
+        // Double free is a typed error.
+        dev.free_global(b).unwrap();
+        assert!(matches!(
+            dev.free_global(b),
+            Err(DeviceError::InvalidFree { .. })
+        ));
+        dev.free_global(d).unwrap();
+        let s = dev.alloc_stats();
+        assert_eq!(s.live_blocks, 0);
+        assert_eq!(s.live_bytes, 0);
+        assert_eq!(s.allocs, 4);
+        assert_eq!(s.frees, 4);
+        assert_eq!(s.high_water_bytes, (512 + 256) * 1024);
+    }
+
+    #[test]
+    fn launch_stats_carry_the_device_mem_high_water() {
+        let mut dev = GpuDevice::new(GpuConfig::tiny_test()).unwrap();
+        dev.alloc_global(4096).unwrap();
+        let lc = LaunchConfig {
+            grid_blocks: 1,
+            threads_per_block: 4,
+            shared_bytes_per_block: 0,
+            resident_blocks_cap: None,
+        };
+        let launched = dev.launch(lc, |_| Noop).unwrap();
+        assert_eq!(launched.stats.device_mem_high_water, 4096);
     }
 
     #[test]

@@ -158,6 +158,12 @@ pub enum DeviceError {
     },
     /// An allocation size overflowed the 64-bit address space.
     AddressOverflow,
+    /// `free_global` was handed an address that is not a live allocation
+    /// (never allocated, or already freed).
+    InvalidFree {
+        /// The offending device address.
+        addr: u64,
+    },
     /// The constant segment is exhausted.
     ConstantExhausted {
         /// Bytes already bound.
@@ -198,6 +204,12 @@ impl fmt::Display for DeviceError {
             ),
             DeviceError::AddressOverflow => {
                 write!(f, "allocation size overflows the address space")
+            }
+            DeviceError::InvalidFree { addr } => {
+                write!(
+                    f,
+                    "invalid free: address {addr:#x} is not a live allocation"
+                )
             }
             DeviceError::ConstantExhausted {
                 used,

@@ -1,0 +1,163 @@
+//! Pinned vs pageable host memory for PCIe transfer pricing.
+//!
+//! CUDA DMA engines can only read page-locked ("pinned") host memory. A
+//! transfer from pageable memory therefore pays a hidden host-side hop:
+//! the driver memcpy's the payload into an internal pinned staging buffer
+//! first, and the effective bandwidth collapses to the staging copy's
+//! rate composed with the link ("To Use or Not to Use GPUs", PAPERS.md,
+//! measures this as the dominant small-job cost). [`HostMemory`] is the
+//! single switch for that model:
+//!
+//! * [`HostMemory::pinned`] — DMA straight from host memory at full link
+//!   speed. This is the **default** and reproduces the legacy pricing
+//!   bit-for-bit: the original model silently assumed pinned staging.
+//! * [`HostMemory::pageable_default`] — every byte crosses host memory
+//!   twice (app buffer → staging, staging → link), so the serial transfer
+//!   time adds a `bytes / staging_bandwidth` term and the shared host bus
+//!   sees twice the bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// Effective memcpy bandwidth of the host-side staging copy for the
+/// pageable default (DDR2/3-era host, matching the GTX 285 setting).
+pub const PAGEABLE_STAGING_BYTES_PER_SEC: f64 = 3.2e9;
+
+/// Where H2D/D2H payloads live on the host, which sets transfer pricing.
+/// Pinned (page-locked) memory DMAs at full link speed; pageable memory
+/// stages through a pinned bounce buffer at `staging_bytes_per_sec`,
+/// serial with the link transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostMemory {
+    /// Whether the host buffer is page-locked (DMA-able directly).
+    pub pinned: bool,
+    /// Host-side memcpy bandwidth of the staging hop; only consulted when
+    /// `pinned` is false.
+    pub staging_bytes_per_sec: f64,
+}
+
+impl Default for HostMemory {
+    fn default() -> Self {
+        // The legacy transfer model priced every copy at link speed,
+        // i.e. it assumed pinned staging; keeping that default means
+        // existing configs and committed bench rows do not move.
+        HostMemory::pinned()
+    }
+}
+
+impl HostMemory {
+    /// Page-locked host memory: transfers run at full link speed.
+    pub fn pinned() -> Self {
+        HostMemory {
+            pinned: true,
+            staging_bytes_per_sec: 0.0,
+        }
+    }
+
+    /// The default pageable model for a gen2-era host.
+    pub fn pageable_default() -> Self {
+        HostMemory {
+            pinned: false,
+            staging_bytes_per_sec: PAGEABLE_STAGING_BYTES_PER_SEC,
+        }
+    }
+
+    /// Whether transfers run at full link speed.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// Wall-clock seconds for one transfer of `bytes` over a link with
+    /// the given bandwidth and latency. Pageable memory adds the staging
+    /// memcpy serially — the driver finishes the bounce copy before the
+    /// DMA engine starts.
+    pub fn transfer_seconds(&self, bytes: usize, link_bytes_per_sec: f64, latency_sec: f64) -> f64 {
+        let link = if link_bytes_per_sec > 0.0 {
+            bytes as f64 / link_bytes_per_sec
+        } else {
+            0.0
+        };
+        if self.pinned {
+            return latency_sec + link;
+        }
+        let staging = if self.staging_bytes_per_sec > 0.0 {
+            bytes as f64 / self.staging_bytes_per_sec
+        } else {
+            0.0
+        };
+        latency_sec + staging + link
+    }
+
+    /// Bytes the shared host-side bus observes for a transfer of `bytes`:
+    /// pageable payloads cross host memory twice (bounce-in + DMA-out).
+    pub fn bus_bytes(&self, bytes: u64) -> u64 {
+        if self.pinned {
+            bytes
+        } else {
+            bytes.saturating_mul(2)
+        }
+    }
+
+    /// Reject non-finite or negative staging bandwidth.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.pinned
+            && (!self.staging_bytes_per_sec.is_finite() || self.staging_bytes_per_sec < 0.0)
+        {
+            return Err(format!(
+                "pageable staging bandwidth must be finite and non-negative, got {}",
+                self.staging_bytes_per_sec
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_matches_the_legacy_link_formula() {
+        let t = HostMemory::pinned().transfer_seconds(6_000_000, 6.0e9, 10.0e-6);
+        assert_eq!(t, 10.0e-6 + 6_000_000.0 / 6.0e9);
+    }
+
+    #[test]
+    fn pageable_is_never_faster_than_pinned() {
+        let page = HostMemory::pageable_default();
+        for bytes in [0usize, 1, 4096, 1 << 20, 100 << 20] {
+            let pin = HostMemory::pinned().transfer_seconds(bytes, 6.0e9, 10.0e-6);
+            let pg = page.transfer_seconds(bytes, 6.0e9, 10.0e-6);
+            assert!(pg >= pin, "{bytes} bytes: pageable {pg} < pinned {pin}");
+            if bytes > 0 {
+                assert!(pg > pin, "{bytes} bytes: staging hop must cost something");
+            }
+        }
+    }
+
+    #[test]
+    fn pageable_doubles_bus_traffic() {
+        assert_eq!(HostMemory::pinned().bus_bytes(4096), 4096);
+        assert_eq!(HostMemory::pageable_default().bus_bytes(4096), 8192);
+    }
+
+    #[test]
+    fn default_is_pinned_and_serde_round_trips() {
+        assert!(HostMemory::default().is_pinned());
+        let page = HostMemory::pageable_default();
+        let json = serde_json::to_string(&page).unwrap();
+        let back: HostMemory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, page);
+    }
+
+    #[test]
+    fn validate_rejects_bad_staging_bandwidth() {
+        let bad = HostMemory {
+            pinned: false,
+            staging_bytes_per_sec: f64::NAN,
+        };
+        assert!(bad.validate().is_err());
+        assert!(HostMemory::pageable_default().validate().is_ok());
+        // Pinned memory never consults the staging rate.
+        assert!(HostMemory::pinned().validate().is_ok());
+    }
+}

@@ -54,6 +54,7 @@
 //! assert!(launched.stats.cycles > 0);
 //! ```
 
+pub mod alloc;
 pub mod attrib;
 pub mod bus;
 pub mod config;
@@ -62,6 +63,7 @@ pub mod device;
 pub mod error;
 pub mod fault;
 pub mod global;
+pub mod hostmem;
 pub mod introspect;
 pub mod kernel;
 pub mod scheduler;
@@ -70,6 +72,7 @@ pub mod stats;
 pub mod stream;
 pub mod texture;
 
+pub use alloc::{AllocStats, DeviceAllocator, ALLOC_ALIGN, ALLOC_CYCLES, FREE_CYCLES};
 pub use attrib::{Attribution, AttributionConfig, LaneAttr, SmAttribution};
 pub use bus::{BusConfig, BusStats, PcieBusArbiter};
 pub use config::GpuConfig;
@@ -78,6 +81,7 @@ pub use device::{GpuDevice, LaunchConfig, Launched};
 pub use error::{DeviceError, GpuConfigError, LaunchError};
 pub use fault::{FaultKind, FaultPlan, FaultState, InjectedFault, HANG_CYCLES};
 pub use global::GlobalMemory;
+pub use hostmem::{HostMemory, PAGEABLE_STAGING_BYTES_PER_SEC};
 pub use introspect::{IntrospectConfig, Introspection, SmIntrospection};
 pub use kernel::{StepOutcome, WarpCtx, WarpGeometry, WarpProgram};
 pub use shared::SharedMemory;

@@ -124,6 +124,11 @@ pub struct LaunchStats {
     pub blocks: u32,
     /// Warps executed.
     pub warps: u32,
+    /// Device-memory high-water mark at launch time: the largest aligned
+    /// footprint the device's allocator has ever held resident. Zero in
+    /// reports that predate the allocator.
+    #[serde(default)]
+    pub device_mem_high_water: u64,
 }
 
 /// Per-SM completion-cycle spread: how evenly the launch's blocks loaded
@@ -224,6 +229,13 @@ impl LaunchStats {
                 "acsim_throughput_gbps",
                 "input-consumption throughput in Gbit/s",
                 self.throughput_gbps(clock_hz, input_bytes),
+            );
+        }
+        if self.device_mem_high_water > 0 {
+            snap.push(
+                "acsim_device_mem_high_water",
+                "largest device-memory footprint ever resident (bytes)",
+                self.device_mem_high_water,
             );
         }
         snap.push("acsim_blocks", "blocks executed", self.blocks as u64);
@@ -424,6 +436,7 @@ mod tests {
             totals,
             blocks: 2,
             warps: 4,
+            device_mem_high_water: 0,
         };
         let snap = ls.metrics(1.0e6, 1024);
         assert!(snap.get("acsim_launch_cycles", &[]).is_some());

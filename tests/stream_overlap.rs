@@ -86,6 +86,7 @@ fn multistream_runner_beats_0_6x_serial_when_copy_matches_kernel() {
     let pcie = PcieConfig {
         bandwidth_bytes_per_sec: window.len() as f64 / kernel_secs,
         latency_sec: 0.0,
+        host_memory: gpu_sim::HostMemory::pinned(),
     };
 
     for streams in [2u32, 4] {

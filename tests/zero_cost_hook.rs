@@ -368,6 +368,65 @@ fn serve_telemetry_disarmed_and_armed_runs_are_bit_identical() {
 }
 
 #[test]
+fn serve_pool_disarmed_is_the_legacy_path_and_armed_only_delays() {
+    use ac_serve::{
+        serve, synthetic_workload, ServeConfig, ServePoolConfig, WorkloadConfig,
+        DEFAULT_POOL_CAPACITY,
+    };
+
+    // The device pool is an Option hook like every layer above: with
+    // `pool: None` the effective PCIe model is the configured one
+    // (pinned, untouched) and the run is deterministic with no pool
+    // stats; armed with a pinned pool, the only permitted effect is
+    // *delay* (allocator driver cycles charged to uploads) — matches and
+    // batch structure must not move, and no job may finish earlier.
+    let matcher = {
+        let cfg = GpuConfig::gtx285();
+        let ac = ac_serve::serve_automaton(ac_serve::DEFAULT_PATTERNS, 7);
+        GpuAcMatcher::new(cfg, KernelParams::defaults_for(&cfg), ac).unwrap()
+    };
+    let workload = WorkloadConfig {
+        jobs: 64,
+        seed: 7,
+        ..WorkloadConfig::defaults()
+    };
+    let jobs = synthetic_workload(&workload);
+
+    let plain_cfg = ServeConfig::new(2);
+    assert_eq!(
+        plain_cfg.effective_pcie(),
+        plain_cfg.pcie,
+        "pool None must not rewrite the host-memory model"
+    );
+    let a = serve(&matcher, jobs.clone(), &plain_cfg).unwrap();
+    let b = serve(&matcher, jobs.clone(), &plain_cfg).unwrap();
+    assert_eq!(a.report, b.report, "disarmed serve must be deterministic");
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.timeline, b.timeline);
+    assert!(a.report.pool.is_none());
+
+    let pooled_cfg = plain_cfg.with_pool(ServePoolConfig::pooled(DEFAULT_POOL_CAPACITY));
+    assert_eq!(
+        pooled_cfg.effective_pcie(),
+        plain_cfg.pcie,
+        "a pinned pool keeps the link model"
+    );
+    let pooled = serve(&matcher, jobs, &pooled_cfg).unwrap();
+    assert_eq!(pooled.report.batches, a.report.batches);
+    assert_eq!(pooled.report.jobs_completed, a.report.jobs_completed);
+    for (p, q) in pooled.outcomes.iter().zip(&a.outcomes) {
+        assert_eq!(p.id, q.id);
+        assert_eq!(p.matches, q.matches, "pool changed job {} answers", p.id);
+        assert!(
+            p.completed_seconds >= q.completed_seconds - 1e-12,
+            "job {} finished earlier with the pool armed",
+            p.id
+        );
+    }
+    assert!(pooled.report.pool.is_some());
+}
+
+#[test]
 fn counting_mode_timing_unaffected_by_armed_empty_plan() {
     let text = text();
     let m = matcher();
